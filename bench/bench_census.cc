@@ -1,0 +1,92 @@
+// Regenerates the real-life (Census CPS) experiment of §5.1–5.2: joining
+// the "weekly wage" attribute against "weekly wage overtime" over one
+// month's worth of survey records. The raw CPS extract is not
+// redistributable, so the workload comes from stream::CensusLikeGenerator,
+// which reproduces its shape (zero spike, round-number modes, heavy tail;
+// see DESIGN.md "Substitutions").
+//
+// The paper's reported outcome: both methods do well on this data, with the
+// skimmed sketch at roughly HALF the relative error of basic AGMS.
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_flags.h"
+#include "bench/harness.h"
+#include "core/join_estimators.h"
+#include "stream/census_like.h"
+#include "stream/exact.h"
+#include "util/table_printer.h"
+
+namespace skimjoin {
+namespace bench {
+namespace {
+
+void Run(RunScale scale) {
+  stream::CensusLikeGenerator::Options options;
+  options.domain_size = 1u << 16;
+  options.num_records = scale == RunScale::kQuick ? 40000 : 159434;
+  const int trials = scale == RunScale::kQuick ? 3 : 5;
+  const std::vector<uint64_t> spaces =
+      scale == RunScale::kQuick
+          ? std::vector<uint64_t>{512, 2048}
+          : std::vector<uint64_t>{256, 512, 1024, 2048, 4096};
+
+  std::cout << "Census-like experiment: weekly-wage ⋈ weekly-wage-overtime, "
+            << options.num_records << " records, domain "
+            << options.domain_size << " (synthetic CPS substitute)\n";
+
+  stream::CensusLikeGenerator generator(options, /*seed=*/2002);
+  const auto wage_elements = generator.GenerateWageStream();
+  const auto overtime_elements = generator.GenerateOvertimeStream();
+  const stream::FrequencyVector f =
+      stream::Materialize(wage_elements, options.domain_size);
+  const stream::FrequencyVector g =
+      stream::Materialize(overtime_elements, options.domain_size);
+  const double exact = static_cast<double>(stream::JoinSize(f, g));
+  std::cout << "exact |F⋈G| = " << exact << "  F2(wage) = " << f.SelfJoinSize()
+            << "  F2(overtime) = " << g.SelfJoinSize() << "\n";
+
+  const std::vector<uint64_t> seeds = DefaultSeeds(trials);
+  TablePrinter table("Census-like join, error vs space",
+                     {"space(words)", "agms err", "skim err", "agms/skim"});
+  int skim_wins = 0;
+  for (uint64_t space : spaces) {
+    core::EstimatorSpec agms_spec;
+    agms_spec.kind = core::EstimatorKind::kAgms;
+    agms_spec.domain_size = options.domain_size;
+    agms_spec.space_counters = space;
+    agms_spec.agms_num_medians = 11;
+    const TrialStats agms = RunTrials(agms_spec, f, g, exact, seeds);
+
+    core::EstimatorSpec skim_spec;
+    skim_spec.kind = core::EstimatorKind::kSkimmedSketch;
+    skim_spec.domain_size = options.domain_size;
+    skim_spec.space_counters = space;
+    skim_spec.num_tables = 7;
+    const TrialStats skim = RunTrials(skim_spec, f, g, exact, seeds);
+
+    skim_wins += (skim.mean_error <= agms.mean_error);
+    const double improvement =
+        skim.mean_error > 0 ? agms.mean_error / skim.mean_error : kSanityError;
+    table.AddRow({std::to_string(space),
+                  TablePrinter::FormatDouble(agms.mean_error),
+                  TablePrinter::FormatDouble(skim.mean_error),
+                  TablePrinter::FormatDouble(improvement, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n[shape check] skimmed <= agms in " << skim_wins << "/"
+            << spaces.size()
+            << " cells (paper: skimmed at roughly half the AGMS error, both "
+               "small)\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace skimjoin
+
+int main(int argc, char** argv) {
+  skimjoin::bench::Run(skimjoin::bench::ParseScale(argc, argv));
+  return 0;
+}

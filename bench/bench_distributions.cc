@@ -1,0 +1,93 @@
+// Error across input distributions at fixed space: Zipf (several skews),
+// self-similar 80–20, and uniform. Complements Figure 5's Zipf-only sweep
+// by showing where skimming pays off (any skew) and where it gracefully
+// degenerates to the plain hash-sketch estimator (uniform data has nothing
+// to skim).
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_flags.h"
+#include "bench/harness.h"
+#include "core/join_estimators.h"
+#include "stream/generators.h"
+#include "stream/zipf.h"
+#include "util/table_printer.h"
+
+namespace skimjoin {
+namespace bench {
+namespace {
+
+struct NamedWorkload {
+  std::string name;
+  stream::FrequencyVector f;
+  stream::FrequencyVector g;
+};
+
+void Run(RunScale scale) {
+  const uint64_t domain = scale == RunScale::kQuick ? (1u << 12) : (1u << 14);
+  const uint64_t count = scale == RunScale::kQuick ? 50000 : 100000;
+  const int trials = scale == RunScale::kQuick ? 3 : 5;
+  constexpr uint64_t kSpace = 2048;
+
+  std::cout << "Estimator error across input distributions (space " << kSpace
+            << " counters/stream, " << trials << " trials)\n";
+
+  std::vector<NamedWorkload> workloads;
+  for (double z : {0.5, 1.0, 1.5}) {
+    workloads.push_back(
+        {"zipf-" + TablePrinter::FormatDouble(z, 1),
+         stream::ZipfDistribution(domain, z).ExpectedFrequencies(count),
+         stream::ZipfDistribution(domain, z, /*shift=*/64)
+             .ExpectedFrequencies(count)});
+  }
+  {
+    stream::SelfSimilarDistribution dist(domain, 0.8);
+    // Self-similar has no shift knob; join it against a differently-biased
+    // copy for a non-self-join.
+    stream::SelfSimilarDistribution other(domain, 0.7);
+    workloads.push_back({"selfsim-80/20", dist.ExpectedFrequencies(count),
+                         other.ExpectedFrequencies(count)});
+  }
+  {
+    stream::UniformDistribution dist(domain);
+    workloads.push_back({"uniform", dist.ExpectedFrequencies(count),
+                         dist.ExpectedFrequencies(count)});
+  }
+
+  const std::vector<uint64_t> seeds = DefaultSeeds(trials);
+  TablePrinter table("mean ratio error by distribution and method",
+                     {"workload", "exact J", "agms", "hash-sketch", "skimmed"});
+  for (const NamedWorkload& w : workloads) {
+    const double exact = static_cast<double>(stream::JoinSize(w.f, w.g));
+    std::vector<std::string> row = {w.name,
+                                    TablePrinter::FormatDouble(exact, 0)};
+    for (core::EstimatorKind kind :
+         {core::EstimatorKind::kAgms, core::EstimatorKind::kHashSketch,
+          core::EstimatorKind::kSkimmedSketch}) {
+      core::EstimatorSpec spec;
+      spec.kind = kind;
+      spec.domain_size = domain;
+      spec.space_counters = kSpace;
+      spec.agms_num_medians = 11;
+      const TrialStats stats = RunTrials(spec, w.f, w.g, exact, seeds);
+      row.push_back(TablePrinter::FormatDouble(stats.mean_error));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\n[shape check] skimming's advantage grows with skew; on "
+               "uniform data all ±1-sketch methods behave alike (nothing "
+               "crosses the skim threshold)\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace skimjoin
+
+int main(int argc, char** argv) {
+  skimjoin::bench::Run(skimjoin::bench::ParseScale(argc, argv));
+  return 0;
+}

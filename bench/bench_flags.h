@@ -1,0 +1,37 @@
+// Tiny command-line helpers shared by the bench binaries. Each binary
+// supports:
+//   --quick  : fewer spaces/trials (CI smoke run)
+//   --paper  : the paper's full-scale parameters (slow on one core)
+// with the default being a laptop-scale run that preserves the figures'
+// shape (see EXPERIMENTS.md for the scaling rationale).
+
+#ifndef SKIMJOIN_BENCH_BENCH_FLAGS_H_
+#define SKIMJOIN_BENCH_BENCH_FLAGS_H_
+
+#include <cstring>
+
+namespace skimjoin {
+namespace bench {
+
+enum class RunScale { kQuick, kDefault, kPaper };
+
+inline RunScale ParseScale(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return RunScale::kQuick;
+    if (std::strcmp(argv[i], "--paper") == 0) return RunScale::kPaper;
+  }
+  return RunScale::kDefault;
+}
+
+/// `--csv`: additionally emit each results table as CSV (for plotting).
+inline bool CsvRequested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace bench
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_BENCH_BENCH_FLAGS_H_

@@ -1,0 +1,132 @@
+// Micro-benchmarks for the paper's per-element processing-time claims
+// (§4.1, §4.3): basic AGMS touches every one of its `space` counters per
+// element, the hash sketch touches one counter per table, and the dyadic-
+// maintained skimmed sketch touches one counter per table per level — i.e.,
+// O(space) vs O(s) vs O(s·log m). Run with google-benchmark; times are
+// per-element.
+
+#include <cstdint>
+#include <utility>
+
+#include "benchmark/benchmark.h"
+#include "core/skimmed_sketch.h"
+#include "sketch/agms_sketch.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/hash_sketch.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace {
+
+constexpr uint64_t kDomain = 1u << 18;
+
+void BM_AgmsUpdate(benchmark::State& state) {
+  const auto space = static_cast<uint64_t>(state.range(0));
+  sketch::AgmsConfig config;
+  config.num_medians = 11;
+  config.num_means = space / 11;
+  auto sketch = *sketch::AgmsSketch::Create(config, 1);
+  Rng rng(2);
+  for (auto _ : state) {
+    sketch.Update(rng.NextUint64Below(kDomain), 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["counters_touched"] =
+      static_cast<double>(config.TotalCounters());
+}
+BENCHMARK(BM_AgmsUpdate)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_HashSketchUpdate(benchmark::State& state) {
+  const auto space = static_cast<uint64_t>(state.range(0));
+  sketch::HashSketchConfig config;
+  config.num_tables = 7;
+  config.num_buckets = space / 7;
+  auto sketch = *sketch::HashSketch::Create(config, 1);
+  Rng rng(2);
+  for (auto _ : state) {
+    sketch.Update(rng.NextUint64Below(kDomain), 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["counters_touched"] = static_cast<double>(config.num_tables);
+}
+BENCHMARK(BM_HashSketchUpdate)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_SkimmedSketchUpdateDyadic(benchmark::State& state) {
+  const auto space = static_cast<uint64_t>(state.range(0));
+  core::SkimmedSketchConfig config;
+  config.domain_size = kDomain;
+  config.num_tables = 7;
+  config.num_buckets = space / 14;
+  config.dyadic_num_buckets = space / (14 * 18);
+  if (config.dyadic_num_buckets == 0) config.dyadic_num_buckets = 1;
+  config.use_dyadic_skim = true;
+  auto sketch = *core::SkimmedSketch::Create(config, 1);
+  Rng rng(2);
+  for (auto _ : state) {
+    sketch.Update(rng.NextUint64Below(kDomain), 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["counters_touched"] =
+      static_cast<double>(config.num_tables * 19);  // level 0 + 18 levels
+}
+BENCHMARK(BM_SkimmedSketchUpdateDyadic)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384);
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  sketch::CountMinConfig config;
+  config.num_tables = 5;
+  config.num_buckets = static_cast<uint64_t>(state.range(0)) / 5;
+  auto sketch = *sketch::CountMinSketch::Create(config, 1);
+  Rng rng(2);
+  for (auto _ : state) {
+    sketch.Update(rng.NextUint64Below(kDomain), 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinUpdate)->Arg(1024)->Arg(4096);
+
+// Estimation-time cost: skimming a copy plus the four subjoin estimates.
+void BM_SkimmedJoinEstimate(benchmark::State& state) {
+  const auto domain = static_cast<uint64_t>(state.range(0));
+  core::SkimmedSketchConfig config;
+  config.domain_size = domain;
+  config.num_tables = 5;
+  config.num_buckets = 512;
+  config.use_dyadic_skim = true;
+  config.dyadic_num_buckets = 64;
+  auto f = *core::SkimmedSketch::Create(config, 1);
+  auto g = *core::SkimmedSketch::Create(config, 1);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    f.Update(rng.NextUint64Below(domain / 4), 1);
+    g.Update(rng.NextUint64Below(domain / 4), 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SkimmedSketch::EstimateJoinSize(f, g));
+  }
+}
+BENCHMARK(BM_SkimmedJoinEstimate)->Arg(1u << 12)->Arg(1u << 16)->Arg(1u << 18);
+
+void BM_AgmsJoinEstimate(benchmark::State& state) {
+  sketch::AgmsConfig config;
+  config.num_medians = 11;
+  config.num_means = static_cast<uint64_t>(state.range(0)) / 11;
+  auto f = *sketch::AgmsSketch::Create(config, 1);
+  auto g = *sketch::AgmsSketch::Create(config, 1);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    f.Update(rng.NextUint64Below(kDomain), 1);
+    g.Update(rng.NextUint64Below(kDomain), 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch::AgmsSketch::EstimateJoinSize(f, g));
+  }
+}
+BENCHMARK(BM_AgmsJoinEstimate)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace skimjoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace skimjoin {
+namespace bench {
+
+double RatioError(double estimate, double exact) {
+  SKIMJOIN_CHECK_GT(exact, 0.0) << "benchmarks require a non-empty join";
+  if (estimate <= 0.0) return kSanityError;
+  const double ratio = std::max(estimate, exact) / std::min(estimate, exact);
+  return std::min(ratio - 1.0, kSanityError);
+}
+
+TrialStats RunTrials(const core::EstimatorSpec& spec,
+                     const stream::FrequencyVector& f,
+                     const stream::FrequencyVector& g, double exact_join,
+                     const std::vector<uint64_t>& seeds) {
+  SKIMJOIN_CHECK(!seeds.empty());
+  std::vector<double> errors;
+  errors.reserve(seeds.size());
+  for (uint64_t seed : seeds) {
+    StatusOr<std::unique_ptr<core::JoinEstimatorPair>> pair =
+        core::CreateJoinEstimatorPair(spec, seed);
+    SKIMJOIN_CHECK(pair.ok()) << pair.status();
+    (*pair)->AbsorbF(f);
+    (*pair)->AbsorbG(g);
+    StatusOr<double> estimate = (*pair)->Estimate();
+    SKIMJOIN_CHECK(estimate.ok()) << estimate.status();
+    errors.push_back(RatioError(*estimate, exact_join));
+  }
+  TrialStats stats;
+  stats.mean_error = Mean(errors);
+  stats.min_error = *std::min_element(errors.begin(), errors.end());
+  stats.max_error = *std::max_element(errors.begin(), errors.end());
+  stats.stddev_error = StdDev(errors);
+  return stats;
+}
+
+std::vector<uint64_t> DefaultSeeds(int count) {
+  std::vector<uint64_t> seeds;
+  seeds.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    seeds.push_back(0x5EED0000u + static_cast<uint64_t>(i));
+  }
+  return seeds;
+}
+
+std::string SpaceLabel(uint64_t counters) {
+  const double kb = static_cast<double>(counters) * 8.0 / 1024.0;
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%llu (%.1f KB)",
+                static_cast<unsigned long long>(counters), kb);
+  return buffer;
+}
+
+}  // namespace bench
+}  // namespace skimjoin

@@ -1,0 +1,55 @@
+// Shared support for the figure-regeneration benchmark binaries: the
+// paper's answer-quality metric, repeated-trial runners over the uniform
+// estimator interface, and workload descriptors.
+
+#ifndef SKIMJOIN_BENCH_HARNESS_H_
+#define SKIMJOIN_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/join_estimators.h"
+#include "stream/frequency_vector.h"
+
+namespace skimjoin {
+namespace bench {
+
+/// The error cap the paper applies when an estimate is tiny or negative
+/// ("we simply consider the error to be a large constant, say 10").
+inline constexpr double kSanityError = 10.0;
+
+/// The paper's symmetric answer-quality metric (§5.1): standard relative
+/// error is biased in favor of underestimates, so the error is measured as
+/// max(est, J)/min(est, J) - 1, clamped to kSanityError, with non-positive
+/// estimates charged the full sanity constant.
+double RatioError(double estimate, double exact);
+
+/// One comparison cell: a method evaluated at a space budget over a fixed
+/// workload, averaged over trials with independent seeds (the paper repeats
+/// each experiment 5–10 times and averages).
+struct TrialStats {
+  double mean_error = 0.0;
+  double min_error = 0.0;
+  double max_error = 0.0;
+  double stddev_error = 0.0;
+};
+
+/// Builds the estimator pair described by `spec` once per seed, absorbs the
+/// two frequency vectors (linearity; see DESIGN.md "Substitutions"), and
+/// aggregates the ratio errors against `exact_join`.
+TrialStats RunTrials(const core::EstimatorSpec& spec,
+                     const stream::FrequencyVector& f,
+                     const stream::FrequencyVector& g, double exact_join,
+                     const std::vector<uint64_t>& seeds);
+
+/// The seeds used across all benches (deterministic reproduction).
+std::vector<uint64_t> DefaultSeeds(int count);
+
+/// Formats a count of counters as words and KB for the tables.
+std::string SpaceLabel(uint64_t counters);
+
+}  // namespace bench
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_BENCH_HARNESS_H_

@@ -1,0 +1,81 @@
+// Order statistics from the dyadic levels of a skimmed sketch: range
+// frequencies, quantiles, and top-k — the surrounding query types of the
+// paper's related work (§1: quantiles [1, 2], top-k [8]) answered from the
+// same single-pass structure that estimates joins.
+//
+//   build/examples/approximate_quantiles
+
+#include <iostream>
+
+#include "core/skimmed_sketch.h"
+#include "core/top_k.h"
+#include "stream/zipf.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+int main() {
+  using skimjoin::core::SkimmedSketch;
+  using skimjoin::core::SkimmedSketchConfig;
+
+  constexpr uint64_t kDomain = 1u << 14;  // e.g., response-time buckets
+  SkimmedSketchConfig config;
+  config.domain_size = kDomain;
+  config.num_tables = 7;
+  config.num_buckets = 1024;
+  config.use_dyadic_skim = true;  // the dyadic levels ARE the range index
+  auto sketch = *SkimmedSketch::Create(config, 11);
+  auto topk = *skimjoin::core::TopKTracker::Create(5, {7, 1024}, 11);
+
+  // A latency-like stream: Zipf-distributed buckets (most requests fast).
+  skimjoin::stream::ZipfDistribution dist(kDomain, 1.1);
+  skimjoin::Rng rng(3);
+  skimjoin::stream::FrequencyVector exact(kDomain);
+  for (int i = 0; i < 300000; ++i) {
+    const uint64_t bucket = dist.Sample(&rng);
+    sketch.Update(bucket, 1);
+    topk.Update(bucket, 1);
+    exact.Add(bucket, 1);
+  }
+
+  std::cout << "quantiles of the value distribution (estimated vs exact):\n";
+  for (double phi : {0.5, 0.9, 0.99}) {
+    const auto estimated = sketch.EstimateQuantile(phi);
+    SKIMJOIN_CHECK_OK(estimated.status());
+    // Exact quantile from the reference counts.
+    int64_t cumulative = 0;
+    uint64_t exact_quantile = 0;
+    const auto target = static_cast<int64_t>(phi * 300000);
+    for (uint64_t v = 0; v < kDomain; ++v) {
+      cumulative += exact.Get(v);
+      if (cumulative >= target) {
+        exact_quantile = v;
+        break;
+      }
+    }
+    std::cout << "  p" << static_cast<int>(phi * 100) << ": " << *estimated
+              << " (exact " << exact_quantile << ")\n";
+  }
+
+  std::cout << "range frequencies:\n";
+  struct Range {
+    uint64_t lo, hi;
+    const char* label;
+  };
+  for (const Range r : {Range{0, 9, "hottest 10 buckets"},
+                        Range{10, 999, "warm region"},
+                        Range{1000, kDomain - 1, "long tail"}}) {
+    const auto estimated = sketch.EstimateRangeFrequency(r.lo, r.hi);
+    SKIMJOIN_CHECK_OK(estimated.status());
+    int64_t exact_sum = 0;
+    for (uint64_t v = r.lo; v <= r.hi; ++v) exact_sum += exact.Get(v);
+    std::cout << "  " << r.label << " [" << r.lo << ", " << r.hi
+              << "]: " << *estimated << " (exact " << exact_sum << ")\n";
+  }
+
+  std::cout << "top-5 buckets (continuous tracker):\n";
+  for (const auto& [value, frequency] : topk.TopK()) {
+    std::cout << "  bucket " << value << " ~ " << frequency
+              << " (exact " << exact.Get(value) << ")\n";
+  }
+  return 0;
+}

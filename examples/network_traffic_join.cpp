@@ -1,0 +1,95 @@
+// The paper's motivating scenario (§1): an ISP continuously collects usage
+// records at two network monitoring points and wants on-line answers to
+//   COUNT(R1 ⋈ R2)  — "how much traffic did both collectors see, per host?"
+// without storing either stream. This example drives the full query engine
+// (Fig. 1): registered streams, standing queries with different synopses,
+// selection predicates, and deletions (flow-timeout retractions).
+//
+//   build/examples/network_traffic_join
+
+#include <iostream>
+
+#include "query/engine.h"
+#include "stream/exact.h"
+#include "stream/frequency_vector.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+int main() {
+  using skimjoin::query::Engine;
+  using skimjoin::query::JoinQuerySpec;
+  using skimjoin::query::RangePredicate;
+  using skimjoin::query::StreamUpdate;
+
+  // Hosts are /16 suffixes: a 65536-value domain.
+  constexpr uint64_t kHosts = 1u << 16;
+  Engine engine;
+  SKIMJOIN_CHECK_OK(engine.RegisterStream({"pop1.flows", kHosts}).status());
+  SKIMJOIN_CHECK_OK(engine.RegisterStream({"pop2.flows", kHosts}).status());
+
+  // Standing query 1: skimmed-sketch join estimate over all hosts.
+  JoinQuerySpec join_spec;
+  join_spec.left_stream = "pop1.flows";
+  join_spec.right_stream = "pop2.flows";
+  join_spec.estimator.kind = skimjoin::core::EstimatorKind::kSkimmedSketch;
+  join_spec.estimator.space_counters = 4096;
+  auto join_query = engine.AddJoinQuery(join_spec, /*seed=*/1);
+  SKIMJOIN_CHECK_OK(join_query.status());
+
+  // Standing query 2: the same join restricted to the "enterprise" block
+  // [4096, 8191] via a selection predicate on both sides.
+  JoinQuerySpec filtered_spec = join_spec;
+  filtered_spec.left_predicate = RangePredicate{4096, 8191};
+  filtered_spec.right_predicate = RangePredicate{4096, 8191};
+  auto filtered_query = engine.AddJoinQuery(filtered_spec, /*seed=*/2);
+  SKIMJOIN_CHECK_OK(filtered_query.status());
+
+  // Standing query 3: heavy-hitter tracking on pop1 for the ops dashboard.
+  skimjoin::query::FrequencyQuerySpec hh_spec;
+  hh_spec.stream = "pop1.flows";
+  hh_spec.space_counters = 8192;
+  auto hh_query = engine.AddFrequencyQuery(hh_spec, /*seed=*/3);
+  SKIMJOIN_CHECK_OK(hh_query.status());
+
+  // Traffic: most hosts are light; a handful of CDN nodes are very hot, and
+  // flows time out (deletes) as the sliding window advances.
+  skimjoin::Rng rng(99);
+  skimjoin::stream::FrequencyVector exact1(kHosts);
+  skimjoin::stream::FrequencyVector exact2(kHosts);
+  auto emit = [&](const char* stream, skimjoin::stream::FrequencyVector* exact,
+                  uint64_t host, int64_t count) {
+    SKIMJOIN_CHECK_OK(engine.Update(stream, StreamUpdate{host, count, 0}));
+    exact->Add(host, count);
+  };
+
+  for (int i = 0; i < 150000; ++i) {
+    emit("pop1.flows", &exact1, rng.NextUint64Below(kHosts), 1);
+    emit("pop2.flows", &exact2, rng.NextUint64Below(kHosts), 1);
+  }
+  for (uint64_t cdn = 5000; cdn < 5004; ++cdn) {  // hot hosts in the block
+    emit("pop1.flows", &exact1, cdn, 20000);
+    emit("pop2.flows", &exact2, cdn, 15000);
+  }
+  // Flow timeouts: retract 30k of pop1's early flows.
+  for (int i = 0; i < 30000; ++i) {
+    emit("pop1.flows", &exact1, rng.NextUint64Below(kHosts), -1);
+  }
+
+  const double exact_join = static_cast<double>(JoinSize(exact1, exact2));
+  auto total = engine.AnswerJoin(*join_query);
+  auto filtered = engine.AnswerJoin(*filtered_query);
+  SKIMJOIN_CHECK_OK(total.status());
+  SKIMJOIN_CHECK_OK(filtered.status());
+
+  std::cout << "COUNT(pop1 ⋈ pop2) estimate: " << *total
+            << "  (exact " << exact_join << ")\n";
+  std::cout << "COUNT over enterprise block estimate: " << *filtered << "\n";
+
+  auto heavy = engine.AnswerHeavyHitters(*hh_query, /*threshold=*/10000);
+  SKIMJOIN_CHECK_OK(heavy.status());
+  std::cout << "pop1 heavy hitters (>= 10000 flows):\n";
+  for (const auto& [host, freq] : *heavy) {
+    std::cout << "  host " << host << " ~ " << freq << " flows\n";
+  }
+  return 0;
+}

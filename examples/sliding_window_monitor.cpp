@@ -1,0 +1,75 @@
+// Windowed join monitoring: because the paper's synopses handle deletions
+// exactly, a sliding window is a pure adapter (stream/sliding_window.h) —
+// each expiring element is replayed as a delete. This example tracks the
+// join size of the LAST 50,000 elements of two drifting streams and shows
+// the estimate following the drift while the all-time join keeps growing.
+//
+//   build/examples/sliding_window_monitor
+
+#include <iostream>
+
+#include "core/skimmed_sketch.h"
+#include "stream/frequency_vector.h"
+#include "stream/sliding_window.h"
+#include "stream/zipf.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+int main() {
+  using skimjoin::core::SkimmedSketch;
+  using skimjoin::core::SkimmedSketchConfig;
+  using skimjoin::stream::SlidingWindow;
+
+  constexpr uint64_t kDomain = 1u << 14;
+  constexpr uint64_t kWindow = 50000;
+
+  SkimmedSketchConfig config;
+  config.domain_size = kDomain;
+  config.num_tables = 7;
+  config.num_buckets = 512;
+  config.use_dyadic_skim = false;
+  auto windowed_f = *SkimmedSketch::Create(config, 5);
+  auto windowed_g = *SkimmedSketch::Create(config, 5);
+  auto alltime_f = *SkimmedSketch::Create(config, 5);
+  auto alltime_g = *SkimmedSketch::Create(config, 5);
+
+  auto window_f = *SlidingWindow::Create(kWindow);
+  auto window_g = *SlidingWindow::Create(kWindow);
+  // Exact window contents, for ground truth.
+  skimjoin::stream::FrequencyVector exact_f(kDomain);
+  skimjoin::stream::FrequencyVector exact_g(kDomain);
+
+  skimjoin::Rng rng(3);
+  std::cout << "epoch | windowed est | windowed exact | all-time est\n";
+  // The traffic mix drifts every epoch: the hot region of the Zipf
+  // distribution moves right by 512 values.
+  for (uint64_t epoch = 0; epoch < 6; ++epoch) {
+    skimjoin::stream::ZipfDistribution dist(kDomain, 1.2,
+                                            /*shift=*/epoch * 512);
+    for (int i = 0; i < 50000; ++i) {
+      const uint64_t vf = dist.Sample(&rng);
+      const uint64_t vg = dist.Sample(&rng);
+      window_f.Push(vf, [&](const skimjoin::stream::StreamElement& e) {
+        windowed_f.Update(e);
+        exact_f.Apply(e);
+      });
+      window_g.Push(vg, [&](const skimjoin::stream::StreamElement& e) {
+        windowed_g.Update(e);
+        exact_g.Apply(e);
+      });
+      alltime_f.Update(vf, 1);
+      alltime_g.Update(vg, 1);
+    }
+    const auto windowed =
+        SkimmedSketch::EstimateJoinSize(windowed_f, windowed_g);
+    const auto alltime = SkimmedSketch::EstimateJoinSize(alltime_f, alltime_g);
+    SKIMJOIN_CHECK_OK(windowed.status());
+    SKIMJOIN_CHECK_OK(alltime.status());
+    const double exact = static_cast<double>(JoinSize(exact_f, exact_g));
+    std::cout << epoch << " | " << *windowed << " | " << exact << " | "
+              << *alltime << "\n";
+  }
+  std::cout << "the windowed estimate stays near its exact value as the mix "
+               "drifts;\nthe all-time join keeps accumulating history.\n";
+  return 0;
+}

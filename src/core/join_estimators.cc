@@ -1,0 +1,340 @@
+#include "core/join_estimators.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/skimmed_sketch.h"
+#include "sketch/agms_sketch.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/hash_sketch.h"
+#include "sketch/reservoir_sample.h"
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace core {
+
+const char* EstimatorKindName(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kAgms:
+      return "agms";
+    case EstimatorKind::kHashSketch:
+      return "hash-sketch";
+    case EstimatorKind::kSkimmedSketch:
+      return "skimmed";
+    case EstimatorKind::kCountMin:
+      return "count-min";
+    case EstimatorKind::kSampling:
+      return "sampling";
+    case EstimatorKind::kPartitionedAgms:
+      return "partitioned-agms";
+  }
+  return "unknown";
+}
+
+void JoinEstimatorPair::AbsorbF(const stream::FrequencyVector& frequencies) {
+  const auto& counts = frequencies.counts();
+  for (uint64_t value = 0; value < counts.size(); ++value) {
+    if (counts[value] != 0) UpdateF(value, counts[value]);
+  }
+}
+
+void JoinEstimatorPair::AbsorbG(const stream::FrequencyVector& frequencies) {
+  const auto& counts = frequencies.counts();
+  for (uint64_t value = 0; value < counts.size(); ++value) {
+    if (counts[value] != 0) UpdateG(value, counts[value]);
+  }
+}
+
+namespace {
+
+class AgmsPair final : public JoinEstimatorPair {
+ public:
+  AgmsPair(sketch::AgmsSketch f, sketch::AgmsSketch g)
+      : f_(std::move(f)), g_(std::move(g)) {}
+
+  void UpdateF(uint64_t value, int64_t weight) override {
+    f_.Update(value, weight);
+  }
+  void UpdateG(uint64_t value, int64_t weight) override {
+    g_.Update(value, weight);
+  }
+  StatusOr<double> Estimate() const override {
+    return sketch::AgmsSketch::EstimateJoinSize(f_, g_);
+  }
+  uint64_t SpaceCounters() const override {
+    return f_.config().TotalCounters();
+  }
+  const char* Name() const override {
+    return EstimatorKindName(EstimatorKind::kAgms);
+  }
+
+ private:
+  sketch::AgmsSketch f_;
+  sketch::AgmsSketch g_;
+};
+
+class HashSketchPair final : public JoinEstimatorPair {
+ public:
+  HashSketchPair(sketch::HashSketch f, sketch::HashSketch g)
+      : f_(std::move(f)), g_(std::move(g)) {}
+
+  void UpdateF(uint64_t value, int64_t weight) override {
+    f_.Update(value, weight);
+  }
+  void UpdateG(uint64_t value, int64_t weight) override {
+    g_.Update(value, weight);
+  }
+  StatusOr<double> Estimate() const override {
+    return sketch::HashSketch::EstimateJoinSize(f_, g_);
+  }
+  uint64_t SpaceCounters() const override {
+    return f_.config().TotalCounters();
+  }
+  const char* Name() const override {
+    return EstimatorKindName(EstimatorKind::kHashSketch);
+  }
+
+ private:
+  sketch::HashSketch f_;
+  sketch::HashSketch g_;
+};
+
+class SkimmedPair final : public JoinEstimatorPair {
+ public:
+  SkimmedPair(SkimmedSketch f, SkimmedSketch g)
+      : f_(std::move(f)), g_(std::move(g)) {}
+
+  void UpdateF(uint64_t value, int64_t weight) override {
+    f_.Update(value, weight);
+  }
+  void UpdateG(uint64_t value, int64_t weight) override {
+    g_.Update(value, weight);
+  }
+  StatusOr<double> Estimate() const override {
+    return SkimmedSketch::EstimateJoinSize(f_, g_);
+  }
+  uint64_t SpaceCounters() const override { return f_.TotalCounters(); }
+  const char* Name() const override {
+    return EstimatorKindName(EstimatorKind::kSkimmedSketch);
+  }
+
+ private:
+  SkimmedSketch f_;
+  SkimmedSketch g_;
+};
+
+class CountMinPair final : public JoinEstimatorPair {
+ public:
+  CountMinPair(sketch::CountMinSketch f, sketch::CountMinSketch g)
+      : f_(std::move(f)), g_(std::move(g)) {}
+
+  void UpdateF(uint64_t value, int64_t weight) override {
+    f_.Update(value, weight);
+  }
+  void UpdateG(uint64_t value, int64_t weight) override {
+    g_.Update(value, weight);
+  }
+  StatusOr<double> Estimate() const override {
+    return sketch::CountMinSketch::EstimateJoinSize(f_, g_);
+  }
+  uint64_t SpaceCounters() const override {
+    return f_.config().TotalCounters();
+  }
+  const char* Name() const override {
+    return EstimatorKindName(EstimatorKind::kCountMin);
+  }
+
+ private:
+  sketch::CountMinSketch f_;
+  sketch::CountMinSketch g_;
+};
+
+class PartitionedAgmsPair final : public JoinEstimatorPair {
+ public:
+  PartitionedAgmsPair(sketch::PartitionedAgmsSketch f,
+                      sketch::PartitionedAgmsSketch g)
+      : f_(std::move(f)), g_(std::move(g)) {}
+
+  void UpdateF(uint64_t value, int64_t weight) override {
+    f_.Update(value, weight);
+  }
+  void UpdateG(uint64_t value, int64_t weight) override {
+    g_.Update(value, weight);
+  }
+  StatusOr<double> Estimate() const override {
+    return sketch::PartitionedAgmsSketch::EstimateJoinSize(f_, g_);
+  }
+  uint64_t SpaceCounters() const override { return f_.TotalCounters(); }
+  const char* Name() const override {
+    return EstimatorKindName(EstimatorKind::kPartitionedAgms);
+  }
+
+ private:
+  sketch::PartitionedAgmsSketch f_;
+  sketch::PartitionedAgmsSketch g_;
+};
+
+class SamplingPair final : public JoinEstimatorPair {
+ public:
+  SamplingPair(sketch::ReservoirSample f, sketch::ReservoirSample g)
+      : f_(std::move(f)), g_(std::move(g)) {}
+
+  void UpdateF(uint64_t value, int64_t weight) override {
+    f_.Update(value, weight);
+  }
+  void UpdateG(uint64_t value, int64_t weight) override {
+    g_.Update(value, weight);
+  }
+  // A sample is not a linear synopsis: expand frequency vectors into unit
+  // inserts.
+  void AbsorbF(const stream::FrequencyVector& frequencies) override {
+    AbsorbInto(&f_, frequencies);
+  }
+  void AbsorbG(const stream::FrequencyVector& frequencies) override {
+    AbsorbInto(&g_, frequencies);
+  }
+  StatusOr<double> Estimate() const override {
+    return sketch::ReservoirSample::EstimateJoinSize(f_, g_);
+  }
+  uint64_t SpaceCounters() const override { return f_.capacity(); }
+  const char* Name() const override {
+    return EstimatorKindName(EstimatorKind::kSampling);
+  }
+
+ private:
+  static void AbsorbInto(sketch::ReservoirSample* sample,
+                         const stream::FrequencyVector& frequencies) {
+    const auto& counts = frequencies.counts();
+    for (uint64_t value = 0; value < counts.size(); ++value) {
+      SKIMJOIN_CHECK_GE(counts[value], 0)
+          << "sampling cannot absorb negative frequencies";
+      for (int64_t i = 0; i < counts[value]; ++i) sample->Update(value, 1);
+    }
+  }
+
+  sketch::ReservoirSample f_;
+  sketch::ReservoirSample g_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<JoinEstimatorPair>> CreateJoinEstimatorPair(
+    const EstimatorSpec& spec, uint64_t seed) {
+  if (spec.space_counters < 1) {
+    return InvalidArgumentError("EstimatorSpec.space_counters must be >= 1");
+  }
+  switch (spec.kind) {
+    case EstimatorKind::kAgms: {
+      if (spec.agms_num_medians < 1 ||
+          spec.space_counters < spec.agms_num_medians) {
+        return InvalidArgumentError(
+            "AGMS spec needs 1 <= agms_num_medians <= space_counters");
+      }
+      sketch::AgmsConfig config;
+      config.num_medians = spec.agms_num_medians;
+      config.num_means = spec.space_counters / spec.agms_num_medians;
+      StatusOr<sketch::AgmsSketch> f = sketch::AgmsSketch::Create(config, seed);
+      SKIMJOIN_RETURN_IF_ERROR(f.status());
+      StatusOr<sketch::AgmsSketch> g = sketch::AgmsSketch::Create(config, seed);
+      SKIMJOIN_RETURN_IF_ERROR(g.status());
+      return std::unique_ptr<JoinEstimatorPair>(
+          new AgmsPair(*std::move(f), *std::move(g)));
+    }
+    case EstimatorKind::kHashSketch: {
+      if (spec.num_tables < 1 || spec.space_counters < spec.num_tables) {
+        return InvalidArgumentError(
+            "hash-sketch spec needs 1 <= num_tables <= space_counters");
+      }
+      sketch::HashSketchConfig config;
+      config.num_tables = spec.num_tables;
+      config.num_buckets = spec.space_counters / spec.num_tables;
+      StatusOr<sketch::HashSketch> f = sketch::HashSketch::Create(config, seed);
+      SKIMJOIN_RETURN_IF_ERROR(f.status());
+      StatusOr<sketch::HashSketch> g = sketch::HashSketch::Create(config, seed);
+      SKIMJOIN_RETURN_IF_ERROR(g.status());
+      return std::unique_ptr<JoinEstimatorPair>(
+          new HashSketchPair(*std::move(f), *std::move(g)));
+    }
+    case EstimatorKind::kSkimmedSketch: {
+      if (spec.num_tables < 1 || spec.space_counters < spec.num_tables) {
+        return InvalidArgumentError(
+            "skimmed-sketch spec needs 1 <= num_tables <= space_counters");
+      }
+      SkimmedSketchConfig config;
+      config.domain_size = spec.domain_size;
+      config.num_tables = spec.num_tables;
+      config.threshold_scale = spec.threshold_scale;
+      config.recurse_slack = spec.recurse_slack;
+      config.skim_margin = spec.skim_margin;
+      config.use_dyadic_skim = spec.skimmed_use_dyadic;
+      if (spec.skimmed_use_dyadic) {
+        // Split the budget: half to level 0, half across the log2(m)
+        // auxiliary levels (at least one bucket each).
+        uint64_t levels = 0;
+        while ((spec.domain_size >> (levels + 1)) >= 1 &&
+               (uint64_t{1} << levels) < spec.domain_size) {
+          ++levels;
+        }
+        config.num_buckets =
+            std::max<uint64_t>(1, spec.space_counters / (2 * spec.num_tables));
+        config.dyadic_num_buckets = std::max<uint64_t>(
+            1, spec.space_counters / (2 * spec.num_tables * levels));
+      } else {
+        config.num_buckets =
+            std::max<uint64_t>(1, spec.space_counters / spec.num_tables);
+      }
+      StatusOr<SkimmedSketch> f = SkimmedSketch::Create(config, seed);
+      SKIMJOIN_RETURN_IF_ERROR(f.status());
+      StatusOr<SkimmedSketch> g = SkimmedSketch::Create(config, seed);
+      SKIMJOIN_RETURN_IF_ERROR(g.status());
+      return std::unique_ptr<JoinEstimatorPair>(
+          new SkimmedPair(*std::move(f), *std::move(g)));
+    }
+    case EstimatorKind::kCountMin: {
+      if (spec.num_tables < 1 || spec.space_counters < spec.num_tables) {
+        return InvalidArgumentError(
+            "count-min spec needs 1 <= num_tables <= space_counters");
+      }
+      sketch::CountMinConfig config;
+      config.num_tables = spec.num_tables;
+      config.num_buckets = spec.space_counters / spec.num_tables;
+      StatusOr<sketch::CountMinSketch> f =
+          sketch::CountMinSketch::Create(config, seed);
+      SKIMJOIN_RETURN_IF_ERROR(f.status());
+      StatusOr<sketch::CountMinSketch> g =
+          sketch::CountMinSketch::Create(config, seed);
+      SKIMJOIN_RETURN_IF_ERROR(g.status());
+      return std::unique_ptr<JoinEstimatorPair>(
+          new CountMinPair(*std::move(f), *std::move(g)));
+    }
+    case EstimatorKind::kPartitionedAgms: {
+      if (spec.partition_plan == nullptr) {
+        return InvalidArgumentError(
+            "partitioned AGMS requires EstimatorSpec.partition_plan (built "
+            "from a-priori frequency statistics via sketch::PlanPartitions)");
+      }
+      StatusOr<sketch::PartitionedAgmsSketch> f =
+          sketch::PartitionedAgmsSketch::Create(*spec.partition_plan, seed);
+      SKIMJOIN_RETURN_IF_ERROR(f.status());
+      StatusOr<sketch::PartitionedAgmsSketch> g =
+          sketch::PartitionedAgmsSketch::Create(*spec.partition_plan, seed);
+      SKIMJOIN_RETURN_IF_ERROR(g.status());
+      return std::unique_ptr<JoinEstimatorPair>(
+          new PartitionedAgmsPair(*std::move(f), *std::move(g)));
+    }
+    case EstimatorKind::kSampling: {
+      StatusOr<sketch::ReservoirSample> f =
+          sketch::ReservoirSample::Create(spec.space_counters, seed);
+      SKIMJOIN_RETURN_IF_ERROR(f.status());
+      StatusOr<sketch::ReservoirSample> g =
+          sketch::ReservoirSample::Create(spec.space_counters, seed + 1);
+      SKIMJOIN_RETURN_IF_ERROR(g.status());
+      return std::unique_ptr<JoinEstimatorPair>(
+          new SamplingPair(*std::move(f), *std::move(g)));
+    }
+  }
+  return InvalidArgumentError("unknown estimator kind");
+}
+
+}  // namespace core
+}  // namespace skimjoin

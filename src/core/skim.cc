@@ -1,0 +1,108 @@
+#include "core/skim.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace skimjoin {
+namespace core {
+
+int64_t LookupDense(const DenseFrequencies& dense, uint64_t value) {
+  const auto it = std::lower_bound(
+      dense.begin(), dense.end(), value,
+      [](const std::pair<uint64_t, int64_t>& entry, uint64_t v) {
+        return entry.first < v;
+      });
+  if (it == dense.end() || it->first != value) return 0;
+  return it->second;
+}
+
+namespace {
+
+// Shared extraction step: estimate `value`, and if dense, record it and
+// subtract it from the sketch (Fig. 3 steps 6, 8–9). A positive `margin`
+// holds that much of the estimate back (Theorem 4's conservative skim).
+void MaybeSkimValue(sketch::HashSketch* sketch, uint64_t value,
+                    int64_t threshold, int64_t margin,
+                    DenseFrequencies* out) {
+  const int64_t estimate = sketch->PointEstimate(value);
+  if (std::llabs(estimate) < threshold) return;
+  const int64_t magnitude = std::llabs(estimate) - margin;
+  if (magnitude <= 0) return;
+  const int64_t skimmed = estimate >= 0 ? magnitude : -magnitude;
+  out->emplace_back(value, skimmed);
+  sketch->Update(value, -skimmed);
+}
+
+}  // namespace
+
+DenseFrequencies SkimDenseNaive(sketch::HashSketch* sketch,
+                                uint64_t domain_size, int64_t threshold,
+                                int64_t margin) {
+  SKIMJOIN_CHECK(sketch != nullptr);
+  SKIMJOIN_CHECK_GE(threshold, 1);
+  SKIMJOIN_CHECK_GE(margin, 0);
+  DenseFrequencies dense;
+  for (uint64_t value = 0; value < domain_size; ++value) {
+    MaybeSkimValue(sketch, value, threshold, margin, &dense);
+  }
+  return dense;  // domain scan emits values in sorted order already
+}
+
+DenseFrequencies SkimDenseCandidates(sketch::HashSketch* sketch,
+                                     const std::vector<uint64_t>& candidates,
+                                     int64_t threshold, int64_t margin) {
+  SKIMJOIN_CHECK(sketch != nullptr);
+  SKIMJOIN_CHECK_GE(threshold, 1);
+  SKIMJOIN_CHECK_GE(margin, 0);
+  std::vector<uint64_t> unique = candidates;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  DenseFrequencies dense;
+  for (uint64_t value : unique) {
+    MaybeSkimValue(sketch, value, threshold, margin, &dense);
+  }
+  return dense;
+}
+
+int64_t DenseDenseJoin(const DenseFrequencies& f, const DenseFrequencies& g) {
+  __int128 total = 0;
+  auto fi = f.begin();
+  auto gi = g.begin();
+  while (fi != f.end() && gi != g.end()) {
+    if (fi->first < gi->first) {
+      ++fi;
+    } else if (gi->first < fi->first) {
+      ++gi;
+    } else {
+      total += static_cast<__int128>(fi->second) * gi->second;
+      ++fi;
+      ++gi;
+    }
+  }
+  SKIMJOIN_CHECK(total <= INT64_MAX && total >= INT64_MIN);
+  return static_cast<int64_t>(total);
+}
+
+double EstimateSubJoinSize(const DenseFrequencies& dense_f,
+                           const sketch::HashSketch& skimmed_g) {
+  const uint64_t num_tables = skimmed_g.config().num_tables;
+  std::vector<double> per_table;
+  per_table.reserve(num_tables);
+  for (uint64_t table = 0; table < num_tables; ++table) {
+    double sum = 0.0;
+    for (const auto& [value, frequency] : dense_f) {
+      const uint64_t bucket = skimmed_g.Bucket(table, value);
+      sum += static_cast<double>(frequency) *
+             static_cast<double>(skimmed_g.Sign(table, value)) *
+             static_cast<double>(skimmed_g.Counter(table, bucket));
+    }
+    per_table.push_back(sum);
+  }
+  return Median(std::move(per_table));
+}
+
+}  // namespace core
+}  // namespace skimjoin

@@ -1,0 +1,321 @@
+#include "core/skimmed_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace core {
+
+namespace {
+
+bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+SkimmedSketch::SkimmedSketch(const SkimmedSketchConfig& config, uint64_t seed,
+                             sketch::HashSketch level0,
+                             std::optional<DyadicSkimmer> dyadic)
+    : config_(config),
+      seed_(seed),
+      level0_(std::move(level0)),
+      dyadic_(std::move(dyadic)) {}
+
+StatusOr<SkimmedSketch> SkimmedSketch::Create(const SkimmedSketchConfig& config,
+                                              uint64_t seed) {
+  if (config.domain_size < 2) {
+    return InvalidArgumentError("SkimmedSketchConfig.domain_size must be >= 2");
+  }
+  if (config.use_dyadic_skim && !IsPowerOfTwo(config.domain_size)) {
+    return InvalidArgumentError(
+        "dyadic skimming requires a power-of-two domain size");
+  }
+  if (config.num_tables < 1 || config.num_buckets < 1) {
+    return InvalidArgumentError(
+        "SkimmedSketchConfig requires num_tables >= 1 and num_buckets >= 1");
+  }
+  if (config.threshold_scale <= 0.0) {
+    return InvalidArgumentError(
+        "SkimmedSketchConfig.threshold_scale must be positive");
+  }
+  if (config.min_threshold < 1) {
+    return InvalidArgumentError(
+        "SkimmedSketchConfig.min_threshold must be >= 1");
+  }
+  if (!(config.recurse_slack > 0.0 && config.recurse_slack <= 1.0)) {
+    return InvalidArgumentError(
+        "SkimmedSketchConfig.recurse_slack must be in (0, 1]");
+  }
+  if (!(config.skim_margin >= 0.0 && config.skim_margin < 1.0)) {
+    return InvalidArgumentError(
+        "SkimmedSketchConfig.skim_margin must be in [0, 1)");
+  }
+
+  sketch::HashSketchConfig level0_config;
+  level0_config.num_tables = config.num_tables;
+  level0_config.num_buckets = config.num_buckets;
+  StatusOr<sketch::HashSketch> level0 =
+      sketch::HashSketch::Create(level0_config, seed);
+  SKIMJOIN_RETURN_IF_ERROR(level0.status());
+
+  std::optional<DyadicSkimmer> dyadic;
+  if (config.use_dyadic_skim) {
+    sketch::HashSketchConfig upper_config;
+    upper_config.num_tables = config.num_tables;
+    upper_config.num_buckets = config.dyadic_num_buckets == 0
+                                   ? config.num_buckets
+                                   : config.dyadic_num_buckets;
+    StatusOr<DyadicSkimmer> skimmer =
+        DyadicSkimmer::Create(config.domain_size, upper_config, seed);
+    SKIMJOIN_RETURN_IF_ERROR(skimmer.status());
+    dyadic = *std::move(skimmer);
+  }
+  return SkimmedSketch(config, seed, *std::move(level0), std::move(dyadic));
+}
+
+void SkimmedSketch::Update(uint64_t value, int64_t weight) {
+  SKIMJOIN_CHECK_LT(value, config_.domain_size) << "value outside domain";
+  level0_.Update(value, weight);
+  if (dyadic_.has_value()) dyadic_->Update(value, weight);
+}
+
+void SkimmedSketch::Absorb(const stream::FrequencyVector& frequencies) {
+  const auto& counts = frequencies.counts();
+  SKIMJOIN_CHECK_LE(counts.size(), config_.domain_size);
+  for (uint64_t value = 0; value < counts.size(); ++value) {
+    if (counts[value] != 0) Update(value, counts[value]);
+  }
+}
+
+void SkimmedSketch::Merge(const SkimmedSketch& other) {
+  SKIMJOIN_CHECK(CompatibleWith(other))
+      << "merging incompatible skimmed sketches";
+  level0_.Merge(other.level0_);
+  if (dyadic_.has_value()) dyadic_->Merge(*other.dyadic_);
+}
+
+bool SkimmedSketch::CompatibleWith(const SkimmedSketch& other) const {
+  return seed_ == other.seed_ &&
+         config_.domain_size == other.config_.domain_size &&
+         config_.num_tables == other.config_.num_tables &&
+         config_.num_buckets == other.config_.num_buckets &&
+         config_.use_dyadic_skim == other.config_.use_dyadic_skim &&
+         config_.dyadic_num_buckets == other.config_.dyadic_num_buckets;
+}
+
+int64_t SkimmedSketch::SkimThreshold() const {
+  const double f2 = std::max(level0_.EstimateSelfJoinSize(), 0.0);
+  const double scale =
+      config_.threshold_scale *
+      std::sqrt(f2 / static_cast<double>(config_.num_buckets));
+  const auto threshold = static_cast<int64_t>(std::ceil(scale));
+  return std::max(threshold, config_.min_threshold);
+}
+
+SkimmedSketch::SkimOutput SkimmedSketch::Skim() const {
+  const int64_t threshold = SkimThreshold();
+  const auto margin = static_cast<int64_t>(
+      config_.skim_margin * static_cast<double>(threshold));
+  sketch::HashSketch residual = level0_;
+  DenseFrequencies dense;
+  if (dyadic_.has_value()) {
+    const std::vector<uint64_t> candidates =
+        dyadic_->FindCandidates(threshold, config_.recurse_slack);
+    dense = SkimDenseCandidates(&residual, candidates, threshold, margin);
+  } else {
+    dense = SkimDenseNaive(&residual, config_.domain_size, threshold, margin);
+  }
+  return SkimOutput{std::move(dense), std::move(residual), threshold};
+}
+
+StatusOr<JoinEstimateBreakdown> SkimmedSketch::EstimateJoinSizeDetailed(
+    const SkimmedSketch& f, const SkimmedSketch& g) {
+  if (!f.CompatibleWith(g)) {
+    return InvalidArgumentError(
+        "skimmed-sketch join estimation requires sketches with equal "
+        "configuration and seed");
+  }
+  SkimOutput skim_f = f.Skim();
+  SkimOutput skim_g = g.Skim();
+
+  JoinEstimateBreakdown breakdown;
+  breakdown.threshold_f = skim_f.threshold;
+  breakdown.threshold_g = skim_g.threshold;
+  breakdown.dense_count_f = skim_f.dense.size();
+  breakdown.dense_count_g = skim_g.dense.size();
+
+  // Step 2: dense·dense, computed exactly from the explicit vectors.
+  breakdown.dense_dense =
+      static_cast<double>(DenseDenseJoin(skim_f.dense, skim_g.dense));
+
+  // Dense frequencies of one stream against the residual sketch of the
+  // other (ESTSUBJOINSIZE, both directions).
+  breakdown.dense_sparse = EstimateSubJoinSize(skim_f.dense, skim_g.skimmed);
+  breakdown.sparse_dense = EstimateSubJoinSize(skim_g.dense, skim_f.skimmed);
+
+  // Steps 3–7: sparse·sparse via per-table bucket products.
+  StatusOr<double> sparse_sparse =
+      sketch::HashSketch::EstimateJoinSize(skim_f.skimmed, skim_g.skimmed);
+  SKIMJOIN_RETURN_IF_ERROR(sparse_sparse.status());
+  breakdown.sparse_sparse = *sparse_sparse;
+  return breakdown;
+}
+
+StatusOr<double> SkimmedSketch::EstimateJoinSize(const SkimmedSketch& f,
+                                                 const SkimmedSketch& g) {
+  StatusOr<JoinEstimateBreakdown> breakdown = EstimateJoinSizeDetailed(f, g);
+  SKIMJOIN_RETURN_IF_ERROR(breakdown.status());
+  return breakdown->Total();
+}
+
+double SkimmedSketch::EstimateSelfJoinSize() const {
+  StatusOr<double> result = EstimateJoinSize(*this, *this);
+  SKIMJOIN_CHECK(result.ok());
+  return *result;
+}
+
+DenseFrequencies SkimmedSketch::HeavyHitters(int64_t threshold) const {
+  SKIMJOIN_CHECK_GE(threshold, 1);
+  sketch::HashSketch scratch = level0_;
+  if (dyadic_.has_value()) {
+    const std::vector<uint64_t> candidates =
+        dyadic_->FindCandidates(threshold, config_.recurse_slack);
+    return SkimDenseCandidates(&scratch, candidates, threshold);
+  }
+  return SkimDenseNaive(&scratch, config_.domain_size, threshold);
+}
+
+StatusOr<int64_t> SkimmedSketch::EstimateRangeFrequency(uint64_t lo,
+                                                        uint64_t hi) const {
+  if (!dyadic_.has_value()) {
+    return FailedPreconditionError(
+        "range estimation requires use_dyadic_skim (the dyadic levels ARE "
+        "the range index)");
+  }
+  if (lo > hi) {
+    return InvalidArgumentError("range lower bound exceeds upper bound");
+  }
+  if (hi >= config_.domain_size) {
+    return OutOfRangeError("range extends past the stream domain");
+  }
+  const uint64_t max_level = dyadic_->num_levels();
+  int64_t total = 0;
+  uint64_t cursor = lo;
+  while (cursor <= hi) {
+    // Largest dyadic block aligned at `cursor` that stays inside [lo, hi].
+    uint64_t level = 0;
+    while (level < max_level) {
+      const uint64_t doubled = uint64_t{1} << (level + 1);
+      if (cursor % doubled != 0) break;
+      if (cursor + doubled - 1 > hi) break;
+      ++level;
+    }
+    total += (level == 0)
+                 ? level0_.PointEstimate(cursor)
+                 : dyadic_->PointEstimate(level, cursor >> level);
+    cursor += uint64_t{1} << level;
+    if (cursor == 0) break;  // wrapped past the 64-bit domain edge
+  }
+  return total;
+}
+
+StatusOr<uint64_t> SkimmedSketch::EstimateQuantile(double phi) const {
+  if (!dyadic_.has_value()) {
+    return FailedPreconditionError(
+        "quantile estimation requires use_dyadic_skim");
+  }
+  SKIMJOIN_CHECK(phi > 0.0 && phi <= 1.0) << "phi must be in (0, 1]";
+  const uint64_t top = dyadic_->num_levels();
+  const double n = std::max<double>(
+      0.0, static_cast<double>(dyadic_->PointEstimate(top, 0)));
+  if (n <= 0.0) {
+    return FailedPreconditionError(
+        "quantiles are undefined on an empty (or delete-dominated) stream");
+  }
+  const double target = phi * n;
+  double mass_before = 0.0;
+  uint64_t prefix = 0;
+  // Binary descent: at each level inspect the left child's estimated mass.
+  for (uint64_t level = top; level >= 1; --level) {
+    const uint64_t left_child = prefix * 2;
+    const int64_t raw =
+        (level == 1) ? level0_.PointEstimate(left_child)
+                     : dyadic_->PointEstimate(level - 1, left_child);
+    const double left_mass = std::max<double>(0.0, static_cast<double>(raw));
+    if (mass_before + left_mass >= target) {
+      prefix = left_child;
+    } else {
+      mass_before += left_mass;
+      prefix = left_child + 1;
+    }
+  }
+  return prefix;
+}
+
+Status SkimmedSketch::SerializeTo(std::ostream& out) const {
+  const auto saved_precision = out.precision(17);
+  out << "skimjoin.skimmed_sketch v1\n"
+      << config_.domain_size << ' ' << config_.num_tables << ' '
+      << config_.num_buckets << ' ' << (config_.use_dyadic_skim ? 1 : 0) << ' '
+      << config_.dyadic_num_buckets << ' ' << config_.threshold_scale << ' '
+      << config_.min_threshold << ' ' << config_.recurse_slack << ' '
+      << config_.skim_margin << ' ' << seed_ << '\n';
+  out.precision(saved_precision);
+  SKIMJOIN_RETURN_IF_ERROR(level0_.SerializeTo(out));
+  if (dyadic_.has_value()) {
+    SKIMJOIN_RETURN_IF_ERROR(dyadic_->SerializeTo(out));
+  }
+  if (!out) return IoError("skimmed-sketch serialization failed");
+  return OkStatus();
+}
+
+StatusOr<SkimmedSketch> SkimmedSketch::DeserializeFrom(std::istream& in) {
+  std::string tag, version;
+  if (!(in >> tag >> version) || tag != "skimjoin.skimmed_sketch" ||
+      version != "v1") {
+    return InvalidArgumentError("not a skimjoin skimmed-sketch v1 record");
+  }
+  SkimmedSketchConfig config;
+  int use_dyadic = 0;
+  uint64_t seed = 0;
+  if (!(in >> config.domain_size >> config.num_tables >> config.num_buckets >>
+        use_dyadic >> config.dyadic_num_buckets >> config.threshold_scale >>
+        config.min_threshold >> config.recurse_slack >> config.skim_margin >>
+        seed)) {
+    return InvalidArgumentError("malformed skimmed-sketch header");
+  }
+  config.use_dyadic_skim = (use_dyadic != 0);
+
+  StatusOr<sketch::HashSketch> level0 =
+      sketch::HashSketch::DeserializeFrom(in);
+  SKIMJOIN_RETURN_IF_ERROR(level0.status());
+  if (level0->config().num_tables != config.num_tables ||
+      level0->config().num_buckets != config.num_buckets ||
+      level0->seed() != seed) {
+    return InvalidArgumentError(
+        "skimmed-sketch level-0 record disagrees with its header");
+  }
+  std::optional<DyadicSkimmer> dyadic;
+  if (config.use_dyadic_skim) {
+    StatusOr<DyadicSkimmer> skimmer = DyadicSkimmer::DeserializeFrom(in);
+    SKIMJOIN_RETURN_IF_ERROR(skimmer.status());
+    if (skimmer->domain_size() != config.domain_size) {
+      return InvalidArgumentError(
+          "skimmed-sketch dyadic record disagrees with its header");
+    }
+    dyadic = *std::move(skimmer);
+  }
+  return SkimmedSketch(config, seed, *std::move(level0), std::move(dyadic));
+}
+
+uint64_t SkimmedSketch::TotalCounters() const {
+  uint64_t total = level0_.config().TotalCounters();
+  if (dyadic_.has_value()) total += dyadic_->TotalCounters();
+  return total;
+}
+
+}  // namespace core
+}  // namespace skimjoin

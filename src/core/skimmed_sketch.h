@@ -1,0 +1,204 @@
+// The skimmed-sketch join-size estimator (§4.3, Fig. 4 of the paper) — the
+// library's primary public API.
+//
+// A SkimmedSketch maintains, in one pass over a stream of inserts and
+// deletes, a level-0 hash sketch (and, optionally, the dyadic auxiliary
+// sketches that make skimming domain-scan-free). Estimating COUNT(F ⋈ G)
+// from two compatible SkimmedSketches:
+//
+//   1. skim the dense frequencies Ê_F, Ê_G out of (copies of) both level-0
+//      sketches with SKIMDENSE,
+//   2. compute the dense·dense subjoin exactly,
+//   3. estimate dense·sparse and sparse·dense with ESTSUBJOINSIZE,
+//   4. estimate sparse·sparse with the bucket-product estimator,
+//   5. return the sum.
+//
+// Estimation never mutates the sketches (skimming happens on copies), so a
+// sketch can keep absorbing stream elements after being queried.
+
+#ifndef SKIMJOIN_CORE_SKIMMED_SKETCH_H_
+#define SKIMJOIN_CORE_SKIMMED_SKETCH_H_
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "core/dyadic_skim.h"
+#include "core/skim.h"
+#include "sketch/hash_sketch.h"
+#include "stream/frequency_vector.h"
+#include "stream/stream_element.h"
+#include "util/status.h"
+
+namespace skimjoin {
+namespace core {
+
+/// Configuration of a SkimmedSketch.
+struct SkimmedSketchConfig {
+  /// Stream domain [0, domain_size). Must be a power of two when
+  /// use_dyadic_skim is set (dyadic intervals halve the domain per level).
+  uint64_t domain_size = 1u << 16;
+
+  /// s: hash tables in the level-0 sketch (odd keeps medians unambiguous).
+  uint64_t num_tables = 7;
+
+  /// b: buckets per level-0 table. The skimming threshold and the
+  /// sparse-subjoin error both scale like 1/sqrt(b).
+  uint64_t num_buckets = 512;
+
+  /// Maintain the dyadic auxiliary sketches (O(s·log m) per element) so that
+  /// skimming costs O((n/T)·log m) instead of a full domain scan. Accuracy
+  /// benchmarks disable this and use the domain scan so that *all* counters
+  /// at a given space budget go to the level-0 sketch.
+  bool use_dyadic_skim = true;
+
+  /// Buckets per auxiliary (level >= 1) table; 0 means num_buckets.
+  uint64_t dyadic_num_buckets = 0;
+
+  /// c in the skim threshold T = max(min_threshold,
+  /// c·sqrt(max(F2̂, 0)/num_buckets)); F2̂ is the sketch's own self-join
+  /// estimate. This is the Θ(n/sqrt(b)) scale of §4.2; the constant is an
+  /// ablation knob (bench_ablation).
+  double threshold_scale = 2.0;
+
+  /// Floor for the skim threshold (values this frequent are never "dense"
+  /// by less).
+  int64_t min_threshold = 2;
+
+  /// Dyadic search slack in (0, 1]: an interval is expanded when its
+  /// estimate passes slack·T. Smaller improves dense-value recall at extra
+  /// search cost.
+  double recurse_slack = 0.5;
+
+  /// Conservative-skim margin in [0, 1): a dense value's skimmed amount is
+  /// its estimate minus skim_margin·T, keeping Ê ≤ f with high probability
+  /// (the Theorem 4 variant) at the cost of extra residual mass. 0 (the
+  /// default) skims the full estimate, exactly as in Fig. 3.
+  double skim_margin = 0.0;
+};
+
+/// Per-subjoin breakdown of one join-size estimate, for diagnostics,
+/// examples and the benchmark tables.
+struct JoinEstimateBreakdown {
+  double dense_dense = 0.0;
+  double dense_sparse = 0.0;
+  double sparse_dense = 0.0;
+  double sparse_sparse = 0.0;
+  int64_t threshold_f = 0;
+  int64_t threshold_g = 0;
+  uint64_t dense_count_f = 0;
+  uint64_t dense_count_g = 0;
+
+  double Total() const {
+    return dense_dense + dense_sparse + sparse_dense + sparse_sparse;
+  }
+};
+
+/// One skimmed-sketch synopsis for one stream. Copyable.
+class SkimmedSketch {
+ public:
+  /// Validates `config`; families derive from `seed`. Two sketches with
+  /// equal (config, seed) are compatible for join estimation.
+  static StatusOr<SkimmedSketch> Create(const SkimmedSketchConfig& config,
+                                        uint64_t seed);
+
+  /// Applies one stream arrival: O(num_tables) without dyadic maintenance,
+  /// O(num_tables · log2(domain_size)) with it.
+  void Update(uint64_t value, int64_t weight);
+
+  void Update(const stream::StreamElement& element) {
+    Update(element.value, element.weight);
+  }
+
+  /// Folds a whole frequency vector in (linearity).
+  void Absorb(const stream::FrequencyVector& frequencies);
+
+  /// Merges a compatible sketch (summarizes the concatenated streams).
+  /// Pre-condition: CompatibleWith(other).
+  void Merge(const SkimmedSketch& other);
+
+  /// The full ESTSKIMJOINSIZE estimate of COUNT(F ⋈ G). INVALID_ARGUMENT
+  /// for incompatible synopses.
+  static StatusOr<double> EstimateJoinSize(const SkimmedSketch& f,
+                                           const SkimmedSketch& g);
+
+  /// As EstimateJoinSize, but returns the per-subjoin breakdown.
+  static StatusOr<JoinEstimateBreakdown> EstimateJoinSizeDetailed(
+      const SkimmedSketch& f, const SkimmedSketch& g);
+
+  /// Self-join (F2) estimate with skimming — the F = G special case.
+  double EstimateSelfJoinSize() const;
+
+  /// COUNTSKETCH point estimate of one value's frequency.
+  int64_t EstimatePointFrequency(uint64_t value) const {
+    return level0_.PointEstimate(value);
+  }
+
+  /// Estimated total frequency of the value range [lo, hi] (inclusive),
+  /// answered from the canonical dyadic cover — O(log m) interval point
+  /// estimates instead of hi−lo+1 value estimates. Requires
+  /// use_dyadic_skim; FAILED_PRECONDITION otherwise. OUT_OF_RANGE when the
+  /// range leaves the domain; INVALID_ARGUMENT when lo > hi.
+  StatusOr<int64_t> EstimateRangeFrequency(uint64_t lo, uint64_t hi) const;
+
+  /// Estimated φ-quantile of the stream's value distribution: the smallest
+  /// value v whose estimated prefix frequency [0, v] reaches φ·n (n taken
+  /// from the top dyadic level). Binary descent over the dyadic tree,
+  /// O(log m) point estimates. Requires use_dyadic_skim and insert-dominated
+  /// streams (n > 0); pre-condition 0 < phi <= 1.
+  StatusOr<uint64_t> EstimateQuantile(double phi) const;
+
+  /// All values estimated at |frequency| >= threshold, with their estimates
+  /// (the skim step exposed as a heavy-hitter query; does not mutate the
+  /// sketch). Pre-condition: threshold >= 1.
+  DenseFrequencies HeavyHitters(int64_t threshold) const;
+
+  /// The data-adaptive skim threshold T the estimator would use right now.
+  int64_t SkimThreshold() const;
+
+  bool CompatibleWith(const SkimmedSketch& other) const;
+
+  /// Writes a self-describing text record (config, seed, all counters) so
+  /// per-site synopses can be shipped to a coordinator, deserialized,
+  /// merged, and joined — the distributed-monitoring deployment the
+  /// paper's introduction motivates. See examples/distributed_merge.cpp.
+  Status SerializeTo(std::ostream& out) const;
+
+  /// Reads a record written by SerializeTo.
+  static StatusOr<SkimmedSketch> DeserializeFrom(std::istream& in);
+
+  const SkimmedSketchConfig& config() const { return config_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Total counters held, including any dyadic auxiliary levels (the space
+  /// the benches account for).
+  uint64_t TotalCounters() const;
+
+  /// The level-0 sketch. Exposed for white-box tests.
+  const sketch::HashSketch& level0() const { return level0_; }
+
+ private:
+  SkimmedSketch(const SkimmedSketchConfig& config, uint64_t seed,
+                sketch::HashSketch level0, std::optional<DyadicSkimmer> dyadic);
+
+  /// Skims a COPY of the level-0 sketch; returns the dense vector, the
+  /// residual sketch, and the threshold used.
+  struct SkimOutput {
+    DenseFrequencies dense;
+    sketch::HashSketch skimmed;
+    int64_t threshold;
+  };
+  SkimOutput Skim() const;
+
+  SkimmedSketchConfig config_;
+  uint64_t seed_;
+  sketch::HashSketch level0_;
+  std::optional<DyadicSkimmer> dyadic_;
+};
+
+}  // namespace core
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_CORE_SKIMMED_SKETCH_H_

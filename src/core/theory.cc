@@ -1,0 +1,76 @@
+#include "core/theory.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace core {
+
+double AgmsAdditiveErrorBound(double f2_f, double f2_g, uint64_t num_means) {
+  SKIMJOIN_CHECK_GE(f2_f, 0.0);
+  SKIMJOIN_CHECK_GE(f2_g, 0.0);
+  SKIMJOIN_CHECK_GE(num_means, 1u);
+  return 4.0 * std::sqrt(f2_f * f2_g / static_cast<double>(num_means));
+}
+
+StatusOr<uint64_t> AgmsSpaceForError(double f2_f, double f2_g,
+                                     double join_size, double epsilon,
+                                     double delta) {
+  if (f2_f <= 0 || f2_g <= 0 || join_size <= 0 || epsilon <= 0 || delta <= 0 ||
+      delta >= 1) {
+    return InvalidArgumentError(
+        "AgmsSpaceForError needs positive moments/join/epsilon and delta in "
+        "(0, 1)");
+  }
+  // 4·sqrt(F2F·F2G/s1) <= ε·J  =>  s1 >= 16·F2F·F2G/(ε·J)².
+  const double s1 =
+      16.0 * f2_f * f2_g / ((epsilon * join_size) * (epsilon * join_size));
+  const double s2 = static_cast<double>(TablesForConfidence(delta));
+  return static_cast<uint64_t>(std::ceil(s1) * s2);
+}
+
+double SkimmedAdditiveErrorBound(double n_f, double n_g, uint64_t num_buckets,
+                                 double constant) {
+  SKIMJOIN_CHECK_GE(n_f, 0.0);
+  SKIMJOIN_CHECK_GE(n_g, 0.0);
+  SKIMJOIN_CHECK_GE(num_buckets, 1u);
+  SKIMJOIN_CHECK_GT(constant, 0.0);
+  return constant * n_f * n_g / static_cast<double>(num_buckets);
+}
+
+StatusOr<uint64_t> SkimmedBucketsForError(double n_f, double n_g,
+                                          double join_size, double epsilon,
+                                          double constant) {
+  if (n_f <= 0 || n_g <= 0 || join_size <= 0 || epsilon <= 0 ||
+      constant <= 0) {
+    return InvalidArgumentError(
+        "SkimmedBucketsForError needs positive stream sizes, join size, "
+        "epsilon, and constant");
+  }
+  // c·n_F·n_G/b <= ε·J  =>  b >= c·n_F·n_G/(ε·J).
+  return static_cast<uint64_t>(
+      std::ceil(constant * n_f * n_g / (epsilon * join_size)));
+}
+
+uint64_t TablesForConfidence(double delta) {
+  SKIMJOIN_CHECK(delta > 0.0 && delta < 1.0);
+  uint64_t tables = 1;
+  while (std::pow(2.0, -static_cast<double>(tables) / 2.0) > delta) {
+    tables += 2;  // keep the count odd for unambiguous medians
+  }
+  return tables;
+}
+
+StatusOr<uint64_t> JoinSizeSpaceLowerBound(double n, double join_size,
+                                           double epsilon) {
+  if (n <= 0 || join_size <= 0 || epsilon <= 0) {
+    return InvalidArgumentError(
+        "JoinSizeSpaceLowerBound needs positive n, join size, and epsilon");
+  }
+  return static_cast<uint64_t>(
+      std::ceil(n * n / (epsilon * join_size)));
+}
+
+}  // namespace core
+}  // namespace skimjoin

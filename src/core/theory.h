@@ -1,0 +1,64 @@
+// The paper's analytical guarantees as a programmable API: additive-error
+// envelopes for both estimators (Theorems 2 and 5) and the inverse
+// "how much space do I need?" calculators, including the Ω(n²/(ε·J)) lower
+// bound of Alon et al. that the skimmed-sketch estimator matches.
+//
+// These are ENVELOPES, not exact distributions: constants follow the
+// theorems, so measured errors are typically far below them (see
+// bench_theory, which verifies measured ≤ bound across seeds).
+
+#ifndef SKIMJOIN_CORE_THEORY_H_
+#define SKIMJOIN_CORE_THEORY_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace skimjoin {
+namespace core {
+
+/// Theorem 2 (Alon et al. '99): with s1 iid atomic sketches averaged per
+/// estimate, the basic-sketching join estimate errs by at most
+/// 4·sqrt(F2(F)·F2(G)/s1) additively, with probability >= 1 - 2^(-s2/2).
+/// Pre-conditions: non-negative moments, s1 >= 1.
+double AgmsAdditiveErrorBound(double f2_f, double f2_g, uint64_t num_means);
+
+/// Space (in counters, = s1·s2) that Theorem 2 requires for relative error
+/// `epsilon` on a join of size `join_size` with confidence 1 - delta.
+/// This is the O(F2(F)·F2(G) / (ε·J)²) basic-sketching space — the bound
+/// the paper improves on. INVALID_ARGUMENT on non-positive inputs.
+StatusOr<uint64_t> AgmsSpaceForError(double f2_f, double f2_g,
+                                     double join_size, double epsilon,
+                                     double delta);
+
+/// Theorem 5 / §3 analysis: after skimming at threshold T = Θ(n/sqrt(b)),
+/// every residual frequency is below T, so each of the three estimated
+/// subjoins errs by O(n_F·n_G/b); the bound returned is c·n_F·n_G/b with
+/// the theorem's constant c = 8 by default. Pre-condition: buckets >= 1.
+double SkimmedAdditiveErrorBound(double n_f, double n_g, uint64_t num_buckets,
+                                 double constant = 8.0);
+
+/// Buckets per table that Theorem 5 requires for relative error `epsilon`
+/// on a join of size at least `join_size`: b = c·n_F·n_G/(ε·J). Multiply by
+/// the table count for total counters. Matches the lower bound's
+/// n²/(ε·J) dependence. INVALID_ARGUMENT on non-positive inputs.
+StatusOr<uint64_t> SkimmedBucketsForError(double n_f, double n_g,
+                                          double join_size, double epsilon,
+                                          double constant = 8.0);
+
+/// Tables needed for confidence 1 - delta (median boosting over
+/// independent tables): the smallest odd s with 2^(-s/2) <= delta.
+/// Pre-condition: 0 < delta < 1.
+uint64_t TablesForConfidence(double delta);
+
+/// The Ω(n²/(ε·J)) lower bound of [Alon–Gibbons–Matias–Szegedy '99] on the
+/// space (counters) ANY streaming join-size estimator needs — what the
+/// skimmed-sketch estimator meets up to logarithmic factors and basic
+/// sketching misses quadratically. INVALID_ARGUMENT on non-positive inputs.
+StatusOr<uint64_t> JoinSizeSpaceLowerBound(double n, double join_size,
+                                           double epsilon);
+
+}  // namespace core
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_CORE_THEORY_H_

@@ -1,0 +1,79 @@
+#include "core/top_k.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace core {
+
+TopKTracker::TopKTracker(uint64_t k, sketch::HashSketch sketch)
+    : k_(k), sketch_(std::move(sketch)) {}
+
+StatusOr<TopKTracker> TopKTracker::Create(
+    uint64_t k, const sketch::HashSketchConfig& sketch_config, uint64_t seed) {
+  if (k == 0) {
+    return InvalidArgumentError("top-k tracking needs k >= 1");
+  }
+  StatusOr<sketch::HashSketch> sketch =
+      sketch::HashSketch::Create(sketch_config, seed);
+  SKIMJOIN_RETURN_IF_ERROR(sketch.status());
+  return TopKTracker(k, *std::move(sketch));
+}
+
+void TopKTracker::Update(uint64_t value, int64_t weight) {
+  sketch_.Update(value, weight);
+  const int64_t estimate = sketch_.PointEstimate(value);
+
+  const auto it = candidates_.find(value);
+  if (it != candidates_.end()) {
+    if (estimate <= 0) {
+      candidates_.erase(it);  // deleted below zero — no longer a candidate
+    } else {
+      it->second = estimate;
+    }
+    return;
+  }
+  if (estimate <= 0) return;
+  if (candidates_.size() < k_) {
+    candidates_.emplace(value, estimate);
+    return;
+  }
+  // Replace the weakest candidate if the newcomer beats it (re-estimate the
+  // incumbent so stale highs cannot squat).
+  auto weakest = candidates_.begin();
+  int64_t weakest_estimate = sketch_.PointEstimate(weakest->first);
+  for (auto candidate = std::next(candidates_.begin());
+       candidate != candidates_.end(); ++candidate) {
+    const int64_t current = sketch_.PointEstimate(candidate->first);
+    candidate->second = current;
+    if (current < weakest_estimate) {
+      weakest = candidate;
+      weakest_estimate = current;
+    }
+  }
+  weakest->second = weakest_estimate;
+  if (estimate > weakest_estimate) {
+    candidates_.erase(weakest);
+    candidates_.emplace(value, estimate);
+  }
+}
+
+std::vector<std::pair<uint64_t, int64_t>> TopKTracker::TopK() const {
+  std::vector<std::pair<uint64_t, int64_t>> result;
+  result.reserve(candidates_.size());
+  for (const auto& [value, stale] : candidates_) {
+    const int64_t estimate = sketch_.PointEstimate(value);
+    if (estimate > 0) result.emplace_back(value, estimate);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (result.size() > k_) result.resize(k_);
+  return result;
+}
+
+}  // namespace core
+}  // namespace skimjoin

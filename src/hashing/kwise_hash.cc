@@ -1,0 +1,37 @@
+#include "hashing/kwise_hash.h"
+
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace hashing {
+
+KWiseHash::KWiseHash(int independence, Rng* rng) {
+  SKIMJOIN_CHECK_GE(independence, 1);
+  SKIMJOIN_CHECK(rng != nullptr);
+  coefficients_.reserve(static_cast<size_t>(independence));
+  for (int i = 0; i < independence; ++i) {
+    coefficients_.push_back(rng->NextUint64Below(kMersennePrime61));
+  }
+  // Leading coefficient non-zero so the polynomial has exact degree.
+  if (independence > 1 && coefficients_.back() == 0) {
+    coefficients_.back() = 1 + rng->NextUint64Below(kMersennePrime61 - 1);
+  }
+}
+
+uint64_t KWiseHash::operator()(uint64_t x) const {
+  const uint64_t v = FoldToField61(x);
+  // Horner's rule, highest-degree coefficient first.
+  uint64_t acc = coefficients_.back();
+  for (size_t i = coefficients_.size() - 1; i-- > 0;) {
+    acc = AddMod61(MulMod61(acc, v), coefficients_[i]);
+  }
+  return acc;
+}
+
+BucketHash::BucketHash(uint64_t num_buckets, Rng* rng)
+    : hash_(/*independence=*/2, rng), num_buckets_(num_buckets) {
+  SKIMJOIN_CHECK_GE(num_buckets, 1u);
+}
+
+}  // namespace hashing
+}  // namespace skimjoin

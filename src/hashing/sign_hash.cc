@@ -1,0 +1,9 @@
+#include "hashing/sign_hash.h"
+
+namespace skimjoin {
+namespace hashing {
+
+SignHash::SignHash(Rng* rng) : hash_(/*independence=*/4, rng) {}
+
+}  // namespace hashing
+}  // namespace skimjoin

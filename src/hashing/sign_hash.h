@@ -1,0 +1,35 @@
+// Four-wise independent ±1 ("Rademacher") families ξ used by every
+// tug-of-war style sketch in the library. ξ(v) is the low bit of a 4-wise
+// independent hash of v mapped to {-1, +1}; four-wise independence of the
+// underlying family implies E[ξ_a ξ_b ξ_c ξ_d] factorizes for distinct
+// values, which is exactly the property the AGMS variance analysis needs.
+
+#ifndef SKIMJOIN_HASHING_SIGN_HASH_H_
+#define SKIMJOIN_HASHING_SIGN_HASH_H_
+
+#include <cstdint>
+
+#include "hashing/kwise_hash.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace hashing {
+
+/// One member of a four-wise independent ±1 family.
+class SignHash {
+ public:
+  explicit SignHash(Rng* rng);
+
+  /// Returns +1 or -1.
+  int64_t operator()(uint64_t x) const {
+    return ((hash_(x) & 1) == 0) ? int64_t{1} : int64_t{-1};
+  }
+
+ private:
+  KWiseHash hash_;
+};
+
+}  // namespace hashing
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_HASHING_SIGN_HASH_H_

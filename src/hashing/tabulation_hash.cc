@@ -1,0 +1,16 @@
+#include "hashing/tabulation_hash.h"
+
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace hashing {
+
+TabulationHash::TabulationHash(Rng* rng) {
+  SKIMJOIN_CHECK(rng != nullptr);
+  for (auto& table : tables_) {
+    for (uint64_t& word : table) word = rng->NextUint64();
+  }
+}
+
+}  // namespace hashing
+}  // namespace skimjoin

@@ -1,0 +1,54 @@
+// Simple tabulation hashing [Zobrist '70; Pătraşcu–Thorup '11]: the input is
+// split into 8 bytes, each byte indexes a table of random 64-bit words, and
+// the words are XORed. The family is 3-wise independent and behaves like a
+// fully random function in Chernoff-style applications.
+//
+// Provided as an alternative to the Carter–Wegman polynomials for the
+// hash-family ablation benchmark: table lookups trade memory for the
+// multiply-free evaluation some streaming deployments prefer. Note it is
+// NOT 4-wise independent, so the AGMS variance bound does not formally hold
+// with tabulation signs — the ablation measures how much that matters.
+
+#ifndef SKIMJOIN_HASHING_TABULATION_HASH_H_
+#define SKIMJOIN_HASHING_TABULATION_HASH_H_
+
+#include <array>
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace skimjoin {
+namespace hashing {
+
+/// One member of the simple-tabulation family over 64-bit keys.
+class TabulationHash {
+ public:
+  explicit TabulationHash(Rng* rng);
+
+  uint64_t operator()(uint64_t x) const {
+    uint64_t h = 0;
+    for (int i = 0; i < 8; ++i) {
+      h ^= tables_[i][(x >> (8 * i)) & 0xFF];
+    }
+    return h;
+  }
+
+  /// Bucket projection, for use as a drop-in bucket hash.
+  /// Pre-condition: num_buckets >= 1.
+  uint64_t Bucket(uint64_t x, uint64_t num_buckets) const {
+    return (*this)(x) % num_buckets;
+  }
+
+  /// ±1 projection, for use as a drop-in sign hash.
+  int64_t Sign(uint64_t x) const {
+    return (((*this)(x) & 1) == 0) ? int64_t{1} : int64_t{-1};
+  }
+
+ private:
+  std::array<std::array<uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace hashing
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_HASHING_TABULATION_HASH_H_

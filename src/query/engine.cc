@@ -1,0 +1,448 @@
+#include "query/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace query {
+
+StatusOr<StreamId> Engine::RegisterStream(const StreamSpec& spec) {
+  if (spec.name.empty()) {
+    return InvalidArgumentError("stream name must be non-empty");
+  }
+  if (spec.domain_size < 2) {
+    return InvalidArgumentError("stream domain_size must be >= 2");
+  }
+  if (stream_ids_.contains(spec.name)) {
+    return AlreadyExistsError("stream already registered: " + spec.name);
+  }
+  const StreamId id = streams_.size();
+  streams_.push_back(StreamState{spec, 0});
+  stream_ids_.emplace(spec.name, id);
+  return id;
+}
+
+StatusOr<StreamId> Engine::FindStream(const std::string& name) const {
+  const auto it = stream_ids_.find(name);
+  if (it == stream_ids_.end()) {
+    return NotFoundError("unknown stream: " + name);
+  }
+  return it->second;
+}
+
+StatusOr<QueryId> Engine::AddJoinQuery(const JoinQuerySpec& spec,
+                                       uint64_t seed) {
+  StatusOr<StreamId> left = FindStream(spec.left_stream);
+  SKIMJOIN_RETURN_IF_ERROR(left.status());
+  StatusOr<StreamId> right = FindStream(spec.right_stream);
+  SKIMJOIN_RETURN_IF_ERROR(right.status());
+  const StreamState& left_state = streams_[*left];
+  const StreamState& right_state = streams_[*right];
+  if (left_state.spec.domain_size != right_state.spec.domain_size) {
+    return InvalidArgumentError(
+        "join streams must share a domain: " + spec.left_stream + " vs " +
+        spec.right_stream);
+  }
+
+  core::EstimatorSpec estimator_spec = spec.estimator;
+  estimator_spec.domain_size = left_state.spec.domain_size;
+  StatusOr<std::unique_ptr<core::JoinEstimatorPair>> pair =
+      core::CreateJoinEstimatorPair(estimator_spec, seed);
+  SKIMJOIN_RETURN_IF_ERROR(pair.status());
+
+  const QueryId id = next_query_id_++;
+  join_queries_.emplace(
+      id, JoinQueryState{std::move(*pair), *left, *right, spec.left_input,
+                         spec.right_input, spec.left_predicate,
+                         spec.right_predicate});
+  return id;
+}
+
+StatusOr<QueryId> Engine::AddSelfJoinQuery(const SelfJoinQuerySpec& spec,
+                                           uint64_t seed) {
+  JoinQuerySpec join_spec;
+  join_spec.left_stream = spec.stream;
+  join_spec.right_stream = spec.stream;
+  join_spec.estimator = spec.estimator;
+  join_spec.left_input = spec.input;
+  join_spec.right_input = spec.input;
+  join_spec.left_predicate = spec.predicate;
+  join_spec.right_predicate = spec.predicate;
+  return AddJoinQuery(join_spec, seed);
+}
+
+StatusOr<QueryId> Engine::AddFrequencyQuery(const FrequencyQuerySpec& spec,
+                                            uint64_t seed) {
+  StatusOr<StreamId> stream = FindStream(spec.stream);
+  SKIMJOIN_RETURN_IF_ERROR(stream.status());
+  if (spec.num_tables < 1 || spec.space_counters < spec.num_tables) {
+    return InvalidArgumentError(
+        "frequency query needs 1 <= num_tables <= space_counters");
+  }
+
+  core::SkimmedSketchConfig config;
+  config.domain_size = streams_[*stream].spec.domain_size;
+  config.num_tables = spec.num_tables;
+  config.use_dyadic_skim = spec.use_dyadic;
+  if (spec.use_dyadic) {
+    config.num_buckets = std::max<uint64_t>(
+        1, spec.space_counters / (2 * spec.num_tables));
+    uint64_t levels = 0;
+    while ((uint64_t{1} << levels) < config.domain_size) ++levels;
+    config.dyadic_num_buckets = std::max<uint64_t>(
+        1, spec.space_counters / (2 * spec.num_tables * levels));
+  } else {
+    config.num_buckets =
+        std::max<uint64_t>(1, spec.space_counters / spec.num_tables);
+  }
+  StatusOr<core::SkimmedSketch> sketch =
+      core::SkimmedSketch::Create(config, seed);
+  SKIMJOIN_RETURN_IF_ERROR(sketch.status());
+
+  const QueryId id = next_query_id_++;
+  frequency_queries_.emplace(
+      id, FrequencyQueryState{*std::move(sketch), *stream, spec.predicate});
+  return id;
+}
+
+StatusOr<QueryId> Engine::AddDistinctCountQuery(
+    const DistinctCountQuerySpec& spec, uint64_t seed) {
+  StatusOr<StreamId> stream = FindStream(spec.stream);
+  SKIMJOIN_RETURN_IF_ERROR(stream.status());
+  StatusOr<sketch::FmSketch> sketch =
+      sketch::FmSketch::Create(spec.num_maps, seed);
+  SKIMJOIN_RETURN_IF_ERROR(sketch.status());
+  const QueryId id = next_query_id_++;
+  distinct_queries_.emplace(
+      id, DistinctQueryState{*std::move(sketch), *stream, spec.predicate});
+  return id;
+}
+
+StatusOr<QueryId> Engine::AddTopKQuery(const TopKQuerySpec& spec,
+                                       uint64_t seed) {
+  StatusOr<StreamId> stream = FindStream(spec.stream);
+  SKIMJOIN_RETURN_IF_ERROR(stream.status());
+  if (spec.num_tables < 1 || spec.space_counters < spec.num_tables) {
+    return InvalidArgumentError(
+        "top-k query needs 1 <= num_tables <= space_counters");
+  }
+  sketch::HashSketchConfig config;
+  config.num_tables = spec.num_tables;
+  config.num_buckets =
+      std::max<uint64_t>(1, spec.space_counters / spec.num_tables);
+  StatusOr<core::TopKTracker> tracker =
+      core::TopKTracker::Create(spec.k, config, seed);
+  SKIMJOIN_RETURN_IF_ERROR(tracker.status());
+  const QueryId id = next_query_id_++;
+  topk_queries_.emplace(
+      id, TopKQueryState{*std::move(tracker), *stream, spec.predicate});
+  return id;
+}
+
+StatusOr<QueryId> Engine::AddQuantileQuery(const QuantileQuerySpec& spec) {
+  StatusOr<StreamId> stream = FindStream(spec.stream);
+  SKIMJOIN_RETURN_IF_ERROR(stream.status());
+  StatusOr<stream::GkQuantileSummary> summary =
+      stream::GkQuantileSummary::Create(spec.epsilon);
+  SKIMJOIN_RETURN_IF_ERROR(summary.status());
+  const QueryId id = next_query_id_++;
+  quantile_queries_.emplace(
+      id, QuantileQueryState{*std::move(summary), *stream, spec.predicate});
+  return id;
+}
+
+StatusOr<QueryId> Engine::AddRangeSumQuery(const RangeSumQuerySpec& spec) {
+  StatusOr<StreamId> stream = FindStream(spec.stream);
+  SKIMJOIN_RETURN_IF_ERROR(stream.status());
+  if (spec.coefficient_budget < 1) {
+    return InvalidArgumentError("coefficient_budget must be >= 1");
+  }
+  StatusOr<stream::WaveletSynopsis> synopsis =
+      stream::WaveletSynopsis::Create(streams_[*stream].spec.domain_size);
+  SKIMJOIN_RETURN_IF_ERROR(synopsis.status());
+  const QueryId id = next_query_id_++;
+  range_sum_queries_.emplace(
+      id, RangeSumQueryState{*std::move(synopsis), *stream,
+                             spec.coefficient_budget, spec.predicate});
+  return id;
+}
+
+StatusOr<StreamId> Engine::RegisterRelation(const RelationSpec& spec) {
+  if (spec.name.empty()) {
+    return InvalidArgumentError("relation name must be non-empty");
+  }
+  if (spec.arity < 1 || spec.arity > 2) {
+    return InvalidArgumentError(
+        "chain-join relations carry 1 (end) or 2 (interior) join attributes");
+  }
+  if (spec.domain_size < 2) {
+    return InvalidArgumentError("relation domain_size must be >= 2");
+  }
+  if (relation_ids_.contains(spec.name) || stream_ids_.contains(spec.name)) {
+    return AlreadyExistsError("name already registered: " + spec.name);
+  }
+  const StreamId id = relations_.size();
+  relations_.push_back(RelationState{spec, 0});
+  relation_ids_.emplace(spec.name, id);
+  return id;
+}
+
+StatusOr<StreamId> Engine::FindRelation(const std::string& name) const {
+  const auto it = relation_ids_.find(name);
+  if (it == relation_ids_.end()) {
+    return NotFoundError("unknown relation: " + name);
+  }
+  return it->second;
+}
+
+StatusOr<QueryId> Engine::AddChainJoinQuery(const ChainJoinQuerySpec& spec,
+                                            uint64_t seed) {
+  if (spec.relations.size() < 2) {
+    return InvalidArgumentError("a chain join needs >= 2 relations");
+  }
+  std::vector<StreamId> chain;
+  chain.reserve(spec.relations.size());
+  for (size_t position = 0; position < spec.relations.size(); ++position) {
+    StatusOr<StreamId> id = FindRelation(spec.relations[position]);
+    SKIMJOIN_RETURN_IF_ERROR(id.status());
+    const bool is_end =
+        (position == 0 || position + 1 == spec.relations.size());
+    const uint64_t expected_arity = is_end ? 1 : 2;
+    if (relations_[*id].spec.arity != expected_arity) {
+      return InvalidArgumentError(
+          "relation " + spec.relations[position] + " has arity " +
+          std::to_string(relations_[*id].spec.arity) + " but chain position " +
+          std::to_string(position) + " requires arity " +
+          std::to_string(expected_arity));
+    }
+    chain.push_back(*id);
+  }
+
+  ChainJoinQueryState state;
+  state.chain = std::move(chain);
+  if (spec.method == ChainJoinQuerySpec::Method::kAgmsGrid) {
+    MultiJoinConfig config;
+    config.num_means = spec.num_means;
+    config.num_medians = spec.num_medians;
+    config.relation_attributes.push_back({0});
+    for (size_t r = 1; r + 1 < spec.relations.size(); ++r) {
+      config.relation_attributes.push_back({r - 1, r});
+    }
+    config.relation_attributes.push_back({spec.relations.size() - 2});
+    StatusOr<MultiJoinEstimator> grid = MultiJoinEstimator::Create(config, seed);
+    SKIMJOIN_RETURN_IF_ERROR(grid.status());
+    state.grid = *std::move(grid);
+  } else {
+    MultiJoinHashConfig config;
+    config.num_relations = spec.relations.size();
+    config.num_tables = spec.num_tables;
+    config.num_buckets = spec.num_buckets;
+    StatusOr<MultiJoinHashEstimator> hashed =
+        MultiJoinHashEstimator::Create(config, seed);
+    SKIMJOIN_RETURN_IF_ERROR(hashed.status());
+    state.hashed = *std::move(hashed);
+  }
+  const QueryId id = next_query_id_++;
+  chain_queries_.emplace(id, std::move(state));
+  return id;
+}
+
+Status Engine::UpdateRelation(const std::string& relation,
+                              const std::vector<uint64_t>& attributes,
+                              int64_t weight) {
+  StatusOr<StreamId> id = FindRelation(relation);
+  SKIMJOIN_RETURN_IF_ERROR(id.status());
+  RelationState& state = relations_[*id];
+  if (attributes.size() != state.spec.arity) {
+    return InvalidArgumentError(
+        "relation " + relation + " expects " +
+        std::to_string(state.spec.arity) + " attribute values, got " +
+        std::to_string(attributes.size()));
+  }
+  for (uint64_t value : attributes) {
+    if (value >= state.spec.domain_size) {
+      return OutOfRangeError("attribute value outside the domain of " +
+                             relation);
+    }
+  }
+  state.tuple_count += weight;
+
+  for (auto& [query_id, q] : chain_queries_) {
+    for (size_t position = 0; position < q.chain.size(); ++position) {
+      if (q.chain[position] != *id) continue;
+      if (q.grid.has_value()) {
+        SKIMJOIN_RETURN_IF_ERROR(q.grid->Update(position, attributes, weight));
+      } else {
+        const bool is_end =
+            (position == 0 || position + 1 == q.chain.size());
+        if (is_end) {
+          SKIMJOIN_RETURN_IF_ERROR(
+              q.hashed->UpdateEnd(position, attributes[0], weight));
+        } else {
+          SKIMJOIN_RETURN_IF_ERROR(q.hashed->UpdateMiddle(
+              position, attributes[0], attributes[1], weight));
+        }
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status Engine::Update(const std::string& stream, const StreamUpdate& update) {
+  StatusOr<StreamId> id = FindStream(stream);
+  SKIMJOIN_RETURN_IF_ERROR(id.status());
+  return Update(*id, update);
+}
+
+Status Engine::Update(StreamId stream, const StreamUpdate& update) {
+  if (stream >= streams_.size()) {
+    return NotFoundError("unknown stream id");
+  }
+  StreamState& state = streams_[stream];
+  if (update.value >= state.spec.domain_size) {
+    return OutOfRangeError("value outside the domain of stream " +
+                           state.spec.name);
+  }
+  state.element_count += update.count;
+
+  for (auto& [id, q] : join_queries_) {
+    if (q.left == stream &&
+        (!q.left_predicate || q.left_predicate->Matches(update.value))) {
+      const int64_t weight = WeightFor(q.left_input, update);
+      if (weight != 0) q.estimator->UpdateF(update.value, weight);
+    }
+    if (q.right == stream &&
+        (!q.right_predicate || q.right_predicate->Matches(update.value))) {
+      const int64_t weight = WeightFor(q.right_input, update);
+      if (weight != 0) q.estimator->UpdateG(update.value, weight);
+    }
+  }
+  for (auto& [id, q] : frequency_queries_) {
+    if (q.stream == stream &&
+        (!q.predicate || q.predicate->Matches(update.value))) {
+      if (update.count != 0) q.sketch.Update(update.value, update.count);
+    }
+  }
+  for (auto& [id, q] : distinct_queries_) {
+    if (q.stream == stream &&
+        (!q.predicate || q.predicate->Matches(update.value))) {
+      if (update.count != 0) q.sketch.Update(update.value, update.count);
+    }
+  }
+  for (auto& [id, q] : topk_queries_) {
+    if (q.stream == stream &&
+        (!q.predicate || q.predicate->Matches(update.value))) {
+      if (update.count != 0) q.tracker.Update(update.value, update.count);
+    }
+  }
+  for (auto& [id, q] : quantile_queries_) {
+    if (q.stream == stream &&
+        (!q.predicate || q.predicate->Matches(update.value))) {
+      // GK summaries are insert-only; deletes are documented as ignored.
+      for (int64_t i = 0; i < update.count; ++i) q.summary.Insert(update.value);
+    }
+  }
+  for (auto& [id, q] : range_sum_queries_) {
+    if (q.stream == stream &&
+        (!q.predicate || q.predicate->Matches(update.value))) {
+      if (update.count != 0) {
+        q.synopsis.Update(update.value, update.count);
+        // Keep the synopsis a B-term summary (with slack so compression is
+        // amortized, not per-update).
+        if (q.synopsis.CoefficientCount() > 2 * q.coefficient_budget) {
+          q.synopsis.CompressTo(q.coefficient_budget);
+        }
+      }
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<double> Engine::AnswerJoin(QueryId query) const {
+  const auto it = join_queries_.find(query);
+  if (it == join_queries_.end()) {
+    return NotFoundError("unknown join query id");
+  }
+  return it->second.estimator->Estimate();
+}
+
+StatusOr<int64_t> Engine::AnswerPointFrequency(QueryId query,
+                                               uint64_t value) const {
+  const auto it = frequency_queries_.find(query);
+  if (it == frequency_queries_.end()) {
+    return NotFoundError("unknown frequency query id");
+  }
+  const StreamState& state = streams_[it->second.stream];
+  if (value >= state.spec.domain_size) {
+    return OutOfRangeError("value outside the domain of stream " +
+                           state.spec.name);
+  }
+  return it->second.sketch.EstimatePointFrequency(value);
+}
+
+StatusOr<core::DenseFrequencies> Engine::AnswerHeavyHitters(
+    QueryId query, int64_t threshold) const {
+  const auto it = frequency_queries_.find(query);
+  if (it == frequency_queries_.end()) {
+    return NotFoundError("unknown frequency query id");
+  }
+  if (threshold < 1) {
+    return InvalidArgumentError("heavy-hitter threshold must be >= 1");
+  }
+  return it->second.sketch.HeavyHitters(threshold);
+}
+
+StatusOr<double> Engine::AnswerDistinctCount(QueryId query) const {
+  const auto it = distinct_queries_.find(query);
+  if (it == distinct_queries_.end()) {
+    return NotFoundError("unknown distinct-count query id");
+  }
+  return it->second.sketch.EstimateDistinctCount();
+}
+
+StatusOr<std::vector<std::pair<uint64_t, int64_t>>> Engine::AnswerTopK(
+    QueryId query) const {
+  const auto it = topk_queries_.find(query);
+  if (it == topk_queries_.end()) {
+    return NotFoundError("unknown top-k query id");
+  }
+  return it->second.tracker.TopK();
+}
+
+StatusOr<uint64_t> Engine::AnswerQuantile(QueryId query, double phi) const {
+  const auto it = quantile_queries_.find(query);
+  if (it == quantile_queries_.end()) {
+    return NotFoundError("unknown quantile query id");
+  }
+  return it->second.summary.Quantile(phi);
+}
+
+StatusOr<double> Engine::AnswerRangeSum(QueryId query, uint64_t lo,
+                                        uint64_t hi) const {
+  const auto it = range_sum_queries_.find(query);
+  if (it == range_sum_queries_.end()) {
+    return NotFoundError("unknown range-sum query id");
+  }
+  return it->second.synopsis.RangeSum(lo, hi);
+}
+
+StatusOr<double> Engine::AnswerChainJoin(QueryId query) const {
+  const auto it = chain_queries_.find(query);
+  if (it == chain_queries_.end()) {
+    return NotFoundError("unknown chain-join query id");
+  }
+  const ChainJoinQueryState& state = it->second;
+  return state.grid.has_value() ? state.grid->Estimate()
+                                : state.hashed->Estimate();
+}
+
+StatusOr<int64_t> Engine::StreamElementCount(const std::string& stream) const {
+  StatusOr<StreamId> id = FindStream(stream);
+  SKIMJOIN_RETURN_IF_ERROR(id.status());
+  return streams_[*id].element_count;
+}
+
+}  // namespace query
+}  // namespace skimjoin

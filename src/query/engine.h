@@ -1,0 +1,241 @@
+// The stream query-processing engine of Fig. 1: registered streams, a set
+// of standing approximate queries, and single-pass synopsis maintenance.
+//
+// Usage:
+//   Engine engine;
+//   auto f = engine.RegisterStream({"packets.src", 1u << 16});
+//   auto q = engine.AddJoinQuery({.left_stream = "packets.src", ...});
+//   engine.Update("packets.src", {.value = 443, .count = 1});
+//   auto size = engine.AnswerJoin(*q);
+//
+// Every registered query owns its own synopses; an arriving element fans
+// out to every synopsis subscribed to its stream (after per-query selection
+// predicates). Synopses see each element exactly once, in arrival order —
+// the single-pass constraint of §2.1.
+
+#ifndef SKIMJOIN_QUERY_ENGINE_H_
+#define SKIMJOIN_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/join_estimators.h"
+#include "core/skimmed_sketch.h"
+#include "core/top_k.h"
+#include "query/multi_join.h"
+#include "query/multi_join_hash.h"
+#include "query/query.h"
+#include "sketch/fm_sketch.h"
+#include "stream/gk_quantiles.h"
+#include "stream/wavelet.h"
+#include "util/status.h"
+
+namespace skimjoin {
+namespace query {
+
+/// One stream arrival as seen by the engine: the join-attribute value, the
+/// count delta (+1 insert / -1 delete), and an optional measure value for
+/// SUM aggregates.
+struct StreamUpdate {
+  uint64_t value = 0;
+  int64_t count = 1;
+  int64_t measure = 0;
+};
+
+/// The engine. Not thread-safe; callers serialize access per the
+/// single-pass stream model.
+class Engine {
+ public:
+  Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers a stream. ALREADY_EXISTS if the name is taken;
+  /// INVALID_ARGUMENT for an empty name or domain < 2.
+  StatusOr<StreamId> RegisterStream(const StreamSpec& spec);
+
+  /// Registers AGG(left ⋈ right). Both streams must already be registered
+  /// with equal domains (NOT_FOUND / INVALID_ARGUMENT otherwise). All query
+  /// randomness derives from `seed`.
+  StatusOr<QueryId> AddJoinQuery(const JoinQuerySpec& spec, uint64_t seed);
+
+  /// Registers AGG(stream ⋈ stream).
+  StatusOr<QueryId> AddSelfJoinQuery(const SelfJoinQuerySpec& spec,
+                                     uint64_t seed);
+
+  /// Registers point-frequency / heavy-hitter tracking over one stream.
+  StatusOr<QueryId> AddFrequencyQuery(const FrequencyQuerySpec& spec,
+                                      uint64_t seed);
+
+  /// Registers a COUNT DISTINCT query over one stream (Flajolet–Martin
+  /// synopsis with `num_maps` bit maps).
+  StatusOr<QueryId> AddDistinctCountQuery(const DistinctCountQuerySpec& spec,
+                                          uint64_t seed);
+
+  /// Registers a continuous top-k frequent-values query over one stream.
+  StatusOr<QueryId> AddTopKQuery(const TopKQuerySpec& spec, uint64_t seed);
+
+  /// Registers a deterministic quantile query (GK summary; insert-only —
+  /// deletes on the stream are ignored by this query).
+  StatusOr<QueryId> AddQuantileQuery(const QuantileQuerySpec& spec);
+
+  /// Registers wavelet-backed range-sum tracking over one stream. The
+  /// stream's domain must be a power of two.
+  StatusOr<QueryId> AddRangeSumQuery(const RangeSumQuerySpec& spec);
+
+  /// Registers a multi-attribute relation stream for chain-join queries.
+  /// ALREADY_EXISTS if the name collides with a stream or relation.
+  StatusOr<StreamId> RegisterRelation(const RelationSpec& spec);
+
+  /// Registers COUNT over a chain of >= 2 registered relations. End
+  /// relations must have arity 1 and interior relations arity 2.
+  StatusOr<QueryId> AddChainJoinQuery(const ChainJoinQuerySpec& spec,
+                                      uint64_t seed);
+
+  /// Feeds one tuple into a registered relation: `attributes` carries its
+  /// join-attribute values in schema order. NOT_FOUND / INVALID_ARGUMENT /
+  /// OUT_OF_RANGE for unknown relations, arity mismatches, or out-of-domain
+  /// values.
+  Status UpdateRelation(const std::string& relation,
+                        const std::vector<uint64_t>& attributes,
+                        int64_t weight);
+
+  /// Feeds one element into every subscribed synopsis. NOT_FOUND for an
+  /// unknown stream; OUT_OF_RANGE if update.value is outside the stream's
+  /// domain.
+  Status Update(const std::string& stream, const StreamUpdate& update);
+  Status Update(StreamId stream, const StreamUpdate& update);
+
+  /// Current estimate of a join or self-join query.
+  StatusOr<double> AnswerJoin(QueryId query) const;
+
+  /// Current point-frequency estimate from a frequency query.
+  StatusOr<int64_t> AnswerPointFrequency(QueryId query, uint64_t value) const;
+
+  /// Values currently estimated at |frequency| >= threshold.
+  StatusOr<core::DenseFrequencies> AnswerHeavyHitters(QueryId query,
+                                                      int64_t threshold) const;
+
+  /// Current COUNT DISTINCT estimate from a distinct-count query.
+  StatusOr<double> AnswerDistinctCount(QueryId query) const;
+
+  /// Current top-k values with estimated frequencies, best first.
+  StatusOr<std::vector<std::pair<uint64_t, int64_t>>> AnswerTopK(
+      QueryId query) const;
+
+  /// Current φ-quantile of a quantile query's insert stream.
+  StatusOr<uint64_t> AnswerQuantile(QueryId query, double phi) const;
+
+  /// Current estimated sum of frequencies over [lo, hi] from a range-sum
+  /// query's compressed wavelet synopsis.
+  StatusOr<double> AnswerRangeSum(QueryId query, uint64_t lo,
+                                  uint64_t hi) const;
+
+  /// Current chain-join COUNT estimate.
+  StatusOr<double> AnswerChainJoin(QueryId query) const;
+
+  /// Net element count (inserts minus deletes) seen on a stream.
+  StatusOr<int64_t> StreamElementCount(const std::string& stream) const;
+
+  uint64_t num_streams() const { return streams_.size(); }
+  uint64_t num_relations() const { return relations_.size(); }
+  uint64_t num_queries() const {
+    return join_queries_.size() + frequency_queries_.size() +
+           distinct_queries_.size() + topk_queries_.size() +
+           quantile_queries_.size() + range_sum_queries_.size() +
+           chain_queries_.size();
+  }
+
+ private:
+  struct StreamState {
+    StreamSpec spec;
+    int64_t element_count = 0;
+  };
+
+  /// A join (or self-join) query: the estimator pair plus the routing data
+  /// needed to feed it.
+  struct JoinQueryState {
+    std::unique_ptr<core::JoinEstimatorPair> estimator;
+    StreamId left;
+    StreamId right;
+    AggregateInput left_input;
+    AggregateInput right_input;
+    std::optional<RangePredicate> left_predicate;
+    std::optional<RangePredicate> right_predicate;
+  };
+
+  struct FrequencyQueryState {
+    core::SkimmedSketch sketch;
+    StreamId stream;
+    std::optional<RangePredicate> predicate;
+  };
+
+  struct DistinctQueryState {
+    sketch::FmSketch sketch;
+    StreamId stream;
+    std::optional<RangePredicate> predicate;
+  };
+
+  struct TopKQueryState {
+    core::TopKTracker tracker;
+    StreamId stream;
+    std::optional<RangePredicate> predicate;
+  };
+
+  struct QuantileQueryState {
+    stream::GkQuantileSummary summary;
+    StreamId stream;
+    std::optional<RangePredicate> predicate;
+  };
+
+  struct RangeSumQueryState {
+    stream::WaveletSynopsis synopsis;
+    StreamId stream;
+    uint64_t coefficient_budget;
+    std::optional<RangePredicate> predicate;
+  };
+
+  struct RelationState {
+    RelationSpec spec;
+    int64_t tuple_count = 0;
+  };
+
+  /// A chain-join query: one of the two estimator structures plus the
+  /// relation ids in chain order (a relation may appear once per query).
+  struct ChainJoinQueryState {
+    std::optional<MultiJoinEstimator> grid;
+    std::optional<MultiJoinHashEstimator> hashed;
+    std::vector<StreamId> chain;  // relation ids, chain order
+  };
+
+  StatusOr<StreamId> FindStream(const std::string& name) const;
+
+  static int64_t WeightFor(AggregateInput input, const StreamUpdate& update) {
+    return input == AggregateInput::kCount ? update.count : update.measure;
+  }
+
+  StatusOr<StreamId> FindRelation(const std::string& name) const;
+
+  std::vector<StreamState> streams_;
+  std::unordered_map<std::string, StreamId> stream_ids_;
+  std::vector<RelationState> relations_;
+  std::unordered_map<std::string, StreamId> relation_ids_;
+  std::unordered_map<QueryId, JoinQueryState> join_queries_;
+  std::unordered_map<QueryId, FrequencyQueryState> frequency_queries_;
+  std::unordered_map<QueryId, DistinctQueryState> distinct_queries_;
+  std::unordered_map<QueryId, TopKQueryState> topk_queries_;
+  std::unordered_map<QueryId, QuantileQueryState> quantile_queries_;
+  std::unordered_map<QueryId, RangeSumQueryState> range_sum_queries_;
+  std::unordered_map<QueryId, ChainJoinQueryState> chain_queries_;
+  QueryId next_query_id_ = 1;
+};
+
+}  // namespace query
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_QUERY_ENGINE_H_

@@ -1,0 +1,106 @@
+#include "query/multi_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "sketch/sketch_seed.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace skimjoin {
+namespace query {
+
+MultiJoinEstimator::MultiJoinEstimator(const MultiJoinConfig& config,
+                                       uint64_t seed)
+    : config_(config) {
+  uint64_t num_attributes = 0;
+  for (const auto& attrs : config.relation_attributes) {
+    for (uint64_t a : attrs) num_attributes = std::max(num_attributes, a + 1);
+  }
+  const uint64_t cells = config.num_means * config.num_medians;
+  signs_.resize(num_attributes);
+  for (uint64_t attribute = 0; attribute < num_attributes; ++attribute) {
+    signs_[attribute].reserve(cells);
+    for (uint64_t cell = 0; cell < cells; ++cell) {
+      Rng rng = sketch::FamilyRng(seed, sketch::FamilyTag::kMultiJoinSign,
+                                  attribute * cells + cell);
+      signs_[attribute].emplace_back(&rng);
+    }
+  }
+  counters_.assign(config.relation_attributes.size(),
+                   std::vector<int64_t>(cells, 0));
+}
+
+StatusOr<MultiJoinEstimator> MultiJoinEstimator::Create(
+    const MultiJoinConfig& config, uint64_t seed) {
+  if (config.num_means < 1 || config.num_medians < 1) {
+    return InvalidArgumentError("multi-join grid must be at least 1x1");
+  }
+  if (config.relation_attributes.size() < 2) {
+    return InvalidArgumentError("multi-join needs at least two relations");
+  }
+  std::unordered_map<uint64_t, int> attribute_uses;
+  for (const auto& attrs : config.relation_attributes) {
+    if (attrs.empty()) {
+      return InvalidArgumentError(
+          "every relation must carry at least one join attribute");
+    }
+    for (uint64_t a : attrs) ++attribute_uses[a];
+  }
+  for (const auto& [attribute, uses] : attribute_uses) {
+    if (uses != 2) {
+      return InvalidArgumentError(
+          "join attribute " + std::to_string(attribute) +
+          " must appear in exactly two relations (acyclic join), found " +
+          std::to_string(uses));
+    }
+  }
+  return MultiJoinEstimator(config, seed);
+}
+
+Status MultiJoinEstimator::Update(
+    uint64_t relation, const std::vector<uint64_t>& attribute_values,
+    int64_t weight) {
+  if (relation >= config_.relation_attributes.size()) {
+    return InvalidArgumentError("unknown relation index");
+  }
+  const std::vector<uint64_t>& attrs = config_.relation_attributes[relation];
+  if (attribute_values.size() != attrs.size()) {
+    return InvalidArgumentError(
+        "arity mismatch: relation expects " + std::to_string(attrs.size()) +
+        " join-attribute values, got " +
+        std::to_string(attribute_values.size()));
+  }
+  std::vector<int64_t>& counters = counters_[relation];
+  const uint64_t cells = config_.num_means * config_.num_medians;
+  for (uint64_t cell = 0; cell < cells; ++cell) {
+    int64_t sign = 1;
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      sign *= signs_[attrs[i]][cell](attribute_values[i]);
+    }
+    counters[cell] += sign * weight;
+  }
+  return OkStatus();
+}
+
+double MultiJoinEstimator::Estimate() const {
+  std::vector<double> averages;
+  averages.reserve(config_.num_medians);
+  for (uint64_t j = 0; j < config_.num_medians; ++j) {
+    double sum = 0.0;
+    for (uint64_t i = 0; i < config_.num_means; ++i) {
+      const uint64_t cell = CellIndex(i, j);
+      double product = 1.0;
+      for (const auto& counters : counters_) {
+        product *= static_cast<double>(counters[cell]);
+      }
+      sum += product;
+    }
+    averages.push_back(sum / static_cast<double>(config_.num_means));
+  }
+  return Median(std::move(averages));
+}
+
+}  // namespace query
+}  // namespace skimjoin

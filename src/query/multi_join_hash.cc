@@ -1,0 +1,136 @@
+#include "query/multi_join_hash.h"
+
+#include <utility>
+
+#include "sketch/sketch_seed.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace skimjoin {
+namespace query {
+
+MultiJoinHashEstimator::MultiJoinHashEstimator(
+    const MultiJoinHashConfig& config, uint64_t seed)
+    : config_(config) {
+  const uint64_t attributes = num_attributes();
+  bucket_hashes_.resize(attributes);
+  sign_hashes_.resize(attributes);
+  for (uint64_t a = 0; a < attributes; ++a) {
+    bucket_hashes_[a].reserve(config.num_tables);
+    sign_hashes_[a].reserve(config.num_tables);
+    for (uint64_t t = 0; t < config.num_tables; ++t) {
+      Rng bucket_rng = sketch::FamilyRng(
+          seed, sketch::FamilyTag::kHashSketchBucket,
+          0xC4A1000ull + a * config.num_tables + t);
+      bucket_hashes_[a].emplace_back(config.num_buckets, &bucket_rng);
+      Rng sign_rng = sketch::FamilyRng(
+          seed, sketch::FamilyTag::kHashSketchSign,
+          0xC4A1000ull + a * config.num_tables + t);
+      sign_hashes_[a].emplace_back(&sign_rng);
+    }
+  }
+  counters_.resize(config.num_relations);
+  for (uint64_t r = 0; r < config.num_relations; ++r) {
+    const bool is_end = (r == 0 || r + 1 == config.num_relations);
+    const uint64_t size = is_end ? config.num_buckets
+                                 : config.num_buckets * config.num_buckets;
+    counters_[r].assign(config.num_tables, std::vector<int64_t>(size, 0));
+  }
+}
+
+StatusOr<MultiJoinHashEstimator> MultiJoinHashEstimator::Create(
+    const MultiJoinHashConfig& config, uint64_t seed) {
+  if (config.num_relations < 2) {
+    return InvalidArgumentError("chain multi-join needs >= 2 relations");
+  }
+  if (config.num_tables < 1 || config.num_buckets < 1) {
+    return InvalidArgumentError(
+        "MultiJoinHashConfig requires num_tables >= 1 and num_buckets >= 1");
+  }
+  return MultiJoinHashEstimator(config, seed);
+}
+
+Status MultiJoinHashEstimator::UpdateEnd(uint64_t relation, uint64_t value,
+                                         int64_t weight) {
+  if (relation >= config_.num_relations) {
+    return InvalidArgumentError("unknown relation index");
+  }
+  if (relation != 0 && relation + 1 != config_.num_relations) {
+    return InvalidArgumentError(
+        "UpdateEnd is only for the first/last relation of the chain");
+  }
+  const uint64_t attribute = (relation == 0) ? 0 : num_attributes() - 1;
+  for (uint64_t t = 0; t < config_.num_tables; ++t) {
+    const uint64_t bucket = bucket_hashes_[attribute][t](value);
+    counters_[relation][t][bucket] +=
+        sign_hashes_[attribute][t](value) * weight;
+  }
+  return OkStatus();
+}
+
+Status MultiJoinHashEstimator::UpdateMiddle(uint64_t relation,
+                                            uint64_t left_value,
+                                            uint64_t right_value,
+                                            int64_t weight) {
+  if (relation >= config_.num_relations) {
+    return InvalidArgumentError("unknown relation index");
+  }
+  if (relation == 0 || relation + 1 == config_.num_relations) {
+    return InvalidArgumentError(
+        "UpdateMiddle is only for interior relations of the chain");
+  }
+  const uint64_t left_attribute = relation - 1;
+  const uint64_t right_attribute = relation;
+  for (uint64_t t = 0; t < config_.num_tables; ++t) {
+    const uint64_t row = bucket_hashes_[left_attribute][t](left_value);
+    const uint64_t col = bucket_hashes_[right_attribute][t](right_value);
+    counters_[relation][t][row * config_.num_buckets + col] +=
+        sign_hashes_[left_attribute][t](left_value) *
+        sign_hashes_[right_attribute][t](right_value) * weight;
+  }
+  return OkStatus();
+}
+
+double MultiJoinHashEstimator::Estimate() const {
+  const uint64_t b = config_.num_buckets;
+  std::vector<double> per_table;
+  per_table.reserve(config_.num_tables);
+  for (uint64_t t = 0; t < config_.num_tables; ++t) {
+    // Chain product: start with relation 0's vector, multiply through each
+    // middle relation's matrix, finish with the last relation's vector.
+    std::vector<double> vec(b);
+    for (uint64_t i = 0; i < b; ++i) {
+      vec[i] = static_cast<double>(counters_[0][t][i]);
+    }
+    for (uint64_t r = 1; r + 1 < config_.num_relations; ++r) {
+      std::vector<double> next(b, 0.0);
+      const std::vector<int64_t>& matrix = counters_[r][t];
+      for (uint64_t i = 0; i < b; ++i) {
+        if (vec[i] == 0.0) continue;
+        const int64_t* row = &matrix[i * b];
+        for (uint64_t j = 0; j < b; ++j) {
+          next[j] += vec[i] * static_cast<double>(row[j]);
+        }
+      }
+      vec.swap(next);
+    }
+    double sum = 0.0;
+    const std::vector<int64_t>& last = counters_[config_.num_relations - 1][t];
+    for (uint64_t j = 0; j < b; ++j) {
+      sum += vec[j] * static_cast<double>(last[j]);
+    }
+    per_table.push_back(sum);
+  }
+  return Median(std::move(per_table));
+}
+
+uint64_t MultiJoinHashEstimator::TotalCounters() const {
+  uint64_t total = 0;
+  for (const auto& relation : counters_) {
+    for (const auto& table : relation) total += table.size();
+  }
+  return total;
+}
+
+}  // namespace query
+}  // namespace skimjoin

@@ -1,0 +1,395 @@
+#include "query/shell.h"
+
+#include <sstream>
+#include <vector>
+
+#include "stream/trace_io.h"
+
+namespace skimjoin {
+namespace query {
+
+namespace {
+
+constexpr char kHelpText[] =
+    "commands: stream join selfjoin freq distinct topk top quantile phi "
+    "update load answer point heavy count seed help quit";
+
+bool ParseEstimatorKind(const std::string& name, core::EstimatorKind* kind) {
+  for (core::EstimatorKind candidate :
+       {core::EstimatorKind::kAgms, core::EstimatorKind::kHashSketch,
+        core::EstimatorKind::kSkimmedSketch, core::EstimatorKind::kCountMin,
+        core::EstimatorKind::kSampling}) {
+    if (name == core::EstimatorKindName(candidate)) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Ok(std::ostream& out) { out << "ok\n"; }
+
+template <typename T>
+void OkValue(std::ostream& out, const T& value) {
+  out << "ok " << value << "\n";
+}
+
+void Error(std::ostream& out, const std::string& reason) {
+  out << "error: " << reason << "\n";
+}
+
+void Error(std::ostream& out, const Status& status) {
+  Error(out, status.ToString());
+}
+
+}  // namespace
+
+bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
+  std::istringstream fields(line);
+  std::string command;
+  if (!(fields >> command) || command[0] == '#') return true;
+
+  if (command == "quit") {
+    Ok(out);
+    return false;
+  }
+  if (command == "help") {
+    OkValue(out, kHelpText);
+    return true;
+  }
+  if (command == "seed") {
+    uint64_t seed = 0;
+    if (!(fields >> seed)) {
+      Error(out, "usage: seed <n>");
+      return true;
+    }
+    next_seed_ = seed;
+    Ok(out);
+    return true;
+  }
+  if (command == "stream") {
+    StreamSpec spec;
+    if (!(fields >> spec.name >> spec.domain_size)) {
+      Error(out, "usage: stream <name> <domain>");
+      return true;
+    }
+    StatusOr<StreamId> id = engine_.RegisterStream(spec);
+    if (!id.ok()) {
+      Error(out, id.status());
+      return true;
+    }
+    Ok(out);
+    return true;
+  }
+  if (command == "join" || command == "selfjoin") {
+    std::string name, left, right, method;
+    uint64_t space = 0;
+    const bool self = (command == "selfjoin");
+    if (self) {
+      if (!(fields >> name >> left >> method >> space)) {
+        Error(out, "usage: selfjoin <q> <stream> <method> <space>");
+        return true;
+      }
+      right = left;
+    } else if (!(fields >> name >> left >> right >> method >> space)) {
+      Error(out, "usage: join <q> <left> <right> <method> <space>");
+      return true;
+    }
+    if (join_query_names_.contains(name) ||
+        frequency_query_names_.contains(name) ||
+        distinct_query_names_.contains(name)) {
+      Error(out, "query name already in use: " + name);
+      return true;
+    }
+    JoinQuerySpec spec;
+    spec.left_stream = left;
+    spec.right_stream = right;
+    spec.estimator.space_counters = space;
+    if (!ParseEstimatorKind(method, &spec.estimator.kind)) {
+      Error(out, "unknown method: " + method +
+                     " (agms | hash-sketch | skimmed | count-min | sampling)");
+      return true;
+    }
+    StatusOr<QueryId> id = engine_.AddJoinQuery(spec, next_seed_++);
+    if (!id.ok()) {
+      Error(out, id.status());
+      return true;
+    }
+    join_query_names_.emplace(name, *id);
+    Ok(out);
+    return true;
+  }
+  if (command == "freq") {
+    std::string name;
+    FrequencyQuerySpec spec;
+    if (!(fields >> name >> spec.stream >> spec.space_counters)) {
+      Error(out, "usage: freq <q> <stream> <space>");
+      return true;
+    }
+    if (frequency_query_names_.contains(name) ||
+        join_query_names_.contains(name)) {
+      Error(out, "query name already in use: " + name);
+      return true;
+    }
+    StatusOr<QueryId> id = engine_.AddFrequencyQuery(spec, next_seed_++);
+    if (!id.ok()) {
+      Error(out, id.status());
+      return true;
+    }
+    frequency_query_names_.emplace(name, *id);
+    Ok(out);
+    return true;
+  }
+  if (command == "distinct") {
+    std::string name;
+    DistinctCountQuerySpec spec;
+    if (!(fields >> name >> spec.stream >> spec.num_maps)) {
+      Error(out, "usage: distinct <q> <stream> <maps>");
+      return true;
+    }
+    if (distinct_query_names_.contains(name) ||
+        join_query_names_.contains(name)) {
+      Error(out, "query name already in use: " + name);
+      return true;
+    }
+    StatusOr<QueryId> id = engine_.AddDistinctCountQuery(spec, next_seed_++);
+    if (!id.ok()) {
+      Error(out, id.status());
+      return true;
+    }
+    distinct_query_names_.emplace(name, *id);
+    Ok(out);
+    return true;
+  }
+  if (command == "topk") {
+    std::string name;
+    TopKQuerySpec spec;
+    if (!(fields >> name >> spec.stream >> spec.k >> spec.space_counters)) {
+      Error(out, "usage: topk <q> <stream> <k> <space>");
+      return true;
+    }
+    if (topk_query_names_.contains(name) || join_query_names_.contains(name)) {
+      Error(out, "query name already in use: " + name);
+      return true;
+    }
+    StatusOr<QueryId> id = engine_.AddTopKQuery(spec, next_seed_++);
+    if (!id.ok()) {
+      Error(out, id.status());
+      return true;
+    }
+    topk_query_names_.emplace(name, *id);
+    Ok(out);
+    return true;
+  }
+  if (command == "top") {
+    std::string name;
+    if (!(fields >> name)) {
+      Error(out, "usage: top <q>");
+      return true;
+    }
+    const auto it = topk_query_names_.find(name);
+    if (it == topk_query_names_.end()) {
+      Error(out, "unknown top-k query: " + name);
+      return true;
+    }
+    StatusOr<std::vector<std::pair<uint64_t, int64_t>>> answer =
+        engine_.AnswerTopK(it->second);
+    if (!answer.ok()) {
+      Error(out, answer.status());
+      return true;
+    }
+    out << "ok";
+    for (const auto& [value, frequency] : *answer) {
+      out << ' ' << value << ':' << frequency;
+    }
+    out << "\n";
+    return true;
+  }
+  if (command == "quantile") {
+    std::string name;
+    QuantileQuerySpec spec;
+    if (!(fields >> name >> spec.stream >> spec.epsilon)) {
+      Error(out, "usage: quantile <q> <stream> <epsilon>");
+      return true;
+    }
+    if (quantile_query_names_.contains(name) ||
+        join_query_names_.contains(name)) {
+      Error(out, "query name already in use: " + name);
+      return true;
+    }
+    StatusOr<QueryId> id = engine_.AddQuantileQuery(spec);
+    if (!id.ok()) {
+      Error(out, id.status());
+      return true;
+    }
+    quantile_query_names_.emplace(name, *id);
+    Ok(out);
+    return true;
+  }
+  if (command == "phi") {
+    std::string name;
+    double phi = 0.0;
+    if (!(fields >> name >> phi)) {
+      Error(out, "usage: phi <q> <phi>");
+      return true;
+    }
+    const auto it = quantile_query_names_.find(name);
+    if (it == quantile_query_names_.end()) {
+      Error(out, "unknown quantile query: " + name);
+      return true;
+    }
+    StatusOr<uint64_t> answer = engine_.AnswerQuantile(it->second, phi);
+    if (!answer.ok()) {
+      Error(out, answer.status());
+      return true;
+    }
+    OkValue(out, *answer);
+    return true;
+  }
+  if (command == "update") {
+    std::string stream;
+    StreamUpdate update;
+    if (!(fields >> stream >> update.value)) {
+      Error(out, "usage: update <stream> <value> [count] [measure]");
+      return true;
+    }
+    fields >> update.count >> update.measure;  // optional, default 1 / 0
+    const Status status = engine_.Update(stream, update);
+    if (!status.ok()) {
+      Error(out, status);
+      return true;
+    }
+    Ok(out);
+    return true;
+  }
+  if (command == "load") {
+    std::string stream, path;
+    if (!(fields >> stream >> path)) {
+      Error(out, "usage: load <stream> <trace-path>");
+      return true;
+    }
+    StatusOr<std::vector<stream::StreamElement>> elements =
+        stream::ReadTrace(path);
+    if (!elements.ok()) {
+      Error(out, elements.status());
+      return true;
+    }
+    for (const stream::StreamElement& e : *elements) {
+      const Status status =
+          engine_.Update(stream, StreamUpdate{e.value, e.weight, 0});
+      if (!status.ok()) {
+        Error(out, status);
+        return true;
+      }
+    }
+    OkValue(out, elements->size());
+    return true;
+  }
+  if (command == "answer") {
+    std::string name;
+    if (!(fields >> name)) {
+      Error(out, "usage: answer <q>");
+      return true;
+    }
+    if (const auto it = join_query_names_.find(name);
+        it != join_query_names_.end()) {
+      StatusOr<double> answer = engine_.AnswerJoin(it->second);
+      if (!answer.ok()) {
+        Error(out, answer.status());
+        return true;
+      }
+      OkValue(out, *answer);
+      return true;
+    }
+    if (const auto it = distinct_query_names_.find(name);
+        it != distinct_query_names_.end()) {
+      StatusOr<double> answer = engine_.AnswerDistinctCount(it->second);
+      if (!answer.ok()) {
+        Error(out, answer.status());
+        return true;
+      }
+      OkValue(out, *answer);
+      return true;
+    }
+    Error(out, "unknown join/distinct query: " + name);
+    return true;
+  }
+  if (command == "point") {
+    std::string name;
+    uint64_t value = 0;
+    if (!(fields >> name >> value)) {
+      Error(out, "usage: point <q> <value>");
+      return true;
+    }
+    const auto it = frequency_query_names_.find(name);
+    if (it == frequency_query_names_.end()) {
+      Error(out, "unknown frequency query: " + name);
+      return true;
+    }
+    StatusOr<int64_t> answer = engine_.AnswerPointFrequency(it->second, value);
+    if (!answer.ok()) {
+      Error(out, answer.status());
+      return true;
+    }
+    OkValue(out, *answer);
+    return true;
+  }
+  if (command == "heavy") {
+    std::string name;
+    int64_t threshold = 0;
+    if (!(fields >> name >> threshold)) {
+      Error(out, "usage: heavy <q> <threshold>");
+      return true;
+    }
+    const auto it = frequency_query_names_.find(name);
+    if (it == frequency_query_names_.end()) {
+      Error(out, "unknown frequency query: " + name);
+      return true;
+    }
+    StatusOr<core::DenseFrequencies> answer =
+        engine_.AnswerHeavyHitters(it->second, threshold);
+    if (!answer.ok()) {
+      Error(out, answer.status());
+      return true;
+    }
+    out << "ok";
+    for (const auto& [value, frequency] : *answer) {
+      out << ' ' << value << ':' << frequency;
+    }
+    out << "\n";
+    return true;
+  }
+  if (command == "count") {
+    std::string stream;
+    if (!(fields >> stream)) {
+      Error(out, "usage: count <stream>");
+      return true;
+    }
+    StatusOr<int64_t> answer = engine_.StreamElementCount(stream);
+    if (!answer.ok()) {
+      Error(out, answer.status());
+      return true;
+    }
+    OkValue(out, *answer);
+    return true;
+  }
+  Error(out, "unknown command: " + command + " (try `help`)");
+  return true;
+}
+
+int Shell::Run(std::istream& in, std::ostream& out) {
+  int errors = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::ostringstream response;
+    const bool keep_going = ExecuteLine(line, response);
+    const std::string text = response.str();
+    out << text;
+    if (text.rfind("error:", 0) == 0) ++errors;
+    if (!keep_going) break;
+  }
+  return errors;
+}
+
+}  // namespace query
+}  // namespace skimjoin

@@ -1,0 +1,71 @@
+// A line-oriented command shell around query::Engine, powering the
+// `skimjoin_cli` tool (tools/skimjoin_cli.cc) and scriptable experiments.
+//
+// Commands (one per line; '#' starts a comment):
+//   stream <name> <domain>                    register a stream
+//   join <q> <left> <right> <method> <space>  standing join query
+//                                             (method: agms | hash-sketch |
+//                                              skimmed | count-min | sampling)
+//   selfjoin <q> <stream> <method> <space>    standing self-join query
+//   freq <q> <stream> <space>                 point/heavy-hitter tracking
+//   distinct <q> <stream> <maps>              COUNT DISTINCT tracking
+//   topk <q> <stream> <k> <space>             continuous top-k tracking
+//   top <q>                                   current top-k answer
+//   quantile <q> <stream> <epsilon>           deterministic GK quantiles
+//   phi <q> <phi>                             current quantile answer
+//   update <stream> <value> [count] [measure] feed one element
+//   load <stream> <trace-path>                replay a trace file (§ trace_io)
+//   answer <q>                                current join/self-join estimate
+//   point <q> <value>                         point-frequency estimate
+//   heavy <q> <threshold>                     heavy hitters above threshold
+//   count <stream>                            net elements seen
+//   seed <n>                                  seed for subsequent queries
+//   help                                      print this list
+//
+// Every command answers on one line: "ok[ <payload>]" or "error: <reason>".
+// Unknown queries/streams are reported, never fatal; the shell only stops
+// at end of input (or the `quit` command).
+
+#ifndef SKIMJOIN_QUERY_SHELL_H_
+#define SKIMJOIN_QUERY_SHELL_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+#include "query/engine.h"
+
+namespace skimjoin {
+namespace query {
+
+/// Executes shell commands against an owned Engine.
+class Shell {
+ public:
+  Shell() = default;
+
+  /// Executes one command line; writes exactly one response line to `out`.
+  /// Blank lines and comments produce no output. Returns false when the
+  /// command was `quit` (callers should stop feeding lines).
+  bool ExecuteLine(const std::string& line, std::ostream& out);
+
+  /// Reads commands from `in` until EOF or `quit`. Returns the number of
+  /// commands that reported an error (0 for a fully clean script).
+  int Run(std::istream& in, std::ostream& out);
+
+  const Engine& engine() const { return engine_; }
+
+ private:
+  Engine engine_;
+  std::unordered_map<std::string, QueryId> join_query_names_;
+  std::unordered_map<std::string, QueryId> frequency_query_names_;
+  std::unordered_map<std::string, QueryId> distinct_query_names_;
+  std::unordered_map<std::string, QueryId> topk_query_names_;
+  std::unordered_map<std::string, QueryId> quantile_query_names_;
+  uint64_t next_seed_ = 1;
+};
+
+}  // namespace query
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_QUERY_SHELL_H_

@@ -1,0 +1,127 @@
+#include "sketch/agms_sketch.h"
+
+#include <string>
+#include <utility>
+
+#include "sketch/sketch_seed.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace skimjoin {
+namespace sketch {
+
+AgmsSketch::AgmsSketch(const AgmsConfig& config, uint64_t seed)
+    : config_(config), seed_(seed) {
+  const uint64_t cells = config.TotalCounters();
+  signs_.reserve(cells);
+  for (uint64_t cell = 0; cell < cells; ++cell) {
+    Rng rng = FamilyRng(seed, FamilyTag::kAgmsSign, cell);
+    signs_.emplace_back(&rng);
+  }
+  counters_.assign(cells, 0);
+}
+
+StatusOr<AgmsSketch> AgmsSketch::Create(const AgmsConfig& config,
+                                        uint64_t seed) {
+  if (config.num_means < 1) {
+    return InvalidArgumentError("AgmsConfig.num_means must be >= 1");
+  }
+  if (config.num_medians < 1) {
+    return InvalidArgumentError("AgmsConfig.num_medians must be >= 1");
+  }
+  return AgmsSketch(config, seed);
+}
+
+void AgmsSketch::Update(uint64_t value, int64_t weight) {
+  for (size_t cell = 0; cell < counters_.size(); ++cell) {
+    counters_[cell] += signs_[cell](value) * weight;
+  }
+}
+
+void AgmsSketch::Absorb(const stream::FrequencyVector& frequencies) {
+  const auto& counts = frequencies.counts();
+  for (uint64_t value = 0; value < counts.size(); ++value) {
+    if (counts[value] != 0) Update(value, counts[value]);
+  }
+}
+
+void AgmsSketch::Merge(const AgmsSketch& other) {
+  SKIMJOIN_CHECK(CompatibleWith(other)) << "merging incompatible AGMS sketches";
+  for (size_t cell = 0; cell < counters_.size(); ++cell) {
+    counters_[cell] += other.counters_[cell];
+  }
+}
+
+bool AgmsSketch::CompatibleWith(const AgmsSketch& other) const {
+  return config_.num_means == other.config_.num_means &&
+         config_.num_medians == other.config_.num_medians &&
+         seed_ == other.seed_;
+}
+
+StatusOr<double> AgmsSketch::EstimateJoinSize(const AgmsSketch& f,
+                                              const AgmsSketch& g) {
+  if (!f.CompatibleWith(g)) {
+    return InvalidArgumentError(
+        "AGMS join estimation requires sketches with equal configuration and "
+        "seed (shared ξ families)");
+  }
+  std::vector<double> averages;
+  averages.reserve(f.config_.num_medians);
+  for (uint64_t j = 0; j < f.config_.num_medians; ++j) {
+    double sum = 0.0;
+    for (uint64_t i = 0; i < f.config_.num_means; ++i) {
+      const uint64_t cell = f.CellIndex(i, j);
+      sum += static_cast<double>(f.counters_[cell]) *
+             static_cast<double>(g.counters_[cell]);
+    }
+    averages.push_back(sum / static_cast<double>(f.config_.num_means));
+  }
+  return Median(std::move(averages));
+}
+
+double AgmsSketch::EstimateSelfJoinSize() const {
+  StatusOr<double> result = EstimateJoinSize(*this, *this);
+  SKIMJOIN_CHECK(result.ok());
+  return *result;
+}
+
+Status AgmsSketch::SerializeTo(std::ostream& out) const {
+  out << "skimjoin.agms_sketch v1\n"
+      << config_.num_means << ' ' << config_.num_medians << ' ' << seed_
+      << '\n';
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    out << counters_[i] << (i + 1 == counters_.size() ? '\n' : ' ');
+  }
+  if (!out) return IoError("AGMS-sketch serialization failed");
+  return OkStatus();
+}
+
+StatusOr<AgmsSketch> AgmsSketch::DeserializeFrom(std::istream& in) {
+  std::string tag, version;
+  if (!(in >> tag >> version) || tag != "skimjoin.agms_sketch" ||
+      version != "v1") {
+    return InvalidArgumentError("not a skimjoin AGMS-sketch v1 record");
+  }
+  AgmsConfig config;
+  uint64_t seed = 0;
+  if (!(in >> config.num_means >> config.num_medians >> seed)) {
+    return InvalidArgumentError("malformed AGMS-sketch header");
+  }
+  StatusOr<AgmsSketch> sketch = AgmsSketch::Create(config, seed);
+  SKIMJOIN_RETURN_IF_ERROR(sketch.status());
+  for (int64_t& counter : sketch->counters_) {
+    if (!(in >> counter)) {
+      return InvalidArgumentError("truncated AGMS-sketch counter block");
+    }
+  }
+  return sketch;
+}
+
+int64_t AgmsSketch::counter(uint64_t mean_index, uint64_t median_index) const {
+  SKIMJOIN_CHECK_LT(mean_index, config_.num_means);
+  SKIMJOIN_CHECK_LT(median_index, config_.num_medians);
+  return counters_[CellIndex(mean_index, median_index)];
+}
+
+}  // namespace sketch
+}  // namespace skimjoin

@@ -1,0 +1,109 @@
+// Basic AGMS ("tug-of-war") sketches — the paper's baseline.
+//
+// The synopsis is an s1 × s2 array of atomic sketches (§2.2): atomic sketch
+// (i, j) is the random linear projection X_ij = Σ_v f_v · ξ_ij(v) with an
+// independent four-wise ±1 family ξ_ij per cell. Estimation boosts accuracy
+// and confidence by taking the median over j of the mean over i of the
+// products X^F_ij · X^G_ij (Fig. 2: ESTJOINSIZE; ESTSJSIZE is the F = G
+// case).
+//
+// Per-element maintenance touches ALL s1·s2 counters — the drawback the
+// skimmed-sketch structure removes (compare sketch/hash_sketch.h, which
+// touches one counter per table).
+
+#ifndef SKIMJOIN_SKETCH_AGMS_SKETCH_H_
+#define SKIMJOIN_SKETCH_AGMS_SKETCH_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "hashing/sign_hash.h"
+#include "stream/frequency_vector.h"
+#include "stream/stream_element.h"
+#include "util/status.h"
+
+namespace skimjoin {
+namespace sketch {
+
+/// Shape of an AGMS synopsis.
+struct AgmsConfig {
+  /// s1: number of iid atomic sketches averaged per estimate (controls the
+  /// relative-error parameter ε).
+  uint64_t num_means = 32;
+  /// s2: number of independent averages medianed together (controls the
+  /// confidence parameter δ). Odd values make the median unambiguous.
+  uint64_t num_medians = 5;
+
+  /// Total counters (the paper's "space in words" for this synopsis).
+  uint64_t TotalCounters() const { return num_means * num_medians; }
+};
+
+/// One AGMS synopsis for one stream. Copyable (copies share no state).
+class AgmsSketch {
+ public:
+  /// Validates `config` (both dimensions >= 1) and draws the ξ families
+  /// deterministically from `seed`. Two sketches created with equal config
+  /// and seed are compatible for join estimation.
+  static StatusOr<AgmsSketch> Create(const AgmsConfig& config, uint64_t seed);
+
+  /// Applies one stream arrival: O(s1 · s2) counter updates.
+  void Update(uint64_t value, int64_t weight);
+
+  void Update(const stream::StreamElement& element) {
+    Update(element.value, element.weight);
+  }
+
+  /// Folds a whole frequency vector into the sketch. Because the sketch is a
+  /// linear projection, this is arithmetically identical to applying f_v
+  /// single-weight updates per value; values with zero frequency are skipped.
+  void Absorb(const stream::FrequencyVector& frequencies);
+
+  /// Merges another sketch of the SAME config/seed: the result summarizes
+  /// the concatenation of both input streams (linearity).
+  /// Pre-condition: CompatibleWith(other).
+  void Merge(const AgmsSketch& other);
+
+  /// ESTJOINSIZE (Fig. 2): median over j of the mean over i of
+  /// X^F_ij · X^G_ij. Returns INVALID_ARGUMENT if the synopses were built
+  /// with different configurations or seeds.
+  static StatusOr<double> EstimateJoinSize(const AgmsSketch& f,
+                                           const AgmsSketch& g);
+
+  /// ESTSJSIZE: self-join (second moment F2) estimate.
+  double EstimateSelfJoinSize() const;
+
+  /// True iff `other` shares this sketch's families (equal config and seed).
+  bool CompatibleWith(const AgmsSketch& other) const;
+
+  /// Writes a self-describing text record (config, seed, counters); see
+  /// HashSketch::SerializeTo for the distributed-merge use case.
+  Status SerializeTo(std::ostream& out) const;
+
+  /// Reads a record written by SerializeTo.
+  static StatusOr<AgmsSketch> DeserializeFrom(std::istream& in);
+
+  const AgmsConfig& config() const { return config_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Counter (i, j). Exposed for white-box tests.
+  int64_t counter(uint64_t mean_index, uint64_t median_index) const;
+
+ private:
+  AgmsSketch(const AgmsConfig& config, uint64_t seed);
+
+  uint64_t CellIndex(uint64_t mean_index, uint64_t median_index) const {
+    return median_index * config_.num_means + mean_index;
+  }
+
+  AgmsConfig config_;
+  uint64_t seed_;
+  std::vector<hashing::SignHash> signs_;  // one per cell, row-major by median
+  std::vector<int64_t> counters_;
+};
+
+}  // namespace sketch
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_SKETCH_AGMS_SKETCH_H_

@@ -1,0 +1,87 @@
+#include "sketch/count_min_sketch.h"
+
+#include <algorithm>
+
+#include "sketch/sketch_seed.h"
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace sketch {
+
+CountMinSketch::CountMinSketch(const CountMinConfig& config, uint64_t seed)
+    : config_(config), seed_(seed) {
+  bucket_hashes_.reserve(config.num_tables);
+  for (uint64_t table = 0; table < config.num_tables; ++table) {
+    Rng rng = FamilyRng(seed, FamilyTag::kCountMinBucket, table);
+    bucket_hashes_.emplace_back(config.num_buckets, &rng);
+  }
+  counters_.assign(config.TotalCounters(), 0);
+}
+
+StatusOr<CountMinSketch> CountMinSketch::Create(const CountMinConfig& config,
+                                                uint64_t seed) {
+  if (config.num_tables < 1) {
+    return InvalidArgumentError("CountMinConfig.num_tables must be >= 1");
+  }
+  if (config.num_buckets < 1) {
+    return InvalidArgumentError("CountMinConfig.num_buckets must be >= 1");
+  }
+  return CountMinSketch(config, seed);
+}
+
+void CountMinSketch::Update(uint64_t value, int64_t weight) {
+  for (uint64_t table = 0; table < config_.num_tables; ++table) {
+    counters_[table * config_.num_buckets + bucket_hashes_[table](value)] +=
+        weight;
+  }
+}
+
+void CountMinSketch::Absorb(const stream::FrequencyVector& frequencies) {
+  const auto& counts = frequencies.counts();
+  for (uint64_t value = 0; value < counts.size(); ++value) {
+    if (counts[value] != 0) Update(value, counts[value]);
+  }
+}
+
+int64_t CountMinSketch::PointEstimate(uint64_t value) const {
+  int64_t best = INT64_MAX;
+  for (uint64_t table = 0; table < config_.num_tables; ++table) {
+    best = std::min(
+        best,
+        counters_[table * config_.num_buckets + bucket_hashes_[table](value)]);
+  }
+  return best;
+}
+
+bool CountMinSketch::CompatibleWith(const CountMinSketch& other) const {
+  return config_.num_tables == other.config_.num_tables &&
+         config_.num_buckets == other.config_.num_buckets &&
+         seed_ == other.seed_;
+}
+
+StatusOr<double> CountMinSketch::EstimateJoinSize(const CountMinSketch& f,
+                                                  const CountMinSketch& g) {
+  if (!f.CompatibleWith(g)) {
+    return InvalidArgumentError(
+        "Count-Min join estimation requires sketches with equal configuration "
+        "and seed");
+  }
+  double best = 0.0;
+  bool first = true;
+  for (uint64_t table = 0; table < f.config_.num_tables; ++table) {
+    const int64_t* fc = &f.counters_[table * f.config_.num_buckets];
+    const int64_t* gc = &g.counters_[table * g.config_.num_buckets];
+    double sum = 0.0;
+    for (uint64_t k = 0; k < f.config_.num_buckets; ++k) {
+      sum += static_cast<double>(fc[k]) * static_cast<double>(gc[k]);
+    }
+    if (first || sum < best) {
+      best = sum;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace sketch
+}  // namespace skimjoin

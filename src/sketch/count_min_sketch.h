@@ -1,0 +1,75 @@
+// Count-Min sketch [Cormode–Muthukrishnan '04], included as an additional
+// point-estimation / join-size baseline for the ablation benchmarks.
+//
+// Same table-of-buckets layout as the hash sketch but without ±1 signs:
+// counters only ever accumulate |weight| contributions of colliding values,
+// so point estimates are one-sided overestimates (min over tables) and the
+// inner-product estimate is an upper bound in insert-only streams. With
+// deletions the one-sided guarantee disappears — one of the reasons the
+// paper's estimators are built on ±1 atomic sketches instead.
+
+#ifndef SKIMJOIN_SKETCH_COUNT_MIN_SKETCH_H_
+#define SKIMJOIN_SKETCH_COUNT_MIN_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hashing/kwise_hash.h"
+#include "stream/frequency_vector.h"
+#include "stream/stream_element.h"
+#include "util/status.h"
+
+namespace skimjoin {
+namespace sketch {
+
+/// Shape of a Count-Min sketch.
+struct CountMinConfig {
+  uint64_t num_tables = 5;
+  uint64_t num_buckets = 256;
+
+  uint64_t TotalCounters() const { return num_tables * num_buckets; }
+};
+
+/// One Count-Min synopsis for one stream.
+class CountMinSketch {
+ public:
+  /// Validates `config`; families deterministic in `seed` (see
+  /// sketch_seed.h).
+  static StatusOr<CountMinSketch> Create(const CountMinConfig& config,
+                                         uint64_t seed);
+
+  /// O(num_tables) counter touches.
+  void Update(uint64_t value, int64_t weight);
+
+  void Update(const stream::StreamElement& element) {
+    Update(element.value, element.weight);
+  }
+
+  void Absorb(const stream::FrequencyVector& frequencies);
+
+  /// Point estimate: min over tables (an overestimate for insert-only
+  /// streams).
+  int64_t PointEstimate(uint64_t value) const;
+
+  /// Inner-product estimate: min over tables of Σ_k C^F[j][k]·C^G[j][k]
+  /// (an upper bound on the join size for insert-only streams).
+  static StatusOr<double> EstimateJoinSize(const CountMinSketch& f,
+                                           const CountMinSketch& g);
+
+  bool CompatibleWith(const CountMinSketch& other) const;
+
+  const CountMinConfig& config() const { return config_; }
+
+ private:
+  CountMinSketch(const CountMinConfig& config, uint64_t seed);
+
+  CountMinConfig config_;
+  uint64_t seed_;
+  std::vector<hashing::BucketHash> bucket_hashes_;
+  std::vector<int64_t> counters_;
+};
+
+}  // namespace sketch
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_SKETCH_COUNT_MIN_SKETCH_H_

@@ -1,0 +1,136 @@
+#include "sketch/hash_sketch.h"
+
+#include <string>
+#include <utility>
+
+#include "sketch/sketch_seed.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace skimjoin {
+namespace sketch {
+
+HashSketch::HashSketch(const HashSketchConfig& config, uint64_t seed)
+    : config_(config), seed_(seed) {
+  bucket_hashes_.reserve(config.num_tables);
+  sign_hashes_.reserve(config.num_tables);
+  for (uint64_t table = 0; table < config.num_tables; ++table) {
+    Rng bucket_rng = FamilyRng(seed, FamilyTag::kHashSketchBucket, table);
+    bucket_hashes_.emplace_back(config.num_buckets, &bucket_rng);
+    Rng sign_rng = FamilyRng(seed, FamilyTag::kHashSketchSign, table);
+    sign_hashes_.emplace_back(&sign_rng);
+  }
+  counters_.assign(config.TotalCounters(), 0);
+}
+
+StatusOr<HashSketch> HashSketch::Create(const HashSketchConfig& config,
+                                        uint64_t seed) {
+  if (config.num_tables < 1) {
+    return InvalidArgumentError("HashSketchConfig.num_tables must be >= 1");
+  }
+  if (config.num_buckets < 1) {
+    return InvalidArgumentError("HashSketchConfig.num_buckets must be >= 1");
+  }
+  return HashSketch(config, seed);
+}
+
+void HashSketch::Update(uint64_t value, int64_t weight) {
+  for (uint64_t table = 0; table < config_.num_tables; ++table) {
+    const uint64_t bucket = bucket_hashes_[table](value);
+    counters_[table * config_.num_buckets + bucket] +=
+        sign_hashes_[table](value) * weight;
+  }
+}
+
+void HashSketch::Absorb(const stream::FrequencyVector& frequencies) {
+  const auto& counts = frequencies.counts();
+  for (uint64_t value = 0; value < counts.size(); ++value) {
+    if (counts[value] != 0) Update(value, counts[value]);
+  }
+}
+
+void HashSketch::Merge(const HashSketch& other) {
+  SKIMJOIN_CHECK(CompatibleWith(other)) << "merging incompatible hash sketches";
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+int64_t HashSketch::PointEstimate(uint64_t value) const {
+  std::vector<int64_t> estimates;
+  estimates.reserve(config_.num_tables);
+  for (uint64_t table = 0; table < config_.num_tables; ++table) {
+    const uint64_t bucket = bucket_hashes_[table](value);
+    estimates.push_back(sign_hashes_[table](value) *
+                        counters_[table * config_.num_buckets + bucket]);
+  }
+  return MedianInt64(std::move(estimates));
+}
+
+bool HashSketch::CompatibleWith(const HashSketch& other) const {
+  return config_.num_tables == other.config_.num_tables &&
+         config_.num_buckets == other.config_.num_buckets &&
+         seed_ == other.seed_;
+}
+
+StatusOr<double> HashSketch::EstimateJoinSize(const HashSketch& f,
+                                              const HashSketch& g) {
+  if (!f.CompatibleWith(g)) {
+    return InvalidArgumentError(
+        "hash-sketch join estimation requires sketches with equal "
+        "configuration and seed (shared h_j and ξ_j families)");
+  }
+  std::vector<double> per_table;
+  per_table.reserve(f.config_.num_tables);
+  for (uint64_t table = 0; table < f.config_.num_tables; ++table) {
+    const int64_t* fc = &f.counters_[table * f.config_.num_buckets];
+    const int64_t* gc = &g.counters_[table * g.config_.num_buckets];
+    double sum = 0.0;
+    for (uint64_t k = 0; k < f.config_.num_buckets; ++k) {
+      sum += static_cast<double>(fc[k]) * static_cast<double>(gc[k]);
+    }
+    per_table.push_back(sum);
+  }
+  return Median(std::move(per_table));
+}
+
+Status HashSketch::SerializeTo(std::ostream& out) const {
+  out << "skimjoin.hash_sketch v1\n"
+      << config_.num_tables << ' ' << config_.num_buckets << ' ' << seed_
+      << '\n';
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    out << counters_[i] << (i + 1 == counters_.size() ? '\n' : ' ');
+  }
+  if (!out) return IoError("hash-sketch serialization failed");
+  return OkStatus();
+}
+
+StatusOr<HashSketch> HashSketch::DeserializeFrom(std::istream& in) {
+  std::string tag, version;
+  if (!(in >> tag >> version) || tag != "skimjoin.hash_sketch" ||
+      version != "v1") {
+    return InvalidArgumentError("not a skimjoin hash-sketch v1 record");
+  }
+  HashSketchConfig config;
+  uint64_t seed = 0;
+  if (!(in >> config.num_tables >> config.num_buckets >> seed)) {
+    return InvalidArgumentError("malformed hash-sketch header");
+  }
+  StatusOr<HashSketch> sketch = HashSketch::Create(config, seed);
+  SKIMJOIN_RETURN_IF_ERROR(sketch.status());
+  for (int64_t& counter : sketch->counters_) {
+    if (!(in >> counter)) {
+      return InvalidArgumentError("truncated hash-sketch counter block");
+    }
+  }
+  return sketch;
+}
+
+double HashSketch::EstimateSelfJoinSize() const {
+  StatusOr<double> result = EstimateJoinSize(*this, *this);
+  SKIMJOIN_CHECK(result.ok());
+  return *result;
+}
+
+}  // namespace sketch
+}  // namespace skimjoin

@@ -1,0 +1,129 @@
+// The hash sketch data structure (§4.1 of the paper; structurally the
+// COUNTSKETCH of Charikar–Chen–Farach-Colton '02).
+//
+// An array of `s` hash tables, each with `b` buckets holding one atomic-
+// sketch counter. Table j carries a pairwise-independent bucket hash h_j and
+// a four-wise-independent ±1 family ξ_j; an arrival (v, w) adds w·ξ_j(v) to
+// bucket h_j(v) of every table — i.e., O(s) counter touches per element,
+// logarithmic overall, versus the O(s1·s2) of basic AGMS sketching.
+//
+// The same structure serves three roles in this library:
+//   * point (top-k / dense) frequency estimation — medians of ξ_j(v)·C[j][h_j(v)],
+//   * the un-skimmed hash-sketch join estimator (a baseline; bucket-wise
+//     products per table, median over tables),
+//   * the substrate that core/skim.* skims dense frequencies out of, after
+//     which it represents only residual ("sparse") frequencies.
+
+#ifndef SKIMJOIN_SKETCH_HASH_SKETCH_H_
+#define SKIMJOIN_SKETCH_HASH_SKETCH_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "hashing/kwise_hash.h"
+#include "hashing/sign_hash.h"
+#include "stream/frequency_vector.h"
+#include "stream/stream_element.h"
+#include "util/status.h"
+
+namespace skimjoin {
+namespace sketch {
+
+/// Shape of a hash sketch.
+struct HashSketchConfig {
+  /// s: number of hash tables (confidence booster; odd keeps medians crisp).
+  uint64_t num_tables = 7;
+  /// b: buckets per table (accuracy: estimation error scales with 1/sqrt(b)).
+  uint64_t num_buckets = 256;
+
+  /// Total counters ("space in words").
+  uint64_t TotalCounters() const { return num_tables * num_buckets; }
+};
+
+/// One hash sketch for one stream. Copyable; copies are independent.
+class HashSketch {
+ public:
+  /// Validates `config` (both dimensions >= 1). Families are deterministic
+  /// in `seed`: equal (config, seed) ⇒ compatible sketches with identical
+  /// h_j and ξ_j — required for join estimation across two streams.
+  static StatusOr<HashSketch> Create(const HashSketchConfig& config,
+                                     uint64_t seed);
+
+  /// Applies one stream arrival: one counter touched per table.
+  void Update(uint64_t value, int64_t weight);
+
+  void Update(const stream::StreamElement& element) {
+    Update(element.value, element.weight);
+  }
+
+  /// Folds a whole frequency vector in (linearity; see AgmsSketch::Absorb).
+  void Absorb(const stream::FrequencyVector& frequencies);
+
+  /// Merges a compatible sketch (concatenation of streams).
+  /// Pre-condition: CompatibleWith(other).
+  void Merge(const HashSketch& other);
+
+  /// Point frequency estimate for `value`: median over tables of
+  /// ξ_j(value)·C[j][h_j(value)] (the COUNTSKETCH estimator used by
+  /// SKIMDENSE, Fig. 3 step 5).
+  int64_t PointEstimate(uint64_t value) const;
+
+  /// Join-size estimate WITHOUT skimming: for each table, the sum over
+  /// buckets of C^F[j][k]·C^G[j][k]; median over tables. This is the
+  /// sparse·sparse estimator of Fig. 4 (steps 3–7) and doubles as the
+  /// "hash-sketch only" baseline. Returns INVALID_ARGUMENT for incompatible
+  /// synopses.
+  static StatusOr<double> EstimateJoinSize(const HashSketch& f,
+                                           const HashSketch& g);
+
+  /// Self-join (F2) estimate: median over tables of Σ_k C[j][k]^2.
+  double EstimateSelfJoinSize() const;
+
+  bool CompatibleWith(const HashSketch& other) const;
+
+  /// Writes a self-describing text record (config, seed, counters) so the
+  /// sketch can be shipped between processes/sites and merged remotely —
+  /// hash families are reconstructed from (config, seed) on the other end.
+  Status SerializeTo(std::ostream& out) const;
+
+  /// Reads a record written by SerializeTo. INVALID_ARGUMENT on a
+  /// malformed or truncated record.
+  static StatusOr<HashSketch> DeserializeFrom(std::istream& in);
+
+  const HashSketchConfig& config() const { return config_; }
+  uint64_t seed() const { return seed_; }
+
+  // --- Low-level access used by the skimmed-sketch estimator (core/) and
+  // --- white-box tests.
+
+  /// h_j(value), in [0, num_buckets).
+  uint64_t Bucket(uint64_t table, uint64_t value) const {
+    return bucket_hashes_[table](value);
+  }
+
+  /// ξ_j(value), in {-1, +1}.
+  int64_t Sign(uint64_t table, uint64_t value) const {
+    return sign_hashes_[table](value);
+  }
+
+  /// Counter of `bucket` in `table`.
+  int64_t Counter(uint64_t table, uint64_t bucket) const {
+    return counters_[table * config_.num_buckets + bucket];
+  }
+
+ private:
+  HashSketch(const HashSketchConfig& config, uint64_t seed);
+
+  HashSketchConfig config_;
+  uint64_t seed_;
+  std::vector<hashing::BucketHash> bucket_hashes_;  // one per table
+  std::vector<hashing::SignHash> sign_hashes_;      // one per table
+  std::vector<int64_t> counters_;                   // row-major by table
+};
+
+}  // namespace sketch
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_SKETCH_HASH_SKETCH_H_

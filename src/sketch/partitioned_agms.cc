@@ -1,0 +1,177 @@
+#include "sketch/partitioned_agms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace sketch {
+
+StatusOr<PartitionPlan> PlanPartitions(
+    const stream::FrequencyVector& f_stats,
+    const stream::FrequencyVector& g_stats, uint64_t num_partitions,
+    uint64_t total_space, uint64_t num_medians) {
+  if (f_stats.domain_size() != g_stats.domain_size()) {
+    return InvalidArgumentError("partition planning needs matching domains");
+  }
+  const uint64_t domain = f_stats.domain_size();
+  if (num_partitions < 1 || num_partitions > domain) {
+    return InvalidArgumentError(
+        "num_partitions must be in [1, domain_size]");
+  }
+  if (num_medians < 1 || total_space < num_partitions * num_medians) {
+    return InvalidArgumentError(
+        "total_space must provide at least num_medians counters per "
+        "partition");
+  }
+
+  // Per-value mass driving the partition boundaries: the per-partition
+  // error terms are sqrt(F2(F_i)·F2(G_i)), so the goal is to isolate the
+  // regions where EITHER stream concentrates self-join mass (a region heavy
+  // in F but light in G contributes a large cross product to the monolithic
+  // variance that partitioning eliminates). Sweep over the normalized
+  // self-join masses of both streams, with a floor so empty regions still
+  // split evenly.
+  const double f2_f =
+      std::max<double>(1.0, static_cast<double>(f_stats.SelfJoinSize()));
+  const double f2_g =
+      std::max<double>(1.0, static_cast<double>(g_stats.SelfJoinSize()));
+  std::vector<double> mass(domain);
+  double total_mass = 0.0;
+  for (uint64_t v = 0; v < domain; ++v) {
+    const double fv = static_cast<double>(f_stats.Get(v));
+    const double gv = static_cast<double>(g_stats.Get(v));
+    mass[v] = fv * fv / f2_f + gv * gv / f2_g + 1e-9;
+    total_mass += mass[v];
+  }
+
+  // Equal-mass sweep: close a partition each time its share is reached.
+  PartitionPlan plan;
+  plan.domain_size = domain;
+  plan.boundaries.push_back(0);
+  const double share = total_mass / static_cast<double>(num_partitions);
+  double accumulated = 0.0;
+  for (uint64_t v = 0; v < domain && plan.boundaries.size() < num_partitions;
+       ++v) {
+    accumulated += mass[v];
+    if (accumulated >= share * static_cast<double>(plan.boundaries.size())) {
+      // Close the current partition after value v (boundary is exclusive).
+      if (v + 1 < domain && v + 1 > plan.boundaries.back()) {
+        plan.boundaries.push_back(v + 1);
+      }
+    }
+  }
+  plan.boundaries.push_back(domain);
+
+  // Space allocation: minimizing Σ_i e_i/sqrt(s_i) with e_i =
+  // sqrt(F2(F_i)·F2(G_i)) under Σ s_i = S gives s_i ∝ e_i^(2/3).
+  const uint64_t parts = plan.boundaries.size() - 1;
+  std::vector<double> weight(parts);
+  double weight_total = 0.0;
+  for (uint64_t i = 0; i < parts; ++i) {
+    double f2f = 0.0, f2g = 0.0;
+    for (uint64_t v = plan.boundaries[i]; v < plan.boundaries[i + 1]; ++v) {
+      f2f += static_cast<double>(f_stats.Get(v)) *
+             static_cast<double>(f_stats.Get(v));
+      f2g += static_cast<double>(g_stats.Get(v)) *
+             static_cast<double>(g_stats.Get(v));
+    }
+    weight[i] = std::pow(std::sqrt(f2f * f2g) + 1e-9, 2.0 / 3.0);
+    weight_total += weight[i];
+  }
+  const uint64_t reserved = parts * num_medians;  // 1 mean per partition min
+  const uint64_t flexible = total_space - reserved;
+  for (uint64_t i = 0; i < parts; ++i) {
+    const auto extra = static_cast<uint64_t>(
+        static_cast<double>(flexible) * weight[i] / weight_total);
+    AgmsConfig config;
+    config.num_medians = num_medians;
+    config.num_means = 1 + extra / num_medians;
+    plan.configs.push_back(config);
+  }
+  return plan;
+}
+
+PartitionedAgmsSketch::PartitionedAgmsSketch(PartitionPlan plan, uint64_t seed,
+                                             std::vector<AgmsSketch> partitions)
+    : plan_(std::move(plan)), seed_(seed), partitions_(std::move(partitions)) {}
+
+StatusOr<PartitionedAgmsSketch> PartitionedAgmsSketch::Create(
+    const PartitionPlan& plan, uint64_t seed) {
+  if (plan.boundaries.size() < 2 || plan.boundaries.front() != 0 ||
+      plan.boundaries.back() != plan.domain_size ||
+      plan.configs.size() + 1 != plan.boundaries.size()) {
+    return InvalidArgumentError("malformed partition plan");
+  }
+  for (size_t i = 1; i < plan.boundaries.size(); ++i) {
+    if (plan.boundaries[i] <= plan.boundaries[i - 1]) {
+      return InvalidArgumentError("partition boundaries must be increasing");
+    }
+  }
+  std::vector<AgmsSketch> partitions;
+  partitions.reserve(plan.configs.size());
+  for (size_t i = 0; i < plan.configs.size(); ++i) {
+    StatusOr<AgmsSketch> sketch =
+        AgmsSketch::Create(plan.configs[i], seed + i);
+    SKIMJOIN_RETURN_IF_ERROR(sketch.status());
+    partitions.push_back(*std::move(sketch));
+  }
+  return PartitionedAgmsSketch(plan, seed, std::move(partitions));
+}
+
+uint64_t PartitionedAgmsSketch::PartitionOf(uint64_t value) const {
+  SKIMJOIN_CHECK_LT(value, plan_.domain_size);
+  // First boundary strictly greater than value, minus one.
+  const auto it = std::upper_bound(plan_.boundaries.begin(),
+                                   plan_.boundaries.end(), value);
+  return static_cast<uint64_t>(it - plan_.boundaries.begin()) - 1;
+}
+
+void PartitionedAgmsSketch::Update(uint64_t value, int64_t weight) {
+  partitions_[PartitionOf(value)].Update(value, weight);
+}
+
+void PartitionedAgmsSketch::Absorb(const stream::FrequencyVector& frequencies) {
+  const auto& counts = frequencies.counts();
+  for (uint64_t value = 0; value < counts.size(); ++value) {
+    if (counts[value] != 0) Update(value, counts[value]);
+  }
+}
+
+bool PartitionedAgmsSketch::CompatibleWith(
+    const PartitionedAgmsSketch& other) const {
+  if (seed_ != other.seed_ || plan_.domain_size != other.plan_.domain_size ||
+      plan_.boundaries != other.plan_.boundaries ||
+      plan_.configs.size() != other.plan_.configs.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < plan_.configs.size(); ++i) {
+    if (plan_.configs[i].num_means != other.plan_.configs[i].num_means ||
+        plan_.configs[i].num_medians != other.plan_.configs[i].num_medians) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<double> PartitionedAgmsSketch::EstimateJoinSize(
+    const PartitionedAgmsSketch& f, const PartitionedAgmsSketch& g) {
+  if (!f.CompatibleWith(g)) {
+    return InvalidArgumentError(
+        "partitioned AGMS estimation requires synopses built from equal "
+        "plans and seeds");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < f.partitions_.size(); ++i) {
+    StatusOr<double> partial =
+        AgmsSketch::EstimateJoinSize(f.partitions_[i], g.partitions_[i]);
+    SKIMJOIN_RETURN_IF_ERROR(partial.status());
+    total += *partial;
+  }
+  return total;
+}
+
+}  // namespace sketch
+}  // namespace skimjoin

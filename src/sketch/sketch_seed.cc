@@ -1,0 +1,13 @@
+#include "sketch/sketch_seed.h"
+
+namespace skimjoin {
+namespace sketch {
+
+Rng FamilyRng(uint64_t seed, FamilyTag tag, uint64_t index) {
+  const uint64_t tagged =
+      Mix64(seed ^ Mix64(static_cast<uint64_t>(tag) * 0x9E3779B97F4A7C15ull));
+  return Rng(tagged).Fork(index);
+}
+
+}  // namespace sketch
+}  // namespace skimjoin

@@ -1,0 +1,41 @@
+// Deterministic derivation of hash-family randomness.
+//
+// Join-size estimation requires the two streams' synopses to share hash
+// families (the atomic sketch pair for F and G uses the SAME ξ family;
+// §2.2 of the paper). We get sharing by construction: every family inside a
+// synopsis is a pure function of (seed, component tag, index), so two
+// synopses built with equal configuration and equal seed are "compatible" —
+// they hold identical families without any runtime coupling between the two
+// objects (they can even live in different processes).
+
+#ifndef SKIMJOIN_SKETCH_SKETCH_SEED_H_
+#define SKIMJOIN_SKETCH_SKETCH_SEED_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace skimjoin {
+namespace sketch {
+
+/// Component tags namespace the per-structure random streams so that, e.g.,
+/// a bucket hash and a sign hash with the same index never share coefficients.
+enum class FamilyTag : uint64_t {
+  kAgmsSign = 1,
+  kHashSketchBucket = 2,
+  kHashSketchSign = 3,
+  kCountMinBucket = 4,
+  kDyadicLevel = 5,
+  kReservoir = 6,
+  kMultiJoinSign = 7,
+  kFmSketch = 8,
+};
+
+/// A generator for drawing the coefficients of family number `index` of
+/// component `tag` under master seed `seed`. Same arguments → same stream.
+Rng FamilyRng(uint64_t seed, FamilyTag tag, uint64_t index);
+
+}  // namespace sketch
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_SKETCH_SKETCH_SEED_H_

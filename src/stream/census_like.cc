@@ -1,0 +1,76 @@
+#include "stream/census_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace stream {
+
+namespace {
+
+// Box–Muller standard normal from two uniforms. Deterministic given the rng.
+double SampleStandardNormal(Rng* rng) {
+  double u1 = rng->NextDouble();
+  if (u1 <= 0.0) u1 = 1e-12;
+  const double u2 = rng->NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+}
+
+}  // namespace
+
+CensusLikeGenerator::CensusLikeGenerator(const Options& options, uint64_t seed)
+    : options_(options),
+      wage_rng_(Rng(seed).Fork(1)),
+      overtime_rng_(Rng(seed).Fork(2)) {
+  SKIMJOIN_CHECK_GE(options.domain_size, 256u);
+  SKIMJOIN_CHECK_GE(options.num_records, 1u);
+  SKIMJOIN_CHECK(options.zero_spike >= 0.0 && options.zero_spike <= 1.0);
+  SKIMJOIN_CHECK_GT(options.log_sigma, 0.0);
+}
+
+uint64_t CensusLikeGenerator::SampleWage(Rng* rng) {
+  const double x =
+      std::exp(options_.log_mean + options_.log_sigma * SampleStandardNormal(rng));
+  auto wage = static_cast<uint64_t>(std::min(
+      x, static_cast<double>(options_.domain_size - 1)));
+  // Round-number clustering: with probability 0.4 snap to a multiple of 50,
+  // with probability 0.2 to a multiple of 10 — CPS wage reports cluster the
+  // same way.
+  const double u = rng->NextDouble();
+  if (u < 0.4) {
+    wage = (wage / 50) * 50;
+  } else if (u < 0.6) {
+    wage = (wage / 10) * 10;
+  }
+  return std::min<uint64_t>(wage, options_.domain_size - 1);
+}
+
+std::vector<StreamElement> CensusLikeGenerator::GenerateWageStream() {
+  std::vector<StreamElement> elements;
+  elements.reserve(options_.num_records);
+  for (uint64_t i = 0; i < options_.num_records; ++i) {
+    elements.push_back(Insert(SampleWage(&wage_rng_)));
+  }
+  return elements;
+}
+
+std::vector<StreamElement> CensusLikeGenerator::GenerateOvertimeStream() {
+  std::vector<StreamElement> elements;
+  elements.reserve(options_.num_records);
+  for (uint64_t i = 0; i < options_.num_records; ++i) {
+    if (overtime_rng_.NextDouble() < options_.zero_spike) {
+      elements.push_back(Insert(0));
+      continue;
+    }
+    // Overtime pay is a fraction of a wage-like draw; this keeps the two
+    // attributes' supports overlapping at the low end like the CPS columns.
+    const uint64_t base = SampleWage(&overtime_rng_);
+    elements.push_back(Insert(base / 4));
+  }
+  return elements;
+}
+
+}  // namespace stream
+}  // namespace skimjoin

@@ -1,0 +1,68 @@
+// Synthetic substitute for the Census (Current Population Survey) workload
+// of evaluation Section 5.1.
+//
+// The paper joins two numeric attributes of the September-2002 CPS extract —
+// "weekly wage" and "weekly wage overtime" — 159,434 records over a shared
+// integer domain. The raw CPS file is not redistributable here, so this
+// generator reproduces the *shape* that drives the experiment (see
+// DESIGN.md, "Substitutions"):
+//   * a large point mass at 0 (most respondents report no overtime pay),
+//   * spiky modes at round amounts (weekly wages cluster at round numbers),
+//   * a heavy-tailed log-normal-ish body,
+//   * overlapping supports so the join is non-trivial.
+
+#ifndef SKIMJOIN_STREAM_CENSUS_LIKE_H_
+#define SKIMJOIN_STREAM_CENSUS_LIKE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/frequency_vector.h"
+#include "stream/stream_element.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace stream {
+
+/// Paired generator for the two census-like attribute streams.
+class CensusLikeGenerator {
+ public:
+  struct Options {
+    /// Domain of both attributes (the CPS wage attributes are bucketed
+    /// integers; 2^16 keeps the exact reference cheap).
+    uint64_t domain_size = 1u << 16;
+    /// Records per "month of survey data" (the paper uses 159,434).
+    uint64_t num_records = 159434;
+    /// Fraction of overtime values that are exactly zero.
+    double zero_spike = 0.55;
+    /// Log-normal body parameters (natural-log scale) for the wage stream.
+    double log_mean = 6.3;
+    double log_sigma = 0.7;
+  };
+
+  /// Pre-conditions: domain_size >= 256, num_records >= 1,
+  /// 0 <= zero_spike <= 1, log_sigma > 0.
+  CensusLikeGenerator(const Options& options, uint64_t seed);
+
+  /// The "weekly wage" stream: one insert per record.
+  std::vector<StreamElement> GenerateWageStream();
+
+  /// The "weekly wage overtime" stream: zero spike + scaled-down wage body.
+  std::vector<StreamElement> GenerateOvertimeStream();
+
+  const Options& options() const { return options_; }
+
+ private:
+  /// Draws one wage-like value: log-normal body snapped to a round multiple
+  /// with some probability, clamped into the domain.
+  uint64_t SampleWage(Rng* rng);
+
+  Options options_;
+  Rng wage_rng_;
+  Rng overtime_rng_;
+};
+
+}  // namespace stream
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_STREAM_CENSUS_LIKE_H_

@@ -1,0 +1,32 @@
+#include "stream/exact.h"
+
+namespace skimjoin {
+namespace stream {
+
+FrequencyVector Materialize(const std::vector<StreamElement>& elements,
+                            uint64_t domain_size) {
+  FrequencyVector result(domain_size);
+  for (const StreamElement& e : elements) result.Apply(e);
+  return result;
+}
+
+int64_t ExactJoinSize(const std::vector<StreamElement>& f,
+                      const std::vector<StreamElement>& g,
+                      uint64_t domain_size) {
+  return JoinSize(Materialize(f, domain_size), Materialize(g, domain_size));
+}
+
+int64_t ExactSelfJoinSize(const std::vector<StreamElement>& f,
+                          uint64_t domain_size) {
+  return Materialize(f, domain_size).SelfJoinSize();
+}
+
+int64_t ExactSumJoin(const std::vector<StreamElement>& f_weighted,
+                     const std::vector<StreamElement>& g,
+                     uint64_t domain_size) {
+  return JoinSize(Materialize(f_weighted, domain_size),
+                  Materialize(g, domain_size));
+}
+
+}  // namespace stream
+}  // namespace skimjoin

@@ -1,0 +1,41 @@
+// Exact (offline) reference computation of the aggregates the sketches
+// approximate. Used by tests and by the benchmark harness to compute the
+// true join sizes the error metric is measured against. These obviously do
+// not respect the streaming space constraint — that is the point.
+
+#ifndef SKIMJOIN_STREAM_EXACT_H_
+#define SKIMJOIN_STREAM_EXACT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/frequency_vector.h"
+#include "stream/stream_element.h"
+
+namespace skimjoin {
+namespace stream {
+
+/// Materializes the frequency vector of an element sequence.
+/// Pre-condition: all values < domain_size.
+FrequencyVector Materialize(const std::vector<StreamElement>& elements,
+                            uint64_t domain_size);
+
+/// Exact COUNT(F ⋈ G) from raw element sequences.
+int64_t ExactJoinSize(const std::vector<StreamElement>& f,
+                      const std::vector<StreamElement>& g,
+                      uint64_t domain_size);
+
+/// Exact self-join size (second frequency moment F2) of a sequence.
+int64_t ExactSelfJoinSize(const std::vector<StreamElement>& f,
+                          uint64_t domain_size);
+
+/// Exact SUM_w(F ⋈ G) where `f_weighted` carries measure values as weights
+/// (see stream_element.h): sum_v w_v * g_v.
+int64_t ExactSumJoin(const std::vector<StreamElement>& f_weighted,
+                     const std::vector<StreamElement>& g,
+                     uint64_t domain_size);
+
+}  // namespace stream
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_STREAM_EXACT_H_

@@ -1,0 +1,83 @@
+#include "stream/exponential_histogram.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace stream {
+
+ExponentialHistogram::ExponentialHistogram(uint64_t window, double epsilon,
+                                           uint64_t max_per_size)
+    : window_(window), epsilon_(epsilon), max_per_size_(max_per_size) {}
+
+StatusOr<ExponentialHistogram> ExponentialHistogram::Create(uint64_t window,
+                                                            double epsilon) {
+  if (window < 1) {
+    return InvalidArgumentError("window must be >= 1");
+  }
+  if (!(epsilon > 0.0 && epsilon <= 1.0)) {
+    return InvalidArgumentError("epsilon must be in (0, 1]");
+  }
+  const auto k = static_cast<uint64_t>(std::ceil(1.0 / epsilon));
+  return ExponentialHistogram(window, epsilon, k / 2 + 2);
+}
+
+void ExponentialHistogram::Arrive(bool one) {
+  ++clock_;
+  ExpireOldBuckets();
+  if (!one) return;
+  buckets_.push_front(Bucket{clock_, 1});
+  total_size_ += 1;
+  MergeOverflowingBuckets();
+}
+
+void ExponentialHistogram::ExpireOldBuckets() {
+  while (!buckets_.empty() &&
+         buckets_.back().timestamp + window_ <= clock_) {
+    total_size_ -= buckets_.back().size;
+    buckets_.pop_back();
+  }
+}
+
+void ExponentialHistogram::MergeOverflowingBuckets() {
+  // Scan from the newest end: whenever more than max_per_size_ buckets of
+  // one size exist, merge the two OLDEST of that size into one of double
+  // size (keeping the newer timestamp of the pair, per DGIM).
+  size_t run_start = 0;
+  while (run_start < buckets_.size()) {
+    const int64_t size = buckets_[run_start].size;
+    size_t run_end = run_start;
+    while (run_end < buckets_.size() && buckets_[run_end].size == size) {
+      ++run_end;
+    }
+    const size_t run_length = run_end - run_start;
+    if (run_length <= max_per_size_) {
+      run_start = run_end;
+      continue;
+    }
+    // Merge the two oldest of this size (positions run_end-2 and
+    // run_end-1); the merged bucket keeps the newer timestamp.
+    const Bucket merged{buckets_[run_end - 2].timestamp, size * 2};
+    buckets_.erase(buckets_.begin() + static_cast<ptrdiff_t>(run_end - 2),
+                   buckets_.begin() + static_cast<ptrdiff_t>(run_end));
+    buckets_.insert(buckets_.begin() + static_cast<ptrdiff_t>(run_end - 2),
+                    merged);
+    // The merged bucket may overflow the next size class: continue the scan
+    // at this position without advancing.
+  }
+}
+
+int64_t ExponentialHistogram::LowerBound() const {
+  if (buckets_.empty()) return 0;
+  // Of the oldest bucket only its most recent 1 is certainly in-window.
+  return total_size_ - buckets_.back().size + 1;
+}
+
+int64_t ExponentialHistogram::Estimate() const {
+  if (buckets_.empty()) return 0;
+  return total_size_ - buckets_.back().size / 2;
+}
+
+}  // namespace stream
+}  // namespace skimjoin

@@ -1,0 +1,74 @@
+// Exponential histograms for BasicCounting over sliding windows
+// [Datar–Gionis–Indyk–Motwani, SODA '02] — citation [12] of the paper.
+//
+// Counts the number of 1s among the last `window` arrivals of a 0/1 stream
+// using O((1/ε)·log²W) space, with relative error at most ε: buckets of
+// exponentially growing sizes carry the timestamp of their most recent 1;
+// when more than ⌈1/ε⌉/2 + 2 buckets of one size exist, the two oldest
+// merge; buckets whose timestamp leaves the window expire. Only the oldest
+// bucket's contribution is uncertain, giving the error bound.
+//
+// Complements stream/sliding_window.h: the adapter there buffers the window
+// contents exactly; this summary answers windowed counts without buffering.
+
+#ifndef SKIMJOIN_STREAM_EXPONENTIAL_HISTOGRAM_H_
+#define SKIMJOIN_STREAM_EXPONENTIAL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "util/status.h"
+
+namespace skimjoin {
+namespace stream {
+
+/// Approximate count of 1s in the last `window` arrivals.
+class ExponentialHistogram {
+ public:
+  /// `window` >= 1 arrivals; `epsilon` in (0, 1] bounds the relative error.
+  static StatusOr<ExponentialHistogram> Create(uint64_t window,
+                                               double epsilon);
+
+  /// Processes one arrival (a 1-bit when `one`, else a 0-bit). Every call
+  /// advances the window clock by one position.
+  void Arrive(bool one);
+
+  /// Estimated number of 1s among the last `window` arrivals: the sum of
+  /// live bucket sizes minus half the oldest bucket (its expired share is
+  /// unknown).
+  int64_t Estimate() const;
+
+  /// Exact upper/lower bounds implied by the buckets (Estimate() is their
+  /// midpoint, rounded down).
+  int64_t UpperBound() const { return total_size_; }
+  int64_t LowerBound() const;
+
+  /// Live buckets currently held (space accounting; O((1/ε)·log W)).
+  uint64_t num_buckets() const { return buckets_.size(); }
+
+  uint64_t window() const { return window_; }
+  double epsilon() const { return epsilon_; }
+
+ private:
+  struct Bucket {
+    uint64_t timestamp;  // arrival index of the most recent 1 it covers
+    int64_t size;        // number of 1s covered (a power of two)
+  };
+
+  ExponentialHistogram(uint64_t window, double epsilon, uint64_t max_per_size);
+
+  void ExpireOldBuckets();
+  void MergeOverflowingBuckets();
+
+  uint64_t window_;
+  double epsilon_;
+  uint64_t max_per_size_;  // ⌈1/ε⌉/2 + 2, the DGIM bucket-count cap
+  uint64_t clock_ = 0;     // arrivals processed
+  std::deque<Bucket> buckets_;  // newest at front, sizes non-decreasing back
+  int64_t total_size_ = 0;
+};
+
+}  // namespace stream
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_STREAM_EXPONENTIAL_HISTOGRAM_H_

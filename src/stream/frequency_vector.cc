@@ -1,0 +1,61 @@
+#include "stream/frequency_vector.h"
+
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace stream {
+
+FrequencyVector::FrequencyVector(uint64_t domain_size)
+    : counts_(domain_size, 0) {
+  SKIMJOIN_CHECK_GE(domain_size, 1u);
+}
+
+void FrequencyVector::Add(uint64_t value, int64_t weight) {
+  SKIMJOIN_CHECK_LT(value, counts_.size()) << "value outside stream domain";
+  counts_[value] += weight;
+}
+
+int64_t FrequencyVector::Get(uint64_t value) const {
+  SKIMJOIN_CHECK_LT(value, counts_.size()) << "value outside stream domain";
+  return counts_[value];
+}
+
+int64_t FrequencyVector::TotalCount() const {
+  int64_t total = 0;
+  for (int64_t c : counts_) total += c;
+  return total;
+}
+
+uint64_t FrequencyVector::SupportSize() const {
+  uint64_t support = 0;
+  for (int64_t c : counts_) support += (c != 0) ? 1 : 0;
+  return support;
+}
+
+int64_t FrequencyVector::SelfJoinSize() const {
+  __int128 total = 0;
+  for (int64_t c : counts_) total += static_cast<__int128>(c) * c;
+  SKIMJOIN_CHECK(total <= INT64_MAX) << "self-join size overflows int64";
+  return static_cast<int64_t>(total);
+}
+
+void FrequencyVector::Subtract(const FrequencyVector& other) {
+  SKIMJOIN_CHECK_EQ(counts_.size(), other.counts_.size());
+  for (size_t v = 0; v < counts_.size(); ++v) counts_[v] -= other.counts_[v];
+}
+
+int64_t JoinSize(const FrequencyVector& f, const FrequencyVector& g) {
+  SKIMJOIN_CHECK_EQ(f.domain_size(), g.domain_size());
+  __int128 total = 0;
+  const auto& fc = f.counts();
+  const auto& gc = g.counts();
+  for (size_t v = 0; v < fc.size(); ++v) {
+    total += static_cast<__int128>(fc[v]) * gc[v];
+  }
+  SKIMJOIN_CHECK(total <= INT64_MAX && total >= INT64_MIN)
+      << "join size overflows int64";
+  return static_cast<int64_t>(total);
+}
+
+}  // namespace stream
+}  // namespace skimjoin

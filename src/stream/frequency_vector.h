@@ -1,0 +1,67 @@
+// Dense frequency vectors over a bounded domain [0, m).
+//
+// The frequency vector f of a stream F has f_v = (sum of weights of elements
+// with value v). It is both the reference object for exact answers in tests
+// and benchmarks, and the representation SKIMDENSE uses for the extracted
+// dense frequencies (stored sparsely there; see core/skim.h).
+
+#ifndef SKIMJOIN_STREAM_FREQUENCY_VECTOR_H_
+#define SKIMJOIN_STREAM_FREQUENCY_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/stream_element.h"
+
+namespace skimjoin {
+namespace stream {
+
+/// Exact per-value frequencies of a stream over domain [0, domain_size).
+class FrequencyVector {
+ public:
+  /// Zero vector over [0, domain_size). Pre-condition: domain_size >= 1.
+  explicit FrequencyVector(uint64_t domain_size);
+
+  /// Applies one stream element. Pre-condition: element.value < domain size.
+  void Apply(const StreamElement& element) {
+    Add(element.value, element.weight);
+  }
+
+  /// Adds `weight` to the frequency of `value`.
+  /// Pre-condition: value < domain size.
+  void Add(uint64_t value, int64_t weight);
+
+  /// Frequency of `value`. Pre-condition: value < domain size.
+  int64_t Get(uint64_t value) const;
+
+  uint64_t domain_size() const { return counts_.size(); }
+
+  /// Sum of frequencies (the stream's net element count n).
+  int64_t TotalCount() const;
+
+  /// Number of values with non-zero frequency.
+  uint64_t SupportSize() const;
+
+  /// Second frequency moment F2 = sum_v f_v^2 (the self-join size of §2.2).
+  /// Computed in unsigned 128-bit internally; pre-condition: the result fits
+  /// in int64_t (true for every workload in this repository).
+  int64_t SelfJoinSize() const;
+
+  /// Raw access for exact reference computations.
+  const std::vector<int64_t>& counts() const { return counts_; }
+
+  /// component-wise this -= other. Pre-condition: same domain size.
+  void Subtract(const FrequencyVector& other);
+
+ private:
+  std::vector<int64_t> counts_;
+};
+
+/// Exact join size |F ⋈ G| = sum_v f_v * g_v (binary-join COUNT, §2.1).
+/// Pre-condition: equal domain sizes; result fits in int64_t.
+int64_t JoinSize(const FrequencyVector& f, const FrequencyVector& g);
+
+}  // namespace stream
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_STREAM_FREQUENCY_VECTOR_H_

@@ -1,0 +1,69 @@
+// Additional synthetic workloads beyond Zipf (stream/zipf.h) and the
+// census substitute (stream/census_like.h): uniform and self-similar
+// (80–20 rule) distributions, used by tests and ablation benchmarks to
+// exercise the estimators on non-Zipf skew shapes.
+
+#ifndef SKIMJOIN_STREAM_GENERATORS_H_
+#define SKIMJOIN_STREAM_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/frequency_vector.h"
+#include "stream/stream_element.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace stream {
+
+/// Uniform distribution over [0, domain_size).
+class UniformDistribution {
+ public:
+  /// Pre-condition: domain_size >= 1.
+  explicit UniformDistribution(uint64_t domain_size);
+
+  uint64_t Sample(Rng* rng) const;
+  std::vector<StreamElement> GenerateElements(uint64_t count, Rng* rng) const;
+
+  /// Deterministic expected frequencies for a `count`-element stream (the
+  /// remainder spread over the lowest values).
+  FrequencyVector ExpectedFrequencies(uint64_t count) const;
+
+  uint64_t domain_size() const { return domain_size_; }
+
+ private:
+  uint64_t domain_size_;
+};
+
+/// Self-similar ("80–20 law") distribution [Gray et al., SIGMOD '94]: a
+/// fraction `bias` of the mass falls on the first half of the domain,
+/// recursively. bias = 0.5 is uniform; bias = 0.8 is the classic 80–20;
+/// bias → 1 concentrates everything on value 0.
+class SelfSimilarDistribution {
+ public:
+  /// Pre-conditions: domain_size a power of two >= 2, 0.5 <= bias < 1.
+  SelfSimilarDistribution(uint64_t domain_size, double bias);
+
+  uint64_t Sample(Rng* rng) const;
+  std::vector<StreamElement> GenerateElements(uint64_t count, Rng* rng) const;
+
+  /// Exact per-value probability (product of per-level biases).
+  double Probability(uint64_t value) const;
+
+  /// Expected frequencies with largest-remainder rounding to exactly
+  /// `count`.
+  FrequencyVector ExpectedFrequencies(uint64_t count) const;
+
+  uint64_t domain_size() const { return domain_size_; }
+  double bias() const { return bias_; }
+
+ private:
+  uint64_t domain_size_;
+  double bias_;
+  uint64_t levels_;
+};
+
+}  // namespace stream
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_STREAM_GENERATORS_H_

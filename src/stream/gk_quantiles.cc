@@ -1,0 +1,90 @@
+#include "stream/gk_quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace stream {
+
+GkQuantileSummary::GkQuantileSummary(double epsilon) : epsilon_(epsilon) {}
+
+StatusOr<GkQuantileSummary> GkQuantileSummary::Create(double epsilon) {
+  if (!(epsilon > 0.0 && epsilon <= 0.5)) {
+    return InvalidArgumentError("GK epsilon must be in (0, 0.5]");
+  }
+  return GkQuantileSummary(epsilon);
+}
+
+void GkQuantileSummary::Insert(uint64_t value) {
+  ++count_;
+  const auto band =
+      static_cast<int64_t>(std::floor(2.0 * epsilon_ *
+                                      static_cast<double>(count_)));
+  // Position: first tuple with a strictly larger value.
+  const auto it = std::upper_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](uint64_t v, const Tuple& t) { return v < t.value; });
+  Tuple inserted{value, 1, 0};
+  if (it != tuples_.begin() && it != tuples_.end()) {
+    // Interior insert: inherits the maximum allowed uncertainty.
+    inserted.delta = std::max<int64_t>(band - 1, 0);
+  }
+  tuples_.insert(it, inserted);
+
+  // Compress periodically (every ~1/(2ε) inserts keeps amortized cost low).
+  const auto period =
+      std::max<int64_t>(1, static_cast<int64_t>(1.0 / (2.0 * epsilon_)));
+  if (count_ % period == 0) Compress();
+}
+
+void GkQuantileSummary::Compress() {
+  if (tuples_.size() < 3) return;
+  const auto band = static_cast<int64_t>(
+      std::floor(2.0 * epsilon_ * static_cast<double>(count_)));
+  std::vector<Tuple> compressed;
+  compressed.reserve(tuples_.size());
+  compressed.push_back(tuples_.front());
+  // Sweep left to right, folding each tuple into its successor when the
+  // combined uncertainty stays within the band. The first and last tuples
+  // (stream extremes) are always kept.
+  for (size_t i = 1; i + 1 < tuples_.size(); ++i) {
+    const Tuple& current = tuples_[i];
+    const Tuple& next = tuples_[i + 1];
+    if (current.g + next.g + next.delta <= band) {
+      // Merge `current` into `next` (the fold accumulates in tuples_ so
+      // later merges see the combined g).
+      tuples_[i + 1].g += current.g;
+    } else {
+      compressed.push_back(current);
+    }
+  }
+  compressed.push_back(tuples_.back());
+  tuples_ = std::move(compressed);
+}
+
+StatusOr<uint64_t> GkQuantileSummary::Quantile(double phi) const {
+  if (!(phi > 0.0 && phi <= 1.0)) {
+    return InvalidArgumentError("phi must be in (0, 1]");
+  }
+  if (tuples_.empty()) {
+    return FailedPreconditionError("quantile of an empty summary");
+  }
+  const auto rank = static_cast<int64_t>(
+      std::ceil(phi * static_cast<double>(count_)));
+  const auto slack = static_cast<int64_t>(
+      std::ceil(epsilon_ * static_cast<double>(count_)));
+  int64_t min_rank = 0;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    min_rank += tuples_[i].g;
+    const int64_t max_rank = min_rank + tuples_[i].delta;
+    if (max_rank >= rank + slack) {
+      return tuples_[i > 0 ? i - 1 : 0].value;
+    }
+  }
+  return tuples_.back().value;
+}
+
+}  // namespace stream
+}  // namespace skimjoin

@@ -1,0 +1,14 @@
+#include "stream/sliding_window.h"
+
+namespace skimjoin {
+namespace stream {
+
+StatusOr<SlidingWindow> SlidingWindow::Create(uint64_t capacity) {
+  if (capacity == 0) {
+    return InvalidArgumentError("sliding-window capacity must be >= 1");
+  }
+  return SlidingWindow(capacity);
+}
+
+}  // namespace stream
+}  // namespace skimjoin

@@ -1,0 +1,68 @@
+// Sliding-window stream adapter.
+//
+// The paper's synopses handle general updates, which makes sliding-window
+// semantics (cited in §1 via Datar et al.) a pure adapter concern: re-emit
+// each arrival as an insert and, once the window is full, re-emit the
+// expired arrival as a delete. Any linear synopsis downstream then
+// summarizes exactly the last W elements — no specialized windowed sketch
+// needed. The adapter buffers the window contents (the elements themselves,
+// not a synopsis), so it is for moderate window sizes; its purpose is to
+// turn window semantics into the insert/delete stream model of §2.1.
+
+#ifndef SKIMJOIN_STREAM_SLIDING_WINDOW_H_
+#define SKIMJOIN_STREAM_SLIDING_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "stream/stream_element.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace skimjoin {
+namespace stream {
+
+/// Count-based sliding window over a stream of values: the downstream sink
+/// always reflects exactly the most recent `capacity` arrivals.
+class SlidingWindow {
+ public:
+  /// Window of the last `capacity` arrivals. INVALID_ARGUMENT if
+  /// capacity == 0.
+  static StatusOr<SlidingWindow> Create(uint64_t capacity);
+
+  /// Processes one arrival: forwards Insert(value) to `sink`, and if this
+  /// push evicts the oldest arrival, forwards Delete(evicted) too. `sink`
+  /// is any callable taking a StreamElement.
+  template <typename Sink>
+  void Push(uint64_t value, Sink&& sink) {
+    window_.push_back(value);
+    sink(Insert(value));
+    if (window_.size() > capacity_) {
+      const uint64_t evicted = window_.front();
+      window_.pop_front();
+      sink(Delete(evicted));
+    }
+  }
+
+  /// Number of arrivals currently inside the window.
+  uint64_t size() const { return window_.size(); }
+  uint64_t capacity() const { return capacity_; }
+
+  /// Oldest arrival still in the window. Pre-condition: size() > 0.
+  uint64_t oldest() const {
+    SKIMJOIN_CHECK(!window_.empty());
+    return window_.front();
+  }
+
+ private:
+  explicit SlidingWindow(uint64_t capacity) : capacity_(capacity) {}
+
+  uint64_t capacity_;
+  std::deque<uint64_t> window_;
+};
+
+}  // namespace stream
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_STREAM_SLIDING_WINDOW_H_

@@ -1,0 +1,38 @@
+// The stream data-processing model of Section 2.1 of the paper.
+//
+// A data stream is an unordered sequence of elements with values from the
+// domain [0, m). Each element carries a signed weight:
+//   * weight = +1  — an insert (the common case),
+//   * weight = -1  — a delete (the linear-projection synopses handle these
+//     exactly; sampling cannot),
+//   * weight = w   — a measure value, which turns a COUNT synopsis into a
+//     SUM synopsis (SUM_w(F ⋈ G) is COUNT over the stream with each element
+//     repeated w times; see Section 2.1).
+
+#ifndef SKIMJOIN_STREAM_STREAM_ELEMENT_H_
+#define SKIMJOIN_STREAM_STREAM_ELEMENT_H_
+
+#include <cstdint>
+
+namespace skimjoin {
+namespace stream {
+
+/// One stream arrival: a domain value plus a signed weight.
+struct StreamElement {
+  uint64_t value = 0;
+  int64_t weight = 1;
+
+  friend bool operator==(const StreamElement&, const StreamElement&) = default;
+};
+
+/// Convenience factories.
+inline StreamElement Insert(uint64_t value) { return {value, 1}; }
+inline StreamElement Delete(uint64_t value) { return {value, -1}; }
+inline StreamElement Weighted(uint64_t value, int64_t weight) {
+  return {value, weight};
+}
+
+}  // namespace stream
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_STREAM_STREAM_ELEMENT_H_

@@ -1,0 +1,49 @@
+#include "stream/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace skimjoin {
+namespace stream {
+
+Status WriteTrace(const std::string& path,
+                  const std::vector<StreamElement>& elements) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return IoError("cannot open trace file for writing: " + path);
+  out << "# skimjoin trace v1: <value> <weight>\n";
+  for (const StreamElement& e : elements) {
+    out << e.value << ' ' << e.weight << '\n';
+  }
+  out.flush();
+  if (!out) return IoError("write failed for trace file: " + path);
+  return OkStatus();
+}
+
+StatusOr<std::vector<StreamElement>> ReadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return IoError("cannot open trace file for reading: " + path);
+  std::vector<StreamElement> elements;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    StreamElement e;
+    if (!(fields >> e.value >> e.weight)) {
+      return InvalidArgumentError("malformed trace line " +
+                                  std::to_string(line_number) + " in " + path);
+    }
+    std::string extra;
+    if (fields >> extra) {
+      return InvalidArgumentError("trailing tokens on trace line " +
+                                  std::to_string(line_number) + " in " + path);
+    }
+    elements.push_back(e);
+  }
+  return elements;
+}
+
+}  // namespace stream
+}  // namespace skimjoin

@@ -1,0 +1,30 @@
+// Plain-text trace files so workloads can be captured, shared, and replayed
+// across processes (e.g., generate once, feed both a sketch run and an exact
+// reference run). Format: one "value weight" pair per line; lines beginning
+// with '#' are comments.
+
+#ifndef SKIMJOIN_STREAM_TRACE_IO_H_
+#define SKIMJOIN_STREAM_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/stream_element.h"
+#include "util/status.h"
+
+namespace skimjoin {
+namespace stream {
+
+/// Writes `elements` to `path`, overwriting any existing file.
+Status WriteTrace(const std::string& path,
+                  const std::vector<StreamElement>& elements);
+
+/// Reads a trace written by WriteTrace (or hand-authored in the same
+/// format). Returns IO_ERROR if the file cannot be opened and
+/// INVALID_ARGUMENT on malformed lines.
+StatusOr<std::vector<StreamElement>> ReadTrace(const std::string& path);
+
+}  // namespace stream
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_STREAM_TRACE_IO_H_

@@ -1,0 +1,150 @@
+#include "stream/wavelet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace stream {
+
+namespace {
+
+bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+uint64_t Log2(uint64_t x) {
+  uint64_t log = 0;
+  while ((uint64_t{1} << log) < x) ++log;
+  return log;
+}
+
+// Depth of heap-numbered node j >= 1 (root j=1 has depth 0).
+uint64_t DepthOf(uint64_t j) {
+  uint64_t depth = 0;
+  while (j >>= 1) ++depth;
+  return depth;
+}
+
+// Size of the intersection of [lo, hi] with [start, start+len).
+uint64_t Overlap(uint64_t lo, uint64_t hi, uint64_t start, uint64_t len) {
+  const uint64_t a = std::max(lo, start);
+  const uint64_t b = std::min(hi, start + len - 1);
+  return a <= b ? (b - a + 1) : 0;
+}
+
+}  // namespace
+
+WaveletSynopsis::WaveletSynopsis(uint64_t domain_size)
+    : domain_size_(domain_size), levels_(Log2(domain_size)) {}
+
+StatusOr<WaveletSynopsis> WaveletSynopsis::Create(uint64_t domain_size) {
+  if (!IsPowerOfTwo(domain_size) || domain_size < 2) {
+    return InvalidArgumentError(
+        "wavelet synopses require a power-of-two domain size >= 2");
+  }
+  return WaveletSynopsis(domain_size);
+}
+
+void WaveletSynopsis::Adjust(uint64_t index, double delta) {
+  const double updated = Coefficient(index) + delta;
+  if (updated == 0.0) {
+    coefficients_.erase(index);
+  } else {
+    coefficients_[index] = updated;
+  }
+}
+
+void WaveletSynopsis::Update(uint64_t value, int64_t weight) {
+  SKIMJOIN_CHECK_LT(value, domain_size_);
+  const double w = static_cast<double>(weight);
+  // Average coefficient.
+  Adjust(0, w / static_cast<double>(domain_size_));
+  // Root-to-leaf path: node j covers [start, start+size); the detail
+  // coefficient is (avg of left half - avg of right half) / 2, so a +w
+  // point mass in the left half moves it by +w/size, right half by -w/size.
+  uint64_t j = 1;
+  uint64_t start = 0;
+  uint64_t size = domain_size_;
+  while (size >= 2) {
+    const uint64_t half = size / 2;
+    const bool left = value < start + half;
+    Adjust(j, left ? w / static_cast<double>(size)
+                   : -w / static_cast<double>(size));
+    j = 2 * j + (left ? 0 : 1);
+    if (!left) start += half;
+    size = half;
+  }
+}
+
+double WaveletSynopsis::PointEstimate(uint64_t value) const {
+  SKIMJOIN_CHECK_LT(value, domain_size_);
+  double result = Coefficient(0);
+  uint64_t j = 1;
+  uint64_t start = 0;
+  uint64_t size = domain_size_;
+  while (size >= 2) {
+    const uint64_t half = size / 2;
+    const bool left = value < start + half;
+    result += left ? Coefficient(j) : -Coefficient(j);
+    j = 2 * j + (left ? 0 : 1);
+    if (!left) start += half;
+    size = half;
+  }
+  return result;
+}
+
+StatusOr<double> WaveletSynopsis::RangeSum(uint64_t lo, uint64_t hi) const {
+  if (lo > hi) {
+    return InvalidArgumentError("range lower bound exceeds upper bound");
+  }
+  if (hi >= domain_size_) {
+    return OutOfRangeError("range extends past the wavelet domain");
+  }
+  // Iterate the SPARSE coefficient store: each retained coefficient
+  // contributes its reconstruction weight times its overlap with the range.
+  double total = 0.0;
+  for (const auto& [index, value] : coefficients_) {
+    if (index == 0) {
+      total += value * static_cast<double>(hi - lo + 1);
+      continue;
+    }
+    const uint64_t depth = DepthOf(index);
+    const uint64_t size = domain_size_ >> depth;
+    const uint64_t start = (index - (uint64_t{1} << depth)) * size;
+    const uint64_t half = size / 2;
+    const uint64_t left_overlap = Overlap(lo, hi, start, half);
+    const uint64_t right_overlap = Overlap(lo, hi, start + half, half);
+    total += value * (static_cast<double>(left_overlap) -
+                      static_cast<double>(right_overlap));
+  }
+  return total;
+}
+
+double WaveletSynopsis::NormalizationOf(uint64_t index) const {
+  if (index == 0) return std::sqrt(static_cast<double>(domain_size_));
+  return std::sqrt(static_cast<double>(domain_size_ >> DepthOf(index)));
+}
+
+std::vector<std::pair<uint64_t, double>> WaveletSynopsis::TopCoefficients(
+    uint64_t budget) const {
+  std::vector<std::pair<uint64_t, double>> all(coefficients_.begin(),
+                                               coefficients_.end());
+  std::sort(all.begin(), all.end(), [this](const auto& a, const auto& b) {
+    const double na = std::abs(a.second) * NormalizationOf(a.first);
+    const double nb = std::abs(b.second) * NormalizationOf(b.first);
+    if (na != nb) return na > nb;
+    return a.first < b.first;
+  });
+  if (all.size() > budget) all.resize(budget);
+  return all;
+}
+
+void WaveletSynopsis::CompressTo(uint64_t budget) {
+  if (coefficients_.size() <= budget) return;
+  const auto kept = TopCoefficients(budget);
+  coefficients_.clear();
+  for (const auto& [index, value] : kept) coefficients_.emplace(index, value);
+}
+
+}  // namespace stream
+}  // namespace skimjoin

@@ -1,0 +1,81 @@
+#include "stream/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace stream {
+
+ZipfDistribution::ZipfDistribution(uint64_t domain_size, double z,
+                                   uint64_t shift)
+    : domain_size_(domain_size), z_(z), shift_(shift) {
+  SKIMJOIN_CHECK_GE(domain_size, 1u);
+  SKIMJOIN_CHECK_GE(z, 0.0);
+  SKIMJOIN_CHECK_LT(shift, domain_size);
+  const uint64_t support = domain_size - shift;
+  cdf_.resize(support);
+  double total = 0.0;
+  for (uint64_t i = 0; i < support; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -z);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding drift
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const uint64_t rank = static_cast<uint64_t>(it - cdf_.begin());
+  return rank + shift_;
+}
+
+std::vector<StreamElement> ZipfDistribution::GenerateElements(
+    uint64_t count, Rng* rng) const {
+  std::vector<StreamElement> elements;
+  elements.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) elements.push_back(Insert(Sample(rng)));
+  return elements;
+}
+
+FrequencyVector ZipfDistribution::ExpectedFrequencies(uint64_t count) const {
+  FrequencyVector result(domain_size_);
+  const uint64_t support = domain_size_ - shift_;
+  // Largest-remainder rounding: floor every expectation, then hand the
+  // leftover units to the values with the biggest fractional parts.
+  std::vector<double> fractional(support);
+  uint64_t assigned = 0;
+  double prev = 0.0;
+  for (uint64_t i = 0; i < support; ++i) {
+    const double expected = (cdf_[i] - prev) * static_cast<double>(count);
+    prev = cdf_[i];
+    const auto base = static_cast<uint64_t>(expected);
+    result.Add(i + shift_, static_cast<int64_t>(base));
+    assigned += base;
+    fractional[i] = expected - static_cast<double>(base);
+  }
+  SKIMJOIN_CHECK_LE(assigned, count);
+  uint64_t leftover = count - assigned;
+  if (leftover > 0) {
+    std::vector<uint64_t> order(support);
+    std::iota(order.begin(), order.end(), 0);
+    const uint64_t take = std::min<uint64_t>(leftover, support);
+    std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                      [&](uint64_t a, uint64_t b) {
+                        return fractional[a] > fractional[b];
+                      });
+    // `leftover` can exceed the support only in degenerate tiny domains;
+    // spread round-robin in that case.
+    for (uint64_t i = 0; i < leftover; ++i) {
+      result.Add(order[i % support] + shift_, 1);
+    }
+  }
+  SKIMJOIN_CHECK_EQ(result.TotalCount(), static_cast<int64_t>(count));
+  return result;
+}
+
+}  // namespace stream
+}  // namespace skimjoin

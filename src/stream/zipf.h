@@ -1,0 +1,63 @@
+// Zipfian and right-shifted Zipfian workloads (evaluation Section 5.1).
+//
+// The paper's synthetic experiments join a Zipf(z) stream against the same
+// distribution "right-shifted" by a shift parameter: the shifted stream's
+// frequency for value v equals the original frequency of value v - shift.
+// Shift 0 makes the join a self-join; growing the shift shrinks the join
+// size, stress-testing estimator accuracy (relative error is inversely
+// proportional to join size).
+
+#ifndef SKIMJOIN_STREAM_ZIPF_H_
+#define SKIMJOIN_STREAM_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/frequency_vector.h"
+#include "stream/stream_element.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace stream {
+
+/// A Zipfian distribution over [0, domain_size): value v has probability
+/// proportional to 1 / (v + 1)^z, optionally right-shifted.
+class ZipfDistribution {
+ public:
+  /// Pre-conditions: domain_size >= 1, z >= 0, shift < domain_size.
+  /// A value v of the shifted distribution has the probability that v - shift
+  /// has under the unshifted one; the bottom `shift` values get probability 0
+  /// (mass is renormalized over the remaining domain, matching the paper's
+  /// description of frequencies being "identical ... shifted right").
+  ZipfDistribution(uint64_t domain_size, double z, uint64_t shift = 0);
+
+  /// Draws one value.
+  uint64_t Sample(Rng* rng) const;
+
+  /// Emits `count` insert elements drawn i.i.d. from the distribution.
+  std::vector<StreamElement> GenerateElements(uint64_t count, Rng* rng) const;
+
+  /// Materializes the *expected* frequency vector for a stream of `count`
+  /// elements, with deterministic largest-remainder rounding so the total is
+  /// exactly `count`. Because sketches are linear, feeding this through
+  /// Update(v, f_v) is arithmetically identical to streaming f_v inserts of
+  /// each v; the accuracy benchmarks use this form (documented in DESIGN.md).
+  FrequencyVector ExpectedFrequencies(uint64_t count) const;
+
+  uint64_t domain_size() const { return domain_size_; }
+  double z() const { return z_; }
+  uint64_t shift() const { return shift_; }
+
+ private:
+  uint64_t domain_size_;
+  double z_;
+  uint64_t shift_;
+  // Cumulative probabilities over the *unshifted* support, for inverse-CDF
+  // sampling by binary search.
+  std::vector<double> cdf_;
+};
+
+}  // namespace stream
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_STREAM_ZIPF_H_

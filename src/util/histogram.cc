@@ -1,0 +1,64 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace skimjoin {
+
+int Histogram::BucketOf(double value) {
+  if (value < 1.0) return 0;
+  const int bucket = 1 + static_cast<int>(std::floor(std::log2(value)));
+  return std::min(bucket, kBuckets - 1);
+}
+
+double Histogram::LowerEdge(int index) {
+  if (index == 0) return 0.0;
+  return std::pow(2.0, index - 1);
+}
+
+void Histogram::Add(double value) {
+  ++counts_[BucketOf(value)];
+  if (total_count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++total_count_;
+  sum_ += value;
+}
+
+double Histogram::ApproximateQuantile(double q) const {
+  SKIMJOIN_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_count_);
+  double cumulative = 0.0;
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    const double next = cumulative + static_cast<double>(counts_[bucket]);
+    if (next >= target && counts_[bucket] > 0) {
+      const double lo = LowerEdge(bucket);
+      const double hi = (bucket + 1 < kBuckets) ? LowerEdge(bucket + 1) : max_;
+      const double within =
+          (target - cumulative) / static_cast<double>(counts_[bucket]);
+      return lo + within * (std::max(hi, lo) - lo);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+void Histogram::Print(std::ostream& os) const {
+  os << "count=" << total_count_ << " mean=" << Mean() << " min=" << Min()
+     << " max=" << Max() << "\n";
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    if (counts_[bucket] == 0) continue;
+    const double lo = LowerEdge(bucket);
+    const double hi = (bucket + 1 < kBuckets) ? LowerEdge(bucket + 1) : max_;
+    os << "  [" << lo << ", " << hi << "): " << counts_[bucket] << "\n";
+  }
+}
+
+}  // namespace skimjoin

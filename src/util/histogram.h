@@ -1,0 +1,59 @@
+// Power-of-two bucketed histogram for non-negative measurements
+// (latencies, errors, counter values). Used by benchmarks to report
+// distributions without retaining raw samples.
+
+#ifndef SKIMJOIN_UTIL_HISTOGRAM_H_
+#define SKIMJOIN_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace skimjoin {
+
+/// Histogram with buckets [0,1), [1,2), [2,4), [4,8), ... Values record in
+/// the bucket whose range contains them; negative values clamp to bucket 0.
+class Histogram {
+ public:
+  Histogram() : counts_(kBuckets, 0) {}
+
+  /// Records one measurement.
+  void Add(double value);
+
+  /// Total measurements recorded.
+  uint64_t Count() const { return total_count_; }
+
+  /// Sum and mean of the recorded measurements (exact, not bucketed).
+  double Sum() const { return sum_; }
+  double Mean() const {
+    return total_count_ == 0 ? 0.0 : sum_ / static_cast<double>(total_count_);
+  }
+  double Min() const { return total_count_ == 0 ? 0.0 : min_; }
+  double Max() const { return total_count_ == 0 ? 0.0 : max_; }
+
+  /// Approximate q-quantile (q in [0, 1]) by linear interpolation within
+  /// the bucket holding the target rank. Returns 0 for an empty histogram.
+  double ApproximateQuantile(double q) const;
+
+  /// Renders non-empty buckets as "lo..hi: count" lines.
+  void Print(std::ostream& os) const;
+
+ private:
+  static constexpr int kBuckets = 64;
+
+  /// Bucket index for `value`.
+  static int BucketOf(double value);
+
+  /// Lower edge of bucket `index`.
+  static double LowerEdge(int index);
+
+  std::vector<uint64_t> counts_;
+  uint64_t total_count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_UTIL_HISTOGRAM_H_

@@ -1,0 +1,27 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace skimjoin {
+namespace internal_logging {
+
+void CheckFailed(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[skimjoin] CHECK failed at %s:%d: %s\n", file, line,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+CheckMessageBuilder::CheckMessageBuilder(const char* file, int line,
+                                         const char* condition)
+    : file_(file), line_(line) {
+  stream_ << condition;
+}
+
+CheckMessageBuilder::~CheckMessageBuilder() {
+  CheckFailed(file_, line_, stream_.str());
+}
+
+}  // namespace internal_logging
+}  // namespace skimjoin

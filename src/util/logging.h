@@ -1,0 +1,66 @@
+// Minimal logging and invariant-checking facilities.
+//
+// SKIMJOIN_CHECK(cond) aborts with a source location when `cond` is false.
+// It is used for programming errors (violated invariants, misuse of
+// preconditions documented on an API); recoverable failures use Status.
+
+#ifndef SKIMJOIN_UTIL_LOGGING_H_
+#define SKIMJOIN_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace skimjoin {
+namespace internal_logging {
+
+/// Terminates the process after printing `message` (with file/line context)
+/// to stderr. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const std::string& message);
+
+/// Stream-collecting helper so check macros can accept `<<` payloads.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition);
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder();
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace skimjoin
+
+/// Aborts the program when `condition` is false. Additional context can be
+/// streamed: SKIMJOIN_CHECK(x > 0) << "x=" << x;
+#define SKIMJOIN_CHECK(condition)                                      \
+  if (condition) {                                                     \
+  } else /* NOLINT */                                                  \
+    ::skimjoin::internal_logging::CheckMessageBuilder(__FILE__, __LINE__, \
+                                                      #condition)
+
+#define SKIMJOIN_CHECK_EQ(a, b) SKIMJOIN_CHECK((a) == (b))
+#define SKIMJOIN_CHECK_NE(a, b) SKIMJOIN_CHECK((a) != (b))
+#define SKIMJOIN_CHECK_LT(a, b) SKIMJOIN_CHECK((a) < (b))
+#define SKIMJOIN_CHECK_LE(a, b) SKIMJOIN_CHECK((a) <= (b))
+#define SKIMJOIN_CHECK_GT(a, b) SKIMJOIN_CHECK((a) > (b))
+#define SKIMJOIN_CHECK_GE(a, b) SKIMJOIN_CHECK((a) >= (b))
+
+/// Aborts if a Status-returning expression fails. For use in tests, examples
+/// and benchmarks where an error is unrecoverable.
+#define SKIMJOIN_CHECK_OK(expr)                           \
+  do {                                                    \
+    const ::skimjoin::Status _s = (expr);                 \
+    SKIMJOIN_CHECK(_s.ok()) << _s.ToString();             \
+  } while (false)
+
+#endif  // SKIMJOIN_UTIL_LOGGING_H_

@@ -1,0 +1,127 @@
+// Status and StatusOr: exception-free error propagation for fallible
+// operations (configuration validation, I/O, query registration).
+//
+// The library follows the RocksDB/Arrow convention: functions that can fail
+// for reasons a caller should handle return Status (or StatusOr<T> when they
+// also produce a value); programming errors are caught by SKIMJOIN_CHECK.
+
+#ifndef SKIMJOIN_UTIL_STATUS_H_
+#define SKIMJOIN_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace skimjoin {
+
+/// Machine-readable classification of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kIoError = 7,
+  kInternal = 8,
+};
+
+/// Returns a stable, human-readable name for `code` ("OK", "INVALID_ARGUMENT",
+/// ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// The result of an operation that can fail: either OK or a code plus a
+/// message describing what went wrong. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk; use the default constructor (or OkStatus()) for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Convenience factories mirroring absl::*Error.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status IoError(std::string message);
+Status InternalError(std::string message);
+
+/// Either a value of type T or a non-OK Status explaining why the value could
+/// not be produced. Accessing value() on an error aborts (see logging.h), so
+/// callers must check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit conversion from a value: `return T{...};` works directly.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit conversion from an error Status. `status` must not be OK.
+  StatusOr(Status status) : rep_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error (OkStatus() when a value is held).
+  Status status() const {
+    if (ok()) return OkStatus();
+    return std::get<Status>(rep_);
+  }
+
+  /// Pre-condition: ok().
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK status to the caller: `SKIMJOIN_RETURN_IF_ERROR(expr);`
+#define SKIMJOIN_RETURN_IF_ERROR(expr)                  \
+  do {                                                  \
+    ::skimjoin::Status _skimjoin_status = (expr);       \
+    if (!_skimjoin_status.ok()) return _skimjoin_status; \
+  } while (false)
+
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_UTIL_STATUS_H_

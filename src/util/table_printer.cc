@@ -1,0 +1,87 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace skimjoin {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  SKIMJOIN_CHECK(!columns_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  SKIMJOIN_CHECK_EQ(row.size(), columns_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+namespace {
+
+void WriteCsvCell(std::ostream& os, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char c : cell) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  os << "# " << title_ << "\n";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) os << ',';
+    WriteCsvCell(os, columns_[c]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      WriteCsvCell(os, row[c]);
+    }
+    os << "\n";
+  }
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << " " << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  };
+
+  os << "\n== " << title_ << " ==\n";
+  print_row(columns_);
+  os << "|";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace skimjoin

@@ -1,0 +1,42 @@
+// Fixed-width text tables for the benchmark harness output. Each bench
+// binary prints the rows/series of the paper figure it regenerates through
+// this printer so that results are easy to diff across runs.
+
+#ifndef SKIMJOIN_UTIL_TABLE_PRINTER_H_
+#define SKIMJOIN_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace skimjoin {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; `columns` define the header row.
+  TablePrinter(std::string title, std::vector<std::string> columns);
+
+  /// Appends a data row. Pre-condition: row.size() == number of columns.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string FormatDouble(double value, int precision = 4);
+
+  /// Renders the title, header, separator, and all rows to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Renders the same table as CSV (header row + data rows; cells
+  /// containing commas or quotes are quoted) for plotting pipelines. The
+  /// title is emitted as a leading "# title" comment line.
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_UTIL_TABLE_PRINTER_H_

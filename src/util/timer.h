@@ -1,0 +1,33 @@
+// Wall-clock timer for coarse measurements in the bench harness (figure
+// regeneration); micro-benchmarks use google-benchmark instead.
+
+#ifndef SKIMJOIN_UTIL_TIMER_H_
+#define SKIMJOIN_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace skimjoin {
+
+/// Measures elapsed wall time from construction (or the last Reset()).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction/Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction/Reset.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_UTIL_TIMER_H_

@@ -1,0 +1,205 @@
+#include "sketch/agms_sketch.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "stream/exact.h"
+#include "stream/zipf.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace sketch {
+namespace {
+
+using stream::FrequencyVector;
+
+AgmsSketch MustCreate(const AgmsConfig& config, uint64_t seed) {
+  StatusOr<AgmsSketch> sketch = AgmsSketch::Create(config, seed);
+  EXPECT_TRUE(sketch.ok()) << sketch.status();
+  return *std::move(sketch);
+}
+
+TEST(AgmsSketchTest, CreateValidatesConfig) {
+  EXPECT_FALSE(AgmsSketch::Create({0, 5}, 1).ok());
+  EXPECT_FALSE(AgmsSketch::Create({5, 0}, 1).ok());
+  EXPECT_TRUE(AgmsSketch::Create({1, 1}, 1).ok());
+}
+
+TEST(AgmsSketchTest, EmptySketchEstimatesZero) {
+  AgmsSketch f = MustCreate({16, 5}, 1);
+  AgmsSketch g = MustCreate({16, 5}, 1);
+  StatusOr<double> join = AgmsSketch::EstimateJoinSize(f, g);
+  ASSERT_TRUE(join.ok());
+  EXPECT_DOUBLE_EQ(*join, 0.0);
+  EXPECT_DOUBLE_EQ(f.EstimateSelfJoinSize(), 0.0);
+}
+
+TEST(AgmsSketchTest, SingleValueSelfJoinIsExact) {
+  // With one distinct value, X = f_v·ξ(v), so X² = f_v² in every cell.
+  AgmsSketch f = MustCreate({8, 3}, 2);
+  f.Update(7, 6);
+  EXPECT_DOUBLE_EQ(f.EstimateSelfJoinSize(), 36.0);
+}
+
+TEST(AgmsSketchTest, SingleSharedValueJoinIsExact) {
+  AgmsSketch f = MustCreate({8, 3}, 2);
+  AgmsSketch g = MustCreate({8, 3}, 2);
+  f.Update(7, 6);
+  g.Update(7, 5);
+  StatusOr<double> join = AgmsSketch::EstimateJoinSize(f, g);
+  ASSERT_TRUE(join.ok());
+  EXPECT_DOUBLE_EQ(*join, 30.0);  // ξ(7)² = 1 in every cell
+}
+
+TEST(AgmsSketchTest, InsertThenDeleteCancelsExactly) {
+  AgmsSketch f = MustCreate({16, 5}, 3);
+  const AgmsSketch empty = MustCreate({16, 5}, 3);
+  for (uint64_t v = 0; v < 50; ++v) f.Update(v, 1);
+  for (uint64_t v = 0; v < 50; ++v) f.Update(v, -1);
+  for (uint64_t i = 0; i < 16; ++i) {
+    for (uint64_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(f.counter(i, j), empty.counter(i, j));
+    }
+  }
+}
+
+TEST(AgmsSketchTest, AbsorbMatchesElementwiseUpdates) {
+  FrequencyVector fv(64);
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) fv.Add(rng.NextUint64Below(64), 1);
+  AgmsSketch by_absorb = MustCreate({8, 3}, 7);
+  by_absorb.Absorb(fv);
+  AgmsSketch by_updates = MustCreate({8, 3}, 7);
+  for (uint64_t v = 0; v < 64; ++v) {
+    for (int64_t c = 0; c < fv.Get(v); ++c) by_updates.Update(v, 1);
+  }
+  for (uint64_t i = 0; i < 8; ++i) {
+    for (uint64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(by_absorb.counter(i, j), by_updates.counter(i, j));
+    }
+  }
+}
+
+TEST(AgmsSketchTest, MergeEqualsConcatenatedStream) {
+  AgmsSketch part1 = MustCreate({8, 3}, 9);
+  AgmsSketch part2 = MustCreate({8, 3}, 9);
+  AgmsSketch whole = MustCreate({8, 3}, 9);
+  for (uint64_t v = 0; v < 30; ++v) {
+    part1.Update(v, 2);
+    whole.Update(v, 2);
+  }
+  for (uint64_t v = 20; v < 60; ++v) {
+    part2.Update(v, -1);
+    whole.Update(v, -1);
+  }
+  part1.Merge(part2);
+  for (uint64_t i = 0; i < 8; ++i) {
+    for (uint64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(part1.counter(i, j), whole.counter(i, j));
+    }
+  }
+}
+
+TEST(AgmsSketchTest, IncompatibleSketchesRejected) {
+  AgmsSketch f = MustCreate({8, 3}, 1);
+  AgmsSketch different_seed = MustCreate({8, 3}, 2);
+  AgmsSketch different_shape = MustCreate({4, 3}, 1);
+  EXPECT_FALSE(AgmsSketch::EstimateJoinSize(f, different_seed).ok());
+  EXPECT_FALSE(AgmsSketch::EstimateJoinSize(f, different_shape).ok());
+  EXPECT_FALSE(f.CompatibleWith(different_seed));
+  EXPECT_TRUE(f.CompatibleWith(MustCreate({8, 3}, 1)));
+}
+
+// Unbiasedness: the mean estimate over many independent seeds approaches the
+// exact join size.
+TEST(AgmsSketchTest, JoinEstimateIsUnbiasedAcrossSeeds) {
+  constexpr uint64_t kDomain = 128;
+  const FrequencyVector f =
+      stream::ZipfDistribution(kDomain, 1.0).ExpectedFrequencies(5000);
+  const FrequencyVector g =
+      stream::ZipfDistribution(kDomain, 1.0, /*shift=*/4)
+          .ExpectedFrequencies(5000);
+  const double exact = static_cast<double>(stream::JoinSize(f, g));
+  ASSERT_GT(exact, 0.0);
+
+  double sum = 0.0;
+  constexpr int kSeeds = 120;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    AgmsSketch sf = MustCreate({16, 1}, static_cast<uint64_t>(seed) + 100);
+    AgmsSketch sg = MustCreate({16, 1}, static_cast<uint64_t>(seed) + 100);
+    sf.Absorb(f);
+    sg.Absorb(g);
+    StatusOr<double> join = AgmsSketch::EstimateJoinSize(sf, sg);
+    ASSERT_TRUE(join.ok());
+    sum += *join;
+  }
+  const double mean = sum / kSeeds;
+  EXPECT_NEAR(mean, exact, 0.25 * exact);
+}
+
+// Accuracy scales with space: a big sketch should estimate a moderately
+// skewed self-join within 20%.
+TEST(AgmsSketchTest, SelfJoinAccuracyWithAmpleSpace) {
+  constexpr uint64_t kDomain = 256;
+  const FrequencyVector f =
+      stream::ZipfDistribution(kDomain, 0.8).ExpectedFrequencies(20000);
+  const double exact = static_cast<double>(f.SelfJoinSize());
+  AgmsSketch sketch = MustCreate({128, 7}, 5);
+  sketch.Absorb(f);
+  EXPECT_NEAR(sketch.EstimateSelfJoinSize(), exact, 0.2 * exact);
+}
+
+TEST(AgmsSketchTest, HandlesDeleteHeavyWorkload) {
+  constexpr uint64_t kDomain = 64;
+  FrequencyVector net(kDomain);
+  AgmsSketch sf = MustCreate({64, 5}, 11);
+  AgmsSketch sg = MustCreate({64, 5}, 11);
+  Rng rng(8);
+  // Insert a lot, delete most of it.
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.NextUint64Below(kDomain);
+    sf.Update(v, 1);
+    net.Add(v, 1);
+  }
+  for (int i = 0; i < 4000; ++i) {
+    const uint64_t v = rng.NextUint64Below(kDomain);
+    sf.Update(v, -1);
+    net.Add(v, -1);
+  }
+  FrequencyVector g(kDomain);
+  for (uint64_t v = 0; v < kDomain; ++v) {
+    g.Add(v, 3);
+    sg.Update(v, 3);
+  }
+  const double exact = static_cast<double>(stream::JoinSize(net, g));
+  StatusOr<double> join = AgmsSketch::EstimateJoinSize(sf, sg);
+  ASSERT_TRUE(join.ok());
+  EXPECT_NEAR(*join, exact, 0.5 * std::abs(exact) + 200.0);
+}
+
+// Property sweep over grid shapes: estimates stay finite and compatible
+// self-join estimates are non-negative-ish (each average is a mean of
+// squares, so every per-median average is >= 0).
+class AgmsShapeTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, uint64_t>> {};
+
+TEST_P(AgmsShapeTest, SelfJoinEstimateNonNegative) {
+  const auto [means, medians] = GetParam();
+  AgmsSketch sketch = MustCreate({means, medians}, 17);
+  Rng rng(19);
+  for (int i = 0; i < 300; ++i) sketch.Update(rng.NextUint64Below(100), 1);
+  EXPECT_GE(sketch.EstimateSelfJoinSize(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AgmsShapeTest,
+    ::testing::Values(std::pair<uint64_t, uint64_t>{1, 1},
+                      std::pair<uint64_t, uint64_t>{1, 9},
+                      std::pair<uint64_t, uint64_t>{32, 1},
+                      std::pair<uint64_t, uint64_t>{16, 4},
+                      std::pair<uint64_t, uint64_t>{50, 11}));
+
+}  // namespace
+}  // namespace sketch
+}  // namespace skimjoin

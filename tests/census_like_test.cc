@@ -1,0 +1,95 @@
+#include "stream/census_like.h"
+
+#include "gtest/gtest.h"
+#include "stream/exact.h"
+
+namespace skimjoin {
+namespace stream {
+namespace {
+
+CensusLikeGenerator::Options SmallOptions() {
+  CensusLikeGenerator::Options options;
+  options.domain_size = 1u << 12;
+  options.num_records = 20000;
+  return options;
+}
+
+TEST(CensusLikeTest, ProducesRequestedRecordCounts) {
+  CensusLikeGenerator gen(SmallOptions(), 1);
+  EXPECT_EQ(gen.GenerateWageStream().size(), 20000u);
+  EXPECT_EQ(gen.GenerateOvertimeStream().size(), 20000u);
+}
+
+TEST(CensusLikeTest, ValuesStayInDomain) {
+  CensusLikeGenerator gen(SmallOptions(), 2);
+  for (const auto& e : gen.GenerateWageStream()) {
+    EXPECT_LT(e.value, 1u << 12);
+    EXPECT_EQ(e.weight, 1);
+  }
+  for (const auto& e : gen.GenerateOvertimeStream()) {
+    EXPECT_LT(e.value, 1u << 12);
+    EXPECT_EQ(e.weight, 1);
+  }
+}
+
+TEST(CensusLikeTest, DeterministicBySeed) {
+  CensusLikeGenerator a(SmallOptions(), 42);
+  CensusLikeGenerator b(SmallOptions(), 42);
+  EXPECT_EQ(a.GenerateWageStream(), b.GenerateWageStream());
+  EXPECT_EQ(a.GenerateOvertimeStream(), b.GenerateOvertimeStream());
+}
+
+TEST(CensusLikeTest, DifferentSeedsDiffer) {
+  CensusLikeGenerator a(SmallOptions(), 1);
+  CensusLikeGenerator b(SmallOptions(), 2);
+  EXPECT_NE(a.GenerateWageStream(), b.GenerateWageStream());
+}
+
+TEST(CensusLikeTest, OvertimeHasZeroSpike) {
+  auto options = SmallOptions();
+  options.zero_spike = 0.55;
+  CensusLikeGenerator gen(options, 3);
+  const auto overtime = gen.GenerateOvertimeStream();
+  int64_t zeros = 0;
+  for (const auto& e : overtime) zeros += (e.value == 0);
+  const double fraction =
+      static_cast<double>(zeros) / static_cast<double>(overtime.size());
+  // At least the configured spike (plus whatever the body contributes at 0).
+  EXPECT_GT(fraction, 0.50);
+  EXPECT_LT(fraction, 0.70);
+}
+
+TEST(CensusLikeTest, WageDistributionIsSpiky) {
+  CensusLikeGenerator gen(SmallOptions(), 4);
+  const FrequencyVector fv = Materialize(gen.GenerateWageStream(), 1u << 12);
+  // Round-number snapping should make multiples of 50 much heavier than
+  // their neighbors on average.
+  int64_t at_multiples = 0;
+  int64_t at_neighbors = 0;
+  for (uint64_t v = 50; v < 2000; v += 50) {
+    at_multiples += fv.Get(v);
+    at_neighbors += fv.Get(v + 1);
+  }
+  EXPECT_GT(at_multiples, 5 * at_neighbors);
+}
+
+TEST(CensusLikeTest, StreamsJoinNonTrivially) {
+  CensusLikeGenerator gen(SmallOptions(), 5);
+  const auto wage = gen.GenerateWageStream();
+  const auto overtime = gen.GenerateOvertimeStream();
+  const int64_t join = ExactJoinSize(wage, overtime, 1u << 12);
+  EXPECT_GT(join, 0);
+}
+
+TEST(CensusLikeDeathTest, RejectsBadOptions) {
+  CensusLikeGenerator::Options options = SmallOptions();
+  options.domain_size = 8;
+  EXPECT_DEATH(CensusLikeGenerator(options, 1), "");
+  options = SmallOptions();
+  options.zero_spike = 1.5;
+  EXPECT_DEATH(CensusLikeGenerator(options, 1), "");
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace skimjoin

@@ -1,0 +1,191 @@
+// Randomized differential testing: long random update/delete sequences are
+// applied simultaneously to the exact reference (FrequencyVector) and to
+// every synopsis, then the exact linear identities and the probabilistic
+// envelopes are checked. Parameterized over seeds so each instance is an
+// independent adversarial run.
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/skimmed_sketch.h"
+#include "gtest/gtest.h"
+#include "sketch/agms_sketch.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/hash_sketch.h"
+#include "stream/frequency_vector.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace {
+
+constexpr uint64_t kDomain = 1u << 10;
+
+// A random mixed workload: bursts of inserts, deletes of previously
+// inserted values, heavy values, and weighted updates.
+std::vector<stream::StreamElement> RandomWorkload(uint64_t seed,
+                                                  int operations) {
+  Rng rng(seed);
+  std::vector<stream::StreamElement> elements;
+  std::vector<uint64_t> live;
+  for (int i = 0; i < operations; ++i) {
+    const uint64_t dice = rng.NextUint64Below(100);
+    if (dice < 55 || live.empty()) {
+      const uint64_t value = rng.NextUint64Below(kDomain);
+      elements.push_back(stream::Insert(value));
+      live.push_back(value);
+    } else if (dice < 80) {
+      const uint64_t index = rng.NextUint64Below(live.size());
+      elements.push_back(stream::Delete(live[index]));
+      live[index] = live.back();
+      live.pop_back();
+    } else if (dice < 95) {
+      // Weighted burst on a hot value.
+      const uint64_t value = rng.NextUint64Below(16);
+      elements.push_back(stream::Weighted(
+          value, 1 + static_cast<int64_t>(rng.NextUint64Below(50))));
+    } else {
+      // Weighted retraction.
+      const uint64_t value = rng.NextUint64Below(16);
+      elements.push_back(stream::Weighted(
+          value, -static_cast<int64_t>(rng.NextUint64Below(20))));
+    }
+  }
+  return elements;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, SkimmedSketchAgainstExactReference) {
+  const uint64_t seed = GetParam();
+  const auto workload_f = RandomWorkload(seed * 2 + 1, 6000);
+  const auto workload_g = RandomWorkload(seed * 2 + 2, 6000);
+
+  stream::FrequencyVector exact_f(kDomain);
+  stream::FrequencyVector exact_g(kDomain);
+  core::SkimmedSketchConfig config;
+  config.domain_size = kDomain;
+  config.num_tables = 7;
+  config.num_buckets = 512;
+  config.use_dyadic_skim = (seed % 2 == 0);  // alternate both skim paths
+  auto sf = *core::SkimmedSketch::Create(config, seed + 100);
+  auto sg = *core::SkimmedSketch::Create(config, seed + 100);
+
+  for (const auto& e : workload_f) {
+    exact_f.Apply(e);
+    sf.Update(e);
+  }
+  for (const auto& e : workload_g) {
+    exact_g.Apply(e);
+    sg.Update(e);
+  }
+
+  const double exact = static_cast<double>(JoinSize(exact_f, exact_g));
+  StatusOr<double> estimate = core::SkimmedSketch::EstimateJoinSize(sf, sg);
+  ASSERT_TRUE(estimate.ok());
+  // Theorem 5 envelope with generous constant.
+  const double n_f = std::abs(static_cast<double>(exact_f.TotalCount())) +
+                     static_cast<double>(workload_f.size());
+  const double n_g = std::abs(static_cast<double>(exact_g.TotalCount())) +
+                     static_cast<double>(workload_g.size());
+  const double envelope = 8.0 * n_f * n_g / 512.0;
+  EXPECT_NEAR(*estimate, exact, envelope) << "seed " << seed;
+}
+
+TEST_P(DifferentialTest, SerializationIsLossless) {
+  const uint64_t seed = GetParam();
+  const auto workload = RandomWorkload(seed + 7, 3000);
+  core::SkimmedSketchConfig config;
+  config.domain_size = kDomain;
+  config.num_buckets = 128;
+  config.use_dyadic_skim = true;
+  auto sketch = *core::SkimmedSketch::Create(config, seed);
+  for (const auto& e : workload) sketch.Update(e);
+
+  std::stringstream wire;
+  ASSERT_TRUE(sketch.SerializeTo(wire).ok());
+  auto restored = *core::SkimmedSketch::DeserializeFrom(wire);
+  for (uint64_t v = 0; v < kDomain; v += 7) {
+    ASSERT_EQ(restored.EstimatePointFrequency(v),
+              sketch.EstimatePointFrequency(v));
+  }
+}
+
+TEST_P(DifferentialTest, MergeOfSplitStreamMatchesWholeStream) {
+  const uint64_t seed = GetParam();
+  const auto workload = RandomWorkload(seed + 13, 4000);
+  core::SkimmedSketchConfig config;
+  config.domain_size = kDomain;
+  config.num_buckets = 128;
+  config.use_dyadic_skim = true;
+  auto whole = *core::SkimmedSketch::Create(config, seed);
+  auto part1 = *core::SkimmedSketch::Create(config, seed);
+  auto part2 = *core::SkimmedSketch::Create(config, seed);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    whole.Update(workload[i]);
+    (i % 2 == 0 ? part1 : part2).Update(workload[i]);
+  }
+  part1.Merge(part2);
+  for (uint64_t v = 0; v < kDomain; v += 11) {
+    ASSERT_EQ(part1.EstimatePointFrequency(v),
+              whole.EstimatePointFrequency(v));
+  }
+}
+
+TEST_P(DifferentialTest, AgmsAndHashSketchAgreeWithinEnvelopes) {
+  const uint64_t seed = GetParam();
+  const auto workload_f = RandomWorkload(seed * 3 + 1, 5000);
+  const auto workload_g = RandomWorkload(seed * 3 + 2, 5000);
+  stream::FrequencyVector exact_f(kDomain);
+  stream::FrequencyVector exact_g(kDomain);
+  auto af = *sketch::AgmsSketch::Create({128, 7}, seed);
+  auto ag = *sketch::AgmsSketch::Create({128, 7}, seed);
+  auto hf = *sketch::HashSketch::Create({7, 512}, seed);
+  auto hg = *sketch::HashSketch::Create({7, 512}, seed);
+  for (const auto& e : workload_f) {
+    exact_f.Apply(e);
+    af.Update(e.value, e.weight);
+    hf.Update(e.value, e.weight);
+  }
+  for (const auto& e : workload_g) {
+    exact_g.Apply(e);
+    ag.Update(e.value, e.weight);
+    hg.Update(e.value, e.weight);
+  }
+  const double exact = static_cast<double>(JoinSize(exact_f, exact_g));
+  const double f2_f = static_cast<double>(exact_f.SelfJoinSize());
+  const double f2_g = static_cast<double>(exact_g.SelfJoinSize());
+  const double agms_envelope = 8.0 * std::sqrt(f2_f * f2_g / 128.0);
+  const double hash_envelope = 8.0 * std::sqrt(f2_f * f2_g / 512.0);
+  EXPECT_NEAR(*sketch::AgmsSketch::EstimateJoinSize(af, ag), exact,
+              agms_envelope)
+      << "seed " << seed;
+  EXPECT_NEAR(*sketch::HashSketch::EstimateJoinSize(hf, hg), exact,
+              hash_envelope)
+      << "seed " << seed;
+}
+
+TEST_P(DifferentialTest, CountMinPointEstimatesUpperBoundNetPositives) {
+  const uint64_t seed = GetParam();
+  // Insert-only slice of the workload (Count-Min's one-sided guarantee only
+  // holds without deletes).
+  Rng rng(seed + 50);
+  stream::FrequencyVector exact(kDomain);
+  auto cm = *sketch::CountMinSketch::Create({5, 256}, seed);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t value = rng.NextUint64Below(kDomain);
+    exact.Add(value, 1);
+    cm.Update(value, 1);
+  }
+  for (uint64_t v = 0; v < kDomain; v += 3) {
+    ASSERT_GE(cm.PointEstimate(v), exact.Get(v)) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace skimjoin

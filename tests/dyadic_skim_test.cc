@@ -1,0 +1,183 @@
+#include "core/dyadic_skim.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "stream/frequency_vector.h"
+#include "stream/zipf.h"
+
+namespace skimjoin {
+namespace core {
+namespace {
+
+using sketch::HashSketchConfig;
+using stream::FrequencyVector;
+
+DyadicSkimmer MustCreate(uint64_t domain, const HashSketchConfig& config,
+                         uint64_t seed) {
+  StatusOr<DyadicSkimmer> skimmer = DyadicSkimmer::Create(domain, config, seed);
+  EXPECT_TRUE(skimmer.ok()) << skimmer.status();
+  return *std::move(skimmer);
+}
+
+bool Contains(const std::vector<uint64_t>& values, uint64_t v) {
+  return std::find(values.begin(), values.end(), v) != values.end();
+}
+
+TEST(DyadicSkimmerTest, CreateRejectsBadArguments) {
+  EXPECT_FALSE(DyadicSkimmer::Create(0, {3, 8}, 1).ok());
+  EXPECT_FALSE(DyadicSkimmer::Create(1, {3, 8}, 1).ok());
+  EXPECT_FALSE(DyadicSkimmer::Create(100, {3, 8}, 1).ok());
+  EXPECT_FALSE(DyadicSkimmer::Create(64, {0, 8}, 1).ok());
+  EXPECT_FALSE(DyadicSkimmer::Create(64, {3, 0}, 1).ok());
+  EXPECT_TRUE(DyadicSkimmer::Create(2, {3, 8}, 1).ok());
+  EXPECT_TRUE(DyadicSkimmer::Create(1024, {3, 8}, 1).ok());
+}
+
+TEST(DyadicSkimmerTest, NumLevelsIsLogDomain) {
+  EXPECT_EQ(MustCreate(2, {3, 8}, 1).num_levels(), 1u);
+  EXPECT_EQ(MustCreate(16, {3, 8}, 1).num_levels(), 4u);
+  EXPECT_EQ(MustCreate(1u << 12, {3, 8}, 1).num_levels(), 12u);
+}
+
+TEST(DyadicSkimmerTest, NarrowLevelsAreStoredExactly) {
+  // Domain 64, 8 buckets: levels with <= 8 prefixes (level >= 3) are exact.
+  DyadicSkimmer skimmer = MustCreate(64, {3, 8}, 1);
+  EXPECT_FALSE(skimmer.LevelIsExact(1));  // 32 prefixes > 8 buckets
+  EXPECT_FALSE(skimmer.LevelIsExact(2));  // 16 prefixes
+  EXPECT_TRUE(skimmer.LevelIsExact(3));   // 8 prefixes
+  EXPECT_TRUE(skimmer.LevelIsExact(6));   // 1 prefix
+}
+
+TEST(DyadicSkimmerTest, TopLevelCountsWholeStreamExactly) {
+  DyadicSkimmer skimmer = MustCreate(256, {3, 64}, 2);
+  for (uint64_t v = 0; v < 200; ++v) skimmer.Update(v, 3);
+  EXPECT_TRUE(skimmer.LevelIsExact(8));
+  EXPECT_EQ(skimmer.PointEstimate(8, 0), 600);
+}
+
+TEST(DyadicSkimmerTest, IntervalEstimatesMatchExactSums) {
+  DyadicSkimmer skimmer = MustCreate(16, {5, 16}, 3);
+  skimmer.Update(0, 10);
+  skimmer.Update(1, 20);
+  skimmer.Update(5, 7);
+  // Level 1 prefix 0 covers {0, 1}: weight 30. Prefix 2 covers {4, 5}: 7.
+  EXPECT_EQ(skimmer.PointEstimate(1, 0), 30);
+  EXPECT_EQ(skimmer.PointEstimate(1, 2), 7);
+  // Level 2 prefix 0 covers {0..3}: 30; prefix 1 covers {4..7}: 7.
+  EXPECT_EQ(skimmer.PointEstimate(2, 0), 30);
+  EXPECT_EQ(skimmer.PointEstimate(2, 1), 7);
+  // All of these levels fit 16 buckets → exact.
+  for (uint64_t l = 1; l <= skimmer.num_levels(); ++l) {
+    EXPECT_TRUE(skimmer.LevelIsExact(l)) << l;
+  }
+}
+
+TEST(DyadicSkimmerTest, SketchedLevelsStillEstimateWell) {
+  // Domain 4096 with only 32 buckets: levels 1..6 are sketched.
+  DyadicSkimmer skimmer = MustCreate(4096, {7, 32}, 4);
+  EXPECT_FALSE(skimmer.LevelIsExact(1));
+  skimmer.Update(100, 500);
+  // Prefix of 100 at level 1 is 50; the sketched estimate should recover
+  // the planted mass (nothing else in the structure).
+  EXPECT_EQ(skimmer.PointEstimate(1, 50), 500);
+}
+
+TEST(DyadicSkimmerTest, FindCandidatesRecoversPlantedHeavyValues) {
+  constexpr uint64_t kDomain = 1u << 12;
+  FrequencyVector f(kDomain);
+  f.Add(17, 1000);
+  f.Add(2345, 800);
+  f.Add(4095, 600);
+  const stream::FrequencyVector background =
+      stream::ZipfDistribution(kDomain, 0.4).ExpectedFrequencies(20000);
+  DyadicSkimmer skimmer = MustCreate(kDomain, {7, 128}, 4);
+  skimmer.Absorb(f);
+  skimmer.Absorb(background);
+  const std::vector<uint64_t> candidates =
+      skimmer.FindCandidates(/*threshold=*/400, /*slack=*/0.5);
+  EXPECT_TRUE(Contains(candidates, 17));
+  EXPECT_TRUE(Contains(candidates, 2345));
+  EXPECT_TRUE(Contains(candidates, 4095));
+  // The search should prune hard: far fewer candidates than the domain.
+  EXPECT_LT(candidates.size(), kDomain / 8);
+}
+
+TEST(DyadicSkimmerTest, SubtractDenseRemovesValueFromSearch) {
+  constexpr uint64_t kDomain = 1u << 10;
+  DyadicSkimmer skimmer = MustCreate(kDomain, {7, 64}, 5);
+  skimmer.Update(100, 900);
+  ASSERT_TRUE(Contains(skimmer.FindCandidates(300, 0.5), 100));
+  skimmer.SubtractDense(100, 900);
+  EXPECT_FALSE(Contains(skimmer.FindCandidates(300, 0.5), 100));
+}
+
+TEST(DyadicSkimmerTest, AbsorbMatchesElementwiseUpdates) {
+  constexpr uint64_t kDomain = 256;
+  FrequencyVector fv(kDomain);
+  fv.Add(3, 50);
+  fv.Add(100, 20);
+  fv.Add(255, 7);
+  DyadicSkimmer by_absorb = MustCreate(kDomain, {3, 32}, 6);
+  by_absorb.Absorb(fv);
+  DyadicSkimmer by_updates = MustCreate(kDomain, {3, 32}, 6);
+  by_updates.Update(3, 50);
+  by_updates.Update(100, 20);
+  by_updates.Update(255, 7);
+  for (uint64_t l = 1; l <= by_absorb.num_levels(); ++l) {
+    for (uint64_t p = 0; p < (kDomain >> l); ++p) {
+      EXPECT_EQ(by_absorb.PointEstimate(l, p), by_updates.PointEstimate(l, p));
+    }
+  }
+}
+
+TEST(DyadicSkimmerTest, MergeEqualsConcatenatedStream) {
+  constexpr uint64_t kDomain = 128;
+  DyadicSkimmer part1 = MustCreate(kDomain, {3, 16}, 7);
+  DyadicSkimmer part2 = MustCreate(kDomain, {3, 16}, 7);
+  DyadicSkimmer whole = MustCreate(kDomain, {3, 16}, 7);
+  part1.Update(5, 100);
+  whole.Update(5, 100);
+  part2.Update(90, 40);
+  whole.Update(90, 40);
+  part1.Merge(part2);
+  for (uint64_t l = 1; l <= whole.num_levels(); ++l) {
+    for (uint64_t p = 0; p < (kDomain >> l); ++p) {
+      EXPECT_EQ(part1.PointEstimate(l, p), whole.PointEstimate(l, p));
+    }
+  }
+}
+
+TEST(DyadicSkimmerTest, TotalCountersAccountsForBothRepresentations) {
+  // Domain 64, 4 buckets, 3 tables: levels 1..3 sketched (32, 16, 8
+  // prefixes > 4 buckets → 3·4 counters each), levels 4..6 exact (4, 2, 1
+  // counters).
+  DyadicSkimmer skimmer = MustCreate(64, {3, 4}, 8);
+  EXPECT_EQ(skimmer.TotalCounters(), 3u * (3 * 4) + (4 + 2 + 1));
+}
+
+TEST(DyadicSkimmerTest, DeletesCancelInSearch) {
+  constexpr uint64_t kDomain = 512;
+  DyadicSkimmer skimmer = MustCreate(kDomain, {5, 64}, 9);
+  skimmer.Update(44, 700);
+  skimmer.Update(44, -700);
+  EXPECT_FALSE(Contains(skimmer.FindCandidates(200, 0.5), 44));
+}
+
+TEST(DyadicSkimmerDeathTest, PointEstimateBoundsChecked) {
+  DyadicSkimmer skimmer = MustCreate(16, {3, 8}, 10);
+  EXPECT_DEATH((void)skimmer.PointEstimate(0, 0), "");
+  EXPECT_DEATH((void)skimmer.PointEstimate(5, 0), "");
+  EXPECT_DEATH((void)skimmer.PointEstimate(1, 8), "");
+}
+
+TEST(DyadicSkimmerDeathTest, UpdateOutsideDomainAborts) {
+  DyadicSkimmer skimmer = MustCreate(16, {3, 8}, 11);
+  EXPECT_DEATH(skimmer.Update(16, 1), "");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace skimjoin

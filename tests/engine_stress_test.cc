@@ -1,0 +1,151 @@
+// Engine stress: many streams, many simultaneous queries of every type,
+// interleaved updates with deletions — the answers must stay coherent with
+// an exact shadow computation.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "query/engine.h"
+#include "stream/frequency_vector.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace query {
+namespace {
+
+constexpr uint64_t kDomain = 1u << 10;
+
+TEST(EngineStressTest, ManyStreamsManyQueriesStayCoherent) {
+  Engine engine;
+  constexpr int kStreams = 6;
+  std::vector<std::string> names;
+  std::vector<stream::FrequencyVector> exact;
+  for (int s = 0; s < kStreams; ++s) {
+    names.push_back("stream-" + std::to_string(s));
+    ASSERT_TRUE(engine.RegisterStream({names.back(), kDomain}).ok());
+    exact.emplace_back(kDomain);
+  }
+
+  // A join query between every adjacent pair, alternating estimators.
+  struct JoinCase {
+    QueryId id;
+    int left;
+    int right;
+  };
+  std::vector<JoinCase> joins;
+  for (int s = 0; s + 1 < kStreams; ++s) {
+    JoinQuerySpec spec;
+    spec.left_stream = names[s];
+    spec.right_stream = names[s + 1];
+    spec.estimator.kind = (s % 2 == 0) ? core::EstimatorKind::kSkimmedSketch
+                                       : core::EstimatorKind::kHashSketch;
+    spec.estimator.space_counters = 2048;
+    StatusOr<QueryId> id = engine.AddJoinQuery(spec, 100 + s);
+    ASSERT_TRUE(id.ok()) << id.status();
+    joins.push_back({*id, s, s + 1});
+  }
+  // Per-stream auxiliary queries on stream 0.
+  FrequencyQuerySpec freq_spec;
+  freq_spec.stream = names[0];
+  freq_spec.space_counters = 4096;
+  auto freq_query = *engine.AddFrequencyQuery(freq_spec, 7);
+  DistinctCountQuerySpec distinct_spec;
+  distinct_spec.stream = names[0];
+  distinct_spec.num_maps = 128;
+  auto distinct_query = *engine.AddDistinctCountQuery(distinct_spec, 8);
+  TopKQuerySpec topk_spec;
+  topk_spec.stream = names[0];
+  topk_spec.k = 3;
+  auto topk_query = *engine.AddTopKQuery(topk_spec, 9);
+  EXPECT_EQ(engine.num_queries(), joins.size() + 3);
+
+  // Interleaved workload: skewed inserts everywhere, churn deletions, and
+  // three planted heavies on stream 0.
+  Rng rng(11);
+  for (int round = 0; round < 20000; ++round) {
+    const int s = static_cast<int>(rng.NextUint64Below(kStreams));
+    const uint64_t value = rng.NextUint64Below(kDomain) %
+                           (1 + rng.NextUint64Below(kDomain));
+    ASSERT_TRUE(engine.Update(names[s], {value, 1, 0}).ok());
+    exact[s].Add(value, 1);
+    if (round % 5 == 0) {
+      // Delete something that exists (value 0 is always hot under skew).
+      const int d = static_cast<int>(rng.NextUint64Below(kStreams));
+      if (exact[d].Get(0) > 0) {
+        ASSERT_TRUE(engine.Update(names[d], {0, -1, 0}).ok());
+        exact[d].Add(0, -1);
+      }
+    }
+  }
+  for (int i = 0; i < 700; ++i) {
+    ASSERT_TRUE(engine.Update(names[0], {555, 1, 0}).ok());
+    exact[0].Add(555, 1);
+  }
+
+  // Every join answer within a generous factor of the exact one.
+  for (const JoinCase& j : joins) {
+    const double true_join =
+        static_cast<double>(JoinSize(exact[j.left], exact[j.right]));
+    ASSERT_GT(true_join, 0.0);
+    StatusOr<double> answer = engine.AnswerJoin(j.id);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_GT(*answer, 0.3 * true_join) << j.left << "⋈" << j.right;
+    EXPECT_LT(*answer, 3.0 * true_join) << j.left << "⋈" << j.right;
+  }
+
+  // Frequency answers on stream 0.
+  StatusOr<int64_t> point = engine.AnswerPointFrequency(freq_query, 555);
+  ASSERT_TRUE(point.ok());
+  EXPECT_NEAR(static_cast<double>(*point),
+              static_cast<double>(exact[0].Get(555)),
+              0.2 * static_cast<double>(exact[0].Get(555)) + 20);
+
+  StatusOr<double> distinct = engine.AnswerDistinctCount(distinct_query);
+  ASSERT_TRUE(distinct.ok());
+  const double true_distinct = static_cast<double>(exact[0].SupportSize());
+  EXPECT_GT(*distinct, true_distinct / 3);
+  EXPECT_LT(*distinct, true_distinct * 3);
+
+  StatusOr<std::vector<std::pair<uint64_t, int64_t>>> top =
+      engine.AnswerTopK(topk_query);
+  ASSERT_TRUE(top.ok());
+  ASSERT_FALSE(top->empty());
+  // The planted heavy (or the skew head 0/1) must appear.
+  bool found_hot = false;
+  for (const auto& [value, freq] : *top) {
+    found_hot = found_hot || value == 555 || value <= 2;
+  }
+  EXPECT_TRUE(found_hot);
+}
+
+TEST(EngineStressTest, QueriesRegisteredMidStreamOnlySeeSubsequentData) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream({"f", kDomain}).ok());
+  ASSERT_TRUE(engine.RegisterStream({"g", kDomain}).ok());
+  // Phase 1: traffic before any query exists.
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(engine.Update("f", {1, 1, 0}).ok());
+    ASSERT_TRUE(engine.Update("g", {1, 1, 0}).ok());
+  }
+  JoinQuerySpec spec;
+  spec.left_stream = "f";
+  spec.right_stream = "g";
+  spec.estimator.kind = core::EstimatorKind::kSkimmedSketch;
+  spec.estimator.space_counters = 1024;
+  auto query = *engine.AddJoinQuery(spec, 5);
+  // Phase 2: traffic the query observes.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine.Update("f", {2, 1, 0}).ok());
+    ASSERT_TRUE(engine.Update("g", {2, 1, 0}).ok());
+  }
+  StatusOr<double> answer = engine.AnswerJoin(query);
+  ASSERT_TRUE(answer.ok());
+  // Only phase-2 mass: 100·100, not 600·600.
+  EXPECT_NEAR(*answer, 10000.0, 1500.0);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace skimjoin

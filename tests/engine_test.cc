@@ -1,0 +1,480 @@
+#include "query/engine.h"
+
+#include <utility>
+
+#include "gtest/gtest.h"
+#include "stream/zipf.h"
+
+namespace skimjoin {
+namespace query {
+namespace {
+
+StreamSpec Packets() { return {"packets", 1u << 10}; }
+StreamSpec Flows() { return {"flows", 1u << 10}; }
+
+JoinQuerySpec BasicJoinSpec() {
+  JoinQuerySpec spec;
+  spec.left_stream = "packets";
+  spec.right_stream = "flows";
+  spec.estimator.kind = core::EstimatorKind::kSkimmedSketch;
+  spec.estimator.space_counters = 1024;
+  return spec;
+}
+
+TEST(EngineTest, RegisterStreamValidates) {
+  Engine engine;
+  EXPECT_FALSE(engine.RegisterStream({"", 16}).ok());
+  EXPECT_FALSE(engine.RegisterStream({"x", 1}).ok());
+  ASSERT_TRUE(engine.RegisterStream({"x", 16}).ok());
+  StatusOr<StreamId> duplicate = engine.RegisterStream({"x", 16});
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(engine.num_streams(), 1u);
+}
+
+TEST(EngineTest, JoinQueryRequiresRegisteredStreams) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  StatusOr<QueryId> query = engine.AddJoinQuery(BasicJoinSpec(), 1);
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineTest, JoinQueryRequiresMatchingDomains) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  ASSERT_TRUE(engine.RegisterStream({"flows", 1u << 12}).ok());
+  StatusOr<QueryId> query = engine.AddJoinQuery(BasicJoinSpec(), 1);
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, UpdateValidatesStreamAndDomain) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  EXPECT_EQ(engine.Update("nope", {1, 1, 0}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.Update("packets", {1u << 10, 1, 0}).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_TRUE(engine.Update("packets", {7, 1, 0}).ok());
+  StatusOr<int64_t> count = engine.StreamElementCount("packets");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1);
+}
+
+TEST(EngineTest, CountJoinTracksExactOnSmallStreams) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  ASSERT_TRUE(engine.RegisterStream(Flows()).ok());
+  StatusOr<QueryId> query = engine.AddJoinQuery(BasicJoinSpec(), 42);
+  ASSERT_TRUE(query.ok()) << query.status();
+
+  // packets: value 5 x100; flows: value 5 x30 and value 6 x999 (no overlap).
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine.Update("packets", {5, 1, 0}).ok());
+  }
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(engine.Update("flows", {5, 1, 0}).ok());
+  }
+  for (int i = 0; i < 999; ++i) {
+    ASSERT_TRUE(engine.Update("flows", {6, 1, 0}).ok());
+  }
+  StatusOr<double> answer = engine.AnswerJoin(*query);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_NEAR(*answer, 3000.0, 300.0);
+}
+
+TEST(EngineTest, DeletesFlowThroughToSynopses) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  ASSERT_TRUE(engine.RegisterStream(Flows()).ok());
+  StatusOr<QueryId> query = engine.AddJoinQuery(BasicJoinSpec(), 3);
+  ASSERT_TRUE(query.ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(engine.Update("packets", {9, 1, 0}).ok());
+    ASSERT_TRUE(engine.Update("flows", {9, 1, 0}).ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(engine.Update("packets", {9, -1, 0}).ok());
+  }
+  StatusOr<double> answer = engine.AnswerJoin(*query);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_DOUBLE_EQ(*answer, 0.0);
+}
+
+TEST(EngineTest, SelfJoinQuery) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  SelfJoinQuerySpec spec;
+  spec.stream = "packets";
+  spec.estimator.kind = core::EstimatorKind::kAgms;
+  spec.estimator.space_counters = 512;
+  StatusOr<QueryId> query = engine.AddSelfJoinQuery(spec, 5);
+  ASSERT_TRUE(query.ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(engine.Update("packets", {3, 1, 0}).ok());
+  }
+  StatusOr<double> answer = engine.AnswerJoin(*query);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_NEAR(*answer, 1600.0, 160.0);
+}
+
+TEST(EngineTest, SumAggregateUsesMeasureWeights) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  ASSERT_TRUE(engine.RegisterStream(Flows()).ok());
+  JoinQuerySpec spec = BasicJoinSpec();
+  spec.left_input = AggregateInput::kMeasure;  // SUM over packets' measure
+  StatusOr<QueryId> query = engine.AddJoinQuery(spec, 6);
+  ASSERT_TRUE(query.ok());
+  // Two packets with value 4 carrying byte counts 100 and 250; three flows
+  // with value 4. SUM = (100 + 250) * 3 = 1050.
+  ASSERT_TRUE(engine.Update("packets", {4, 1, 100}).ok());
+  ASSERT_TRUE(engine.Update("packets", {4, 1, 250}).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(engine.Update("flows", {4, 1, 0}).ok());
+  }
+  StatusOr<double> answer = engine.AnswerJoin(*query);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_NEAR(*answer, 1050.0, 110.0);
+}
+
+TEST(EngineTest, PredicatesFilterUpdates) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  ASSERT_TRUE(engine.RegisterStream(Flows()).ok());
+  JoinQuerySpec spec = BasicJoinSpec();
+  spec.left_predicate = RangePredicate{0, 99};  // drop packet values >= 100
+  StatusOr<QueryId> query = engine.AddJoinQuery(spec, 7);
+  ASSERT_TRUE(query.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(engine.Update("packets", {50, 1, 0}).ok());
+    ASSERT_TRUE(engine.Update("packets", {500, 1, 0}).ok());
+    ASSERT_TRUE(engine.Update("flows", {50, 1, 0}).ok());
+    ASSERT_TRUE(engine.Update("flows", {500, 1, 0}).ok());
+  }
+  StatusOr<double> answer = engine.AnswerJoin(*query);
+  ASSERT_TRUE(answer.ok());
+  // Without the predicate the join is 800; with it, only value 50 matches.
+  EXPECT_NEAR(*answer, 400.0, 40.0);
+}
+
+TEST(EngineTest, MultipleQueriesOverSameStream) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  ASSERT_TRUE(engine.RegisterStream(Flows()).ok());
+  StatusOr<QueryId> q1 = engine.AddJoinQuery(BasicJoinSpec(), 8);
+  JoinQuerySpec agms_spec = BasicJoinSpec();
+  agms_spec.estimator.kind = core::EstimatorKind::kAgms;
+  StatusOr<QueryId> q2 = engine.AddJoinQuery(agms_spec, 9);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(engine.num_queries(), 2u);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(engine.Update("packets", {8, 1, 0}).ok());
+    ASSERT_TRUE(engine.Update("flows", {8, 1, 0}).ok());
+  }
+  StatusOr<double> a1 = engine.AnswerJoin(*q1);
+  StatusOr<double> a2 = engine.AnswerJoin(*q2);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_NEAR(*a1, 3600.0, 360.0);
+  EXPECT_NEAR(*a2, 3600.0, 360.0);
+}
+
+TEST(EngineTest, FrequencyQueryAnswersPointAndHeavyHitters) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  FrequencyQuerySpec spec;
+  spec.stream = "packets";
+  spec.space_counters = 4096;
+  spec.use_dyadic = true;
+  StatusOr<QueryId> query = engine.AddFrequencyQuery(spec, 10);
+  ASSERT_TRUE(query.ok()) << query.status();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(engine.Update("packets", {123, 1, 0}).ok());
+  }
+  for (uint64_t v = 0; v < 64; ++v) {
+    ASSERT_TRUE(engine.Update("packets", {v, 1, 0}).ok());
+  }
+  StatusOr<int64_t> point = engine.AnswerPointFrequency(*query, 123);
+  ASSERT_TRUE(point.ok());
+  EXPECT_NEAR(*point, 501, 50);
+  StatusOr<core::DenseFrequencies> hh = engine.AnswerHeavyHitters(*query, 100);
+  ASSERT_TRUE(hh.ok());
+  EXPECT_GT(core::LookupDense(*hh, 123), 400);
+}
+
+TEST(EngineTest, DistinctCountQueryTracksCardinality) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  DistinctCountQuerySpec spec;
+  spec.stream = "packets";
+  spec.num_maps = 256;
+  StatusOr<QueryId> query = engine.AddDistinctCountQuery(spec, 13);
+  ASSERT_TRUE(query.ok()) << query.status();
+  // 600 distinct values, each seen multiple times.
+  for (int rep = 0; rep < 3; ++rep) {
+    for (uint64_t v = 0; v < 600; ++v) {
+      ASSERT_TRUE(engine.Update("packets", {v, 1, 0}).ok());
+    }
+  }
+  StatusOr<double> distinct = engine.AnswerDistinctCount(*query);
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_GT(*distinct, 300.0);
+  EXPECT_LT(*distinct, 1200.0);
+  EXPECT_EQ(engine.AnswerDistinctCount(9999).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(EngineTest, DistinctCountQueryRequiresKnownStream) {
+  Engine engine;
+  DistinctCountQuerySpec spec;
+  spec.stream = "ghost";
+  EXPECT_EQ(engine.AddDistinctCountQuery(spec, 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(EngineTest, DistinctCountHonorsPredicate) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  DistinctCountQuerySpec spec;
+  spec.stream = "packets";
+  spec.num_maps = 256;
+  spec.predicate = RangePredicate{0, 99};
+  StatusOr<QueryId> query = engine.AddDistinctCountQuery(spec, 14);
+  ASSERT_TRUE(query.ok());
+  for (uint64_t v = 0; v < 1000; ++v) {
+    ASSERT_TRUE(engine.Update("packets", {v, 1, 0}).ok());
+  }
+  StatusOr<double> distinct = engine.AnswerDistinctCount(*query);
+  ASSERT_TRUE(distinct.ok());
+  // Only the 100 in-range values count; the FM floor is ~num_maps/phi for
+  // tiny cardinalities, so just bound it well below 1000.
+  EXPECT_LT(*distinct, 500.0);
+}
+
+TEST(EngineTest, TopKQueryTracksHeavyValues) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  TopKQuerySpec spec;
+  spec.stream = "packets";
+  spec.k = 2;
+  StatusOr<QueryId> query = engine.AddTopKQuery(spec, 15);
+  ASSERT_TRUE(query.ok()) << query.status();
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(engine.Update("packets", {5, 1, 0}).ok());
+  }
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(engine.Update("packets", {9, 1, 0}).ok());
+  }
+  ASSERT_TRUE(engine.Update("packets", {100, 1, 0}).ok());
+  auto top = engine.AnswerTopK(*query);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  EXPECT_EQ((*top)[0].first, 5u);
+  EXPECT_EQ((*top)[1].first, 9u);
+  EXPECT_EQ(engine.AnswerTopK(12345).status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineTest, QuantileQueryAnswersMedian) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  QuantileQuerySpec spec;
+  spec.stream = "packets";
+  spec.epsilon = 0.05;
+  StatusOr<QueryId> query = engine.AddQuantileQuery(spec);
+  ASSERT_TRUE(query.ok()) << query.status();
+  for (uint64_t v = 0; v < 1000; ++v) {
+    ASSERT_TRUE(engine.Update("packets", {v, 1, 0}).ok());
+  }
+  StatusOr<uint64_t> median = engine.AnswerQuantile(*query, 0.5);
+  ASSERT_TRUE(median.ok());
+  EXPECT_NEAR(static_cast<double>(*median), 500.0, 110.0);
+  EXPECT_EQ(engine.AnswerQuantile(999, 0.5).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(EngineTest, QuantileQueryIgnoresDeletes) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  QuantileQuerySpec spec;
+  spec.stream = "packets";
+  StatusOr<QueryId> query = engine.AddQuantileQuery(spec);
+  ASSERT_TRUE(query.ok());
+  ASSERT_TRUE(engine.Update("packets", {7, 1, 0}).ok());
+  ASSERT_TRUE(engine.Update("packets", {7, -1, 0}).ok());  // ignored by GK
+  StatusOr<uint64_t> answer = engine.AnswerQuantile(*query, 0.5);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(*answer, 7u);
+}
+
+TEST(EngineTest, RangeSumQueryTracksRangeMass) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  RangeSumQuerySpec spec;
+  spec.stream = "packets";
+  spec.coefficient_budget = 128;
+  StatusOr<QueryId> query = engine.AddRangeSumQuery(spec);
+  ASSERT_TRUE(query.ok()) << query.status();
+  for (uint64_t v = 100; v < 200; ++v) {
+    ASSERT_TRUE(engine.Update("packets", {v, 3, 0}).ok());
+  }
+  StatusOr<double> in_range = engine.AnswerRangeSum(*query, 100, 199);
+  StatusOr<double> outside = engine.AnswerRangeSum(*query, 500, 600);
+  ASSERT_TRUE(in_range.ok());
+  ASSERT_TRUE(outside.ok());
+  EXPECT_NEAR(*in_range, 300.0, 30.0);
+  EXPECT_NEAR(*outside, 0.0, 30.0);
+  EXPECT_EQ(engine.AnswerRangeSum(4242, 0, 1).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(engine.AnswerRangeSum(*query, 0, 1u << 12).ok());
+}
+
+TEST(EngineTest, RangeSumQueryValidates) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  RangeSumQuerySpec spec;
+  spec.stream = "ghost";
+  EXPECT_EQ(engine.AddRangeSumQuery(spec).status().code(),
+            StatusCode::kNotFound);
+  spec.stream = "packets";
+  spec.coefficient_budget = 0;
+  EXPECT_EQ(engine.AddRangeSumQuery(spec).status().code(),
+            StatusCode::kInvalidArgument);
+  // Non-power-of-two domains are rejected by the wavelet synopsis.
+  ASSERT_TRUE(engine.RegisterStream({"odd", 1000}).ok());
+  RangeSumQuerySpec odd_spec;
+  odd_spec.stream = "odd";
+  EXPECT_FALSE(engine.AddRangeSumQuery(odd_spec).ok());
+}
+
+TEST(EngineTest, RangeSumQueryCompressesUnderChurn) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  RangeSumQuerySpec spec;
+  spec.stream = "packets";
+  spec.coefficient_budget = 16;
+  StatusOr<QueryId> query = engine.AddRangeSumQuery(spec);
+  ASSERT_TRUE(query.ok());
+  // A flat block: compresses to a handful of coefficients, so even budget
+  // 16 answers the block's mass well.
+  for (int round = 0; round < 4; ++round) {
+    for (uint64_t v = 0; v < 512; ++v) {
+      ASSERT_TRUE(engine.Update("packets", {v, 1, 0}).ok());
+    }
+  }
+  StatusOr<double> sum = engine.AnswerRangeSum(*query, 0, 511);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_NEAR(*sum, 2048.0, 300.0);
+}
+
+TEST(EngineTest, RelationRegistrationValidates) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  EXPECT_FALSE(engine.RegisterRelation({"", 1, 64}).ok());
+  EXPECT_FALSE(engine.RegisterRelation({"r", 0, 64}).ok());
+  EXPECT_FALSE(engine.RegisterRelation({"r", 3, 64}).ok());
+  EXPECT_FALSE(engine.RegisterRelation({"r", 1, 1}).ok());
+  // Name collision with a stream is rejected too.
+  EXPECT_EQ(engine.RegisterRelation({"packets", 1, 64}).status().code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(engine.RegisterRelation({"r", 1, 64}).ok());
+  EXPECT_EQ(engine.RegisterRelation({"r", 1, 64}).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(engine.num_relations(), 1u);
+}
+
+TEST(EngineTest, ChainJoinQueryValidatesShape) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterRelation({"ends", 1, 64}).ok());
+  ASSERT_TRUE(engine.RegisterRelation({"mid", 2, 64}).ok());
+  ASSERT_TRUE(engine.RegisterRelation({"tail", 1, 64}).ok());
+
+  ChainJoinQuerySpec spec;
+  spec.relations = {"ends"};
+  EXPECT_FALSE(engine.AddChainJoinQuery(spec, 1).ok());  // too short
+  spec.relations = {"ends", "ghost"};
+  EXPECT_EQ(engine.AddChainJoinQuery(spec, 1).status().code(),
+            StatusCode::kNotFound);
+  spec.relations = {"ends", "ends", "tail"};  // middle needs arity 2
+  EXPECT_EQ(engine.AddChainJoinQuery(spec, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  spec.relations = {"ends", "mid", "tail"};
+  EXPECT_TRUE(engine.AddChainJoinQuery(spec, 1).ok());
+}
+
+TEST(EngineTest, ChainJoinBothMethodsAnswerExactOnSingletons) {
+  for (ChainJoinQuerySpec::Method method :
+       {ChainJoinQuerySpec::Method::kAgmsGrid,
+        ChainJoinQuerySpec::Method::kHashSketch}) {
+    Engine engine;
+    ASSERT_TRUE(engine.RegisterRelation({"a", 1, 64}).ok());
+    ASSERT_TRUE(engine.RegisterRelation({"b", 2, 64}).ok());
+    ASSERT_TRUE(engine.RegisterRelation({"c", 1, 64}).ok());
+    ChainJoinQuerySpec spec;
+    spec.relations = {"a", "b", "c"};
+    spec.method = method;
+    StatusOr<QueryId> query = engine.AddChainJoinQuery(spec, 9);
+    ASSERT_TRUE(query.ok()) << query.status();
+    ASSERT_TRUE(engine.UpdateRelation("a", {7}, 4).ok());
+    ASSERT_TRUE(engine.UpdateRelation("b", {7, 9}, 3).ok());
+    ASSERT_TRUE(engine.UpdateRelation("c", {9}, 2).ok());
+    StatusOr<double> answer = engine.AnswerChainJoin(*query);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_DOUBLE_EQ(*answer, 24.0)
+        << (method == ChainJoinQuerySpec::Method::kAgmsGrid ? "grid" : "hash");
+  }
+}
+
+TEST(EngineTest, UpdateRelationValidates) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterRelation({"r", 2, 64}).ok());
+  EXPECT_EQ(engine.UpdateRelation("ghost", {1, 2}, 1).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.UpdateRelation("r", {1}, 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.UpdateRelation("r", {1, 64}, 1).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_TRUE(engine.UpdateRelation("r", {1, 2}, 1).ok());
+}
+
+TEST(EngineTest, AnswerValidatesQueryIds) {
+  Engine engine;
+  EXPECT_EQ(engine.AnswerJoin(99).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.AnswerPointFrequency(99, 0).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.AnswerHeavyHitters(99, 5).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(EngineTest, HeavyHitterThresholdValidated) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  FrequencyQuerySpec spec;
+  spec.stream = "packets";
+  StatusOr<QueryId> query = engine.AddFrequencyQuery(spec, 11);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(engine.AnswerHeavyHitters(*query, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, FrequencyQueryHonorsPredicate) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream(Packets()).ok());
+  FrequencyQuerySpec spec;
+  spec.stream = "packets";
+  spec.predicate = RangePredicate{100, 200};
+  spec.use_dyadic = false;
+  StatusOr<QueryId> query = engine.AddFrequencyQuery(spec, 12);
+  ASSERT_TRUE(query.ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(engine.Update("packets", {150, 1, 0}).ok());
+    ASSERT_TRUE(engine.Update("packets", {300, 1, 0}).ok());
+  }
+  EXPECT_NEAR(*engine.AnswerPointFrequency(*query, 150), 50, 10);
+  EXPECT_NEAR(*engine.AnswerPointFrequency(*query, 300), 0, 10);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace skimjoin

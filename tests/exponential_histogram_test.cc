@@ -1,0 +1,125 @@
+#include "stream/exponential_histogram.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace stream {
+namespace {
+
+ExponentialHistogram MustCreate(uint64_t window, double epsilon) {
+  StatusOr<ExponentialHistogram> eh =
+      ExponentialHistogram::Create(window, epsilon);
+  EXPECT_TRUE(eh.ok()) << eh.status();
+  return *std::move(eh);
+}
+
+TEST(ExponentialHistogramTest, CreateValidates) {
+  EXPECT_FALSE(ExponentialHistogram::Create(0, 0.1).ok());
+  EXPECT_FALSE(ExponentialHistogram::Create(10, 0.0).ok());
+  EXPECT_FALSE(ExponentialHistogram::Create(10, 1.5).ok());
+  EXPECT_TRUE(ExponentialHistogram::Create(10, 0.1).ok());
+}
+
+TEST(ExponentialHistogramTest, EmptyEstimatesZero) {
+  ExponentialHistogram eh = MustCreate(100, 0.1);
+  EXPECT_EQ(eh.Estimate(), 0);
+  EXPECT_EQ(eh.num_buckets(), 0u);
+}
+
+TEST(ExponentialHistogramTest, ExactWhileFewOnes) {
+  // With few 1s no merging happens and the count is exact.
+  ExponentialHistogram eh = MustCreate(1000, 0.5);
+  for (int i = 0; i < 3; ++i) {
+    eh.Arrive(true);
+    eh.Arrive(false);
+  }
+  // Oldest bucket has size 1 → estimate = 3 - 1/2 = 3 (integer division).
+  EXPECT_EQ(eh.Estimate(), 3);
+  EXPECT_EQ(eh.UpperBound(), 3);
+  EXPECT_EQ(eh.LowerBound(), 3);
+}
+
+TEST(ExponentialHistogramTest, ZerosDoNotCreateBuckets) {
+  ExponentialHistogram eh = MustCreate(50, 0.1);
+  for (int i = 0; i < 200; ++i) eh.Arrive(false);
+  EXPECT_EQ(eh.Estimate(), 0);
+  EXPECT_EQ(eh.num_buckets(), 0u);
+}
+
+TEST(ExponentialHistogramTest, AllOnesWindowEstimateWithinEpsilon) {
+  constexpr uint64_t kWindow = 1000;
+  constexpr double kEpsilon = 0.1;
+  ExponentialHistogram eh = MustCreate(kWindow, kEpsilon);
+  for (int i = 0; i < 5000; ++i) eh.Arrive(true);
+  // True windowed count = 1000.
+  const double error =
+      std::abs(static_cast<double>(eh.Estimate()) - 1000.0) / 1000.0;
+  EXPECT_LE(error, kEpsilon + 0.01);
+}
+
+TEST(ExponentialHistogramTest, BoundsBracketTruthOnRandomStreams) {
+  constexpr uint64_t kWindow = 500;
+  ExponentialHistogram eh = MustCreate(kWindow, 0.2);
+  Rng rng(7);
+  std::vector<bool> history;
+  for (int i = 0; i < 4000; ++i) {
+    const bool one = rng.NextUint64Below(100) < 37;
+    history.push_back(one);
+    eh.Arrive(one);
+    if (i % 500 == 499) {
+      int64_t exact = 0;
+      const size_t start =
+          history.size() > kWindow ? history.size() - kWindow : 0;
+      for (size_t j = start; j < history.size(); ++j) exact += history[j];
+      ASSERT_LE(eh.LowerBound(), exact) << "at arrival " << i;
+      ASSERT_GE(eh.UpperBound(), exact) << "at arrival " << i;
+      const double error =
+          std::abs(static_cast<double>(eh.Estimate()) -
+                   static_cast<double>(exact)) /
+          std::max<double>(1.0, static_cast<double>(exact));
+      ASSERT_LE(error, 0.25) << "at arrival " << i;
+    }
+  }
+}
+
+TEST(ExponentialHistogramTest, OldOnesExpire) {
+  ExponentialHistogram eh = MustCreate(10, 0.1);
+  for (int i = 0; i < 5; ++i) eh.Arrive(true);
+  for (int i = 0; i < 20; ++i) eh.Arrive(false);
+  EXPECT_EQ(eh.Estimate(), 0);
+}
+
+TEST(ExponentialHistogramTest, SpaceStaysLogarithmic) {
+  constexpr uint64_t kWindow = 1u << 16;
+  ExponentialHistogram eh = MustCreate(kWindow, 0.1);
+  for (uint64_t i = 0; i < 2 * kWindow; ++i) eh.Arrive(true);
+  // DGIM bound: (1/(2ε) + 2)·(log(2εW) + 1) buckets ≈ 7·(log W) here; far
+  // below the window size. Allow a loose multiple.
+  EXPECT_LT(eh.num_buckets(), 200u);
+}
+
+// Tighter epsilon → more buckets → tighter estimates (parameterized).
+class EhEpsilonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EhEpsilonTest, ErrorWithinConfiguredEpsilon) {
+  const double epsilon = GetParam();
+  constexpr uint64_t kWindow = 2048;
+  ExponentialHistogram eh = MustCreate(kWindow, epsilon);
+  for (int i = 0; i < 10000; ++i) eh.Arrive(true);
+  const double error =
+      std::abs(static_cast<double>(eh.Estimate()) -
+               static_cast<double>(kWindow)) /
+      static_cast<double>(kWindow);
+  EXPECT_LE(error, epsilon + 0.01) << "epsilon " << epsilon;
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, EhEpsilonTest,
+                         ::testing::Values(0.5, 0.25, 0.1, 0.05, 0.02));
+
+}  // namespace
+}  // namespace stream
+}  // namespace skimjoin

@@ -1,0 +1,136 @@
+#include "sketch/fm_sketch.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace sketch {
+namespace {
+
+FmSketch MustCreate(uint64_t num_maps, uint64_t seed) {
+  StatusOr<FmSketch> sketch = FmSketch::Create(num_maps, seed);
+  EXPECT_TRUE(sketch.ok()) << sketch.status();
+  return *std::move(sketch);
+}
+
+TEST(FmSketchTest, CreateValidates) {
+  EXPECT_FALSE(FmSketch::Create(0, 1).ok());
+  EXPECT_TRUE(FmSketch::Create(1, 1).ok());
+}
+
+TEST(FmSketchTest, EmptySketchEstimatesNearZeroDistinct) {
+  FmSketch sketch = MustCreate(64, 1);
+  // With every position unset the estimate is num_maps/phi ≈ 83 — the
+  // method's intrinsic floor; just check it did not blow up.
+  EXPECT_LT(sketch.EstimateDistinctCount(), 100.0);
+}
+
+TEST(FmSketchTest, EstimateGrowsWithDistinctCount) {
+  FmSketch small = MustCreate(64, 2);
+  FmSketch large = MustCreate(64, 2);
+  for (uint64_t v = 0; v < 500; ++v) small.Update(v, 1);
+  for (uint64_t v = 0; v < 50000; ++v) large.Update(v, 1);
+  EXPECT_GT(large.EstimateDistinctCount(), small.EstimateDistinctCount());
+}
+
+TEST(FmSketchTest, EstimateWithinConstantFactorOfTruth) {
+  constexpr uint64_t kDistinct = 20000;
+  FmSketch sketch = MustCreate(256, 3);
+  for (uint64_t v = 0; v < kDistinct; ++v) sketch.Update(v, 1);
+  const double estimate = sketch.EstimateDistinctCount();
+  EXPECT_GT(estimate, kDistinct / 2.0);
+  EXPECT_LT(estimate, kDistinct * 2.0);
+}
+
+TEST(FmSketchTest, DuplicatesDoNotInflateTheEstimate) {
+  FmSketch once = MustCreate(128, 4);
+  FmSketch many = MustCreate(128, 4);
+  for (uint64_t v = 0; v < 1000; ++v) once.Update(v, 1);
+  for (int rep = 0; rep < 20; ++rep) {
+    for (uint64_t v = 0; v < 1000; ++v) many.Update(v, 1);
+  }
+  // Counters differ but set-bit patterns are identical.
+  EXPECT_DOUBLE_EQ(once.EstimateDistinctCount(), many.EstimateDistinctCount());
+}
+
+TEST(FmSketchTest, MatchedDeletesCancelExactly) {
+  FmSketch sketch = MustCreate(64, 5);
+  const FmSketch empty = MustCreate(64, 5);
+  for (uint64_t v = 0; v < 3000; ++v) sketch.Update(v, 1);
+  for (uint64_t v = 0; v < 3000; ++v) sketch.Update(v, -1);
+  EXPECT_DOUBLE_EQ(sketch.EstimateDistinctCount(),
+                   empty.EstimateDistinctCount());
+}
+
+TEST(FmSketchTest, PartialDeletesShrinkTheEstimate) {
+  FmSketch sketch = MustCreate(256, 6);
+  for (uint64_t v = 0; v < 50000; ++v) sketch.Update(v, 1);
+  const double before = sketch.EstimateDistinctCount();
+  for (uint64_t v = 1000; v < 50000; ++v) sketch.Update(v, -1);
+  const double after = sketch.EstimateDistinctCount();
+  EXPECT_LT(after, before / 4.0);
+}
+
+TEST(FmSketchTest, MergeEqualsUnion) {
+  FmSketch part1 = MustCreate(128, 7);
+  FmSketch part2 = MustCreate(128, 7);
+  FmSketch whole = MustCreate(128, 7);
+  for (uint64_t v = 0; v < 4000; ++v) {
+    part1.Update(v, 1);
+    whole.Update(v, 1);
+  }
+  for (uint64_t v = 4000; v < 8000; ++v) {
+    part2.Update(v, 1);
+    whole.Update(v, 1);
+  }
+  part1.Merge(part2);
+  EXPECT_DOUBLE_EQ(part1.EstimateDistinctCount(),
+                   whole.EstimateDistinctCount());
+}
+
+TEST(FmSketchTest, CompatibilityChecks) {
+  FmSketch a = MustCreate(64, 8);
+  FmSketch same = MustCreate(64, 8);
+  FmSketch other_seed = MustCreate(64, 9);
+  FmSketch other_maps = MustCreate(32, 8);
+  EXPECT_TRUE(a.CompatibleWith(same));
+  EXPECT_FALSE(a.CompatibleWith(other_seed));
+  EXPECT_FALSE(a.CompatibleWith(other_maps));
+}
+
+TEST(FmSketchDeathTest, MergeIncompatibleAborts) {
+  FmSketch a = MustCreate(64, 1);
+  FmSketch b = MustCreate(64, 2);
+  EXPECT_DEATH(a.Merge(b), "incompatible");
+}
+
+TEST(FmSketchTest, SpaceAccounting) {
+  EXPECT_EQ(MustCreate(16, 1).TotalCounters(), 16u * 64);
+}
+
+// Relative accuracy improves with more maps (property over a small sweep).
+class FmAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FmAccuracyTest, WithinTheoreticalEnvelope) {
+  const uint64_t maps = GetParam();
+  constexpr uint64_t kDistinct = 30000;
+  FmSketch sketch = MustCreate(maps, 11);
+  for (uint64_t v = 0; v < kDistinct; ++v) sketch.Update(v * 977 + 13, 1);
+  const double estimate = sketch.EstimateDistinctCount();
+  // FM standard error ≈ 0.78/sqrt(maps) in log2 scale; allow a wide
+  // envelope so the test is seed-stable.
+  const double envelope = 4.0 * 0.78 / std::sqrt(static_cast<double>(maps));
+  const double log_ratio = std::log2(estimate / kDistinct);
+  EXPECT_LT(std::abs(log_ratio), 1.0 + envelope) << "maps=" << maps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Maps, FmAccuracyTest,
+                         ::testing::Values(32, 64, 128, 256, 512));
+
+}  // namespace
+}  // namespace sketch
+}  // namespace skimjoin

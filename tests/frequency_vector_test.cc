@@ -1,0 +1,115 @@
+#include "stream/frequency_vector.h"
+
+#include "gtest/gtest.h"
+#include "stream/stream_element.h"
+
+namespace skimjoin {
+namespace stream {
+namespace {
+
+TEST(FrequencyVectorTest, StartsAtZero) {
+  FrequencyVector fv(10);
+  EXPECT_EQ(fv.domain_size(), 10u);
+  for (uint64_t v = 0; v < 10; ++v) EXPECT_EQ(fv.Get(v), 0);
+  EXPECT_EQ(fv.TotalCount(), 0);
+  EXPECT_EQ(fv.SupportSize(), 0u);
+  EXPECT_EQ(fv.SelfJoinSize(), 0);
+}
+
+TEST(FrequencyVectorTest, AddAndGet) {
+  FrequencyVector fv(8);
+  fv.Add(3, 5);
+  fv.Add(3, 2);
+  fv.Add(7, -1);
+  EXPECT_EQ(fv.Get(3), 7);
+  EXPECT_EQ(fv.Get(7), -1);
+  EXPECT_EQ(fv.TotalCount(), 6);
+  EXPECT_EQ(fv.SupportSize(), 2u);
+}
+
+TEST(FrequencyVectorTest, ApplyStreamElements) {
+  FrequencyVector fv(4);
+  fv.Apply(Insert(1));
+  fv.Apply(Insert(1));
+  fv.Apply(Delete(1));
+  fv.Apply(Weighted(2, 10));
+  EXPECT_EQ(fv.Get(1), 1);
+  EXPECT_EQ(fv.Get(2), 10);
+}
+
+TEST(FrequencyVectorTest, SelfJoinSize) {
+  FrequencyVector fv(5);
+  fv.Add(0, 3);
+  fv.Add(2, -4);
+  EXPECT_EQ(fv.SelfJoinSize(), 9 + 16);
+}
+
+TEST(FrequencyVectorTest, JoinSizeMatchesHandComputation) {
+  FrequencyVector f(6);
+  FrequencyVector g(6);
+  f.Add(1, 2);
+  f.Add(3, 5);
+  g.Add(1, 7);
+  g.Add(2, 100);  // no overlap with f
+  g.Add(3, -1);
+  EXPECT_EQ(JoinSize(f, g), 2 * 7 + 5 * (-1));
+}
+
+TEST(FrequencyVectorTest, JoinWithSelfIsSelfJoin) {
+  FrequencyVector f(16);
+  for (uint64_t v = 0; v < 16; ++v) f.Add(v, static_cast<int64_t>(v % 5));
+  EXPECT_EQ(JoinSize(f, f), f.SelfJoinSize());
+}
+
+TEST(FrequencyVectorTest, DisjointSupportsJoinToZero) {
+  FrequencyVector f(8);
+  FrequencyVector g(8);
+  f.Add(0, 4);
+  f.Add(1, 4);
+  g.Add(6, 9);
+  g.Add(7, 9);
+  EXPECT_EQ(JoinSize(f, g), 0);
+}
+
+TEST(FrequencyVectorTest, SubtractComponentwise) {
+  FrequencyVector f(4);
+  FrequencyVector g(4);
+  f.Add(0, 10);
+  f.Add(1, 5);
+  g.Add(0, 3);
+  g.Add(2, 2);
+  f.Subtract(g);
+  EXPECT_EQ(f.Get(0), 7);
+  EXPECT_EQ(f.Get(1), 5);
+  EXPECT_EQ(f.Get(2), -2);
+}
+
+TEST(FrequencyVectorTest, NegativeNetFrequenciesSupported) {
+  FrequencyVector fv(3);
+  fv.Apply(Delete(2));
+  fv.Apply(Delete(2));
+  EXPECT_EQ(fv.Get(2), -2);
+  EXPECT_EQ(fv.SelfJoinSize(), 4);
+}
+
+TEST(FrequencyVectorDeathTest, OutOfDomainValueAborts) {
+  FrequencyVector fv(4);
+  EXPECT_DEATH(fv.Add(4, 1), "domain");
+  EXPECT_DEATH((void)fv.Get(100), "domain");
+}
+
+TEST(FrequencyVectorDeathTest, JoinSizeRequiresEqualDomains) {
+  FrequencyVector f(4);
+  FrequencyVector g(8);
+  EXPECT_DEATH((void)JoinSize(f, g), "");
+}
+
+TEST(StreamElementTest, Factories) {
+  EXPECT_EQ(Insert(5), (StreamElement{5, 1}));
+  EXPECT_EQ(Delete(5), (StreamElement{5, -1}));
+  EXPECT_EQ(Weighted(5, 42), (StreamElement{5, 42}));
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace skimjoin

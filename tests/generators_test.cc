@@ -1,0 +1,108 @@
+#include "stream/generators.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace stream {
+namespace {
+
+TEST(UniformDistributionTest, SamplesInDomain) {
+  UniformDistribution uniform(37);
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(uniform.Sample(&rng), 37u);
+}
+
+TEST(UniformDistributionTest, ExpectedFrequenciesExactTotal) {
+  UniformDistribution uniform(10);
+  const FrequencyVector fv = uniform.ExpectedFrequencies(103);
+  EXPECT_EQ(fv.TotalCount(), 103);
+  // 10 values, 103 elements: three values get 11, the rest 10.
+  for (uint64_t v = 0; v < 3; ++v) EXPECT_EQ(fv.Get(v), 11);
+  for (uint64_t v = 3; v < 10; ++v) EXPECT_EQ(fv.Get(v), 10);
+}
+
+TEST(UniformDistributionTest, SamplingRoughlyUniform) {
+  UniformDistribution uniform(16);
+  Rng rng(2);
+  FrequencyVector fv(16);
+  constexpr int kDraws = 32000;
+  for (int i = 0; i < kDraws; ++i) fv.Add(uniform.Sample(&rng), 1);
+  for (uint64_t v = 0; v < 16; ++v) {
+    EXPECT_NEAR(fv.Get(v), kDraws / 16, 6 * std::sqrt(kDraws / 16.0));
+  }
+}
+
+TEST(UniformDistributionTest, GenerateElementsCountAndWeights) {
+  UniformDistribution uniform(8);
+  Rng rng(3);
+  const auto elements = uniform.GenerateElements(100, &rng);
+  ASSERT_EQ(elements.size(), 100u);
+  for (const auto& e : elements) EXPECT_EQ(e.weight, 1);
+}
+
+TEST(SelfSimilarTest, ProbabilitiesSumToOne) {
+  SelfSimilarDistribution dist(64, 0.8);
+  double total = 0.0;
+  for (uint64_t v = 0; v < 64; ++v) total += dist.Probability(v);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(SelfSimilarTest, ValueZeroIsHeaviest) {
+  SelfSimilarDistribution dist(256, 0.8);
+  const double p0 = dist.Probability(0);
+  for (uint64_t v = 1; v < 256; ++v) {
+    EXPECT_GE(p0, dist.Probability(v)) << "v=" << v;
+  }
+  // p(0) = bias^levels = 0.8^8.
+  EXPECT_NEAR(p0, std::pow(0.8, 8), 1e-12);
+}
+
+TEST(SelfSimilarTest, EightyTwentyRuleHolds) {
+  // With bias 0.8, the lower half of the domain carries 80% of the mass.
+  SelfSimilarDistribution dist(1024, 0.8);
+  double lower_half = 0.0;
+  for (uint64_t v = 0; v < 512; ++v) lower_half += dist.Probability(v);
+  EXPECT_NEAR(lower_half, 0.8, 1e-9);
+}
+
+TEST(SelfSimilarTest, BiasHalfIsUniform) {
+  SelfSimilarDistribution dist(32, 0.5);
+  for (uint64_t v = 0; v < 32; ++v) {
+    EXPECT_NEAR(dist.Probability(v), 1.0 / 32.0, 1e-12);
+  }
+}
+
+TEST(SelfSimilarTest, ExpectedFrequenciesMatchProbabilities) {
+  SelfSimilarDistribution dist(64, 0.9);
+  const FrequencyVector fv = dist.ExpectedFrequencies(1000000);
+  EXPECT_EQ(fv.TotalCount(), 1000000);
+  for (uint64_t v = 0; v < 8; ++v) {
+    EXPECT_NEAR(fv.Get(v), dist.Probability(v) * 1e6,
+                dist.Probability(v) * 1e6 / 100 + 2);
+  }
+}
+
+TEST(SelfSimilarTest, SamplingTracksProbabilities) {
+  SelfSimilarDistribution dist(32, 0.8);
+  Rng rng(4);
+  FrequencyVector fv(32);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) fv.Add(dist.Sample(&rng), 1);
+  for (uint64_t v = 0; v < 4; ++v) {
+    const double expected = dist.Probability(v) * kDraws;
+    EXPECT_NEAR(fv.Get(v), expected, 6 * std::sqrt(expected) + 10);
+  }
+}
+
+TEST(SelfSimilarDeathTest, RejectsBadParameters) {
+  EXPECT_DEATH(SelfSimilarDistribution(100, 0.8), "power-of-two");
+  EXPECT_DEATH(SelfSimilarDistribution(64, 0.4), "bias");
+  EXPECT_DEATH(SelfSimilarDistribution(64, 1.0), "bias");
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace skimjoin

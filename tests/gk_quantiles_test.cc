@@ -1,0 +1,144 @@
+#include "stream/gk_quantiles.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "stream/zipf.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace stream {
+namespace {
+
+GkQuantileSummary MustCreate(double epsilon) {
+  StatusOr<GkQuantileSummary> summary = GkQuantileSummary::Create(epsilon);
+  EXPECT_TRUE(summary.ok()) << summary.status();
+  return *std::move(summary);
+}
+
+// Exact rank of `answer` within the sorted multiset `values` (upper rank).
+int64_t RankOf(std::vector<uint64_t> values, uint64_t answer) {
+  std::sort(values.begin(), values.end());
+  const auto it = std::upper_bound(values.begin(), values.end(), answer);
+  return static_cast<int64_t>(it - values.begin());
+}
+
+TEST(GkQuantilesTest, CreateValidates) {
+  EXPECT_FALSE(GkQuantileSummary::Create(0.0).ok());
+  EXPECT_FALSE(GkQuantileSummary::Create(0.6).ok());
+  EXPECT_TRUE(GkQuantileSummary::Create(0.01).ok());
+}
+
+TEST(GkQuantilesTest, EmptySummaryRejectsQueries) {
+  GkQuantileSummary summary = MustCreate(0.1);
+  EXPECT_EQ(summary.Quantile(0.5).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GkQuantilesTest, PhiValidated) {
+  GkQuantileSummary summary = MustCreate(0.1);
+  summary.Insert(5);
+  EXPECT_EQ(summary.Quantile(0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(summary.Quantile(1.5).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GkQuantilesTest, SingleValueAnswersItself) {
+  GkQuantileSummary summary = MustCreate(0.1);
+  summary.Insert(42);
+  EXPECT_EQ(*summary.Quantile(0.5), 42u);
+  EXPECT_EQ(*summary.Quantile(1.0), 42u);
+}
+
+TEST(GkQuantilesTest, SortedInsertsGiveTightQuantiles) {
+  GkQuantileSummary summary = MustCreate(0.05);
+  for (uint64_t v = 1; v <= 1000; ++v) summary.Insert(v);
+  for (double phi : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const uint64_t answer = *summary.Quantile(phi);
+    EXPECT_NEAR(static_cast<double>(answer), phi * 1000.0, 0.05 * 1000 + 1)
+        << "phi " << phi;
+  }
+}
+
+TEST(GkQuantilesTest, ReverseSortedInsertsToo) {
+  GkQuantileSummary summary = MustCreate(0.05);
+  for (uint64_t v = 1000; v >= 1; --v) summary.Insert(v);
+  EXPECT_NEAR(static_cast<double>(*summary.Quantile(0.5)), 500.0, 51.0);
+}
+
+TEST(GkQuantilesTest, RankErrorWithinEpsilonOnRandomStreams) {
+  constexpr double kEpsilon = 0.02;
+  GkQuantileSummary summary = MustCreate(kEpsilon);
+  Rng rng(5);
+  std::vector<uint64_t> values;
+  constexpr int kCount = 20000;
+  for (int i = 0; i < kCount; ++i) {
+    const uint64_t v = rng.NextUint64Below(1u << 20);
+    values.push_back(v);
+    summary.Insert(v);
+  }
+  for (double phi : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    const uint64_t answer = *summary.Quantile(phi);
+    const int64_t rank = RankOf(values, answer);
+    const auto target = static_cast<int64_t>(phi * kCount);
+    EXPECT_LE(std::llabs(rank - target),
+              static_cast<int64_t>(2 * kEpsilon * kCount) + 2)
+        << "phi " << phi;
+  }
+}
+
+TEST(GkQuantilesTest, SkewedStreamQuantiles) {
+  GkQuantileSummary summary = MustCreate(0.02);
+  ZipfDistribution zipf(1u << 14, 1.2);
+  Rng rng(6);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t v = zipf.Sample(&rng);
+    values.push_back(v);
+    summary.Insert(v);
+  }
+  const uint64_t median = *summary.Quantile(0.5);
+  const int64_t rank = RankOf(values, median);
+  EXPECT_NEAR(rank, 15000, 1500);
+}
+
+TEST(GkQuantilesTest, SummaryStaysSublinear) {
+  GkQuantileSummary summary = MustCreate(0.01);
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    summary.Insert(rng.NextUint64Below(1u << 30));
+  }
+  // GK bound: O((1/ε)·log(εn)) ≈ 100·log(1000) ≈ 1000; allow headroom.
+  EXPECT_LT(summary.summary_size(), 4000u);
+  EXPECT_EQ(summary.count(), 100000);
+}
+
+// Tighter epsilon → bigger summary and tighter answers (parameterized).
+class GkEpsilonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GkEpsilonTest, MedianRankWithinEpsilon) {
+  const double epsilon = GetParam();
+  GkQuantileSummary summary = MustCreate(epsilon);
+  Rng rng(9);
+  std::vector<uint64_t> values;
+  constexpr int kCount = 10000;
+  for (int i = 0; i < kCount; ++i) {
+    const uint64_t v = rng.NextUint64Below(1000000);
+    values.push_back(v);
+    summary.Insert(v);
+  }
+  const int64_t rank = RankOf(values, *summary.Quantile(0.5));
+  EXPECT_LE(std::llabs(rank - kCount / 2),
+            static_cast<int64_t>(2 * epsilon * kCount) + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, GkEpsilonTest,
+                         ::testing::Values(0.2, 0.1, 0.05, 0.02, 0.01));
+
+}  // namespace
+}  // namespace stream
+}  // namespace skimjoin

@@ -1,0 +1,167 @@
+// Deeper statistical validation of the hash families: chi-square uniformity
+// sweeps, empirical pairwise/four-wise independence, and avalanche checks.
+// These complement the functional tests in kwise_hash_test.cc /
+// sign_hash_test.cc with distribution-level assertions.
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "hashing/kwise_hash.h"
+#include "hashing/prime_field.h"
+#include "hashing/sign_hash.h"
+#include "hashing/tabulation_hash.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace hashing {
+namespace {
+
+// Chi-square statistic for an observed histogram against a uniform
+// expectation.
+double ChiSquare(const std::vector<int>& histogram, double expected) {
+  double chi = 0.0;
+  for (int observed : histogram) {
+    const double diff = static_cast<double>(observed) - expected;
+    chi += diff * diff / expected;
+  }
+  return chi;
+}
+
+// 99.9th percentile of chi-square with (buckets - 1) dof, approximated by
+// the Wilson–Hilferty transform — good enough as a loose test ceiling.
+double ChiSquareCeiling(int buckets) {
+  const double k = buckets - 1;
+  const double z = 3.09;  // ~99.9%
+  const double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * t * t * t;
+}
+
+TEST(HashingStatisticalTest, BucketHashChiSquareOverSequentialKeys) {
+  constexpr int kBuckets = 64;
+  constexpr int kDraws = 64000;
+  Rng rng(1);
+  BucketHash h(kBuckets, &rng);
+  std::vector<int> histogram(kBuckets, 0);
+  for (int x = 0; x < kDraws; ++x) ++histogram[h(static_cast<uint64_t>(x))];
+  EXPECT_LT(ChiSquare(histogram, kDraws / static_cast<double>(kBuckets)),
+            ChiSquareCeiling(kBuckets));
+}
+
+TEST(HashingStatisticalTest, BucketHashChiSquareOverStridedKeys) {
+  // Strided keys (e.g., aligned pointers / even ports) must still spread.
+  constexpr int kBuckets = 64;
+  constexpr int kDraws = 64000;
+  Rng rng(2);
+  BucketHash h(kBuckets, &rng);
+  std::vector<int> histogram(kBuckets, 0);
+  for (int x = 0; x < kDraws; ++x) {
+    ++histogram[h(static_cast<uint64_t>(x) * 4096)];
+  }
+  EXPECT_LT(ChiSquare(histogram, kDraws / static_cast<double>(kBuckets)),
+            ChiSquareCeiling(kBuckets));
+}
+
+TEST(HashingStatisticalTest, TabulationChiSquareOverSequentialKeys) {
+  constexpr int kBuckets = 64;
+  constexpr int kDraws = 64000;
+  Rng rng(3);
+  TabulationHash h(&rng);
+  std::vector<int> histogram(kBuckets, 0);
+  for (int x = 0; x < kDraws; ++x) {
+    ++histogram[h.Bucket(static_cast<uint64_t>(x), kBuckets)];
+  }
+  EXPECT_LT(ChiSquare(histogram, kDraws / static_cast<double>(kBuckets)),
+            ChiSquareCeiling(kBuckets));
+}
+
+// Empirical pairwise independence of the sign family: over many family
+// draws, the four (ξ(a), ξ(b)) outcome pairs are equally likely.
+TEST(HashingStatisticalTest, SignPairsUniformAcrossFamilies) {
+  constexpr int kFamilies = 8000;
+  Rng seeder(4);
+  std::vector<int> outcomes(4, 0);
+  for (int f = 0; f < kFamilies; ++f) {
+    Rng rng(seeder.NextUint64());
+    SignHash xi(&rng);
+    const int a = xi(1234) > 0 ? 1 : 0;
+    const int b = xi(5678) > 0 ? 1 : 0;
+    ++outcomes[a * 2 + b];
+  }
+  EXPECT_LT(ChiSquare(outcomes, kFamilies / 4.0), ChiSquareCeiling(4) + 10);
+}
+
+// Empirical FOUR-wise independence: all 16 sign patterns of four distinct
+// values are equally likely across family draws — the property the AGMS
+// variance analysis stands on.
+TEST(HashingStatisticalTest, SignQuadruplesUniformAcrossFamilies) {
+  constexpr int kFamilies = 32000;
+  Rng seeder(5);
+  std::vector<int> outcomes(16, 0);
+  for (int f = 0; f < kFamilies; ++f) {
+    Rng rng(seeder.NextUint64());
+    SignHash xi(&rng);
+    int pattern = 0;
+    for (uint64_t v : {11ull, 22ull, 33ull, 44ull}) {
+      pattern = pattern * 2 + (xi(v) > 0 ? 1 : 0);
+    }
+    ++outcomes[pattern];
+  }
+  EXPECT_LT(ChiSquare(outcomes, kFamilies / 16.0), ChiSquareCeiling(16) + 20);
+}
+
+// The Carter–Wegman full-width output should flip about half the output
+// bits when one input bit flips, on average over keys.
+TEST(HashingStatisticalTest, KWiseHashAvalanche) {
+  Rng rng(6);
+  KWiseHash h(4, &rng);
+  Rng keys(7);
+  double total_flips = 0.0;
+  constexpr int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    const uint64_t x = keys.NextUint64Below(kMersennePrime61);
+    const uint64_t y = x ^ (uint64_t{1} << keys.NextUint64Below(60));
+    total_flips += __builtin_popcountll(h(x) ^ h(y));
+  }
+  const double mean_flips = total_flips / kTrials;
+  // 61-bit outputs: expect ~30.5 bit flips; allow a wide window.
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 37.0);
+}
+
+TEST(HashingStatisticalTest, TabulationAvalanche) {
+  Rng rng(8);
+  TabulationHash h(&rng);
+  Rng keys(9);
+  double total_flips = 0.0;
+  constexpr int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    const uint64_t x = keys.NextUint64();
+    const uint64_t y = x ^ (uint64_t{1} << keys.NextUint64Below(64));
+    total_flips += __builtin_popcountll(h(x) ^ h(y));
+  }
+  const double mean_flips = total_flips / kTrials;
+  EXPECT_GT(mean_flips, 26.0);
+  EXPECT_LT(mean_flips, 38.0);
+}
+
+// Distinct family members disagree: estimates built from different seeds
+// are independent, which the median boost requires.
+TEST(HashingStatisticalTest, FamilyMembersAreDecorrelated) {
+  Rng rng(10);
+  BucketHash h1(64, &rng);
+  BucketHash h2(64, &rng);
+  int agreements = 0;
+  constexpr int kKeys = 6400;
+  for (int x = 0; x < kKeys; ++x) {
+    agreements += (h1(static_cast<uint64_t>(x)) ==
+                   h2(static_cast<uint64_t>(x)));
+  }
+  // Expected agreement rate 1/64 ≈ 100; allow generous slack.
+  EXPECT_LT(agreements, 200);
+}
+
+}  // namespace
+}  // namespace hashing
+}  // namespace skimjoin

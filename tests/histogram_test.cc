@@ -1,0 +1,77 @@
+#include "util/histogram.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace skimjoin {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.ApproximateQuantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, TracksExactSummaryStats) {
+  Histogram h;
+  h.Add(1.0);
+  h.Add(3.0);
+  h.Add(10.0);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 14.0);
+  EXPECT_NEAR(h.Mean(), 14.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 10.0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToFirstBucket) {
+  Histogram h;
+  h.Add(-5.0);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Min(), -5.0);
+  EXPECT_LE(h.ApproximateQuantile(1.0), 1.0);
+}
+
+TEST(HistogramTest, QuantilesRoughlyCorrectOnUniformData) {
+  Histogram h;
+  for (int i = 0; i < 10000; ++i) h.Add(static_cast<double>(i % 1000));
+  const double median = h.ApproximateQuantile(0.5);
+  // Log-bucketed: within a factor of 2 of 500.
+  EXPECT_GT(median, 250.0);
+  EXPECT_LT(median, 1100.0);
+}
+
+TEST(HistogramTest, QuantilesMonotoneInQ) {
+  Histogram h;
+  for (int i = 1; i <= 5000; ++i) h.Add(static_cast<double>(i));
+  double previous = 0.0;
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    const double value = h.ApproximateQuantile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+}
+
+TEST(HistogramTest, PrintListsNonEmptyBuckets) {
+  Histogram h;
+  h.Add(0.5);
+  h.Add(100.0);
+  std::ostringstream os;
+  h.Print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("count=2"), std::string::npos);
+  EXPECT_NE(text.find("[0, 1)"), std::string::npos);
+  EXPECT_NE(text.find("[64, 128)"), std::string::npos);
+}
+
+TEST(HistogramDeathTest, QuantileValidatesQ) {
+  Histogram h;
+  h.Add(1.0);
+  EXPECT_DEATH((void)h.ApproximateQuantile(-0.1), "");
+  EXPECT_DEATH((void)h.ApproximateQuantile(1.1), "");
+}
+
+}  // namespace
+}  // namespace skimjoin

@@ -1,0 +1,196 @@
+// End-to-end integration tests: realistic workloads flow from the
+// generators through traces and the query engine to every estimator, with
+// answers compared against the exact offline reference.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/skimmed_sketch.h"
+#include "gtest/gtest.h"
+#include "query/engine.h"
+#include "stream/census_like.h"
+#include "stream/exact.h"
+#include "stream/trace_io.h"
+#include "stream/zipf.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace {
+
+using query::Engine;
+using query::JoinQuerySpec;
+using query::StreamUpdate;
+using stream::FrequencyVector;
+using stream::StreamElement;
+
+double RatioError(double estimate, double exact) {
+  if (estimate <= 0.0 || exact <= 0.0) return 10.0;
+  return std::max(estimate, exact) / std::min(estimate, exact) - 1.0;
+}
+
+TEST(IntegrationTest, ZipfWorkloadThroughEngineAllEstimators) {
+  constexpr uint64_t kDomain = 1u << 10;
+  stream::ZipfDistribution zf(kDomain, 1.2);
+  stream::ZipfDistribution zg(kDomain, 1.2, /*shift=*/16);
+  Rng rng(1);
+  const std::vector<StreamElement> f = zf.GenerateElements(40000, &rng);
+  const std::vector<StreamElement> g = zg.GenerateElements(40000, &rng);
+  const double exact =
+      static_cast<double>(stream::ExactJoinSize(f, g, kDomain));
+  ASSERT_GT(exact, 0.0);
+
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream({"f", kDomain}).ok());
+  ASSERT_TRUE(engine.RegisterStream({"g", kDomain}).ok());
+
+  std::vector<query::QueryId> queries;
+  std::vector<core::EstimatorKind> kinds = {
+      core::EstimatorKind::kAgms, core::EstimatorKind::kHashSketch,
+      core::EstimatorKind::kSkimmedSketch};
+  for (core::EstimatorKind kind : kinds) {
+    JoinQuerySpec spec;
+    spec.left_stream = "f";
+    spec.right_stream = "g";
+    spec.estimator.kind = kind;
+    spec.estimator.space_counters = 2048;
+    StatusOr<query::QueryId> query = engine.AddJoinQuery(spec, 99);
+    ASSERT_TRUE(query.ok()) << query.status();
+    queries.push_back(*query);
+  }
+
+  for (const StreamElement& e : f) {
+    ASSERT_TRUE(engine.Update("f", StreamUpdate{e.value, e.weight, 0}).ok());
+  }
+  for (const StreamElement& e : g) {
+    ASSERT_TRUE(engine.Update("g", StreamUpdate{e.value, e.weight, 0}).ok());
+  }
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    StatusOr<double> answer = engine.AnswerJoin(queries[i]);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_LT(RatioError(*answer, exact), 1.0)
+        << core::EstimatorKindName(kinds[i]);
+  }
+}
+
+TEST(IntegrationTest, TraceRoundTripFeedsIdenticalSketches) {
+  constexpr uint64_t kDomain = 1u << 8;
+  stream::ZipfDistribution zipf(kDomain, 1.0);
+  Rng rng(2);
+  const std::vector<StreamElement> elements = zipf.GenerateElements(5000, &rng);
+  std::string path = ::testing::TempDir();
+  path.append("/integration.trace");
+  ASSERT_TRUE(stream::WriteTrace(path, elements).ok());
+  StatusOr<std::vector<StreamElement>> replayed = stream::ReadTrace(path);
+  ASSERT_TRUE(replayed.ok());
+
+  core::SkimmedSketchConfig config;
+  config.domain_size = kDomain;
+  config.num_buckets = 128;
+  config.use_dyadic_skim = true;
+  auto direct = *core::SkimmedSketch::Create(config, 5);
+  auto via_trace = *core::SkimmedSketch::Create(config, 5);
+  for (const StreamElement& e : elements) direct.Update(e);
+  for (const StreamElement& e : *replayed) via_trace.Update(e);
+  for (uint64_t v = 0; v < kDomain; ++v) {
+    EXPECT_EQ(direct.EstimatePointFrequency(v),
+              via_trace.EstimatePointFrequency(v));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, CensusLikeJoinSkimmedBeatsNothing) {
+  // The census-like workload must flow end-to-end and produce a sane
+  // estimate (the full comparison lives in bench_census).
+  stream::CensusLikeGenerator::Options options;
+  options.domain_size = 1u << 12;
+  options.num_records = 30000;
+  stream::CensusLikeGenerator gen(options, 77);
+  const auto wage = gen.GenerateWageStream();
+  const auto overtime = gen.GenerateOvertimeStream();
+  const double exact = static_cast<double>(
+      stream::ExactJoinSize(wage, overtime, options.domain_size));
+
+  core::SkimmedSketchConfig config;
+  config.domain_size = options.domain_size;
+  config.num_buckets = 512;
+  config.use_dyadic_skim = false;
+  auto sf = *core::SkimmedSketch::Create(config, 9);
+  auto sg = *core::SkimmedSketch::Create(config, 9);
+  for (const StreamElement& e : wage) sf.Update(e);
+  for (const StreamElement& e : overtime) sg.Update(e);
+  StatusOr<double> estimate =
+      core::SkimmedSketch::EstimateJoinSize(sf, sg);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_LT(RatioError(*estimate, exact), 0.5);
+}
+
+TEST(IntegrationTest, ElementwiseAndAbsorbedSketchesAgreeExactly) {
+  // The linearity contract the benchmarks rely on, end to end.
+  constexpr uint64_t kDomain = 1u << 9;
+  stream::ZipfDistribution zipf(kDomain, 1.1);
+  Rng rng(3);
+  const std::vector<StreamElement> elements =
+      zipf.GenerateElements(20000, &rng);
+  const FrequencyVector fv = stream::Materialize(elements, kDomain);
+
+  core::SkimmedSketchConfig config;
+  config.domain_size = kDomain;
+  config.num_buckets = 128;
+  config.use_dyadic_skim = true;
+  auto elementwise = *core::SkimmedSketch::Create(config, 11);
+  auto absorbed = *core::SkimmedSketch::Create(config, 11);
+  for (const StreamElement& e : elements) elementwise.Update(e);
+  absorbed.Absorb(fv);
+  for (uint64_t table = 0; table < config.num_tables; ++table) {
+    for (uint64_t bucket = 0; bucket < config.num_buckets; ++bucket) {
+      EXPECT_EQ(elementwise.level0().Counter(table, bucket),
+                absorbed.level0().Counter(table, bucket));
+    }
+  }
+}
+
+TEST(IntegrationTest, HeavyDeleteChurnKeepsEstimatesCoherent) {
+  // Simulates a routing table with constant churn: values appear and
+  // disappear; at the end only a known set remains.
+  constexpr uint64_t kDomain = 1u << 10;
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream({"f", kDomain}).ok());
+  ASSERT_TRUE(engine.RegisterStream({"g", kDomain}).ok());
+  JoinQuerySpec spec;
+  spec.left_stream = "f";
+  spec.right_stream = "g";
+  spec.estimator.kind = core::EstimatorKind::kSkimmedSketch;
+  spec.estimator.space_counters = 2048;
+  StatusOr<query::QueryId> query = engine.AddJoinQuery(spec, 21);
+  ASSERT_TRUE(query.ok());
+
+  Rng rng(13);
+  // Churn: 10000 inserts followed by deletes of the same values.
+  std::vector<uint64_t> churned;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.NextUint64Below(kDomain);
+    churned.push_back(v);
+    ASSERT_TRUE(engine.Update("f", {v, 1, 0}).ok());
+  }
+  for (uint64_t v : churned) {
+    ASSERT_TRUE(engine.Update("f", {v, -1, 0}).ok());
+  }
+  // Survivors: value 77 x 120 in f; g has value 77 x 10.
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(engine.Update("f", {77, 1, 0}).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.Update("g", {77, 1, 0}).ok());
+  }
+  StatusOr<double> answer = engine.AnswerJoin(*query);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_NEAR(*answer, 1200.0, 120.0);
+}
+
+}  // namespace
+}  // namespace skimjoin

@@ -1,0 +1,135 @@
+#include "hashing/kwise_hash.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "hashing/prime_field.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace hashing {
+namespace {
+
+TEST(KWiseHashTest, DeterministicGivenSameRngState) {
+  Rng rng_a(5);
+  Rng rng_b(5);
+  KWiseHash a(4, &rng_a);
+  KWiseHash b(4, &rng_b);
+  for (uint64_t x = 0; x < 100; ++x) EXPECT_EQ(a(x), b(x));
+}
+
+TEST(KWiseHashTest, IndependenceParameterSetsDegree) {
+  Rng rng(5);
+  for (int k : {1, 2, 3, 4, 7}) {
+    KWiseHash h(k, &rng);
+    EXPECT_EQ(h.independence(), k);
+    EXPECT_EQ(h.coefficients().size(), static_cast<size_t>(k));
+  }
+}
+
+TEST(KWiseHashTest, OutputsStayInField) {
+  Rng rng(11);
+  KWiseHash h(4, &rng);
+  Rng inputs(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(h(inputs.NextUint64()), kMersennePrime61);
+  }
+}
+
+TEST(KWiseHashTest, ConstantFamilyWhenIndependenceOne) {
+  Rng rng(2);
+  KWiseHash h(1, &rng);
+  const uint64_t c = h(0);
+  for (uint64_t x = 1; x < 50; ++x) EXPECT_EQ(h(x), c);
+}
+
+TEST(KWiseHashTest, LeadingCoefficientNonZero) {
+  // Try many draws; the degree-forcing rule must always hold.
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    KWiseHash h(4, &rng);
+    EXPECT_NE(h.coefficients().back(), 0u);
+  }
+}
+
+TEST(KWiseHashTest, MatchesManualPolynomialEvaluation) {
+  Rng rng(21);
+  KWiseHash h(3, &rng);
+  const auto& c = h.coefficients();
+  for (uint64_t x : {0ull, 1ull, 17ull, 123456789ull}) {
+    const uint64_t v = FoldToField61(x);
+    // c0 + c1*v + c2*v^2 mod p
+    uint64_t expected = AddMod61(c[0], MulMod61(c[1], v));
+    expected = AddMod61(expected, MulMod61(c[2], MulMod61(v, v)));
+    EXPECT_EQ(h(x), expected);
+  }
+}
+
+TEST(KWiseHashTest, DistinctFamiliesDisagree) {
+  Rng rng(5);
+  KWiseHash a(4, &rng);
+  KWiseHash b(4, &rng);
+  int equal = 0;
+  for (uint64_t x = 0; x < 200; ++x) equal += (a(x) == b(x));
+  EXPECT_LE(equal, 2);
+}
+
+TEST(BucketHashTest, RangeRespected) {
+  Rng rng(9);
+  for (uint64_t buckets : {1ull, 2ull, 7ull, 64ull, 1000ull}) {
+    Rng local(rng.NextUint64());
+    BucketHash h(buckets, &local);
+    EXPECT_EQ(h.num_buckets(), buckets);
+    for (uint64_t x = 0; x < 500; ++x) EXPECT_LT(h(x), buckets);
+  }
+}
+
+TEST(BucketHashTest, SingleBucketMapsEverythingToZero) {
+  Rng rng(4);
+  BucketHash h(1, &rng);
+  for (uint64_t x = 0; x < 100; ++x) EXPECT_EQ(h(x), 0u);
+}
+
+TEST(BucketHashTest, RoughlyUniformOverBuckets) {
+  Rng rng(31);
+  constexpr uint64_t kBuckets = 16;
+  BucketHash h(kBuckets, &rng);
+  constexpr int kDraws = 32000;
+  std::vector<int> histogram(kBuckets, 0);
+  for (int x = 0; x < kDraws; ++x) ++histogram[h(static_cast<uint64_t>(x))];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(histogram[b], expected, 6 * std::sqrt(expected))
+        << "bucket " << b;
+  }
+}
+
+// Pairwise-independence smoke test: over random pairs (x, y), collision
+// probability should be close to 1/num_buckets on average across many
+// independently drawn family members.
+TEST(BucketHashTest, CollisionRateNearOneOverB) {
+  constexpr uint64_t kBuckets = 32;
+  constexpr int kFamilies = 200;
+  constexpr int kPairsPerFamily = 200;
+  Rng seeder(123);
+  int collisions = 0;
+  for (int f = 0; f < kFamilies; ++f) {
+    Rng family_rng(seeder.NextUint64());
+    BucketHash h(kBuckets, &family_rng);
+    Rng values(seeder.NextUint64());
+    for (int p = 0; p < kPairsPerFamily; ++p) {
+      const uint64_t x = values.NextUint64Below(1u << 20);
+      uint64_t y = values.NextUint64Below(1u << 20);
+      if (y == x) ++y;
+      collisions += (h(x) == h(y));
+    }
+  }
+  const double rate =
+      static_cast<double>(collisions) / (kFamilies * kPairsPerFamily);
+  EXPECT_NEAR(rate, 1.0 / kBuckets, 0.01);
+}
+
+}  // namespace
+}  // namespace hashing
+}  // namespace skimjoin

@@ -1,0 +1,176 @@
+#include "query/multi_join_hash.h"
+
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace query {
+namespace {
+
+MultiJoinHashConfig ChainOfThree() {
+  MultiJoinHashConfig config;
+  config.num_relations = 3;
+  config.num_tables = 5;
+  config.num_buckets = 64;
+  return config;
+}
+
+MultiJoinHashEstimator MustCreate(const MultiJoinHashConfig& config,
+                                  uint64_t seed) {
+  StatusOr<MultiJoinHashEstimator> est =
+      MultiJoinHashEstimator::Create(config, seed);
+  EXPECT_TRUE(est.ok()) << est.status();
+  return *std::move(est);
+}
+
+TEST(MultiJoinHashTest, CreateValidatesConfig) {
+  MultiJoinHashConfig config = ChainOfThree();
+  config.num_relations = 1;
+  EXPECT_FALSE(MultiJoinHashEstimator::Create(config, 1).ok());
+  config = ChainOfThree();
+  config.num_tables = 0;
+  EXPECT_FALSE(MultiJoinHashEstimator::Create(config, 1).ok());
+  config = ChainOfThree();
+  config.num_buckets = 0;
+  EXPECT_FALSE(MultiJoinHashEstimator::Create(config, 1).ok());
+  EXPECT_TRUE(MultiJoinHashEstimator::Create(ChainOfThree(), 1).ok());
+}
+
+TEST(MultiJoinHashTest, UpdateRoutingValidated) {
+  MultiJoinHashEstimator est = MustCreate(ChainOfThree(), 2);
+  EXPECT_FALSE(est.UpdateEnd(1, 0, 1).ok());     // middle relation
+  EXPECT_FALSE(est.UpdateMiddle(0, 0, 0, 1).ok());  // end relation
+  EXPECT_FALSE(est.UpdateEnd(5, 0, 1).ok());     // unknown relation
+  EXPECT_FALSE(est.UpdateMiddle(5, 0, 0, 1).ok());
+  EXPECT_TRUE(est.UpdateEnd(0, 3, 1).ok());
+  EXPECT_TRUE(est.UpdateMiddle(1, 3, 9, 1).ok());
+  EXPECT_TRUE(est.UpdateEnd(2, 9, 1).ok());
+}
+
+TEST(MultiJoinHashTest, EmptyEstimateIsZero) {
+  MultiJoinHashEstimator est = MustCreate(ChainOfThree(), 3);
+  EXPECT_DOUBLE_EQ(est.Estimate(), 0.0);
+}
+
+TEST(MultiJoinHashTest, SingleMatchingTupleChain) {
+  MultiJoinHashEstimator est = MustCreate(ChainOfThree(), 4);
+  ASSERT_TRUE(est.UpdateEnd(0, 7, 1).ok());
+  ASSERT_TRUE(est.UpdateMiddle(1, 7, 9, 1).ok());
+  ASSERT_TRUE(est.UpdateEnd(2, 9, 1).ok());
+  // Signs square away along the chain: exactly 1.
+  EXPECT_DOUBLE_EQ(est.Estimate(), 1.0);
+}
+
+TEST(MultiJoinHashTest, ScalesWithMultiplicities) {
+  MultiJoinHashEstimator est = MustCreate(ChainOfThree(), 5);
+  ASSERT_TRUE(est.UpdateEnd(0, 7, 4).ok());
+  ASSERT_TRUE(est.UpdateMiddle(1, 7, 9, 3).ok());
+  ASSERT_TRUE(est.UpdateEnd(2, 9, 2).ok());
+  EXPECT_DOUBLE_EQ(est.Estimate(), 24.0);
+}
+
+TEST(MultiJoinHashTest, NonMatchingChainEstimatesZeroInExpectation) {
+  MultiJoinHashEstimator est = MustCreate(ChainOfThree(), 6);
+  // Middle relation connects (7, 9) but neither end matches.
+  ASSERT_TRUE(est.UpdateEnd(0, 1, 5).ok());
+  ASSERT_TRUE(est.UpdateMiddle(1, 7, 9, 5).ok());
+  ASSERT_TRUE(est.UpdateEnd(2, 2, 5).ok());
+  // With 64 buckets these values land apart for this seed: exact zero.
+  EXPECT_DOUBLE_EQ(est.Estimate(), 0.0);
+}
+
+TEST(MultiJoinHashTest, DeletesCancel) {
+  MultiJoinHashEstimator est = MustCreate(ChainOfThree(), 7);
+  ASSERT_TRUE(est.UpdateEnd(0, 7, 1).ok());
+  ASSERT_TRUE(est.UpdateMiddle(1, 7, 9, 1).ok());
+  ASSERT_TRUE(est.UpdateEnd(2, 9, 1).ok());
+  ASSERT_TRUE(est.UpdateMiddle(1, 7, 9, -1).ok());
+  EXPECT_DOUBLE_EQ(est.Estimate(), 0.0);
+}
+
+TEST(MultiJoinHashTest, TwoRelationChainMatchesBinarySemantics) {
+  MultiJoinHashConfig config;
+  config.num_relations = 2;
+  config.num_tables = 5;
+  config.num_buckets = 128;
+  MultiJoinHashEstimator est = MustCreate(config, 8);
+  ASSERT_TRUE(est.UpdateEnd(0, 3, 10).ok());
+  ASSERT_TRUE(est.UpdateEnd(1, 3, 7).ok());
+  EXPECT_DOUBLE_EQ(est.Estimate(), 70.0);
+}
+
+TEST(MultiJoinHashTest, UnbiasedAcrossSeedsOnRandomInstance) {
+  constexpr uint64_t kDomain = 16;
+  std::vector<int64_t> r0(kDomain, 0);
+  std::vector<std::vector<int64_t>> r1(kDomain,
+                                       std::vector<int64_t>(kDomain, 0));
+  std::vector<int64_t> r2(kDomain, 0);
+  Rng rng(9);
+  for (int i = 0; i < 80; ++i) r0[rng.NextUint64Below(kDomain)] += 1;
+  for (int i = 0; i < 80; ++i) {
+    r1[rng.NextUint64Below(kDomain)][rng.NextUint64Below(kDomain)] += 1;
+  }
+  for (int i = 0; i < 80; ++i) r2[rng.NextUint64Below(kDomain)] += 1;
+  double exact = 0.0;
+  for (uint64_t u = 0; u < kDomain; ++u) {
+    for (uint64_t v = 0; v < kDomain; ++v) {
+      exact += static_cast<double>(r0[u]) * static_cast<double>(r1[u][v]) *
+               static_cast<double>(r2[v]);
+    }
+  }
+  ASSERT_GT(exact, 0.0);
+
+  MultiJoinHashConfig config;
+  config.num_relations = 3;
+  config.num_tables = 1;
+  config.num_buckets = 16;
+  double sum = 0.0;
+  constexpr int kSeeds = 300;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    MultiJoinHashEstimator est =
+        MustCreate(config, static_cast<uint64_t>(seed) + 3000);
+    for (uint64_t u = 0; u < kDomain; ++u) {
+      if (r0[u] != 0) {
+        ASSERT_TRUE(est.UpdateEnd(0, u, r0[u]).ok());
+      }
+      for (uint64_t v = 0; v < kDomain; ++v) {
+        if (r1[u][v] != 0) {
+          ASSERT_TRUE(est.UpdateMiddle(1, u, v, r1[u][v]).ok());
+        }
+      }
+    }
+    for (uint64_t v = 0; v < kDomain; ++v) {
+      if (r2[v] != 0) {
+        ASSERT_TRUE(est.UpdateEnd(2, v, r2[v]).ok());
+      }
+    }
+    sum += est.Estimate();
+  }
+  EXPECT_NEAR(sum / kSeeds, exact, 0.35 * exact);
+}
+
+TEST(MultiJoinHashTest, FourRelationChain) {
+  MultiJoinHashConfig config;
+  config.num_relations = 4;
+  config.num_tables = 5;
+  config.num_buckets = 32;
+  MultiJoinHashEstimator est = MustCreate(config, 10);
+  ASSERT_TRUE(est.UpdateEnd(0, 1, 2).ok());
+  ASSERT_TRUE(est.UpdateMiddle(1, 1, 2, 3).ok());
+  ASSERT_TRUE(est.UpdateMiddle(2, 2, 3, 5).ok());
+  ASSERT_TRUE(est.UpdateEnd(3, 3, 7).ok());
+  EXPECT_DOUBLE_EQ(est.Estimate(), 2.0 * 3 * 5 * 7);
+}
+
+TEST(MultiJoinHashTest, SpaceAccounting) {
+  MultiJoinHashEstimator est = MustCreate(ChainOfThree(), 11);
+  // Two end relations: 5·64 each; one middle: 5·64².
+  EXPECT_EQ(est.TotalCounters(), 2u * 5 * 64 + 5u * 64 * 64);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace skimjoin

@@ -1,0 +1,89 @@
+#include "hashing/prime_field.h"
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace hashing {
+namespace {
+
+// Reference modular multiply via 128-bit remainder.
+uint64_t ReferenceMulMod(uint64_t a, uint64_t b) {
+  return static_cast<uint64_t>(static_cast<__uint128_t>(a) * b %
+                               kMersennePrime61);
+}
+
+TEST(PrimeFieldTest, PrimeConstant) {
+  EXPECT_EQ(kMersennePrime61, (uint64_t{1} << 61) - 1);
+}
+
+TEST(PrimeFieldTest, AddModSimpleCases) {
+  EXPECT_EQ(AddMod61(0, 0), 0u);
+  EXPECT_EQ(AddMod61(1, 2), 3u);
+  EXPECT_EQ(AddMod61(kMersennePrime61 - 1, 1), 0u);
+  EXPECT_EQ(AddMod61(kMersennePrime61 - 1, 2), 1u);
+}
+
+TEST(PrimeFieldTest, MulModSimpleCases) {
+  EXPECT_EQ(MulMod61(0, 12345), 0u);
+  EXPECT_EQ(MulMod61(1, 12345), 12345u);
+  EXPECT_EQ(MulMod61(kMersennePrime61 - 1, kMersennePrime61 - 1), 1u);
+}
+
+TEST(PrimeFieldTest, MulModMatchesReferenceOnRandomInputs) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t a = rng.NextUint64Below(kMersennePrime61);
+    const uint64_t b = rng.NextUint64Below(kMersennePrime61);
+    ASSERT_EQ(MulMod61(a, b), ReferenceMulMod(a, b)) << a << " * " << b;
+  }
+}
+
+TEST(PrimeFieldTest, ResultsStayInField) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t a = rng.NextUint64Below(kMersennePrime61);
+    const uint64_t b = rng.NextUint64Below(kMersennePrime61);
+    EXPECT_LT(MulMod61(a, b), kMersennePrime61);
+    EXPECT_LT(AddMod61(a, b), kMersennePrime61);
+  }
+}
+
+TEST(PrimeFieldTest, FoldToField61CongruentModP) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t x = rng.NextUint64();
+    const uint64_t folded = FoldToField61(x);
+    EXPECT_LT(folded, kMersennePrime61);
+    EXPECT_EQ(folded, static_cast<uint64_t>(
+                          static_cast<__uint128_t>(x) % kMersennePrime61));
+  }
+}
+
+TEST(PrimeFieldTest, FoldEdgeCases) {
+  EXPECT_EQ(FoldToField61(0), 0u);
+  EXPECT_EQ(FoldToField61(kMersennePrime61), 0u);
+  EXPECT_EQ(FoldToField61(kMersennePrime61 + 5), 5u);
+  EXPECT_EQ(FoldToField61(UINT64_MAX),
+            static_cast<uint64_t>(static_cast<__uint128_t>(UINT64_MAX) %
+                                  kMersennePrime61));
+}
+
+TEST(PrimeFieldTest, ReduceMersenne61HandlesMaxProduct) {
+  const __uint128_t max_product =
+      static_cast<__uint128_t>(kMersennePrime61 - 1) * (kMersennePrime61 - 1);
+  EXPECT_EQ(ReduceMersenne61(max_product),
+            static_cast<uint64_t>(max_product % kMersennePrime61));
+}
+
+TEST(PrimeFieldTest, IsConstexprUsable) {
+  constexpr uint64_t kProduct = MulMod61(3, 5);
+  static_assert(kProduct == 15);
+  constexpr uint64_t kSum = AddMod61(kMersennePrime61 - 1, 1);
+  static_assert(kSum == 0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hashing
+}  // namespace skimjoin

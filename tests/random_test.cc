@@ -1,0 +1,107 @@
+#include "util/random.h"
+
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace skimjoin {
+namespace {
+
+TEST(Mix64Test, IsDeterministic) {
+  EXPECT_EQ(Mix64(12345), Mix64(12345));
+  EXPECT_NE(Mix64(12345), Mix64(12346));
+}
+
+TEST(Mix64Test, SpreadsNearbyInputs) {
+  // Consecutive inputs should produce outputs differing in many bits.
+  for (uint64_t x = 0; x < 64; ++x) {
+    const uint64_t diff = Mix64(x) ^ Mix64(x + 1);
+    EXPECT_GE(__builtin_popcountll(diff), 10) << "x=" << x;
+  }
+}
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(7);
+  Rng b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.NextUint64() == b.NextUint64());
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, ZeroSeedStillProducesVariedOutput) {
+  Rng rng(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.NextUint64());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(RngTest, NextUint64BelowRespectsBound) {
+  Rng rng(3);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 40)}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextUint64Below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextUint64BelowOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextUint64Below(1), 0u);
+}
+
+TEST(RngTest, NextUint64BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> histogram(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.NextUint64Below(kBound)];
+  for (uint64_t b = 0; b < kBound; ++b) {
+    // Expected 10000 ± a few hundred; 4-sigma window ≈ ±380.
+    EXPECT_NEAR(histogram[b], kDraws / static_cast<int>(kBound), 600)
+        << "bucket " << b;
+  }
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng parent(42);
+  Rng fork_a = parent.Fork(1);
+  Rng fork_a_again = Rng(42).Fork(1);
+  Rng fork_b = parent.Fork(2);
+  EXPECT_EQ(fork_a.NextUint64(), fork_a_again.NextUint64());
+  // Forks with different indices produce different streams.
+  Rng a2 = parent.Fork(1);
+  Rng b2 = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a2.NextUint64() == b2.NextUint64());
+  EXPECT_LE(equal, 1);
+  (void)fork_b;
+}
+
+TEST(RngTest, ForkDoesNotDisturbParentStream) {
+  Rng a(9);
+  Rng b(9);
+  (void)a.Fork(17);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+}  // namespace
+}  // namespace skimjoin

@@ -1,0 +1,154 @@
+// Range-frequency and quantile queries answered from the dyadic levels of a
+// SkimmedSketch (core/skimmed_sketch.h).
+
+#include <cstdint>
+#include <utility>
+
+#include "core/skimmed_sketch.h"
+#include "gtest/gtest.h"
+#include "stream/frequency_vector.h"
+#include "stream/zipf.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace core {
+namespace {
+
+SkimmedSketchConfig DyadicConfig() {
+  SkimmedSketchConfig config;
+  config.domain_size = 1u << 10;
+  config.num_tables = 7;
+  config.num_buckets = 256;
+  config.use_dyadic_skim = true;
+  config.dyadic_num_buckets = 256;
+  return config;
+}
+
+TEST(RangeQueryTest, RequiresDyadicLevels) {
+  SkimmedSketchConfig config = DyadicConfig();
+  config.use_dyadic_skim = false;
+  auto sketch = *SkimmedSketch::Create(config, 1);
+  EXPECT_EQ(sketch.EstimateRangeFrequency(0, 5).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sketch.EstimateQuantile(0.5).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RangeQueryTest, ValidatesBounds) {
+  auto sketch = *SkimmedSketch::Create(DyadicConfig(), 2);
+  EXPECT_EQ(sketch.EstimateRangeFrequency(5, 4).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sketch.EstimateRangeFrequency(0, 1u << 10).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(RangeQueryTest, ExactOnIsolatedValues) {
+  auto sketch = *SkimmedSketch::Create(DyadicConfig(), 3);
+  sketch.Update(10, 100);
+  sketch.Update(20, 50);
+  sketch.Update(600, 7);
+  EXPECT_EQ(*sketch.EstimateRangeFrequency(10, 10), 100);
+  EXPECT_EQ(*sketch.EstimateRangeFrequency(0, 99), 150);
+  EXPECT_EQ(*sketch.EstimateRangeFrequency(11, 599), 50);
+  EXPECT_EQ(*sketch.EstimateRangeFrequency(0, 1023), 157);
+  EXPECT_EQ(*sketch.EstimateRangeFrequency(601, 1023), 0);
+}
+
+TEST(RangeQueryTest, SingletonAndFullDomainRanges) {
+  auto sketch = *SkimmedSketch::Create(DyadicConfig(), 4);
+  for (uint64_t v = 0; v < 1024; ++v) sketch.Update(v, 1);
+  EXPECT_NEAR(*sketch.EstimateRangeFrequency(0, 1023), 1024, 64);
+  EXPECT_NEAR(*sketch.EstimateRangeFrequency(512, 512), 1, 8);
+}
+
+TEST(RangeQueryTest, UnalignedRangesTrackExactSums) {
+  constexpr uint64_t kDomain = 1u << 10;
+  const stream::FrequencyVector f =
+      stream::ZipfDistribution(kDomain, 1.0).ExpectedFrequencies(50000);
+  auto sketch = *SkimmedSketch::Create(DyadicConfig(), 5);
+  sketch.Absorb(f);
+  struct Range {
+    uint64_t lo, hi;
+  };
+  for (const Range r : {Range{3, 117}, Range{100, 611}, Range{511, 513},
+                        Range{900, 1023}, Range{0, 7}}) {
+    int64_t exact = 0;
+    for (uint64_t v = r.lo; v <= r.hi; ++v) exact += f.Get(v);
+    StatusOr<int64_t> estimate = sketch.EstimateRangeFrequency(r.lo, r.hi);
+    ASSERT_TRUE(estimate.ok());
+    // O(log m) interval estimates, each with noise ~sqrt(F2_level/b);
+    // generous absolute envelope keeps the test stable.
+    EXPECT_NEAR(*estimate, exact, 0.1 * 50000 + 0.15 * exact)
+        << "[" << r.lo << ", " << r.hi << "]";
+  }
+}
+
+TEST(RangeQueryTest, DeletesFlowThroughRanges) {
+  auto sketch = *SkimmedSketch::Create(DyadicConfig(), 6);
+  sketch.Update(100, 500);
+  sketch.Update(100, -500);
+  sketch.Update(101, 30);
+  EXPECT_EQ(*sketch.EstimateRangeFrequency(64, 127), 30);
+}
+
+TEST(QuantileTest, UniformDataQuantilesAreProportional) {
+  auto sketch = *SkimmedSketch::Create(DyadicConfig(), 7);
+  for (uint64_t v = 0; v < 1024; ++v) sketch.Update(v, 10);
+  for (double phi : {0.25, 0.5, 0.75, 1.0}) {
+    StatusOr<uint64_t> q = sketch.EstimateQuantile(phi);
+    ASSERT_TRUE(q.ok());
+    EXPECT_NEAR(static_cast<double>(*q), phi * 1024.0, 96.0) << "phi=" << phi;
+  }
+}
+
+TEST(QuantileTest, PointMassPullsEveryQuantile) {
+  auto sketch = *SkimmedSketch::Create(DyadicConfig(), 8);
+  sketch.Update(700, 10000);
+  sketch.Update(10, 1);
+  for (double phi : {0.2, 0.5, 0.9}) {
+    EXPECT_EQ(*sketch.EstimateQuantile(phi), 700u) << "phi=" << phi;
+  }
+}
+
+TEST(QuantileTest, SkewedDataMedianLandsInTheHead) {
+  constexpr uint64_t kDomain = 1u << 10;
+  const stream::FrequencyVector f =
+      stream::ZipfDistribution(kDomain, 1.2).ExpectedFrequencies(100000);
+  auto sketch = *SkimmedSketch::Create(DyadicConfig(), 9);
+  sketch.Absorb(f);
+  // Exact median value.
+  int64_t cumulative = 0;
+  uint64_t exact_median = 0;
+  for (uint64_t v = 0; v < kDomain; ++v) {
+    cumulative += f.Get(v);
+    if (cumulative >= 50000) {
+      exact_median = v;
+      break;
+    }
+  }
+  StatusOr<uint64_t> estimated = sketch.EstimateQuantile(0.5);
+  ASSERT_TRUE(estimated.ok());
+  // Rank error, not value error: the estimated median's cumulative rank
+  // should be within a few percent of n/2.
+  int64_t estimated_rank = 0;
+  for (uint64_t v = 0; v <= *estimated; ++v) estimated_rank += f.Get(v);
+  EXPECT_NEAR(estimated_rank, 50000, 5000) << "value " << *estimated
+                                           << " exact median " << exact_median;
+}
+
+TEST(QuantileTest, EmptyStreamRejected) {
+  auto sketch = *SkimmedSketch::Create(DyadicConfig(), 10);
+  EXPECT_EQ(sketch.EstimateQuantile(0.5).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(QuantileDeathTest, PhiValidated) {
+  auto sketch = *SkimmedSketch::Create(DyadicConfig(), 11);
+  sketch.Update(1, 5);
+  EXPECT_DEATH((void)sketch.EstimateQuantile(0.0), "phi");
+  EXPECT_DEATH((void)sketch.EstimateQuantile(1.5), "phi");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace skimjoin

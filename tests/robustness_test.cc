@@ -1,0 +1,135 @@
+// Robustness tests: malformed/truncated serialized records must produce
+// Status errors (never crashes or silent corruption), and the complexity
+// claims the library documents must hold as coarse runtime ratios.
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "core/skimmed_sketch.h"
+#include "gtest/gtest.h"
+#include "sketch/agms_sketch.h"
+#include "sketch/hash_sketch.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace skimjoin {
+namespace {
+
+// Serialize a populated sketch, then attempt deserialization from every
+// prefix length (sampled): all failures must be clean Status errors.
+TEST(SerializationFuzzTest, HashSketchTruncationsAlwaysFailCleanly) {
+  auto sketch = *sketch::HashSketch::Create({5, 32}, 3);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) sketch.Update(rng.NextUint64Below(512), 1);
+  std::stringstream buffer;
+  ASSERT_TRUE(sketch.SerializeTo(buffer).ok());
+  const std::string full = buffer.str();
+  int clean_failures = 0;
+  for (size_t len = 0; len + 1 < full.size(); len += 7) {
+    std::stringstream truncated(full.substr(0, len));
+    StatusOr<sketch::HashSketch> result =
+        sketch::HashSketch::DeserializeFrom(truncated);
+    if (!result.ok()) ++clean_failures;
+  }
+  // Every strict prefix must fail (the counter block length is fixed by
+  // the header, so a prefix can never be a valid record).
+  EXPECT_EQ(clean_failures,
+            static_cast<int>((full.size() - 1 + 6) / 7));
+}
+
+TEST(SerializationFuzzTest, SkimmedSketchBitFlipsFailOrRoundTrip) {
+  core::SkimmedSketchConfig config;
+  config.domain_size = 256;
+  config.num_tables = 3;
+  config.num_buckets = 32;
+  config.use_dyadic_skim = true;
+  config.dyadic_num_buckets = 8;
+  auto sketch = *core::SkimmedSketch::Create(config, 5);
+  sketch.Update(7, 100);
+  std::stringstream buffer;
+  ASSERT_TRUE(sketch.SerializeTo(buffer).ok());
+  const std::string full = buffer.str();
+
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string corrupted = full;
+    const size_t pos = rng.NextUint64Below(corrupted.size());
+    corrupted[pos] = static_cast<char>('A' + rng.NextUint64Below(26));
+    std::stringstream in(corrupted);
+    // Must never crash; either a clean error or a parse that happened to
+    // stay structurally valid (e.g., a digit changed inside a counter).
+    StatusOr<core::SkimmedSketch> result =
+        core::SkimmedSketch::DeserializeFrom(in);
+    if (result.ok()) {
+      // A surviving parse must still be a structurally sound sketch.
+      (void)result->EstimatePointFrequency(7);
+    }
+  }
+  SUCCEED();
+}
+
+// Complexity smoke: hash-sketch updates must be dramatically cheaper than
+// basic AGMS updates at the same space (the paper's per-element claim),
+// with a coarse ratio so the test is robust on any machine.
+TEST(ComplexitySmokeTest, HashSketchUpdatesBeatAgmsUpdatesAtEqualSpace) {
+  constexpr uint64_t kSpace = 4096;
+  auto agms = *sketch::AgmsSketch::Create({kSpace / 8, 8}, 1);
+  auto hash = *sketch::HashSketch::Create({8, kSpace / 8}, 1);
+  Rng rng(3);
+  constexpr int kUpdates = 3000;
+
+  Timer agms_timer;
+  for (int i = 0; i < kUpdates; ++i) {
+    agms.Update(rng.NextUint64Below(1u << 20), 1);
+  }
+  const double agms_seconds = agms_timer.ElapsedSeconds();
+
+  Timer hash_timer;
+  for (int i = 0; i < kUpdates; ++i) {
+    hash.Update(rng.NextUint64Below(1u << 20), 1);
+  }
+  const double hash_seconds = hash_timer.ElapsedSeconds();
+
+  // AGMS touches 4096 counters per element, the hash sketch touches 8; a
+  // 10x wall-clock gap is a very conservative floor for that 512x work gap.
+  EXPECT_GT(agms_seconds, 10.0 * hash_seconds)
+      << "agms " << agms_seconds << "s vs hash " << hash_seconds << "s";
+}
+
+// Dyadic skim cost must not scale with the domain (log factor only):
+// skimming a 2^18 domain must not cost vastly more than a 2^12 domain.
+TEST(ComplexitySmokeTest, DyadicSkimIsDomainScanFree) {
+  auto build = [](uint64_t domain) {
+    core::SkimmedSketchConfig config;
+    config.domain_size = domain;
+    config.num_tables = 5;
+    config.num_buckets = 256;
+    config.dyadic_num_buckets = 64;
+    config.use_dyadic_skim = true;
+    auto sketch = *core::SkimmedSketch::Create(config, 7);
+    Rng rng(8);
+    for (int i = 0; i < 5000; ++i) {
+      sketch.Update(rng.NextUint64Below(domain / 2), 1);
+    }
+    return sketch;
+  };
+  const auto small = build(1u << 12);
+  const auto large = build(1u << 18);
+
+  Timer small_timer;
+  for (int i = 0; i < 20; ++i) (void)small.HeavyHitters(50);
+  const double small_seconds = small_timer.ElapsedSeconds();
+  Timer large_timer;
+  for (int i = 0; i < 20; ++i) (void)large.HeavyHitters(50);
+  const double large_seconds = large_timer.ElapsedSeconds();
+
+  // 64x domain growth must cost far less than 16x skim time (log growth
+  // plus constant factors); a naive scan would be ~64x.
+  EXPECT_LT(large_seconds, 16.0 * small_seconds + 0.01)
+      << "small " << small_seconds << "s vs large " << large_seconds << "s";
+}
+
+}  // namespace
+}  // namespace skimjoin

@@ -1,0 +1,190 @@
+#include "query/shell.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "stream/trace_io.h"
+
+namespace skimjoin {
+namespace query {
+namespace {
+
+// Executes one line and returns the single response line (without '\n').
+std::string Exec(Shell* shell, const std::string& line) {
+  std::ostringstream out;
+  EXPECT_TRUE(shell->ExecuteLine(line, out));
+  std::string text = out.str();
+  if (!text.empty() && text.back() == '\n') text.pop_back();
+  return text;
+}
+
+TEST(ShellTest, CommentsAndBlankLinesAreSilent) {
+  Shell shell;
+  std::ostringstream out;
+  EXPECT_TRUE(shell.ExecuteLine("", out));
+  EXPECT_TRUE(shell.ExecuteLine("# just a comment", out));
+  EXPECT_EQ(out.str(), "");
+}
+
+TEST(ShellTest, UnknownCommandReportsError) {
+  Shell shell;
+  EXPECT_EQ(Exec(&shell, "frobnicate 1 2"),
+            "error: unknown command: frobnicate (try `help`)");
+}
+
+TEST(ShellTest, HelpListsCommands) {
+  Shell shell;
+  EXPECT_NE(Exec(&shell, "help").find("join"), std::string::npos);
+}
+
+TEST(ShellTest, StreamRegistrationAndErrors) {
+  Shell shell;
+  EXPECT_EQ(Exec(&shell, "stream flows 1024"), "ok");
+  EXPECT_NE(Exec(&shell, "stream flows 1024").find("ALREADY_EXISTS"),
+            std::string::npos);
+  EXPECT_NE(Exec(&shell, "stream"), "ok");  // usage error
+}
+
+TEST(ShellTest, JoinQueryEndToEnd) {
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "stream f 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "stream g 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "join q f g skimmed 2048"), "ok");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(Exec(&shell, "update f 7"), "ok");
+    ASSERT_EQ(Exec(&shell, "update g 7"), "ok");
+  }
+  const std::string answer = Exec(&shell, "answer q");
+  ASSERT_EQ(answer.rfind("ok ", 0), 0u) << answer;
+  const double value = std::stod(answer.substr(3));
+  EXPECT_NEAR(value, 2500.0, 250.0);
+}
+
+TEST(ShellTest, SelfJoinAndMethodParsing) {
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "stream f 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "selfjoin sq f agms 512"), "ok");
+  EXPECT_NE(Exec(&shell, "selfjoin bad f warp-drive 512").find("unknown method"),
+            std::string::npos);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(Exec(&shell, "update f 3"), "ok");
+  }
+  const std::string answer = Exec(&shell, "answer sq");
+  ASSERT_EQ(answer.rfind("ok ", 0), 0u);
+  EXPECT_NEAR(std::stod(answer.substr(3)), 400.0, 40.0);
+}
+
+TEST(ShellTest, DuplicateQueryNamesRejected) {
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "stream f 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "freq q f 2048"), "ok");
+  EXPECT_NE(Exec(&shell, "selfjoin q f agms 512").find("already in use"),
+            std::string::npos);
+}
+
+TEST(ShellTest, UpdateWithCountAndMeasure) {
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "stream f 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "update f 5 3"), "ok");      // count 3
+  ASSERT_EQ(Exec(&shell, "update f 5 -1 0"), "ok");   // delete
+  EXPECT_EQ(Exec(&shell, "count f"), "ok 2");
+  EXPECT_NE(Exec(&shell, "update f 9999"), "ok");     // out of domain
+}
+
+TEST(ShellTest, FrequencyQueryPointAndHeavy) {
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "stream f 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "freq hh f 4096"), "ok");
+  ASSERT_EQ(Exec(&shell, "update f 42 500"), "ok");
+  EXPECT_EQ(Exec(&shell, "point hh 42"), "ok 500");
+  EXPECT_EQ(Exec(&shell, "heavy hh 100"), "ok 42:500");
+  EXPECT_NE(Exec(&shell, "point nope 42"), "ok 500");
+}
+
+TEST(ShellTest, DistinctQuery) {
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "stream f 4096"), "ok");
+  ASSERT_EQ(Exec(&shell, "distinct d f 256"), "ok");
+  for (int v = 0; v < 1000; ++v) {
+    ASSERT_EQ(Exec(&shell, "update f " + std::to_string(v)), "ok");
+  }
+  const std::string answer = Exec(&shell, "answer d");
+  ASSERT_EQ(answer.rfind("ok ", 0), 0u);
+  const double distinct = std::stod(answer.substr(3));
+  EXPECT_GT(distinct, 400.0);
+  EXPECT_LT(distinct, 2500.0);
+}
+
+TEST(ShellTest, TopKQueryEndToEnd) {
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "stream f 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "topk t f 2 4096"), "ok");
+  ASSERT_EQ(Exec(&shell, "update f 10 300"), "ok");
+  ASSERT_EQ(Exec(&shell, "update f 20 200"), "ok");
+  ASSERT_EQ(Exec(&shell, "update f 30 100"), "ok");
+  EXPECT_EQ(Exec(&shell, "top t"), "ok 10:300 20:200");
+  EXPECT_NE(Exec(&shell, "top nope"), "ok");
+  EXPECT_NE(Exec(&shell, "topk t f 2 4096"), "ok");  // duplicate name
+}
+
+TEST(ShellTest, QuantileQueryEndToEnd) {
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "stream f 4096"), "ok");
+  ASSERT_EQ(Exec(&shell, "quantile q f 0.05"), "ok");
+  for (uint64_t v = 0; v < 1000; ++v) {
+    ASSERT_EQ(Exec(&shell, "update f " + std::to_string(v)), "ok");
+  }
+  const std::string answer = Exec(&shell, "phi q 0.5");
+  ASSERT_EQ(answer.rfind("ok ", 0), 0u) << answer;
+  const double median = std::stod(answer.substr(3));
+  EXPECT_NEAR(median, 500.0, 110.0);
+  EXPECT_NE(Exec(&shell, "phi nope 0.5"), answer);
+  EXPECT_NE(Exec(&shell, "quantile bad f 0.9"), "ok");  // epsilon too large
+}
+
+TEST(ShellTest, LoadReplaysTraceFiles) {
+  const std::string path = ::testing::TempDir() + "/shell.trace";
+  ASSERT_TRUE(stream::WriteTrace(path, {stream::Insert(1), stream::Insert(1),
+                                        stream::Delete(1), stream::Insert(2)})
+                  .ok());
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "stream f 16"), "ok");
+  EXPECT_EQ(Exec(&shell, "load f " + path), "ok 4");
+  EXPECT_EQ(Exec(&shell, "count f"), "ok 2");
+  EXPECT_NE(Exec(&shell, "load f /no/such/file"), "ok");
+  std::remove(path.c_str());
+}
+
+TEST(ShellTest, RunProcessesScriptsAndCountsErrors) {
+  std::istringstream script(
+      "stream f 64\n"
+      "stream f 64\n"      // duplicate → error
+      "update f 3\n"
+      "bogus\n"            // error
+      "count f\n"
+      "quit\n"
+      "update f 3\n");     // after quit: never executed
+  std::ostringstream out;
+  Shell shell;
+  EXPECT_EQ(shell.Run(script, out), 2);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("ok 1"), std::string::npos);
+  // The post-quit update must not have run.
+  EXPECT_EQ(*shell.engine().StreamElementCount("f"), 1);
+}
+
+TEST(ShellTest, SeedChangesQueryRandomness) {
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "seed 12345"), "ok");
+  ASSERT_EQ(Exec(&shell, "stream f 64"), "ok");
+  ASSERT_EQ(Exec(&shell, "selfjoin q f skimmed 1024"), "ok");
+  EXPECT_NE(Exec(&shell, "seed"), "ok");  // usage error
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace skimjoin

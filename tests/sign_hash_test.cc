@@ -1,0 +1,76 @@
+#include "hashing/sign_hash.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace hashing {
+namespace {
+
+TEST(SignHashTest, OutputsArePlusMinusOne) {
+  Rng rng(1);
+  SignHash xi(&rng);
+  for (uint64_t x = 0; x < 1000; ++x) {
+    const int64_t s = xi(x);
+    EXPECT_TRUE(s == 1 || s == -1) << "x=" << x << " s=" << s;
+  }
+}
+
+TEST(SignHashTest, DeterministicGivenSameRngState) {
+  Rng rng_a(6);
+  Rng rng_b(6);
+  SignHash a(&rng_a);
+  SignHash b(&rng_b);
+  for (uint64_t x = 0; x < 500; ++x) EXPECT_EQ(a(x), b(x));
+}
+
+TEST(SignHashTest, BalancedOverDomain) {
+  Rng rng(8);
+  SignHash xi(&rng);
+  int64_t sum = 0;
+  constexpr int kValues = 40000;
+  for (int x = 0; x < kValues; ++x) sum += xi(static_cast<uint64_t>(x));
+  // E[sum] = 0, sd = sqrt(kValues) = 200; allow 5 sigma.
+  EXPECT_LT(std::llabs(sum), 5 * static_cast<int64_t>(std::sqrt(kValues)));
+}
+
+// E[ξ(x)·ξ(y)] ≈ 0 for x != y, averaged over family draws (2-wise part of
+// 4-wise independence).
+TEST(SignHashTest, PairwiseProductsAverageToZeroAcrossFamilies) {
+  Rng seeder(17);
+  constexpr int kFamilies = 4000;
+  int64_t sum = 0;
+  for (int f = 0; f < kFamilies; ++f) {
+    Rng rng(seeder.NextUint64());
+    SignHash xi(&rng);
+    sum += xi(123) * xi(456);
+  }
+  EXPECT_LT(std::llabs(sum), 5 * static_cast<int64_t>(std::sqrt(kFamilies)));
+}
+
+// E[ξ(a)ξ(b)ξ(c)ξ(d)] ≈ 0 for four distinct values (the 4-wise property
+// that the AGMS variance bound needs).
+TEST(SignHashTest, FourWiseProductsAverageToZeroAcrossFamilies) {
+  Rng seeder(29);
+  constexpr int kFamilies = 4000;
+  int64_t sum = 0;
+  for (int f = 0; f < kFamilies; ++f) {
+    Rng rng(seeder.NextUint64());
+    SignHash xi(&rng);
+    sum += xi(10) * xi(20) * xi(30) * xi(40);
+  }
+  EXPECT_LT(std::llabs(sum), 5 * static_cast<int64_t>(std::sqrt(kFamilies)));
+}
+
+TEST(SignHashTest, SquareIsAlwaysOne) {
+  Rng rng(3);
+  SignHash xi(&rng);
+  for (uint64_t x = 0; x < 200; ++x) EXPECT_EQ(xi(x) * xi(x), 1);
+}
+
+}  // namespace
+}  // namespace hashing
+}  // namespace skimjoin

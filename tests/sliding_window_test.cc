@@ -1,0 +1,118 @@
+#include "stream/sliding_window.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/skimmed_sketch.h"
+#include "gtest/gtest.h"
+#include "stream/frequency_vector.h"
+
+namespace skimjoin {
+namespace stream {
+namespace {
+
+SlidingWindow MustCreate(uint64_t capacity) {
+  StatusOr<SlidingWindow> window = SlidingWindow::Create(capacity);
+  EXPECT_TRUE(window.ok()) << window.status();
+  return *std::move(window);
+}
+
+TEST(SlidingWindowTest, CreateValidatesCapacity) {
+  EXPECT_FALSE(SlidingWindow::Create(0).ok());
+  EXPECT_TRUE(SlidingWindow::Create(1).ok());
+}
+
+TEST(SlidingWindowTest, EmitsOnlyInsertsWhileFilling) {
+  SlidingWindow window = MustCreate(3);
+  std::vector<StreamElement> emitted;
+  auto sink = [&](const StreamElement& e) { emitted.push_back(e); };
+  window.Push(10, sink);
+  window.Push(11, sink);
+  window.Push(12, sink);
+  ASSERT_EQ(emitted.size(), 3u);
+  EXPECT_EQ(emitted[0], Insert(10));
+  EXPECT_EQ(emitted[2], Insert(12));
+  EXPECT_EQ(window.size(), 3u);
+  EXPECT_EQ(window.oldest(), 10u);
+}
+
+TEST(SlidingWindowTest, EvictsOldestOnceFull) {
+  SlidingWindow window = MustCreate(2);
+  std::vector<StreamElement> emitted;
+  auto sink = [&](const StreamElement& e) { emitted.push_back(e); };
+  window.Push(1, sink);
+  window.Push(2, sink);
+  window.Push(3, sink);  // evicts 1
+  window.Push(4, sink);  // evicts 2
+  ASSERT_EQ(emitted.size(), 6u);
+  EXPECT_EQ(emitted[2], Insert(3));
+  EXPECT_EQ(emitted[3], Delete(1));
+  EXPECT_EQ(emitted[4], Insert(4));
+  EXPECT_EQ(emitted[5], Delete(2));
+  EXPECT_EQ(window.size(), 2u);
+  EXPECT_EQ(window.oldest(), 3u);
+}
+
+TEST(SlidingWindowTest, CapacityOneAlwaysHoldsLastArrival) {
+  SlidingWindow window = MustCreate(1);
+  std::vector<StreamElement> emitted;
+  auto sink = [&](const StreamElement& e) { emitted.push_back(e); };
+  for (uint64_t v = 0; v < 5; ++v) window.Push(v, sink);
+  EXPECT_EQ(window.size(), 1u);
+  EXPECT_EQ(window.oldest(), 4u);
+  // 5 inserts + 4 deletes.
+  EXPECT_EQ(emitted.size(), 9u);
+}
+
+TEST(SlidingWindowTest, DownstreamFrequencyVectorMatchesWindowContents) {
+  SlidingWindow window = MustCreate(100);
+  FrequencyVector fv(256);
+  auto sink = [&](const StreamElement& e) { fv.Apply(e); };
+  // 300 arrivals cycling over 256 values.
+  for (uint64_t i = 0; i < 300; ++i) window.Push(i % 256, sink);
+  // Window holds arrivals 200..299 → values 200..255 and 0..43, each once.
+  EXPECT_EQ(fv.TotalCount(), 100);
+  for (uint64_t v = 200; v < 256; ++v) EXPECT_EQ(fv.Get(v), 1) << v;
+  for (uint64_t v = 0; v < 44; ++v) EXPECT_EQ(fv.Get(v), 1) << v;
+  for (uint64_t v = 44; v < 200; ++v) EXPECT_EQ(fv.Get(v), 0) << v;
+}
+
+TEST(SlidingWindowTest, WindowedSkimmedSketchTracksRecentJoin) {
+  // The paper's delete support makes windowed joins a pure adapter: the
+  // synopsis always reflects the last W elements exactly (in expectation).
+  core::SkimmedSketchConfig config;
+  config.domain_size = 1u << 10;
+  config.num_buckets = 256;
+  config.use_dyadic_skim = false;
+  auto sf = *core::SkimmedSketch::Create(config, 5);
+  auto sg = *core::SkimmedSketch::Create(config, 5);
+  SlidingWindow wf = MustCreate(500);
+  SlidingWindow wg = MustCreate(500);
+  auto sink_f = [&](const StreamElement& e) { sf.Update(e); };
+  auto sink_g = [&](const StreamElement& e) { sg.Update(e); };
+
+  // Phase 1: both streams all hit value 7.
+  for (int i = 0; i < 500; ++i) {
+    wf.Push(7, sink_f);
+    wg.Push(7, sink_g);
+  }
+  // Phase 2: traffic moves entirely to value 9; the window forgets 7.
+  for (int i = 0; i < 500; ++i) {
+    wf.Push(9, sink_f);
+    wg.Push(9, sink_g);
+  }
+  StatusOr<double> join = core::SkimmedSketch::EstimateJoinSize(sf, sg);
+  ASSERT_TRUE(join.ok());
+  // Join of the windows: 500 × 500 on value 9 only.
+  EXPECT_NEAR(*join, 250000.0, 2500.0);
+  EXPECT_EQ(sf.EstimatePointFrequency(7), 0);
+}
+
+TEST(SlidingWindowDeathTest, OldestOnEmptyAborts) {
+  SlidingWindow window = MustCreate(4);
+  EXPECT_DEATH((void)window.oldest(), "");
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace skimjoin

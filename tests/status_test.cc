@@ -1,0 +1,122 @@
+#include "util/status.h"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "gtest/gtest.h"
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkStatusFactory) {
+  EXPECT_TRUE(OkStatus().ok());
+  EXPECT_EQ(OkStatus(), Status());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {InvalidArgumentError("m"), StatusCode::kInvalidArgument,
+       "INVALID_ARGUMENT"},
+      {NotFoundError("m"), StatusCode::kNotFound, "NOT_FOUND"},
+      {AlreadyExistsError("m"), StatusCode::kAlreadyExists, "ALREADY_EXISTS"},
+      {OutOfRangeError("m"), StatusCode::kOutOfRange, "OUT_OF_RANGE"},
+      {FailedPreconditionError("m"), StatusCode::kFailedPrecondition,
+       "FAILED_PRECONDITION"},
+      {UnimplementedError("m"), StatusCode::kUnimplemented, "UNIMPLEMENTED"},
+      {IoError("m"), StatusCode::kIoError, "IO_ERROR"},
+      {InternalError("m"), StatusCode::kInternal, "INTERNAL"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+    EXPECT_EQ(c.status.ToString(), std::string(c.name) + ": m");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("a"), InvalidArgumentError("a"));
+  EXPECT_FALSE(InvalidArgumentError("a") == InvalidArgumentError("b"));
+  EXPECT_FALSE(InvalidArgumentError("a") == NotFoundError("a"));
+}
+
+TEST(StatusTest, StreamInsertionUsesToString) {
+  std::ostringstream os;
+  os << NotFoundError("missing");
+  EXPECT_EQ(os.str(), "NOT_FOUND: missing");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(NotFoundError("nope"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MutableAccess) {
+  StatusOr<std::string> v(std::string("abc"));
+  v->push_back('d');
+  EXPECT_EQ(*v, "abcd");
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(*v);
+  EXPECT_EQ(*owned, 7);
+}
+
+Status Fails() { return InvalidArgumentError("inner"); }
+Status Succeeds() { return OkStatus(); }
+
+Status Propagates(bool fail) {
+  SKIMJOIN_RETURN_IF_ERROR(fail ? Fails() : Succeeds());
+  return InternalError("fell through");
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Propagates(true).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Propagates(false).code(), StatusCode::kInternal);
+}
+
+TEST(CheckMacrosTest, PassingChecksDoNothing) {
+  SKIMJOIN_CHECK(true);
+  SKIMJOIN_CHECK_EQ(1, 1);
+  SKIMJOIN_CHECK_NE(1, 2);
+  SKIMJOIN_CHECK_LT(1, 2);
+  SKIMJOIN_CHECK_LE(2, 2);
+  SKIMJOIN_CHECK_GT(3, 2);
+  SKIMJOIN_CHECK_GE(3, 3);
+  SKIMJOIN_CHECK_OK(OkStatus());
+}
+
+TEST(CheckMacrosDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(SKIMJOIN_CHECK(1 == 2) << "context " << 99, "context 99");
+}
+
+TEST(CheckMacrosDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(SKIMJOIN_CHECK_OK(IoError("disk gone")), "disk gone");
+}
+
+}  // namespace
+}  // namespace skimjoin

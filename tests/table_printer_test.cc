@@ -1,0 +1,67 @@
+#include "util/table_printer.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace skimjoin {
+namespace {
+
+TEST(TablePrinterTest, PrintsTitleHeaderAndRows) {
+  TablePrinter table("demo", {"a", "long-column"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"333", "4"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("| a "), std::string::npos);
+  EXPECT_NE(text.find("long-column"), std::string::npos);
+  EXPECT_NE(text.find("333"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAlignAcrossRows) {
+  TablePrinter table("t", {"x"});
+  table.AddRow({"1"});
+  table.AddRow({"12345"});
+  std::ostringstream os;
+  table.Print(os);
+  // Every data/header row line should have equal length.
+  std::istringstream lines(os.str());
+  std::string line;
+  size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '|') continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+}
+
+TEST(TablePrinterTest, FormatDouble) {
+  EXPECT_EQ(TablePrinter::FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::FormatDouble(-0.5, 3), "-0.500");
+  EXPECT_EQ(TablePrinter::FormatDouble(2.0, 0), "2");
+}
+
+TEST(TablePrinterTest, PrintCsvEmitsHeaderAndRows) {
+  TablePrinter table("csv demo", {"a", "b"});
+  table.AddRow({"1", "hello"});
+  table.AddRow({"2", "with,comma"});
+  table.AddRow({"3", "with\"quote"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# csv demo\n"), std::string::npos);
+  EXPECT_NE(text.find("a,b\n"), std::string::npos);
+  EXPECT_NE(text.find("1,hello\n"), std::string::npos);
+  EXPECT_NE(text.find("2,\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(text.find("3,\"with\"\"quote\"\n"), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, RowArityMismatchAborts) {
+  TablePrinter table("t", {"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "");
+}
+
+}  // namespace
+}  // namespace skimjoin

@@ -1,0 +1,98 @@
+#include "hashing/tabulation_hash.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace hashing {
+namespace {
+
+TEST(TabulationHashTest, DeterministicGivenSameRngState) {
+  Rng a_rng(4);
+  Rng b_rng(4);
+  TabulationHash a(&a_rng);
+  TabulationHash b(&b_rng);
+  for (uint64_t x = 0; x < 500; ++x) EXPECT_EQ(a(x), b(x));
+}
+
+TEST(TabulationHashTest, DifferentSeedsDiffer) {
+  Rng a_rng(4);
+  Rng b_rng(5);
+  TabulationHash a(&a_rng);
+  TabulationHash b(&b_rng);
+  int equal = 0;
+  for (uint64_t x = 0; x < 200; ++x) equal += (a(x) == b(x));
+  EXPECT_LE(equal, 1);
+}
+
+TEST(TabulationHashTest, ZeroKeyHashesToXorOfZeroEntries) {
+  Rng rng(6);
+  TabulationHash h(&rng);
+  // h(0) is some fixed value; two calls agree (sanity of lookup path).
+  EXPECT_EQ(h(0), h(0));
+}
+
+TEST(TabulationHashTest, DistinctKeysRarelyCollide) {
+  Rng rng(9);
+  TabulationHash h(&rng);
+  std::set<uint64_t> outputs;
+  for (uint64_t x = 0; x < 5000; ++x) outputs.insert(h(x));
+  EXPECT_EQ(outputs.size(), 5000u);  // 64-bit outputs: collisions ~impossible
+}
+
+TEST(TabulationHashTest, BucketRange) {
+  Rng rng(2);
+  TabulationHash h(&rng);
+  for (uint64_t buckets : {1ull, 3ull, 64ull, 257ull}) {
+    for (uint64_t x = 0; x < 300; ++x) EXPECT_LT(h.Bucket(x, buckets), buckets);
+  }
+}
+
+TEST(TabulationHashTest, BucketRoughlyUniform) {
+  Rng rng(15);
+  TabulationHash h(&rng);
+  constexpr uint64_t kBuckets = 16;
+  constexpr int kDraws = 32000;
+  std::vector<int> histogram(kBuckets, 0);
+  for (int x = 0; x < kDraws; ++x) {
+    ++histogram[h.Bucket(static_cast<uint64_t>(x), kBuckets)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(histogram[b], expected, 6 * std::sqrt(expected));
+  }
+}
+
+TEST(TabulationHashTest, SignIsPlusMinusOneAndBalanced) {
+  Rng rng(23);
+  TabulationHash h(&rng);
+  int64_t sum = 0;
+  constexpr int kValues = 40000;
+  for (int x = 0; x < kValues; ++x) {
+    const int64_t s = h.Sign(static_cast<uint64_t>(x));
+    ASSERT_TRUE(s == 1 || s == -1);
+    sum += s;
+  }
+  EXPECT_LT(std::llabs(sum), 5 * static_cast<int64_t>(std::sqrt(kValues)));
+}
+
+TEST(TabulationHashTest, HighBytesMatter) {
+  Rng rng(31);
+  TabulationHash h(&rng);
+  // Keys differing only in the top byte must (almost surely) hash apart.
+  const uint64_t base = 0x1234;
+  int equal = 0;
+  for (uint64_t top = 1; top < 100; ++top) {
+    equal += (h(base) == h(base | (top << 56)));
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+}  // namespace
+}  // namespace hashing
+}  // namespace skimjoin

@@ -1,0 +1,141 @@
+#include "core/theory.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "core/skimmed_sketch.h"
+#include "gtest/gtest.h"
+#include "sketch/agms_sketch.h"
+#include "stream/zipf.h"
+
+namespace skimjoin {
+namespace core {
+namespace {
+
+TEST(TheoryTest, AgmsBoundFormula) {
+  // 4·sqrt(100·400/16) = 4·sqrt(2500) = 200.
+  EXPECT_DOUBLE_EQ(AgmsAdditiveErrorBound(100, 400, 16), 200.0);
+}
+
+TEST(TheoryTest, AgmsBoundShrinksWithMeans) {
+  EXPECT_GT(AgmsAdditiveErrorBound(1e6, 1e6, 16),
+            AgmsAdditiveErrorBound(1e6, 1e6, 64));
+  EXPECT_DOUBLE_EQ(AgmsAdditiveErrorBound(1e6, 1e6, 16),
+                   2 * AgmsAdditiveErrorBound(1e6, 1e6, 64));
+}
+
+TEST(TheoryTest, AgmsSpaceForErrorValidatesAndScales) {
+  EXPECT_FALSE(AgmsSpaceForError(0, 1, 1, 0.1, 0.1).ok());
+  EXPECT_FALSE(AgmsSpaceForError(1, 1, 1, 0.0, 0.1).ok());
+  EXPECT_FALSE(AgmsSpaceForError(1, 1, 1, 0.1, 1.5).ok());
+  StatusOr<uint64_t> loose = AgmsSpaceForError(1e8, 1e8, 1e6, 0.5, 0.1);
+  StatusOr<uint64_t> tight = AgmsSpaceForError(1e8, 1e8, 1e6, 0.25, 0.1);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  // Quartering epsilon multiplies space by 4 (quadratic dependence).
+  EXPECT_NEAR(static_cast<double>(*tight) / static_cast<double>(*loose), 4.0,
+              0.1);
+}
+
+TEST(TheoryTest, SkimmedBoundFormula) {
+  // 8·1000·2000/100 = 160000.
+  EXPECT_DOUBLE_EQ(SkimmedAdditiveErrorBound(1000, 2000, 100), 160000.0);
+  EXPECT_DOUBLE_EQ(SkimmedAdditiveErrorBound(1000, 2000, 100, 4.0), 80000.0);
+}
+
+TEST(TheoryTest, SkimmedBucketsMatchLowerBoundShape) {
+  // Skimmed space scales as 1/ε (linear), not 1/ε² like AGMS.
+  StatusOr<uint64_t> loose = SkimmedBucketsForError(1e5, 1e5, 1e6, 0.5);
+  StatusOr<uint64_t> tight = SkimmedBucketsForError(1e5, 1e5, 1e6, 0.25);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  EXPECT_NEAR(static_cast<double>(*tight) / static_cast<double>(*loose), 2.0,
+              0.01);
+}
+
+TEST(TheoryTest, SkimmedSpaceBeatsAgmsSpaceOnSkewedMoments) {
+  // The paper's headline: for skewed data (F2 ≈ n²·constant), skimmed space
+  // ~ n²/(εJ) is the square root of AGMS space ~ (F2/(εJ))² ≈ (n²/(εJ))².
+  const double n = 1e6;
+  const double f2 = 1e11;  // strongly skewed: F2 close to n²/10
+  const double join = 1e8;
+  const double epsilon = 0.1;
+  StatusOr<uint64_t> agms = AgmsSpaceForError(f2, f2, join, epsilon, 0.05);
+  StatusOr<uint64_t> skim_buckets =
+      SkimmedBucketsForError(n, n, join, epsilon);
+  ASSERT_TRUE(agms.ok());
+  ASSERT_TRUE(skim_buckets.ok());
+  const uint64_t skim_total = *skim_buckets * TablesForConfidence(0.05);
+  EXPECT_LT(skim_total, *agms / 100);
+}
+
+TEST(TheoryTest, TablesForConfidence) {
+  EXPECT_EQ(TablesForConfidence(0.5), 3u);   // 2^-1.5 ≈ 0.35 <= 0.5 at s=3
+  EXPECT_GE(TablesForConfidence(0.01), 13u);  // 2^-6.5 ≈ 0.011 > 0.01
+  EXPECT_EQ(TablesForConfidence(0.01) % 2, 1u);
+  // Monotone: stricter delta, more tables.
+  EXPECT_GE(TablesForConfidence(0.001), TablesForConfidence(0.01));
+}
+
+TEST(TheoryTest, LowerBoundFormulaAndValidation) {
+  StatusOr<uint64_t> bound = JoinSizeSpaceLowerBound(1e6, 1e9, 0.1);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(*bound, static_cast<uint64_t>(std::ceil(1e12 / 1e8)));
+  EXPECT_FALSE(JoinSizeSpaceLowerBound(0, 1, 0.1).ok());
+  EXPECT_FALSE(JoinSizeSpaceLowerBound(1, 0, 0.1).ok());
+  EXPECT_FALSE(JoinSizeSpaceLowerBound(1, 1, 0).ok());
+}
+
+// The envelopes must actually hold against measurements: run both
+// estimators on a skewed workload and check |est - J| stays below the
+// theorem bounds for a strong majority of seeds (the bounds are
+// high-probability statements).
+TEST(TheoryTest, MeasuredErrorsRespectBounds) {
+  constexpr uint64_t kDomain = 1u << 10;
+  constexpr uint64_t kCount = 50000;
+  const stream::FrequencyVector f =
+      stream::ZipfDistribution(kDomain, 1.2).ExpectedFrequencies(kCount);
+  const stream::FrequencyVector g =
+      stream::ZipfDistribution(kDomain, 1.2, /*shift=*/16)
+          .ExpectedFrequencies(kCount);
+  const double exact = static_cast<double>(stream::JoinSize(f, g));
+  const double f2_f = static_cast<double>(f.SelfJoinSize());
+  const double f2_g = static_cast<double>(g.SelfJoinSize());
+
+  constexpr uint64_t kMeans = 64;
+  constexpr uint64_t kBuckets = 512;
+  const double agms_bound = AgmsAdditiveErrorBound(f2_f, f2_g, kMeans);
+  const double skim_bound = SkimmedAdditiveErrorBound(
+      static_cast<double>(kCount), static_cast<double>(kCount), kBuckets);
+
+  int agms_ok = 0;
+  int skim_ok = 0;
+  constexpr int kSeeds = 10;
+  for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+    auto af = *sketch::AgmsSketch::Create({kMeans, 5}, seed + 20);
+    auto ag = *sketch::AgmsSketch::Create({kMeans, 5}, seed + 20);
+    af.Absorb(f);
+    ag.Absorb(g);
+    const double agms_est = *sketch::AgmsSketch::EstimateJoinSize(af, ag);
+    agms_ok += (std::abs(agms_est - exact) <= agms_bound);
+
+    SkimmedSketchConfig config;
+    config.domain_size = kDomain;
+    config.num_tables = 5;
+    config.num_buckets = kBuckets;
+    config.use_dyadic_skim = false;
+    auto sf = *SkimmedSketch::Create(config, seed + 20);
+    auto sg = *SkimmedSketch::Create(config, seed + 20);
+    sf.Absorb(f);
+    sg.Absorb(g);
+    const double skim_est = *SkimmedSketch::EstimateJoinSize(sf, sg);
+    skim_ok += (std::abs(skim_est - exact) <= skim_bound);
+  }
+  EXPECT_GE(agms_ok, 8) << "AGMS bound " << agms_bound;
+  EXPECT_GE(skim_ok, 8) << "skimmed bound " << skim_bound;
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace skimjoin

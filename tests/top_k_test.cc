@@ -1,0 +1,109 @@
+#include "core/top_k.h"
+
+#include <utility>
+
+#include "gtest/gtest.h"
+#include "stream/zipf.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace core {
+namespace {
+
+TopKTracker MustCreate(uint64_t k, uint64_t seed) {
+  StatusOr<TopKTracker> tracker =
+      TopKTracker::Create(k, {7, 512}, seed);
+  EXPECT_TRUE(tracker.ok()) << tracker.status();
+  return *std::move(tracker);
+}
+
+TEST(TopKTest, CreateValidates) {
+  EXPECT_FALSE(TopKTracker::Create(0, {7, 512}, 1).ok());
+  EXPECT_FALSE(TopKTracker::Create(5, {0, 512}, 1).ok());
+  EXPECT_TRUE(TopKTracker::Create(5, {7, 512}, 1).ok());
+}
+
+TEST(TopKTest, EmptyTrackerAnswersEmpty) {
+  TopKTracker tracker = MustCreate(5, 1);
+  EXPECT_TRUE(tracker.TopK().empty());
+}
+
+TEST(TopKTest, FindsThePlantedHeavyValuesInOrder) {
+  TopKTracker tracker = MustCreate(3, 2);
+  // Plant values with clearly separated frequencies plus noise.
+  Rng rng(3);
+  for (int i = 0; i < 900; ++i) tracker.Update(11, 1);
+  for (int i = 0; i < 600; ++i) tracker.Update(22, 1);
+  for (int i = 0; i < 300; ++i) tracker.Update(33, 1);
+  for (int i = 0; i < 2000; ++i) tracker.Update(rng.NextUint64Below(10000), 1);
+  const auto top = tracker.TopK();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 11u);
+  EXPECT_EQ(top[1].first, 22u);
+  EXPECT_EQ(top[2].first, 33u);
+  EXPECT_NEAR(top[0].second, 900, 90);
+  EXPECT_NEAR(top[2].second, 300, 60);
+}
+
+TEST(TopKTest, InterleavedArrivalsStillConverge) {
+  TopKTracker tracker = MustCreate(2, 4);
+  for (int round = 0; round < 500; ++round) {
+    tracker.Update(7, 1);
+    tracker.Update(8, 1);
+    tracker.Update(static_cast<uint64_t>(100 + round), 1);  // churn
+  }
+  const auto top = tracker.TopK();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_TRUE((top[0].first == 7 && top[1].first == 8) ||
+              (top[0].first == 8 && top[1].first == 7));
+}
+
+TEST(TopKTest, DeletionsDemoteValues) {
+  TopKTracker tracker = MustCreate(2, 5);
+  for (int i = 0; i < 500; ++i) tracker.Update(1, 1);
+  for (int i = 0; i < 400; ++i) tracker.Update(2, 1);
+  for (int i = 0; i < 300; ++i) tracker.Update(3, 1);
+  // Retract value 1 entirely; a later sighting of value 3 re-admits it to
+  // the candidate set (the tracker only considers values it observes).
+  tracker.Update(1, -500);
+  tracker.Update(3, 1);
+  const auto top = tracker.TopK();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 2u);
+  EXPECT_EQ(top[1].first, 3u);
+}
+
+TEST(TopKTest, WeightedUpdatesCountFully) {
+  TopKTracker tracker = MustCreate(1, 6);
+  tracker.Update(42, 1000);
+  tracker.Update(7, 999);
+  const auto top = tracker.TopK();
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].first, 42u);
+  EXPECT_EQ(top[0].second, 1000);
+}
+
+TEST(TopKTest, TracksZipfHeadOnRealisticStream) {
+  constexpr uint64_t kDomain = 1u << 12;
+  stream::ZipfDistribution zipf(kDomain, 1.3);
+  Rng rng(7);
+  TopKTracker tracker = MustCreate(10, 7);
+  for (int i = 0; i < 100000; ++i) tracker.Update(zipf.Sample(&rng), 1);
+  const auto top = tracker.TopK();
+  ASSERT_EQ(top.size(), 10u);
+  // The Zipf head (values 0..9) should dominate the reported set: at least
+  // 8 of the true top-10 present.
+  int head_hits = 0;
+  for (const auto& [value, freq] : top) head_hits += (value < 10);
+  EXPECT_GE(head_hits, 8);
+}
+
+TEST(TopKTest, KBoundsTheAnswerSize) {
+  TopKTracker tracker = MustCreate(4, 8);
+  for (uint64_t v = 0; v < 100; ++v) tracker.Update(v, 50);
+  EXPECT_LE(tracker.TopK().size(), 4u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace skimjoin

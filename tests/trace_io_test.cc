@@ -1,0 +1,90 @@
+#include "stream/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace skimjoin {
+namespace stream {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  const std::string path = TempPath("roundtrip.trace");
+  const std::vector<StreamElement> elements = {
+      Insert(5), Delete(5), Weighted(9, 42), Weighted(0, -3)};
+  ASSERT_TRUE(WriteTrace(path, elements).ok());
+  StatusOr<std::vector<StreamElement>> read = ReadTrace(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, elements);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  const std::string path = TempPath("empty.trace");
+  ASSERT_TRUE(WriteTrace(path, {}).ok());
+  StatusOr<std::vector<StreamElement>> read = ReadTrace(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string path = TempPath("comments.trace");
+  {
+    std::ofstream out(path);
+    out << "# header comment\n\n7 1\n# mid comment\n8 -1\n";
+  }
+  StatusOr<std::vector<StreamElement>> read = ReadTrace(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 2u);
+  EXPECT_EQ((*read)[0], Insert(7));
+  EXPECT_EQ((*read)[1], Delete(8));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileIsIoError) {
+  StatusOr<std::vector<StreamElement>> read =
+      ReadTrace(TempPath("does-not-exist.trace"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST(TraceIoTest, MalformedLineIsInvalidArgument) {
+  const std::string path = TempPath("malformed.trace");
+  {
+    std::ofstream out(path);
+    out << "12 1\nnot-a-number 3\n";
+  }
+  StatusOr<std::vector<StreamElement>> read = ReadTrace(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(read.status().message().find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, TrailingTokensRejected) {
+  const std::string path = TempPath("trailing.trace");
+  {
+    std::ofstream out(path);
+    out << "1 1 extra\n";
+  }
+  StatusOr<std::vector<StreamElement>> read = ReadTrace(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, UnwritablePathIsIoError) {
+  EXPECT_EQ(WriteTrace("/nonexistent-dir/x.trace", {}).code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace skimjoin

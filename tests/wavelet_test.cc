@@ -1,0 +1,161 @@
+#include "stream/wavelet.h"
+
+#include <cmath>
+#include <utility>
+
+#include "gtest/gtest.h"
+#include "stream/frequency_vector.h"
+#include "stream/zipf.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace stream {
+namespace {
+
+WaveletSynopsis MustCreate(uint64_t domain) {
+  StatusOr<WaveletSynopsis> synopsis = WaveletSynopsis::Create(domain);
+  EXPECT_TRUE(synopsis.ok()) << synopsis.status();
+  return *std::move(synopsis);
+}
+
+TEST(WaveletTest, CreateValidates) {
+  EXPECT_FALSE(WaveletSynopsis::Create(0).ok());
+  EXPECT_FALSE(WaveletSynopsis::Create(1).ok());
+  EXPECT_FALSE(WaveletSynopsis::Create(100).ok());
+  EXPECT_TRUE(WaveletSynopsis::Create(2).ok());
+  EXPECT_TRUE(WaveletSynopsis::Create(1u << 12).ok());
+}
+
+TEST(WaveletTest, EmptySynopsisReconstructsZero) {
+  WaveletSynopsis synopsis = MustCreate(64);
+  for (uint64_t v = 0; v < 64; ++v) {
+    EXPECT_DOUBLE_EQ(synopsis.PointEstimate(v), 0.0);
+  }
+  EXPECT_EQ(synopsis.CoefficientCount(), 0u);
+}
+
+TEST(WaveletTest, UncompressedReconstructionIsExact) {
+  constexpr uint64_t kDomain = 128;
+  WaveletSynopsis synopsis = MustCreate(kDomain);
+  FrequencyVector reference(kDomain);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextUint64Below(kDomain);
+    const int64_t w = 1 + static_cast<int64_t>(rng.NextUint64Below(5));
+    synopsis.Update(v, w);
+    reference.Add(v, w);
+  }
+  for (uint64_t v = 0; v < kDomain; ++v) {
+    EXPECT_NEAR(synopsis.PointEstimate(v),
+                static_cast<double>(reference.Get(v)), 1e-9)
+        << "value " << v;
+  }
+}
+
+TEST(WaveletTest, UpdateTouchesLogMCoefficients) {
+  WaveletSynopsis synopsis = MustCreate(1u << 10);
+  synopsis.Update(123, 7);
+  // Average + 10 detail coefficients along the path.
+  EXPECT_LE(synopsis.CoefficientCount(), 11u);
+  EXPECT_GE(synopsis.CoefficientCount(), 1u);
+}
+
+TEST(WaveletTest, DeletesCancelExactly) {
+  WaveletSynopsis synopsis = MustCreate(256);
+  synopsis.Update(17, 5);
+  synopsis.Update(99, 3);
+  synopsis.Update(17, -5);
+  synopsis.Update(99, -3);
+  EXPECT_EQ(synopsis.CoefficientCount(), 0u);
+}
+
+TEST(WaveletTest, RangeSumExactBeforeCompression) {
+  constexpr uint64_t kDomain = 64;
+  WaveletSynopsis synopsis = MustCreate(kDomain);
+  FrequencyVector reference(kDomain);
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t v = rng.NextUint64Below(kDomain);
+    synopsis.Update(v, 1);
+    reference.Add(v, 1);
+  }
+  struct Range {
+    uint64_t lo, hi;
+  };
+  for (const Range r :
+       {Range{0, 63}, Range{5, 20}, Range{31, 32}, Range{63, 63}}) {
+    int64_t exact = 0;
+    for (uint64_t v = r.lo; v <= r.hi; ++v) exact += reference.Get(v);
+    StatusOr<double> sum = synopsis.RangeSum(r.lo, r.hi);
+    ASSERT_TRUE(sum.ok());
+    EXPECT_NEAR(*sum, static_cast<double>(exact), 1e-9)
+        << "[" << r.lo << ", " << r.hi << "]";
+  }
+}
+
+TEST(WaveletTest, RangeSumValidatesBounds) {
+  WaveletSynopsis synopsis = MustCreate(64);
+  EXPECT_EQ(synopsis.RangeSum(5, 4).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(synopsis.RangeSum(0, 64).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(WaveletTest, CompressToKeepsBudget) {
+  WaveletSynopsis synopsis = MustCreate(1u << 10);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    synopsis.Update(rng.NextUint64Below(1u << 10), 1);
+  }
+  ASSERT_GT(synopsis.CoefficientCount(), 32u);
+  synopsis.CompressTo(32);
+  EXPECT_LE(synopsis.CoefficientCount(), 32u);
+}
+
+TEST(WaveletTest, CompressionPreservesSmoothMassWell) {
+  // A piecewise-constant signal compresses near-losslessly: one flat block
+  // of height 50 plus a second of height 10 needs only a handful of
+  // coefficients.
+  constexpr uint64_t kDomain = 256;
+  WaveletSynopsis synopsis = MustCreate(kDomain);
+  for (uint64_t v = 0; v < 128; ++v) synopsis.Update(v, 50);
+  for (uint64_t v = 128; v < 256; ++v) synopsis.Update(v, 10);
+  synopsis.CompressTo(4);
+  for (uint64_t v : {0ull, 64ull, 127ull}) {
+    EXPECT_NEAR(synopsis.PointEstimate(v), 50.0, 1e-9) << v;
+  }
+  for (uint64_t v : {128ull, 200ull, 255ull}) {
+    EXPECT_NEAR(synopsis.PointEstimate(v), 10.0, 1e-9) << v;
+  }
+}
+
+TEST(WaveletTest, TopCoefficientsRankedByNormalizedMagnitude) {
+  WaveletSynopsis synopsis = MustCreate(8);
+  // Uniform mass: only the average coefficient is non-zero.
+  for (uint64_t v = 0; v < 8; ++v) synopsis.Update(v, 4);
+  const auto top = synopsis.TopCoefficients(10);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].first, 0u);
+  EXPECT_DOUBLE_EQ(top[0].second, 4.0);
+}
+
+TEST(WaveletTest, CompressedRangeSumsTrackExactOnSkewedData) {
+  constexpr uint64_t kDomain = 1u << 10;
+  const FrequencyVector f =
+      stream::ZipfDistribution(kDomain, 1.1).ExpectedFrequencies(50000);
+  WaveletSynopsis synopsis = MustCreate(kDomain);
+  for (uint64_t v = 0; v < kDomain; ++v) {
+    if (f.Get(v) != 0) synopsis.Update(v, f.Get(v));
+  }
+  synopsis.CompressTo(64);
+  // Head range carries most mass and is dominated by large coefficients.
+  int64_t exact = 0;
+  for (uint64_t v = 0; v <= 127; ++v) exact += f.Get(v);
+  StatusOr<double> sum = synopsis.RangeSum(0, 127);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_NEAR(*sum, static_cast<double>(exact), 0.1 * static_cast<double>(exact));
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace skimjoin

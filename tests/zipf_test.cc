@@ -1,0 +1,130 @@
+#include "stream/zipf.h"
+
+#include <cstdint>
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "stream/frequency_vector.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace stream {
+namespace {
+
+TEST(ZipfTest, SamplesStayInDomain) {
+  ZipfDistribution zipf(100, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(zipf.Sample(&rng), 100u);
+}
+
+TEST(ZipfTest, ShiftedSamplesStayAboveShift) {
+  ZipfDistribution zipf(100, 1.0, /*shift=*/40);
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = zipf.Sample(&rng);
+    EXPECT_GE(v, 40u);
+    EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(ZipfTest, ExpectedFrequenciesSumExactlyToCount) {
+  for (double z : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    ZipfDistribution zipf(256, z);
+    const FrequencyVector fv = zipf.ExpectedFrequencies(10000);
+    EXPECT_EQ(fv.TotalCount(), 10000);
+  }
+}
+
+TEST(ZipfTest, ExpectedFrequenciesAreNonIncreasingInValue) {
+  ZipfDistribution zipf(128, 1.2);
+  const FrequencyVector fv = zipf.ExpectedFrequencies(100000);
+  for (uint64_t v = 1; v < 128; ++v) {
+    EXPECT_GE(fv.Get(v - 1), fv.Get(v)) << "v=" << v;
+  }
+}
+
+TEST(ZipfTest, HigherSkewConcentratesMass) {
+  const FrequencyVector low =
+      ZipfDistribution(1024, 0.5).ExpectedFrequencies(100000);
+  const FrequencyVector high =
+      ZipfDistribution(1024, 1.5).ExpectedFrequencies(100000);
+  EXPECT_GT(high.Get(0), low.Get(0));
+  EXPECT_GT(high.SelfJoinSize(), low.SelfJoinSize());
+}
+
+TEST(ZipfTest, ZeroSkewIsNearUniform) {
+  const FrequencyVector fv =
+      ZipfDistribution(100, 0.0).ExpectedFrequencies(100000);
+  for (uint64_t v = 0; v < 100; ++v) EXPECT_NEAR(fv.Get(v), 1000, 1);
+}
+
+TEST(ZipfTest, ShiftTranslatesExpectedFrequencies) {
+  const FrequencyVector base =
+      ZipfDistribution(256, 1.0).ExpectedFrequencies(50000);
+  const FrequencyVector shifted =
+      ZipfDistribution(256, 1.0, /*shift=*/10).ExpectedFrequencies(50000);
+  for (uint64_t v = 0; v < 10; ++v) EXPECT_EQ(shifted.Get(v), 0);
+  // The shifted distribution renormalizes over a 246-value support, so
+  // frequencies are close to (not exactly) the translated originals.
+  for (uint64_t v = 10; v < 50; ++v) {
+    EXPECT_NEAR(shifted.Get(v), base.Get(v - 10),
+                base.Get(v - 10) / 10 + 2);
+  }
+}
+
+TEST(ZipfTest, GenerateElementsAllInserts) {
+  ZipfDistribution zipf(64, 1.0);
+  Rng rng(3);
+  const auto elements = zipf.GenerateElements(500, &rng);
+  ASSERT_EQ(elements.size(), 500u);
+  for (const auto& e : elements) {
+    EXPECT_EQ(e.weight, 1);
+    EXPECT_LT(e.value, 64u);
+  }
+}
+
+TEST(ZipfTest, SampledFrequenciesTrackExpectation) {
+  ZipfDistribution zipf(64, 1.0);
+  Rng rng(7);
+  FrequencyVector sampled(64);
+  constexpr uint64_t kCount = 200000;
+  for (uint64_t i = 0; i < kCount; ++i) sampled.Add(zipf.Sample(&rng), 1);
+  const FrequencyVector expected = zipf.ExpectedFrequencies(kCount);
+  // Head values: within 5% relative.
+  for (uint64_t v = 0; v < 5; ++v) {
+    EXPECT_NEAR(sampled.Get(v), expected.Get(v), expected.Get(v) / 20 + 50);
+  }
+}
+
+// Property: the paper's shift knob shrinks the join size monotonically
+// (join of Zipf with its right-shifted copy).
+class ZipfShiftJoinTest
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(ZipfShiftJoinTest, JoinSizeShrinksWithShift) {
+  const double z = std::get<0>(GetParam());
+  const uint64_t domain = std::get<1>(GetParam());
+  const ZipfDistribution base(domain, z);
+  const FrequencyVector f = base.ExpectedFrequencies(100000);
+  int64_t previous = 0;
+  bool first = true;
+  for (uint64_t shift : {0ull, 8ull, 32ull, 128ull}) {
+    const FrequencyVector g =
+        ZipfDistribution(domain, z, shift).ExpectedFrequencies(100000);
+    const int64_t join = JoinSize(f, g);
+    if (!first) {
+      EXPECT_LE(join, previous) << "shift=" << shift;
+    }
+    previous = join;
+    first = false;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SkewAndDomain, ZipfShiftJoinTest,
+    ::testing::Combine(::testing::Values(0.8, 1.0, 1.5),
+                       ::testing::Values(uint64_t{512}, uint64_t{2048})));
+
+}  // namespace
+}  // namespace stream
+}  // namespace skimjoin

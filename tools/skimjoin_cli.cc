@@ -1,0 +1,30 @@
+// skimjoin_cli — the query::Shell on stdin/stdout (or a script file).
+//
+//   build/tools/skimjoin_cli                 # interactive / piped stdin
+//   build/tools/skimjoin_cli script.sj       # run a command script
+//
+// Exit status is the number of failed commands (0 = clean run). Run the
+// `help` command for the command list; see src/query/shell.h for full
+// syntax.
+
+#include <fstream>
+#include <iostream>
+
+#include "query/shell.h"
+
+int main(int argc, char** argv) {
+  skimjoin::query::Shell shell;
+  if (argc > 2) {
+    std::cerr << "usage: " << argv[0] << " [script-file]\n";
+    return 2;
+  }
+  if (argc == 2) {
+    std::ifstream script(argv[1]);
+    if (!script) {
+      std::cerr << "error: cannot open script file " << argv[1] << "\n";
+      return 2;
+    }
+    return shell.Run(script, std::cout);
+  }
+  return shell.Run(std::cin, std::cout);
+}
