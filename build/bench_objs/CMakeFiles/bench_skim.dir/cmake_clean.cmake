@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_skim"
+  "../bench/bench_skim.pdb"
+  "CMakeFiles/bench_skim.dir/bench_skim.cc.o"
+  "CMakeFiles/bench_skim.dir/bench_skim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

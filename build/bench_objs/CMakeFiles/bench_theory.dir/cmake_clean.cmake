@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_theory"
+  "../bench/bench_theory.pdb"
+  "CMakeFiles/bench_theory.dir/bench_theory.cc.o"
+  "CMakeFiles/bench_theory.dir/bench_theory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_update_time"
+  "../bench/bench_update_time.pdb"
+  "CMakeFiles/bench_update_time.dir/bench_update_time.cc.o"
+  "CMakeFiles/bench_update_time.dir/bench_update_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

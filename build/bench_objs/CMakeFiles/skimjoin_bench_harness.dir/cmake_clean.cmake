@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skimjoin_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/skimjoin_bench_harness.dir/harness.cc.o.d"
+  "libskimjoin_bench_harness.a"
+  "libskimjoin_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skimjoin_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_quantiles.dir/approximate_quantiles.cpp.o"
+  "CMakeFiles/approximate_quantiles.dir/approximate_quantiles.cpp.o.d"
+  "approximate_quantiles"
+  "approximate_quantiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_quantiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_join_demo.dir/multi_join_demo.cpp.o"
+  "CMakeFiles/multi_join_demo.dir/multi_join_demo.cpp.o.d"
+  "multi_join_demo"
+  "multi_join_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_join_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

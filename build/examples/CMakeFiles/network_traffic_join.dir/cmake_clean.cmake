@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_traffic_join.dir/network_traffic_join.cpp.o"
+  "CMakeFiles/network_traffic_join.dir/network_traffic_join.cpp.o.d"
+  "network_traffic_join"
+  "network_traffic_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_traffic_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

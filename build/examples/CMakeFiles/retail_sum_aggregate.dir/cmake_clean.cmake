@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_sum_aggregate.dir/retail_sum_aggregate.cpp.o"
+  "CMakeFiles/retail_sum_aggregate.dir/retail_sum_aggregate.cpp.o.d"
+  "retail_sum_aggregate"
+  "retail_sum_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_sum_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

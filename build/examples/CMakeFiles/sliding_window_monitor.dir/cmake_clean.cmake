@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliding_window_monitor.dir/sliding_window_monitor.cpp.o"
+  "CMakeFiles/sliding_window_monitor.dir/sliding_window_monitor.cpp.o.d"
+  "sliding_window_monitor"
+  "sliding_window_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliding_window_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

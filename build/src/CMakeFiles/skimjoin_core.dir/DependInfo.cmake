@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dyadic_skim.cc" "src/CMakeFiles/skimjoin_core.dir/core/dyadic_skim.cc.o" "gcc" "src/CMakeFiles/skimjoin_core.dir/core/dyadic_skim.cc.o.d"
+  "/root/repo/src/core/join_estimators.cc" "src/CMakeFiles/skimjoin_core.dir/core/join_estimators.cc.o" "gcc" "src/CMakeFiles/skimjoin_core.dir/core/join_estimators.cc.o.d"
+  "/root/repo/src/core/skim.cc" "src/CMakeFiles/skimjoin_core.dir/core/skim.cc.o" "gcc" "src/CMakeFiles/skimjoin_core.dir/core/skim.cc.o.d"
+  "/root/repo/src/core/skimmed_sketch.cc" "src/CMakeFiles/skimjoin_core.dir/core/skimmed_sketch.cc.o" "gcc" "src/CMakeFiles/skimjoin_core.dir/core/skimmed_sketch.cc.o.d"
+  "/root/repo/src/core/theory.cc" "src/CMakeFiles/skimjoin_core.dir/core/theory.cc.o" "gcc" "src/CMakeFiles/skimjoin_core.dir/core/theory.cc.o.d"
+  "/root/repo/src/core/top_k.cc" "src/CMakeFiles/skimjoin_core.dir/core/top_k.cc.o" "gcc" "src/CMakeFiles/skimjoin_core.dir/core/top_k.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skimjoin_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skimjoin_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skimjoin_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skimjoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

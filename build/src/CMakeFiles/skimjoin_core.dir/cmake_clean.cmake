@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skimjoin_core.dir/core/dyadic_skim.cc.o"
+  "CMakeFiles/skimjoin_core.dir/core/dyadic_skim.cc.o.d"
+  "CMakeFiles/skimjoin_core.dir/core/join_estimators.cc.o"
+  "CMakeFiles/skimjoin_core.dir/core/join_estimators.cc.o.d"
+  "CMakeFiles/skimjoin_core.dir/core/skim.cc.o"
+  "CMakeFiles/skimjoin_core.dir/core/skim.cc.o.d"
+  "CMakeFiles/skimjoin_core.dir/core/skimmed_sketch.cc.o"
+  "CMakeFiles/skimjoin_core.dir/core/skimmed_sketch.cc.o.d"
+  "CMakeFiles/skimjoin_core.dir/core/theory.cc.o"
+  "CMakeFiles/skimjoin_core.dir/core/theory.cc.o.d"
+  "CMakeFiles/skimjoin_core.dir/core/top_k.cc.o"
+  "CMakeFiles/skimjoin_core.dir/core/top_k.cc.o.d"
+  "libskimjoin_core.a"
+  "libskimjoin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skimjoin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hashing/kwise_hash.cc" "src/CMakeFiles/skimjoin_hashing.dir/hashing/kwise_hash.cc.o" "gcc" "src/CMakeFiles/skimjoin_hashing.dir/hashing/kwise_hash.cc.o.d"
+  "/root/repo/src/hashing/sign_hash.cc" "src/CMakeFiles/skimjoin_hashing.dir/hashing/sign_hash.cc.o" "gcc" "src/CMakeFiles/skimjoin_hashing.dir/hashing/sign_hash.cc.o.d"
+  "/root/repo/src/hashing/tabulation_hash.cc" "src/CMakeFiles/skimjoin_hashing.dir/hashing/tabulation_hash.cc.o" "gcc" "src/CMakeFiles/skimjoin_hashing.dir/hashing/tabulation_hash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skimjoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skimjoin_hashing.dir/hashing/kwise_hash.cc.o"
+  "CMakeFiles/skimjoin_hashing.dir/hashing/kwise_hash.cc.o.d"
+  "CMakeFiles/skimjoin_hashing.dir/hashing/sign_hash.cc.o"
+  "CMakeFiles/skimjoin_hashing.dir/hashing/sign_hash.cc.o.d"
+  "CMakeFiles/skimjoin_hashing.dir/hashing/tabulation_hash.cc.o"
+  "CMakeFiles/skimjoin_hashing.dir/hashing/tabulation_hash.cc.o.d"
+  "libskimjoin_hashing.a"
+  "libskimjoin_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skimjoin_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/engine.cc" "src/CMakeFiles/skimjoin_query.dir/query/engine.cc.o" "gcc" "src/CMakeFiles/skimjoin_query.dir/query/engine.cc.o.d"
+  "/root/repo/src/query/multi_join.cc" "src/CMakeFiles/skimjoin_query.dir/query/multi_join.cc.o" "gcc" "src/CMakeFiles/skimjoin_query.dir/query/multi_join.cc.o.d"
+  "/root/repo/src/query/multi_join_hash.cc" "src/CMakeFiles/skimjoin_query.dir/query/multi_join_hash.cc.o" "gcc" "src/CMakeFiles/skimjoin_query.dir/query/multi_join_hash.cc.o.d"
+  "/root/repo/src/query/shell.cc" "src/CMakeFiles/skimjoin_query.dir/query/shell.cc.o" "gcc" "src/CMakeFiles/skimjoin_query.dir/query/shell.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skimjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skimjoin_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skimjoin_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skimjoin_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skimjoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

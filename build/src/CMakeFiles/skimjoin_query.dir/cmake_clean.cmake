@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skimjoin_query.dir/query/engine.cc.o"
+  "CMakeFiles/skimjoin_query.dir/query/engine.cc.o.d"
+  "CMakeFiles/skimjoin_query.dir/query/multi_join.cc.o"
+  "CMakeFiles/skimjoin_query.dir/query/multi_join.cc.o.d"
+  "CMakeFiles/skimjoin_query.dir/query/multi_join_hash.cc.o"
+  "CMakeFiles/skimjoin_query.dir/query/multi_join_hash.cc.o.d"
+  "CMakeFiles/skimjoin_query.dir/query/shell.cc.o"
+  "CMakeFiles/skimjoin_query.dir/query/shell.cc.o.d"
+  "libskimjoin_query.a"
+  "libskimjoin_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skimjoin_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/agms_sketch.cc" "src/CMakeFiles/skimjoin_sketch.dir/sketch/agms_sketch.cc.o" "gcc" "src/CMakeFiles/skimjoin_sketch.dir/sketch/agms_sketch.cc.o.d"
+  "/root/repo/src/sketch/count_min_sketch.cc" "src/CMakeFiles/skimjoin_sketch.dir/sketch/count_min_sketch.cc.o" "gcc" "src/CMakeFiles/skimjoin_sketch.dir/sketch/count_min_sketch.cc.o.d"
+  "/root/repo/src/sketch/fm_sketch.cc" "src/CMakeFiles/skimjoin_sketch.dir/sketch/fm_sketch.cc.o" "gcc" "src/CMakeFiles/skimjoin_sketch.dir/sketch/fm_sketch.cc.o.d"
+  "/root/repo/src/sketch/hash_sketch.cc" "src/CMakeFiles/skimjoin_sketch.dir/sketch/hash_sketch.cc.o" "gcc" "src/CMakeFiles/skimjoin_sketch.dir/sketch/hash_sketch.cc.o.d"
+  "/root/repo/src/sketch/partitioned_agms.cc" "src/CMakeFiles/skimjoin_sketch.dir/sketch/partitioned_agms.cc.o" "gcc" "src/CMakeFiles/skimjoin_sketch.dir/sketch/partitioned_agms.cc.o.d"
+  "/root/repo/src/sketch/reservoir_sample.cc" "src/CMakeFiles/skimjoin_sketch.dir/sketch/reservoir_sample.cc.o" "gcc" "src/CMakeFiles/skimjoin_sketch.dir/sketch/reservoir_sample.cc.o.d"
+  "/root/repo/src/sketch/sketch_seed.cc" "src/CMakeFiles/skimjoin_sketch.dir/sketch/sketch_seed.cc.o" "gcc" "src/CMakeFiles/skimjoin_sketch.dir/sketch/sketch_seed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skimjoin_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skimjoin_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skimjoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skimjoin_sketch.dir/sketch/agms_sketch.cc.o"
+  "CMakeFiles/skimjoin_sketch.dir/sketch/agms_sketch.cc.o.d"
+  "CMakeFiles/skimjoin_sketch.dir/sketch/count_min_sketch.cc.o"
+  "CMakeFiles/skimjoin_sketch.dir/sketch/count_min_sketch.cc.o.d"
+  "CMakeFiles/skimjoin_sketch.dir/sketch/fm_sketch.cc.o"
+  "CMakeFiles/skimjoin_sketch.dir/sketch/fm_sketch.cc.o.d"
+  "CMakeFiles/skimjoin_sketch.dir/sketch/hash_sketch.cc.o"
+  "CMakeFiles/skimjoin_sketch.dir/sketch/hash_sketch.cc.o.d"
+  "CMakeFiles/skimjoin_sketch.dir/sketch/partitioned_agms.cc.o"
+  "CMakeFiles/skimjoin_sketch.dir/sketch/partitioned_agms.cc.o.d"
+  "CMakeFiles/skimjoin_sketch.dir/sketch/reservoir_sample.cc.o"
+  "CMakeFiles/skimjoin_sketch.dir/sketch/reservoir_sample.cc.o.d"
+  "CMakeFiles/skimjoin_sketch.dir/sketch/sketch_seed.cc.o"
+  "CMakeFiles/skimjoin_sketch.dir/sketch/sketch_seed.cc.o.d"
+  "libskimjoin_sketch.a"
+  "libskimjoin_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skimjoin_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

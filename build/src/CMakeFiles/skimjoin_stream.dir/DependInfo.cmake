@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/census_like.cc" "src/CMakeFiles/skimjoin_stream.dir/stream/census_like.cc.o" "gcc" "src/CMakeFiles/skimjoin_stream.dir/stream/census_like.cc.o.d"
+  "/root/repo/src/stream/exact.cc" "src/CMakeFiles/skimjoin_stream.dir/stream/exact.cc.o" "gcc" "src/CMakeFiles/skimjoin_stream.dir/stream/exact.cc.o.d"
+  "/root/repo/src/stream/exponential_histogram.cc" "src/CMakeFiles/skimjoin_stream.dir/stream/exponential_histogram.cc.o" "gcc" "src/CMakeFiles/skimjoin_stream.dir/stream/exponential_histogram.cc.o.d"
+  "/root/repo/src/stream/frequency_vector.cc" "src/CMakeFiles/skimjoin_stream.dir/stream/frequency_vector.cc.o" "gcc" "src/CMakeFiles/skimjoin_stream.dir/stream/frequency_vector.cc.o.d"
+  "/root/repo/src/stream/generators.cc" "src/CMakeFiles/skimjoin_stream.dir/stream/generators.cc.o" "gcc" "src/CMakeFiles/skimjoin_stream.dir/stream/generators.cc.o.d"
+  "/root/repo/src/stream/gk_quantiles.cc" "src/CMakeFiles/skimjoin_stream.dir/stream/gk_quantiles.cc.o" "gcc" "src/CMakeFiles/skimjoin_stream.dir/stream/gk_quantiles.cc.o.d"
+  "/root/repo/src/stream/sliding_window.cc" "src/CMakeFiles/skimjoin_stream.dir/stream/sliding_window.cc.o" "gcc" "src/CMakeFiles/skimjoin_stream.dir/stream/sliding_window.cc.o.d"
+  "/root/repo/src/stream/trace_io.cc" "src/CMakeFiles/skimjoin_stream.dir/stream/trace_io.cc.o" "gcc" "src/CMakeFiles/skimjoin_stream.dir/stream/trace_io.cc.o.d"
+  "/root/repo/src/stream/wavelet.cc" "src/CMakeFiles/skimjoin_stream.dir/stream/wavelet.cc.o" "gcc" "src/CMakeFiles/skimjoin_stream.dir/stream/wavelet.cc.o.d"
+  "/root/repo/src/stream/zipf.cc" "src/CMakeFiles/skimjoin_stream.dir/stream/zipf.cc.o" "gcc" "src/CMakeFiles/skimjoin_stream.dir/stream/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skimjoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

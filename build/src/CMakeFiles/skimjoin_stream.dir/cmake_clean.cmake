@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skimjoin_stream.dir/stream/census_like.cc.o"
+  "CMakeFiles/skimjoin_stream.dir/stream/census_like.cc.o.d"
+  "CMakeFiles/skimjoin_stream.dir/stream/exact.cc.o"
+  "CMakeFiles/skimjoin_stream.dir/stream/exact.cc.o.d"
+  "CMakeFiles/skimjoin_stream.dir/stream/exponential_histogram.cc.o"
+  "CMakeFiles/skimjoin_stream.dir/stream/exponential_histogram.cc.o.d"
+  "CMakeFiles/skimjoin_stream.dir/stream/frequency_vector.cc.o"
+  "CMakeFiles/skimjoin_stream.dir/stream/frequency_vector.cc.o.d"
+  "CMakeFiles/skimjoin_stream.dir/stream/generators.cc.o"
+  "CMakeFiles/skimjoin_stream.dir/stream/generators.cc.o.d"
+  "CMakeFiles/skimjoin_stream.dir/stream/gk_quantiles.cc.o"
+  "CMakeFiles/skimjoin_stream.dir/stream/gk_quantiles.cc.o.d"
+  "CMakeFiles/skimjoin_stream.dir/stream/sliding_window.cc.o"
+  "CMakeFiles/skimjoin_stream.dir/stream/sliding_window.cc.o.d"
+  "CMakeFiles/skimjoin_stream.dir/stream/trace_io.cc.o"
+  "CMakeFiles/skimjoin_stream.dir/stream/trace_io.cc.o.d"
+  "CMakeFiles/skimjoin_stream.dir/stream/wavelet.cc.o"
+  "CMakeFiles/skimjoin_stream.dir/stream/wavelet.cc.o.d"
+  "CMakeFiles/skimjoin_stream.dir/stream/zipf.cc.o"
+  "CMakeFiles/skimjoin_stream.dir/stream/zipf.cc.o.d"
+  "libskimjoin_stream.a"
+  "libskimjoin_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skimjoin_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skimjoin_util.dir/util/histogram.cc.o"
+  "CMakeFiles/skimjoin_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/skimjoin_util.dir/util/logging.cc.o"
+  "CMakeFiles/skimjoin_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/skimjoin_util.dir/util/random.cc.o"
+  "CMakeFiles/skimjoin_util.dir/util/random.cc.o.d"
+  "CMakeFiles/skimjoin_util.dir/util/stats.cc.o"
+  "CMakeFiles/skimjoin_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/skimjoin_util.dir/util/status.cc.o"
+  "CMakeFiles/skimjoin_util.dir/util/status.cc.o.d"
+  "CMakeFiles/skimjoin_util.dir/util/table_printer.cc.o"
+  "CMakeFiles/skimjoin_util.dir/util/table_printer.cc.o.d"
+  "libskimjoin_util.a"
+  "libskimjoin_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skimjoin_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

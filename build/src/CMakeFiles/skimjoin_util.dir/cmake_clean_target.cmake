@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskimjoin_util.a"
+)

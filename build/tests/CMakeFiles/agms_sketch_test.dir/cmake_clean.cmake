@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agms_sketch_test.dir/agms_sketch_test.cc.o"
+  "CMakeFiles/agms_sketch_test.dir/agms_sketch_test.cc.o.d"
+  "agms_sketch_test"
+  "agms_sketch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agms_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

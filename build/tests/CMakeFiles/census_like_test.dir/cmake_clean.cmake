@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_like_test.dir/census_like_test.cc.o"
+  "CMakeFiles/census_like_test.dir/census_like_test.cc.o.d"
+  "census_like_test"
+  "census_like_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_like_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exponential_histogram_test.dir/exponential_histogram_test.cc.o"
+  "CMakeFiles/exponential_histogram_test.dir/exponential_histogram_test.cc.o.d"
+  "exponential_histogram_test"
+  "exponential_histogram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exponential_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_quantiles_test.dir/gk_quantiles_test.cc.o"
+  "CMakeFiles/gk_quantiles_test.dir/gk_quantiles_test.cc.o.d"
+  "gk_quantiles_test"
+  "gk_quantiles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_quantiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

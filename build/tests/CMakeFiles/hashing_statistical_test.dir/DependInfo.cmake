@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hashing_statistical_test.cc" "tests/CMakeFiles/hashing_statistical_test.dir/hashing_statistical_test.cc.o" "gcc" "tests/CMakeFiles/hashing_statistical_test.dir/hashing_statistical_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skimjoin_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skimjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skimjoin_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skimjoin_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skimjoin_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skimjoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashing_statistical_test.dir/hashing_statistical_test.cc.o"
+  "CMakeFiles/hashing_statistical_test.dir/hashing_statistical_test.cc.o.d"
+  "hashing_statistical_test"
+  "hashing_statistical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashing_statistical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_estimators_test.dir/join_estimators_test.cc.o"
+  "CMakeFiles/join_estimators_test.dir/join_estimators_test.cc.o.d"
+  "join_estimators_test"
+  "join_estimators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_estimators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwise_hash_test.dir/kwise_hash_test.cc.o"
+  "CMakeFiles/kwise_hash_test.dir/kwise_hash_test.cc.o.d"
+  "kwise_hash_test"
+  "kwise_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwise_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

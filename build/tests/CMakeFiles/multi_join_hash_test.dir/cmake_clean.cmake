@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_join_hash_test.dir/multi_join_hash_test.cc.o"
+  "CMakeFiles/multi_join_hash_test.dir/multi_join_hash_test.cc.o.d"
+  "multi_join_hash_test"
+  "multi_join_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_join_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

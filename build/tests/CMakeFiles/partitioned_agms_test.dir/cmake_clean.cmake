@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_agms_test.dir/partitioned_agms_test.cc.o"
+  "CMakeFiles/partitioned_agms_test.dir/partitioned_agms_test.cc.o.d"
+  "partitioned_agms_test"
+  "partitioned_agms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_agms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sign_hash_test.dir/sign_hash_test.cc.o"
+  "CMakeFiles/sign_hash_test.dir/sign_hash_test.cc.o.d"
+  "sign_hash_test"
+  "sign_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sign_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skim_test.dir/skim_test.cc.o"
+  "CMakeFiles/skim_test.dir/skim_test.cc.o.d"
+  "skim_test"
+  "skim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skimmed_sketch_test.dir/skimmed_sketch_test.cc.o"
+  "CMakeFiles/skimmed_sketch_test.dir/skimmed_sketch_test.cc.o.d"
+  "skimmed_sketch_test"
+  "skimmed_sketch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skimmed_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skimjoin_cli.dir/skimjoin_cli.cc.o"
+  "CMakeFiles/skimjoin_cli.dir/skimjoin_cli.cc.o.d"
+  "skimjoin_cli"
+  "skimjoin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skimjoin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
