@@ -5,14 +5,20 @@
 // O(space) vs O(s) vs O(s·log m). Run with google-benchmark; times are
 // per-element.
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "benchmark/benchmark.h"
 #include "core/skimmed_sketch.h"
+#include "ingest/parallel_ingestor.h"
 #include "sketch/agms_sketch.h"
 #include "sketch/count_min_sketch.h"
 #include "sketch/hash_sketch.h"
+#include "stream/stream_element.h"
+#include "stream/zipf.h"
 #include "util/random.h"
 
 namespace skimjoin {
@@ -125,6 +131,90 @@ void BM_AgmsJoinEstimate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AgmsJoinEstimate)->Arg(1024)->Arg(4096);
+
+// ---------------------------------------------------------------------------
+// Batched and threaded ingestion. One shared 10M-element Zipf stream,
+// generated once outside all timing loops.
+
+const std::vector<stream::StreamElement>& ZipfStream10M() {
+  static const auto* stream = [] {
+    Rng rng(7);
+    return new std::vector<stream::StreamElement>(
+        stream::ZipfDistribution(kDomain, 1.1).GenerateElements(10'000'000,
+                                                                &rng));
+  }();
+  return *stream;
+}
+
+core::SkimmedSketchConfig IngestBenchConfig() {
+  core::SkimmedSketchConfig config;
+  config.domain_size = kDomain;
+  config.num_tables = 7;
+  config.num_buckets = 1024;
+  config.use_dyadic_skim = true;
+  config.dyadic_num_buckets = 64;
+  return config;
+}
+
+// Scalar baseline over the same stream the batch/threaded modes consume.
+void BM_SkimmedSketchScalarIngest(benchmark::State& state) {
+  auto sketch = *core::SkimmedSketch::Create(IngestBenchConfig(), 1);
+  const auto& stream = ZipfStream10M();
+  for (auto _ : state) {
+    for (const stream::StreamElement& element : stream) {
+      sketch.Update(element.value, element.weight);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_SkimmedSketchScalarIngest)->Unit(benchmark::kMillisecond);
+
+// Single-threaded batch kernel, chunked at range(0) elements: isolates the
+// table-major / hash-hoisting gain from the threading gain.
+void BM_SkimmedSketchBatchIngest(benchmark::State& state) {
+  const auto batch = static_cast<size_t>(state.range(0));
+  auto sketch = *core::SkimmedSketch::Create(IngestBenchConfig(), 1);
+  const auto& stream = ZipfStream10M();
+  const std::span<const stream::StreamElement> all(stream);
+  for (auto _ : state) {
+    for (size_t off = 0; off < all.size(); off += batch) {
+      sketch.UpdateBatch(all.subspan(off, std::min(batch, all.size() - off)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_SkimmedSketchBatchIngest)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+// Threaded mode: range(0) shards, replica-merge via linearity. The result
+// is bit-identical to the sequential runs above; speedup tracks physical
+// cores (a 1-core host shows none, by construction).
+void BM_SkimmedSketchParallelIngest(benchmark::State& state) {
+  const auto shards = static_cast<uint64_t>(state.range(0));
+  auto master = *core::SkimmedSketch::Create(IngestBenchConfig(), 1);
+  auto ingestor =
+      *ingest::ParallelIngestor<core::SkimmedSketch>::Create(master, shards);
+  const auto& stream = ZipfStream10M();
+  for (auto _ : state) {
+    ingestor.IngestInto(&master, stream);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.counters["shards"] = static_cast<double>(shards);
+}
+// UseRealTime: worker-thread CPU is invisible to benchmark's per-process
+// CPU clock, so wall time is the only honest basis for items/sec here.
+BENCHMARK(BM_SkimmedSketchParallelIngest)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace skimjoin

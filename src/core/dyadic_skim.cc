@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "sketch/serial_limits.h"
 #include "sketch/sketch_seed.h"
 #include "util/logging.h"
 
@@ -68,6 +69,38 @@ void DyadicSkimmer::Update(uint64_t value, int64_t weight) {
   SKIMJOIN_CHECK_LT(value, domain_size_);
   for (uint64_t l = 1; l <= levels_.size(); ++l) {
     levels_[l - 1].Add(value >> l, weight);
+  }
+}
+
+void DyadicSkimmer::UpdateBatch(
+    std::span<const stream::StreamElement> elements) {
+  for (const stream::StreamElement& element : elements) {
+    SKIMJOIN_CHECK_LT(element.value, domain_size_);
+  }
+  // Prefix elements for the current level, reused across levels. Each level
+  // halves the previous level's prefixes, so shifting the scratch in place
+  // by one more bit per level avoids re-deriving prefixes from scratch.
+  std::vector<stream::StreamElement> shifted(elements.begin(), elements.end());
+  for (uint64_t l = 1; l <= levels_.size(); ++l) {
+    for (stream::StreamElement& element : shifted) element.value >>= 1;
+    Level& level = levels_[l - 1];
+    if (level.sketch.has_value()) {
+      level.sketch->UpdateBatch(shifted);
+    } else {
+      for (const stream::StreamElement& element : shifted) {
+        level.exact[element.value] += element.weight;
+      }
+    }
+  }
+}
+
+void DyadicSkimmer::Reset() {
+  for (Level& level : levels_) {
+    if (level.sketch.has_value()) {
+      level.sketch->Reset();
+    } else {
+      level.exact.assign(level.exact.size(), 0);
+    }
   }
 }
 
@@ -148,7 +181,7 @@ void DyadicSkimmer::SubtractDense(uint64_t value, int64_t frequency) {
 }
 
 Status DyadicSkimmer::SerializeTo(std::ostream& out) const {
-  out << "skimjoin.dyadic_skimmer v2\n" << domain_size_ << '\n';
+  out << "skimjoin.dyadic_skimmer v3\n" << domain_size_ << '\n';
   for (const Level& level : levels_) {
     if (level.sketch.has_value()) {
       out << "sketch\n";
@@ -160,6 +193,7 @@ Status DyadicSkimmer::SerializeTo(std::ostream& out) const {
       }
     }
   }
+  out << "end\n";
   if (!out) return IoError("dyadic-skimmer serialization failed");
   return OkStatus();
 }
@@ -167,8 +201,8 @@ Status DyadicSkimmer::SerializeTo(std::ostream& out) const {
 StatusOr<DyadicSkimmer> DyadicSkimmer::DeserializeFrom(std::istream& in) {
   std::string tag, version;
   if (!(in >> tag >> version) || tag != "skimjoin.dyadic_skimmer" ||
-      version != "v2") {
-    return InvalidArgumentError("not a skimjoin dyadic-skimmer v2 record");
+      version != "v3") {
+    return InvalidArgumentError("not a skimjoin dyadic-skimmer v3 record");
   }
   uint64_t domain_size = 0;
   if (!(in >> domain_size) || !IsPowerOfTwo(domain_size) || domain_size < 2) {
@@ -189,10 +223,15 @@ StatusOr<DyadicSkimmer> DyadicSkimmer::DeserializeFrom(std::istream& in) {
       SKIMJOIN_RETURN_IF_ERROR(sketch.status());
       level.sketch = *std::move(sketch);
     } else if (kind == "exact") {
-      size_t size = 0;
+      uint64_t size = 0;
       if (!(in >> size) || size != (domain_size >> l)) {
         return InvalidArgumentError("malformed exact dyadic level header");
       }
+      // A hostile record can claim a huge power-of-two domain whose shallow
+      // levels would then be "exact" blocks of billions of counters; cap the
+      // allocation like any other untrusted counter block.
+      SKIMJOIN_RETURN_IF_ERROR(
+          sketch::CheckDeserializeDims(1, size, "exact dyadic level"));
       level.exact.resize(size);
       for (int64_t& counter : level.exact) {
         if (!(in >> counter)) {
@@ -203,6 +242,11 @@ StatusOr<DyadicSkimmer> DyadicSkimmer::DeserializeFrom(std::istream& in) {
       return InvalidArgumentError("unknown dyadic level kind: " + kind);
     }
     levels.push_back(std::move(level));
+  }
+  std::string sentinel;
+  if (!(in >> sentinel) || sentinel != "end") {
+    return InvalidArgumentError(
+        "dyadic-skimmer record missing its end sentinel");
   }
   return DyadicSkimmer(domain_size, std::move(levels));
 }

@@ -25,10 +25,12 @@
 #include <istream>
 #include <optional>
 #include <ostream>
+#include <span>
 #include <vector>
 
 #include "sketch/hash_sketch.h"
 #include "stream/frequency_vector.h"
+#include "stream/stream_element.h"
 #include "util/status.h"
 
 namespace skimjoin {
@@ -49,6 +51,16 @@ class DyadicSkimmer {
 
   /// Applies one arrival to every level: O(num_levels · num_tables).
   void Update(uint64_t value, int64_t weight);
+
+  /// Applies a batch of arrivals level-major: each level's prefixes are
+  /// computed once for the whole batch and fed through the level sketch's
+  /// own batch path, so per-element dyadic traversal is amortized away.
+  /// Counter-for-counter identical to scalar Update calls.
+  /// Pre-condition: every element value < domain_size().
+  void UpdateBatch(std::span<const stream::StreamElement> elements);
+
+  /// Zeroes every level's counters (families untouched).
+  void Reset();
 
   /// Folds a whole frequency vector in (linearity).
   void Absorb(const stream::FrequencyVector& frequencies);

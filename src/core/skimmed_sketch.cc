@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "sketch/serial_limits.h"
 #include "util/logging.h"
 
 namespace skimjoin {
@@ -14,18 +15,9 @@ namespace {
 
 bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
 
-}  // namespace
-
-SkimmedSketch::SkimmedSketch(const SkimmedSketchConfig& config, uint64_t seed,
-                             sketch::HashSketch level0,
-                             std::optional<DyadicSkimmer> dyadic)
-    : config_(config),
-      seed_(seed),
-      level0_(std::move(level0)),
-      dyadic_(std::move(dyadic)) {}
-
-StatusOr<SkimmedSketch> SkimmedSketch::Create(const SkimmedSketchConfig& config,
-                                              uint64_t seed) {
+// Shared by Create and DeserializeFrom: a deserialized header is untrusted
+// input and must pass the same validation as a caller-supplied config.
+Status ValidateConfig(const SkimmedSketchConfig& config) {
   if (config.domain_size < 2) {
     return InvalidArgumentError("SkimmedSketchConfig.domain_size must be >= 2");
   }
@@ -53,6 +45,22 @@ StatusOr<SkimmedSketch> SkimmedSketch::Create(const SkimmedSketchConfig& config,
     return InvalidArgumentError(
         "SkimmedSketchConfig.skim_margin must be in [0, 1)");
   }
+  return OkStatus();
+}
+
+}  // namespace
+
+SkimmedSketch::SkimmedSketch(const SkimmedSketchConfig& config, uint64_t seed,
+                             sketch::HashSketch level0,
+                             std::optional<DyadicSkimmer> dyadic)
+    : config_(config),
+      seed_(seed),
+      level0_(std::move(level0)),
+      dyadic_(std::move(dyadic)) {}
+
+StatusOr<SkimmedSketch> SkimmedSketch::Create(const SkimmedSketchConfig& config,
+                                              uint64_t seed) {
+  SKIMJOIN_RETURN_IF_ERROR(ValidateConfig(config));
 
   sketch::HashSketchConfig level0_config;
   level0_config.num_tables = config.num_tables;
@@ -77,9 +85,49 @@ StatusOr<SkimmedSketch> SkimmedSketch::Create(const SkimmedSketchConfig& config,
 }
 
 void SkimmedSketch::Update(uint64_t value, int64_t weight) {
-  SKIMJOIN_CHECK_LT(value, config_.domain_size) << "value outside domain";
+  if (value >= config_.domain_size) {
+    // Not an internal invariant: the value came off a stream. Drop it and
+    // keep serving the in-domain sub-stream instead of aborting.
+    ++dropped_updates_;
+    return;
+  }
   level0_.Update(value, weight);
   if (dyadic_.has_value()) dyadic_->Update(value, weight);
+}
+
+void SkimmedSketch::UpdateBatch(
+    std::span<const stream::StreamElement> elements) {
+  bool clean = true;
+  for (const stream::StreamElement& element : elements) {
+    if (element.value >= config_.domain_size) {
+      clean = false;
+      break;
+    }
+  }
+  if (!clean) {
+    // Slow path: compact the in-domain elements so the batch kernels below
+    // never see a bad value.
+    std::vector<stream::StreamElement> kept;
+    kept.reserve(elements.size());
+    for (const stream::StreamElement& element : elements) {
+      if (element.value < config_.domain_size) {
+        kept.push_back(element);
+      } else {
+        ++dropped_updates_;
+      }
+    }
+    level0_.UpdateBatch(kept);
+    if (dyadic_.has_value()) dyadic_->UpdateBatch(kept);
+    return;
+  }
+  level0_.UpdateBatch(elements);
+  if (dyadic_.has_value()) dyadic_->UpdateBatch(elements);
+}
+
+void SkimmedSketch::Reset() {
+  level0_.Reset();
+  if (dyadic_.has_value()) dyadic_->Reset();
+  dropped_updates_ = 0;
 }
 
 void SkimmedSketch::Absorb(const stream::FrequencyVector& frequencies) {
@@ -257,7 +305,7 @@ StatusOr<uint64_t> SkimmedSketch::EstimateQuantile(double phi) const {
 
 Status SkimmedSketch::SerializeTo(std::ostream& out) const {
   const auto saved_precision = out.precision(17);
-  out << "skimjoin.skimmed_sketch v1\n"
+  out << "skimjoin.skimmed_sketch v2\n"
       << config_.domain_size << ' ' << config_.num_tables << ' '
       << config_.num_buckets << ' ' << (config_.use_dyadic_skim ? 1 : 0) << ' '
       << config_.dyadic_num_buckets << ' ' << config_.threshold_scale << ' '
@@ -275,8 +323,8 @@ Status SkimmedSketch::SerializeTo(std::ostream& out) const {
 StatusOr<SkimmedSketch> SkimmedSketch::DeserializeFrom(std::istream& in) {
   std::string tag, version;
   if (!(in >> tag >> version) || tag != "skimjoin.skimmed_sketch" ||
-      version != "v1") {
-    return InvalidArgumentError("not a skimjoin skimmed-sketch v1 record");
+      version != "v2") {
+    return InvalidArgumentError("not a skimjoin skimmed-sketch v2 record");
   }
   SkimmedSketchConfig config;
   int use_dyadic = 0;
@@ -288,6 +336,11 @@ StatusOr<SkimmedSketch> SkimmedSketch::DeserializeFrom(std::istream& in) {
     return InvalidArgumentError("malformed skimmed-sketch header");
   }
   config.use_dyadic_skim = (use_dyadic != 0);
+  // The header is untrusted: run the full Create-level validation plus the
+  // deserialization size cap before touching the nested records.
+  SKIMJOIN_RETURN_IF_ERROR(ValidateConfig(config));
+  SKIMJOIN_RETURN_IF_ERROR(sketch::CheckDeserializeDims(
+      config.num_tables, config.num_buckets, "skimmed-sketch level 0"));
 
   StatusOr<sketch::HashSketch> level0 =
       sketch::HashSketch::DeserializeFrom(in);

@@ -23,6 +23,7 @@
 #include <istream>
 #include <optional>
 #include <ostream>
+#include <span>
 #include <vector>
 
 #include "core/dyadic_skim.h"
@@ -105,12 +106,31 @@ class SkimmedSketch {
                                         uint64_t seed);
 
   /// Applies one stream arrival: O(num_tables) without dyadic maintenance,
-  /// O(num_tables · log2(domain_size)) with it.
+  /// O(num_tables · log2(domain_size)) with it. An out-of-domain value is
+  /// NOT an internal invariant — streams carry whatever the network
+  /// delivers — so it is dropped and counted in dropped_updates() rather
+  /// than aborting the process.
   void Update(uint64_t value, int64_t weight);
 
   void Update(const stream::StreamElement& element) {
     Update(element.value, element.weight);
   }
+
+  /// Applies a batch of arrivals. Counter-for-counter identical to calling
+  /// Update element by element, but hoists hash-family state out of the
+  /// per-element loop and amortizes the dyadic-level traversal across the
+  /// whole batch — the ingest fast path. Out-of-domain elements are dropped
+  /// and counted exactly as in Update.
+  void UpdateBatch(std::span<const stream::StreamElement> elements);
+
+  /// Stream arrivals dropped because their value fell outside
+  /// [0, domain_size). A nonzero count flags an upstream data problem; the
+  /// estimates remain valid for the in-domain sub-stream.
+  uint64_t dropped_updates() const { return dropped_updates_; }
+
+  /// Zeroes every counter and the dropped-update count, returning the
+  /// sketch to its freshly created state (hash families untouched).
+  void Reset();
 
   /// Folds a whole frequency vector in (linearity).
   void Absorb(const stream::FrequencyVector& frequencies);
@@ -196,6 +216,7 @@ class SkimmedSketch {
   uint64_t seed_;
   sketch::HashSketch level0_;
   std::optional<DyadicSkimmer> dyadic_;
+  uint64_t dropped_updates_ = 0;
 };
 
 }  // namespace core

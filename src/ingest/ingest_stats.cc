@@ -1,0 +1,16 @@
+#include "ingest/ingest_stats.h"
+
+namespace skimjoin {
+namespace ingest {
+
+std::string IngestStats::ToString() const {
+  return "elements=" + std::to_string(elements_absorbed) +
+         " batches=" + std::to_string(batches) +
+         " dropped=" + std::to_string(elements_dropped) +
+         " merges=" + std::to_string(merges) +
+         " absorb_ms=" + std::to_string(absorb_nanos / 1000000) +
+         " merge_ms=" + std::to_string(merge_nanos / 1000000);
+}
+
+}  // namespace ingest
+}  // namespace skimjoin

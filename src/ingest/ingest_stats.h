@@ -1,0 +1,38 @@
+// Observability counters for the batched / sharded ingestion pipeline
+// (ingest/parallel_ingestor.h and query::Engine::UpdateBatch).
+
+#ifndef SKIMJOIN_INGEST_INGEST_STATS_H_
+#define SKIMJOIN_INGEST_INGEST_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace skimjoin {
+namespace ingest {
+
+/// Running totals for one ingestion pipeline (or one engine stream).
+/// Plain counters — callers that share a pipeline across threads must
+/// serialize access, matching the single-writer model documented in
+/// DESIGN.md.
+struct IngestStats {
+  /// Stream elements absorbed into replicas / synopses.
+  uint64_t elements_absorbed = 0;
+  /// Batches accepted (AbsorbBatch / UpdateBatch calls).
+  uint64_t batches = 0;
+  /// Elements dropped before any synopsis saw them (out-of-domain values).
+  uint64_t elements_dropped = 0;
+  /// Replica-merge flushes performed.
+  uint64_t merges = 0;
+  /// Wall time spent inside parallel absorb fan-out.
+  uint64_t absorb_nanos = 0;
+  /// Wall time spent merging replicas into the master synopsis.
+  uint64_t merge_nanos = 0;
+
+  /// One-line human-readable rendering for logs and the bench harness.
+  std::string ToString() const;
+};
+
+}  // namespace ingest
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_INGEST_INGEST_STATS_H_

@@ -1,0 +1,159 @@
+// Sharded, batched parallel ingestion for linear synopses.
+//
+// Every sketch in this library is a linear projection of the frequency
+// vector, so summarizing a stream is embarrassingly parallel: partition a
+// batch across N shards, let each shard fold its elements into a private
+// replica synopsis, and add the replicas together — Merge IS addition, so
+// the result is counter-for-counter identical to a sequential pass (integer
+// addition commutes and associates; there is no approximation in the
+// parallelism). This is the replica-and-propagate design of Rinberg et
+// al.'s concurrent sketches and the shard-and-aggregate ingestion of
+// Hokusai, specialized to exact linearity.
+//
+// Threading model (see DESIGN.md, "Threading & ingestion model"):
+//   * ONE thread drives a ParallelIngestor (single-writer); the ingestor
+//     spawns and joins its shard workers inside AbsorbBatch, so no worker
+//     outlives the call and no locks are needed.
+//   * Replica i is touched only by worker i during AbsorbBatch and only by
+//     the driving thread during FlushInto — thread::join provides the
+//     happens-before edge between the two.
+//   * The master synopsis is never touched by workers; queries against it
+//     remain single-writer exactly as before.
+//
+// Usage:
+//   auto ingestor = *ingest::ParallelIngestor<core::SkimmedSketch>::Create(
+//       master, /*num_shards=*/4);
+//   ingestor.AbsorbBatch(batch1);        // parallel, replicas only
+//   ingestor.AbsorbBatch(batch2);
+//   ingestor.FlushInto(&master);         // exact merge, replicas reset
+//
+// or the one-shot IngestInto(&master, batch) convenience.
+
+#ifndef SKIMJOIN_INGEST_PARALLEL_INGESTOR_H_
+#define SKIMJOIN_INGEST_PARALLEL_INGESTOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ingest/ingest_stats.h"
+#include "stream/stream_element.h"
+#include "util/status.h"
+
+namespace skimjoin {
+namespace ingest {
+
+/// Below this many elements per shard a batch is absorbed inline on the
+/// calling thread: thread spawn/join costs more than the work it would
+/// distribute.
+inline constexpr uint64_t kMinElementsPerShard = 4096;
+
+/// A sharded ingestion pipeline over any linear synopsis type. `Synopsis`
+/// must be copyable and provide UpdateBatch(span<const StreamElement>),
+/// Reset(), and Merge(const Synopsis&) — HashSketch, AgmsSketch,
+/// CountMinSketch, and SkimmedSketch all qualify.
+template <typename Synopsis>
+class ParallelIngestor {
+ public:
+  /// Builds `num_shards` thread-local replicas compatible with `prototype`
+  /// (copies, zeroed). INVALID_ARGUMENT for num_shards < 1.
+  static StatusOr<ParallelIngestor> Create(const Synopsis& prototype,
+                                           uint64_t num_shards) {
+    if (num_shards < 1) {
+      return InvalidArgumentError(
+          "ParallelIngestor requires num_shards >= 1");
+    }
+    std::vector<Synopsis> replicas;
+    replicas.reserve(num_shards);
+    for (uint64_t shard = 0; shard < num_shards; ++shard) {
+      Synopsis replica = prototype;
+      replica.Reset();
+      replicas.push_back(std::move(replica));
+    }
+    return ParallelIngestor(std::move(replicas));
+  }
+
+  /// Partitions `elements` into contiguous chunks and folds each into its
+  /// shard's replica on a worker thread. Returns when every worker has
+  /// joined; the master synopsis is untouched until FlushInto.
+  void AbsorbBatch(std::span<const stream::StreamElement> elements) {
+    const auto start = std::chrono::steady_clock::now();
+    stats_.batches += 1;
+    stats_.elements_absorbed += elements.size();
+
+    // Small batches: absorb inline; fan-out overhead would dominate.
+    uint64_t shards = replicas_.size();
+    while (shards > 1 && elements.size() / shards < kMinElementsPerShard) {
+      --shards;
+    }
+    if (shards <= 1) {
+      replicas_[0].UpdateBatch(elements);
+    } else {
+      const uint64_t chunk = elements.size() / shards;
+      std::vector<std::thread> workers;
+      workers.reserve(shards);
+      for (uint64_t shard = 0; shard < shards; ++shard) {
+        const uint64_t begin = shard * chunk;
+        const uint64_t end =
+            (shard + 1 == shards) ? elements.size() : begin + chunk;
+        workers.emplace_back(
+            [replica = &replicas_[shard],
+             slice = elements.subspan(begin, end - begin)] {
+              replica->UpdateBatch(slice);
+            });
+      }
+      for (std::thread& worker : workers) worker.join();
+    }
+    stats_.absorb_nanos += Elapsed(start);
+  }
+
+  /// Adds every replica into `*master` (exact, by linearity) and zeroes the
+  /// replicas so the next AbsorbBatch starts clean. Dropped-element counts
+  /// accumulated inside replicas (synopses that track them, e.g.
+  /// SkimmedSketch) are folded into stats() before the reset erases them.
+  void FlushInto(Synopsis* master) {
+    const auto start = std::chrono::steady_clock::now();
+    stats_.merges += 1;
+    for (Synopsis& replica : replicas_) {
+      if constexpr (requires(const Synopsis& s) { s.dropped_updates(); }) {
+        stats_.elements_dropped += replica.dropped_updates();
+        stats_.elements_absorbed -= replica.dropped_updates();
+      }
+      master->Merge(replica);
+      replica.Reset();
+    }
+    stats_.merge_nanos += Elapsed(start);
+  }
+
+  /// One-shot convenience: AbsorbBatch + FlushInto.
+  void IngestInto(Synopsis* master,
+                  std::span<const stream::StreamElement> elements) {
+    AbsorbBatch(elements);
+    FlushInto(master);
+  }
+
+  uint64_t num_shards() const { return replicas_.size(); }
+  const IngestStats& stats() const { return stats_; }
+
+ private:
+  explicit ParallelIngestor(std::vector<Synopsis> replicas)
+      : replicas_(std::move(replicas)) {}
+
+  static uint64_t Elapsed(std::chrono::steady_clock::time_point start) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+
+  std::vector<Synopsis> replicas_;
+  IngestStats stats_;
+};
+
+}  // namespace ingest
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_INGEST_PARALLEL_INGESTOR_H_

@@ -19,7 +19,7 @@ StatusOr<StreamId> Engine::RegisterStream(const StreamSpec& spec) {
     return AlreadyExistsError("stream already registered: " + spec.name);
   }
   const StreamId id = streams_.size();
-  streams_.push_back(StreamState{spec, 0});
+  streams_.push_back(StreamState{spec, 0, {}});
   stream_ids_.emplace(spec.name, id);
   return id;
 }
@@ -103,7 +103,8 @@ StatusOr<QueryId> Engine::AddFrequencyQuery(const FrequencyQuerySpec& spec,
 
   const QueryId id = next_query_id_++;
   frequency_queries_.emplace(
-      id, FrequencyQueryState{*std::move(sketch), *stream, spec.predicate});
+      id, FrequencyQueryState{*std::move(sketch), *stream, spec.predicate,
+                              std::nullopt});
   return id;
 }
 
@@ -302,11 +303,18 @@ Status Engine::Update(StreamId stream, const StreamUpdate& update) {
   }
   StreamState& state = streams_[stream];
   if (update.value >= state.spec.domain_size) {
+    state.ingest_stats.elements_dropped += 1;
     return OutOfRangeError("value outside the domain of stream " +
                            state.spec.name);
   }
   state.element_count += update.count;
+  state.ingest_stats.elements_absorbed += 1;
+  ApplyToQueries(stream, update, /*include_frequency_queries=*/true);
+  return OkStatus();
+}
 
+void Engine::ApplyToQueries(StreamId stream, const StreamUpdate& update,
+                            bool include_frequency_queries) {
   for (auto& [id, q] : join_queries_) {
     if (q.left == stream &&
         (!q.left_predicate || q.left_predicate->Matches(update.value))) {
@@ -319,10 +327,12 @@ Status Engine::Update(StreamId stream, const StreamUpdate& update) {
       if (weight != 0) q.estimator->UpdateG(update.value, weight);
     }
   }
-  for (auto& [id, q] : frequency_queries_) {
-    if (q.stream == stream &&
-        (!q.predicate || q.predicate->Matches(update.value))) {
-      if (update.count != 0) q.sketch.Update(update.value, update.count);
+  if (include_frequency_queries) {
+    for (auto& [id, q] : frequency_queries_) {
+      if (q.stream == stream &&
+          (!q.predicate || q.predicate->Matches(update.value))) {
+        if (update.count != 0) q.sketch.Update(update.value, update.count);
+      }
     }
   }
   for (auto& [id, q] : distinct_queries_) {
@@ -357,7 +367,86 @@ Status Engine::Update(StreamId stream, const StreamUpdate& update) {
       }
     }
   }
+}
+
+Status Engine::UpdateBatch(const std::string& stream,
+                           std::span<const StreamUpdate> updates) {
+  StatusOr<StreamId> id = FindStream(stream);
+  SKIMJOIN_RETURN_IF_ERROR(id.status());
+  return UpdateBatch(*id, updates);
+}
+
+Status Engine::UpdateBatch(StreamId stream,
+                           std::span<const StreamUpdate> updates) {
+  if (stream >= streams_.size()) {
+    return NotFoundError("unknown stream id");
+  }
+  StreamState& state = streams_[stream];
+  state.ingest_stats.batches += 1;
+
+  // One validation pass, hoisted out of every synopsis loop: bad elements
+  // are dropped and counted here so no synopsis ever sees one.
+  for (const StreamUpdate& update : updates) {
+    if (update.value >= state.spec.domain_size) {
+      state.ingest_stats.elements_dropped += 1;
+      continue;
+    }
+    state.element_count += update.count;
+    state.ingest_stats.elements_absorbed += 1;
+    ApplyToQueries(stream, update, /*include_frequency_queries=*/false);
+  }
+
+  // Frequency queries take the batch path: per query, project the batch to
+  // in-domain, predicate-matching stream elements and fold them in at once
+  // (sharded across worker threads when the batch is large enough).
+  std::vector<stream::StreamElement> elements;
+  for (auto& [id, q] : frequency_queries_) {
+    if (q.stream != stream) continue;
+    elements.clear();
+    elements.reserve(updates.size());
+    for (const StreamUpdate& update : updates) {
+      if (update.value >= state.spec.domain_size) continue;
+      if (q.predicate && !q.predicate->Matches(update.value)) continue;
+      if (update.count != 0) elements.push_back({update.value, update.count});
+    }
+    if (elements.empty()) continue;
+    if (ingest_shards_ > 1) {
+      if (!q.ingestor.has_value() ||
+          q.ingestor->num_shards() != ingest_shards_) {
+        StatusOr<ingest::ParallelIngestor<core::SkimmedSketch>> ingestor =
+            ingest::ParallelIngestor<core::SkimmedSketch>::Create(
+                q.sketch, ingest_shards_);
+        SKIMJOIN_RETURN_IF_ERROR(ingestor.status());
+        q.ingestor = *std::move(ingestor);
+      }
+      const uint64_t absorb_before = q.ingestor->stats().absorb_nanos;
+      const uint64_t merge_before = q.ingestor->stats().merge_nanos;
+      q.ingestor->IngestInto(&q.sketch, elements);
+      state.ingest_stats.merges += 1;
+      state.ingest_stats.absorb_nanos +=
+          q.ingestor->stats().absorb_nanos - absorb_before;
+      state.ingest_stats.merge_nanos +=
+          q.ingestor->stats().merge_nanos - merge_before;
+    } else {
+      q.sketch.UpdateBatch(elements);
+    }
+  }
   return OkStatus();
+}
+
+Status Engine::SetIngestShards(uint64_t num_shards) {
+  if (num_shards < 1) {
+    return InvalidArgumentError("ingest shard count must be >= 1");
+  }
+  ingest_shards_ = num_shards;
+  return OkStatus();
+}
+
+StatusOr<ingest::IngestStats> Engine::StreamIngestStats(
+    const std::string& stream) const {
+  StatusOr<StreamId> id = FindStream(stream);
+  SKIMJOIN_RETURN_IF_ERROR(id.status());
+  return streams_[*id].ingest_stats;
 }
 
 StatusOr<double> Engine::AnswerJoin(QueryId query) const {

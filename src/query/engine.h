@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -26,6 +27,8 @@
 #include "core/join_estimators.h"
 #include "core/skimmed_sketch.h"
 #include "core/top_k.h"
+#include "ingest/ingest_stats.h"
+#include "ingest/parallel_ingestor.h"
 #include "query/multi_join.h"
 #include "query/multi_join_hash.h"
 #include "query/query.h"
@@ -46,8 +49,12 @@ struct StreamUpdate {
   int64_t measure = 0;
 };
 
-/// The engine. Not thread-safe; callers serialize access per the
-/// single-pass stream model.
+/// The engine. Single-writer: ONE thread drives registration and ingestion
+/// (Update / UpdateBatch) at a time. UpdateBatch may internally fan a batch
+/// out across shard worker threads (see SetIngestShards), but those workers
+/// live only inside the call — externally the engine remains a single-writer
+/// structure, per the single-pass stream model and DESIGN.md's "Threading &
+/// ingestion model".
 class Engine {
  public:
   Engine() = default;
@@ -107,9 +114,31 @@ class Engine {
 
   /// Feeds one element into every subscribed synopsis. NOT_FOUND for an
   /// unknown stream; OUT_OF_RANGE if update.value is outside the stream's
-  /// domain.
+  /// domain (the element is dropped and counted, never fed to a synopsis).
   Status Update(const std::string& stream, const StreamUpdate& update);
   Status Update(StreamId stream, const StreamUpdate& update);
+
+  /// Feeds a whole batch of elements — the ingest fast path. Stream lookup
+  /// and domain validation are hoisted out of the per-element loop;
+  /// out-of-domain elements are dropped and counted in the stream's ingest
+  /// stats (the rest of the batch is still absorbed, and the call stays
+  /// OK). Frequency-query synopses take the batch through
+  /// SkimmedSketch::UpdateBatch — sharded across SetIngestShards() worker
+  /// threads for large batches — with results identical to element-by-
+  /// element Update. NOT_FOUND for an unknown stream.
+  Status UpdateBatch(const std::string& stream,
+                     std::span<const StreamUpdate> updates);
+  Status UpdateBatch(StreamId stream, std::span<const StreamUpdate> updates);
+
+  /// Worker threads UpdateBatch may fan a large batch out to (per
+  /// frequency-query synopsis, via ingest::ParallelIngestor). 1 — the
+  /// default — keeps ingestion fully inline. INVALID_ARGUMENT for 0.
+  Status SetIngestShards(uint64_t num_shards);
+
+  /// Ingestion observability for one stream: elements absorbed and
+  /// dropped, batches, and time spent in parallel absorb/merge.
+  StatusOr<ingest::IngestStats> StreamIngestStats(
+      const std::string& stream) const;
 
   /// Current estimate of a join or self-join query.
   StatusOr<double> AnswerJoin(QueryId query) const;
@@ -155,6 +184,7 @@ class Engine {
   struct StreamState {
     StreamSpec spec;
     int64_t element_count = 0;
+    ingest::IngestStats ingest_stats;
   };
 
   /// A join (or self-join) query: the estimator pair plus the routing data
@@ -173,6 +203,9 @@ class Engine {
     core::SkimmedSketch sketch;
     StreamId stream;
     std::optional<RangePredicate> predicate;
+    /// Lazily built sharded pipeline for this query's sketch; rebuilt when
+    /// the engine's shard count changes.
+    std::optional<ingest::ParallelIngestor<core::SkimmedSketch>> ingestor;
   };
 
   struct DistinctQueryState {
@@ -219,6 +252,12 @@ class Engine {
     return input == AggregateInput::kCount ? update.count : update.measure;
   }
 
+  /// Fans one validated in-domain element out to the subscribed synopses.
+  /// Frequency queries are skipped when `include_frequency_queries` is
+  /// false (UpdateBatch feeds them through the batch path instead).
+  void ApplyToQueries(StreamId stream, const StreamUpdate& update,
+                      bool include_frequency_queries);
+
   StatusOr<StreamId> FindRelation(const std::string& name) const;
 
   std::vector<StreamState> streams_;
@@ -233,6 +272,7 @@ class Engine {
   std::unordered_map<QueryId, RangeSumQueryState> range_sum_queries_;
   std::unordered_map<QueryId, ChainJoinQueryState> chain_queries_;
   QueryId next_query_id_ = 1;
+  uint64_t ingest_shards_ = 1;
 };
 
 }  // namespace query

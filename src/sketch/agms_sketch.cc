@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "sketch/serial_limits.h"
 #include "sketch/sketch_seed.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -37,6 +38,19 @@ void AgmsSketch::Update(uint64_t value, int64_t weight) {
     counters_[cell] += signs_[cell](value) * weight;
   }
 }
+
+void AgmsSketch::UpdateBatch(std::span<const stream::StreamElement> elements) {
+  for (size_t cell = 0; cell < counters_.size(); ++cell) {
+    const hashing::SignHash& sign = signs_[cell];
+    int64_t sum = 0;
+    for (const stream::StreamElement& element : elements) {
+      sum += sign(element.value) * element.weight;
+    }
+    counters_[cell] += sum;
+  }
+}
+
+void AgmsSketch::Reset() { counters_.assign(counters_.size(), 0); }
 
 void AgmsSketch::Absorb(const stream::FrequencyVector& frequencies) {
   const auto& counts = frequencies.counts();
@@ -86,12 +100,13 @@ double AgmsSketch::EstimateSelfJoinSize() const {
 }
 
 Status AgmsSketch::SerializeTo(std::ostream& out) const {
-  out << "skimjoin.agms_sketch v1\n"
+  out << "skimjoin.agms_sketch v2\n"
       << config_.num_means << ' ' << config_.num_medians << ' ' << seed_
       << '\n';
   for (size_t i = 0; i < counters_.size(); ++i) {
     out << counters_[i] << (i + 1 == counters_.size() ? '\n' : ' ');
   }
+  out << "end\n";
   if (!out) return IoError("AGMS-sketch serialization failed");
   return OkStatus();
 }
@@ -99,20 +114,26 @@ Status AgmsSketch::SerializeTo(std::ostream& out) const {
 StatusOr<AgmsSketch> AgmsSketch::DeserializeFrom(std::istream& in) {
   std::string tag, version;
   if (!(in >> tag >> version) || tag != "skimjoin.agms_sketch" ||
-      version != "v1") {
-    return InvalidArgumentError("not a skimjoin AGMS-sketch v1 record");
+      version != "v2") {
+    return InvalidArgumentError("not a skimjoin AGMS-sketch v2 record");
   }
   AgmsConfig config;
   uint64_t seed = 0;
   if (!(in >> config.num_means >> config.num_medians >> seed)) {
     return InvalidArgumentError("malformed AGMS-sketch header");
   }
+  SKIMJOIN_RETURN_IF_ERROR(CheckDeserializeDims(
+      config.num_means, config.num_medians, "AGMS-sketch"));
   StatusOr<AgmsSketch> sketch = AgmsSketch::Create(config, seed);
   SKIMJOIN_RETURN_IF_ERROR(sketch.status());
   for (int64_t& counter : sketch->counters_) {
     if (!(in >> counter)) {
       return InvalidArgumentError("truncated AGMS-sketch counter block");
     }
+  }
+  std::string sentinel;
+  if (!(in >> sentinel) || sentinel != "end") {
+    return InvalidArgumentError("AGMS-sketch record missing its end sentinel");
   }
   return sketch;
 }

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <vector>
 
 #include "hashing/sign_hash.h"
@@ -54,6 +55,14 @@ class AgmsSketch {
   void Update(const stream::StreamElement& element) {
     Update(element.value, element.weight);
   }
+
+  /// Applies a batch of arrivals; counter-for-counter identical to scalar
+  /// Update calls but iterates cell-major so each cell's ξ family stays hot
+  /// across the batch.
+  void UpdateBatch(std::span<const stream::StreamElement> elements);
+
+  /// Zeroes every counter (families untouched); see HashSketch::Reset.
+  void Reset();
 
   /// Folds a whole frequency vector into the sketch. Because the sketch is a
   /// linear projection, this is arithmetically identical to applying f_v

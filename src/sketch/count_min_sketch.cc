@@ -36,6 +36,19 @@ void CountMinSketch::Update(uint64_t value, int64_t weight) {
   }
 }
 
+void CountMinSketch::UpdateBatch(
+    std::span<const stream::StreamElement> elements) {
+  for (uint64_t table = 0; table < config_.num_tables; ++table) {
+    const hashing::BucketHash& bucket = bucket_hashes_[table];
+    int64_t* row = &counters_[table * config_.num_buckets];
+    for (const stream::StreamElement& element : elements) {
+      row[bucket(element.value)] += element.weight;
+    }
+  }
+}
+
+void CountMinSketch::Reset() { counters_.assign(counters_.size(), 0); }
+
 void CountMinSketch::Absorb(const stream::FrequencyVector& frequencies) {
   const auto& counts = frequencies.counts();
   for (uint64_t value = 0; value < counts.size(); ++value) {

@@ -12,6 +12,7 @@
 #define SKIMJOIN_SKETCH_COUNT_MIN_SKETCH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hashing/kwise_hash.h"
@@ -44,6 +45,13 @@ class CountMinSketch {
   void Update(const stream::StreamElement& element) {
     Update(element.value, element.weight);
   }
+
+  /// Applies a batch of arrivals table-major; counter-for-counter identical
+  /// to scalar Update calls (see HashSketch::UpdateBatch).
+  void UpdateBatch(std::span<const stream::StreamElement> elements);
+
+  /// Zeroes every counter (families untouched).
+  void Reset();
 
   void Absorb(const stream::FrequencyVector& frequencies);
 

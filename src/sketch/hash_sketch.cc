@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "sketch/serial_limits.h"
 #include "sketch/sketch_seed.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -41,6 +42,19 @@ void HashSketch::Update(uint64_t value, int64_t weight) {
         sign_hashes_[table](value) * weight;
   }
 }
+
+void HashSketch::UpdateBatch(std::span<const stream::StreamElement> elements) {
+  for (uint64_t table = 0; table < config_.num_tables; ++table) {
+    const hashing::BucketHash& bucket = bucket_hashes_[table];
+    const hashing::SignHash& sign = sign_hashes_[table];
+    int64_t* row = &counters_[table * config_.num_buckets];
+    for (const stream::StreamElement& element : elements) {
+      row[bucket(element.value)] += sign(element.value) * element.weight;
+    }
+  }
+}
+
+void HashSketch::Reset() { counters_.assign(counters_.size(), 0); }
 
 void HashSketch::Absorb(const stream::FrequencyVector& frequencies) {
   const auto& counts = frequencies.counts();
@@ -95,12 +109,15 @@ StatusOr<double> HashSketch::EstimateJoinSize(const HashSketch& f,
 }
 
 Status HashSketch::SerializeTo(std::ostream& out) const {
-  out << "skimjoin.hash_sketch v1\n"
+  out << "skimjoin.hash_sketch v2\n"
       << config_.num_tables << ' ' << config_.num_buckets << ' ' << seed_
       << '\n';
   for (size_t i = 0; i < counters_.size(); ++i) {
     out << counters_[i] << (i + 1 == counters_.size() ? '\n' : ' ');
   }
+  // Trailing sentinel: lets the reader tell a complete counter block from
+  // one truncated exactly at a counter boundary.
+  out << "end\n";
   if (!out) return IoError("hash-sketch serialization failed");
   return OkStatus();
 }
@@ -108,20 +125,28 @@ Status HashSketch::SerializeTo(std::ostream& out) const {
 StatusOr<HashSketch> HashSketch::DeserializeFrom(std::istream& in) {
   std::string tag, version;
   if (!(in >> tag >> version) || tag != "skimjoin.hash_sketch" ||
-      version != "v1") {
-    return InvalidArgumentError("not a skimjoin hash-sketch v1 record");
+      version != "v2") {
+    return InvalidArgumentError("not a skimjoin hash-sketch v2 record");
   }
   HashSketchConfig config;
   uint64_t seed = 0;
   if (!(in >> config.num_tables >> config.num_buckets >> seed)) {
     return InvalidArgumentError("malformed hash-sketch header");
   }
+  // Validate the untrusted dimensions BEFORE Create allocates counters (a
+  // hostile header could otherwise demand a multi-GB assign).
+  SKIMJOIN_RETURN_IF_ERROR(CheckDeserializeDims(
+      config.num_tables, config.num_buckets, "hash-sketch"));
   StatusOr<HashSketch> sketch = HashSketch::Create(config, seed);
   SKIMJOIN_RETURN_IF_ERROR(sketch.status());
   for (int64_t& counter : sketch->counters_) {
     if (!(in >> counter)) {
       return InvalidArgumentError("truncated hash-sketch counter block");
     }
+  }
+  std::string sentinel;
+  if (!(in >> sentinel) || sentinel != "end") {
+    return InvalidArgumentError("hash-sketch record missing its end sentinel");
   }
   return sketch;
 }

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <vector>
 
 #include "hashing/kwise_hash.h"
@@ -57,6 +58,17 @@ class HashSketch {
   void Update(const stream::StreamElement& element) {
     Update(element.value, element.weight);
   }
+
+  /// Applies a batch of arrivals. Counter-for-counter identical to calling
+  /// Update element by element (integer addition commutes), but iterates
+  /// table-major so each table's hash families and counter row stay hot
+  /// across the whole batch — the ingest fast path.
+  void UpdateBatch(std::span<const stream::StreamElement> elements);
+
+  /// Zeroes every counter, returning the sketch to its freshly created
+  /// state (hash families are untouched). Used by the parallel ingestor to
+  /// recycle thread-local replicas between flushes.
+  void Reset();
 
   /// Folds a whole frequency vector in (linearity; see AgmsSketch::Absorb).
   void Absorb(const stream::FrequencyVector& frequencies);

@@ -1,0 +1,44 @@
+#include "sketch/serial_limits.h"
+
+#include <atomic>
+#include <string>
+
+namespace skimjoin {
+namespace sketch {
+
+namespace {
+
+std::atomic<uint64_t>& CapStorage() {
+  static std::atomic<uint64_t> cap{kDefaultMaxDeserializeCounters};
+  return cap;
+}
+
+}  // namespace
+
+uint64_t MaxDeserializeCounters() {
+  return CapStorage().load(std::memory_order_relaxed);
+}
+
+void SetMaxDeserializeCounters(uint64_t cap) {
+  CapStorage().store(cap == 0 ? kDefaultMaxDeserializeCounters : cap,
+                     std::memory_order_relaxed);
+}
+
+Status CheckDeserializeDims(uint64_t rows, uint64_t cols, const char* what) {
+  if (rows < 1 || cols < 1) {
+    return InvalidArgumentError(std::string(what) +
+                                " record header has a zero dimension");
+  }
+  const uint64_t cap = MaxDeserializeCounters();
+  // rows * cols could wrap; divide instead of multiplying.
+  if (rows > cap / cols) {
+    return InvalidArgumentError(
+        std::string(what) + " record header claims " + std::to_string(rows) +
+        " x " + std::to_string(cols) +
+        " counters, above the deserialization cap of " + std::to_string(cap));
+  }
+  return OkStatus();
+}
+
+}  // namespace sketch
+}  // namespace skimjoin

@@ -1,0 +1,45 @@
+// Process-wide guard rails for synopsis deserialization.
+//
+// A serialized sketch record is untrusted input: a hostile or corrupt
+// header can claim arbitrarily large dimensions and trick the reader into
+// a multi-GB counter allocation before a single counter is parsed. Every
+// DeserializeFrom implementation therefore validates its header dimensions
+// through CheckDeserializeDims before allocating: the product must be
+// non-zero, must not overflow, and must not exceed a configurable cap.
+//
+// The cap is process-wide (servers deserialize synopses of many shapes on
+// one codepath) and defaults to 1 << 26 counters — 512 MiB of int64, far
+// beyond any configuration the estimators use, yet small enough that a
+// rejected record never destabilizes the process.
+
+#ifndef SKIMJOIN_SKETCH_SERIAL_LIMITS_H_
+#define SKIMJOIN_SKETCH_SERIAL_LIMITS_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace skimjoin {
+namespace sketch {
+
+/// Default value of the deserialization counter cap.
+inline constexpr uint64_t kDefaultMaxDeserializeCounters = uint64_t{1} << 26;
+
+/// Current cap on counters a single deserialized record may allocate.
+uint64_t MaxDeserializeCounters();
+
+/// Overrides the cap (e.g. tightened by a server that only ever ships
+/// small synopses, or loosened for an offline bulk loader). Passing 0
+/// restores the default.
+void SetMaxDeserializeCounters(uint64_t cap);
+
+/// Validates a counter-block shape read from an untrusted header:
+/// both dimensions >= 1, rows * cols free of uint64 overflow, and the
+/// product within MaxDeserializeCounters(). `what` names the record kind
+/// for the error message. Returns INVALID_ARGUMENT on violation.
+Status CheckDeserializeDims(uint64_t rows, uint64_t cols, const char* what);
+
+}  // namespace sketch
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_SKETCH_SERIAL_LIMITS_H_

@@ -1,0 +1,287 @@
+// Tests for the batched / sharded ingestion pipeline: UpdateBatch must be
+// counter-for-counter identical to scalar Update on every synopsis type,
+// ParallelIngestor must reproduce the sequential result exactly at any
+// shard count (linearity makes the parallelism lossless), and the engine
+// batch entry point must answer queries identically to element-wise
+// feeding while tracking ingest counters.
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/skimmed_sketch.h"
+#include "gtest/gtest.h"
+#include "ingest/parallel_ingestor.h"
+#include "query/engine.h"
+#include "sketch/agms_sketch.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/hash_sketch.h"
+#include "stream/stream_element.h"
+#include "stream/zipf.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace {
+
+using stream::StreamElement;
+
+std::vector<StreamElement> MixedStream(uint64_t count, uint64_t domain,
+                                       uint64_t seed) {
+  // Inserts, deletes, and heavier SUM-style weights, skewed like a real
+  // workload.
+  Rng zipf_rng(seed);
+  std::vector<StreamElement> elements =
+      stream::ZipfDistribution(domain, 1.1).GenerateElements(count, &zipf_rng);
+  Rng rng(seed + 1);
+  for (StreamElement& element : elements) {
+    const uint64_t roll = rng.NextUint64Below(10);
+    if (roll == 0) element.weight = -1;
+    if (roll == 1) element.weight = static_cast<int64_t>(2 + roll);
+  }
+  return elements;
+}
+
+template <typename Sketch>
+std::string Serialized(const Sketch& sketch) {
+  std::stringstream buffer;
+  EXPECT_TRUE(sketch.SerializeTo(buffer).ok());
+  return buffer.str();
+}
+
+TEST(UpdateBatchTest, HashSketchMatchesScalarBitForBit) {
+  const auto elements = MixedStream(20000, 1u << 14, 7);
+  auto scalar = *sketch::HashSketch::Create({7, 128}, 3);
+  auto batched = *sketch::HashSketch::Create({7, 128}, 3);
+  for (const StreamElement& element : elements) scalar.Update(element);
+  batched.UpdateBatch(elements);
+  for (uint64_t t = 0; t < 7; ++t) {
+    for (uint64_t b = 0; b < 128; ++b) {
+      ASSERT_EQ(scalar.Counter(t, b), batched.Counter(t, b))
+          << "table " << t << " bucket " << b;
+    }
+  }
+}
+
+TEST(UpdateBatchTest, AgmsSketchMatchesScalarBitForBit) {
+  const auto elements = MixedStream(5000, 1u << 12, 11);
+  auto scalar = *sketch::AgmsSketch::Create({16, 5}, 3);
+  auto batched = *sketch::AgmsSketch::Create({16, 5}, 3);
+  for (const StreamElement& element : elements) scalar.Update(element);
+  batched.UpdateBatch(elements);
+  for (uint64_t i = 0; i < 16; ++i) {
+    for (uint64_t j = 0; j < 5; ++j) {
+      ASSERT_EQ(scalar.counter(i, j), batched.counter(i, j));
+    }
+  }
+}
+
+TEST(UpdateBatchTest, CountMinMatchesScalarOnPointEstimates) {
+  const auto elements = MixedStream(20000, 1u << 12, 13);
+  auto scalar = *sketch::CountMinSketch::Create({5, 256}, 3);
+  auto batched = *sketch::CountMinSketch::Create({5, 256}, 3);
+  for (const StreamElement& element : elements) scalar.Update(element);
+  batched.UpdateBatch(elements);
+  for (uint64_t v = 0; v < (1u << 12); ++v) {
+    ASSERT_EQ(scalar.PointEstimate(v), batched.PointEstimate(v)) << v;
+  }
+}
+
+TEST(UpdateBatchTest, SkimmedSketchMatchesScalarIncludingDyadicLevels) {
+  const auto elements = MixedStream(30000, 1u << 12, 17);
+  core::SkimmedSketchConfig config;
+  config.domain_size = 1u << 12;
+  config.num_buckets = 256;
+  config.use_dyadic_skim = true;
+  config.dyadic_num_buckets = 64;
+  auto scalar = *core::SkimmedSketch::Create(config, 5);
+  auto batched = *core::SkimmedSketch::Create(config, 5);
+  for (const StreamElement& element : elements) scalar.Update(element);
+  batched.UpdateBatch(elements);
+  // The serialized text covers every counter of level 0 AND every dyadic
+  // level, so string equality is bit-identity of the whole synopsis.
+  EXPECT_EQ(Serialized(scalar), Serialized(batched));
+}
+
+TEST(UpdateBatchTest, SkimmedSketchBatchDropsOutOfDomainLikeScalar) {
+  core::SkimmedSketchConfig config;
+  config.domain_size = 1u << 8;
+  config.num_buckets = 64;
+  auto sketch = *core::SkimmedSketch::Create(config, 5);
+  std::vector<StreamElement> elements = {
+      {3, 1}, {1u << 9, 1}, {5, 2}, {UINT64_MAX, 1}, {3, 1}};
+  sketch.UpdateBatch(elements);
+  EXPECT_EQ(sketch.dropped_updates(), 2u);
+  EXPECT_EQ(sketch.EstimatePointFrequency(3), 2);
+  EXPECT_EQ(sketch.EstimatePointFrequency(5), 2);
+}
+
+TEST(UpdateBatchTest, ResetReturnsToFreshState) {
+  core::SkimmedSketchConfig config;
+  config.domain_size = 1u << 10;
+  auto fresh = *core::SkimmedSketch::Create(config, 9);
+  auto used = *core::SkimmedSketch::Create(config, 9);
+  used.UpdateBatch(MixedStream(5000, 1u << 10, 21));
+  used.Update(1u << 11, 1);  // one dropped update
+  used.Reset();
+  EXPECT_EQ(used.dropped_updates(), 0u);
+  EXPECT_EQ(Serialized(fresh), Serialized(used));
+}
+
+TEST(ParallelIngestorTest, RejectsZeroShards) {
+  auto proto = *sketch::HashSketch::Create({5, 64}, 1);
+  EXPECT_FALSE(
+      ingest::ParallelIngestor<sketch::HashSketch>::Create(proto, 0).ok());
+}
+
+TEST(ParallelIngestorTest, MatchesSequentialAtAnyShardCount) {
+  const auto elements = MixedStream(60000, 1u << 12, 23);
+  core::SkimmedSketchConfig config;
+  config.domain_size = 1u << 12;
+  config.num_buckets = 128;
+  config.dyadic_num_buckets = 32;
+
+  auto sequential = *core::SkimmedSketch::Create(config, 7);
+  for (const StreamElement& element : elements) sequential.Update(element);
+  const std::string expected = Serialized(sequential);
+
+  for (uint64_t shards : {1u, 2u, 3u, 4u, 8u}) {
+    auto master = *core::SkimmedSketch::Create(config, 7);
+    auto ingestor =
+        *ingest::ParallelIngestor<core::SkimmedSketch>::Create(master, shards);
+    ingestor.IngestInto(&master, elements);
+    EXPECT_EQ(Serialized(master), expected) << shards << " shards";
+  }
+}
+
+TEST(ParallelIngestorTest, MultipleBatchesAccumulateAcrossFlushes) {
+  const auto elements = MixedStream(40000, 1u << 10, 29);
+  auto sequential = *sketch::HashSketch::Create({7, 256}, 1);
+  for (const StreamElement& element : elements) sequential.Update(element);
+
+  auto master = *sketch::HashSketch::Create({7, 256}, 1);
+  auto ingestor =
+      *ingest::ParallelIngestor<sketch::HashSketch>::Create(master, 4);
+  const std::span<const StreamElement> all(elements);
+  // Two absorbs per flush, two flushes: replicas must reset cleanly between
+  // flushes or counters would double.
+  ingestor.AbsorbBatch(all.subspan(0, 10000));
+  ingestor.AbsorbBatch(all.subspan(10000, 10000));
+  ingestor.FlushInto(&master);
+  ingestor.AbsorbBatch(all.subspan(20000, 20000));
+  ingestor.FlushInto(&master);
+  EXPECT_EQ(Serialized(master), Serialized(sequential));
+
+  const ingest::IngestStats& stats = ingestor.stats();
+  EXPECT_EQ(stats.elements_absorbed, 40000u);
+  EXPECT_EQ(stats.batches, 3u);
+  EXPECT_EQ(stats.merges, 2u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(ParallelIngestorTest, FoldsReplicaDropCountsIntoStats) {
+  core::SkimmedSketchConfig config;
+  config.domain_size = 1u << 8;
+  config.num_buckets = 64;
+  auto master = *core::SkimmedSketch::Create(config, 3);
+  auto ingestor =
+      *ingest::ParallelIngestor<core::SkimmedSketch>::Create(master, 2);
+  std::vector<StreamElement> elements(20000, StreamElement{1, 1});
+  elements[7].value = 1u << 9;    // out of domain
+  elements[19999].value = 1u << 10;  // out of domain
+  ingestor.IngestInto(&master, elements);
+  EXPECT_EQ(ingestor.stats().elements_dropped, 2u);
+  EXPECT_EQ(ingestor.stats().elements_absorbed, 19998u);
+  EXPECT_EQ(master.EstimatePointFrequency(1), 19998);
+  EXPECT_EQ(master.dropped_updates(), 0u);  // drops stayed in the replicas
+}
+
+TEST(EngineBatchTest, UpdateBatchMatchesScalarUpdates) {
+  const uint64_t kDomain = 1u << 10;
+  auto elements = MixedStream(20000, kDomain, 31);
+  std::vector<query::StreamUpdate> updates;
+  updates.reserve(elements.size());
+  for (const StreamElement& element : elements) {
+    updates.push_back({element.value, element.weight, element.weight * 2});
+  }
+
+  auto build = [&](bool batched, uint64_t shards) {
+    auto engine = std::make_unique<query::Engine>();
+    SKIMJOIN_CHECK_OK(engine->SetIngestShards(shards));
+    SKIMJOIN_CHECK(engine->RegisterStream({"s", kDomain}).ok());
+    query::SelfJoinQuerySpec self_join;
+    self_join.stream = "s";
+    self_join.estimator.kind = core::EstimatorKind::kSkimmedSketch;
+    auto jq = engine->AddSelfJoinQuery(self_join, 5);
+    SKIMJOIN_CHECK(jq.ok());
+    query::FrequencyQuerySpec freq;
+    freq.stream = "s";
+    auto fq = engine->AddFrequencyQuery(freq, 5);
+    SKIMJOIN_CHECK(fq.ok());
+    if (batched) {
+      SKIMJOIN_CHECK_OK(engine->UpdateBatch("s", updates));
+    } else {
+      for (const query::StreamUpdate& update : updates) {
+        SKIMJOIN_CHECK_OK(engine->Update("s", update));
+      }
+    }
+    struct Answers {
+      double join;
+      int64_t freq0;
+      int64_t count;
+    };
+    return Answers{*engine->AnswerJoin(*jq),
+                   *engine->AnswerPointFrequency(*fq, 0),
+                   *engine->StreamElementCount("s")};
+  };
+
+  const auto scalar = build(false, 1);
+  const auto inline_batch = build(true, 1);
+  const auto sharded_batch = build(true, 4);
+  EXPECT_EQ(scalar.count, inline_batch.count);
+  EXPECT_EQ(scalar.count, sharded_batch.count);
+  EXPECT_DOUBLE_EQ(scalar.join, inline_batch.join);
+  EXPECT_DOUBLE_EQ(scalar.join, sharded_batch.join);
+  EXPECT_EQ(scalar.freq0, inline_batch.freq0);
+  EXPECT_EQ(scalar.freq0, sharded_batch.freq0);
+}
+
+TEST(EngineBatchTest, DropsOutOfDomainAndCountsThem) {
+  query::Engine engine;
+  ASSERT_TRUE(engine.RegisterStream({"s", 256}).ok());
+  query::FrequencyQuerySpec freq;
+  freq.stream = "s";
+  auto fq = engine.AddFrequencyQuery(freq, 1);
+  ASSERT_TRUE(fq.ok());
+
+  std::vector<query::StreamUpdate> updates = {
+      {5, 1, 0}, {512, 1, 0}, {5, 1, 0}, {UINT64_MAX, 3, 0}};
+  ASSERT_TRUE(engine.UpdateBatch("s", updates).ok());
+
+  auto stats = engine.StreamIngestStats("s");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->batches, 1u);
+  EXPECT_EQ(stats->elements_absorbed, 2u);
+  EXPECT_EQ(stats->elements_dropped, 2u);
+  EXPECT_EQ(*engine.AnswerPointFrequency(*fq, 5), 2);
+  EXPECT_EQ(*engine.StreamElementCount("s"), 2);
+
+  // The scalar path still reports the error, and counts the drop.
+  EXPECT_EQ(engine.Update("s", {1000, 1, 0}).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(engine.StreamIngestStats("s")->elements_dropped, 3u);
+}
+
+TEST(EngineBatchTest, UnknownStreamAndBadShardCountRejected) {
+  query::Engine engine;
+  std::vector<query::StreamUpdate> updates = {{1, 1, 0}};
+  EXPECT_EQ(engine.UpdateBatch("nope", updates).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.SetIngestShards(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(engine.StreamIngestStats("nope").ok());
+}
+
+}  // namespace
+}  // namespace skimjoin

@@ -1,0 +1,209 @@
+// Fuzz-style deserialization tests: DeserializeFrom consumes UNTRUSTED
+// bytes (synopses shipped between sites), so hostile or corrupt records
+// must come back as INVALID_ARGUMENT — never a crash, never an allocation
+// beyond the configurable cap. Covers oversized headers, dimension-product
+// overflow, truncation at every prefix length, flipped bytes, and the
+// explicit end-sentinel that distinguishes a complete counter block from
+// one truncated at a counter boundary.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/dyadic_skim.h"
+#include "core/skimmed_sketch.h"
+#include "gtest/gtest.h"
+#include "sketch/agms_sketch.h"
+#include "sketch/hash_sketch.h"
+#include "sketch/serial_limits.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace {
+
+template <typename Sketch>
+std::string Serialized(const Sketch& sketch) {
+  std::stringstream buffer;
+  EXPECT_TRUE(sketch.SerializeTo(buffer).ok());
+  return buffer.str();
+}
+
+void ExpectHashSketchRejected(const std::string& text) {
+  std::stringstream in(text);
+  StatusOr<sketch::HashSketch> result = sketch::HashSketch::DeserializeFrom(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HashSketchFuzzTest, OversizedHeaderRejectedWithoutAllocating) {
+  // 10^12 counters would be 8 TB; must be rejected by the cap, not tried.
+  ExpectHashSketchRejected(
+      "skimjoin.hash_sketch v2\n1000000 1000000 1\n0 0 0\nend\n");
+  ExpectHashSketchRejected(
+      "skimjoin.hash_sketch v2\n1 99999999999999 1\n0\nend\n");
+}
+
+TEST(HashSketchFuzzTest, DimensionProductOverflowRejected) {
+  // 2^32 x 2^32 wraps to 0 in uint64 multiplication; the divide-based guard
+  // must still reject it.
+  ExpectHashSketchRejected(
+      "skimjoin.hash_sketch v2\n4294967296 4294967296 1\n0\nend\n");
+  ExpectHashSketchRejected(
+      "skimjoin.hash_sketch v2\n18446744073709551615 3 1\n0\nend\n");
+}
+
+TEST(HashSketchFuzzTest, ZeroDimensionRejected) {
+  ExpectHashSketchRejected("skimjoin.hash_sketch v2\n0 16 1\nend\n");
+  ExpectHashSketchRejected("skimjoin.hash_sketch v2\n3 0 1\nend\n");
+}
+
+TEST(HashSketchFuzzTest, TruncationAtEveryPrefixRejectedOrExact) {
+  auto sketch = *sketch::HashSketch::Create({3, 8}, 1);
+  for (int i = 0; i < 200; ++i) sketch.Update(i % 50, 1 - 2 * (i % 2));
+  const std::string full = Serialized(sketch);
+  // Every strict prefix except "full minus the final newline" (the format is
+  // whitespace-delimited, so the sentinel still parses there) must fail.
+  for (size_t len = 0; len + 1 < full.size(); ++len) {
+    std::stringstream in(full.substr(0, len));
+    StatusOr<sketch::HashSketch> result =
+        sketch::HashSketch::DeserializeFrom(in);
+    ASSERT_FALSE(result.ok()) << "prefix length " << len;
+  }
+  std::stringstream in(full);
+  EXPECT_TRUE(sketch::HashSketch::DeserializeFrom(in).ok());
+}
+
+TEST(HashSketchFuzzTest, MissingSentinelRejected) {
+  // A record chopped exactly at a counter boundary used to be accepted;
+  // the sentinel closes that hole.
+  auto sketch = *sketch::HashSketch::Create({2, 4}, 1);
+  sketch.Update(3, 9);
+  std::string text = Serialized(sketch);
+  const auto pos = text.rfind("end\n");
+  ASSERT_NE(pos, std::string::npos);
+  ExpectHashSketchRejected(text.substr(0, pos));
+}
+
+TEST(HashSketchFuzzTest, ByteFlipsNeverCrash) {
+  auto sketch = *sketch::HashSketch::Create({3, 16}, 2);
+  for (int i = 0; i < 500; ++i) sketch.Update(i % 40, 1);
+  const std::string full = Serialized(sketch);
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = full;
+    const size_t pos = rng.NextUint64Below(mutated.size());
+    mutated[pos] = static_cast<char>(rng.NextUint64Below(256));
+    std::stringstream in(mutated);
+    // Must terminate without crashing; result may be ok (benign digit flip)
+    // or INVALID_ARGUMENT — both are acceptable, aborting is not.
+    (void)sketch::HashSketch::DeserializeFrom(in);
+  }
+}
+
+TEST(HashSketchFuzzTest, NegativeCountersAreLegalStreamData) {
+  // Deletes drive counters negative; a record full of them must round-trip.
+  auto sketch = *sketch::HashSketch::Create({3, 8}, 1);
+  for (int i = 0; i < 100; ++i) sketch.Update(i % 20, -3);
+  std::stringstream buffer(Serialized(sketch));
+  StatusOr<sketch::HashSketch> restored =
+      sketch::HashSketch::DeserializeFrom(buffer);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->CompatibleWith(sketch));
+}
+
+TEST(AgmsSketchFuzzTest, OversizedAndTruncatedRejected) {
+  std::stringstream oversized(
+      "skimjoin.agms_sketch v2\n123456789123 123456789 1\n0\nend\n");
+  StatusOr<sketch::AgmsSketch> result =
+      sketch::AgmsSketch::DeserializeFrom(oversized);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  auto sketch = *sketch::AgmsSketch::Create({4, 3}, 1);
+  sketch.Update(1, 1);
+  const std::string full = Serialized(sketch);
+  std::stringstream truncated(full.substr(0, full.size() - 5));
+  EXPECT_FALSE(sketch::AgmsSketch::DeserializeFrom(truncated).ok());
+}
+
+TEST(DyadicSkimmerFuzzTest, HostileExactLevelSizeRejected) {
+  // A huge power-of-two domain makes every shallow level "exact" with
+  // billions of counters; the cap must reject before the resize.
+  std::stringstream hostile(
+      "skimjoin.dyadic_skimmer v3\n9223372036854775808\nexact "
+      "4611686018427387904\n0\nend\n");
+  StatusOr<core::DyadicSkimmer> result =
+      core::DyadicSkimmer::DeserializeFrom(hostile);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DyadicSkimmerFuzzTest, UnknownLevelKindRejected) {
+  std::stringstream hostile(
+      "skimjoin.dyadic_skimmer v3\n16\nwhatever 8\nend\n");
+  EXPECT_FALSE(core::DyadicSkimmer::DeserializeFrom(hostile).ok());
+}
+
+TEST(SkimmedSketchFuzzTest, HostileHeaderRejectedBeforeNestedRecords) {
+  // num_tables * num_buckets far beyond the cap; must fail on the header,
+  // not inside a nested allocation.
+  std::stringstream hostile(
+      "skimjoin.skimmed_sketch v2\n65536 99999999 99999999 0 0 2 2 0.5 0 "
+      "7\n");
+  StatusOr<core::SkimmedSketch> result =
+      core::SkimmedSketch::DeserializeFrom(hostile);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  // Invalid config values (zero tables, bad slack) rejected by the same
+  // validation Create applies.
+  std::stringstream bad_config(
+      "skimjoin.skimmed_sketch v2\n65536 0 512 0 0 2 2 0.5 0 7\n");
+  EXPECT_FALSE(core::SkimmedSketch::DeserializeFrom(bad_config).ok());
+  std::stringstream bad_slack(
+      "skimjoin.skimmed_sketch v2\n65536 7 512 0 0 2 2 7.5 0 7\n");
+  EXPECT_FALSE(core::SkimmedSketch::DeserializeFrom(bad_slack).ok());
+}
+
+TEST(SkimmedSketchFuzzTest, TruncationSweepNeverCrashes) {
+  core::SkimmedSketchConfig config;
+  config.domain_size = 64;
+  config.num_buckets = 16;
+  config.dyadic_num_buckets = 4;
+  auto sketch = *core::SkimmedSketch::Create(config, 3);
+  for (int i = 0; i < 300; ++i) sketch.Update(i % 64, 1);
+  const std::string full = Serialized(sketch);
+  for (size_t len = 0; len + 1 < full.size(); len += 7) {
+    std::stringstream in(full.substr(0, len));
+    EXPECT_FALSE(core::SkimmedSketch::DeserializeFrom(in).ok())
+        << "prefix length " << len;
+  }
+  std::stringstream in(full);
+  EXPECT_TRUE(core::SkimmedSketch::DeserializeFrom(in).ok());
+}
+
+TEST(SerialLimitsTest, CapIsConfigurableAndRestorable) {
+  auto sketch = *sketch::HashSketch::Create({4, 1024}, 1);
+  const std::string record = Serialized(sketch);
+
+  // Tighten the cap below this record's 4096 counters: now rejected.
+  sketch::SetMaxDeserializeCounters(1000);
+  EXPECT_EQ(sketch::MaxDeserializeCounters(), 1000u);
+  {
+    std::stringstream in(record);
+    StatusOr<sketch::HashSketch> result =
+        sketch::HashSketch::DeserializeFrom(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+
+  // 0 restores the default, and the record loads again.
+  sketch::SetMaxDeserializeCounters(0);
+  EXPECT_EQ(sketch::MaxDeserializeCounters(),
+            sketch::kDefaultMaxDeserializeCounters);
+  std::stringstream in(record);
+  EXPECT_TRUE(sketch::HashSketch::DeserializeFrom(in).ok());
+}
+
+}  // namespace
+}  // namespace skimjoin

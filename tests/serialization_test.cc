@@ -145,7 +145,7 @@ TEST(SkimmedSketchSerializationTest, HeaderLevelMismatchRejected) {
   // Corrupt the embedded level-0 record's seed field by rebuilding the
   // stream with a different header line.
   std::string text = buffer.str();
-  const auto pos = text.find("skimjoin.hash_sketch v1\n");
+  const auto pos = text.find("skimjoin.hash_sketch v2\n");
   ASSERT_NE(pos, std::string::npos);
   // Replace the level-0 record with one whose seed differs.
   auto other = *sketch::HashSketch::Create({5, 128}, 999);

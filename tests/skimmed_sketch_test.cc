@@ -289,9 +289,16 @@ TEST(SkimmedSketchTest, SelfJoinEstimateTracksExact) {
   EXPECT_NEAR(sketch.EstimateSelfJoinSize(), exact, 0.15 * exact);
 }
 
-TEST(SkimmedSketchDeathTest, UpdateOutsideDomainAborts) {
+TEST(SkimmedSketchTest, UpdateOutsideDomainDropsInsteadOfAborting) {
   SkimmedSketch sketch = MustCreate(BaseConfig(), 15);
-  EXPECT_DEATH(sketch.Update(1u << 10, 1), "domain");
+  sketch.Update(3, 1);
+  const int64_t before = sketch.EstimatePointFrequency(3);
+  // An out-of-domain value is stream data, not an internal invariant: it
+  // must be dropped and counted, never crash the process.
+  sketch.Update(1u << 10, 1);
+  sketch.Update(UINT64_MAX, 5);
+  EXPECT_EQ(sketch.dropped_updates(), 2u);
+  EXPECT_EQ(sketch.EstimatePointFrequency(3), before);
 }
 
 // The paper's headline property: at equal space, skimmed sketches beat
