@@ -1,6 +1,7 @@
 #include "core/join_estimators.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "core/skimmed_sketch.h"
@@ -45,7 +46,64 @@ void JoinEstimatorPair::AbsorbG(const stream::FrequencyVector& frequencies) {
   }
 }
 
+Status JoinEstimatorPair::SerializeTo(std::ostream&) const {
+  return UnimplementedError(std::string("join estimator '") + Name() +
+                            "' does not support serialization");
+}
+
+Status JoinEstimatorPair::RestoreFrom(std::istream&) {
+  return UnimplementedError(std::string("join estimator '") + Name() +
+                            "' does not support serialization");
+}
+
 namespace {
+
+// Shared framing for the serializable pair classes: one tagged header line
+// naming the concrete method, then the F and G synopsis records.
+Status WritePairHeader(std::ostream& out, const char* kind) {
+  out << "skimjoin.join_pair v1 " << kind << '\n';
+  if (!out) return IoError("join-pair serialization failed");
+  return OkStatus();
+}
+
+Status ReadPairHeader(std::istream& in, const char* kind) {
+  std::string tag, version, recorded_kind;
+  if (!(in >> tag >> version >> recorded_kind) ||
+      tag != "skimjoin.join_pair" || version != "v1") {
+    return InvalidArgumentError("not a skimjoin join-pair v1 record");
+  }
+  if (recorded_kind != kind) {
+    return InvalidArgumentError("join-pair record holds method '" +
+                                recorded_kind + "', expected '" + kind + "'");
+  }
+  return OkStatus();
+}
+
+template <typename Sketch>
+Status SerializePair(std::ostream& out, const char* kind, const Sketch& f,
+                     const Sketch& g) {
+  SKIMJOIN_RETURN_IF_ERROR(WritePairHeader(out, kind));
+  SKIMJOIN_RETURN_IF_ERROR(f.SerializeTo(out));
+  return g.SerializeTo(out);
+}
+
+template <typename Sketch>
+Status RestorePair(std::istream& in, const char* kind, Sketch* f, Sketch* g) {
+  SKIMJOIN_RETURN_IF_ERROR(ReadPairHeader(in, kind));
+  SKIMJOIN_ASSIGN_OR_RETURN(Sketch restored_f, Sketch::DeserializeFrom(in));
+  SKIMJOIN_ASSIGN_OR_RETURN(Sketch restored_g, Sketch::DeserializeFrom(in));
+  // The pair being restored into was created from the checkpointed spec +
+  // seed, so a shape/seed mismatch means the record belongs to a different
+  // query — refuse rather than splice in foreign hash families.
+  if (!restored_f.CompatibleWith(*f) || !restored_g.CompatibleWith(*g)) {
+    return InvalidArgumentError(
+        std::string("join-pair record for '") + kind +
+        "' is incompatible with this pair's configuration");
+  }
+  *f = std::move(restored_f);
+  *g = std::move(restored_g);
+  return OkStatus();
+}
 
 class AgmsPair final : public JoinEstimatorPair {
  public:
@@ -66,6 +124,12 @@ class AgmsPair final : public JoinEstimatorPair {
   }
   const char* Name() const override {
     return EstimatorKindName(EstimatorKind::kAgms);
+  }
+  Status SerializeTo(std::ostream& out) const override {
+    return SerializePair(out, Name(), f_, g_);
+  }
+  Status RestoreFrom(std::istream& in) override {
+    return RestorePair(in, Name(), &f_, &g_);
   }
 
  private:
@@ -93,6 +157,12 @@ class HashSketchPair final : public JoinEstimatorPair {
   const char* Name() const override {
     return EstimatorKindName(EstimatorKind::kHashSketch);
   }
+  Status SerializeTo(std::ostream& out) const override {
+    return SerializePair(out, Name(), f_, g_);
+  }
+  Status RestoreFrom(std::istream& in) override {
+    return RestorePair(in, Name(), &f_, &g_);
+  }
 
  private:
   sketch::HashSketch f_;
@@ -116,6 +186,12 @@ class SkimmedPair final : public JoinEstimatorPair {
   uint64_t SpaceCounters() const override { return f_.TotalCounters(); }
   const char* Name() const override {
     return EstimatorKindName(EstimatorKind::kSkimmedSketch);
+  }
+  Status SerializeTo(std::ostream& out) const override {
+    return SerializePair(out, Name(), f_, g_);
+  }
+  Status RestoreFrom(std::istream& in) override {
+    return RestorePair(in, Name(), &f_, &g_);
   }
 
  private:
@@ -142,6 +218,12 @@ class CountMinPair final : public JoinEstimatorPair {
   }
   const char* Name() const override {
     return EstimatorKindName(EstimatorKind::kCountMin);
+  }
+  Status SerializeTo(std::ostream& out) const override {
+    return SerializePair(out, Name(), f_, g_);
+  }
+  Status RestoreFrom(std::istream& in) override {
+    return RestorePair(in, Name(), &f_, &g_);
   }
 
  private:

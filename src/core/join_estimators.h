@@ -8,7 +8,9 @@
 #define SKIMJOIN_CORE_JOIN_ESTIMATORS_H_
 
 #include <cstdint>
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <string>
 
 #include "sketch/partitioned_agms.h"
@@ -106,6 +108,17 @@ class JoinEstimatorPair {
 
   /// EstimatorKindName of the concrete method.
   virtual const char* Name() const = 0;
+
+  /// Writes both synopses as one self-describing text record so the pair
+  /// can be checkpointed. Default: UNIMPLEMENTED — the sampling and
+  /// partitioned-AGMS methods do not support serialization (checkpointing
+  /// lists them as unsupported rather than silently skipping them).
+  virtual Status SerializeTo(std::ostream& out) const;
+
+  /// Replaces the synopses of a freshly created pair (same spec and seed)
+  /// with the state in a record written by SerializeTo. INVALID_ARGUMENT
+  /// when the record's shape or seed disagrees with this pair.
+  virtual Status RestoreFrom(std::istream& in);
 
  protected:
   JoinEstimatorPair() = default;

@@ -1,6 +1,7 @@
 #include "core/top_k.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/logging.h"
 
@@ -57,6 +58,53 @@ void TopKTracker::Update(uint64_t value, int64_t weight) {
     candidates_.erase(weakest);
     candidates_.emplace(value, estimate);
   }
+}
+
+Status TopKTracker::SerializeTo(std::ostream& out) const {
+  out << "skimjoin.top_k v1\n" << k_ << '\n';
+  SKIMJOIN_RETURN_IF_ERROR(sketch_.SerializeTo(out));
+  out << candidates_.size() << '\n';
+  for (const auto& [value, estimate] : candidates_) {
+    out << value << ' ' << estimate << '\n';
+  }
+  out << "end\n";
+  if (!out) return IoError("top-k serialization failed");
+  return OkStatus();
+}
+
+StatusOr<TopKTracker> TopKTracker::DeserializeFrom(std::istream& in) {
+  std::string tag, version;
+  if (!(in >> tag >> version) || tag != "skimjoin.top_k" || version != "v1") {
+    return InvalidArgumentError("not a skimjoin top-k v1 record");
+  }
+  uint64_t k = 0;
+  if (!(in >> k) || k == 0) {
+    return InvalidArgumentError("malformed top-k header");
+  }
+  StatusOr<sketch::HashSketch> sketch = sketch::HashSketch::DeserializeFrom(in);
+  SKIMJOIN_RETURN_IF_ERROR(sketch.status());
+  TopKTracker tracker(k, *std::move(sketch));
+  uint64_t candidate_count = 0;
+  if (!(in >> candidate_count) || candidate_count > k) {
+    // The invariant "at most k candidates" caps the read before any
+    // allocation — a hostile count cannot demand unbounded memory.
+    return InvalidArgumentError("top-k record has a bad candidate count");
+  }
+  for (uint64_t i = 0; i < candidate_count; ++i) {
+    uint64_t value = 0;
+    int64_t estimate = 0;
+    if (!(in >> value >> estimate)) {
+      return InvalidArgumentError("truncated top-k candidate block");
+    }
+    if (!tracker.candidates_.emplace(value, estimate).second) {
+      return InvalidArgumentError("top-k record has a duplicate candidate");
+    }
+  }
+  std::string sentinel;
+  if (!(in >> sentinel) || sentinel != "end") {
+    return InvalidArgumentError("top-k record missing its end sentinel");
+  }
+  return tracker;
 }
 
 std::vector<std::pair<uint64_t, int64_t>> TopKTracker::TopK() const {

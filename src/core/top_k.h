@@ -13,7 +13,9 @@
 #define SKIMJOIN_CORE_TOP_K_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <istream>
+#include <map>
+#include <ostream>
 #include <utility>
 #include <vector>
 
@@ -51,13 +53,23 @@ class TopKTracker {
   /// The underlying sketch (point estimates, space accounting).
   const sketch::HashSketch& sketch() const { return sketch_; }
 
+  /// Writes a self-describing text record (k, sketch, candidate set).
+  Status SerializeTo(std::ostream& out) const;
+
+  /// Reads a record written by SerializeTo. INVALID_ARGUMENT on a malformed
+  /// or truncated record.
+  static StatusOr<TopKTracker> DeserializeFrom(std::istream& in);
+
  private:
   TopKTracker(uint64_t k, sketch::HashSketch sketch);
 
   uint64_t k_;
   sketch::HashSketch sketch_;
   // Candidate set: value → last observed estimate (refreshed on answers).
-  std::unordered_map<uint64_t, int64_t> candidates_;
+  // Ordered map so candidate scans (weakest-candidate replacement) visit
+  // values in a deterministic order — a restored tracker then evolves
+  // bit-identically to one that never stopped.
+  std::map<uint64_t, int64_t> candidates_;
 };
 
 }  // namespace core

@@ -34,12 +34,11 @@ StatusOr<StreamId> Engine::FindStream(const std::string& name) const {
 
 StatusOr<QueryId> Engine::AddJoinQuery(const JoinQuerySpec& spec,
                                        uint64_t seed) {
-  StatusOr<StreamId> left = FindStream(spec.left_stream);
-  SKIMJOIN_RETURN_IF_ERROR(left.status());
-  StatusOr<StreamId> right = FindStream(spec.right_stream);
-  SKIMJOIN_RETURN_IF_ERROR(right.status());
-  const StreamState& left_state = streams_[*left];
-  const StreamState& right_state = streams_[*right];
+  SKIMJOIN_ASSIGN_OR_RETURN(const StreamId left, FindStream(spec.left_stream));
+  SKIMJOIN_ASSIGN_OR_RETURN(const StreamId right,
+                            FindStream(spec.right_stream));
+  const StreamState& left_state = streams_[left];
+  const StreamState& right_state = streams_[right];
   if (left_state.spec.domain_size != right_state.spec.domain_size) {
     return InvalidArgumentError(
         "join streams must share a domain: " + spec.left_stream + " vs " +
@@ -48,15 +47,15 @@ StatusOr<QueryId> Engine::AddJoinQuery(const JoinQuerySpec& spec,
 
   core::EstimatorSpec estimator_spec = spec.estimator;
   estimator_spec.domain_size = left_state.spec.domain_size;
-  StatusOr<std::unique_ptr<core::JoinEstimatorPair>> pair =
-      core::CreateJoinEstimatorPair(estimator_spec, seed);
-  SKIMJOIN_RETURN_IF_ERROR(pair.status());
+  SKIMJOIN_ASSIGN_OR_RETURN(std::unique_ptr<core::JoinEstimatorPair> pair,
+                            core::CreateJoinEstimatorPair(estimator_spec,
+                                                          seed));
 
   const QueryId id = next_query_id_++;
   join_queries_.emplace(
-      id, JoinQueryState{std::move(*pair), *left, *right, spec.left_input,
+      id, JoinQueryState{std::move(pair), left, right, spec.left_input,
                          spec.right_input, spec.left_predicate,
-                         spec.right_predicate});
+                         spec.right_predicate, spec, seed});
   return id;
 }
 
@@ -75,15 +74,14 @@ StatusOr<QueryId> Engine::AddSelfJoinQuery(const SelfJoinQuerySpec& spec,
 
 StatusOr<QueryId> Engine::AddFrequencyQuery(const FrequencyQuerySpec& spec,
                                             uint64_t seed) {
-  StatusOr<StreamId> stream = FindStream(spec.stream);
-  SKIMJOIN_RETURN_IF_ERROR(stream.status());
+  SKIMJOIN_ASSIGN_OR_RETURN(const StreamId stream, FindStream(spec.stream));
   if (spec.num_tables < 1 || spec.space_counters < spec.num_tables) {
     return InvalidArgumentError(
         "frequency query needs 1 <= num_tables <= space_counters");
   }
 
   core::SkimmedSketchConfig config;
-  config.domain_size = streams_[*stream].spec.domain_size;
+  config.domain_size = streams_[stream].spec.domain_size;
   config.num_tables = spec.num_tables;
   config.use_dyadic_skim = spec.use_dyadic;
   if (spec.use_dyadic) {
@@ -97,34 +95,31 @@ StatusOr<QueryId> Engine::AddFrequencyQuery(const FrequencyQuerySpec& spec,
     config.num_buckets =
         std::max<uint64_t>(1, spec.space_counters / spec.num_tables);
   }
-  StatusOr<core::SkimmedSketch> sketch =
-      core::SkimmedSketch::Create(config, seed);
-  SKIMJOIN_RETURN_IF_ERROR(sketch.status());
+  SKIMJOIN_ASSIGN_OR_RETURN(core::SkimmedSketch sketch,
+                            core::SkimmedSketch::Create(config, seed));
 
   const QueryId id = next_query_id_++;
   frequency_queries_.emplace(
-      id, FrequencyQueryState{*std::move(sketch), *stream, spec.predicate,
-                              std::nullopt});
+      id, FrequencyQueryState{std::move(sketch), stream, spec.predicate,
+                              std::nullopt, spec, seed});
   return id;
 }
 
 StatusOr<QueryId> Engine::AddDistinctCountQuery(
     const DistinctCountQuerySpec& spec, uint64_t seed) {
-  StatusOr<StreamId> stream = FindStream(spec.stream);
-  SKIMJOIN_RETURN_IF_ERROR(stream.status());
-  StatusOr<sketch::FmSketch> sketch =
-      sketch::FmSketch::Create(spec.num_maps, seed);
-  SKIMJOIN_RETURN_IF_ERROR(sketch.status());
+  SKIMJOIN_ASSIGN_OR_RETURN(const StreamId stream, FindStream(spec.stream));
+  SKIMJOIN_ASSIGN_OR_RETURN(sketch::FmSketch sketch,
+                            sketch::FmSketch::Create(spec.num_maps, seed));
   const QueryId id = next_query_id_++;
   distinct_queries_.emplace(
-      id, DistinctQueryState{*std::move(sketch), *stream, spec.predicate});
+      id, DistinctQueryState{std::move(sketch), stream, spec.predicate, spec,
+                             seed});
   return id;
 }
 
 StatusOr<QueryId> Engine::AddTopKQuery(const TopKQuerySpec& spec,
                                        uint64_t seed) {
-  StatusOr<StreamId> stream = FindStream(spec.stream);
-  SKIMJOIN_RETURN_IF_ERROR(stream.status());
+  SKIMJOIN_ASSIGN_OR_RETURN(const StreamId stream, FindStream(spec.stream));
   if (spec.num_tables < 1 || spec.space_counters < spec.num_tables) {
     return InvalidArgumentError(
         "top-k query needs 1 <= num_tables <= space_counters");
@@ -133,40 +128,37 @@ StatusOr<QueryId> Engine::AddTopKQuery(const TopKQuerySpec& spec,
   config.num_tables = spec.num_tables;
   config.num_buckets =
       std::max<uint64_t>(1, spec.space_counters / spec.num_tables);
-  StatusOr<core::TopKTracker> tracker =
-      core::TopKTracker::Create(spec.k, config, seed);
-  SKIMJOIN_RETURN_IF_ERROR(tracker.status());
+  SKIMJOIN_ASSIGN_OR_RETURN(core::TopKTracker tracker,
+                            core::TopKTracker::Create(spec.k, config, seed));
   const QueryId id = next_query_id_++;
   topk_queries_.emplace(
-      id, TopKQueryState{*std::move(tracker), *stream, spec.predicate});
+      id, TopKQueryState{std::move(tracker), stream, spec.predicate, spec,
+                         seed});
   return id;
 }
 
 StatusOr<QueryId> Engine::AddQuantileQuery(const QuantileQuerySpec& spec) {
-  StatusOr<StreamId> stream = FindStream(spec.stream);
-  SKIMJOIN_RETURN_IF_ERROR(stream.status());
-  StatusOr<stream::GkQuantileSummary> summary =
-      stream::GkQuantileSummary::Create(spec.epsilon);
-  SKIMJOIN_RETURN_IF_ERROR(summary.status());
+  SKIMJOIN_ASSIGN_OR_RETURN(const StreamId stream, FindStream(spec.stream));
+  SKIMJOIN_ASSIGN_OR_RETURN(stream::GkQuantileSummary summary,
+                            stream::GkQuantileSummary::Create(spec.epsilon));
   const QueryId id = next_query_id_++;
   quantile_queries_.emplace(
-      id, QuantileQueryState{*std::move(summary), *stream, spec.predicate});
+      id, QuantileQueryState{std::move(summary), stream, spec.predicate, spec});
   return id;
 }
 
 StatusOr<QueryId> Engine::AddRangeSumQuery(const RangeSumQuerySpec& spec) {
-  StatusOr<StreamId> stream = FindStream(spec.stream);
-  SKIMJOIN_RETURN_IF_ERROR(stream.status());
+  SKIMJOIN_ASSIGN_OR_RETURN(const StreamId stream, FindStream(spec.stream));
   if (spec.coefficient_budget < 1) {
     return InvalidArgumentError("coefficient_budget must be >= 1");
   }
-  StatusOr<stream::WaveletSynopsis> synopsis =
-      stream::WaveletSynopsis::Create(streams_[*stream].spec.domain_size);
-  SKIMJOIN_RETURN_IF_ERROR(synopsis.status());
+  SKIMJOIN_ASSIGN_OR_RETURN(
+      stream::WaveletSynopsis synopsis,
+      stream::WaveletSynopsis::Create(streams_[stream].spec.domain_size));
   const QueryId id = next_query_id_++;
   range_sum_queries_.emplace(
-      id, RangeSumQueryState{*std::move(synopsis), *stream,
-                             spec.coefficient_budget, spec.predicate});
+      id, RangeSumQueryState{std::move(synopsis), stream,
+                             spec.coefficient_budget, spec.predicate, spec});
   return id;
 }
 
@@ -206,23 +198,25 @@ StatusOr<QueryId> Engine::AddChainJoinQuery(const ChainJoinQuerySpec& spec,
   std::vector<StreamId> chain;
   chain.reserve(spec.relations.size());
   for (size_t position = 0; position < spec.relations.size(); ++position) {
-    StatusOr<StreamId> id = FindRelation(spec.relations[position]);
-    SKIMJOIN_RETURN_IF_ERROR(id.status());
+    SKIMJOIN_ASSIGN_OR_RETURN(const StreamId id,
+                              FindRelation(spec.relations[position]));
     const bool is_end =
         (position == 0 || position + 1 == spec.relations.size());
     const uint64_t expected_arity = is_end ? 1 : 2;
-    if (relations_[*id].spec.arity != expected_arity) {
+    if (relations_[id].spec.arity != expected_arity) {
       return InvalidArgumentError(
           "relation " + spec.relations[position] + " has arity " +
-          std::to_string(relations_[*id].spec.arity) + " but chain position " +
+          std::to_string(relations_[id].spec.arity) + " but chain position " +
           std::to_string(position) + " requires arity " +
           std::to_string(expected_arity));
     }
-    chain.push_back(*id);
+    chain.push_back(id);
   }
 
   ChainJoinQueryState state;
   state.chain = std::move(chain);
+  state.spec = spec;
+  state.seed = seed;
   if (spec.method == ChainJoinQuerySpec::Method::kAgmsGrid) {
     MultiJoinConfig config;
     config.num_means = spec.num_means;
@@ -232,18 +226,17 @@ StatusOr<QueryId> Engine::AddChainJoinQuery(const ChainJoinQuerySpec& spec,
       config.relation_attributes.push_back({r - 1, r});
     }
     config.relation_attributes.push_back({spec.relations.size() - 2});
-    StatusOr<MultiJoinEstimator> grid = MultiJoinEstimator::Create(config, seed);
-    SKIMJOIN_RETURN_IF_ERROR(grid.status());
-    state.grid = *std::move(grid);
+    SKIMJOIN_ASSIGN_OR_RETURN(MultiJoinEstimator grid,
+                              MultiJoinEstimator::Create(config, seed));
+    state.grid = std::move(grid);
   } else {
     MultiJoinHashConfig config;
     config.num_relations = spec.relations.size();
     config.num_tables = spec.num_tables;
     config.num_buckets = spec.num_buckets;
-    StatusOr<MultiJoinHashEstimator> hashed =
-        MultiJoinHashEstimator::Create(config, seed);
-    SKIMJOIN_RETURN_IF_ERROR(hashed.status());
-    state.hashed = *std::move(hashed);
+    SKIMJOIN_ASSIGN_OR_RETURN(MultiJoinHashEstimator hashed,
+                              MultiJoinHashEstimator::Create(config, seed));
+    state.hashed = std::move(hashed);
   }
   const QueryId id = next_query_id_++;
   chain_queries_.emplace(id, std::move(state));
@@ -531,6 +524,22 @@ StatusOr<int64_t> Engine::StreamElementCount(const std::string& stream) const {
   StatusOr<StreamId> id = FindStream(stream);
   SKIMJOIN_RETURN_IF_ERROR(id.status());
   return streams_[*id].element_count;
+}
+
+void Engine::Clear() {
+  streams_.clear();
+  stream_ids_.clear();
+  relations_.clear();
+  relation_ids_.clear();
+  join_queries_.clear();
+  frequency_queries_.clear();
+  distinct_queries_.clear();
+  topk_queries_.clear();
+  quantile_queries_.clear();
+  range_sum_queries_.clear();
+  chain_queries_.clear();
+  next_query_id_ = 1;
+  ingest_shards_ = 1;
 }
 
 }  // namespace query

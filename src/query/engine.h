@@ -17,6 +17,7 @@
 #define SKIMJOIN_QUERY_ENGINE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -29,6 +30,7 @@
 #include "core/top_k.h"
 #include "ingest/ingest_stats.h"
 #include "ingest/parallel_ingestor.h"
+#include "query/checkpoint.h"
 #include "query/multi_join.h"
 #include "query/multi_join_hash.h"
 #include "query/query.h"
@@ -171,6 +173,30 @@ class Engine {
   /// Net element count (inserts minus deletes) seen on a stream.
   StatusOr<int64_t> StreamElementCount(const std::string& stream) const;
 
+  /// Writes the engine's complete state — streams, relations, every query's
+  /// spec + seed, and each supported query's synopsis — to `path` as one
+  /// per-section-checksummed durable file, committed atomically (a crash
+  /// mid-save never clobbers an existing checkpoint at `path`). Queries
+  /// whose synopses cannot be serialized are recorded in the manifest as
+  /// unsupported. `metadata` is an arbitrary caller-owned map round-tripped
+  /// through RestoreCheckpoint. Defined in checkpoint.cc.
+  Status SaveCheckpoint(
+      const std::string& path,
+      const std::map<std::string, std::string>& metadata = {}) const;
+
+  /// Rebuilds this engine from a checkpoint written by SaveCheckpoint, so
+  /// that continued ingestion and every Answer* agree exactly with an
+  /// engine that never stopped. FAILED_PRECONDITION unless the engine is
+  /// empty. On failure the engine is left empty — never half-restored. See
+  /// RestoreOptions for strict vs. allow_partial semantics. Defined in
+  /// checkpoint.cc.
+  StatusOr<RestoreReport> RestoreCheckpoint(const std::string& path,
+                                            const RestoreOptions& options = {});
+
+  /// Drops every stream, relation, and query, returning the engine to its
+  /// freshly constructed state (ingest shards included).
+  void Clear();
+
   uint64_t num_streams() const { return streams_.size(); }
   uint64_t num_relations() const { return relations_.size(); }
   uint64_t num_queries() const {
@@ -188,7 +214,8 @@ class Engine {
   };
 
   /// A join (or self-join) query: the estimator pair plus the routing data
-  /// needed to feed it.
+  /// needed to feed it. Every query state also keeps the registration spec
+  /// and seed so SaveCheckpoint can record how to re-create the query.
   struct JoinQueryState {
     std::unique_ptr<core::JoinEstimatorPair> estimator;
     StreamId left;
@@ -197,6 +224,8 @@ class Engine {
     AggregateInput right_input;
     std::optional<RangePredicate> left_predicate;
     std::optional<RangePredicate> right_predicate;
+    JoinQuerySpec spec;
+    uint64_t seed = 0;
   };
 
   struct FrequencyQueryState {
@@ -206,24 +235,31 @@ class Engine {
     /// Lazily built sharded pipeline for this query's sketch; rebuilt when
     /// the engine's shard count changes.
     std::optional<ingest::ParallelIngestor<core::SkimmedSketch>> ingestor;
+    FrequencyQuerySpec spec;
+    uint64_t seed = 0;
   };
 
   struct DistinctQueryState {
     sketch::FmSketch sketch;
     StreamId stream;
     std::optional<RangePredicate> predicate;
+    DistinctCountQuerySpec spec;
+    uint64_t seed = 0;
   };
 
   struct TopKQueryState {
     core::TopKTracker tracker;
     StreamId stream;
     std::optional<RangePredicate> predicate;
+    TopKQuerySpec spec;
+    uint64_t seed = 0;
   };
 
   struct QuantileQueryState {
     stream::GkQuantileSummary summary;
     StreamId stream;
     std::optional<RangePredicate> predicate;
+    QuantileQuerySpec spec;
   };
 
   struct RangeSumQueryState {
@@ -231,6 +267,7 @@ class Engine {
     StreamId stream;
     uint64_t coefficient_budget;
     std::optional<RangePredicate> predicate;
+    RangeSumQuerySpec spec;
   };
 
   struct RelationState {
@@ -244,6 +281,8 @@ class Engine {
     std::optional<MultiJoinEstimator> grid;
     std::optional<MultiJoinHashEstimator> hashed;
     std::vector<StreamId> chain;  // relation ids, chain order
+    ChainJoinQuerySpec spec;
+    uint64_t seed = 0;
   };
 
   StatusOr<StreamId> FindStream(const std::string& name) const;

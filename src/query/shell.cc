@@ -1,5 +1,6 @@
 #include "query/shell.h"
 
+#include <map>
 #include <sstream>
 #include <vector>
 
@@ -12,7 +13,7 @@ namespace {
 
 constexpr char kHelpText[] =
     "commands: stream join selfjoin freq distinct topk top quantile phi "
-    "update load answer point heavy count seed help quit";
+    "update load answer point heavy count seed checkpoint restore help quit";
 
 bool ParseEstimatorKind(const std::string& name, core::EstimatorKind* kind) {
   for (core::EstimatorKind candidate :
@@ -357,6 +358,87 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
       out << ' ' << value << ':' << frequency;
     }
     out << "\n";
+    return true;
+  }
+  if (command == "checkpoint") {
+    std::string path;
+    if (!(fields >> path)) {
+      Error(out, "usage: checkpoint <path>");
+      return true;
+    }
+    // The engine checkpoint carries arbitrary metadata; stash the shell's
+    // query-name maps there so names survive a save/restore round trip.
+    std::map<std::string, std::string> metadata;
+    const auto save_names =
+        [&metadata](const std::string& kind,
+                    const std::unordered_map<std::string, QueryId>& names) {
+          for (const auto& [name, id] : names) {
+            metadata["shell." + kind + "." + name] = std::to_string(id);
+          }
+        };
+    save_names("join", join_query_names_);
+    save_names("freq", frequency_query_names_);
+    save_names("distinct", distinct_query_names_);
+    save_names("topk", topk_query_names_);
+    save_names("quantile", quantile_query_names_);
+    const Status status = engine_.SaveCheckpoint(path, metadata);
+    if (!status.ok()) {
+      Error(out, status);
+      return true;
+    }
+    Ok(out);
+    return true;
+  }
+  if (command == "restore") {
+    std::string path, mode;
+    if (!(fields >> path)) {
+      Error(out, "usage: restore <path> [partial]");
+      return true;
+    }
+    RestoreOptions options;
+    if (fields >> mode) {
+      if (mode != "partial") {
+        Error(out, "usage: restore <path> [partial]");
+        return true;
+      }
+      options.allow_partial = true;
+    }
+    StatusOr<RestoreReport> report = engine_.RestoreCheckpoint(path, options);
+    if (!report.ok()) {
+      Error(out, report.status());
+      return true;
+    }
+    join_query_names_.clear();
+    frequency_query_names_.clear();
+    distinct_query_names_.clear();
+    topk_query_names_.clear();
+    quantile_query_names_.clear();
+    for (const auto& [key, value] : report->metadata) {
+      if (key.rfind("shell.", 0) != 0) continue;
+      const size_t kind_end = key.find('.', 6);
+      if (kind_end == std::string::npos) continue;
+      const std::string kind = key.substr(6, kind_end - 6);
+      const std::string name = key.substr(kind_end + 1);
+      QueryId id = 0;
+      std::istringstream id_in(value);
+      if (name.empty() || !(id_in >> id)) continue;
+      if (kind == "join") {
+        join_query_names_.emplace(name, id);
+      } else if (kind == "freq") {
+        frequency_query_names_.emplace(name, id);
+      } else if (kind == "distinct") {
+        distinct_query_names_.emplace(name, id);
+      } else if (kind == "topk") {
+        topk_query_names_.emplace(name, id);
+      } else if (kind == "quantile") {
+        quantile_query_names_.emplace(name, id);
+      }
+    }
+    if (report->lost.empty()) {
+      Ok(out);
+    } else {
+      OkValue(out, "lost " + std::to_string(report->lost.size()));
+    }
     return true;
   }
   if (command == "count") {

@@ -20,6 +20,10 @@
 //   heavy <q> <threshold>                     heavy hitters above threshold
 //   count <stream>                            net elements seen
 //   seed <n>                                  seed for subsequent queries
+//   checkpoint <path>                         save engine + query names
+//   restore <path> [partial]                  restore a checkpoint into an
+//                                             empty shell (`partial` keeps
+//                                             whatever sections are intact)
 //   help                                      print this list
 //
 // Every command answers on one line: "ok[ <payload>]" or "error: <reason>".

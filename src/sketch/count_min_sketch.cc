@@ -1,7 +1,9 @@
 #include "sketch/count_min_sketch.h"
 
 #include <algorithm>
+#include <string>
 
+#include "sketch/serial_limits.h"
 #include "sketch/sketch_seed.h"
 #include "util/logging.h"
 
@@ -70,6 +72,45 @@ bool CountMinSketch::CompatibleWith(const CountMinSketch& other) const {
   return config_.num_tables == other.config_.num_tables &&
          config_.num_buckets == other.config_.num_buckets &&
          seed_ == other.seed_;
+}
+
+Status CountMinSketch::SerializeTo(std::ostream& out) const {
+  out << "skimjoin.count_min v1\n"
+      << config_.num_tables << ' ' << config_.num_buckets << ' ' << seed_
+      << '\n';
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    out << counters_[i] << (i + 1 == counters_.size() ? '\n' : ' ');
+  }
+  out << "end\n";
+  if (!out) return IoError("Count-Min serialization failed");
+  return OkStatus();
+}
+
+StatusOr<CountMinSketch> CountMinSketch::DeserializeFrom(std::istream& in) {
+  std::string tag, version;
+  if (!(in >> tag >> version) || tag != "skimjoin.count_min" ||
+      version != "v1") {
+    return InvalidArgumentError("not a skimjoin count-min v1 record");
+  }
+  CountMinConfig config;
+  uint64_t seed = 0;
+  if (!(in >> config.num_tables >> config.num_buckets >> seed)) {
+    return InvalidArgumentError("malformed count-min header");
+  }
+  SKIMJOIN_RETURN_IF_ERROR(CheckDeserializeDims(
+      config.num_tables, config.num_buckets, "count-min"));
+  StatusOr<CountMinSketch> sketch = CountMinSketch::Create(config, seed);
+  SKIMJOIN_RETURN_IF_ERROR(sketch.status());
+  for (int64_t& counter : sketch->counters_) {
+    if (!(in >> counter)) {
+      return InvalidArgumentError("truncated count-min counter block");
+    }
+  }
+  std::string sentinel;
+  if (!(in >> sentinel) || sentinel != "end") {
+    return InvalidArgumentError("count-min record missing its end sentinel");
+  }
+  return sketch;
 }
 
 StatusOr<double> CountMinSketch::EstimateJoinSize(const CountMinSketch& f,

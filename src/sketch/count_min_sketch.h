@@ -12,6 +12,8 @@
 #define SKIMJOIN_SKETCH_COUNT_MIN_SKETCH_H_
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <span>
 #include <vector>
 
@@ -66,7 +68,16 @@ class CountMinSketch {
 
   bool CompatibleWith(const CountMinSketch& other) const;
 
+  /// Writes a self-describing text record (config, seed, counters); hash
+  /// families are reconstructed from (config, seed) on deserialization.
+  Status SerializeTo(std::ostream& out) const;
+
+  /// Reads a record written by SerializeTo. INVALID_ARGUMENT on a malformed
+  /// or truncated record.
+  static StatusOr<CountMinSketch> DeserializeFrom(std::istream& in);
+
   const CountMinConfig& config() const { return config_; }
+  uint64_t seed() const { return seed_; }
 
  private:
   CountMinSketch(const CountMinConfig& config, uint64_t seed);

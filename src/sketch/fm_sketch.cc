@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "sketch/serial_limits.h"
 #include "sketch/sketch_seed.h"
 #include "util/logging.h"
 
@@ -58,6 +60,43 @@ void FmSketch::Merge(const FmSketch& other) {
   for (size_t i = 0; i < counters_.size(); ++i) {
     counters_[i] += other.counters_[i];
   }
+}
+
+Status FmSketch::SerializeTo(std::ostream& out) const {
+  out << "skimjoin.fm_sketch v1\n" << num_maps_ << ' ' << seed_ << '\n';
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    out << counters_[i] << (i + 1 == counters_.size() ? '\n' : ' ');
+  }
+  out << "end\n";
+  if (!out) return IoError("FM-sketch serialization failed");
+  return OkStatus();
+}
+
+StatusOr<FmSketch> FmSketch::DeserializeFrom(std::istream& in) {
+  std::string tag, version;
+  if (!(in >> tag >> version) || tag != "skimjoin.fm_sketch" ||
+      version != "v1") {
+    return InvalidArgumentError("not a skimjoin fm-sketch v1 record");
+  }
+  uint64_t num_maps = 0;
+  uint64_t seed = 0;
+  if (!(in >> num_maps >> seed)) {
+    return InvalidArgumentError("malformed fm-sketch header");
+  }
+  SKIMJOIN_RETURN_IF_ERROR(
+      CheckDeserializeDims(num_maps, kPositions, "fm-sketch"));
+  StatusOr<FmSketch> sketch = FmSketch::Create(num_maps, seed);
+  SKIMJOIN_RETURN_IF_ERROR(sketch.status());
+  for (int64_t& counter : sketch->counters_) {
+    if (!(in >> counter)) {
+      return InvalidArgumentError("truncated fm-sketch counter block");
+    }
+  }
+  std::string sentinel;
+  if (!(in >> sentinel) || sentinel != "end") {
+    return InvalidArgumentError("fm-sketch record missing its end sentinel");
+  }
+  return sketch;
 }
 
 double FmSketch::EstimateDistinctCount() const {

@@ -15,6 +15,8 @@
 #define SKIMJOIN_SKETCH_FM_SKETCH_H_
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <vector>
 
 #include "hashing/kwise_hash.h"
@@ -55,6 +57,14 @@ class FmSketch {
   bool CompatibleWith(const FmSketch& other) const {
     return num_maps_ == other.num_maps_ && seed_ == other.seed_;
   }
+
+  /// Writes a self-describing text record (num_maps, seed, counters); hash
+  /// families are reconstructed from the seed on deserialization.
+  Status SerializeTo(std::ostream& out) const;
+
+  /// Reads a record written by SerializeTo. INVALID_ARGUMENT on a malformed
+  /// or truncated record.
+  static StatusOr<FmSketch> DeserializeFrom(std::istream& in);
 
  private:
   static constexpr uint64_t kPositions = 64;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "util/logging.h"
 
@@ -62,6 +64,66 @@ void GkQuantileSummary::Compress() {
   }
   compressed.push_back(tuples_.back());
   tuples_ = std::move(compressed);
+}
+
+Status GkQuantileSummary::SerializeTo(std::ostream& out) const {
+  const auto saved_precision = out.precision();
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "skimjoin.gk_quantiles v1\n"
+      << epsilon_ << ' ' << count_ << ' ' << tuples_.size() << '\n';
+  out.precision(saved_precision);
+  for (const Tuple& tuple : tuples_) {
+    out << tuple.value << ' ' << tuple.g << ' ' << tuple.delta << '\n';
+  }
+  out << "end\n";
+  if (!out) return IoError("GK-quantile serialization failed");
+  return OkStatus();
+}
+
+StatusOr<GkQuantileSummary> GkQuantileSummary::DeserializeFrom(
+    std::istream& in) {
+  std::string tag, version;
+  if (!(in >> tag >> version) || tag != "skimjoin.gk_quantiles" ||
+      version != "v1") {
+    return InvalidArgumentError("not a skimjoin gk-quantiles v1 record");
+  }
+  double epsilon = 0.0;
+  int64_t count = 0;
+  uint64_t tuple_count = 0;
+  if (!(in >> epsilon >> count >> tuple_count)) {
+    return InvalidArgumentError("malformed gk-quantiles header");
+  }
+  StatusOr<GkQuantileSummary> summary = GkQuantileSummary::Create(epsilon);
+  SKIMJOIN_RETURN_IF_ERROR(summary.status());
+  // Each insert adds at most one tuple and compression only removes, so a
+  // valid record never holds more tuples than observations — this bound
+  // caps the read before any allocation.
+  if (count < 0 || tuple_count > static_cast<uint64_t>(count)) {
+    return InvalidArgumentError("gk-quantiles record has a bad tuple count");
+  }
+  summary->count_ = count;
+  summary->tuples_.reserve(tuple_count);
+  uint64_t previous_value = 0;
+  for (uint64_t i = 0; i < tuple_count; ++i) {
+    Tuple tuple{};
+    if (!(in >> tuple.value >> tuple.g >> tuple.delta)) {
+      return InvalidArgumentError("truncated gk-quantiles tuple block");
+    }
+    if (i > 0 && tuple.value < previous_value) {
+      return InvalidArgumentError("gk-quantiles tuples out of order");
+    }
+    if (tuple.g < 0 || tuple.delta < 0) {
+      return InvalidArgumentError("gk-quantiles tuple has negative ranks");
+    }
+    previous_value = tuple.value;
+    summary->tuples_.push_back(tuple);
+  }
+  std::string sentinel;
+  if (!(in >> sentinel) || sentinel != "end") {
+    return InvalidArgumentError(
+        "gk-quantiles record missing its end sentinel");
+  }
+  return summary;
 }
 
 StatusOr<uint64_t> GkQuantileSummary::Quantile(double phi) const {

@@ -16,6 +16,8 @@
 #define SKIMJOIN_STREAM_GK_QUANTILES_H_
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <vector>
 
 #include "util/status.h"
@@ -45,6 +47,13 @@ class GkQuantileSummary {
   uint64_t summary_size() const { return tuples_.size(); }
 
   double epsilon() const { return epsilon_; }
+
+  /// Writes a self-describing text record (epsilon, count, tuples).
+  Status SerializeTo(std::ostream& out) const;
+
+  /// Reads a record written by SerializeTo. INVALID_ARGUMENT on a malformed
+  /// or truncated record.
+  static StatusOr<GkQuantileSummary> DeserializeFrom(std::istream& in);
 
  private:
   struct Tuple {

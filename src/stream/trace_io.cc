@@ -1,23 +1,24 @@
 #include "stream/trace_io.h"
 
-#include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#include "util/durable_file.h"
 
 namespace skimjoin {
 namespace stream {
 
 Status WriteTrace(const std::string& path,
                   const std::vector<StreamElement>& elements) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return IoError("cannot open trace file for writing: " + path);
+  // Build the whole trace in memory and commit it atomically: a crash (or
+  // injected I/O failure) mid-write leaves any previous trace at `path`
+  // intact rather than a torn half-file.
+  std::ostringstream out;
   out << "# skimjoin trace v1: <value> <weight>\n";
   for (const StreamElement& e : elements) {
     out << e.value << ' ' << e.weight << '\n';
   }
-  out.flush();
-  if (!out) return IoError("write failed for trace file: " + path);
-  return OkStatus();
+  return util::AtomicWriteFile(path, out.str());
 }
 
 StatusOr<std::vector<StreamElement>> ReadTrace(const std::string& path) {

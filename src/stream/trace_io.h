@@ -15,7 +15,9 @@
 namespace skimjoin {
 namespace stream {
 
-/// Writes `elements` to `path`, overwriting any existing file.
+/// Writes `elements` to `path`, atomically replacing any existing file
+/// (util::AtomicWriteFile: temp → fsync → rename): an interrupted write
+/// never leaves a torn trace behind.
 Status WriteTrace(const std::string& path,
                   const std::vector<StreamElement>& elements);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "util/logging.h"
 
@@ -118,6 +120,58 @@ StatusOr<double> WaveletSynopsis::RangeSum(uint64_t lo, uint64_t hi) const {
                       static_cast<double>(right_overlap));
   }
   return total;
+}
+
+Status WaveletSynopsis::SerializeTo(std::ostream& out) const {
+  out << "skimjoin.wavelet v1\n"
+      << domain_size_ << ' ' << coefficients_.size() << '\n';
+  const auto saved_precision = out.precision();
+  out.precision(std::numeric_limits<double>::max_digits10);
+  for (const auto& [index, value] : coefficients_) {
+    out << index << ' ' << value << '\n';
+  }
+  out.precision(saved_precision);
+  out << "end\n";
+  if (!out) return IoError("wavelet serialization failed");
+  return OkStatus();
+}
+
+StatusOr<WaveletSynopsis> WaveletSynopsis::DeserializeFrom(std::istream& in) {
+  std::string tag, version;
+  if (!(in >> tag >> version) || tag != "skimjoin.wavelet" ||
+      version != "v1") {
+    return InvalidArgumentError("not a skimjoin wavelet v1 record");
+  }
+  uint64_t domain_size = 0;
+  uint64_t coefficient_count = 0;
+  if (!(in >> domain_size >> coefficient_count)) {
+    return InvalidArgumentError("malformed wavelet header");
+  }
+  StatusOr<WaveletSynopsis> synopsis = WaveletSynopsis::Create(domain_size);
+  SKIMJOIN_RETURN_IF_ERROR(synopsis.status());
+  // Coefficient indices live in [0, domain_size), so a valid record never
+  // holds more than domain_size coefficients — caps the read up front.
+  if (coefficient_count > domain_size) {
+    return InvalidArgumentError("wavelet record has a bad coefficient count");
+  }
+  for (uint64_t i = 0; i < coefficient_count; ++i) {
+    uint64_t index = 0;
+    double value = 0.0;
+    if (!(in >> index >> value)) {
+      return InvalidArgumentError("truncated wavelet coefficient block");
+    }
+    if (index >= domain_size) {
+      return InvalidArgumentError("wavelet coefficient index out of range");
+    }
+    if (!synopsis->coefficients_.emplace(index, value).second) {
+      return InvalidArgumentError("wavelet record has a duplicate index");
+    }
+  }
+  std::string sentinel;
+  if (!(in >> sentinel) || sentinel != "end") {
+    return InvalidArgumentError("wavelet record missing its end sentinel");
+  }
+  return synopsis;
 }
 
 double WaveletSynopsis::NormalizationOf(uint64_t index) const {

@@ -15,7 +15,9 @@
 #define SKIMJOIN_STREAM_WAVELET_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <istream>
+#include <map>
+#include <ostream>
 #include <utility>
 #include <vector>
 
@@ -60,6 +62,13 @@ class WaveletSynopsis {
 
   uint64_t domain_size() const { return domain_size_; }
 
+  /// Writes a self-describing text record (domain size, coefficients).
+  Status SerializeTo(std::ostream& out) const;
+
+  /// Reads a record written by SerializeTo. INVALID_ARGUMENT on a malformed
+  /// or truncated record.
+  static StatusOr<WaveletSynopsis> DeserializeFrom(std::istream& in);
+
  private:
   explicit WaveletSynopsis(uint64_t domain_size);
 
@@ -77,8 +86,11 @@ class WaveletSynopsis {
   uint64_t domain_size_;
   uint64_t levels_;  // log2(domain_size)
   // Sparse coefficient store: index 0 = average; detail coefficient for
-  // node j (1-based heap numbering) at key j.
-  std::unordered_map<uint64_t, double> coefficients_;
+  // node j (1-based heap numbering) at key j. Ordered map so RangeSum
+  // accumulates coefficients in a deterministic order — floating-point
+  // addition does not commute across orders, and checkpoint restore
+  // promises bit-identical answers.
+  std::map<uint64_t, double> coefficients_;
 };
 
 }  // namespace stream

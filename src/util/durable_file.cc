@@ -1,0 +1,430 @@
+#include "util/durable_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/failpoint.h"
+
+namespace skimjoin {
+namespace util {
+
+namespace {
+
+constexpr char kMagic[] = "skimjoin.durable v1\n";
+constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+constexpr char kEndSectionName[] = "__end__";
+constexpr size_t kFrameHeaderLen = 12;  // name_len, payload_len, crc
+
+// ---- CRC32C, slice-by-8 ------------------------------------------------
+//
+// Castagnoli polynomial, reflected form 0x82F63B78. Table 0 is the classic
+// byte-at-a-time table; table t folds a byte that sits t positions deeper
+// in the message, so eight table lookups advance the CRC by eight bytes.
+
+struct Crc32cTables {
+  uint32_t t[8][256];
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (int table = 1; table < 8; ++table) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        t[table][i] = (t[table - 1][i] >> 8) ^ t[0][t[table - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables* tables = new Crc32cTables;
+  return *tables;
+}
+
+inline uint32_t LoadLe32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void AppendLe32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+// Directory part of `path` ("." when the path has no slash), for the
+// post-rename directory fsync.
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status FsyncDir(const std::string& dir) {
+  SKIMJOIN_RETURN_IF_ERROR(failpoint::Check("durable:dir-fsync"));
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return IoError("cannot open directory for fsync: " + dir + ": " +
+                   std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return IoError("directory fsync failed: " + dir + ": " +
+                   std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data, uint32_t crc) {
+  const Crc32cTables& tables = Tables();
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  size_t n = data.size();
+  crc = ~crc;
+  while (n >= 8) {
+    const uint32_t low = crc ^ LoadLe32(p);
+    const uint32_t high = LoadLe32(p + 4);
+    crc = tables.t[7][low & 0xFF] ^ tables.t[6][(low >> 8) & 0xFF] ^
+          tables.t[5][(low >> 16) & 0xFF] ^ tables.t[4][low >> 24] ^
+          tables.t[3][high & 0xFF] ^ tables.t[2][(high >> 8) & 0xFF] ^
+          tables.t[1][(high >> 16) & 0xFF] ^ tables.t[0][high >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ tables.t[0][(crc ^ *p++) & 0xFF];
+  }
+  return ~crc;
+}
+
+// ---- DurableFileWriter -------------------------------------------------
+
+DurableFileWriter::DurableFileWriter(std::string path, std::string temp_path,
+                                     int fd)
+    : path_(std::move(path)), temp_path_(std::move(temp_path)), fd_(fd) {}
+
+DurableFileWriter::DurableFileWriter(DurableFileWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      temp_path_(std::move(other.temp_path_)),
+      fd_(other.fd_),
+      section_count_(other.section_count_),
+      committed_(other.committed_),
+      abandoned_(other.abandoned_),
+      failed_(std::move(other.failed_)) {
+  other.fd_ = -1;
+  other.committed_ = true;  // moved-from shell must not clean up
+}
+
+DurableFileWriter& DurableFileWriter::operator=(
+    DurableFileWriter&& other) noexcept {
+  if (this != &other) {
+    CloseFd();
+    if (!committed_ && !abandoned_ && !temp_path_.empty()) {
+      std::remove(temp_path_.c_str());
+    }
+    path_ = std::move(other.path_);
+    temp_path_ = std::move(other.temp_path_);
+    fd_ = other.fd_;
+    section_count_ = other.section_count_;
+    committed_ = other.committed_;
+    abandoned_ = other.abandoned_;
+    failed_ = std::move(other.failed_);
+    other.fd_ = -1;
+    other.committed_ = true;
+  }
+  return *this;
+}
+
+DurableFileWriter::~DurableFileWriter() {
+  CloseFd();
+  // A simulated crash (Abandon) leaves the temp file exactly as the crash
+  // left it; a plain failure or an unfinished writer cleans up.
+  if (!committed_ && !abandoned_ && !temp_path_.empty()) {
+    std::remove(temp_path_.c_str());
+  }
+}
+
+void DurableFileWriter::CloseFd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<DurableFileWriter> DurableFileWriter::Create(
+    const std::string& path) {
+  if (path.empty()) {
+    return InvalidArgumentError("durable file path must be non-empty");
+  }
+  SKIMJOIN_RETURN_IF_ERROR(failpoint::Check("durable:open-temp"));
+  std::string temp_path = path + ".tmp";
+  const int fd =
+      ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return IoError("cannot open temp file for writing: " + temp_path + ": " +
+                   std::strerror(errno));
+  }
+  DurableFileWriter writer(path, std::move(temp_path), fd);
+  SKIMJOIN_RETURN_IF_ERROR(
+      writer.WriteRaw(std::string_view(kMagic, kMagicLen)));
+  return writer;
+}
+
+Status DurableFileWriter::WriteRaw(std::string_view bytes) {
+  if (!failed_.ok()) return failed_;
+  const failpoint::internal::WriteOutcome outcome =
+      failpoint::CheckWrite("durable:append", bytes.size());
+  const char* p = bytes.data();
+  size_t remaining = outcome.allowed_bytes;
+  while (remaining > 0) {
+    const ssize_t written = ::write(fd_, p, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      failed_ = IoError("write failed for " + temp_path_ + ": " +
+                        std::strerror(errno));
+      return failed_;
+    }
+    p += written;
+    remaining -= static_cast<size_t>(written);
+  }
+  if (!outcome.status.ok()) {
+    failed_ = outcome.status;
+    if (failpoint::IsSimulatedCrash(outcome.status)) Abandon();
+    return failed_;
+  }
+  return OkStatus();
+}
+
+Status DurableFileWriter::AppendSection(std::string_view name,
+                                        std::string_view payload) {
+  if (!failed_.ok()) return failed_;
+  if (committed_) {
+    return FailedPreconditionError("durable file already committed");
+  }
+  if (name.empty() || name.size() > kMaxNameLen) {
+    return InvalidArgumentError(
+        "durable section name must be 1.." + std::to_string(kMaxNameLen) +
+        " bytes");
+  }
+  if (name == kEndSectionName) {
+    return InvalidArgumentError("durable section name __end__ is reserved");
+  }
+  if (payload.size() > kMaxPayloadLen) {
+    return InvalidArgumentError("durable section payload too large");
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderLen + name.size() + payload.size());
+  AppendLe32(&frame, static_cast<uint32_t>(name.size()));
+  AppendLe32(&frame, static_cast<uint32_t>(payload.size()));
+  AppendLe32(&frame, Crc32c(payload, Crc32c(name)));
+  frame.append(name);
+  frame.append(payload);
+  SKIMJOIN_RETURN_IF_ERROR(WriteRaw(frame));
+  ++section_count_;
+  return OkStatus();
+}
+
+Status DurableFileWriter::Commit() {
+  if (!failed_.ok()) return failed_;
+  if (committed_) {
+    return FailedPreconditionError("durable file already committed");
+  }
+  // End marker: section count as the payload, framed and checksummed like
+  // every other section, so the reader can tell a complete file from any
+  // truncation — including one that ends exactly at a frame boundary.
+  const std::string count = std::to_string(section_count_);
+  std::string frame;
+  AppendLe32(&frame, static_cast<uint32_t>(sizeof(kEndSectionName) - 1));
+  AppendLe32(&frame, static_cast<uint32_t>(count.size()));
+  AppendLe32(&frame, Crc32c(count, Crc32c(kEndSectionName)));
+  frame.append(kEndSectionName);
+  frame.append(count);
+  SKIMJOIN_RETURN_IF_ERROR(WriteRaw(frame));
+
+  Status fp = failpoint::Check("durable:fsync");
+  if (!fp.ok()) {
+    failed_ = fp;
+    if (failpoint::IsSimulatedCrash(fp)) Abandon();
+    return failed_;
+  }
+  if (::fsync(fd_) != 0) {
+    failed_ = IoError("fsync failed for " + temp_path_ + ": " +
+                      std::strerror(errno));
+    return failed_;
+  }
+  CloseFd();
+
+  fp = failpoint::Check("durable:rename");
+  if (!fp.ok()) {
+    failed_ = fp;
+    if (failpoint::IsSimulatedCrash(fp)) Abandon();
+    return failed_;
+  }
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    failed_ = IoError("rename failed: " + temp_path_ + " -> " + path_ + ": " +
+                      std::strerror(errno));
+    return failed_;
+  }
+  committed_ = true;  // the data is in place even if the dir fsync fails
+  return FsyncDir(DirOf(path_));
+}
+
+void DurableFileWriter::Abandon() {
+  abandoned_ = true;
+  CloseFd();
+}
+
+// ---- DurableFileReader -------------------------------------------------
+
+DurableFileReader::DurableFileReader(std::ifstream in) : in_(std::move(in)) {}
+
+StatusOr<DurableFileReader> DurableFileReader::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return IoError("cannot open durable file for reading: " + path);
+  }
+  char magic[kMagicLen];
+  if (!in.read(magic, kMagicLen) ||
+      std::string_view(magic, kMagicLen) != std::string_view(kMagic)) {
+    return InvalidArgumentError("not a skimjoin durable file: " + path);
+  }
+  return DurableFileReader(std::move(in));
+}
+
+StatusOr<std::optional<DurableSection>> DurableFileReader::Next() {
+  if (end_seen_) return std::optional<DurableSection>();
+
+  unsigned char header[kFrameHeaderLen];
+  in_.read(reinterpret_cast<char*>(header), kFrameHeaderLen);
+  if (in_.gcount() == 0 && in_.eof()) {
+    return IoError(
+        "truncated durable file: end marker missing (file cut at a frame "
+        "boundary)");
+  }
+  if (static_cast<size_t>(in_.gcount()) != kFrameHeaderLen) {
+    return IoError("truncated durable file: partial frame header");
+  }
+  const uint32_t name_len = LoadLe32(header);
+  const uint32_t payload_len = LoadLe32(header + 4);
+  const uint32_t stored_crc = LoadLe32(header + 8);
+  if (name_len == 0 || name_len > DurableFileWriter::kMaxNameLen) {
+    return InvalidArgumentError("corrupt durable frame: bad name length");
+  }
+  if (payload_len > DurableFileWriter::kMaxPayloadLen) {
+    return InvalidArgumentError("corrupt durable frame: bad payload length");
+  }
+  DurableSection section;
+  section.name.resize(name_len);
+  if (!in_.read(section.name.data(), name_len)) {
+    return IoError("truncated durable file: partial section name");
+  }
+  section.payload.resize(payload_len);
+  if (payload_len > 0 && !in_.read(section.payload.data(), payload_len)) {
+    return IoError("truncated durable file: partial section payload");
+  }
+  const uint32_t computed = Crc32c(section.payload, Crc32c(section.name));
+  if (computed != stored_crc) {
+    return InvalidArgumentError("corrupt durable frame: CRC mismatch in '" +
+                                section.name + "'");
+  }
+  if (section.name == kEndSectionName) {
+    uint64_t declared = 0;
+    for (const char c : section.payload) {
+      if (c < '0' || c > '9') {
+        return InvalidArgumentError("corrupt durable end marker");
+      }
+      declared = declared * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (section.payload.empty() || declared != sections_read_) {
+      return InvalidArgumentError(
+          "durable end marker declares " + section.payload + " sections, " +
+          std::to_string(sections_read_) + " were read");
+    }
+    if (in_.peek() != std::ifstream::traits_type::eof()) {
+      return InvalidArgumentError("durable file has bytes after end marker");
+    }
+    end_seen_ = true;
+    return std::optional<DurableSection>();
+  }
+  ++sections_read_;
+  return std::optional<DurableSection>(std::move(section));
+}
+
+// ---- AtomicWriteFile ---------------------------------------------------
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  if (path.empty()) {
+    return InvalidArgumentError("atomic write path must be non-empty");
+  }
+  SKIMJOIN_RETURN_IF_ERROR(failpoint::Check("durable:open-temp"));
+  const std::string temp_path = path + ".tmp";
+  const int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return IoError("cannot open temp file for writing: " + temp_path + ": " +
+                   std::strerror(errno));
+  }
+
+  // On failure, clean the temp up — unless the failure simulates a crash,
+  // which leaves it behind exactly as a dead process would.
+  const auto fail = [&](Status status) {
+    ::close(fd);
+    if (!failpoint::IsSimulatedCrash(status)) std::remove(temp_path.c_str());
+    return status;
+  };
+
+  const failpoint::internal::WriteOutcome outcome =
+      failpoint::CheckWrite("durable:append", contents.size());
+  const char* p = contents.data();
+  size_t remaining = outcome.allowed_bytes;
+  while (remaining > 0) {
+    const ssize_t written = ::write(fd, p, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return fail(IoError("write failed for " + temp_path + ": " +
+                          std::strerror(errno)));
+    }
+    p += written;
+    remaining -= static_cast<size_t>(written);
+  }
+  if (!outcome.status.ok()) return fail(outcome.status);
+
+  Status fp = failpoint::Check("durable:fsync");
+  if (!fp.ok()) return fail(std::move(fp));
+  if (::fsync(fd) != 0) {
+    return fail(IoError("fsync failed for " + temp_path + ": " +
+                        std::strerror(errno)));
+  }
+  ::close(fd);
+
+  fp = failpoint::Check("durable:rename");
+  if (!fp.ok()) {
+    if (!failpoint::IsSimulatedCrash(fp)) std::remove(temp_path.c_str());
+    return fp;
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    const Status status = IoError("rename failed: " + temp_path + " -> " +
+                                  path + ": " + std::strerror(errno));
+    std::remove(temp_path.c_str());
+    return status;
+  }
+  return FsyncDir(DirOf(path));
+}
+
+}  // namespace util
+}  // namespace skimjoin

@@ -1,0 +1,147 @@
+// Crash-safe file writing: CRC-protected framed sections plus atomic
+// commit, the substrate of the engine checkpoint format (query/checkpoint)
+// and of atomic whole-file writes (stream::WriteTrace).
+//
+// Durability contract. A DurableFileWriter streams named sections into a
+// temp file (`<path>.tmp`); Commit() appends an end marker, flushes,
+// fsync()s, rename()s the temp over `path`, and fsync()s the parent
+// directory. POSIX rename is atomic, so at every instant `path` either
+// does not exist, holds the complete previous file, or holds the complete
+// new file — a crash at ANY point of the write leaves the previous file
+// untouched. The reader then detects every torn or corrupted outcome:
+//
+//   * each section frame carries its payload length and a CRC32C over
+//     name + payload, so bit flips and misframed reads fail the checksum;
+//   * the file ends with a dedicated end-marker section recording the
+//     section count, so truncation — even exactly at a frame boundary —
+//     is distinguishable from a clean end of file.
+//
+// Binary layout (little-endian u32s):
+//   "skimjoin.durable v1\n"
+//   repeat: [name_len][payload_len][crc32c(name||payload)][name][payload]
+//   final section: name = "__end__", payload = decimal section count
+//
+// Every step is instrumented with failpoints (util/failpoint.h):
+//   durable:open-temp   opening the temp file
+//   durable:append      each section write (supports torn writes)
+//   durable:fsync       the pre-rename fsync
+//   durable:rename      the atomic rename
+//   durable:dir-fsync   the parent-directory fsync
+// A simulated-crash firing abandons the temp file in place (no cleanup),
+// exactly as a real crash would.
+
+#ifndef SKIMJOIN_UTIL_DURABLE_FILE_H_
+#define SKIMJOIN_UTIL_DURABLE_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace skimjoin {
+namespace util {
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected), computed with the
+/// slice-by-8 table method — 8 bytes per iteration, no hardware intrinsics.
+/// `crc` chains calls: Crc32c(b, Crc32c(a)) == Crc32c(a || b).
+uint32_t Crc32c(std::string_view data, uint32_t crc = 0);
+
+/// One named section of a durable file.
+struct DurableSection {
+  std::string name;
+  std::string payload;
+};
+
+/// Streams checksummed sections into `<path>.tmp` and atomically commits
+/// them to `path`. Movable, not copyable. Destroying an uncommitted writer
+/// unlinks the temp file — unless a simulated crash fired, in which case
+/// the temp file is left exactly as the crash left it.
+class DurableFileWriter {
+ public:
+  /// Opens `<path>.tmp` (truncating any stale temp) and writes the magic.
+  static StatusOr<DurableFileWriter> Create(const std::string& path);
+
+  DurableFileWriter(DurableFileWriter&& other) noexcept;
+  DurableFileWriter& operator=(DurableFileWriter&& other) noexcept;
+  DurableFileWriter(const DurableFileWriter&) = delete;
+  DurableFileWriter& operator=(const DurableFileWriter&) = delete;
+  ~DurableFileWriter();
+
+  /// Appends one framed section. `name` must be non-empty, at most
+  /// kMaxNameLen bytes, and not the reserved end-marker name; `payload` at
+  /// most kMaxPayloadLen bytes. After any error the writer is dead: every
+  /// further call reports the first failure.
+  Status AppendSection(std::string_view name, std::string_view payload);
+
+  /// Appends the end marker, fsync()s, renames the temp file over `path`,
+  /// and fsync()s the parent directory. The writer is spent afterwards.
+  Status Commit();
+
+  /// Walks away from the temp file without unlinking it — the state a real
+  /// crash would leave. Used when a caller-level failpoint simulates a
+  /// crash between sections.
+  void Abandon();
+
+  /// Sections appended so far (excluding the end marker).
+  uint64_t section_count() const { return section_count_; }
+
+  static constexpr size_t kMaxNameLen = 1024;
+  static constexpr size_t kMaxPayloadLen = size_t{1} << 30;
+
+ private:
+  DurableFileWriter(std::string path, std::string temp_path, int fd);
+
+  /// Writes raw bytes through the torn-write failpoint; records the first
+  /// failure in failed_.
+  Status WriteRaw(std::string_view bytes);
+
+  void CloseFd();
+
+  std::string path_;
+  std::string temp_path_;
+  int fd_ = -1;
+  uint64_t section_count_ = 0;
+  bool committed_ = false;
+  bool abandoned_ = false;
+  Status failed_;  // first error, sticky
+};
+
+/// Reads a file written by DurableFileWriter, validating as it goes.
+class DurableFileReader {
+ public:
+  /// Opens `path` and validates the magic. IoError when the file cannot be
+  /// opened; InvalidArgument when it is not a durable file.
+  static StatusOr<DurableFileReader> Open(const std::string& path);
+
+  /// Returns the next section, or nullopt after the end marker has been
+  /// consumed and verified. IoError on truncation (including truncation
+  /// exactly at a frame boundary — the end marker is then missing) and
+  /// InvalidArgument on a corrupt frame (bad lengths, CRC mismatch,
+  /// section-count mismatch in the end marker, bytes after the end).
+  StatusOr<std::optional<DurableSection>> Next();
+
+  /// True once the end marker has been read and verified.
+  bool reached_end() const { return end_seen_; }
+
+ private:
+  explicit DurableFileReader(std::ifstream in);
+
+  std::ifstream in_;
+  uint64_t sections_read_ = 0;
+  bool end_seen_ = false;
+};
+
+/// Atomically replaces `path` with `contents` (raw bytes, no framing):
+/// temp file → flush → fsync → rename → parent-dir fsync. A crash at any
+/// point leaves either the old file or the new file, never a torn mix.
+/// Threaded through the same durable:* failpoints as DurableFileWriter.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+}  // namespace util
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_UTIL_DURABLE_FILE_H_

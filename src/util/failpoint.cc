@@ -1,0 +1,144 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace skimjoin {
+namespace failpoint {
+
+namespace {
+
+// Message prefix that tags a status as a simulated crash. Chosen to be
+// specific enough that no production error message collides with it.
+constexpr char kCrashPrefix[] = "simulated crash at failpoint ";
+
+struct Entry {
+  Spec spec;
+  uint64_t hits = 0;    // evaluations while active
+  uint64_t fired = 0;   // evaluations that injected a failure
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Entry> entries;
+  // Hit counts survive deactivation so tests can assert a hook was reached
+  // even after DeactivateAll.
+  std::unordered_map<std::string, uint64_t> retired_hits;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+Status MakeStatus(const char* name, const Entry& entry) {
+  if (entry.spec.mode == Mode::kCrash) {
+    std::string message = std::string(kCrashPrefix) + name;
+    if (!entry.spec.message.empty()) message += ": " + entry.spec.message;
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  std::string message = std::string("failpoint ") + name + " fired";
+  if (!entry.spec.message.empty()) message += ": " + entry.spec.message;
+  const StatusCode code = entry.spec.mode == Mode::kTornWrite
+                              ? StatusCode::kIoError
+                              : entry.spec.code;
+  return Status(code, std::move(message));
+}
+
+// Returns nullptr when the failpoint should pass; otherwise the entry to
+// build the injected failure from. Caller holds the registry mutex.
+Entry* Evaluate(Registry& registry, const char* name) {
+  const auto it = registry.entries.find(name);
+  if (it == registry.entries.end()) return nullptr;
+  Entry& entry = it->second;
+  ++entry.hits;
+  if (entry.hits <= entry.spec.skip) return nullptr;
+  if (entry.fired >= entry.spec.limit) return nullptr;
+  ++entry.fired;
+  return &entry;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<uint64_t> g_active_count{0};
+
+Status CheckSlow(const char* name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  Entry* entry = Evaluate(registry, name);
+  if (entry == nullptr) return OkStatus();
+  return MakeStatus(name, *entry);
+}
+
+WriteOutcome CheckWriteSlow(const char* name, size_t intended_bytes) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  Entry* entry = Evaluate(registry, name);
+  if (entry == nullptr) return {intended_bytes, OkStatus()};
+  size_t allowed = 0;
+  if (entry->spec.mode == Mode::kTornWrite ||
+      entry->spec.mode == Mode::kCrash) {
+    allowed = std::min<size_t>(entry->spec.torn_bytes, intended_bytes);
+  }
+  return {allowed, MakeStatus(name, *entry)};
+}
+
+}  // namespace internal
+
+void Activate(const std::string& name, Spec spec) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto [it, inserted] = registry.entries.insert_or_assign(name, Entry{spec});
+  (void)it;
+  if (inserted) {
+    internal::g_active_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Deactivate(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.entries.find(name);
+  if (it == registry.entries.end()) return;
+  registry.retired_hits[name] += it->second.hits;
+  registry.entries.erase(it);
+  internal::g_active_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DeactivateAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& [name, entry] : registry.entries) {
+    registry.retired_hits[name] += entry.hits;
+  }
+  internal::g_active_count.fetch_sub(registry.entries.size(),
+                                     std::memory_order_relaxed);
+  registry.entries.clear();
+}
+
+uint64_t HitCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  uint64_t hits = 0;
+  if (const auto it = registry.retired_hits.find(name);
+      it != registry.retired_hits.end()) {
+    hits += it->second;
+  }
+  if (const auto it = registry.entries.find(name);
+      it != registry.entries.end()) {
+    hits += it->second.hits;
+  }
+  return hits;
+}
+
+bool IsSimulatedCrash(const Status& status) {
+  return !status.ok() &&
+         status.message().rfind(kCrashPrefix, 0) == 0;
+}
+
+}  // namespace failpoint
+}  // namespace skimjoin

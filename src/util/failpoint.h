@@ -1,0 +1,127 @@
+// Named failpoints for fault-injection testing of I/O and recovery paths.
+//
+// A failpoint is a named hook compiled into production code paths
+// (checkpoint writing, durable-file commit, trace I/O). Tests activate a
+// failpoint by name to inject an error Status, a torn (short) write, or a
+// simulated crash at that exact point; when nothing is active the hooks
+// cost one relaxed atomic load and no branches taken — they are compiled
+// in always, never #ifdef'd, so the tested code IS the shipped code.
+//
+// Usage (test side):
+//   failpoint::Spec spec;
+//   spec.mode = failpoint::Mode::kCrash;
+//   spec.skip = 2;                       // let two hits pass first
+//   failpoint::Activate("durable:rename", spec);
+//   ... drive the code under test; the third rename attempt "crashes" ...
+//   failpoint::DeactivateAll();
+//
+// Usage (production side):
+//   SKIMJOIN_RETURN_IF_ERROR(failpoint::Check("checkpoint:after-header"));
+// or, on a write path that supports torn writes:
+//   auto outcome = failpoint::CheckWrite("durable:append", bytes.size());
+//   write(fd, bytes.data(), outcome.allowed_bytes);
+//   SKIMJOIN_RETURN_IF_ERROR(outcome.status);
+//
+// A "crash" failpoint does not abort the process (tests must keep
+// running); it returns an IoError whose message marks it as a simulated
+// crash (IsSimulatedCrash). I/O layers treat that status like a kill -9 at
+// that instruction: stop all work, leave any temp files exactly as they
+// are (no cleanup), and surface the error — so tests can assert that
+// recovery works from the bytes a real crash would have left behind.
+
+#ifndef SKIMJOIN_UTIL_FAILPOINT_H_
+#define SKIMJOIN_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace skimjoin {
+namespace failpoint {
+
+/// What an activated failpoint injects when it fires.
+enum class Mode {
+  /// Check/CheckWrite returns an error Status (spec.code / spec.message);
+  /// on a write path nothing is written.
+  kError,
+  /// CheckWrite lets the first `torn_bytes` bytes of the write through and
+  /// then fails — a torn write. On non-write Check hooks, same as kError.
+  kTornWrite,
+  /// Simulated process death at this point: an IoError marked as a crash
+  /// (IsSimulatedCrash returns true). On write paths, `torn_bytes` bytes
+  /// are let through first, modeling a crash mid-write at that offset.
+  kCrash,
+};
+
+/// Activation parameters for one named failpoint.
+struct Spec {
+  Mode mode = Mode::kError;
+  /// Code of the injected Status (kError mode only; crashes are kIoError).
+  StatusCode code = StatusCode::kIoError;
+  /// Extra context appended to the generated error message.
+  std::string message;
+  /// Evaluations that pass through unharmed before the failpoint starts
+  /// firing (e.g. skip = 2 lets the first two sections be written).
+  uint64_t skip = 0;
+  /// Maximum number of firings; evaluations beyond skip + limit pass again.
+  uint64_t limit = UINT64_MAX;
+  /// kTornWrite / kCrash on a write path: bytes of the intended write that
+  /// reach the file before the failure.
+  uint64_t torn_bytes = 0;
+};
+
+/// Activates (or re-activates, resetting counters) the named failpoint.
+/// Thread-safe.
+void Activate(const std::string& name, Spec spec);
+
+/// Deactivates one failpoint. No-op if it is not active.
+void Deactivate(const std::string& name);
+
+/// Deactivates every failpoint. Tests call this in TearDown so a failed
+/// assertion never leaks activations into the next test.
+void DeactivateAll();
+
+/// Times the named failpoint has been evaluated while active (including
+/// skipped and exhausted evaluations). 0 when never activated.
+uint64_t HitCount(const std::string& name);
+
+/// True when `status` was injected by a kCrash failpoint.
+bool IsSimulatedCrash(const Status& status);
+
+namespace internal {
+extern std::atomic<uint64_t> g_active_count;
+Status CheckSlow(const char* name);
+struct WriteOutcome {
+  size_t allowed_bytes;
+  Status status;
+};
+WriteOutcome CheckWriteSlow(const char* name, size_t intended_bytes);
+}  // namespace internal
+
+/// Production hook: OK unless the named failpoint is active and due to
+/// fire. Zero-cost (one relaxed load) while no failpoint is active.
+inline Status Check(const char* name) {
+  if (internal::g_active_count.load(std::memory_order_relaxed) == 0) {
+    return OkStatus();
+  }
+  return internal::CheckSlow(name);
+}
+
+/// Production hook for write paths: how many of `intended_bytes` to
+/// actually write, and the status to report afterwards. Full write + OK
+/// unless the named failpoint is active and due to fire.
+inline internal::WriteOutcome CheckWrite(const char* name,
+                                         size_t intended_bytes) {
+  if (internal::g_active_count.load(std::memory_order_relaxed) == 0) {
+    return {intended_bytes, OkStatus()};
+  }
+  return internal::CheckWriteSlow(name, intended_bytes);
+}
+
+}  // namespace failpoint
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_UTIL_FAILPOINT_H_

@@ -13,6 +13,8 @@
 #include <utility>
 #include <variant>
 
+#include "util/logging.h"
+
 namespace skimjoin {
 
 /// Machine-readable classification of a failure.
@@ -89,8 +91,13 @@ class StatusOr {
   /// Implicit conversion from a value: `return T{...};` works directly.
   StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
 
-  /// Implicit conversion from an error Status. `status` must not be OK.
-  StatusOr(Status status) : rep_(std::move(status)) {}  // NOLINT
+  /// Implicit conversion from an error Status. Passing an OK status is a
+  /// programming error (the object would claim success while holding no
+  /// value) and aborts.
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    SKIMJOIN_CHECK(!std::get<Status>(rep_).ok())
+        << "StatusOr<T> constructed from an OK Status (no value)";
+  }
 
   bool ok() const { return std::holds_alternative<T>(rep_); }
 
@@ -100,10 +107,20 @@ class StatusOr {
     return std::get<Status>(rep_);
   }
 
-  /// Pre-condition: ok().
-  const T& value() const& { return std::get<T>(rep_); }
-  T& value() & { return std::get<T>(rep_); }
-  T&& value() && { return std::get<T>(std::move(rep_)); }
+  /// Pre-condition: ok(). Accessing the value of an error StatusOr aborts
+  /// after printing the held status.
+  const T& value() const& {
+    EnsureOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    EnsureOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::get<T>(std::move(rep_));
+  }
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
@@ -112,6 +129,11 @@ class StatusOr {
   T* operator->() { return &value(); }
 
  private:
+  void EnsureOk() const {
+    SKIMJOIN_CHECK(ok()) << "StatusOr<T>::value() on error: "
+                         << std::get<Status>(rep_).ToString();
+  }
+
   std::variant<T, Status> rep_;
 };
 
@@ -121,6 +143,21 @@ class StatusOr {
     ::skimjoin::Status _skimjoin_status = (expr);       \
     if (!_skimjoin_status.ok()) return _skimjoin_status; \
   } while (false)
+
+#define SKIMJOIN_STATUS_CONCAT_INNER_(x, y) x##y
+#define SKIMJOIN_STATUS_CONCAT_(x, y) SKIMJOIN_STATUS_CONCAT_INNER_(x, y)
+
+/// Evaluates a StatusOr-returning expression; on error returns the status to
+/// the caller, otherwise assigns the value:
+///   SKIMJOIN_ASSIGN_OR_RETURN(auto writer, DurableFileWriter::Create(path));
+#define SKIMJOIN_ASSIGN_OR_RETURN(lhs, expr)                              \
+  SKIMJOIN_ASSIGN_OR_RETURN_IMPL_(                                        \
+      SKIMJOIN_STATUS_CONCAT_(_skimjoin_statusor_, __LINE__), lhs, expr)
+
+#define SKIMJOIN_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, expr) \
+  auto statusor = (expr);                                    \
+  if (!statusor.ok()) return statusor.status();              \
+  lhs = std::move(statusor).value()
 
 }  // namespace skimjoin
 

@@ -1,0 +1,398 @@
+#include "util/durable_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/failpoint.h"
+#include "util/status.h"
+
+namespace skimjoin {
+namespace util {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "durable_" + info->name() + "_" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  return contents;
+}
+
+void WriteAll(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  ASSERT_TRUE(static_cast<bool>(out)) << path;
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return static_cast<bool>(in);
+}
+
+// Writes a small three-section file and returns its path.
+std::string WriteSampleFile(const std::string& name) {
+  const std::string path = TempPath(name);
+  auto writer = DurableFileWriter::Create(path);
+  SKIMJOIN_CHECK_OK(writer.status());
+  SKIMJOIN_CHECK_OK(writer->AppendSection("alpha", "payload one"));
+  SKIMJOIN_CHECK_OK(writer->AppendSection("beta", ""));
+  SKIMJOIN_CHECK_OK(writer->AppendSection("gamma", std::string(1000, 'x')));
+  SKIMJOIN_CHECK_OK(writer->Commit());
+  return path;
+}
+
+// Reads every section; returns the sections or dies on error.
+std::vector<DurableSection> ReadAllSections(const std::string& path) {
+  auto reader = DurableFileReader::Open(path);
+  SKIMJOIN_CHECK_OK(reader.status());
+  std::vector<DurableSection> sections;
+  while (true) {
+    auto next = reader->Next();
+    SKIMJOIN_CHECK_OK(next.status());
+    if (!next->has_value()) break;
+    sections.push_back(**next);
+  }
+  SKIMJOIN_CHECK(reader->reached_end());
+  return sections;
+}
+
+// Status (never a value) from attempting to read all sections.
+Status TryReadAll(const std::string& path) {
+  auto reader = DurableFileReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  while (true) {
+    auto next = reader->Next();
+    if (!next.ok()) return next.status();
+    if (!next->has_value()) return OkStatus();
+  }
+}
+
+class DurableFileTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DeactivateAll(); }
+};
+
+// ---- CRC32C ------------------------------------------------------------
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 / common CRC32C test vectors.
+  EXPECT_EQ(Crc32c(""), 0x00000000u);
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c("a"), 0xC1D04330u);
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+  EXPECT_EQ(Crc32c(std::string(32, '\xff')), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ChainingMatchesConcatenation) {
+  const std::string a = "the quick brown fox ";
+  const std::string b = "jumps over the lazy dog";
+  EXPECT_EQ(Crc32c(b, Crc32c(a)), Crc32c(a + b));
+  // Chaining byte by byte too.
+  uint32_t crc = 0;
+  for (const char c : a + b) crc = Crc32c(std::string_view(&c, 1), crc);
+  EXPECT_EQ(crc, Crc32c(a + b));
+}
+
+TEST(Crc32cTest, SensitiveToSingleBitFlip) {
+  std::string data(100, 'q');
+  const uint32_t base = Crc32c(data);
+  data[57] ^= 0x10;
+  EXPECT_NE(Crc32c(data), base);
+}
+
+// ---- Round trip --------------------------------------------------------
+
+TEST_F(DurableFileTest, WriteReadRoundTrip) {
+  const std::string path = WriteSampleFile("roundtrip");
+  const std::vector<DurableSection> sections = ReadAllSections(path);
+  ASSERT_EQ(sections.size(), 3u);
+  EXPECT_EQ(sections[0].name, "alpha");
+  EXPECT_EQ(sections[0].payload, "payload one");
+  EXPECT_EQ(sections[1].name, "beta");
+  EXPECT_EQ(sections[1].payload, "");
+  EXPECT_EQ(sections[2].name, "gamma");
+  EXPECT_EQ(sections[2].payload, std::string(1000, 'x'));
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST_F(DurableFileTest, EmptyFileRoundTrip) {
+  const std::string path = TempPath("empty");
+  auto writer = DurableFileWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  EXPECT_TRUE(ReadAllSections(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST_F(DurableFileTest, BinaryPayloadRoundTrip) {
+  const std::string path = TempPath("binary");
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  auto writer = DurableFileWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AppendSection("bin", payload).ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  const auto sections = ReadAllSections(path);
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].payload, payload);
+  std::remove(path.c_str());
+}
+
+TEST_F(DurableFileTest, InvalidSectionNamesRejected) {
+  const std::string path = TempPath("badname");
+  auto writer = DurableFileWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ(writer->AppendSection("", "x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(writer->AppendSection("__end__", "x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      writer
+          ->AppendSection(std::string(DurableFileWriter::kMaxNameLen + 1, 'n'),
+                          "x")
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(DurableFileTest, CommitIsFinal) {
+  const std::string path = TempPath("final");
+  auto writer = DurableFileWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  EXPECT_EQ(writer->AppendSection("late", "x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->Commit().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST_F(DurableFileTest, DroppedWriterCleansUpTempAndLeavesTargetAlone) {
+  const std::string path = TempPath("dropped");
+  WriteAll(path, "previous contents");
+  {
+    auto writer = DurableFileWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendSection("s", "p").ok());
+    EXPECT_TRUE(FileExists(path + ".tmp"));
+    // No Commit: destructor must unlink the temp file.
+  }
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  EXPECT_EQ(ReadAll(path), "previous contents");
+  std::remove(path.c_str());
+}
+
+// ---- Corruption and truncation detection -------------------------------
+
+TEST_F(DurableFileTest, OpenMissingFileIsIoError) {
+  EXPECT_EQ(DurableFileReader::Open(TempPath("missing")).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(DurableFileTest, OpenNonDurableFileIsInvalidArgument) {
+  const std::string path = TempPath("notdurable");
+  WriteAll(path, "just some text, no magic");
+  EXPECT_EQ(DurableFileReader::Open(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(DurableFileTest, TruncationAtEveryByteIsDetected) {
+  const std::string path = WriteSampleFile("truncate");
+  const std::string good = ReadAll(path);
+  const std::string mangled = TempPath("truncate_mangled");
+  // Every strict prefix of the file must fail to read cleanly. (A prefix
+  // shorter than the magic fails at Open; anything else fails in Next().)
+  for (size_t len = 0; len < good.size(); ++len) {
+    WriteAll(mangled, good.substr(0, len));
+    const Status s = TryReadAll(mangled);
+    EXPECT_FALSE(s.ok()) << "prefix of " << len << " bytes read cleanly";
+  }
+  std::remove(path.c_str());
+  std::remove(mangled.c_str());
+}
+
+TEST_F(DurableFileTest, ByteFlipAnywhereIsDetected) {
+  const std::string path = WriteSampleFile("flip");
+  const std::string good = ReadAll(path);
+  const std::string mangled = TempPath("flip_mangled");
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    WriteAll(mangled, bad);
+    const Status s = TryReadAll(mangled);
+    EXPECT_FALSE(s.ok()) << "flip at byte " << i << " read cleanly";
+  }
+  std::remove(path.c_str());
+  std::remove(mangled.c_str());
+}
+
+TEST_F(DurableFileTest, TrailingGarbageIsDetected) {
+  const std::string path = WriteSampleFile("trailing");
+  const std::string mangled = TempPath("trailing_mangled");
+  WriteAll(mangled, ReadAll(path) + "z");
+  const Status s = TryReadAll(mangled);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+  std::remove(mangled.c_str());
+}
+
+TEST_F(DurableFileTest, HostileLengthsDoNotAllocate) {
+  // Frame header claiming a 4 GiB payload: must be rejected by the length
+  // cap, not attempted.
+  const std::string path = TempPath("hostile");
+  std::string contents = "skimjoin.durable v1\n";
+  const auto le32 = [&](uint32_t v) {
+    contents.push_back(static_cast<char>(v & 0xFF));
+    contents.push_back(static_cast<char>((v >> 8) & 0xFF));
+    contents.push_back(static_cast<char>((v >> 16) & 0xFF));
+    contents.push_back(static_cast<char>((v >> 24) & 0xFF));
+  };
+  le32(4);
+  le32(0xFFFFFFFFu);
+  le32(0);
+  contents += "name";
+  WriteAll(path, contents);
+  EXPECT_EQ(TryReadAll(path).code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+// ---- Failpoint integration ---------------------------------------------
+
+TEST_F(DurableFileTest, OpenTempFailpoint) {
+  failpoint::Activate("durable:open-temp", failpoint::Spec{});
+  EXPECT_FALSE(DurableFileWriter::Create(TempPath("fp_open")).ok());
+}
+
+TEST_F(DurableFileTest, AppendErrorIsStickyAndTempCleanedUp) {
+  const std::string path = TempPath("fp_append");
+  WriteAll(path, "old");
+  {
+    auto writer = DurableFileWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    failpoint::Spec spec;  // kError: the next write fails, nothing lands
+    failpoint::Activate("durable:append", spec);
+    const Status s = writer->AppendSection("s", "p");
+    EXPECT_EQ(s.code(), StatusCode::kIoError);
+    failpoint::DeactivateAll();
+    // The writer is dead: everything now reports the first failure.
+    EXPECT_EQ(writer->AppendSection("s2", "p2"), s);
+    EXPECT_EQ(writer->Commit(), s);
+  }
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  EXPECT_EQ(ReadAll(path), "old");
+  std::remove(path.c_str());
+}
+
+TEST_F(DurableFileTest, CrashDuringAppendLeavesTornTempAndOldFile) {
+  const std::string path = TempPath("fp_crash_append");
+  WriteAll(path, "old contents");
+  {
+    auto writer = DurableFileWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendSection("first", "ok").ok());
+    failpoint::Spec spec;
+    spec.mode = failpoint::Mode::kCrash;
+    spec.torn_bytes = 5;  // crash 5 bytes into the frame
+    failpoint::Activate("durable:append", spec);
+    const Status s = writer->AppendSection("second", "lost");
+    EXPECT_TRUE(failpoint::IsSimulatedCrash(s));
+  }
+  // Crash semantics: temp file left behind exactly as the crash left it,
+  // target untouched.
+  EXPECT_TRUE(FileExists(path + ".tmp"));
+  EXPECT_EQ(ReadAll(path), "old contents");
+  // The torn temp file must not read cleanly.
+  EXPECT_FALSE(TryReadAll(path + ".tmp").ok());
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST_F(DurableFileTest, CrashAtRenameLeavesOldFile) {
+  const std::string path = TempPath("fp_crash_rename");
+  WriteAll(path, "old contents");
+  {
+    auto writer = DurableFileWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendSection("s", "p").ok());
+    failpoint::Spec spec;
+    spec.mode = failpoint::Mode::kCrash;
+    failpoint::Activate("durable:rename", spec);
+    const Status s = writer->Commit();
+    EXPECT_TRUE(failpoint::IsSimulatedCrash(s));
+  }
+  EXPECT_EQ(ReadAll(path), "old contents");
+  // The temp file a real crash would leave is complete here (the crash hit
+  // after fsync, before rename) — but the target was never replaced.
+  EXPECT_TRUE(FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST_F(DurableFileTest, FsyncFailpointFailsCommit) {
+  const std::string path = TempPath("fp_fsync");
+  auto writer = DurableFileWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  failpoint::Activate("durable:fsync", failpoint::Spec{});
+  EXPECT_FALSE(writer->Commit().ok());
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_GE(failpoint::HitCount("durable:fsync"), 1u);
+}
+
+// ---- AtomicWriteFile ---------------------------------------------------
+
+TEST_F(DurableFileTest, AtomicWriteFileReplacesContents) {
+  const std::string path = TempPath("atomic");
+  ASSERT_TRUE(AtomicWriteFile(path, "first version").ok());
+  EXPECT_EQ(ReadAll(path), "first version");
+  ASSERT_TRUE(AtomicWriteFile(path, "second version").ok());
+  EXPECT_EQ(ReadAll(path), "second version");
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST_F(DurableFileTest, AtomicWriteFileFailureLeavesOldContents) {
+  const std::string path = TempPath("atomic_fail");
+  ASSERT_TRUE(AtomicWriteFile(path, "stable").ok());
+  failpoint::Spec spec;
+  spec.mode = failpoint::Mode::kTornWrite;
+  spec.torn_bytes = 2;
+  failpoint::Activate("durable:append", spec);
+  EXPECT_FALSE(AtomicWriteFile(path, "replacement").ok());
+  failpoint::DeactivateAll();
+  EXPECT_EQ(ReadAll(path), "stable");
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST_F(DurableFileTest, AtomicWriteFileCrashLeavesTemp) {
+  const std::string path = TempPath("atomic_crash");
+  ASSERT_TRUE(AtomicWriteFile(path, "stable").ok());
+  failpoint::Spec spec;
+  spec.mode = failpoint::Mode::kCrash;
+  failpoint::Activate("durable:rename", spec);
+  const Status s = AtomicWriteFile(path, "replacement");
+  EXPECT_TRUE(failpoint::IsSimulatedCrash(s));
+  failpoint::DeactivateAll();
+  EXPECT_EQ(ReadAll(path), "stable");
+  EXPECT_TRUE(FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST_F(DurableFileTest, AtomicWriteFileToUnwritableDirIsIoError) {
+  EXPECT_EQ(AtomicWriteFile("/no/such/dir/file.txt", "x").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace skimjoin

@@ -1,0 +1,164 @@
+#include "util/failpoint.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/status.h"
+
+namespace skimjoin {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DeactivateAll(); }
+};
+
+TEST_F(FailpointTest, InactiveCheckIsOk) {
+  EXPECT_TRUE(failpoint::Check("never:activated").ok());
+  const auto outcome = failpoint::CheckWrite("never:activated", 128);
+  EXPECT_EQ(outcome.allowed_bytes, 128u);
+  EXPECT_TRUE(outcome.status.ok());
+}
+
+TEST_F(FailpointTest, ErrorModeInjectsConfiguredStatus) {
+  failpoint::Spec spec;
+  spec.mode = failpoint::Mode::kError;
+  spec.code = StatusCode::kFailedPrecondition;
+  spec.message = "extra context";
+  failpoint::Activate("fp:a", spec);
+
+  const Status s = failpoint::Check("fp:a");
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("fp:a"), std::string::npos);
+  EXPECT_NE(s.message().find("extra context"), std::string::npos);
+  EXPECT_FALSE(failpoint::IsSimulatedCrash(s));
+
+  // Other names are unaffected.
+  EXPECT_TRUE(failpoint::Check("fp:b").ok());
+}
+
+TEST_F(FailpointTest, ErrorModeOnWritePathWritesNothing) {
+  failpoint::Spec spec;
+  spec.mode = failpoint::Mode::kError;
+  failpoint::Activate("fp:w", spec);
+
+  const auto outcome = failpoint::CheckWrite("fp:w", 100);
+  EXPECT_EQ(outcome.allowed_bytes, 0u);
+  EXPECT_FALSE(outcome.status.ok());
+}
+
+TEST_F(FailpointTest, TornWriteAllowsPrefix) {
+  failpoint::Spec spec;
+  spec.mode = failpoint::Mode::kTornWrite;
+  spec.torn_bytes = 7;
+  failpoint::Activate("fp:torn", spec);
+
+  const auto outcome = failpoint::CheckWrite("fp:torn", 100);
+  EXPECT_EQ(outcome.allowed_bytes, 7u);
+  EXPECT_EQ(outcome.status.code(), StatusCode::kIoError);
+
+  // torn_bytes is clamped to the intended write size.
+  failpoint::Activate("fp:torn", spec);
+  const auto small = failpoint::CheckWrite("fp:torn", 3);
+  EXPECT_EQ(small.allowed_bytes, 3u);
+}
+
+TEST_F(FailpointTest, CrashModeIsMarkedSimulatedCrash) {
+  failpoint::Spec spec;
+  spec.mode = failpoint::Mode::kCrash;
+  failpoint::Activate("fp:crash", spec);
+
+  const Status s = failpoint::Check("fp:crash");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_TRUE(failpoint::IsSimulatedCrash(s));
+  EXPECT_FALSE(failpoint::IsSimulatedCrash(OkStatus()));
+  EXPECT_FALSE(failpoint::IsSimulatedCrash(IoError("ordinary")));
+}
+
+TEST_F(FailpointTest, SkipLetsEarlyEvaluationsPass) {
+  failpoint::Spec spec;
+  spec.mode = failpoint::Mode::kError;
+  spec.skip = 2;
+  failpoint::Activate("fp:skip", spec);
+
+  EXPECT_TRUE(failpoint::Check("fp:skip").ok());
+  EXPECT_TRUE(failpoint::Check("fp:skip").ok());
+  EXPECT_FALSE(failpoint::Check("fp:skip").ok());
+  EXPECT_FALSE(failpoint::Check("fp:skip").ok());
+}
+
+TEST_F(FailpointTest, LimitStopsFiringAfterwards) {
+  failpoint::Spec spec;
+  spec.mode = failpoint::Mode::kError;
+  spec.limit = 1;
+  failpoint::Activate("fp:limit", spec);
+
+  EXPECT_FALSE(failpoint::Check("fp:limit").ok());
+  EXPECT_TRUE(failpoint::Check("fp:limit").ok());
+  EXPECT_TRUE(failpoint::Check("fp:limit").ok());
+}
+
+TEST_F(FailpointTest, DeactivateStopsInjection) {
+  failpoint::Spec spec;
+  failpoint::Activate("fp:d", spec);
+  EXPECT_FALSE(failpoint::Check("fp:d").ok());
+  failpoint::Deactivate("fp:d");
+  EXPECT_TRUE(failpoint::Check("fp:d").ok());
+  failpoint::Deactivate("fp:d");  // idempotent
+}
+
+TEST_F(FailpointTest, HitCountSurvivesDeactivation) {
+  failpoint::Spec spec;
+  spec.skip = 100;  // never fires, only counts
+  failpoint::Activate("fp:hits", spec);
+  EXPECT_TRUE(failpoint::Check("fp:hits").ok());
+  EXPECT_TRUE(failpoint::Check("fp:hits").ok());
+  EXPECT_EQ(failpoint::HitCount("fp:hits"), 2u);
+  failpoint::Deactivate("fp:hits");
+  EXPECT_EQ(failpoint::HitCount("fp:hits"), 2u);
+  failpoint::Activate("fp:hits", spec);
+  EXPECT_TRUE(failpoint::Check("fp:hits").ok());
+  failpoint::DeactivateAll();
+  EXPECT_EQ(failpoint::HitCount("fp:hits"), 3u);
+  EXPECT_EQ(failpoint::HitCount("fp:never"), 0u);
+}
+
+TEST_F(FailpointTest, ReactivationResetsCounters) {
+  failpoint::Spec spec;
+  spec.limit = 1;
+  failpoint::Activate("fp:r", spec);
+  EXPECT_FALSE(failpoint::Check("fp:r").ok());
+  EXPECT_TRUE(failpoint::Check("fp:r").ok());  // limit exhausted
+  failpoint::Activate("fp:r", spec);           // reset
+  EXPECT_FALSE(failpoint::Check("fp:r").ok());
+}
+
+TEST_F(FailpointTest, ConcurrentChecksAreSafe) {
+  failpoint::Spec spec;
+  spec.mode = failpoint::Mode::kError;
+  spec.skip = 50;
+  failpoint::Activate("fp:mt", spec);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!failpoint::Check("fp:mt").ok()) ++failures[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  int total = 0;
+  for (const int f : failures) total += f;
+  EXPECT_EQ(total, kThreads * kPerThread - 50);
+  EXPECT_EQ(failpoint::HitCount("fp:mt"),
+            static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace skimjoin

@@ -177,6 +177,62 @@ TEST(ShellTest, RunProcessesScriptsAndCountsErrors) {
   EXPECT_EQ(*shell.engine().StreamElementCount("f"), 1);
 }
 
+TEST(ShellTest, CheckpointRestoreRoundTripKeepsNamesAndAnswers) {
+  const std::string path = ::testing::TempDir() + "/shell.ckpt";
+  Shell saver;
+  ASSERT_EQ(Exec(&saver, "stream f 1024"), "ok");
+  ASSERT_EQ(Exec(&saver, "freq hh f 4096"), "ok");
+  ASSERT_EQ(Exec(&saver, "quantile med f 0.05"), "ok");
+  for (uint64_t v = 0; v < 500; ++v) {
+    ASSERT_EQ(Exec(&saver, "update f " + std::to_string(v % 64)), "ok");
+  }
+  ASSERT_EQ(Exec(&saver, "checkpoint " + path), "ok");
+
+  Shell restorer;
+  ASSERT_EQ(Exec(&restorer, "restore " + path), "ok");
+  // Query names survive via checkpoint metadata, and answers are identical.
+  EXPECT_EQ(Exec(&restorer, "count f"), Exec(&saver, "count f"));
+  EXPECT_EQ(Exec(&restorer, "point hh 7"), Exec(&saver, "point hh 7"));
+  EXPECT_EQ(Exec(&restorer, "phi med 0.5"), Exec(&saver, "phi med 0.5"));
+  // Restored shells keep working: the stream accepts further updates.
+  EXPECT_EQ(Exec(&restorer, "update f 7"), "ok");
+  std::remove(path.c_str());
+}
+
+TEST(ShellTest, RestoreRefusesOccupiedShellAndMissingFile) {
+  const std::string path = ::testing::TempDir() + "/shell-occupied.ckpt";
+  Shell saver;
+  ASSERT_EQ(Exec(&saver, "stream f 64"), "ok");
+  ASSERT_EQ(Exec(&saver, "checkpoint " + path), "ok");
+  // A shell that has registered anything cannot restore in place.
+  EXPECT_NE(Exec(&saver, "restore " + path).find("FAILED_PRECONDITION"),
+            std::string::npos);
+  Shell fresh;
+  EXPECT_NE(Exec(&fresh, "restore /no/such/file.ckpt"), "ok");
+  EXPECT_NE(Exec(&fresh, "restore " + path + " sloppy"), "ok");  // bad mode
+  std::remove(path.c_str());
+}
+
+TEST(ShellTest, PartialRestoreReportsUnsupportedQueries) {
+  const std::string path = ::testing::TempDir() + "/shell-partial.ckpt";
+  Shell saver;
+  ASSERT_EQ(Exec(&saver, "stream f 1024"), "ok");
+  ASSERT_EQ(Exec(&saver, "stream g 1024"), "ok");
+  // Sampling joins have no serializable synopsis: strict restore refuses the
+  // checkpoint, `restore ... partial` re-registers the query empty.
+  ASSERT_EQ(Exec(&saver, "join sj f g sampling 2048"), "ok");
+  ASSERT_EQ(Exec(&saver, "checkpoint " + path), "ok");
+
+  Shell strict;
+  EXPECT_NE(Exec(&strict, "restore " + path).find("UNIMPLEMENTED"),
+            std::string::npos);
+  Shell partial;
+  EXPECT_EQ(Exec(&partial, "restore " + path + " partial"), "ok lost 1");
+  // The name still resolves; the re-registered query answers from scratch.
+  EXPECT_EQ(Exec(&partial, "answer sj").rfind("ok ", 0), 0u);
+  std::remove(path.c_str());
+}
+
 TEST(ShellTest, SeedChangesQueryRandomness) {
   Shell shell;
   ASSERT_EQ(Exec(&shell, "seed 12345"), "ok");

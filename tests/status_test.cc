@@ -86,6 +86,16 @@ TEST(StatusOrTest, MoveOutValue) {
   EXPECT_EQ(*owned, 7);
 }
 
+TEST(StatusOrDeathTest, ConstructingFromOkStatusAborts) {
+  EXPECT_DEATH(StatusOr<int>{OkStatus()},
+               "StatusOr<T> constructed from an OK Status");
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorPrintsHeldStatus) {
+  StatusOr<int> v(NotFoundError("the missing thing"));
+  EXPECT_DEATH(v.value(), "NOT_FOUND: the missing thing");
+}
+
 Status Fails() { return InvalidArgumentError("inner"); }
 Status Succeeds() { return OkStatus(); }
 
@@ -97,6 +107,54 @@ Status Propagates(bool fail) {
 TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
   EXPECT_EQ(Propagates(true).code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(Propagates(false).code(), StatusCode::kInternal);
+}
+
+StatusOr<int> MaybeValue(bool fail) {
+  if (fail) return OutOfRangeError("no value");
+  return 5;
+}
+
+Status Assigns(bool fail, int* out) {
+  SKIMJOIN_ASSIGN_OR_RETURN(const int v, MaybeValue(fail));
+  *out = v + 1;
+  return OkStatus();
+}
+
+Status AssignsTwice(int* out) {
+  SKIMJOIN_ASSIGN_OR_RETURN(const int a, MaybeValue(false));
+  SKIMJOIN_ASSIGN_OR_RETURN(const int b, MaybeValue(false));
+  *out = a + b;
+  return OkStatus();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnAssignsOnOk) {
+  int out = 0;
+  SKIMJOIN_CHECK_OK(Assigns(false, &out));
+  EXPECT_EQ(out, 6);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagatesError) {
+  int out = 0;
+  EXPECT_EQ(Assigns(true, &out).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(out, 0);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnTwiceInOneScope) {
+  int out = 0;
+  SKIMJOIN_CHECK_OK(AssignsTwice(&out));
+  EXPECT_EQ(out, 10);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnMovesValue) {
+  auto f = []() -> StatusOr<std::unique_ptr<int>> {
+    return std::make_unique<int>(9);
+  };
+  auto g = [&]() -> Status {
+    SKIMJOIN_ASSIGN_OR_RETURN(std::unique_ptr<int> p, f());
+    EXPECT_EQ(*p, 9);
+    return OkStatus();
+  };
+  SKIMJOIN_CHECK_OK(g());
 }
 
 TEST(CheckMacrosTest, PassingChecksDoNothing) {

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "gtest/gtest.h"
+#include "util/failpoint.h"
 
 namespace skimjoin {
 namespace stream {
@@ -83,6 +84,28 @@ TEST(TraceIoTest, TrailingTokensRejected) {
 TEST(TraceIoTest, UnwritablePathIsIoError) {
   EXPECT_EQ(WriteTrace("/nonexistent-dir/x.trace", {}).code(),
             StatusCode::kIoError);
+}
+
+TEST(TraceIoTest, InjectedWriteErrorLeavesOldTraceIntact) {
+  // WriteTrace goes through util::AtomicWriteFile, so an I/O failure (here
+  // injected at the append step) must surface as an error AND leave a
+  // previously written trace untouched.
+  const std::string path = TempPath("atomic.trace");
+  const std::vector<StreamElement> original = {Insert(1), Weighted(2, 5)};
+  ASSERT_TRUE(WriteTrace(path, original).ok());
+
+  failpoint::Spec spec;
+  spec.message = "disk full";
+  failpoint::Activate("durable:append", spec);
+  const Status failed = WriteTrace(path, {Insert(9)});
+  failpoint::DeactivateAll();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+
+  StatusOr<std::vector<StreamElement>> read = ReadTrace(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, original);
+  std::remove(path.c_str());
 }
 
 }  // namespace
