@@ -14,12 +14,15 @@
 #include "benchmark/benchmark.h"
 #include "core/skimmed_sketch.h"
 #include "ingest/parallel_ingestor.h"
+#include "query/engine.h"
 #include "sketch/agms_sketch.h"
 #include "sketch/count_min_sketch.h"
 #include "sketch/hash_sketch.h"
 #include "stream/stream_element.h"
 #include "stream/zipf.h"
+#include "util/logging.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace skimjoin {
 namespace {
@@ -215,6 +218,102 @@ BENCHMARK(BM_SkimmedSketchParallelIngest)
     ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Engine-path ingestion: everything the raw kernels above skip — stream
+// lookup, predicate routing, AND the metrics instrumentation (ingest
+// counters, trace spans). These are the benchmarks the CI overhead gate
+// compares between a default build and -DSKIMJOIN_DISABLE_METRICS=ON
+// (tools/check_bench_regression.py; budget: 10%).
+
+const std::vector<query::StreamUpdate>& EngineUpdates1M() {
+  static const auto* updates = [] {
+    Rng rng(11);
+    const std::vector<stream::StreamElement> elements =
+        stream::ZipfDistribution(kDomain, 1.1).GenerateElements(1'000'000,
+                                                                &rng);
+    auto* out = new std::vector<query::StreamUpdate>;
+    out->reserve(elements.size());
+    for (const stream::StreamElement& e : elements) {
+      out->push_back({.value = e.value, .count = e.weight});
+    }
+    return out;
+  }();
+  return *updates;
+}
+
+void BM_EngineUpdateBatch(benchmark::State& state) {
+  const auto batch = static_cast<size_t>(state.range(0));
+  query::Engine engine;
+  SKIMJOIN_CHECK(
+      engine.RegisterStream({.name = "f", .domain_size = kDomain}).ok());
+  query::FrequencyQuerySpec freq;
+  freq.stream = "f";
+  SKIMJOIN_CHECK(engine.AddFrequencyQuery(freq, 1).ok());
+  const auto& updates = EngineUpdates1M();
+  const std::span<const query::StreamUpdate> all(updates);
+  for (auto _ : state) {
+    for (size_t off = 0; off < all.size(); off += batch) {
+      SKIMJOIN_CHECK(
+          engine
+              .UpdateBatch("f",
+                           all.subspan(off, std::min(batch, all.size() - off)))
+              .ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(updates.size()));
+}
+BENCHMARK(BM_EngineUpdateBatch)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+// Scalar Update is the documented slow path (one counter increment per
+// element instead of one per batch) — benchmarked so a regression there is
+// visible too, just against a looser absolute baseline.
+void BM_EngineScalarUpdate(benchmark::State& state) {
+  query::Engine engine;
+  SKIMJOIN_CHECK(
+      engine.RegisterStream({.name = "f", .domain_size = kDomain}).ok());
+  query::FrequencyQuerySpec freq;
+  freq.stream = "f";
+  SKIMJOIN_CHECK(engine.AddFrequencyQuery(freq, 1).ok());
+  const auto& updates = EngineUpdates1M();
+  size_t index = 0;
+  for (auto _ : state) {
+    SKIMJOIN_CHECK(engine.Update("f", updates[index]).ok());
+    index = (index + 1) % updates.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineScalarUpdate);
+
+// Estimate-call latency through the instrumented Answer path (TraceSpan +
+// ScopedEstimate timer + drift check on every call).
+void BM_EngineAnswerJoin(benchmark::State& state) {
+  query::Engine engine;
+  SKIMJOIN_CHECK(
+      engine.RegisterStream({.name = "f", .domain_size = kDomain}).ok());
+  SKIMJOIN_CHECK(
+      engine.RegisterStream({.name = "g", .domain_size = kDomain}).ok());
+  query::JoinQuerySpec join;
+  join.left_stream = "f";
+  join.right_stream = "g";
+  join.estimator.kind = core::EstimatorKind::kHashSketch;
+  join.estimator.space_counters = 4096;
+  const StatusOr<query::QueryId> id = engine.AddJoinQuery(join, 1);
+  SKIMJOIN_CHECK(id.ok());
+  const auto& updates = EngineUpdates1M();
+  const std::span<const query::StreamUpdate> prefix(updates.data(), 100'000);
+  SKIMJOIN_CHECK(engine.UpdateBatch("f", prefix).ok());
+  SKIMJOIN_CHECK(engine.UpdateBatch("g", prefix).ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.AnswerJoin(*id));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineAnswerJoin);
 
 }  // namespace
 }  // namespace skimjoin

@@ -5,8 +5,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "util/histogram.h"
 #include "util/logging.h"
-#include "util/stats.h"
 
 namespace skimjoin {
 namespace bench {
@@ -23,8 +23,10 @@ TrialStats RunTrials(const core::EstimatorSpec& spec,
                      const stream::FrequencyVector& g, double exact_join,
                      const std::vector<uint64_t>& seeds) {
   SKIMJOIN_CHECK(!seeds.empty());
-  std::vector<double> errors;
-  errors.reserve(seeds.size());
+  // Aggregation rides util::Histogram — its exact sum/min/max/stddev
+  // tracking is the same summary the metrics layer exports, so the bench
+  // harness no longer maintains its own.
+  Histogram errors;
   for (uint64_t seed : seeds) {
     StatusOr<std::unique_ptr<core::JoinEstimatorPair>> pair =
         core::CreateJoinEstimatorPair(spec, seed);
@@ -33,13 +35,13 @@ TrialStats RunTrials(const core::EstimatorSpec& spec,
     (*pair)->AbsorbG(g);
     StatusOr<double> estimate = (*pair)->Estimate();
     SKIMJOIN_CHECK(estimate.ok()) << estimate.status();
-    errors.push_back(RatioError(*estimate, exact_join));
+    errors.Add(RatioError(*estimate, exact_join));
   }
   TrialStats stats;
-  stats.mean_error = Mean(errors);
-  stats.min_error = *std::min_element(errors.begin(), errors.end());
-  stats.max_error = *std::max_element(errors.begin(), errors.end());
-  stats.stddev_error = StdDev(errors);
+  stats.mean_error = errors.Mean();
+  stats.min_error = errors.Min();
+  stats.max_error = errors.Max();
+  stats.stddev_error = errors.StdDev();
   return stats;
 }
 

@@ -261,5 +261,14 @@ uint64_t DyadicSkimmer::TotalCounters() const {
   return total;
 }
 
+uint64_t DyadicSkimmer::MemoryBytes() const {
+  uint64_t total = sizeof(*this);
+  for (const Level& level : levels_) {
+    total += sizeof(Level) + level.exact.capacity() * sizeof(int64_t);
+    if (level.sketch.has_value()) total += level.sketch->MemoryBytes();
+  }
+  return total;
+}
+
 }  // namespace core
 }  // namespace skimjoin

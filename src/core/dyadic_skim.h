@@ -95,6 +95,10 @@ class DyadicSkimmer {
   /// Auxiliary counters consumed (space accounting for the benches).
   uint64_t TotalCounters() const;
 
+  /// Total footprint in bytes across every level (exact arrays and hash
+  /// sketches). Feeds the per-synopsis memory gauges.
+  uint64_t MemoryBytes() const;
+
   uint64_t domain_size() const { return domain_size_; }
 
   /// Writes domain size plus every level's representation; see

@@ -122,6 +122,9 @@ class AgmsPair final : public JoinEstimatorPair {
   uint64_t SpaceCounters() const override {
     return f_.config().TotalCounters();
   }
+  uint64_t MemoryBytes() const override {
+    return f_.MemoryBytes() + g_.MemoryBytes();
+  }
   const char* Name() const override {
     return EstimatorKindName(EstimatorKind::kAgms);
   }
@@ -154,6 +157,9 @@ class HashSketchPair final : public JoinEstimatorPair {
   uint64_t SpaceCounters() const override {
     return f_.config().TotalCounters();
   }
+  uint64_t MemoryBytes() const override {
+    return f_.MemoryBytes() + g_.MemoryBytes();
+  }
   const char* Name() const override {
     return EstimatorKindName(EstimatorKind::kHashSketch);
   }
@@ -184,6 +190,9 @@ class SkimmedPair final : public JoinEstimatorPair {
     return SkimmedSketch::EstimateJoinSize(f_, g_);
   }
   uint64_t SpaceCounters() const override { return f_.TotalCounters(); }
+  uint64_t MemoryBytes() const override {
+    return f_.MemoryBytes() + g_.MemoryBytes();
+  }
   const char* Name() const override {
     return EstimatorKindName(EstimatorKind::kSkimmedSketch);
   }
@@ -216,6 +225,9 @@ class CountMinPair final : public JoinEstimatorPair {
   uint64_t SpaceCounters() const override {
     return f_.config().TotalCounters();
   }
+  uint64_t MemoryBytes() const override {
+    return f_.MemoryBytes() + g_.MemoryBytes();
+  }
   const char* Name() const override {
     return EstimatorKindName(EstimatorKind::kCountMin);
   }
@@ -247,6 +259,9 @@ class PartitionedAgmsPair final : public JoinEstimatorPair {
     return sketch::PartitionedAgmsSketch::EstimateJoinSize(f_, g_);
   }
   uint64_t SpaceCounters() const override { return f_.TotalCounters(); }
+  uint64_t MemoryBytes() const override {
+    return f_.MemoryBytes() + g_.MemoryBytes();
+  }
   const char* Name() const override {
     return EstimatorKindName(EstimatorKind::kPartitionedAgms);
   }
@@ -279,6 +294,9 @@ class SamplingPair final : public JoinEstimatorPair {
     return sketch::ReservoirSample::EstimateJoinSize(f_, g_);
   }
   uint64_t SpaceCounters() const override { return f_.capacity(); }
+  uint64_t MemoryBytes() const override {
+    return f_.MemoryBytes() + g_.MemoryBytes();
+  }
   const char* Name() const override {
     return EstimatorKindName(EstimatorKind::kSampling);
   }

@@ -106,6 +106,10 @@ class JoinEstimatorPair {
   /// aside; reported by the benches).
   virtual uint64_t SpaceCounters() const = 0;
 
+  /// Total footprint in bytes of both synopses (heap included). Feeds the
+  /// per-query memory gauges.
+  virtual uint64_t MemoryBytes() const = 0;
+
   /// EstimatorKindName of the concrete method.
   virtual const char* Name() const = 0;
 

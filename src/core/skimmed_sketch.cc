@@ -7,6 +7,7 @@
 
 #include "sketch/serial_limits.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace skimjoin {
 namespace core {
@@ -164,6 +165,7 @@ int64_t SkimmedSketch::SkimThreshold() const {
 }
 
 SkimmedSketch::SkimOutput SkimmedSketch::Skim() const {
+  metrics::TraceSpan span("skimdense", "estimate");
   const int64_t threshold = SkimThreshold();
   const auto margin = static_cast<int64_t>(
       config_.skim_margin * static_cast<double>(threshold));
@@ -367,6 +369,15 @@ StatusOr<SkimmedSketch> SkimmedSketch::DeserializeFrom(std::istream& in) {
 uint64_t SkimmedSketch::TotalCounters() const {
   uint64_t total = level0_.config().TotalCounters();
   if (dyadic_.has_value()) total += dyadic_->TotalCounters();
+  return total;
+}
+
+uint64_t SkimmedSketch::MemoryBytes() const {
+  uint64_t total = sizeof(*this) +
+                   (level0_.MemoryBytes() - sizeof(sketch::HashSketch));
+  if (dyadic_.has_value()) {
+    total += dyadic_->MemoryBytes() - sizeof(DyadicSkimmer);
+  }
   return total;
 }
 

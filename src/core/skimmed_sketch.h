@@ -196,6 +196,10 @@ class SkimmedSketch {
   /// the benches account for).
   uint64_t TotalCounters() const;
 
+  /// Total footprint in bytes (level-0 sketch, dyadic levels, hash
+  /// families). Feeds the per-synopsis memory gauges.
+  uint64_t MemoryBytes() const;
+
   /// The level-0 sketch. Exposed for white-box tests.
   const sketch::HashSketch& level0() const { return level0_; }
 

@@ -123,5 +123,14 @@ std::vector<std::pair<uint64_t, int64_t>> TopKTracker::TopK() const {
   return result;
 }
 
+uint64_t TopKTracker::MemoryBytes() const {
+  // Red-black tree nodes carry three pointers plus a color word on top of
+  // the key/value payload.
+  constexpr uint64_t kMapNodeOverhead = 4 * sizeof(void*);
+  return sizeof(*this) + (sketch_.MemoryBytes() - sizeof(sketch_)) +
+         candidates_.size() *
+             (sizeof(std::pair<const uint64_t, int64_t>) + kMapNodeOverhead);
+}
+
 }  // namespace core
 }  // namespace skimjoin

@@ -53,6 +53,11 @@ class TopKTracker {
   /// The underlying sketch (point estimates, space accounting).
   const sketch::HashSketch& sketch() const { return sketch_; }
 
+  /// Total footprint in bytes: sketch plus candidate map (each tree node
+  /// costed at its payload plus pointer overhead). Feeds the per-synopsis
+  /// memory gauges.
+  uint64_t MemoryBytes() const;
+
   /// Writes a self-describing text record (k, sketch, candidate set).
   Status SerializeTo(std::ostream& out) const;
 

@@ -41,6 +41,12 @@ class KWiseHash {
   /// serialization in tests.
   const std::vector<uint64_t>& coefficients() const { return coefficients_; }
 
+  /// Total footprint in bytes: the object itself plus the heap-allocated
+  /// coefficient vector. Feeds the per-synopsis memory gauges.
+  uint64_t MemoryBytes() const {
+    return sizeof(*this) + coefficients_.capacity() * sizeof(uint64_t);
+  }
+
  private:
   std::vector<uint64_t> coefficients_;
 };
@@ -58,6 +64,11 @@ class BucketHash {
   uint64_t operator()(uint64_t x) const { return hash_(x) % num_buckets_; }
 
   uint64_t num_buckets() const { return num_buckets_; }
+
+  /// Total footprint in bytes, including the wrapped polynomial's heap.
+  uint64_t MemoryBytes() const {
+    return sizeof(num_buckets_) + hash_.MemoryBytes();
+  }
 
  private:
   KWiseHash hash_;

@@ -25,6 +25,9 @@ class SignHash {
     return ((hash_(x) & 1) == 0) ? int64_t{1} : int64_t{-1};
   }
 
+  /// Total footprint in bytes, including the wrapped polynomial's heap.
+  uint64_t MemoryBytes() const { return hash_.MemoryBytes(); }
+
  private:
   KWiseHash hash_;
 };

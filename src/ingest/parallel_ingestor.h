@@ -41,6 +41,7 @@
 
 #include "ingest/ingest_stats.h"
 #include "stream/stream_element.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace skimjoin {
@@ -115,6 +116,7 @@ class ParallelIngestor {
   /// accumulated inside replicas (synopses that track them, e.g.
   /// SkimmedSketch) are folded into stats() before the reset erases them.
   void FlushInto(Synopsis* master) {
+    metrics::TraceSpan span("replica_merge", "ingest");
     const auto start = std::chrono::steady_clock::now();
     stats_.merges += 1;
     for (Synopsis& replica : replicas_) {

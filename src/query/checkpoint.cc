@@ -8,7 +8,7 @@
 //
 // Manifest text format (whitespace-separated; names percent-encoded so they
 // survive the tokenizer; doubles at max_digits10 so they round-trip exactly):
-//   skimjoin.checkpoint v1
+//   skimjoin.checkpoint v2
 //   shards <ingest_shards>
 //   nextid <next_query_id>
 //   streams <count>
@@ -18,7 +18,13 @@
 //     <name> <arity> <domain> <tuple_count>
 //   queries <count>
 //     <id> <kind> <seed> <supported> <kind-specific spec fields...>
+//   metrics <count>                        (v2 only)
+//     <name> <value>
 //   end
+// The metrics block snapshots every COUNTER in the engine's registry
+// (names percent-encoded) so a restored engine keeps its cumulative
+// counts; gauges and histograms are derived/monitoring state and are
+// rebuilt live. v1 manifests (no metrics block) still restore.
 // Query ids are strictly ascending. `supported` is 0 for kinds whose
 // synopses cannot be serialized (sampling / partitioned-AGMS join
 // estimators, chain joins); those queries get no "query:<id>" section but
@@ -193,6 +199,8 @@ struct Manifest {
   std::vector<ManifestStream> streams;
   std::vector<ManifestRelation> relations;
   std::vector<ManifestQuery> queries;
+  // Registry counter snapshot (v2 manifests; empty for v1).
+  std::vector<std::pair<std::string, uint64_t>> counters;
 };
 
 // Caps the count headers so a corrupt (but CRC-colliding) manifest cannot
@@ -325,8 +333,8 @@ StatusOr<Manifest> ParseManifest(const std::string& payload) {
   std::istringstream in(payload);
   std::string magic, version;
   if (!(in >> magic >> version) || magic != "skimjoin.checkpoint" ||
-      version != "v1") {
-    return InvalidArgumentError("not a skimjoin checkpoint v1 manifest");
+      (version != "v1" && version != "v2")) {
+    return InvalidArgumentError("not a skimjoin checkpoint v1/v2 manifest");
   }
   Manifest manifest;
   SKIMJOIN_RETURN_IF_ERROR(ExpectKeyword(in, "shards"));
@@ -391,6 +399,24 @@ StatusOr<Manifest> ParseManifest(const std::string& payload) {
     manifest.queries.push_back(std::move(q));
   }
 
+  if (version == "v2") {
+    SKIMJOIN_RETURN_IF_ERROR(ExpectKeyword(in, "metrics"));
+    uint64_t counter_count = 0;
+    if (!(in >> counter_count) || counter_count > kMaxManifestEntries) {
+      return InvalidArgumentError("bad metrics count in manifest");
+    }
+    manifest.counters.reserve(counter_count);
+    for (uint64_t i = 0; i < counter_count; ++i) {
+      SKIMJOIN_ASSIGN_OR_RETURN(std::string name,
+                                ReadName(in, "metrics table"));
+      uint64_t value = 0;
+      if (!(in >> value)) {
+        return InvalidArgumentError("malformed metrics line in manifest");
+      }
+      manifest.counters.emplace_back(std::move(name), value);
+    }
+  }
+
   std::string sentinel;
   if (!(in >> sentinel) || sentinel != "end") {
     return InvalidArgumentError("manifest missing its end sentinel");
@@ -413,6 +439,7 @@ bool IsSerializableJoinKind(core::EstimatorKind kind) {
 Status Engine::SaveCheckpoint(
     const std::string& path,
     const std::map<std::string, std::string>& metadata) const {
+  metrics::TraceSpan span("checkpoint_save", "checkpoint");
   // The manifest (and the per-query sections) walk every query ascending by
   // id, so the file layout is deterministic for a given engine state.
   enum class Kind { kJoin, kFrequency, kDistinct, kTopK, kQuantile,
@@ -444,12 +471,12 @@ Status Engine::SaveCheckpoint(
 
   std::ostringstream manifest;
   manifest.precision(std::numeric_limits<double>::max_digits10);
-  manifest << "skimjoin.checkpoint v1\n"
+  manifest << "skimjoin.checkpoint v2\n"
            << "shards " << ingest_shards_ << '\n'
            << "nextid " << next_query_id_ << '\n';
   manifest << "streams " << streams_.size() << '\n';
   for (const StreamState& s : streams_) {
-    const ingest::IngestStats& st = s.ingest_stats;
+    const ingest::IngestStats st = IngestStatsFor(s);
     manifest << PercentEncode(s.spec.name) << ' ' << s.spec.domain_size << ' '
              << s.element_count << ' ' << st.elements_absorbed << ' '
              << st.batches << ' ' << st.elements_dropped << ' ' << st.merges
@@ -551,6 +578,13 @@ Status Engine::SaveCheckpoint(
     }
     supported_flags.emplace_back(id, supported);
   }
+  // Counters only: they carry cumulative history a restored engine cannot
+  // recompute. Gauges and histograms are monitoring views rebuilt live.
+  const metrics::Snapshot metrics_snapshot = metrics_.TakeSnapshot();
+  manifest << "metrics " << metrics_snapshot.counters.size() << '\n';
+  for (const auto& [name, value] : metrics_snapshot.counters) {
+    manifest << PercentEncode(name) << ' ' << value << '\n';
+  }
   manifest << "end\n";
 
   SKIMJOIN_ASSIGN_OR_RETURN(util::DurableFileWriter writer,
@@ -612,6 +646,7 @@ Status Engine::SaveCheckpoint(
 
 StatusOr<RestoreReport> Engine::RestoreCheckpoint(const std::string& path,
                                                   const RestoreOptions& options) {
+  metrics::TraceSpan span("checkpoint_restore", "checkpoint");
   if (num_streams() != 0 || num_relations() != 0 || num_queries() != 0) {
     return FailedPreconditionError(
         "RestoreCheckpoint requires an empty engine (call Clear() first)");
@@ -687,7 +722,13 @@ StatusOr<RestoreReport> Engine::RestoreCheckpoint(const std::string& path,
       return fail(InternalError("stream ids drifted during restore"));
     }
     streams_[i].element_count = s.element_count;
-    streams_[i].ingest_stats = s.stats;
+    StreamState& state = streams_[i];
+    state.absorbed->Reset(s.stats.elements_absorbed);
+    state.batches->Reset(s.stats.batches);
+    state.dropped->Reset(s.stats.elements_dropped);
+    state.merges->Reset(s.stats.merges);
+    state.absorb_nanos->Reset(s.stats.absorb_nanos);
+    state.merge_nanos->Reset(s.stats.merge_nanos);
   }
   for (size_t i = 0; i < manifest.relations.size(); ++i) {
     const ManifestRelation& r = manifest.relations[i];
@@ -856,6 +897,14 @@ StatusOr<RestoreReport> Engine::RestoreCheckpoint(const std::string& path,
   {
     const Status shards = SetIngestShards(manifest.shards);
     if (!shards.ok()) return fail(shards);
+  }
+
+  // Counters last, so the saved cumulative values override anything the
+  // re-registration steps above may have touched. Stream ingest counters
+  // appear both in the stream lines and here; the two sources were written
+  // from the same snapshot, so the overwrite is a no-op for them.
+  for (const auto& [name, value] : manifest.counters) {
+    metrics_.GetCounter(name)->Reset(value);
   }
   return report;
 }

@@ -1,12 +1,81 @@
 #include "query/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "util/logging.h"
 
 namespace skimjoin {
 namespace query {
+namespace {
+
+/// Times one Answer* call: bumps the call counter on entry, records the
+/// elapsed nanoseconds on exit. The clock reads stay in even when histogram
+/// recording is compiled out — answer paths are cold, and keeping the
+/// object unconditional keeps the call sites branch-free.
+class ScopedEstimate {
+ public:
+  ScopedEstimate(metrics::Counter* calls, metrics::ShardedHistogram* nanos)
+      : nanos_(nanos), start_(std::chrono::steady_clock::now()) {
+    if (calls != nullptr) calls->Increment();
+  }
+  ~ScopedEstimate() {
+    if (nanos_ == nullptr) return;
+    nanos_->Record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+
+  ScopedEstimate(const ScopedEstimate&) = delete;
+  ScopedEstimate& operator=(const ScopedEstimate&) = delete;
+
+ private:
+  metrics::ShardedHistogram* nanos_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+void Engine::InitStreamMetrics(StreamState* state) {
+  const std::string prefix = "ingest." + state->spec.name + ".";
+  state->absorbed = metrics_.GetCounter(prefix + "elements_absorbed");
+  state->batches = metrics_.GetCounter(prefix + "batches");
+  state->dropped = metrics_.GetCounter(prefix + "elements_dropped");
+  state->merges = metrics_.GetCounter(prefix + "merges");
+  state->absorb_nanos = metrics_.GetCounter(prefix + "absorb_nanos");
+  state->merge_nanos = metrics_.GetCounter(prefix + "merge_nanos");
+}
+
+Engine::QueryMetrics Engine::MakeQueryMetrics(QueryId id) {
+  const std::string prefix = "query." + std::to_string(id) + ".";
+  QueryMetrics metrics;
+  metrics.estimate_calls = metrics_.GetCounter(prefix + "estimate_calls");
+  metrics.estimate_ns = metrics_.GetHistogram(prefix + "estimate_ns");
+  metrics.memory_bytes = metrics_.GetGauge(prefix + "memory_bytes");
+  metrics.rel_error = metrics_.GetHistogram(prefix + "rel_error");
+  return metrics;
+}
+
+ingest::IngestStats Engine::IngestStatsFor(const StreamState& state) const {
+  ingest::IngestStats stats;
+  stats.elements_absorbed = state.absorbed->Value();
+  stats.batches = state.batches->Value();
+  stats.elements_dropped = state.dropped->Value();
+  stats.merges = state.merges->Value();
+  stats.absorb_nanos = state.absorb_nanos->Value();
+  stats.merge_nanos = state.merge_nanos->Value();
+  return stats;
+}
+
+void Engine::RecordRelError(metrics::ShardedHistogram* histogram,
+                            double estimate, double exact) {
+  if (histogram == nullptr) return;
+  histogram->Record(std::abs(estimate - exact) /
+                    std::max(1.0, std::abs(exact)));
+}
 
 StatusOr<StreamId> Engine::RegisterStream(const StreamSpec& spec) {
   if (spec.name.empty()) {
@@ -19,7 +88,10 @@ StatusOr<StreamId> Engine::RegisterStream(const StreamSpec& spec) {
     return AlreadyExistsError("stream already registered: " + spec.name);
   }
   const StreamId id = streams_.size();
-  streams_.push_back(StreamState{spec, 0, {}});
+  StreamState state;
+  state.spec = spec;
+  InitStreamMetrics(&state);
+  streams_.push_back(std::move(state));
   stream_ids_.emplace(spec.name, id);
   return id;
 }
@@ -55,7 +127,8 @@ StatusOr<QueryId> Engine::AddJoinQuery(const JoinQuerySpec& spec,
   join_queries_.emplace(
       id, JoinQueryState{std::move(pair), left, right, spec.left_input,
                          spec.right_input, spec.left_predicate,
-                         spec.right_predicate, spec, seed});
+                         spec.right_predicate, spec, seed,
+                         MakeQueryMetrics(id)});
   return id;
 }
 
@@ -101,7 +174,8 @@ StatusOr<QueryId> Engine::AddFrequencyQuery(const FrequencyQuerySpec& spec,
   const QueryId id = next_query_id_++;
   frequency_queries_.emplace(
       id, FrequencyQueryState{std::move(sketch), stream, spec.predicate,
-                              std::nullopt, spec, seed});
+                              std::nullopt, spec, seed,
+                              MakeQueryMetrics(id)});
   return id;
 }
 
@@ -113,7 +187,7 @@ StatusOr<QueryId> Engine::AddDistinctCountQuery(
   const QueryId id = next_query_id_++;
   distinct_queries_.emplace(
       id, DistinctQueryState{std::move(sketch), stream, spec.predicate, spec,
-                             seed});
+                             seed, MakeQueryMetrics(id)});
   return id;
 }
 
@@ -133,7 +207,7 @@ StatusOr<QueryId> Engine::AddTopKQuery(const TopKQuerySpec& spec,
   const QueryId id = next_query_id_++;
   topk_queries_.emplace(
       id, TopKQueryState{std::move(tracker), stream, spec.predicate, spec,
-                         seed});
+                         seed, MakeQueryMetrics(id)});
   return id;
 }
 
@@ -143,7 +217,8 @@ StatusOr<QueryId> Engine::AddQuantileQuery(const QuantileQuerySpec& spec) {
                             stream::GkQuantileSummary::Create(spec.epsilon));
   const QueryId id = next_query_id_++;
   quantile_queries_.emplace(
-      id, QuantileQueryState{std::move(summary), stream, spec.predicate, spec});
+      id, QuantileQueryState{std::move(summary), stream, spec.predicate, spec,
+                             MakeQueryMetrics(id)});
   return id;
 }
 
@@ -158,7 +233,8 @@ StatusOr<QueryId> Engine::AddRangeSumQuery(const RangeSumQuerySpec& spec) {
   const QueryId id = next_query_id_++;
   range_sum_queries_.emplace(
       id, RangeSumQueryState{std::move(synopsis), stream,
-                             spec.coefficient_budget, spec.predicate, spec});
+                             spec.coefficient_budget, spec.predicate, spec,
+                             MakeQueryMetrics(id)});
   return id;
 }
 
@@ -239,6 +315,7 @@ StatusOr<QueryId> Engine::AddChainJoinQuery(const ChainJoinQuerySpec& spec,
     state.hashed = std::move(hashed);
   }
   const QueryId id = next_query_id_++;
+  state.metrics = MakeQueryMetrics(id);
   chain_queries_.emplace(id, std::move(state));
   return id;
 }
@@ -296,12 +373,12 @@ Status Engine::Update(StreamId stream, const StreamUpdate& update) {
   }
   StreamState& state = streams_[stream];
   if (update.value >= state.spec.domain_size) {
-    state.ingest_stats.elements_dropped += 1;
+    state.dropped->Increment();
     return OutOfRangeError("value outside the domain of stream " +
                            state.spec.name);
   }
   state.element_count += update.count;
-  state.ingest_stats.elements_absorbed += 1;
+  state.absorbed->Increment();
   ApplyToQueries(stream, update, /*include_frequency_queries=*/true);
   return OkStatus();
 }
@@ -375,19 +452,27 @@ Status Engine::UpdateBatch(StreamId stream,
     return NotFoundError("unknown stream id");
   }
   StreamState& state = streams_[stream];
-  state.ingest_stats.batches += 1;
+  metrics::TraceSpan batch_span("ingest_batch", "ingest");
+  state.batches->Increment();
 
   // One validation pass, hoisted out of every synopsis loop: bad elements
-  // are dropped and counted here so no synopsis ever sees one.
+  // are dropped and counted here so no synopsis ever sees one. Counter
+  // deltas accumulate in locals — one atomic add per batch, not per
+  // element, keeps the instrumented fast path within the 1% overhead
+  // budget.
+  uint64_t absorbed = 0;
+  uint64_t dropped = 0;
   for (const StreamUpdate& update : updates) {
     if (update.value >= state.spec.domain_size) {
-      state.ingest_stats.elements_dropped += 1;
+      ++dropped;
       continue;
     }
     state.element_count += update.count;
-    state.ingest_stats.elements_absorbed += 1;
+    ++absorbed;
     ApplyToQueries(stream, update, /*include_frequency_queries=*/false);
   }
+  if (absorbed != 0) state.absorbed->Increment(absorbed);
+  if (dropped != 0) state.dropped->Increment(dropped);
 
   // Frequency queries take the batch path: per query, project the batch to
   // in-domain, predicate-matching stream elements and fold them in at once
@@ -415,11 +500,11 @@ Status Engine::UpdateBatch(StreamId stream,
       const uint64_t absorb_before = q.ingestor->stats().absorb_nanos;
       const uint64_t merge_before = q.ingestor->stats().merge_nanos;
       q.ingestor->IngestInto(&q.sketch, elements);
-      state.ingest_stats.merges += 1;
-      state.ingest_stats.absorb_nanos +=
-          q.ingestor->stats().absorb_nanos - absorb_before;
-      state.ingest_stats.merge_nanos +=
-          q.ingestor->stats().merge_nanos - merge_before;
+      state.merges->Increment();
+      state.absorb_nanos->Increment(q.ingestor->stats().absorb_nanos -
+                                    absorb_before);
+      state.merge_nanos->Increment(q.ingestor->stats().merge_nanos -
+                                   merge_before);
     } else {
       q.sketch.UpdateBatch(elements);
     }
@@ -439,7 +524,32 @@ StatusOr<ingest::IngestStats> Engine::StreamIngestStats(
     const std::string& stream) const {
   StatusOr<StreamId> id = FindStream(stream);
   SKIMJOIN_RETURN_IF_ERROR(id.status());
-  return streams_[*id].ingest_stats;
+  return IngestStatsFor(streams_[*id]);
+}
+
+Status Engine::AttachAccuracyReference(
+    const std::string& stream, const stream::FrequencyVector* reference) {
+  StatusOr<StreamId> id = FindStream(stream);
+  SKIMJOIN_RETURN_IF_ERROR(id.status());
+  streams_[*id].reference = reference;
+  return OkStatus();
+}
+
+void Engine::MaybeRecordJoinDrift(const JoinQueryState& q,
+                                  double estimate) const {
+  const stream::FrequencyVector* left = streams_[q.left].reference;
+  const stream::FrequencyVector* right = streams_[q.right].reference;
+  if (left == nullptr || right == nullptr) return;
+  // The reference holds raw frequencies: only an unfiltered COUNT join has
+  // an exact counterpart to compare against.
+  if (q.left_predicate.has_value() || q.right_predicate.has_value()) return;
+  if (q.left_input != AggregateInput::kCount ||
+      q.right_input != AggregateInput::kCount) {
+    return;
+  }
+  if (left->domain_size() != right->domain_size()) return;
+  RecordRelError(q.metrics.rel_error, estimate,
+                 static_cast<double>(stream::JoinSize(*left, *right)));
 }
 
 StatusOr<double> Engine::AnswerJoin(QueryId query) const {
@@ -447,7 +557,12 @@ StatusOr<double> Engine::AnswerJoin(QueryId query) const {
   if (it == join_queries_.end()) {
     return NotFoundError("unknown join query id");
   }
-  return it->second.estimator->Estimate();
+  const JoinQueryState& q = it->second;
+  metrics::TraceSpan span("estimate", "query");
+  ScopedEstimate timer(q.metrics.estimate_calls, q.metrics.estimate_ns);
+  StatusOr<double> estimate = q.estimator->Estimate();
+  if (estimate.ok()) MaybeRecordJoinDrift(q, *estimate);
+  return estimate;
 }
 
 StatusOr<int64_t> Engine::AnswerPointFrequency(QueryId query,
@@ -456,12 +571,20 @@ StatusOr<int64_t> Engine::AnswerPointFrequency(QueryId query,
   if (it == frequency_queries_.end()) {
     return NotFoundError("unknown frequency query id");
   }
-  const StreamState& state = streams_[it->second.stream];
+  const FrequencyQueryState& q = it->second;
+  const StreamState& state = streams_[q.stream];
   if (value >= state.spec.domain_size) {
     return OutOfRangeError("value outside the domain of stream " +
                            state.spec.name);
   }
-  return it->second.sketch.EstimatePointFrequency(value);
+  metrics::TraceSpan span("estimate", "query");
+  ScopedEstimate timer(q.metrics.estimate_calls, q.metrics.estimate_ns);
+  const int64_t estimate = q.sketch.EstimatePointFrequency(value);
+  if (state.reference != nullptr && !q.predicate.has_value()) {
+    RecordRelError(q.metrics.rel_error, static_cast<double>(estimate),
+                   static_cast<double>(state.reference->Get(value)));
+  }
+  return estimate;
 }
 
 StatusOr<core::DenseFrequencies> Engine::AnswerHeavyHitters(
@@ -473,7 +596,10 @@ StatusOr<core::DenseFrequencies> Engine::AnswerHeavyHitters(
   if (threshold < 1) {
     return InvalidArgumentError("heavy-hitter threshold must be >= 1");
   }
-  return it->second.sketch.HeavyHitters(threshold);
+  const FrequencyQueryState& q = it->second;
+  metrics::TraceSpan span("estimate", "query");
+  ScopedEstimate timer(q.metrics.estimate_calls, q.metrics.estimate_ns);
+  return q.sketch.HeavyHitters(threshold);
 }
 
 StatusOr<double> Engine::AnswerDistinctCount(QueryId query) const {
@@ -481,7 +607,16 @@ StatusOr<double> Engine::AnswerDistinctCount(QueryId query) const {
   if (it == distinct_queries_.end()) {
     return NotFoundError("unknown distinct-count query id");
   }
-  return it->second.sketch.EstimateDistinctCount();
+  const DistinctQueryState& q = it->second;
+  metrics::TraceSpan span("estimate", "query");
+  ScopedEstimate timer(q.metrics.estimate_calls, q.metrics.estimate_ns);
+  const double estimate = q.sketch.EstimateDistinctCount();
+  const StreamState& state = streams_[q.stream];
+  if (state.reference != nullptr && !q.predicate.has_value()) {
+    RecordRelError(q.metrics.rel_error, estimate,
+                   static_cast<double>(state.reference->SupportSize()));
+  }
+  return estimate;
 }
 
 StatusOr<std::vector<std::pair<uint64_t, int64_t>>> Engine::AnswerTopK(
@@ -490,7 +625,10 @@ StatusOr<std::vector<std::pair<uint64_t, int64_t>>> Engine::AnswerTopK(
   if (it == topk_queries_.end()) {
     return NotFoundError("unknown top-k query id");
   }
-  return it->second.tracker.TopK();
+  const TopKQueryState& q = it->second;
+  metrics::TraceSpan span("estimate", "query");
+  ScopedEstimate timer(q.metrics.estimate_calls, q.metrics.estimate_ns);
+  return q.tracker.TopK();
 }
 
 StatusOr<uint64_t> Engine::AnswerQuantile(QueryId query, double phi) const {
@@ -498,7 +636,10 @@ StatusOr<uint64_t> Engine::AnswerQuantile(QueryId query, double phi) const {
   if (it == quantile_queries_.end()) {
     return NotFoundError("unknown quantile query id");
   }
-  return it->second.summary.Quantile(phi);
+  const QuantileQueryState& q = it->second;
+  metrics::TraceSpan span("estimate", "query");
+  ScopedEstimate timer(q.metrics.estimate_calls, q.metrics.estimate_ns);
+  return q.summary.Quantile(phi);
 }
 
 StatusOr<double> Engine::AnswerRangeSum(QueryId query, uint64_t lo,
@@ -507,7 +648,10 @@ StatusOr<double> Engine::AnswerRangeSum(QueryId query, uint64_t lo,
   if (it == range_sum_queries_.end()) {
     return NotFoundError("unknown range-sum query id");
   }
-  return it->second.synopsis.RangeSum(lo, hi);
+  const RangeSumQueryState& q = it->second;
+  metrics::TraceSpan span("estimate", "query");
+  ScopedEstimate timer(q.metrics.estimate_calls, q.metrics.estimate_ns);
+  return q.synopsis.RangeSum(lo, hi);
 }
 
 StatusOr<double> Engine::AnswerChainJoin(QueryId query) const {
@@ -516,6 +660,9 @@ StatusOr<double> Engine::AnswerChainJoin(QueryId query) const {
     return NotFoundError("unknown chain-join query id");
   }
   const ChainJoinQueryState& state = it->second;
+  metrics::TraceSpan span("estimate", "query");
+  ScopedEstimate timer(state.metrics.estimate_calls,
+                       state.metrics.estimate_ns);
   return state.grid.has_value() ? state.grid->Estimate()
                                 : state.hashed->Estimate();
 }
@@ -524,6 +671,50 @@ StatusOr<int64_t> Engine::StreamElementCount(const std::string& stream) const {
   StatusOr<StreamId> id = FindStream(stream);
   SKIMJOIN_RETURN_IF_ERROR(id.status());
   return streams_[*id].element_count;
+}
+
+std::vector<std::string> Engine::StreamNames() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const StreamState& state : streams_) names.push_back(state.spec.name);
+  return names;
+}
+
+metrics::Snapshot Engine::MetricsSnapshot() const {
+  // Gauges are refreshed pull-style at snapshot time: footprints change on
+  // every update, so pushing them from the hot path would cost more than
+  // anyone reading them.
+  for (const auto& [id, q] : join_queries_) {
+    q.metrics.memory_bytes->Set(
+        static_cast<double>(q.estimator->MemoryBytes()));
+  }
+  for (const auto& [id, q] : frequency_queries_) {
+    q.metrics.memory_bytes->Set(static_cast<double>(q.sketch.MemoryBytes()));
+  }
+  for (const auto& [id, q] : distinct_queries_) {
+    q.metrics.memory_bytes->Set(static_cast<double>(q.sketch.MemoryBytes()));
+  }
+  for (const auto& [id, q] : topk_queries_) {
+    q.metrics.memory_bytes->Set(static_cast<double>(q.tracker.MemoryBytes()));
+  }
+  for (const auto& [id, q] : quantile_queries_) {
+    q.metrics.memory_bytes->Set(static_cast<double>(q.summary.MemoryBytes()));
+  }
+  for (const auto& [id, q] : range_sum_queries_) {
+    q.metrics.memory_bytes->Set(
+        static_cast<double>(q.synopsis.MemoryBytes()));
+  }
+  for (const auto& [id, q] : chain_queries_) {
+    q.metrics.memory_bytes->Set(static_cast<double>(
+        q.grid.has_value() ? q.grid->MemoryBytes() : q.hashed->MemoryBytes()));
+  }
+  metrics_.GetGauge("engine.num_streams")
+      ->Set(static_cast<double>(num_streams()));
+  metrics_.GetGauge("engine.num_queries")
+      ->Set(static_cast<double>(num_queries()));
+  metrics_.GetGauge("engine.ingest_shards")
+      ->Set(static_cast<double>(ingest_shards_));
+  return metrics_.TakeSnapshot();
 }
 
 void Engine::Clear() {
@@ -540,6 +731,9 @@ void Engine::Clear() {
   chain_queries_.clear();
   next_query_id_ = 1;
   ingest_shards_ = 1;
+  // Last: every cached instrument pointer above is gone, so dropping the
+  // instruments themselves is safe.
+  metrics_.Clear();
 }
 
 }  // namespace query

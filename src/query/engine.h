@@ -35,8 +35,10 @@
 #include "query/multi_join_hash.h"
 #include "query/query.h"
 #include "sketch/fm_sketch.h"
+#include "stream/frequency_vector.h"
 #include "stream/gk_quantiles.h"
 #include "stream/wavelet.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace skimjoin {
@@ -138,9 +140,37 @@ class Engine {
   Status SetIngestShards(uint64_t num_shards);
 
   /// Ingestion observability for one stream: elements absorbed and
-  /// dropped, batches, and time spent in parallel absorb/merge.
+  /// dropped, batches, and time spent in parallel absorb/merge. Assembled
+  /// from the engine's registry counters (`ingest.<stream>.*`).
   StatusOr<ingest::IngestStats> StreamIngestStats(
       const std::string& stream) const;
+
+  /// The engine's private metrics registry. Every stream owns
+  /// `ingest.<name>.*` counters and every query `query.<id>.*` instruments
+  /// (see docs/OBSERVABILITY.md for the full naming scheme). Exposed so
+  /// embedders (shell, CLI) can register their own instruments beside the
+  /// engine's; those ride along in MetricsSnapshot and checkpoints.
+  metrics::Registry& metrics_registry() { return metrics_; }
+
+  /// Refreshes the per-query `query.<id>.memory_bytes` gauges and the
+  /// engine-level gauges (`engine.num_streams`, `engine.num_queries`,
+  /// `engine.ingest_shards`), then returns a merged view of every
+  /// instrument in the registry.
+  metrics::Snapshot MetricsSnapshot() const;
+
+  /// Attaches an exact frequency reference for accuracy-drift monitoring
+  /// of `stream` (pass nullptr to detach). The caller keeps ownership and
+  /// must keep `reference` alive and up to date; whenever a query over the
+  /// stream answers, the engine computes the exact answer from the
+  /// reference and records the relative error into the query's
+  /// `query.<id>.rel_error` histogram. Covered answers: point frequency,
+  /// distinct count, and join size (the latter only when both streams have
+  /// references, both inputs are COUNT, and no predicates apply — the
+  /// reference holds raw frequencies, so filtered or measure-weighted
+  /// queries have no exact counterpart to compare against). NOT_FOUND for
+  /// an unknown stream.
+  Status AttachAccuracyReference(const std::string& stream,
+                                 const stream::FrequencyVector* reference);
 
   /// Current estimate of a join or self-join query.
   StatusOr<double> AnswerJoin(QueryId query) const;
@@ -172,6 +202,9 @@ class Engine {
 
   /// Net element count (inserts minus deletes) seen on a stream.
   StatusOr<int64_t> StreamElementCount(const std::string& stream) const;
+
+  /// Names of every registered stream, in registration order.
+  std::vector<std::string> StreamNames() const;
 
   /// Writes the engine's complete state — streams, relations, every query's
   /// spec + seed, and each supported query's synopsis — to `path` as one
@@ -210,7 +243,25 @@ class Engine {
   struct StreamState {
     StreamSpec spec;
     int64_t element_count = 0;
-    ingest::IngestStats ingest_stats;
+    // Registry-backed ingest counters (`ingest.<name>.*`); the pointees are
+    // owned by metrics_ and stay valid until Clear().
+    metrics::Counter* absorbed = nullptr;
+    metrics::Counter* batches = nullptr;
+    metrics::Counter* dropped = nullptr;
+    metrics::Counter* merges = nullptr;
+    metrics::Counter* absorb_nanos = nullptr;
+    metrics::Counter* merge_nanos = nullptr;
+    // Exact frequencies for accuracy-drift monitoring; caller-owned, null
+    // when no reference is attached.
+    const stream::FrequencyVector* reference = nullptr;
+  };
+
+  /// Cached `query.<id>.*` instrument pointers, created at registration.
+  struct QueryMetrics {
+    metrics::Counter* estimate_calls = nullptr;
+    metrics::ShardedHistogram* estimate_ns = nullptr;
+    metrics::Gauge* memory_bytes = nullptr;
+    metrics::ShardedHistogram* rel_error = nullptr;
   };
 
   /// A join (or self-join) query: the estimator pair plus the routing data
@@ -226,6 +277,7 @@ class Engine {
     std::optional<RangePredicate> right_predicate;
     JoinQuerySpec spec;
     uint64_t seed = 0;
+    QueryMetrics metrics;
   };
 
   struct FrequencyQueryState {
@@ -237,6 +289,7 @@ class Engine {
     std::optional<ingest::ParallelIngestor<core::SkimmedSketch>> ingestor;
     FrequencyQuerySpec spec;
     uint64_t seed = 0;
+    QueryMetrics metrics;
   };
 
   struct DistinctQueryState {
@@ -245,6 +298,7 @@ class Engine {
     std::optional<RangePredicate> predicate;
     DistinctCountQuerySpec spec;
     uint64_t seed = 0;
+    QueryMetrics metrics;
   };
 
   struct TopKQueryState {
@@ -253,6 +307,7 @@ class Engine {
     std::optional<RangePredicate> predicate;
     TopKQuerySpec spec;
     uint64_t seed = 0;
+    QueryMetrics metrics;
   };
 
   struct QuantileQueryState {
@@ -260,6 +315,7 @@ class Engine {
     StreamId stream;
     std::optional<RangePredicate> predicate;
     QuantileQuerySpec spec;
+    QueryMetrics metrics;
   };
 
   struct RangeSumQueryState {
@@ -268,6 +324,7 @@ class Engine {
     uint64_t coefficient_budget;
     std::optional<RangePredicate> predicate;
     RangeSumQuerySpec spec;
+    QueryMetrics metrics;
   };
 
   struct RelationState {
@@ -283,6 +340,7 @@ class Engine {
     std::vector<StreamId> chain;  // relation ids, chain order
     ChainJoinQuerySpec spec;
     uint64_t seed = 0;
+    QueryMetrics metrics;
   };
 
   StatusOr<StreamId> FindStream(const std::string& name) const;
@@ -299,6 +357,29 @@ class Engine {
 
   StatusOr<StreamId> FindRelation(const std::string& name) const;
 
+  /// Creates the `ingest.<name>.*` counters for a freshly registered
+  /// stream and caches their pointers in `*state`.
+  void InitStreamMetrics(StreamState* state);
+
+  /// Registers the `query.<id>.*` instruments for a new query.
+  QueryMetrics MakeQueryMetrics(QueryId id);
+
+  /// Assembles the public IngestStats struct from a stream's counters.
+  ingest::IngestStats IngestStatsFor(const StreamState& state) const;
+
+  /// Records |estimate - exact| / max(1, |exact|) into `histogram`.
+  static void RecordRelError(metrics::ShardedHistogram* histogram,
+                             double estimate, double exact);
+
+  /// Records join-estimate drift when both sides have references attached
+  /// and the query compares exactly (COUNT inputs, no predicates).
+  void MaybeRecordJoinDrift(const JoinQueryState& q, double estimate) const;
+
+  // Declared first so every cached instrument pointer in the states below
+  // is destroyed before the registry that owns the pointees. Mutable:
+  // const paths (MetricsSnapshot, SaveCheckpoint) register engine-level
+  // gauges on first use — instruments are observability, not engine state.
+  mutable metrics::Registry metrics_;
   std::vector<StreamState> streams_;
   std::unordered_map<std::string, StreamId> stream_ids_;
   std::vector<RelationState> relations_;

@@ -102,5 +102,20 @@ double MultiJoinEstimator::Estimate() const {
   return Median(std::move(averages));
 }
 
+uint64_t MultiJoinEstimator::MemoryBytes() const {
+  uint64_t total = sizeof(*this);
+  for (const std::vector<uint64_t>& attrs : config_.relation_attributes) {
+    total += sizeof(attrs) + attrs.capacity() * sizeof(uint64_t);
+  }
+  for (const std::vector<hashing::SignHash>& family : signs_) {
+    total += sizeof(family);
+    for (const hashing::SignHash& sign : family) total += sign.MemoryBytes();
+  }
+  for (const std::vector<int64_t>& grid : counters_) {
+    total += sizeof(grid) + grid.capacity() * sizeof(int64_t);
+  }
+  return total;
+}
+
 }  // namespace query
 }  // namespace skimjoin

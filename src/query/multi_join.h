@@ -60,6 +60,10 @@ class MultiJoinEstimator {
     return config_.relation_attributes.size();
   }
 
+  /// Total footprint in bytes (sign families and per-relation counter
+  /// grids). Feeds the per-query memory gauges.
+  uint64_t MemoryBytes() const;
+
  private:
   MultiJoinEstimator(const MultiJoinConfig& config, uint64_t seed);
 

@@ -132,5 +132,24 @@ uint64_t MultiJoinHashEstimator::TotalCounters() const {
   return total;
 }
 
+uint64_t MultiJoinHashEstimator::MemoryBytes() const {
+  uint64_t total = sizeof(*this);
+  for (const std::vector<hashing::BucketHash>& family : bucket_hashes_) {
+    total += sizeof(family);
+    for (const hashing::BucketHash& hash : family) total += hash.MemoryBytes();
+  }
+  for (const std::vector<hashing::SignHash>& family : sign_hashes_) {
+    total += sizeof(family);
+    for (const hashing::SignHash& sign : family) total += sign.MemoryBytes();
+  }
+  for (const std::vector<std::vector<int64_t>>& relation : counters_) {
+    total += sizeof(relation);
+    for (const std::vector<int64_t>& table : relation) {
+      total += sizeof(table) + table.capacity() * sizeof(int64_t);
+    }
+  }
+  return total;
+}
+
 }  // namespace query
 }  // namespace skimjoin

@@ -62,6 +62,10 @@ class MultiJoinHashEstimator {
   /// Space accounting: total counters held.
   uint64_t TotalCounters() const;
 
+  /// Total footprint in bytes (hash families and per-relation counter
+  /// tables). Feeds the per-query memory gauges.
+  uint64_t MemoryBytes() const;
+
  private:
   MultiJoinHashEstimator(const MultiJoinHashConfig& config, uint64_t seed);
 

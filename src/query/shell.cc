@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "stream/trace_io.h"
+#include "util/metrics.h"
 
 namespace skimjoin {
 namespace query {
@@ -13,7 +14,8 @@ namespace {
 
 constexpr char kHelpText[] =
     "commands: stream join selfjoin freq distinct topk top quantile phi "
-    "update load answer point heavy count seed checkpoint restore help quit";
+    "update load answer point heavy count seed checkpoint restore streams "
+    "stats metrics help quit";
 
 bool ParseEstimatorKind(const std::string& name, core::EstimatorKind* kind) {
   for (core::EstimatorKind candidate :
@@ -453,6 +455,53 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
       return true;
     }
     OkValue(out, *answer);
+    return true;
+  }
+  if (command == "streams") {
+    out << "ok";
+    for (const std::string& name : engine_.StreamNames()) {
+      StatusOr<ingest::IngestStats> stats = engine_.StreamIngestStats(name);
+      StatusOr<int64_t> count = engine_.StreamElementCount(name);
+      if (!stats.ok() || !count.ok()) continue;  // unreachable: name is live
+      out << ' ' << name << ":count=" << *count
+          << ",absorbed=" << stats->elements_absorbed
+          << ",dropped=" << stats->elements_dropped
+          << ",batches=" << stats->batches << ",merges=" << stats->merges
+          << ",absorb_nanos=" << stats->absorb_nanos
+          << ",merge_nanos=" << stats->merge_nanos;
+    }
+    out << "\n";
+    return true;
+  }
+  if (command == "stats") {
+    uint64_t absorbed = 0, dropped = 0, batches = 0, merges = 0;
+    for (const std::string& name : engine_.StreamNames()) {
+      StatusOr<ingest::IngestStats> stats = engine_.StreamIngestStats(name);
+      if (!stats.ok()) continue;  // unreachable: name is live
+      absorbed += stats->elements_absorbed;
+      dropped += stats->elements_dropped;
+      batches += stats->batches;
+      merges += stats->merges;
+    }
+    out << "ok streams=" << engine_.num_streams()
+        << " relations=" << engine_.num_relations()
+        << " queries=" << engine_.num_queries() << " absorbed=" << absorbed
+        << " dropped=" << dropped << " batches=" << batches
+        << " merges=" << merges << "\n";
+    return true;
+  }
+  if (command == "metrics") {
+    std::string format;
+    fields >> format;  // optional, defaults to json
+    if (format.empty() || format == "json") {
+      OkValue(out, metrics::ToJson(engine_.MetricsSnapshot()));
+    } else if (format == "prom") {
+      // The documented exception to the one-line contract: the Prometheus
+      // text exposition format is inherently multi-line.
+      out << "ok\n" << metrics::ToPrometheusText(engine_.MetricsSnapshot());
+    } else {
+      Error(out, "usage: metrics [json|prom]");
+    }
     return true;
   }
   Error(out, "unknown command: " + command + " (try `help`)");

@@ -24,9 +24,18 @@
 //   restore <path> [partial]                  restore a checkpoint into an
 //                                             empty shell (`partial` keeps
 //                                             whatever sections are intact)
+//   streams                                   per-stream ingest stats (incl.
+//                                             absorb/merge timing)
+//   stats                                     engine-wide totals
+//   metrics [json|prom]                       metrics snapshot; `json` (the
+//                                             default) answers on one line,
+//                                             `prom` emits the multi-line
+//                                             Prometheus text format
 //   help                                      print this list
 //
 // Every command answers on one line: "ok[ <payload>]" or "error: <reason>".
+// Sole exception: `metrics prom` answers "ok" and then the Prometheus text
+// exposition — that format is inherently multi-line.
 // Unknown queries/streams are reported, never fatal; the shell only stops
 // at end of input (or the `quit` command).
 

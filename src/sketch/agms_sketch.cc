@@ -144,5 +144,11 @@ int64_t AgmsSketch::counter(uint64_t mean_index, uint64_t median_index) const {
   return counters_[CellIndex(mean_index, median_index)];
 }
 
+uint64_t AgmsSketch::MemoryBytes() const {
+  uint64_t total = sizeof(*this) + counters_.capacity() * sizeof(int64_t);
+  for (const hashing::SignHash& h : signs_) total += h.MemoryBytes();
+  return total;
+}
+
 }  // namespace sketch
 }  // namespace skimjoin

@@ -96,6 +96,10 @@ class AgmsSketch {
   const AgmsConfig& config() const { return config_; }
   uint64_t seed() const { return seed_; }
 
+  /// Total footprint in bytes: the object plus counter array and sign
+  /// family heap storage. Feeds the per-synopsis memory gauges.
+  uint64_t MemoryBytes() const;
+
   /// Counter (i, j). Exposed for white-box tests.
   int64_t counter(uint64_t mean_index, uint64_t median_index) const;
 

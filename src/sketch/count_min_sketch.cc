@@ -137,5 +137,11 @@ StatusOr<double> CountMinSketch::EstimateJoinSize(const CountMinSketch& f,
   return best;
 }
 
+uint64_t CountMinSketch::MemoryBytes() const {
+  uint64_t total = sizeof(*this) + counters_.capacity() * sizeof(int64_t);
+  for (const hashing::BucketHash& h : bucket_hashes_) total += h.MemoryBytes();
+  return total;
+}
+
 }  // namespace sketch
 }  // namespace skimjoin

@@ -79,6 +79,10 @@ class CountMinSketch {
   const CountMinConfig& config() const { return config_; }
   uint64_t seed() const { return seed_; }
 
+  /// Total footprint in bytes: the object plus counter array and hash
+  /// family heap storage. Feeds the per-synopsis memory gauges.
+  uint64_t MemoryBytes() const;
+
  private:
   CountMinSketch(const CountMinConfig& config, uint64_t seed);
 

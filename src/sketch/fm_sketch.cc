@@ -113,5 +113,11 @@ double FmSketch::EstimateDistinctCount() const {
   return static_cast<double>(num_maps_) * std::pow(2.0, mean_position) / kPhi;
 }
 
+uint64_t FmSketch::MemoryBytes() const {
+  return sizeof(*this) + counters_.capacity() * sizeof(int64_t) +
+         (map_hash_.MemoryBytes() - sizeof(hashing::KWiseHash)) +
+         (position_hash_.MemoryBytes() - sizeof(hashing::KWiseHash));
+}
+
 }  // namespace sketch
 }  // namespace skimjoin

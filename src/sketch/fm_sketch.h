@@ -54,6 +54,10 @@ class FmSketch {
   /// Space accounting: counters held.
   uint64_t TotalCounters() const { return num_maps_ * kPositions; }
 
+  /// Total footprint in bytes: the object plus counter array and hash
+  /// heap storage. Feeds the per-synopsis memory gauges.
+  uint64_t MemoryBytes() const;
+
   bool CompatibleWith(const FmSketch& other) const {
     return num_maps_ == other.num_maps_ && seed_ == other.seed_;
   }

@@ -157,5 +157,12 @@ double HashSketch::EstimateSelfJoinSize() const {
   return *result;
 }
 
+uint64_t HashSketch::MemoryBytes() const {
+  uint64_t total = sizeof(*this) + counters_.capacity() * sizeof(int64_t);
+  for (const hashing::BucketHash& h : bucket_hashes_) total += h.MemoryBytes();
+  for (const hashing::SignHash& h : sign_hashes_) total += h.MemoryBytes();
+  return total;
+}
+
 }  // namespace sketch
 }  // namespace skimjoin

@@ -107,6 +107,10 @@ class HashSketch {
   const HashSketchConfig& config() const { return config_; }
   uint64_t seed() const { return seed_; }
 
+  /// Total footprint in bytes: the object plus counter array and hash
+  /// family heap storage. Feeds the per-synopsis memory gauges.
+  uint64_t MemoryBytes() const;
+
   // --- Low-level access used by the skimmed-sketch estimator (core/) and
   // --- white-box tests.
 

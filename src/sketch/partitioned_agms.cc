@@ -173,5 +173,15 @@ StatusOr<double> PartitionedAgmsSketch::EstimateJoinSize(
   return total;
 }
 
+uint64_t PartitionedAgmsSketch::MemoryBytes() const {
+  uint64_t total = sizeof(*this) +
+                   plan_.boundaries.capacity() * sizeof(uint64_t) +
+                   plan_.configs.capacity() * sizeof(AgmsConfig);
+  for (const AgmsSketch& partition : partitions_) {
+    total += partition.MemoryBytes();
+  }
+  return total;
+}
+
 }  // namespace sketch
 }  // namespace skimjoin

@@ -82,6 +82,10 @@ class PartitionedAgmsSketch {
   const PartitionPlan& plan() const { return plan_; }
   uint64_t TotalCounters() const { return plan_.TotalCounters(); }
 
+  /// Total footprint in bytes across every partition sketch plus the plan.
+  /// Feeds the per-synopsis memory gauges.
+  uint64_t MemoryBytes() const;
+
  private:
   PartitionedAgmsSketch(PartitionPlan plan, uint64_t seed,
                         std::vector<AgmsSketch> partitions);

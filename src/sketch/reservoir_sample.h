@@ -48,6 +48,12 @@ class ReservoirSample {
   const std::vector<uint64_t>& sample() const { return sample_; }
   uint64_t capacity() const { return capacity_; }
 
+  /// Total footprint in bytes (object plus sample storage). Feeds the
+  /// per-synopsis memory gauges.
+  uint64_t MemoryBytes() const {
+    return sizeof(*this) + sample_.capacity() * sizeof(uint64_t);
+  }
+
  private:
   ReservoirSample(uint64_t capacity, uint64_t seed);
 

@@ -148,5 +148,9 @@ StatusOr<uint64_t> GkQuantileSummary::Quantile(double phi) const {
   return tuples_.back().value;
 }
 
+uint64_t GkQuantileSummary::MemoryBytes() const {
+  return sizeof(*this) + tuples_.capacity() * sizeof(Tuple);
+}
+
 }  // namespace stream
 }  // namespace skimjoin

@@ -48,6 +48,10 @@ class GkQuantileSummary {
 
   double epsilon() const { return epsilon_; }
 
+  /// Total footprint in bytes (object plus tuple storage). Feeds the
+  /// per-synopsis memory gauges.
+  uint64_t MemoryBytes() const;
+
   /// Writes a self-describing text record (epsilon, count, tuples).
   Status SerializeTo(std::ostream& out) const;
 

@@ -200,5 +200,14 @@ void WaveletSynopsis::CompressTo(uint64_t budget) {
   for (const auto& [index, value] : kept) coefficients_.emplace(index, value);
 }
 
+uint64_t WaveletSynopsis::MemoryBytes() const {
+  // Red-black tree nodes carry three pointers plus a color word on top of
+  // the key/value payload.
+  constexpr uint64_t kMapNodeOverhead = 4 * sizeof(void*);
+  return sizeof(*this) +
+         coefficients_.size() *
+             (sizeof(std::pair<const uint64_t, double>) + kMapNodeOverhead);
+}
+
 }  // namespace stream
 }  // namespace skimjoin

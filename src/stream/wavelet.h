@@ -62,6 +62,11 @@ class WaveletSynopsis {
 
   uint64_t domain_size() const { return domain_size_; }
 
+  /// Total footprint in bytes: object plus the sparse coefficient map
+  /// (each tree node costed at its payload plus pointer overhead). Feeds
+  /// the per-synopsis memory gauges.
+  uint64_t MemoryBytes() const;
+
   /// Writes a self-describing text record (domain size, coefficients).
   Status SerializeTo(std::ostream& out) const;
 

@@ -2,24 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
 
 namespace skimjoin {
 
-int Histogram::BucketOf(double value) {
+int Histogram::BucketIndexOf(double value) {
   if (value < 1.0) return 0;
   const int bucket = 1 + static_cast<int>(std::floor(std::log2(value)));
   return std::min(bucket, kBuckets - 1);
 }
 
-double Histogram::LowerEdge(int index) {
+double Histogram::BucketLowerEdge(int index) {
   if (index == 0) return 0.0;
   return std::pow(2.0, index - 1);
 }
 
 void Histogram::Add(double value) {
-  ++counts_[BucketOf(value)];
+  ++counts_[BucketIndexOf(value)];
   if (total_count_ == 0) {
     min_ = value;
     max_ = value;
@@ -29,6 +30,23 @@ void Histogram::Add(double value) {
   }
   ++total_count_;
   sum_ += value;
+  sum_squares_ += value * value;
+}
+
+double Histogram::Min() const {
+  return total_count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double Histogram::Max() const {
+  return total_count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
+
+double Histogram::StdDev() const {
+  if (total_count_ == 0) return 0.0;
+  const double n = static_cast<double>(total_count_);
+  const double mean = sum_ / n;
+  // Population variance via E[x^2] - mean^2; clamp tiny negative rounding.
+  return std::sqrt(std::max(0.0, sum_squares_ / n - mean * mean));
 }
 
 double Histogram::ApproximateQuantile(double q) const {
@@ -39,8 +57,9 @@ double Histogram::ApproximateQuantile(double q) const {
   for (int bucket = 0; bucket < kBuckets; ++bucket) {
     const double next = cumulative + static_cast<double>(counts_[bucket]);
     if (next >= target && counts_[bucket] > 0) {
-      const double lo = LowerEdge(bucket);
-      const double hi = (bucket + 1 < kBuckets) ? LowerEdge(bucket + 1) : max_;
+      const double lo = BucketLowerEdge(bucket);
+      const double hi =
+          (bucket + 1 < kBuckets) ? BucketLowerEdge(bucket + 1) : max_;
       const double within =
           (target - cumulative) / static_cast<double>(counts_[bucket]);
       return lo + within * (std::max(hi, lo) - lo);
@@ -55,8 +74,9 @@ void Histogram::Print(std::ostream& os) const {
      << " max=" << Max() << "\n";
   for (int bucket = 0; bucket < kBuckets; ++bucket) {
     if (counts_[bucket] == 0) continue;
-    const double lo = LowerEdge(bucket);
-    const double hi = (bucket + 1 < kBuckets) ? LowerEdge(bucket + 1) : max_;
+    const double lo = BucketLowerEdge(bucket);
+    const double hi =
+        (bucket + 1 < kBuckets) ? BucketLowerEdge(bucket + 1) : max_;
     os << "  [" << lo << ", " << hi << "): " << counts_[bucket] << "\n";
   }
 }

@@ -1,6 +1,7 @@
 // Power-of-two bucketed histogram for non-negative measurements
-// (latencies, errors, counter values). Used by benchmarks to report
-// distributions without retaining raw samples.
+// (latencies, errors, counter values). Used by the bench harness to report
+// distributions without retaining raw samples, and shares its bucket scheme
+// with the sharded runtime histograms in util/metrics.h.
 
 #ifndef SKIMJOIN_UTIL_HISTOGRAM_H_
 #define SKIMJOIN_UTIL_HISTOGRAM_H_
@@ -15,7 +16,17 @@ namespace skimjoin {
 /// the bucket whose range contains them; negative values clamp to bucket 0.
 class Histogram {
  public:
+  /// Number of buckets; the last bucket is open-ended.
+  static constexpr int kBuckets = 64;
+
   Histogram() : counts_(kBuckets, 0) {}
+
+  /// Bucket index whose range contains `value` (negatives clamp to 0).
+  /// Shared with metrics::ShardedHistogram so snapshots merge exactly.
+  static int BucketIndexOf(double value);
+
+  /// Lower edge of bucket `index`: 0, 1, 2, 4, ..., 2^(index-1).
+  static double BucketLowerEdge(int index);
 
   /// Records one measurement.
   void Add(double value);
@@ -28,8 +39,16 @@ class Histogram {
   double Mean() const {
     return total_count_ == 0 ? 0.0 : sum_ / static_cast<double>(total_count_);
   }
-  double Min() const { return total_count_ == 0 ? 0.0 : min_; }
-  double Max() const { return total_count_ == 0 ? 0.0 : max_; }
+
+  /// Smallest / largest recorded measurement (exact). An EMPTY histogram
+  /// returns NaN — 0.0 would be indistinguishable from a real recorded
+  /// zero. Callers that want a printable default must check Count() first.
+  double Min() const;
+  double Max() const;
+
+  /// Population standard deviation of the recorded measurements (exact,
+  /// via the sum of squares). 0.0 for an empty histogram.
+  double StdDev() const;
 
   /// Approximate q-quantile (q in [0, 1]) by linear interpolation within
   /// the bucket holding the target rank. Returns 0 for an empty histogram.
@@ -38,18 +57,14 @@ class Histogram {
   /// Renders non-empty buckets as "lo..hi: count" lines.
   void Print(std::ostream& os) const;
 
+  /// Per-bucket counts (size kBuckets).
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
  private:
-  static constexpr int kBuckets = 64;
-
-  /// Bucket index for `value`.
-  static int BucketOf(double value);
-
-  /// Lower edge of bucket `index`.
-  static double LowerEdge(int index);
-
   std::vector<uint64_t> counts_;
   uint64_t total_count_ = 0;
   double sum_ = 0.0;
+  double sum_squares_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
 };

@@ -1,0 +1,427 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/durable_file.h"
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace metrics {
+
+namespace {
+
+// Shortest round-trippable rendering of a double (JSON / Prometheus).
+std::string DoubleToString(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g",
+                std::numeric_limits<double>::max_digits10, value);
+  return buffer;
+}
+
+// JSON string escaping: quotes, backslash, and control bytes.
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    const auto byte = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (byte < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", byte);
+      out += buffer;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Prometheus metric-name sanitization: [a-zA-Z0-9_:], leading digit gets a
+// '_' prefix. Deterministic, so two exports of one registry always agree.
+std::string PrometheusName(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- HistogramSnapshot -----------------------------------------------------
+
+double HistogramSnapshot::Quantile(double q) const {
+  SKIMJOIN_CHECK(q >= 0.0 && q <= 1.0);
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (int bucket = 0; bucket < Histogram::kBuckets; ++bucket) {
+    const double next = cumulative + static_cast<double>(buckets[bucket]);
+    if (next >= target && buckets[bucket] > 0) {
+      const double lo = Histogram::BucketLowerEdge(bucket);
+      const double hi = (bucket + 1 < Histogram::kBuckets)
+                            ? Histogram::BucketLowerEdge(bucket + 1)
+                            : max;
+      const double within =
+          (target - cumulative) / static_cast<double>(buckets[bucket]);
+      return lo + within * (std::max(hi, lo) - lo);
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
+// --- ShardedHistogram ------------------------------------------------------
+
+ShardedHistogram::Shard::Shard()
+    : min_bits(std::bit_cast<uint64_t>(
+          std::numeric_limits<double>::infinity())),
+      max_bits(std::bit_cast<uint64_t>(
+          -std::numeric_limits<double>::infinity())) {
+  for (auto& c : counts) c.store(0, std::memory_order_relaxed);
+}
+
+ShardedHistogram::ShardedHistogram() : shards_(new Shard[kShards]) {}
+
+ShardedHistogram::Shard& ShardedHistogram::LocalShard() {
+  // One shard slot per thread, assigned round-robin on first use and then
+  // reused for every histogram — threads never share a slot until there
+  // are more than kShards of them.
+  static std::atomic<uint64_t> next_slot{0};
+  thread_local const uint64_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shards_[slot];
+}
+
+void ShardedHistogram::Record(double value) {
+#ifdef SKIMJOIN_DISABLE_METRICS
+  (void)value;
+#else
+  Shard& shard = LocalShard();
+  shard.counts[Histogram::BucketIndexOf(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  // Doubles live bit-cast in uint64 atomics; CAS loops stay lock-free and
+  // are effectively uncontended because the shard is thread-private.
+  uint64_t observed = shard.sum_bits.load(std::memory_order_relaxed);
+  while (!shard.sum_bits.compare_exchange_weak(
+      observed, std::bit_cast<uint64_t>(std::bit_cast<double>(observed) + value),
+      std::memory_order_relaxed)) {
+  }
+  observed = shard.min_bits.load(std::memory_order_relaxed);
+  while (value < std::bit_cast<double>(observed) &&
+         !shard.min_bits.compare_exchange_weak(
+             observed, std::bit_cast<uint64_t>(value),
+             std::memory_order_relaxed)) {
+  }
+  observed = shard.max_bits.load(std::memory_order_relaxed);
+  while (value > std::bit_cast<double>(observed) &&
+         !shard.max_bits.compare_exchange_weak(
+             observed, std::bit_cast<uint64_t>(value),
+             std::memory_order_relaxed)) {
+  }
+#endif
+}
+
+HistogramSnapshot ShardedHistogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.buckets.assign(Histogram::kBuckets, 0);
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  for (int shard = 0; shard < kShards; ++shard) {
+    const Shard& s = shards_[shard];
+    for (int bucket = 0; bucket < Histogram::kBuckets; ++bucket) {
+      snapshot.buckets[bucket] +=
+          s.counts[bucket].load(std::memory_order_relaxed);
+    }
+    snapshot.count += s.count.load(std::memory_order_relaxed);
+    snapshot.sum +=
+        std::bit_cast<double>(s.sum_bits.load(std::memory_order_relaxed));
+    min = std::min(min,
+                   std::bit_cast<double>(
+                       s.min_bits.load(std::memory_order_relaxed)));
+    max = std::max(max,
+                   std::bit_cast<double>(
+                       s.max_bits.load(std::memory_order_relaxed)));
+  }
+  if (snapshot.count == 0) {
+    snapshot.min = std::numeric_limits<double>::quiet_NaN();
+    snapshot.max = std::numeric_limits<double>::quiet_NaN();
+    snapshot.sum = 0.0;
+  } else {
+    snapshot.min = min;
+    snapshot.max = max;
+  }
+  return snapshot;
+}
+
+// --- Registry --------------------------------------------------------------
+
+Registry& Registry::Global() {
+  static Registry* const registry = new Registry;
+  return *registry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+ShardedHistogram* Registry::GetHistogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<ShardedHistogram>();
+  return slot.get();
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snapshot;  // std::map iteration is already name-sorted
+}
+
+void Registry::Clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+// --- exporters -------------------------------------------------------------
+
+std::string ToJson(const Snapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i) out << ',';
+    out << '"' << JsonEscape(snapshot.counters[i].first)
+        << "\":" << snapshot.counters[i].second;
+  }
+  out << "},\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i) out << ',';
+    out << '"' << JsonEscape(snapshot.gauges[i].first)
+        << "\":" << DoubleToString(snapshot.gauges[i].second);
+  }
+  out << "},\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    if (i) out << ',';
+    const auto& [name, h] = snapshot.histograms[i];
+    out << '"' << JsonEscape(name) << "\":{\"count\":" << h.count
+        << ",\"sum\":" << DoubleToString(h.sum) << ",\"min\":"
+        << (h.count == 0 ? "null" : DoubleToString(h.min)) << ",\"max\":"
+        << (h.count == 0 ? "null" : DoubleToString(h.max))
+        << ",\"p50\":" << DoubleToString(h.Quantile(0.5))
+        << ",\"p99\":" << DoubleToString(h.Quantile(0.99)) << ",\"buckets\":[";
+    bool first = true;
+    for (int bucket = 0; bucket < Histogram::kBuckets; ++bucket) {
+      if (h.buckets[bucket] == 0) continue;
+      if (!first) out << ',';
+      first = false;
+      out << '[' << DoubleToString(Histogram::BucketLowerEdge(bucket)) << ','
+          << h.buckets[bucket] << ']';
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string ToPrometheusText(const Snapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " counter\n" << prom << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " gauge\n"
+        << prom << ' ' << DoubleToString(value) << '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " histogram\n";
+    uint64_t cumulative = 0;
+    for (int bucket = 0; bucket < Histogram::kBuckets; ++bucket) {
+      cumulative += h.buckets[bucket];
+      // Only emit edges up to the last non-empty bucket; +Inf carries the
+      // total, so the series stays parseable and short.
+      if (h.buckets[bucket] == 0 && cumulative == 0) continue;
+      if (bucket + 1 < Histogram::kBuckets && h.buckets[bucket] == 0) continue;
+      if (bucket + 1 < Histogram::kBuckets) {
+        out << prom << "_bucket{le=\""
+            << DoubleToString(Histogram::BucketLowerEdge(bucket + 1)) << "\"} "
+            << cumulative << '\n';
+      }
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << h.count << '\n'
+        << prom << "_sum " << DoubleToString(h.sum) << '\n'
+        << prom << "_count " << h.count << '\n';
+  }
+  return out.str();
+}
+
+// --- tracing ---------------------------------------------------------------
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* const recorder = new TraceRecorder;
+  return *recorder;
+}
+
+uint64_t TraceRecorder::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+size_t TraceRecorder::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceRecorder::DrainAsChromeTrace() {
+  std::vector<TraceEvent> events;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events.swap(events_);
+  }
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i) out << ',';
+    const TraceEvent& e = events[i];
+    out << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\""
+        << JsonEscape(e.category) << "\",\"ph\":\"X\",\"ts\":" << e.start_micros
+        << ",\"dur\":" << e.duration_micros << ",\"pid\":1,\"tid\":"
+        << e.thread_id << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category)
+    : name_(name), category_(category) {
+#ifndef SKIMJOIN_DISABLE_METRICS
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (recorder.enabled()) {
+    active_ = true;
+    start_micros_ = recorder.NowMicros();
+  }
+#endif
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  // A span that began while tracing was on still records if tracing turned
+  // off mid-span — losing it would skew phase accounting.
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.start_micros = start_micros_;
+  event.duration_micros = recorder.NowMicros() - start_micros_;
+  event.thread_id = static_cast<uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffff);
+  recorder.Record(std::move(event));
+}
+
+// --- periodic writer -------------------------------------------------------
+
+PeriodicSnapshotWriter::PeriodicSnapshotWriter(std::string path, Format format,
+                                               std::chrono::milliseconds period,
+                                               std::function<Snapshot()> source)
+    : path_(std::move(path)),
+      format_(format),
+      period_(period),
+      source_(std::move(source)) {
+  SKIMJOIN_CHECK(source_ != nullptr);
+  SKIMJOIN_CHECK(period_.count() > 0);
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      wake_.wait_for(lock, period_, [this] { return stopping_; });
+      if (stopping_) return;
+      lock.unlock();
+      const Status status = WriteOnce();
+      if (!status.ok()) {
+        std::fprintf(stderr, "metrics snapshot write failed: %s\n",
+                     status.ToString().c_str());
+      }
+      lock.lock();
+    }
+  });
+}
+
+Status PeriodicSnapshotWriter::WriteOnce() {
+  const Snapshot snapshot = source_();
+  const std::string text = format_ == Format::kJson
+                               ? ToJson(snapshot)
+                               : ToPrometheusText(snapshot);
+  return util::AtomicWriteFile(path_, text);
+}
+
+Status PeriodicSnapshotWriter::Stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return OkStatus();
+    stopping_ = true;
+    stopped_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  return WriteOnce();
+}
+
+PeriodicSnapshotWriter::~PeriodicSnapshotWriter() {
+  const Status status = Stop();
+  if (!status.ok()) {
+    std::fprintf(stderr, "final metrics snapshot write failed: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
+}  // namespace metrics
+}  // namespace skimjoin

@@ -1,0 +1,296 @@
+// Process-wide metrics: named counters, gauges, and sharded low-overhead
+// histograms, with JSON / Prometheus / Chrome-trace exporters.
+//
+// Design (following the near-zero-overhead instrumentation discipline of
+// concurrent sketch implementations — Rinberg et al.'s Fast Concurrent
+// Data Sketches, and the monitoring loop of Hokusai):
+//
+//   * Registration is the cold path: Registry::GetCounter / GetGauge /
+//     GetHistogram take a mutex once and return a POINTER that stays valid
+//     for the registry's lifetime. Callers cache the pointer.
+//   * The hot path is lock-free: Counter::Increment is one relaxed atomic
+//     add; ShardedHistogram::Record touches only the calling thread's
+//     shard (selected once per thread, cache-line separated), so
+//     concurrent writers never contend on a line.
+//   * Snapshots merge the shards on the READER's dime: TakeSnapshot walks
+//     every instrument with relaxed loads, producing a consistent-enough
+//     view for monitoring (counters are monotone; a snapshot racing an
+//     increment misses at most the in-flight delta).
+//
+// Exporters:
+//   * ToJson     — one self-contained JSON object (counters / gauges /
+//                  histograms with bucket arrays), machine-diffable.
+//   * ToPrometheusText — text exposition format: counters as `# TYPE ...
+//                  counter`, histograms as cumulative `_bucket{le="..."}`
+//                  series plus `_sum` / `_count`.
+//   * TraceRecorder::DrainAsChromeTrace — `trace_event` JSON consumable by
+//                  chrome://tracing / Perfetto, fed by TraceSpan RAII spans
+//                  around coarse engine phases (ingest batch, replica
+//                  merge, SKIMDENSE, estimate, checkpoint save/restore).
+//
+// Compile-time kill switch: building with -DSKIMJOIN_DISABLE_METRICS (the
+// `cmake -DSKIMJOIN_DISABLE_METRICS=ON` option) turns histogram recording
+// and trace spans into no-ops so the CI perf gate can compare instrumented
+// against uninstrumented builds. Counters stay live in both builds — they
+// replaced pre-existing engine bookkeeping (ingest stats, checkpoint
+// round-trips) that must keep working.
+
+#ifndef SKIMJOIN_UTIL_METRICS_H_
+#define SKIMJOIN_UTIL_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace skimjoin {
+namespace metrics {
+
+/// A monotonically increasing counter. Increment is one relaxed atomic
+/// add — safe from any thread, never a lock.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Overwrites the value. State restoration only (checkpoint restore
+  /// re-seeding cumulative counts) — live paths must use Increment so the
+  /// counter stays monotone.
+  void Reset(uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A last-value-wins gauge (memory footprints, shard counts, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Merged view of one histogram at snapshot time. Bucket edges follow
+/// util::Histogram: [0,1), [1,2), [2,4), ..., last bucket open-ended.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  /// NaN when count == 0 (matching util::Histogram::Min/Max).
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<uint64_t> buckets;  // size Histogram::kBuckets
+
+  double Mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Approximate q-quantile by linear interpolation within the target
+  /// bucket (same scheme as util::Histogram::ApproximateQuantile).
+  double Quantile(double q) const;
+};
+
+/// A histogram whose Record path touches only the calling thread's shard:
+/// per-shard relaxed atomic bucket counts plus CAS-maintained sum/min/max,
+/// each shard on its own cache lines. Snapshot merges all shards.
+class ShardedHistogram {
+ public:
+  ShardedHistogram();
+
+  /// Records one measurement. Lock-free; safe from any thread. Compiled
+  /// out under SKIMJOIN_DISABLE_METRICS.
+  void Record(double value);
+
+  /// Merged view across every shard (relaxed loads; monitoring-grade
+  /// consistency, not a linearization point).
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  static constexpr int kShards = 16;
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> counts[Histogram::kBuckets];
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_bits{0};  // bit-cast double, CAS-accumulated
+    std::atomic<uint64_t> min_bits;     // bit-cast double
+    std::atomic<uint64_t> max_bits;     // bit-cast double
+
+    Shard();
+  };
+
+  Shard& LocalShard();
+
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// Everything a registry held at one instant, sorted by name.
+struct Snapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// A namespace of instruments. Get* registers on first use and returns a
+/// pointer that stays valid until the registry is destroyed (instruments
+/// are heap-allocated; the name map only holds owning pointers) — cache it
+/// and increment lock-free. Thread-safe throughout. There is one global
+/// registry for process-wide use; query::Engine owns a private one so two
+/// engines in one process never mix their streams' metrics.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry.
+  static Registry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  ShardedHistogram* GetHistogram(const std::string& name);
+
+  /// Merged view of every registered instrument, sorted by name.
+  Snapshot TakeSnapshot() const;
+
+  /// Drops every instrument. Pointers handed out before Clear dangle —
+  /// only for teardown paths that also drop their cached pointers
+  /// (Engine::Clear, tests).
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<ShardedHistogram>> histograms_;
+};
+
+/// Renders a snapshot as one JSON object:
+///   {"counters":{...},"gauges":{...},"histograms":{"name":{"count":...,
+///    "sum":...,"min":...,"max":...,"p50":...,"p99":...,"buckets":[[lo,n],...]}}}
+/// Histogram min/max are null when empty (JSON has no NaN). Bucket arrays
+/// list only non-empty buckets as [lower_edge, count] pairs.
+std::string ToJson(const Snapshot& snapshot);
+
+/// Renders a snapshot in the Prometheus text exposition format. Metric
+/// names are sanitized to [a-zA-Z0-9_:] (every other byte becomes '_').
+/// Histograms export cumulative `name_bucket{le="..."}` series over the
+/// power-of-two edges, plus `name_sum` and `name_count`.
+std::string ToPrometheusText(const Snapshot& snapshot);
+
+/// One completed span for the Chrome trace exporter.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  uint64_t start_micros = 0;  // since recorder epoch
+  uint64_t duration_micros = 0;
+  uint64_t thread_id = 0;
+};
+
+/// Collects TraceSpan events while enabled. Disabled (the default) a span
+/// costs one relaxed atomic load. There is one recorder per process; spans
+/// are cheap enough that engine code records unconditionally-when-enabled
+/// rather than threading a recorder through every layer.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one completed event (called by ~TraceSpan).
+  void Record(TraceEvent event);
+
+  /// Microseconds since the recorder's epoch (process start, first use).
+  uint64_t NowMicros() const;
+
+  /// Renders and clears the buffered events as Chrome trace JSON:
+  ///   {"traceEvents":[{"name":...,"cat":...,"ph":"X","ts":...,"dur":...,
+  ///                    "pid":1,"tid":...},...]}
+  std::string DrainAsChromeTrace();
+
+  size_t event_count() const;
+
+ private:
+  TraceRecorder();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span recording one "ph":"X" event into TraceRecorder::Global()
+/// when tracing is enabled. `name` and `category` must be string literals
+/// (kept by pointer until destruction). No-op (one atomic load) when
+/// tracing is disabled, compiled out under SKIMJOIN_DISABLE_METRICS.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "engine");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  uint64_t start_micros_ = 0;
+  bool active_ = false;
+};
+
+/// Writes a fresh snapshot to `path` every `period`, each write through
+/// util::AtomicWriteFile (readers always see a complete file). The first
+/// write happens after one period; Stop() (or destruction) performs a
+/// final write so short-lived processes still leave a snapshot behind.
+class PeriodicSnapshotWriter {
+ public:
+  enum class Format { kJson, kPrometheus };
+
+  /// `source` is called on the writer's background thread — it must be
+  /// thread-safe (Registry::TakeSnapshot and Engine::MetricsSnapshot are).
+  PeriodicSnapshotWriter(std::string path, Format format,
+                         std::chrono::milliseconds period,
+                         std::function<Snapshot()> source);
+  ~PeriodicSnapshotWriter();
+
+  PeriodicSnapshotWriter(const PeriodicSnapshotWriter&) = delete;
+  PeriodicSnapshotWriter& operator=(const PeriodicSnapshotWriter&) = delete;
+
+  /// Stops the background thread and writes one final snapshot. Returns
+  /// the status of the final write. Idempotent.
+  Status Stop();
+
+ private:
+  Status WriteOnce();
+
+  std::string path_;
+  Format format_;
+  std::chrono::milliseconds period_;
+  std::function<Snapshot()> source_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace metrics
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_UTIL_METRICS_H_

@@ -589,6 +589,39 @@ TEST(CheckpointEquivalenceTest, RestoredEngineAnswersBitIdentically) {
   EXPECT_EQ(live_bytes.substr(0, 200), restored_bytes.substr(0, 200));
 }
 
+// The v2 manifest carries a counters-only metrics block: cumulative ingest
+// counters AND any embedder-registered counters (e.g. the shell's command
+// count) must survive a save/restore cycle.
+TEST(CheckpointTest, MetricsCountersRoundTrip) {
+  Engine engine;
+  ASSERT_TRUE(
+      engine.RegisterStream({.name = "f", .domain_size = 256}).ok());
+  for (uint64_t v = 0; v < 40; ++v) {
+    SKIMJOIN_CHECK_OK(engine.Update("f", {.value = v % 256}));
+  }
+  engine.metrics_registry().GetCounter("shell.commands")->Increment(17);
+
+  const std::string path = TempPath("metrics");
+  ASSERT_TRUE(engine.SaveCheckpoint(path).ok());
+
+  Engine restored;
+  ASSERT_TRUE(restored.RestoreCheckpoint(path, {}).ok());
+  uint64_t shell_commands = 0, absorbed = 0;
+  for (const auto& [name, value] : restored.MetricsSnapshot().counters) {
+    if (name == "shell.commands") shell_commands = value;
+    if (name == "ingest.f.elements_absorbed") absorbed = value;
+  }
+  EXPECT_EQ(shell_commands, 17u);
+  EXPECT_EQ(absorbed, 40u);
+
+  // And the restored counters keep counting from where they left off.
+  SKIMJOIN_CHECK_OK(restored.Update("f", {.value = 1}));
+  const StatusOr<ingest::IngestStats> stats =
+      restored.StreamIngestStats("f");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->elements_absorbed, 41u);
+}
+
 }  // namespace
 }  // namespace query
 }  // namespace skimjoin

@@ -1,5 +1,6 @@
 #include "util/histogram.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "gtest/gtest.h"
@@ -64,6 +65,28 @@ TEST(HistogramTest, PrintListsNonEmptyBuckets) {
   EXPECT_NE(text.find("count=2"), std::string::npos);
   EXPECT_NE(text.find("[0, 1)"), std::string::npos);
   EXPECT_NE(text.find("[64, 128)"), std::string::npos);
+}
+
+TEST(HistogramTest, EmptyMinMaxAreNaN) {
+  Histogram h;
+  // NaN, not 0.0: a 0.0 default would be indistinguishable from a recorded
+  // zero (regression test — Min/Max used to return 0.0 when empty).
+  EXPECT_TRUE(std::isnan(h.Min()));
+  EXPECT_TRUE(std::isnan(h.Max()));
+  h.Add(0.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+}
+
+TEST(HistogramTest, StdDevMatchesDirectComputation) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.StdDev(), 0.0);
+  Histogram single;
+  single.Add(42.0);
+  EXPECT_DOUBLE_EQ(single.StdDev(), 0.0);
+  Histogram h;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) h.Add(v);
+  EXPECT_NEAR(h.StdDev(), 2.0, 1e-9);  // population sigma of this set is 2
 }
 
 TEST(HistogramDeathTest, QuantileValidatesQ) {

@@ -1,0 +1,260 @@
+#include "util/metrics.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace skimjoin {
+namespace metrics {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset(7);
+  EXPECT_EQ(c.Value(), 7u);
+}
+
+TEST(GaugeTest, LastValueWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_DOUBLE_EQ(g.Value(), -1.25);
+}
+
+TEST(RegistryTest, GetReturnsStablePointers) {
+  Registry registry;
+  Counter* a = registry.GetCounter("a");
+  Counter* again = registry.GetCounter("a");
+  EXPECT_EQ(a, again);
+  EXPECT_NE(a, registry.GetCounter("b"));
+  Gauge* g = registry.GetGauge("a");  // separate namespace from counters
+  EXPECT_EQ(g, registry.GetGauge("a"));
+  ShardedHistogram* h = registry.GetHistogram("a");
+  EXPECT_EQ(h, registry.GetHistogram("a"));
+}
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  Registry registry;
+  registry.GetCounter("zebra")->Increment(1);
+  registry.GetCounter("apple")->Increment(2);
+  registry.GetCounter("mango")->Increment(3);
+  const Snapshot snapshot = registry.TakeSnapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].first, "apple");
+  EXPECT_EQ(snapshot.counters[1].first, "mango");
+  EXPECT_EQ(snapshot.counters[2].first, "zebra");
+  EXPECT_EQ(snapshot.counters[0].second, 2u);
+}
+
+TEST(ShardedHistogramTest, EmptySnapshotHasNaNMinMax) {
+  ShardedHistogram h;
+  const HistogramSnapshot snapshot = h.Snapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 0.0);
+  EXPECT_TRUE(std::isnan(snapshot.min));
+  EXPECT_TRUE(std::isnan(snapshot.max));
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.5), 0.0);
+}
+
+#ifndef SKIMJOIN_DISABLE_METRICS
+
+TEST(ShardedHistogramTest, RecordsExactSummaryStats) {
+  ShardedHistogram h;
+  h.Record(1.0);
+  h.Record(3.0);
+  h.Record(10.0);
+  const HistogramSnapshot snapshot = h.Snapshot();
+  EXPECT_EQ(snapshot.count, 3u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 14.0);
+  EXPECT_NEAR(snapshot.Mean(), 14.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(snapshot.min, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, 10.0);
+  // Buckets match util::Histogram's power-of-two scheme.
+  EXPECT_EQ(snapshot.buckets[Histogram::BucketIndexOf(1.0)], 1u);
+  EXPECT_EQ(snapshot.buckets[Histogram::BucketIndexOf(3.0)], 1u);
+  EXPECT_EQ(snapshot.buckets[Histogram::BucketIndexOf(10.0)], 1u);
+}
+
+TEST(ShardedHistogramTest, QuantileMonotoneInQ) {
+  ShardedHistogram h;
+  for (int i = 1; i <= 5000; ++i) h.Record(static_cast<double>(i));
+  const HistogramSnapshot snapshot = h.Snapshot();
+  double previous = 0.0;
+  for (double q : {0.1, 0.5, 0.9, 1.0}) {
+    const double value = snapshot.Quantile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+}
+
+// The TSan target: hammer one registry from many threads — registration,
+// counter increments, gauge sets, histogram records, and snapshots all
+// racing. Correctness check is just the deterministic totals; the real
+// assertion is "no data race report".
+TEST(MetricsConcurrencyTest, TortureManyWritersOneReader) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&registry, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Snapshot snapshot = registry.TakeSnapshot();
+      (void)ToJson(snapshot);  // exercise exporters against live writers
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&registry, t] {
+      // Half shared instruments (contended), half per-thread (sharded path).
+      Counter* shared = registry.GetCounter("torture.shared");
+      Counter* mine = registry.GetCounter("torture.t" + std::to_string(t));
+      Gauge* gauge = registry.GetGauge("torture.gauge");
+      ShardedHistogram* histogram = registry.GetHistogram("torture.latency");
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        shared->Increment();
+        mine->Increment();
+        gauge->Set(static_cast<double>(i));
+        histogram->Record(static_cast<double>(i % 1024));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const Snapshot snapshot = registry.TakeSnapshot();
+  uint64_t shared = 0, histogram_count = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "torture.shared") shared = value;
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (name == "torture.latency") histogram_count = h.count;
+  }
+  EXPECT_EQ(shared, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(histogram_count, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+}
+
+TEST(TraceTest, SpansRecordOnlyWhileEnabled) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  (void)recorder.DrainAsChromeTrace();  // discard spans from other tests
+  { TraceSpan span("ignored", "test"); }
+  EXPECT_EQ(recorder.event_count(), 0u);
+
+  recorder.Enable();
+  { TraceSpan span("phase_a", "test"); }
+  { TraceSpan span("phase_b", "test"); }
+  recorder.Disable();
+  { TraceSpan span("ignored_again", "test"); }
+  EXPECT_EQ(recorder.event_count(), 2u);
+
+  const std::string json = recorder.DrainAsChromeTrace();
+  EXPECT_NE(json.find("\"name\":\"phase_a\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"phase_b\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("ignored"), std::string::npos) << json;
+  // Drain empties the buffer.
+  EXPECT_EQ(recorder.event_count(), 0u);
+  EXPECT_EQ(recorder.DrainAsChromeTrace(), "{\"traceEvents\":[]}");
+}
+
+#endif  // SKIMJOIN_DISABLE_METRICS
+
+// Exporter goldens: exact output strings, so a format change is a conscious
+// decision. Counters/gauges stay live under SKIMJOIN_DISABLE_METRICS; the
+// histogram in these registries stays empty, so the goldens hold there too.
+TEST(ExporterTest, JsonGolden) {
+  Registry registry;
+  registry.GetCounter("ingest.s.batches")->Increment(3);
+  registry.GetGauge("engine.num_streams")->Set(2);
+  registry.GetHistogram("query.1.rel_error");
+  EXPECT_EQ(ToJson(registry.TakeSnapshot()),
+            "{\"counters\":{\"ingest.s.batches\":3},"
+            "\"gauges\":{\"engine.num_streams\":2},"
+            "\"histograms\":{\"query.1.rel_error\":{\"count\":0,\"sum\":0,"
+            "\"min\":null,\"max\":null,\"p50\":0,\"p99\":0,\"buckets\":[]}}}");
+}
+
+TEST(ExporterTest, JsonEscapesNames) {
+  Registry registry;
+  registry.GetCounter("weird\"name\\with\ttabs")->Increment(1);
+  const std::string json = ToJson(registry.TakeSnapshot());
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\u0009tabs"), std::string::npos)
+      << json;
+}
+
+TEST(ExporterTest, PrometheusGolden) {
+  Registry registry;
+  registry.GetCounter("ingest.s.batches")->Increment(3);
+  registry.GetGauge("engine.num_streams")->Set(2);
+  registry.GetHistogram("query.1.rel_error");
+  EXPECT_EQ(ToPrometheusText(registry.TakeSnapshot()),
+            "# TYPE ingest_s_batches counter\n"
+            "ingest_s_batches 3\n"
+            "# TYPE engine_num_streams gauge\n"
+            "engine_num_streams 2\n"
+            "# TYPE query_1_rel_error histogram\n"
+            "query_1_rel_error_bucket{le=\"+Inf\"} 0\n"
+            "query_1_rel_error_sum 0\n"
+            "query_1_rel_error_count 0\n");
+}
+
+#ifndef SKIMJOIN_DISABLE_METRICS
+
+TEST(ExporterTest, PrometheusHistogramBucketsAreCumulative) {
+  Registry registry;
+  ShardedHistogram* h = registry.GetHistogram("lat");
+  h->Record(0.5);   // bucket [0,1)
+  h->Record(3.0);   // bucket [2,4)
+  h->Record(3.5);   // bucket [2,4)
+  const std::string text = ToPrometheusText(registry.TakeSnapshot());
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_bucket{le=\"4\"} 3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_sum 7\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_count 3\n"), std::string::npos) << text;
+}
+
+#endif  // SKIMJOIN_DISABLE_METRICS
+
+TEST(PeriodicSnapshotWriterTest, StopWritesFinalSnapshot) {
+  Registry registry;
+  registry.GetCounter("writer.test")->Increment(11);
+  const std::string path =
+      testing::TempDir() + "/metrics_writer_snapshot.json";
+  std::remove(path.c_str());
+  {
+    PeriodicSnapshotWriter writer(
+        path, PeriodicSnapshotWriter::Format::kJson,
+        std::chrono::milliseconds(10'000),  // period >> test: only the
+                                            // final Stop() write happens
+        [&registry] { return registry.TakeSnapshot(); });
+    EXPECT_TRUE(writer.Stop().ok());
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"writer.test\":11"), std::string::npos)
+      << contents;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace skimjoin

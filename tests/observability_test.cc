@@ -1,0 +1,253 @@
+// End-to-end coverage of the engine's observability surface: instrument
+// naming, ingest counters, per-query latency histograms, memory-footprint
+// gauges, and the accuracy-drift monitor (docs/OBSERVABILITY.md).
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "query/engine.h"
+#include "stream/frequency_vector.h"
+#include "util/metrics.h"
+
+namespace skimjoin {
+namespace query {
+namespace {
+
+uint64_t CounterValue(const metrics::Snapshot& snapshot,
+                      const std::string& name) {
+  for (const auto& [n, v] : snapshot.counters) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "no counter named " << name;
+  return 0;
+}
+
+double GaugeValue(const metrics::Snapshot& snapshot, const std::string& name) {
+  for (const auto& [n, v] : snapshot.gauges) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "no gauge named " << name;
+  return 0.0;
+}
+
+const metrics::HistogramSnapshot* FindHistogram(
+    const metrics::Snapshot& snapshot, const std::string& name) {
+  for (const auto& [n, h] : snapshot.histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(ObservabilityTest, SnapshotCoversIngestQueriesAndMemory) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream({.name = "f", .domain_size = 1024}).ok());
+  ASSERT_TRUE(engine.RegisterStream({.name = "g", .domain_size = 1024}).ok());
+  JoinQuerySpec join;
+  join.left_stream = "f";
+  join.right_stream = "g";
+  join.estimator.kind = core::EstimatorKind::kSkimmedSketch;
+  join.estimator.space_counters = 2048;
+  const StatusOr<QueryId> join_id = engine.AddJoinQuery(join, /*seed=*/7);
+  ASSERT_TRUE(join_id.ok());
+
+  std::vector<StreamUpdate> batch;
+  for (uint64_t i = 0; i < 100; ++i) batch.push_back({.value = i % 50});
+  ASSERT_TRUE(engine.UpdateBatch("f", batch).ok());
+  ASSERT_TRUE(engine.UpdateBatch("g", batch).ok());
+  // Out-of-domain: dropped, counted, and reported as OUT_OF_RANGE.
+  EXPECT_EQ(engine.Update("f", {.value = 5000}).code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE(engine.AnswerJoin(*join_id).ok());
+
+  const metrics::Snapshot snapshot = engine.MetricsSnapshot();
+  EXPECT_EQ(CounterValue(snapshot, "ingest.f.elements_absorbed"), 100u);
+  EXPECT_EQ(CounterValue(snapshot, "ingest.f.elements_dropped"), 1u);
+  EXPECT_EQ(CounterValue(snapshot, "ingest.f.batches"), 1u);
+  EXPECT_EQ(CounterValue(snapshot, "ingest.g.elements_absorbed"), 100u);
+  const std::string prefix = "query." + std::to_string(*join_id) + ".";
+  EXPECT_EQ(CounterValue(snapshot, prefix + "estimate_calls"), 1u);
+  EXPECT_GT(GaugeValue(snapshot, prefix + "memory_bytes"), 0.0);
+  EXPECT_EQ(GaugeValue(snapshot, "engine.num_streams"), 2.0);
+  EXPECT_EQ(GaugeValue(snapshot, "engine.num_queries"), 1.0);
+  EXPECT_EQ(GaugeValue(snapshot, "engine.ingest_shards"), 1.0);
+  ASSERT_NE(FindHistogram(snapshot, prefix + "estimate_ns"), nullptr);
+  ASSERT_NE(FindHistogram(snapshot, prefix + "rel_error"), nullptr);
+}
+
+#ifndef SKIMJOIN_DISABLE_METRICS
+
+TEST(ObservabilityTest, EstimateLatencyHistogramCountsCalls) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream({.name = "f", .domain_size = 256}).ok());
+  SelfJoinQuerySpec spec;
+  spec.stream = "f";
+  spec.estimator.kind = core::EstimatorKind::kAgms;
+  spec.estimator.space_counters = 512;
+  const StatusOr<QueryId> id = engine.AddSelfJoinQuery(spec, /*seed=*/3);
+  ASSERT_TRUE(id.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(engine.Update("f", {.value = static_cast<uint64_t>(i)}).ok());
+  }
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(engine.AnswerJoin(*id).ok());
+
+  const metrics::Snapshot snapshot = engine.MetricsSnapshot();
+  const std::string prefix = "query." + std::to_string(*id) + ".";
+  EXPECT_EQ(CounterValue(snapshot, prefix + "estimate_calls"), 5u);
+  const metrics::HistogramSnapshot* latency =
+      FindHistogram(snapshot, prefix + "estimate_ns");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, 5u);
+  EXPECT_GT(latency->sum, 0.0);
+}
+
+// The drift monitor: with an exact FrequencyVector attached, every point
+// answer records |estimate - exact| / max(1, |exact|). A well-provisioned
+// sketch over a light stream keeps the error essentially zero.
+TEST(ObservabilityTest, DriftNearZeroForWellProvisionedSketch) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream({.name = "f", .domain_size = 1024}).ok());
+  FrequencyQuerySpec spec;
+  spec.stream = "f";
+  spec.space_counters = 4096;
+  const StatusOr<QueryId> id = engine.AddFrequencyQuery(spec, /*seed=*/11);
+  ASSERT_TRUE(id.ok());
+
+  stream::FrequencyVector reference(1024);
+  ASSERT_TRUE(engine.AttachAccuracyReference("f", &reference).ok());
+  for (uint64_t v = 0; v < 20; ++v) {
+    const int64_t count = static_cast<int64_t>(10 * (v + 1));
+    ASSERT_TRUE(engine.Update("f", {.value = v, .count = count}).ok());
+    reference.Add(v, count);
+  }
+  for (uint64_t v = 0; v < 20; ++v) {
+    ASSERT_TRUE(engine.AnswerPointFrequency(*id, v).ok());
+  }
+
+  const metrics::Snapshot snapshot = engine.MetricsSnapshot();
+  const std::string name = "query." + std::to_string(*id) + ".rel_error";
+  const metrics::HistogramSnapshot* drift = FindHistogram(snapshot, name);
+  ASSERT_NE(drift, nullptr);
+  EXPECT_EQ(drift->count, 20u);
+  EXPECT_LT(drift->Mean(), 0.05);
+}
+
+// The threshold test: starve the sketch and the same workload trips a drift
+// alarm a monitoring rule would page on (mean relative error above 10%).
+TEST(ObservabilityTest, DriftDetectsUndersizedSketch) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream({.name = "f", .domain_size = 4096}).ok());
+  FrequencyQuerySpec spec;
+  spec.stream = "f";
+  spec.space_counters = 8;  // starved: heavy values collide constantly
+  spec.num_tables = 1;
+  spec.use_dyadic = false;
+  const StatusOr<QueryId> id = engine.AddFrequencyQuery(spec, /*seed=*/11);
+  ASSERT_TRUE(id.ok());
+
+  stream::FrequencyVector reference(4096);
+  ASSERT_TRUE(engine.AttachAccuracyReference("f", &reference).ok());
+  for (uint64_t v = 0; v < 512; ++v) {
+    const int64_t count = static_cast<int64_t>(1 + v % 97);
+    ASSERT_TRUE(engine.Update("f", {.value = v, .count = count}).ok());
+    reference.Add(v, count);
+  }
+  for (uint64_t v = 0; v < 512; ++v) {
+    ASSERT_TRUE(engine.AnswerPointFrequency(*id, v).ok());
+  }
+
+  const metrics::Snapshot snapshot = engine.MetricsSnapshot();
+  const std::string name = "query." + std::to_string(*id) + ".rel_error";
+  const metrics::HistogramSnapshot* drift = FindHistogram(snapshot, name);
+  ASSERT_NE(drift, nullptr);
+  EXPECT_EQ(drift->count, 512u);
+  EXPECT_GT(drift->Mean(), 0.10);
+}
+
+TEST(ObservabilityTest, JoinDriftNeedsBothReferences) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream({.name = "f", .domain_size = 256}).ok());
+  ASSERT_TRUE(engine.RegisterStream({.name = "g", .domain_size = 256}).ok());
+  JoinQuerySpec join;
+  join.left_stream = "f";
+  join.right_stream = "g";
+  join.estimator.kind = core::EstimatorKind::kSkimmedSketch;
+  join.estimator.space_counters = 2048;
+  const StatusOr<QueryId> id = engine.AddJoinQuery(join, /*seed=*/5);
+  ASSERT_TRUE(id.ok());
+
+  stream::FrequencyVector ref_f(256), ref_g(256);
+  for (uint64_t v = 0; v < 32; ++v) {
+    ASSERT_TRUE(engine.Update("f", {.value = v, .count = 4}).ok());
+    ASSERT_TRUE(engine.Update("g", {.value = v, .count = 4}).ok());
+    ref_f.Add(v, 4);
+    ref_g.Add(v, 4);
+  }
+  const std::string name = "query." + std::to_string(*id) + ".rel_error";
+
+  // Only one side referenced: no exact answer exists, nothing recorded.
+  ASSERT_TRUE(engine.AttachAccuracyReference("f", &ref_f).ok());
+  ASSERT_TRUE(engine.AnswerJoin(*id).ok());
+  metrics::Snapshot snapshot = engine.MetricsSnapshot();
+  const metrics::HistogramSnapshot* drift = FindHistogram(snapshot, name);
+  ASSERT_NE(drift, nullptr);
+  EXPECT_EQ(drift->count, 0u);
+
+  // Both sides referenced: every answer records one drift sample.
+  ASSERT_TRUE(engine.AttachAccuracyReference("g", &ref_g).ok());
+  ASSERT_TRUE(engine.AnswerJoin(*id).ok());
+  ASSERT_TRUE(engine.AnswerJoin(*id).ok());
+  snapshot = engine.MetricsSnapshot();
+  drift = FindHistogram(snapshot, name);
+  ASSERT_NE(drift, nullptr);
+  EXPECT_EQ(drift->count, 2u);
+  EXPECT_LT(drift->Mean(), 0.25);  // well-provisioned sketch, mild stream
+
+  // Detach stops recording.
+  ASSERT_TRUE(engine.AttachAccuracyReference("f", nullptr).ok());
+  ASSERT_TRUE(engine.AnswerJoin(*id).ok());
+  snapshot = engine.MetricsSnapshot();
+  drift = FindHistogram(snapshot, name);
+  EXPECT_EQ(drift->count, 2u);
+}
+
+#endif  // SKIMJOIN_DISABLE_METRICS
+
+TEST(ObservabilityTest, AttachAccuracyReferenceUnknownStream) {
+  Engine engine;
+  stream::FrequencyVector reference(16);
+  EXPECT_EQ(engine.AttachAccuracyReference("nope", &reference).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ObservabilityTest, EmbedderInstrumentsRideAlong) {
+  Engine engine;
+  engine.metrics_registry().GetCounter("shell.commands")->Increment(9);
+  const metrics::Snapshot snapshot = engine.MetricsSnapshot();
+  EXPECT_EQ(CounterValue(snapshot, "shell.commands"), 9u);
+}
+
+TEST(ObservabilityTest, ClearDropsInstruments) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream({.name = "f", .domain_size = 64}).ok());
+  ASSERT_TRUE(engine.Update("f", {.value = 1}).ok());
+  EXPECT_FALSE(engine.MetricsSnapshot().counters.empty());
+  engine.Clear();
+  const metrics::Snapshot snapshot = engine.MetricsSnapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    EXPECT_NE(name.rfind("ingest.", 0), 0u) << name;
+  }
+}
+
+TEST(ObservabilityTest, StreamNamesInRegistrationOrder) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream({.name = "zebra", .domain_size = 64}).ok());
+  ASSERT_TRUE(engine.RegisterStream({.name = "apple", .domain_size = 64}).ok());
+  EXPECT_EQ(engine.StreamNames(),
+            (std::vector<std::string>{"zebra", "apple"}));
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace skimjoin

@@ -241,6 +241,74 @@ TEST(ShellTest, SeedChangesQueryRandomness) {
   EXPECT_NE(Exec(&shell, "seed"), "ok");  // usage error
 }
 
+TEST(ShellTest, StreamsReportsPerStreamIngestStats) {
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "stream f 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "stream g 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "update f 7 3"), "ok");
+  ASSERT_EQ(Exec(&shell, "update f 9"), "ok");
+  const std::string response = Exec(&shell, "streams");
+  EXPECT_EQ(response.rfind("ok ", 0), 0u) << response;
+  EXPECT_NE(response.find("f:count=4,absorbed=2,dropped=0,batches=0,"
+                          "merges=0,absorb_nanos="),
+            std::string::npos)
+      << response;
+  EXPECT_NE(response.find("g:count=0,absorbed=0"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("merge_nanos="), std::string::npos) << response;
+}
+
+TEST(ShellTest, StatsReportsEngineTotals) {
+  Shell shell;
+  EXPECT_EQ(Exec(&shell, "stats"),
+            "ok streams=0 relations=0 queries=0 absorbed=0 dropped=0 "
+            "batches=0 merges=0");
+  ASSERT_EQ(Exec(&shell, "stream f 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "selfjoin q f agms 512"), "ok");
+  ASSERT_EQ(Exec(&shell, "update f 7"), "ok");
+  ASSERT_EQ(Exec(&shell, "update f 8"), "ok");
+  EXPECT_EQ(Exec(&shell, "stats"),
+            "ok streams=1 relations=0 queries=1 absorbed=2 dropped=0 "
+            "batches=0 merges=0");
+}
+
+TEST(ShellTest, MetricsJsonIsOneLine) {
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "stream f 64"), "ok");
+  ASSERT_EQ(Exec(&shell, "update f 3"), "ok");
+  const std::string response = Exec(&shell, "metrics");
+  EXPECT_EQ(response.rfind("ok {", 0), 0u) << response;
+  EXPECT_EQ(response.find('\n'), std::string::npos) << response;
+  EXPECT_NE(response.find("\"ingest.f.elements_absorbed\":1"),
+            std::string::npos)
+      << response;
+  // Explicit `json` is the same as the default.
+  EXPECT_EQ(Exec(&shell, "metrics json").rfind("ok {", 0), 0u);
+  EXPECT_NE(Exec(&shell, "metrics xml"), "ok");  // usage error
+}
+
+TEST(ShellTest, MetricsPromIsMultiLine) {
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "stream f 64"), "ok");
+  ASSERT_EQ(Exec(&shell, "update f 3"), "ok");
+  std::ostringstream out;
+  EXPECT_TRUE(shell.ExecuteLine("metrics prom", out));
+  const std::string response = out.str();
+  EXPECT_EQ(response.rfind("ok\n", 0), 0u) << response;
+  EXPECT_NE(response.find("# TYPE ingest_f_elements_absorbed counter\n"
+                          "ingest_f_elements_absorbed 1\n"),
+            std::string::npos)
+      << response;
+}
+
+TEST(ShellTest, HelpMentionsObservabilityCommands) {
+  Shell shell;
+  const std::string help = Exec(&shell, "help");
+  EXPECT_NE(help.find("streams"), std::string::npos);
+  EXPECT_NE(help.find("stats"), std::string::npos);
+  EXPECT_NE(help.find("metrics"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace query
 }  // namespace skimjoin

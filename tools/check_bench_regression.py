@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Fails when an instrumented benchmark run regresses against a baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Both inputs are google-benchmark JSON outputs (--benchmark_out=... with
+--benchmark_out_format=json). Benchmarks are matched by name; the comparison
+metric is items_per_second when both runs report it (higher is better),
+falling back to real_time (lower is better). When a run used
+--benchmark_repetitions, only the "median" aggregate rows are compared so a
+single noisy repetition cannot fail the gate.
+
+Exit status: 0 when every matched benchmark is within the threshold, 1 when
+any regresses, 2 for malformed input or no overlapping benchmarks.
+
+CI uses this to enforce the metrics overhead budget: the default build's
+engine benches must stay within 10% of a -DSKIMJOIN_DISABLE_METRICS=ON
+build (see .github/workflows/ci.yml, job metrics-overhead).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    """Returns {benchmark name: json row}, keeping only comparable rows."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"error: cannot read {path}: {error}")
+    rows = data.get("benchmarks")
+    if not isinstance(rows, list):
+        sys.exit(f"error: {path} has no 'benchmarks' array")
+    has_aggregates = any(row.get("aggregate_name") for row in rows)
+    results = {}
+    for row in rows:
+        if has_aggregates:
+            if row.get("aggregate_name") != "median":
+                continue
+            name = row.get("run_name", row.get("name", ""))
+        else:
+            name = row.get("name", "")
+        if name:
+            results[name] = row
+    return results
+
+
+def compare(name, baseline, candidate, threshold):
+    """Returns (ratio, metric, regressed) for one matched benchmark pair.
+
+    ratio > 0 is the relative slowdown of candidate vs baseline (0.07 means
+    7% slower); negative means the candidate is faster.
+    """
+    if "items_per_second" in baseline and "items_per_second" in candidate:
+        base, cand = baseline["items_per_second"], candidate["items_per_second"]
+        if base <= 0:
+            sys.exit(f"error: non-positive items_per_second for {name}")
+        ratio = (base - cand) / base  # throughput drop
+        metric = "items/s"
+    else:
+        base, cand = baseline.get("real_time"), candidate.get("real_time")
+        if base is None or cand is None or base <= 0:
+            sys.exit(f"error: no comparable metric for {name}")
+        ratio = (cand - base) / base  # time increase
+        metric = "real_time"
+    return ratio, metric, ratio > threshold
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="maximum tolerated relative regression "
+                             "(default 0.10 = 10%%)")
+    args = parser.parse_args()
+
+    baseline = load_results(args.baseline)
+    candidate = load_results(args.candidate)
+    common = sorted(set(baseline) & set(candidate))
+    if not common:
+        sys.exit("error: no benchmarks in common between the two runs")
+
+    regressions = []
+    for name in common:
+        ratio, metric, regressed = compare(
+            name, baseline[name], candidate[name], args.threshold)
+        marker = "REGRESSED" if regressed else "ok"
+        print(f"{marker:>9}  {name}: {ratio:+.1%} ({metric})")
+        if regressed:
+            regressions.append(name)
+
+    skipped = sorted(set(baseline) ^ set(candidate))
+    for name in skipped:
+        print(f"  skipped  {name}: only in one run")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    print(f"\nall {len(common)} matched benchmarks within "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,28 +3,168 @@
 //   build/tools/skimjoin_cli                 # interactive / piped stdin
 //   build/tools/skimjoin_cli script.sj       # run a command script
 //
-// Exit status is the number of failed commands (0 = clean run). Run the
-// `help` command for the command list; see src/query/shell.h for full
-// syntax.
+// Observability flags (any combination, before or after the script path):
+//   --metrics_out=<file>       write a metrics snapshot to <file> at exit
+//   --metrics_format=json|prom snapshot format (default json)
+//   --metrics_interval=<ms>    also rewrite the snapshot every <ms>
+//                              milliseconds while running (atomic rename —
+//                              readers always see a complete file)
+//   --trace_out=<file>         record phase spans (ingest batches, replica
+//                              merges, SKIMDENSE, estimates, checkpoints)
+//                              and write Chrome trace JSON to <file> at
+//                              exit; open in chrome://tracing or Perfetto
+//
+// Exit status is the number of failed commands (0 = clean run), or 2 for
+// usage errors. Run the `help` command for the command list; see
+// src/query/shell.h for full syntax.
 
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
 
 #include "query/shell.h"
+#include "util/durable_file.h"
+#include "util/metrics.h"
+
+namespace {
+
+struct Options {
+  std::string script_path;  // empty: read stdin
+  std::string metrics_out;
+  skimjoin::metrics::PeriodicSnapshotWriter::Format metrics_format =
+      skimjoin::metrics::PeriodicSnapshotWriter::Format::kJson;
+  int64_t metrics_interval_ms = 0;  // 0: one snapshot at exit only
+  std::string trace_out;
+};
+
+// Consumes "--name=value"; returns the value if `arg` matches.
+std::optional<std::string> FlagValue(const std::string& arg,
+                                     const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return std::nullopt;
+  return arg.substr(prefix.size());
+}
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--metrics_out=<file>] [--metrics_format=json|prom]\n"
+               "       [--metrics_interval=<ms>] [--trace_out=<file>] "
+               "[script-file]\n";
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (auto value = FlagValue(arg, "metrics_out")) {
+      options->metrics_out = *value;
+    } else if (auto value = FlagValue(arg, "metrics_format")) {
+      if (*value == "json") {
+        options->metrics_format =
+            skimjoin::metrics::PeriodicSnapshotWriter::Format::kJson;
+      } else if (*value == "prom") {
+        options->metrics_format =
+            skimjoin::metrics::PeriodicSnapshotWriter::Format::kPrometheus;
+      } else {
+        std::cerr << "error: --metrics_format must be json or prom\n";
+        return false;
+      }
+    } else if (auto value = FlagValue(arg, "metrics_interval")) {
+      char* end = nullptr;
+      options->metrics_interval_ms = std::strtoll(value->c_str(), &end, 10);
+      if (end == value->c_str() || *end != '\0' ||
+          options->metrics_interval_ms < 0) {
+        std::cerr << "error: --metrics_interval wants milliseconds >= 0\n";
+        return false;
+      }
+    } else if (auto value = FlagValue(arg, "trace_out")) {
+      options->trace_out = *value;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown flag " << arg << "\n";
+      return false;
+    } else if (options->script_path.empty()) {
+      options->script_path = arg;
+    } else {
+      std::cerr << "error: more than one script file\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return Usage(argv[0]);
+
   skimjoin::query::Shell shell;
-  if (argc > 2) {
-    std::cerr << "usage: " << argv[0] << " [script-file]\n";
-    return 2;
+
+  if (!options.trace_out.empty()) {
+    skimjoin::metrics::TraceRecorder::Global().Enable();
   }
-  if (argc == 2) {
-    std::ifstream script(argv[1]);
+
+  // The periodic writer snapshots the engine's registry on a background
+  // thread; Engine::MetricsSnapshot is safe to call concurrently with the
+  // (single-threaded) shell loop — instruments are lock-free.
+  std::unique_ptr<skimjoin::metrics::PeriodicSnapshotWriter> writer;
+  if (!options.metrics_out.empty() && options.metrics_interval_ms > 0) {
+    writer = std::make_unique<skimjoin::metrics::PeriodicSnapshotWriter>(
+        options.metrics_out, options.metrics_format,
+        std::chrono::milliseconds(options.metrics_interval_ms),
+        [&shell] { return shell.engine().MetricsSnapshot(); });
+  }
+
+  int failed_commands = 0;
+  if (!options.script_path.empty()) {
+    std::ifstream script(options.script_path);
     if (!script) {
-      std::cerr << "error: cannot open script file " << argv[1] << "\n";
+      std::cerr << "error: cannot open script file " << options.script_path
+                << "\n";
       return 2;
     }
-    return shell.Run(script, std::cout);
+    failed_commands = shell.Run(script, std::cout);
+  } else {
+    failed_commands = shell.Run(std::cin, std::cout);
   }
-  return shell.Run(std::cin, std::cout);
+
+  int exit_status = failed_commands;
+  if (writer != nullptr) {
+    // Stop() writes one final snapshot so short runs still leave one.
+    skimjoin::Status status = writer->Stop();
+    if (!status.ok()) {
+      std::cerr << "error: metrics snapshot: " << status.message() << "\n";
+      exit_status = exit_status == 0 ? 2 : exit_status;
+    }
+  } else if (!options.metrics_out.empty()) {
+    const skimjoin::metrics::Snapshot snapshot =
+        shell.engine().MetricsSnapshot();
+    const std::string rendered =
+        options.metrics_format ==
+                skimjoin::metrics::PeriodicSnapshotWriter::Format::kJson
+            ? skimjoin::metrics::ToJson(snapshot)
+            : skimjoin::metrics::ToPrometheusText(snapshot);
+    skimjoin::Status status =
+        skimjoin::util::AtomicWriteFile(options.metrics_out, rendered);
+    if (!status.ok()) {
+      std::cerr << "error: metrics snapshot: " << status.message() << "\n";
+      exit_status = exit_status == 0 ? 2 : exit_status;
+    }
+  }
+
+  if (!options.trace_out.empty()) {
+    skimjoin::Status status = skimjoin::util::AtomicWriteFile(
+        options.trace_out,
+        skimjoin::metrics::TraceRecorder::Global().DrainAsChromeTrace());
+    if (!status.ok()) {
+      std::cerr << "error: trace: " << status.message() << "\n";
+      exit_status = exit_status == 0 ? 2 : exit_status;
+    }
+  }
+
+  return exit_status;
 }
