@@ -531,6 +531,16 @@ Status Engine::AttachAccuracyReference(
     const std::string& stream, const stream::FrequencyVector* reference) {
   StatusOr<StreamId> id = FindStream(stream);
   SKIMJOIN_RETURN_IF_ERROR(id.status());
+  // FrequencyVector::Get aborts on out-of-domain indices, so a reference
+  // narrower than the stream would turn a valid point query into a crash.
+  if (reference != nullptr &&
+      reference->domain_size() != streams_[*id].spec.domain_size) {
+    return InvalidArgumentError(
+        "accuracy reference domain (" +
+        std::to_string(reference->domain_size()) +
+        ") does not match the domain of stream " + stream + " (" +
+        std::to_string(streams_[*id].spec.domain_size) + ")");
+  }
   streams_[*id].reference = reference;
   return OkStatus();
 }
@@ -680,10 +690,10 @@ std::vector<std::string> Engine::StreamNames() const {
   return names;
 }
 
-metrics::Snapshot Engine::MetricsSnapshot() const {
-  // Gauges are refreshed pull-style at snapshot time: footprints change on
-  // every update, so pushing them from the hot path would cost more than
-  // anyone reading them.
+void Engine::RefreshMetricsGauges() const {
+  // Gauges are refreshed pull-style: footprints change on every update, so
+  // pushing them from the hot path would cost more than anyone reading
+  // them. Runs on the writer thread only — it walks the query containers.
   for (const auto& [id, q] : join_queries_) {
     q.metrics.memory_bytes->Set(
         static_cast<double>(q.estimator->MemoryBytes()));
@@ -714,6 +724,10 @@ metrics::Snapshot Engine::MetricsSnapshot() const {
       ->Set(static_cast<double>(num_queries()));
   metrics_.GetGauge("engine.ingest_shards")
       ->Set(static_cast<double>(ingest_shards_));
+}
+
+metrics::Snapshot Engine::MetricsSnapshot() const {
+  RefreshMetricsGauges();
   return metrics_.TakeSnapshot();
 }
 

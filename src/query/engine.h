@@ -150,12 +150,26 @@ class Engine {
   /// (see docs/OBSERVABILITY.md for the full naming scheme). Exposed so
   /// embedders (shell, CLI) can register their own instruments beside the
   /// engine's; those ride along in MetricsSnapshot and checkpoints.
-  metrics::Registry& metrics_registry() { return metrics_; }
+  /// Registry::TakeSnapshot is the one engine read that IS safe from a
+  /// background thread (exporters) while the writer thread mutates the
+  /// engine — instruments are atomics behind the registry's own mutex.
+  metrics::Registry& metrics_registry() const { return metrics_; }
 
   /// Refreshes the per-query `query.<id>.memory_bytes` gauges and the
   /// engine-level gauges (`engine.num_streams`, `engine.num_queries`,
-  /// `engine.ingest_shards`), then returns a merged view of every
-  /// instrument in the registry.
+  /// `engine.ingest_shards`) by walking every query's synopsis. Like all
+  /// engine reads this must run on the single writer thread — it iterates
+  /// the query containers, which registration/ingestion mutate. The gauge
+  /// VALUES it publishes are atomics, so a concurrent
+  /// metrics_registry().TakeSnapshot() on another thread is safe.
+  void RefreshMetricsGauges() const;
+
+  /// RefreshMetricsGauges() + metrics_registry().TakeSnapshot(): a merged
+  /// view of every instrument with gauges freshly refreshed. Writer-thread
+  /// only (see RefreshMetricsGauges); background exporters must instead
+  /// call metrics_registry().TakeSnapshot() and let the writer thread
+  /// refresh gauges between commands — tools/skimjoin_cli.cc shows the
+  /// split.
   metrics::Snapshot MetricsSnapshot() const;
 
   /// Attaches an exact frequency reference for accuracy-drift monitoring
@@ -168,7 +182,8 @@ class Engine {
   /// references, both inputs are COUNT, and no predicates apply — the
   /// reference holds raw frequencies, so filtered or measure-weighted
   /// queries have no exact counterpart to compare against). NOT_FOUND for
-  /// an unknown stream.
+  /// an unknown stream; INVALID_ARGUMENT when the reference's domain does
+  /// not match the stream's (a smaller reference would abort on Get()).
   Status AttachAccuracyReference(const std::string& stream,
                                  const stream::FrequencyVector* reference);
 

@@ -517,6 +517,7 @@ int Shell::Run(std::istream& in, std::ostream& out) {
     const std::string text = response.str();
     out << text;
     if (text.rfind("error:", 0) == 0) ++errors;
+    if (post_command_hook_) post_command_hook_();
     if (!keep_going) break;
   }
   return errors;

@@ -42,6 +42,7 @@
 #ifndef SKIMJOIN_QUERY_SHELL_H_
 #define SKIMJOIN_QUERY_SHELL_H_
 
+#include <functional>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -66,10 +67,21 @@ class Shell {
   /// commands that reported an error (0 for a fully clean script).
   int Run(std::istream& in, std::ostream& out);
 
+  /// Invoked on the shell thread after every line Run executes. The CLI
+  /// uses this to refresh the engine's metrics gauges between commands so
+  /// a background PeriodicSnapshotWriter only ever touches the registry
+  /// (engine().metrics_registry().TakeSnapshot()) — the engine itself is
+  /// single-writer and must not be walked concurrently. Pass nullptr to
+  /// remove.
+  void set_post_command_hook(std::function<void()> hook) {
+    post_command_hook_ = std::move(hook);
+  }
+
   const Engine& engine() const { return engine_; }
 
  private:
   Engine engine_;
+  std::function<void()> post_command_hook_;
   std::unordered_map<std::string, QueryId> join_query_names_;
   std::unordered_map<std::string, QueryId> frequency_query_names_;
   std::unordered_map<std::string, QueryId> distinct_query_names_;

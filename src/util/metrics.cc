@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <set>
 #include <sstream>
 
 #include "util/durable_file.h"
@@ -263,18 +264,45 @@ std::string ToJson(const Snapshot& snapshot) {
 }
 
 std::string ToPrometheusText(const Snapshot& snapshot) {
+  // Sanitization can collapse distinct registry names onto one Prometheus
+  // name ("ingest.a.x" and "ingest.a_x" both become "ingest_a_x"), and
+  // strict parsers reject duplicate "# TYPE" lines for one name. Track
+  // every emitted name and disambiguate collisions with a deterministic
+  // "_2", "_3", ... suffix (snapshots are name-sorted, so two exports of
+  // one registry always agree). Histograms reserve their derived series
+  // names too, so a counter literally named "foo_count" cannot collide
+  // with histogram "foo"'s _count series.
+  std::set<std::string> used;
+  const auto reserve_or_suffix =
+      [&used](std::string base, const std::vector<std::string>& suffixes) {
+        for (int attempt = 1;; ++attempt) {
+          const std::string candidate =
+              attempt == 1 ? base : base + "_" + std::to_string(attempt);
+          bool free = !used.count(candidate);
+          for (const std::string& suffix : suffixes) {
+            free = free && !used.count(candidate + suffix);
+          }
+          if (!free) continue;
+          used.insert(candidate);
+          for (const std::string& suffix : suffixes) {
+            used.insert(candidate + suffix);
+          }
+          return candidate;
+        }
+      };
   std::ostringstream out;
   for (const auto& [name, value] : snapshot.counters) {
-    const std::string prom = PrometheusName(name);
+    const std::string prom = reserve_or_suffix(PrometheusName(name), {});
     out << "# TYPE " << prom << " counter\n" << prom << ' ' << value << '\n';
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    const std::string prom = PrometheusName(name);
+    const std::string prom = reserve_or_suffix(PrometheusName(name), {});
     out << "# TYPE " << prom << " gauge\n"
         << prom << ' ' << DoubleToString(value) << '\n';
   }
   for (const auto& [name, h] : snapshot.histograms) {
-    const std::string prom = PrometheusName(name);
+    const std::string prom = reserve_or_suffix(
+        PrometheusName(name), {"_bucket", "_sum", "_count"});
     out << "# TYPE " << prom << " histogram\n";
     uint64_t cumulative = 0;
     for (int bucket = 0; bucket < Histogram::kBuckets; ++bucket) {
@@ -312,8 +340,19 @@ uint64_t TraceRecorder::NowMicros() const {
           .count());
 }
 
+void TraceRecorder::set_max_events(size_t max_events) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  max_events_ = max_events;
+}
+
 void TraceRecorder::Record(TraceEvent event) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  // Bounded buffer: drop-newest once full so a long traced session holds
+  // the trace's beginning and a drop count rather than unbounded memory.
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
   events_.push_back(std::move(event));
 }
 
@@ -322,11 +361,19 @@ size_t TraceRecorder::event_count() const {
   return events_.size();
 }
 
+uint64_t TraceRecorder::dropped_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
 std::string TraceRecorder::DrainAsChromeTrace() {
   std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     events.swap(events_);
+    dropped = dropped_;
+    dropped_ = 0;
   }
   std::ostringstream out;
   out << "{\"traceEvents\":[";
@@ -337,6 +384,13 @@ std::string TraceRecorder::DrainAsChromeTrace() {
         << JsonEscape(e.category) << "\",\"ph\":\"X\",\"ts\":" << e.start_micros
         << ",\"dur\":" << e.duration_micros << ",\"pid\":1,\"tid\":"
         << e.thread_id << '}';
+  }
+  if (dropped > 0) {
+    if (!events.empty()) out << ',';
+    out << "{\"name\":\"trace_events_dropped\",\"cat\":\"meta\",\"ph\":\"i\","
+           "\"ts\":"
+        << NowMicros() << ",\"s\":\"g\",\"pid\":1,\"tid\":0,\"args\":{"
+        << "\"dropped\":" << dropped << "}}";
   }
   out << "]}";
   return out.str();

@@ -205,16 +205,34 @@ struct TraceEvent {
 /// costs one relaxed atomic load. There is one recorder per process; spans
 /// are cheap enough that engine code records unconditionally-when-enabled
 /// rather than threading a recorder through every layer.
+///
+/// The buffer is bounded (max_events, default kDefaultMaxEvents): once
+/// full, new events are dropped and counted instead of growing memory
+/// without bound in long traced sessions. Drain (or raise the cap) before
+/// the buffer fills to keep a complete trace; the drop count is reported
+/// by dropped_count() and as a final instant event in the drained JSON.
 class TraceRecorder {
  public:
+  /// ~26 MB of TraceEvents at the default — plenty for a coarse-phase
+  /// trace, bounded for a long-running one.
+  static constexpr size_t kDefaultMaxEvents = 1 << 18;
+
   static TraceRecorder& Global();
 
   void Enable() { enabled_.store(true, std::memory_order_relaxed); }
   void Disable() { enabled_.store(false, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Appends one completed event (called by ~TraceSpan).
+  /// Caps the event buffer (existing events beyond a lowered cap stay
+  /// until the next drain; only new events are dropped).
+  void set_max_events(size_t max_events);
+
+  /// Appends one completed event (called by ~TraceSpan). Dropped and
+  /// counted when the buffer is at max_events.
   void Record(TraceEvent event);
+
+  /// Events dropped since the last drain because the buffer was full.
+  uint64_t dropped_count() const;
 
   /// Microseconds since the recorder's epoch (process start, first use).
   uint64_t NowMicros() const;
@@ -222,6 +240,9 @@ class TraceRecorder {
   /// Renders and clears the buffered events as Chrome trace JSON:
   ///   {"traceEvents":[{"name":...,"cat":...,"ph":"X","ts":...,"dur":...,
   ///                    "pid":1,"tid":...},...]}
+  /// If events were dropped since the last drain, the array ends with one
+  /// instant event named "trace_events_dropped" carrying the count in
+  /// args.dropped; draining resets the count.
   std::string DrainAsChromeTrace();
 
   size_t event_count() const;
@@ -233,6 +254,8 @@ class TraceRecorder {
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
+  size_t max_events_ = kDefaultMaxEvents;
+  uint64_t dropped_ = 0;
 };
 
 /// RAII span recording one "ph":"X" event into TraceRecorder::Global()
@@ -263,7 +286,10 @@ class PeriodicSnapshotWriter {
   enum class Format { kJson, kPrometheus };
 
   /// `source` is called on the writer's background thread — it must be
-  /// thread-safe (Registry::TakeSnapshot and Engine::MetricsSnapshot are).
+  /// thread-safe. Registry::TakeSnapshot is; Engine::MetricsSnapshot is
+  /// NOT (it walks the single-writer engine's query containers), so
+  /// engine embedders pass `engine.metrics_registry().TakeSnapshot()`
+  /// and refresh gauges from the writer thread (see tools/skimjoin_cli.cc).
   PeriodicSnapshotWriter(std::string path, Format format,
                          std::chrono::milliseconds period,
                          std::function<Snapshot()> source);

@@ -172,6 +172,31 @@ TEST(TraceTest, SpansRecordOnlyWhileEnabled) {
   EXPECT_EQ(recorder.DrainAsChromeTrace(), "{\"traceEvents\":[]}");
 }
 
+// The recorder's buffer is bounded: a long traced session drops (and
+// counts) events instead of growing without limit, and the drained trace
+// reports the loss.
+TEST(TraceTest, BoundedBufferDropsAndReportsCount) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  (void)recorder.DrainAsChromeTrace();  // discard spans from other tests
+  recorder.set_max_events(4);
+  recorder.Enable();
+  for (int i = 0; i < 6; ++i) {
+    TraceSpan span("bounded", "test");
+  }
+  recorder.Disable();
+  EXPECT_EQ(recorder.event_count(), 4u);
+  EXPECT_EQ(recorder.dropped_count(), 2u);
+
+  const std::string json = recorder.DrainAsChromeTrace();
+  EXPECT_NE(json.find("\"name\":\"trace_events_dropped\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"dropped\":2"), std::string::npos) << json;
+  // Draining resets the loss accounting along with the buffer.
+  EXPECT_EQ(recorder.dropped_count(), 0u);
+  EXPECT_EQ(recorder.DrainAsChromeTrace(), "{\"traceEvents\":[]}");
+  recorder.set_max_events(TraceRecorder::kDefaultMaxEvents);
+}
+
 #endif  // SKIMJOIN_DISABLE_METRICS
 
 // Exporter goldens: exact output strings, so a format change is a conscious
@@ -214,6 +239,42 @@ TEST(ExporterTest, PrometheusGolden) {
 }
 
 #ifndef SKIMJOIN_DISABLE_METRICS
+
+// Sanitization maps '.' and '_' to the same byte; the exporter must not
+// emit duplicate "# TYPE" lines (strict parsers reject the exposition).
+TEST(ExporterTest, PrometheusDisambiguatesSanitizedNameCollisions) {
+  Registry registry;
+  registry.GetCounter("ingest.a.x")->Increment(1);
+  registry.GetCounter("ingest.a_x")->Increment(2);
+  registry.GetGauge("ingest.a.x")->Set(3);  // cross-type collision too
+  const std::string text = ToPrometheusText(registry.TakeSnapshot());
+  // Name-sorted snapshot => deterministic suffixes: "ingest.a.x" keeps the
+  // plain name, later colliders get _2, _3, ...
+  EXPECT_NE(text.find("# TYPE ingest_a_x counter\ningest_a_x 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE ingest_a_x_2 counter\ningest_a_x_2 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE ingest_a_x_3 gauge\ningest_a_x_3 3\n"),
+            std::string::npos)
+      << text;
+}
+
+// A histogram's derived _bucket/_sum/_count series must not collide with
+// an instrument that literally carries one of those names.
+TEST(ExporterTest, PrometheusProtectsHistogramDerivedSeries) {
+  Registry registry;
+  registry.GetCounter("lat_count")->Increment(5);
+  registry.GetHistogram("lat");
+  const std::string text = ToPrometheusText(registry.TakeSnapshot());
+  EXPECT_NE(text.find("# TYPE lat_count counter\nlat_count 5\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE lat_2 histogram\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_2_count 0\n"), std::string::npos) << text;
+  EXPECT_EQ(text.find("\nlat_sum"), std::string::npos) << text;
+}
 
 TEST(ExporterTest, PrometheusHistogramBucketsAreCumulative) {
   Registry registry;

@@ -221,6 +221,41 @@ TEST(ObservabilityTest, AttachAccuracyReferenceUnknownStream) {
             StatusCode::kNotFound);
 }
 
+// A reference narrower than the stream would abort inside Get() on the
+// first point query past its domain — attach must reject the mismatch.
+TEST(ObservabilityTest, AttachAccuracyReferenceRejectsDomainMismatch) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream({.name = "f", .domain_size = 64}).ok());
+  stream::FrequencyVector narrow(16), wide(128), exact(64);
+  EXPECT_EQ(engine.AttachAccuracyReference("f", &narrow).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.AttachAccuracyReference("f", &wide).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(engine.AttachAccuracyReference("f", &exact).ok());
+  // Detaching never needs a domain.
+  EXPECT_TRUE(engine.AttachAccuracyReference("f", nullptr).ok());
+}
+
+// The thread-safe exporter path: a background writer may only call
+// metrics_registry().TakeSnapshot(); gauges show up there once the writer
+// thread has called RefreshMetricsGauges() (the skimjoin_cli split).
+TEST(ObservabilityTest, RegistrySnapshotSeesRefreshedGauges) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream({.name = "f", .domain_size = 64}).ok());
+  FrequencyQuerySpec spec;
+  spec.stream = "f";
+  spec.space_counters = 512;
+  const StatusOr<QueryId> id = engine.AddFrequencyQuery(spec, /*seed=*/1);
+  ASSERT_TRUE(id.ok());
+
+  engine.RefreshMetricsGauges();
+  const metrics::Snapshot snapshot = engine.metrics_registry().TakeSnapshot();
+  EXPECT_EQ(GaugeValue(snapshot, "engine.num_streams"), 1.0);
+  EXPECT_EQ(GaugeValue(snapshot, "engine.num_queries"), 1.0);
+  const std::string prefix = "query." + std::to_string(*id) + ".";
+  EXPECT_GT(GaugeValue(snapshot, prefix + "memory_bytes"), 0.0);
+}
+
 TEST(ObservabilityTest, EmbedderInstrumentsRideAlong) {
   Engine engine;
   engine.metrics_registry().GetCounter("shell.commands")->Increment(9);

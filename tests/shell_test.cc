@@ -22,6 +22,22 @@ std::string Exec(Shell* shell, const std::string& line) {
   return text;
 }
 
+// The CLI hangs gauge refreshing for its background metrics writer off
+// this hook; Run must fire it after every line, including the last one.
+TEST(ShellTest, PostCommandHookFiresAfterEveryLine) {
+  Shell shell;
+  int fired = 0;
+  shell.set_post_command_hook([&fired] { ++fired; });
+  std::istringstream script("stream f 64\nupdate f 1\nquit\n");
+  std::ostringstream out;
+  EXPECT_EQ(shell.Run(script, out), 0);
+  EXPECT_EQ(fired, 3);
+  shell.set_post_command_hook(nullptr);
+  std::istringstream more("count f\n");
+  EXPECT_EQ(shell.Run(more, out), 0);
+  EXPECT_EQ(fired, 3);
+}
+
 TEST(ShellTest, CommentsAndBlankLinesAreSilent) {
   Shell shell;
   std::ostringstream out;

@@ -108,15 +108,21 @@ int main(int argc, char** argv) {
     skimjoin::metrics::TraceRecorder::Global().Enable();
   }
 
-  // The periodic writer snapshots the engine's registry on a background
-  // thread; Engine::MetricsSnapshot is safe to call concurrently with the
-  // (single-threaded) shell loop — instruments are lock-free.
+  // The periodic writer snapshots from a background thread, so its source
+  // must only touch the registry: Registry::TakeSnapshot is mutex/atomic-
+  // protected, but Engine::MetricsSnapshot walks the engine's query
+  // containers, which the shell thread mutates — calling it here would be
+  // a data race. Gauges (memory footprints, engine counts) are instead
+  // refreshed by the shell thread between commands via the post-command
+  // hook; the background thread reads the refreshed atomics.
   std::unique_ptr<skimjoin::metrics::PeriodicSnapshotWriter> writer;
   if (!options.metrics_out.empty() && options.metrics_interval_ms > 0) {
+    shell.set_post_command_hook(
+        [&shell] { shell.engine().RefreshMetricsGauges(); });
     writer = std::make_unique<skimjoin::metrics::PeriodicSnapshotWriter>(
         options.metrics_out, options.metrics_format,
         std::chrono::milliseconds(options.metrics_interval_ms),
-        [&shell] { return shell.engine().MetricsSnapshot(); });
+        [&shell] { return shell.engine().metrics_registry().TakeSnapshot(); });
   }
 
   int failed_commands = 0;
