@@ -46,6 +46,16 @@ void JoinEstimatorPair::AbsorbG(const stream::FrequencyVector& frequencies) {
   }
 }
 
+StatusOr<EstimateReport> JoinEstimatorPair::EstimateWithReport() const {
+  StatusOr<double> estimate = Estimate();
+  SKIMJOIN_RETURN_IF_ERROR(estimate.status());
+  EstimateReport report;
+  report.method = Name();
+  report.estimate = *estimate;
+  FinishReportFromCopies(&report);
+  return report;
+}
+
 Status JoinEstimatorPair::SerializeTo(std::ostream&) const {
   return UnimplementedError(std::string("join estimator '") + Name() +
                             "' does not support serialization");
@@ -119,6 +129,9 @@ class AgmsPair final : public JoinEstimatorPair {
   StatusOr<double> Estimate() const override {
     return sketch::AgmsSketch::EstimateJoinSize(f_, g_);
   }
+  StatusOr<EstimateReport> EstimateWithReport() const override {
+    return sketch::AgmsSketch::EstimateJoinSizeWithReport(f_, g_);
+  }
   uint64_t SpaceCounters() const override {
     return f_.config().TotalCounters();
   }
@@ -153,6 +166,9 @@ class HashSketchPair final : public JoinEstimatorPair {
   }
   StatusOr<double> Estimate() const override {
     return sketch::HashSketch::EstimateJoinSize(f_, g_);
+  }
+  StatusOr<EstimateReport> EstimateWithReport() const override {
+    return sketch::HashSketch::EstimateJoinSizeWithReport(f_, g_);
   }
   uint64_t SpaceCounters() const override {
     return f_.config().TotalCounters();
@@ -189,6 +205,9 @@ class SkimmedPair final : public JoinEstimatorPair {
   StatusOr<double> Estimate() const override {
     return SkimmedSketch::EstimateJoinSize(f_, g_);
   }
+  StatusOr<EstimateReport> EstimateWithReport() const override {
+    return SkimmedSketch::EstimateJoinSizeWithReport(f_, g_);
+  }
   uint64_t SpaceCounters() const override { return f_.TotalCounters(); }
   uint64_t MemoryBytes() const override {
     return f_.MemoryBytes() + g_.MemoryBytes();
@@ -221,6 +240,9 @@ class CountMinPair final : public JoinEstimatorPair {
   }
   StatusOr<double> Estimate() const override {
     return sketch::CountMinSketch::EstimateJoinSize(f_, g_);
+  }
+  StatusOr<EstimateReport> EstimateWithReport() const override {
+    return sketch::CountMinSketch::EstimateJoinSizeWithReport(f_, g_);
   }
   uint64_t SpaceCounters() const override {
     return f_.config().TotalCounters();

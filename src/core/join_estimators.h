@@ -16,6 +16,7 @@
 #include "sketch/partitioned_agms.h"
 #include "stream/frequency_vector.h"
 #include "stream/stream_element.h"
+#include "util/estimate_report.h"
 #include "util/status.h"
 
 namespace skimjoin {
@@ -101,6 +102,14 @@ class JoinEstimatorPair {
 
   /// The COUNT(F ⋈ G) estimate from the current synopses.
   virtual StatusOr<double> Estimate() const = 0;
+
+  /// The same estimate with provenance (per-copy estimates, spread,
+  /// empirical CI, a-priori envelope, skim diagnostics where applicable);
+  /// `estimate` is bit-identical to Estimate(). The default wraps
+  /// Estimate() in a minimal report (no copies, degenerate CI) for methods
+  /// without per-copy structure (sampling, partitioned AGMS); the sketch-
+  /// backed pairs override it with their family's *WithReport variant.
+  virtual StatusOr<EstimateReport> EstimateWithReport() const;
 
   /// Actual counters allocated per stream (>= spec.space_counters rounding
   /// aside; reported by the benches).

@@ -86,8 +86,8 @@ int64_t DenseDenseJoin(const DenseFrequencies& f, const DenseFrequencies& g) {
   return static_cast<int64_t>(total);
 }
 
-double EstimateSubJoinSize(const DenseFrequencies& dense_f,
-                           const sketch::HashSketch& skimmed_g) {
+std::vector<double> EstimateSubJoinSizePerTable(
+    const DenseFrequencies& dense_f, const sketch::HashSketch& skimmed_g) {
   const uint64_t num_tables = skimmed_g.config().num_tables;
   std::vector<double> per_table;
   per_table.reserve(num_tables);
@@ -101,7 +101,12 @@ double EstimateSubJoinSize(const DenseFrequencies& dense_f,
     }
     per_table.push_back(sum);
   }
-  return Median(std::move(per_table));
+  return per_table;
+}
+
+double EstimateSubJoinSize(const DenseFrequencies& dense_f,
+                           const sketch::HashSketch& skimmed_g) {
+  return Median(EstimateSubJoinSizePerTable(dense_f, skimmed_g));
 }
 
 }  // namespace core

@@ -70,6 +70,13 @@ int64_t DenseDenseJoin(const DenseFrequencies& f, const DenseFrequencies& g);
 double EstimateSubJoinSize(const DenseFrequencies& dense_f,
                            const sketch::HashSketch& skimmed_g);
 
+/// The per-table copy estimates ESTSUBJOINSIZE medians (copy j is the sum
+/// over dense values of Ê_F(v)·ξ_j(v)·C_G[j][h_j(v)]). Exposed so the
+/// skimmed estimator can report sub-join provenance
+/// (SkimmedSketch::EstimateJoinSizeWithReport).
+std::vector<double> EstimateSubJoinSizePerTable(
+    const DenseFrequencies& dense_f, const sketch::HashSketch& skimmed_g);
+
 }  // namespace core
 }  // namespace skimjoin
 

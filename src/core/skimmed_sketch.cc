@@ -8,6 +8,7 @@
 #include "sketch/serial_limits.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/stats.h"
 
 namespace skimjoin {
 namespace core {
@@ -181,8 +182,8 @@ SkimmedSketch::SkimOutput SkimmedSketch::Skim() const {
   return SkimOutput{std::move(dense), std::move(residual), threshold};
 }
 
-StatusOr<JoinEstimateBreakdown> SkimmedSketch::EstimateJoinSizeDetailed(
-    const SkimmedSketch& f, const SkimmedSketch& g) {
+StatusOr<JoinEstimateBreakdown> SkimmedSketch::EstimateDetailedImpl(
+    const SkimmedSketch& f, const SkimmedSketch& g, EstimateReport* report) {
   if (!f.CompatibleWith(g)) {
     return InvalidArgumentError(
         "skimmed-sketch join estimation requires sketches with equal "
@@ -202,16 +203,95 @@ StatusOr<JoinEstimateBreakdown> SkimmedSketch::EstimateJoinSizeDetailed(
       static_cast<double>(DenseDenseJoin(skim_f.dense, skim_g.dense));
 
   // Dense frequencies of one stream against the residual sketch of the
-  // other (ESTSUBJOINSIZE, both directions).
-  breakdown.dense_sparse = EstimateSubJoinSize(skim_f.dense, skim_g.skimmed);
-  breakdown.sparse_dense = EstimateSubJoinSize(skim_g.dense, skim_f.skimmed);
+  // other (ESTSUBJOINSIZE, both directions). The skimmed copies are
+  // compatible by construction, so the bucket-product estimator applies
+  // directly; each estimated sub-join medians its per-table vector exactly
+  // as the dedicated entry points do.
+  const std::vector<double> dense_sparse =
+      EstimateSubJoinSizePerTable(skim_f.dense, skim_g.skimmed);
+  const std::vector<double> sparse_dense =
+      EstimateSubJoinSizePerTable(skim_g.dense, skim_f.skimmed);
+  const std::vector<double> sparse_sparse =
+      sketch::HashSketch::PerTableJoinProducts(skim_f.skimmed, skim_g.skimmed);
+  breakdown.dense_sparse = Median(dense_sparse);
+  breakdown.sparse_dense = Median(sparse_dense);
+  breakdown.sparse_sparse = Median(sparse_sparse);
 
-  // Steps 3–7: sparse·sparse via per-table bucket products.
-  StatusOr<double> sparse_sparse =
-      sketch::HashSketch::EstimateJoinSize(skim_f.skimmed, skim_g.skimmed);
-  SKIMJOIN_RETURN_IF_ERROR(sparse_sparse.status());
-  breakdown.sparse_sparse = *sparse_sparse;
+  if (report != nullptr) {
+    report->method = "skimmed";
+    // Copy j: the join estimate table j alone would have produced —
+    // the exact dense·dense part plus table j's share of each estimated
+    // sub-join. Note the point answer medians each sub-join separately, so
+    // it need not equal the median of these copies; FinishReportFromCopies
+    // widens the CI to contain it.
+    const size_t tables = dense_sparse.size();
+    report->copy_estimates.reserve(tables);
+    for (size_t j = 0; j < tables; ++j) {
+      report->copy_estimates.push_back(breakdown.dense_dense +
+                                       dense_sparse[j] + sparse_dense[j] +
+                                       sparse_sparse[j]);
+    }
+
+    SkimDiagnostics diag;
+    diag.threshold_f = breakdown.threshold_f;
+    diag.threshold_g = breakdown.threshold_g;
+    diag.dense_count_f = breakdown.dense_count_f;
+    diag.dense_count_g = breakdown.dense_count_g;
+    diag.residual_l2_before_f =
+        std::sqrt(std::max(f.level0_.EstimateSelfJoinSize(), 0.0));
+    diag.residual_l2_after_f =
+        std::sqrt(std::max(skim_f.skimmed.EstimateSelfJoinSize(), 0.0));
+    diag.residual_l2_before_g =
+        std::sqrt(std::max(g.level0_.EstimateSelfJoinSize(), 0.0));
+    diag.residual_l2_after_g =
+        std::sqrt(std::max(skim_g.skimmed.EstimateSelfJoinSize(), 0.0));
+    diag.dense_dense = breakdown.dense_dense;
+    diag.dense_sparse = breakdown.dense_sparse;
+    diag.sparse_dense = breakdown.sparse_dense;
+    diag.sparse_sparse = breakdown.sparse_sparse;
+    report->skim = diag;
+
+    // §3.2 decomposition: the dense·dense part is exact, so the error
+    // envelope is the sum of the three estimated sub-joins' terms, each an
+    // ε·sqrt(self-join product) with ε = 4/sqrt(b) and the appropriate
+    // dense/residual norms. Dense F2s are exact sums over Ê; residual F2s
+    // are the skimmed sketches' own estimates (already computed above as
+    // L2 norms).
+    double f2_dense_f = 0.0;
+    for (const auto& [value, frequency] : skim_f.dense) {
+      f2_dense_f +=
+          static_cast<double>(frequency) * static_cast<double>(frequency);
+    }
+    double f2_dense_g = 0.0;
+    for (const auto& [value, frequency] : skim_g.dense) {
+      f2_dense_g +=
+          static_cast<double>(frequency) * static_cast<double>(frequency);
+    }
+    const double res_f = diag.residual_l2_after_f;   // sqrt(F2 of residual F)
+    const double res_g = diag.residual_l2_after_g;
+    const double eps = 4.0 / std::sqrt(static_cast<double>(
+                                 f.config_.num_buckets));
+    report->apriori_bound = eps * (std::sqrt(f2_dense_f) * res_g +
+                                   res_f * std::sqrt(f2_dense_g) +
+                                   res_f * res_g);
+  }
   return breakdown;
+}
+
+StatusOr<JoinEstimateBreakdown> SkimmedSketch::EstimateJoinSizeDetailed(
+    const SkimmedSketch& f, const SkimmedSketch& g) {
+  return EstimateDetailedImpl(f, g, nullptr);
+}
+
+StatusOr<EstimateReport> SkimmedSketch::EstimateJoinSizeWithReport(
+    const SkimmedSketch& f, const SkimmedSketch& g) {
+  EstimateReport report;
+  StatusOr<JoinEstimateBreakdown> breakdown =
+      EstimateDetailedImpl(f, g, &report);
+  SKIMJOIN_RETURN_IF_ERROR(breakdown.status());
+  report.estimate = breakdown->Total();
+  FinishReportFromCopies(&report);
+  return report;
 }
 
 StatusOr<double> SkimmedSketch::EstimateJoinSize(const SkimmedSketch& f,
@@ -225,6 +305,13 @@ double SkimmedSketch::EstimateSelfJoinSize() const {
   StatusOr<double> result = EstimateJoinSize(*this, *this);
   SKIMJOIN_CHECK(result.ok());
   return *result;
+}
+
+EstimateReport SkimmedSketch::EstimateSelfJoinSizeWithReport() const {
+  StatusOr<EstimateReport> report = EstimateJoinSizeWithReport(*this, *this);
+  SKIMJOIN_CHECK(report.ok());
+  report->method = "skimmed-selfjoin";
+  return *std::move(report);
 }
 
 DenseFrequencies SkimmedSketch::HeavyHitters(int64_t threshold) const {

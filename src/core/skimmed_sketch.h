@@ -31,6 +31,7 @@
 #include "sketch/hash_sketch.h"
 #include "stream/frequency_vector.h"
 #include "stream/stream_element.h"
+#include "util/estimate_report.h"
 #include "util/status.h"
 
 namespace skimjoin {
@@ -148,8 +149,24 @@ class SkimmedSketch {
   static StatusOr<JoinEstimateBreakdown> EstimateJoinSizeDetailed(
       const SkimmedSketch& f, const SkimmedSketch& g);
 
+  /// ESTSKIMJOINSIZE with full provenance: per-table copy estimates
+  /// (dense·dense plus table j's share of each estimated sub-join), the
+  /// complete skim diagnostics (thresholds, dense counts, residual L2 mass
+  /// before/after skimming, sub-join contributions), and the §3.2 a-priori
+  /// envelope — the sum of the three estimated sub-joins' error terms,
+  /// (4/sqrt(b))·(sqrt(F̂2(Ê_F)·F̂2(r_G)) + sqrt(F̂2(r_F)·F̂2(Ê_G)) +
+  /// sqrt(F̂2(r_F)·F̂2(r_G))), which collapses to the paper's
+  /// ε·(self-join product)^(1/2) with residual norms in place of full ones.
+  /// `estimate` is bit-identical to EstimateJoinSize.
+  static StatusOr<EstimateReport> EstimateJoinSizeWithReport(
+      const SkimmedSketch& f, const SkimmedSketch& g);
+
   /// Self-join (F2) estimate with skimming — the F = G special case.
   double EstimateSelfJoinSize() const;
+
+  /// Self-join provenance (the F = G case of EstimateJoinSizeWithReport);
+  /// `estimate` bit-identical to EstimateSelfJoinSize.
+  EstimateReport EstimateSelfJoinSizeWithReport() const;
 
   /// COUNTSKETCH point estimate of one value's frequency.
   int64_t EstimatePointFrequency(uint64_t value) const {
@@ -215,6 +232,13 @@ class SkimmedSketch {
     int64_t threshold;
   };
   SkimOutput Skim() const;
+
+  /// Shared core of Detailed / WithReport estimation: computes the
+  /// breakdown from per-table sub-join vectors and, when `report` is
+  /// non-null, fills its copy estimates, skim diagnostics, and a-priori
+  /// bound from the same intermediates (keeping both paths bit-identical).
+  static StatusOr<JoinEstimateBreakdown> EstimateDetailedImpl(
+      const SkimmedSketch& f, const SkimmedSketch& g, EstimateReport* report);
 
   SkimmedSketchConfig config_;
   uint64_t seed_;

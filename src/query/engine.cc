@@ -3,13 +3,23 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
+#include "util/event_log.h"
 #include "util/logging.h"
 
 namespace skimjoin {
 namespace query {
 namespace {
+
+// Compact numeric rendering for event-log payloads (events carry string
+// fields; %g keeps magnitudes readable without fixed-point noise).
+std::string FormatForEvent(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
 
 /// Times one Answer* call: bumps the call counter on entry, records the
 /// elapsed nanoseconds on exit. The clock reads stay in even when histogram
@@ -56,6 +66,9 @@ Engine::QueryMetrics Engine::MakeQueryMetrics(QueryId id) {
   metrics.estimate_ns = metrics_.GetHistogram(prefix + "estimate_ns");
   metrics.memory_bytes = metrics_.GetGauge(prefix + "memory_bytes");
   metrics.rel_error = metrics_.GetHistogram(prefix + "rel_error");
+  metrics.ci_rel_width = metrics_.GetHistogram(prefix + "ci_rel_width");
+  metrics.skim_residual_ratio =
+      metrics_.GetHistogram(prefix + "skim_residual_ratio");
   return metrics;
 }
 
@@ -70,11 +83,41 @@ ingest::IngestStats Engine::IngestStatsFor(const StreamState& state) const {
   return stats;
 }
 
-void Engine::RecordRelError(metrics::ShardedHistogram* histogram,
-                            double estimate, double exact) {
-  if (histogram == nullptr) return;
-  histogram->Record(std::abs(estimate - exact) /
-                    std::max(1.0, std::abs(exact)));
+void Engine::RecordRelError(QueryId query, metrics::ShardedHistogram* histogram,
+                            double estimate, double exact) const {
+  const double rel_error =
+      std::abs(estimate - exact) / std::max(1.0, std::abs(exact));
+  if (histogram != nullptr) histogram->Record(rel_error);
+  if (rel_error > drift_warn_threshold_) {
+    EventLog::Global().Emit(LogLevel::kWarn, "accuracy_drift",
+                            {{"query", std::to_string(query)},
+                             {"estimate", FormatForEvent(estimate)},
+                             {"exact", FormatForEvent(exact)},
+                             {"rel_error", FormatForEvent(rel_error)},
+                             {"threshold",
+                              FormatForEvent(drift_warn_threshold_)}});
+  }
+}
+
+void Engine::RecordReportMetrics(QueryId query, const QueryMetrics& metrics,
+                                 const EstimateReport& report) const {
+  const double rel_width = report.CiRelWidth();
+  if (metrics.ci_rel_width != nullptr) metrics.ci_rel_width->Record(rel_width);
+  if (report.skim.has_value() && metrics.skim_residual_ratio != nullptr) {
+    metrics.skim_residual_ratio->Record(report.skim->ResidualRatioF());
+    metrics.skim_residual_ratio->Record(report.skim->ResidualRatioG());
+  }
+  if (rel_width > ci_warn_rel_width_) {
+    EventLog::Global().Emit(
+        LogLevel::kWarn, "ci_blowup",
+        {{"query", std::to_string(query)},
+         {"method", report.method},
+         {"estimate", FormatForEvent(report.estimate)},
+         {"ci_lower", FormatForEvent(report.ci.lower)},
+         {"ci_upper", FormatForEvent(report.ci.upper)},
+         {"ci_rel_width", FormatForEvent(rel_width)},
+         {"threshold", FormatForEvent(ci_warn_rel_width_)}});
+  }
 }
 
 StatusOr<StreamId> Engine::RegisterStream(const StreamSpec& spec) {
@@ -545,7 +588,7 @@ Status Engine::AttachAccuracyReference(
   return OkStatus();
 }
 
-void Engine::MaybeRecordJoinDrift(const JoinQueryState& q,
+void Engine::MaybeRecordJoinDrift(QueryId query, const JoinQueryState& q,
                                   double estimate) const {
   const stream::FrequencyVector* left = streams_[q.left].reference;
   const stream::FrequencyVector* right = streams_[q.right].reference;
@@ -558,7 +601,7 @@ void Engine::MaybeRecordJoinDrift(const JoinQueryState& q,
     return;
   }
   if (left->domain_size() != right->domain_size()) return;
-  RecordRelError(q.metrics.rel_error, estimate,
+  RecordRelError(query, q.metrics.rel_error, estimate,
                  static_cast<double>(stream::JoinSize(*left, *right)));
 }
 
@@ -571,8 +614,24 @@ StatusOr<double> Engine::AnswerJoin(QueryId query) const {
   metrics::TraceSpan span("estimate", "query");
   ScopedEstimate timer(q.metrics.estimate_calls, q.metrics.estimate_ns);
   StatusOr<double> estimate = q.estimator->Estimate();
-  if (estimate.ok()) MaybeRecordJoinDrift(q, *estimate);
+  if (estimate.ok()) MaybeRecordJoinDrift(query, q, *estimate);
   return estimate;
+}
+
+StatusOr<EstimateReport> Engine::AnswerJoinWithReport(QueryId query) const {
+  const auto it = join_queries_.find(query);
+  if (it == join_queries_.end()) {
+    return NotFoundError("unknown join query id");
+  }
+  const JoinQueryState& q = it->second;
+  metrics::TraceSpan span("estimate", "query");
+  ScopedEstimate timer(q.metrics.estimate_calls, q.metrics.estimate_ns);
+  StatusOr<EstimateReport> report = q.estimator->EstimateWithReport();
+  if (report.ok()) {
+    MaybeRecordJoinDrift(query, q, report->estimate);
+    RecordReportMetrics(query, q.metrics, *report);
+  }
+  return report;
 }
 
 StatusOr<int64_t> Engine::AnswerPointFrequency(QueryId query,
@@ -591,7 +650,7 @@ StatusOr<int64_t> Engine::AnswerPointFrequency(QueryId query,
   ScopedEstimate timer(q.metrics.estimate_calls, q.metrics.estimate_ns);
   const int64_t estimate = q.sketch.EstimatePointFrequency(value);
   if (state.reference != nullptr && !q.predicate.has_value()) {
-    RecordRelError(q.metrics.rel_error, static_cast<double>(estimate),
+    RecordRelError(query, q.metrics.rel_error, static_cast<double>(estimate),
                    static_cast<double>(state.reference->Get(value)));
   }
   return estimate;
@@ -623,7 +682,7 @@ StatusOr<double> Engine::AnswerDistinctCount(QueryId query) const {
   const double estimate = q.sketch.EstimateDistinctCount();
   const StreamState& state = streams_[q.stream];
   if (state.reference != nullptr && !q.predicate.has_value()) {
-    RecordRelError(q.metrics.rel_error, estimate,
+    RecordRelError(query, q.metrics.rel_error, estimate,
                    static_cast<double>(state.reference->SupportSize()));
   }
   return estimate;
@@ -675,6 +734,23 @@ StatusOr<double> Engine::AnswerChainJoin(QueryId query) const {
                        state.metrics.estimate_ns);
   return state.grid.has_value() ? state.grid->Estimate()
                                 : state.hashed->Estimate();
+}
+
+StatusOr<EstimateReport> Engine::AnswerChainJoinWithReport(
+    QueryId query) const {
+  const auto it = chain_queries_.find(query);
+  if (it == chain_queries_.end()) {
+    return NotFoundError("unknown chain-join query id");
+  }
+  const ChainJoinQueryState& state = it->second;
+  metrics::TraceSpan span("estimate", "query");
+  ScopedEstimate timer(state.metrics.estimate_calls,
+                       state.metrics.estimate_ns);
+  EstimateReport report = state.grid.has_value()
+                              ? state.grid->EstimateWithReport()
+                              : state.hashed->EstimateWithReport();
+  RecordReportMetrics(query, state.metrics, report);
+  return report;
 }
 
 StatusOr<int64_t> Engine::StreamElementCount(const std::string& stream) const {

@@ -17,6 +17,7 @@
 #define SKIMJOIN_QUERY_ENGINE_H_
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <span>
@@ -190,6 +191,34 @@ class Engine {
   /// Current estimate of a join or self-join query.
   StatusOr<double> AnswerJoin(QueryId query) const;
 
+  /// AnswerJoin with full provenance (per-copy estimates, empirical CI,
+  /// a-priori bound, skim diagnostics where the method is skimmed). The
+  /// report's `estimate` is bit-identical to AnswerJoin's answer. Records
+  /// the report-derived instruments (`query.<id>.ci_rel_width`, and
+  /// `query.<id>.skim_residual_ratio` for skimmed methods) and emits a
+  /// `ci_blowup` warn event when the CI's relative width crosses
+  /// SetCiWarnRelWidth. Reports are built here, at estimate time — never
+  /// on the ingest path.
+  StatusOr<EstimateReport> AnswerJoinWithReport(QueryId query) const;
+
+  /// AnswerChainJoin with provenance (per-copy estimates and empirical CI;
+  /// chain joins have no closed-form a-priori envelope).
+  StatusOr<EstimateReport> AnswerChainJoinWithReport(QueryId query) const;
+
+  /// Accuracy-drift alerting: when a query's observed rel_error (see
+  /// AttachAccuracyReference) exceeds `threshold`, the engine emits an
+  /// `accuracy_drift` warn event to EventLog::Global() alongside the
+  /// histogram record. +infinity (the default) disables emission; the
+  /// histograms record either way.
+  void SetAccuracyDriftWarnThreshold(double threshold) {
+    drift_warn_threshold_ = threshold;
+  }
+
+  /// CI blow-up alerting for *WithReport answers: when a report's relative
+  /// CI width exceeds `threshold`, the engine emits a `ci_blowup` warn
+  /// event. +infinity (the default) disables emission.
+  void SetCiWarnRelWidth(double threshold) { ci_warn_rel_width_ = threshold; }
+
   /// Current point-frequency estimate from a frequency query.
   StatusOr<int64_t> AnswerPointFrequency(QueryId query, uint64_t value) const;
 
@@ -277,6 +306,9 @@ class Engine {
     metrics::ShardedHistogram* estimate_ns = nullptr;
     metrics::Gauge* memory_bytes = nullptr;
     metrics::ShardedHistogram* rel_error = nullptr;
+    // Report-derived instruments, recorded only by *WithReport answers.
+    metrics::ShardedHistogram* ci_rel_width = nullptr;
+    metrics::ShardedHistogram* skim_residual_ratio = nullptr;
   };
 
   /// A join (or self-join) query: the estimator pair plus the routing data
@@ -382,13 +414,22 @@ class Engine {
   /// Assembles the public IngestStats struct from a stream's counters.
   ingest::IngestStats IngestStatsFor(const StreamState& state) const;
 
-  /// Records |estimate - exact| / max(1, |exact|) into `histogram`.
-  static void RecordRelError(metrics::ShardedHistogram* histogram,
-                             double estimate, double exact);
+  /// Records |estimate - exact| / max(1, |exact|) into `histogram` and,
+  /// when the relative error crosses the drift-warn threshold, emits an
+  /// `accuracy_drift` warn event naming `query`.
+  void RecordRelError(QueryId query, metrics::ShardedHistogram* histogram,
+                      double estimate, double exact) const;
 
   /// Records join-estimate drift when both sides have references attached
   /// and the query compares exactly (COUNT inputs, no predicates).
-  void MaybeRecordJoinDrift(const JoinQueryState& q, double estimate) const;
+  void MaybeRecordJoinDrift(QueryId query, const JoinQueryState& q,
+                            double estimate) const;
+
+  /// Records a *WithReport answer's derived instruments (CI relative
+  /// width; skim residual ratios when present) and emits a `ci_blowup`
+  /// warn event past the CI-warn threshold.
+  void RecordReportMetrics(QueryId query, const QueryMetrics& metrics,
+                           const EstimateReport& report) const;
 
   // Declared first so every cached instrument pointer in the states below
   // is destroyed before the registry that owns the pointees. Mutable:
@@ -408,6 +449,9 @@ class Engine {
   std::unordered_map<QueryId, ChainJoinQueryState> chain_queries_;
   QueryId next_query_id_ = 1;
   uint64_t ingest_shards_ = 1;
+  // Anomaly-event thresholds; +infinity disables emission (the default).
+  double drift_warn_threshold_ = std::numeric_limits<double>::infinity();
+  double ci_warn_rel_width_ = std::numeric_limits<double>::infinity();
 };
 
 }  // namespace query

@@ -84,7 +84,7 @@ Status MultiJoinEstimator::Update(
   return OkStatus();
 }
 
-double MultiJoinEstimator::Estimate() const {
+std::vector<double> MultiJoinEstimator::PerMedianAverages() const {
   std::vector<double> averages;
   averages.reserve(config_.num_medians);
   for (uint64_t j = 0; j < config_.num_medians; ++j) {
@@ -99,7 +99,20 @@ double MultiJoinEstimator::Estimate() const {
     }
     averages.push_back(sum / static_cast<double>(config_.num_means));
   }
-  return Median(std::move(averages));
+  return averages;
+}
+
+double MultiJoinEstimator::Estimate() const {
+  return Median(PerMedianAverages());
+}
+
+EstimateReport MultiJoinEstimator::EstimateWithReport() const {
+  EstimateReport report;
+  report.method = "multi-join-grid";
+  report.copy_estimates = PerMedianAverages();
+  report.estimate = Median(report.copy_estimates);
+  FinishReportFromCopies(&report);
+  return report;
 }
 
 uint64_t MultiJoinEstimator::MemoryBytes() const {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "hashing/sign_hash.h"
+#include "util/estimate_report.h"
 #include "util/status.h"
 
 namespace skimjoin {
@@ -55,6 +56,12 @@ class MultiJoinEstimator {
   /// Median over the grid columns of the mean over rows of Π_r X^r_ij.
   double Estimate() const;
 
+  /// Estimate with provenance: per-median copy estimates, their spread and
+  /// an empirical CI. No closed-form a-priori envelope is reported (the
+  /// multi-join variance involves cross-moments of all relations); the
+  /// field stays NaN. `estimate` is bit-identical to Estimate().
+  EstimateReport EstimateWithReport() const;
+
   const MultiJoinConfig& config() const { return config_; }
   uint64_t num_relations() const {
     return config_.relation_attributes.size();
@@ -70,6 +77,9 @@ class MultiJoinEstimator {
   uint64_t CellIndex(uint64_t mean, uint64_t median) const {
     return median * config_.num_means + mean;
   }
+
+  /// The per-median copy estimates both estimation entry points median.
+  std::vector<double> PerMedianAverages() const;
 
   MultiJoinConfig config_;
   // signs_[attribute][cell]: the ξ^attribute family of grid cell (i, j).

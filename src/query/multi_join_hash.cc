@@ -91,7 +91,7 @@ Status MultiJoinHashEstimator::UpdateMiddle(uint64_t relation,
   return OkStatus();
 }
 
-double MultiJoinHashEstimator::Estimate() const {
+std::vector<double> MultiJoinHashEstimator::PerTableChainProducts() const {
   const uint64_t b = config_.num_buckets;
   std::vector<double> per_table;
   per_table.reserve(config_.num_tables);
@@ -121,7 +121,20 @@ double MultiJoinHashEstimator::Estimate() const {
     }
     per_table.push_back(sum);
   }
-  return Median(std::move(per_table));
+  return per_table;
+}
+
+double MultiJoinHashEstimator::Estimate() const {
+  return Median(PerTableChainProducts());
+}
+
+EstimateReport MultiJoinHashEstimator::EstimateWithReport() const {
+  EstimateReport report;
+  report.method = "multi-join-hash";
+  report.copy_estimates = PerTableChainProducts();
+  report.estimate = Median(report.copy_estimates);
+  FinishReportFromCopies(&report);
+  return report;
 }
 
 uint64_t MultiJoinHashEstimator::TotalCounters() const {

@@ -20,6 +20,7 @@
 
 #include "hashing/kwise_hash.h"
 #include "hashing/sign_hash.h"
+#include "util/estimate_report.h"
 #include "util/status.h"
 
 namespace skimjoin {
@@ -57,6 +58,11 @@ class MultiJoinHashEstimator {
   /// Median over tables of the chain product estimate.
   double Estimate() const;
 
+  /// Estimate with provenance: per-table chain products as copy estimates,
+  /// their spread and an empirical CI (no closed-form a-priori envelope;
+  /// the field stays NaN). `estimate` is bit-identical to Estimate().
+  EstimateReport EstimateWithReport() const;
+
   const MultiJoinHashConfig& config() const { return config_; }
 
   /// Space accounting: total counters held.
@@ -70,6 +76,9 @@ class MultiJoinHashEstimator {
   MultiJoinHashEstimator(const MultiJoinHashConfig& config, uint64_t seed);
 
   uint64_t num_attributes() const { return config_.num_relations - 1; }
+
+  /// The per-table copy estimates both estimation entry points median.
+  std::vector<double> PerTableChainProducts() const;
 
   MultiJoinHashConfig config_;
   // bucket_hashes_[attribute][table], sign_hashes_[attribute][table].

@@ -1,10 +1,13 @@
 #include "query/shell.h"
 
+#include <cstdlib>
 #include <map>
 #include <sstream>
 #include <vector>
 
 #include "stream/trace_io.h"
+#include "util/estimate_report.h"
+#include "util/event_log.h"
 #include "util/metrics.h"
 
 namespace skimjoin {
@@ -12,10 +15,56 @@ namespace query {
 
 namespace {
 
-constexpr char kHelpText[] =
-    "commands: stream join selfjoin freq distinct topk top quantile phi "
-    "update load answer point heavy count seed checkpoint restore streams "
-    "stats metrics help quit";
+/// The one-line synopsis registry `help` renders. Kept next to the
+/// dispatcher below; shell_test cross-checks both directions (every entry
+/// dispatches, every observed command is listed).
+const std::vector<std::pair<std::string, std::string>>& CommandRegistry() {
+  static const auto* commands =
+      new std::vector<std::pair<std::string, std::string>>{
+          {"stream", "stream <name> <domain> — register a stream"},
+          {"join",
+           "join <q> <left> <right> <method> <space> — standing join query "
+           "(agms | hash-sketch | skimmed | count-min | sampling)"},
+          {"selfjoin",
+           "selfjoin <q> <stream> <method> <space> — standing self-join "
+           "query"},
+          {"freq",
+           "freq <q> <stream> <space> — point/heavy-hitter tracking"},
+          {"distinct", "distinct <q> <stream> <maps> — COUNT DISTINCT"},
+          {"topk", "topk <q> <stream> <k> <space> — continuous top-k"},
+          {"top", "top <q> — current top-k answer"},
+          {"quantile",
+           "quantile <q> <stream> <epsilon> — deterministic GK quantiles"},
+          {"phi", "phi <q> <phi> — current quantile answer"},
+          {"update",
+           "update <stream> <value> [count] [measure] — feed one element"},
+          {"load", "load <stream> <trace-path> — replay a trace file"},
+          {"answer", "answer <q> — current join/self-join/distinct estimate"},
+          {"explain",
+           "explain <q> — join estimate with provenance (copies, CI, "
+           "a-priori bound, skim diagnostics)"},
+          {"point", "point <q> <value> — point-frequency estimate"},
+          {"heavy", "heavy <q> <threshold> — heavy hitters above threshold"},
+          {"count", "count <stream> — net elements seen"},
+          {"seed", "seed <n> — seed for subsequent queries"},
+          {"checkpoint", "checkpoint <path> — save engine + query names"},
+          {"restore",
+           "restore <path> [partial] — restore a checkpoint into an empty "
+           "shell"},
+          {"streams", "streams — per-stream ingest stats"},
+          {"stats", "stats — engine-wide totals"},
+          {"metrics",
+           "metrics [json|prom] — metrics snapshot (prom is multi-line)"},
+          {"logs",
+           "logs [n] — last n (default 10) structured events as JSON lines"},
+          {"alerts",
+           "alerts <rel_error> <ci_width> — warn-event thresholds for "
+           "accuracy drift / CI blow-up (inf disables)"},
+          {"help", "help — print this list"},
+          {"quit", "quit — stop reading commands"},
+      };
+  return *commands;
+}
 
 bool ParseEstimatorKind(const std::string& name, core::EstimatorKind* kind) {
   for (core::EstimatorKind candidate :
@@ -45,7 +94,19 @@ void Error(std::ostream& out, const Status& status) {
   Error(out, status.ToString());
 }
 
+// strtod-based so "inf" parses portably (istream num_get rejects it on
+// some standard libraries).
+bool ParseDouble(const std::string& token, double* value) {
+  char* end = nullptr;
+  *value = std::strtod(token.c_str(), &end);
+  return end != token.c_str() && *end == '\0';
+}
+
 }  // namespace
+
+const std::vector<std::pair<std::string, std::string>>& Shell::CommandHelp() {
+  return CommandRegistry();
+}
 
 bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
   std::istringstream fields(line);
@@ -57,7 +118,12 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     return false;
   }
   if (command == "help") {
-    OkValue(out, kHelpText);
+    // Multi-line by design (like `metrics prom`): one synopsis per command,
+    // rendered straight from the registry so the list can never go stale.
+    out << "ok\n";
+    for (const auto& [name, synopsis] : CommandRegistry()) {
+      out << "  " << synopsis << "\n";
+    }
     return true;
   }
   if (command == "seed") {
@@ -296,6 +362,19 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     }
     if (const auto it = join_query_names_.find(name);
         it != join_query_names_.end()) {
+      if (always_explain_) {
+        // --explain mode: same answer (the report's estimate is
+        // bit-identical to AnswerJoin), plus the provenance table.
+        StatusOr<EstimateReport> report =
+            engine_.AnswerJoinWithReport(it->second);
+        if (!report.ok()) {
+          Error(out, report.status());
+          return true;
+        }
+        OkValue(out, report->estimate);
+        out << RenderEstimateReport(*report);
+        return true;
+      }
       StatusOr<double> answer = engine_.AnswerJoin(it->second);
       if (!answer.ok()) {
         Error(out, answer.status());
@@ -315,6 +394,57 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
       return true;
     }
     Error(out, "unknown join/distinct query: " + name);
+    return true;
+  }
+  if (command == "explain") {
+    std::string name;
+    if (!(fields >> name)) {
+      Error(out, "usage: explain <q>");
+      return true;
+    }
+    const auto it = join_query_names_.find(name);
+    if (it == join_query_names_.end()) {
+      Error(out, "unknown join query: " + name);
+      return true;
+    }
+    StatusOr<EstimateReport> report = engine_.AnswerJoinWithReport(it->second);
+    if (!report.ok()) {
+      Error(out, report.status());
+      return true;
+    }
+    // Multi-line by design: "ok" then the provenance table.
+    out << "ok\n" << RenderEstimateReport(*report);
+    return true;
+  }
+  if (command == "logs") {
+    size_t n = 10;
+    std::string count_token;
+    if (fields >> count_token) {
+      std::istringstream count_in(count_token);
+      if (!(count_in >> n)) {
+        Error(out, "usage: logs [n]");
+        return true;
+      }
+    }
+    const std::vector<LogEvent> events = EventLog::Global().Tail(n);
+    // Multi-line by design: "ok <count>" then one JSON line per event,
+    // oldest first (the frozen schema of util/event_log.h).
+    out << "ok " << events.size() << "\n";
+    for (const LogEvent& event : events) out << ToJsonLine(event) << "\n";
+    return true;
+  }
+  if (command == "alerts") {
+    std::string rel_error_token, ci_width_token;
+    double rel_error = 0.0, ci_width = 0.0;
+    if (!(fields >> rel_error_token >> ci_width_token) ||
+        !ParseDouble(rel_error_token, &rel_error) ||
+        !ParseDouble(ci_width_token, &ci_width)) {
+      Error(out, "usage: alerts <rel_error> <ci_width> (inf disables)");
+      return true;
+    }
+    engine_.SetAccuracyDriftWarnThreshold(rel_error);
+    engine_.SetCiWarnRelWidth(ci_width);
+    Ok(out);
     return true;
   }
   if (command == "point") {

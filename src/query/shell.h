@@ -31,13 +31,26 @@
 //                                             default) answers on one line,
 //                                             `prom` emits the multi-line
 //                                             Prometheus text format
+//   explain <q>                               join/self-join estimate with
+//                                             full provenance (per-copy
+//                                             estimates, CI, a-priori bound,
+//                                             skim diagnostics)
+//   logs [n]                                  last n (default 10) structured
+//                                             events as JSON lines
+//   alerts <rel_error> <ci_width>             warn-event thresholds for
+//                                             accuracy drift and CI blow-up
+//                                             (`inf` disables one)
 //   help                                      print this list
 //
 // Every command answers on one line: "ok[ <payload>]" or "error: <reason>".
-// Sole exception: `metrics prom` answers "ok" and then the Prometheus text
-// exposition — that format is inherently multi-line.
+// Exceptions: `metrics prom`, `explain`, `logs`, and `help` answer "ok" and
+// then inherently multi-line text (Prometheus exposition, the provenance
+// table, JSON event lines, the command list).
 // Unknown queries/streams are reported, never fatal; the shell only stops
 // at end of input (or the `quit` command).
+//
+// The command registry (Shell::CommandHelp) is the single source of truth
+// for `help`; tests cross-check that every dispatched command is listed.
 
 #ifndef SKIMJOIN_QUERY_SHELL_H_
 #define SKIMJOIN_QUERY_SHELL_H_
@@ -47,6 +60,8 @@
 #include <ostream>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "query/engine.h"
 
@@ -77,11 +92,23 @@ class Shell {
     post_command_hook_ = std::move(hook);
   }
 
+  /// When enabled (CLI --explain), every `answer` on a join/self-join query
+  /// also renders the full EstimateReport table after the one-line answer,
+  /// exactly as `explain <q>` would.
+  void set_always_explain(bool enabled) { always_explain_ = enabled; }
+
+  /// The command registry behind `help`: every dispatched command name with
+  /// its one-line synopsis, in help order. Static so tests can cross-check
+  /// the `help` output (and the dispatcher) against it.
+  static const std::vector<std::pair<std::string, std::string>>&
+  CommandHelp();
+
   const Engine& engine() const { return engine_; }
 
  private:
   Engine engine_;
   std::function<void()> post_command_hook_;
+  bool always_explain_ = false;
   std::unordered_map<std::string, QueryId> join_query_names_;
   std::unordered_map<std::string, QueryId> frequency_query_names_;
   std::unordered_map<std::string, QueryId> distinct_query_names_;

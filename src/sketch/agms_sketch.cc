@@ -1,5 +1,7 @@
 #include "sketch/agms_sketch.h"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -72,13 +74,8 @@ bool AgmsSketch::CompatibleWith(const AgmsSketch& other) const {
          seed_ == other.seed_;
 }
 
-StatusOr<double> AgmsSketch::EstimateJoinSize(const AgmsSketch& f,
-                                              const AgmsSketch& g) {
-  if (!f.CompatibleWith(g)) {
-    return InvalidArgumentError(
-        "AGMS join estimation requires sketches with equal configuration and "
-        "seed (shared ξ families)");
-  }
+std::vector<double> AgmsSketch::PerMedianAverages(const AgmsSketch& f,
+                                                  const AgmsSketch& g) {
   std::vector<double> averages;
   averages.reserve(f.config_.num_medians);
   for (uint64_t j = 0; j < f.config_.num_medians; ++j) {
@@ -90,13 +87,51 @@ StatusOr<double> AgmsSketch::EstimateJoinSize(const AgmsSketch& f,
     }
     averages.push_back(sum / static_cast<double>(f.config_.num_means));
   }
-  return Median(std::move(averages));
+  return averages;
+}
+
+StatusOr<double> AgmsSketch::EstimateJoinSize(const AgmsSketch& f,
+                                              const AgmsSketch& g) {
+  if (!f.CompatibleWith(g)) {
+    return InvalidArgumentError(
+        "AGMS join estimation requires sketches with equal configuration and "
+        "seed (shared ξ families)");
+  }
+  return Median(PerMedianAverages(f, g));
+}
+
+StatusOr<EstimateReport> AgmsSketch::EstimateJoinSizeWithReport(
+    const AgmsSketch& f, const AgmsSketch& g) {
+  if (!f.CompatibleWith(g)) {
+    return InvalidArgumentError(
+        "AGMS join estimation requires sketches with equal configuration and "
+        "seed (shared ξ families)");
+  }
+  EstimateReport report;
+  report.method = "agms";
+  report.copy_estimates = PerMedianAverages(f, g);
+  report.estimate = Median(report.copy_estimates);
+  // Theorem 1's variance term: |estimate - true| <= 4·sqrt(F2(F)·F2(G)/s1)
+  // w.h.p.; evaluated with the sketches' own (clamped) self-join estimates.
+  const double f2_f = std::max(f.EstimateSelfJoinSize(), 0.0);
+  const double f2_g = std::max(g.EstimateSelfJoinSize(), 0.0);
+  report.apriori_bound =
+      4.0 * std::sqrt(f2_f * f2_g / static_cast<double>(f.config_.num_means));
+  FinishReportFromCopies(&report);
+  return report;
 }
 
 double AgmsSketch::EstimateSelfJoinSize() const {
   StatusOr<double> result = EstimateJoinSize(*this, *this);
   SKIMJOIN_CHECK(result.ok());
   return *result;
+}
+
+EstimateReport AgmsSketch::EstimateSelfJoinSizeWithReport() const {
+  StatusOr<EstimateReport> report = EstimateJoinSizeWithReport(*this, *this);
+  SKIMJOIN_CHECK(report.ok());
+  report->method = "agms-selfjoin";
+  return *std::move(report);
 }
 
 Status AgmsSketch::SerializeTo(std::ostream& out) const {

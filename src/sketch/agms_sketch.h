@@ -23,6 +23,7 @@
 #include "hashing/sign_hash.h"
 #include "stream/frequency_vector.h"
 #include "stream/stream_element.h"
+#include "util/estimate_report.h"
 #include "util/status.h"
 
 namespace skimjoin {
@@ -80,8 +81,21 @@ class AgmsSketch {
   static StatusOr<double> EstimateJoinSize(const AgmsSketch& f,
                                            const AgmsSketch& g);
 
+  /// ESTJOINSIZE with provenance: the per-median copy estimates (mean of
+  /// products per median group), their spread, an empirical confidence
+  /// interval, and the Theorem 1 a-priori envelope 4·sqrt(F̂2(F)·F̂2(G)/s1)
+  /// evaluated with the sketches' own self-join estimates. The `estimate`
+  /// field is bit-identical to EstimateJoinSize (both median the same
+  /// per-copy vector).
+  static StatusOr<EstimateReport> EstimateJoinSizeWithReport(
+      const AgmsSketch& f, const AgmsSketch& g);
+
   /// ESTSJSIZE: self-join (second moment F2) estimate.
   double EstimateSelfJoinSize() const;
+
+  /// Self-join provenance (the F = G case of EstimateJoinSizeWithReport);
+  /// `estimate` bit-identical to EstimateSelfJoinSize.
+  EstimateReport EstimateSelfJoinSizeWithReport() const;
 
   /// True iff `other` shares this sketch's families (equal config and seed).
   bool CompatibleWith(const AgmsSketch& other) const;
@@ -105,6 +119,12 @@ class AgmsSketch {
 
  private:
   AgmsSketch(const AgmsConfig& config, uint64_t seed);
+
+  /// The s2 independent copy estimates both estimation entry points median:
+  /// copy j is the mean over i of X^F_ij · X^G_ij.
+  /// Pre-condition: f.CompatibleWith(g).
+  static std::vector<double> PerMedianAverages(const AgmsSketch& f,
+                                               const AgmsSketch& g);
 
   uint64_t CellIndex(uint64_t mean_index, uint64_t median_index) const {
     return median_index * config_.num_means + mean_index;

@@ -20,6 +20,7 @@
 #include "hashing/kwise_hash.h"
 #include "stream/frequency_vector.h"
 #include "stream/stream_element.h"
+#include "util/estimate_report.h"
 #include "util/status.h"
 
 namespace skimjoin {
@@ -66,6 +67,19 @@ class CountMinSketch {
   static StatusOr<double> EstimateJoinSize(const CountMinSketch& f,
                                            const CountMinSketch& g);
 
+  /// Join estimation with provenance: the per-table product sums as copy
+  /// estimates and the one-sided a-priori envelope F1(F)·F1(G)/b (expected
+  /// single-table collision excess; F1 read exactly off one table's counter
+  /// sum). Because the point answer is the MINIMUM over tables, the CI's
+  /// lower edge is the estimate itself. `estimate` is bit-identical to
+  /// EstimateJoinSize.
+  static StatusOr<EstimateReport> EstimateJoinSizeWithReport(
+      const CountMinSketch& f, const CountMinSketch& g);
+
+  /// Total stream weight F1 (one table's counter sum — exact, since every
+  /// update lands in exactly one bucket per table).
+  double TotalWeight() const;
+
   bool CompatibleWith(const CountMinSketch& other) const;
 
   /// Writes a self-describing text record (config, seed, counters); hash
@@ -85,6 +99,15 @@ class CountMinSketch {
 
  private:
   CountMinSketch(const CountMinConfig& config, uint64_t seed);
+
+  /// The per-table copy estimates both estimation entry points reduce:
+  /// copy j is Σ_k C^F[j][k]·C^G[j][k]. Pre-condition: f.CompatibleWith(g).
+  static std::vector<double> PerTableProducts(const CountMinSketch& f,
+                                              const CountMinSketch& g);
+
+  /// Sequential min over per-table sums, 0.0 for an empty vector —
+  /// reduction order matches the legacy loop so both paths agree bit-wise.
+  static double MinOverTables(const std::vector<double>& per_table);
 
   CountMinConfig config_;
   uint64_t seed_;

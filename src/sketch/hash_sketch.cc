@@ -1,5 +1,7 @@
 #include "sketch/hash_sketch.h"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -94,6 +96,11 @@ StatusOr<double> HashSketch::EstimateJoinSize(const HashSketch& f,
         "hash-sketch join estimation requires sketches with equal "
         "configuration and seed (shared h_j and ξ_j families)");
   }
+  return Median(PerTableJoinProducts(f, g));
+}
+
+std::vector<double> HashSketch::PerTableJoinProducts(const HashSketch& f,
+                                                     const HashSketch& g) {
   std::vector<double> per_table;
   per_table.reserve(f.config_.num_tables);
   for (uint64_t table = 0; table < f.config_.num_tables; ++table) {
@@ -105,7 +112,27 @@ StatusOr<double> HashSketch::EstimateJoinSize(const HashSketch& f,
     }
     per_table.push_back(sum);
   }
-  return Median(std::move(per_table));
+  return per_table;
+}
+
+StatusOr<EstimateReport> HashSketch::EstimateJoinSizeWithReport(
+    const HashSketch& f, const HashSketch& g) {
+  if (!f.CompatibleWith(g)) {
+    return InvalidArgumentError(
+        "hash-sketch join estimation requires sketches with equal "
+        "configuration and seed (shared h_j and ξ_j families)");
+  }
+  EstimateReport report;
+  report.method = "hash-sketch";
+  report.copy_estimates = PerTableJoinProducts(f, g);
+  report.estimate = Median(report.copy_estimates);
+  const double f2_f = std::max(f.EstimateSelfJoinSize(), 0.0);
+  const double f2_g = std::max(g.EstimateSelfJoinSize(), 0.0);
+  report.apriori_bound = 4.0 * std::sqrt(f2_f * f2_g /
+                                         static_cast<double>(
+                                             f.config_.num_buckets));
+  FinishReportFromCopies(&report);
+  return report;
 }
 
 Status HashSketch::SerializeTo(std::ostream& out) const {
@@ -155,6 +182,13 @@ double HashSketch::EstimateSelfJoinSize() const {
   StatusOr<double> result = EstimateJoinSize(*this, *this);
   SKIMJOIN_CHECK(result.ok());
   return *result;
+}
+
+EstimateReport HashSketch::EstimateSelfJoinSizeWithReport() const {
+  StatusOr<EstimateReport> report = EstimateJoinSizeWithReport(*this, *this);
+  SKIMJOIN_CHECK(report.ok());
+  report->method = "hash-sketch-selfjoin";
+  return *std::move(report);
 }
 
 uint64_t HashSketch::MemoryBytes() const {

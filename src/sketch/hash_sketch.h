@@ -27,6 +27,7 @@
 #include "hashing/sign_hash.h"
 #include "stream/frequency_vector.h"
 #include "stream/stream_element.h"
+#include "util/estimate_report.h"
 #include "util/status.h"
 
 namespace skimjoin {
@@ -90,8 +91,27 @@ class HashSketch {
   static StatusOr<double> EstimateJoinSize(const HashSketch& f,
                                            const HashSketch& g);
 
+  /// Join estimation with provenance: the per-table bucket-product sums as
+  /// copy estimates, their spread, an empirical confidence interval, and
+  /// the a-priori envelope 4·sqrt(F̂2(F)·F̂2(G)/b) (the hash-sketch analogue
+  /// of Theorem 1 — variance shrinks with buckets instead of averaged
+  /// copies). `estimate` is bit-identical to EstimateJoinSize.
+  static StatusOr<EstimateReport> EstimateJoinSizeWithReport(
+      const HashSketch& f, const HashSketch& g);
+
+  /// The per-table copy estimates behind EstimateJoinSize (copy j is
+  /// Σ_k C^F[j][k]·C^G[j][k]). Exposed so the skimmed estimator (core/) can
+  /// report its sparse⋈sparse sub-join per table; also used by white-box
+  /// tests. Pre-condition: f.CompatibleWith(g).
+  static std::vector<double> PerTableJoinProducts(const HashSketch& f,
+                                                  const HashSketch& g);
+
   /// Self-join (F2) estimate: median over tables of Σ_k C[j][k]^2.
   double EstimateSelfJoinSize() const;
+
+  /// Self-join provenance (the F = G case of EstimateJoinSizeWithReport);
+  /// `estimate` bit-identical to EstimateSelfJoinSize.
+  EstimateReport EstimateSelfJoinSizeWithReport() const;
 
   bool CompatibleWith(const HashSketch& other) const;
 

@@ -1,0 +1,80 @@
+#include "util/estimate_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace skimjoin {
+
+double EstimateReport::CiRelWidth() const {
+  const double scale = std::max(1.0, std::fabs(estimate));
+  return ci.Width() / scale;
+}
+
+void FinishReportFromCopies(EstimateReport* report, double level) {
+  report->ci.level = level;
+  if (report->copy_estimates.empty()) {
+    report->copy_spread = 0.0;
+    report->ci.lower = report->estimate;
+    report->ci.upper = report->estimate;
+    return;
+  }
+  report->copy_spread = StdDev(report->copy_estimates);
+  const double tail = (1.0 - level) / 2.0;
+  report->ci.lower =
+      std::min(report->estimate, Percentile(report->copy_estimates, tail));
+  report->ci.upper = std::max(report->estimate,
+                              Percentile(report->copy_estimates, 1.0 - tail));
+}
+
+std::string RenderEstimateReport(const EstimateReport& report) {
+  TablePrinter table("estimate report [" + report.method + "]",
+                     {"field", "value"});
+  table.AddRow({"estimate", TablePrinter::FormatDouble(report.estimate)});
+  table.AddRow({"copies", std::to_string(report.copy_estimates.size())});
+  table.AddRow({"copy_spread", TablePrinter::FormatDouble(report.copy_spread)});
+  table.AddRow({"ci_level", TablePrinter::FormatDouble(report.ci.level, 2)});
+  table.AddRow({"ci_lower", TablePrinter::FormatDouble(report.ci.lower)});
+  table.AddRow({"ci_upper", TablePrinter::FormatDouble(report.ci.upper)});
+  table.AddRow(
+      {"ci_rel_width", TablePrinter::FormatDouble(report.CiRelWidth())});
+  table.AddRow({"apriori_bound",
+                std::isnan(report.apriori_bound)
+                    ? "n/a"
+                    : TablePrinter::FormatDouble(report.apriori_bound)});
+  if (report.skim.has_value()) {
+    const SkimDiagnostics& skim = *report.skim;
+    table.AddRow({"skim.threshold_f", std::to_string(skim.threshold_f)});
+    table.AddRow({"skim.threshold_g", std::to_string(skim.threshold_g)});
+    table.AddRow({"skim.dense_count_f", std::to_string(skim.dense_count_f)});
+    table.AddRow({"skim.dense_count_g", std::to_string(skim.dense_count_g)});
+    table.AddRow({"skim.residual_l2_f",
+                  TablePrinter::FormatDouble(skim.residual_l2_before_f) +
+                      " -> " +
+                      TablePrinter::FormatDouble(skim.residual_l2_after_f)});
+    table.AddRow({"skim.residual_l2_g",
+                  TablePrinter::FormatDouble(skim.residual_l2_before_g) +
+                      " -> " +
+                      TablePrinter::FormatDouble(skim.residual_l2_after_g)});
+    table.AddRow({"skim.residual_ratio_f",
+                  TablePrinter::FormatDouble(skim.ResidualRatioF())});
+    table.AddRow({"skim.residual_ratio_g",
+                  TablePrinter::FormatDouble(skim.ResidualRatioG())});
+    table.AddRow(
+        {"skim.dense_dense", TablePrinter::FormatDouble(skim.dense_dense)});
+    table.AddRow(
+        {"skim.dense_sparse", TablePrinter::FormatDouble(skim.dense_sparse)});
+    table.AddRow(
+        {"skim.sparse_dense", TablePrinter::FormatDouble(skim.sparse_dense)});
+    table.AddRow(
+        {"skim.sparse_sparse", TablePrinter::FormatDouble(skim.sparse_sparse)});
+  }
+  std::ostringstream out;
+  table.Print(out);
+  return out.str();
+}
+
+}  // namespace skimjoin

@@ -1,0 +1,178 @@
+#include "util/event_log.h"
+
+#include <chrono>
+
+namespace skimjoin {
+
+namespace {
+
+// JSON string escaping for event names, field keys, and field values.
+// Control bytes become \u00XX so any payload stays one parseable line.
+void AppendJsonString(std::string* out, const std::string& text) {
+  out->push_back('"');
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          *out += "\\u00";
+          out->push_back(kHex[c >> 4]);
+          out->push_back(kHex[c & 0xf]);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string ToJsonLine(const LogEvent& event) {
+  std::string line;
+  line.reserve(64 + event.event.size() + 32 * event.fields.size());
+  line += "{\"seq\":";
+  line += std::to_string(event.sequence);
+  line += ",\"ts_micros\":";
+  line += std::to_string(event.ts_micros);
+  line += ",\"level\":\"";
+  line += LogLevelName(event.level);
+  line += "\",\"event\":";
+  AppendJsonString(&line, event.event);
+  line += ",\"fields\":{";
+  bool first = true;
+  for (const auto& [key, value] : event.fields) {
+    if (!first) line += ",";
+    first = false;
+    AppendJsonString(&line, key);
+    line += ":";
+    AppendJsonString(&line, value);
+  }
+  line += "}}";
+  return line;
+}
+
+EventLog& EventLog::Global() {
+  static EventLog* log = new EventLog();
+  return *log;
+}
+
+void EventLog::Emit(LogLevel level, std::string event,
+                    std::vector<std::pair<std::string, std::string>> fields) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (level < min_level_) {
+    ++suppressed_;
+    return;
+  }
+  LogEvent record;
+  record.level = level;
+  record.sequence = next_sequence_++;
+  record.ts_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  record.event = std::move(event);
+  record.fields = std::move(fields);
+  ++emitted_;
+  if (ring_.size() >= ring_capacity_) {
+    ring_.erase(ring_.begin(),
+                ring_.begin() +
+                    static_cast<std::ptrdiff_t>(ring_.size() - ring_capacity_ +
+                                                1));
+  }
+  ring_.push_back(record);
+  for (const auto& [id, sink] : sinks_) sink(record);
+}
+
+void EventLog::set_min_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  min_level_ = level;
+}
+
+LogLevel EventLog::min_level() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_level_;
+}
+
+void EventLog::set_ring_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_capacity_ = capacity < 1 ? 1 : capacity;
+  if (ring_.size() > ring_capacity_) {
+    ring_.erase(ring_.begin(),
+                ring_.begin() + static_cast<std::ptrdiff_t>(ring_.size() -
+                                                            ring_capacity_));
+  }
+}
+
+uint64_t EventLog::AddSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t id = next_sink_id_++;
+  sinks_.emplace_back(id, std::move(sink));
+  return id;
+}
+
+void EventLog::RemoveSink(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
+    if (it->first == id) {
+      sinks_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<LogEvent> EventLog::Tail(size_t n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t count = n < ring_.size() ? n : ring_.size();
+  return std::vector<LogEvent>(ring_.end() - static_cast<std::ptrdiff_t>(count),
+                               ring_.end());
+}
+
+uint64_t EventLog::emitted_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return emitted_;
+}
+
+uint64_t EventLog::suppressed_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return suppressed_;
+}
+
+void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  emitted_ = 0;
+  suppressed_ = 0;
+  next_sequence_ = 1;
+}
+
+}  // namespace skimjoin

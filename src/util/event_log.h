@@ -1,0 +1,132 @@
+// A leveled, structured event log: the queryable complement to the metrics
+// registry (util/metrics.h). Metrics answer "how much / how fast"; the
+// event log answers "what happened" — one discrete, schema-stable record
+// per noteworthy occurrence (an estimate's confidence interval blowing up,
+// the accuracy-drift monitor crossing its threshold, a SKIMJOIN_CHECK
+// failure on its way to abort).
+//
+// Shape:
+//   * An event is a level, a machine-stable name, and ordered string
+//     key/value fields. Rendering is one JSON line per event with a frozen
+//     schema (see ToJsonLine) so downstream collectors can parse it without
+//     versioned heuristics; tests/event_log_test.cc pins the schema.
+//   * The log keeps a bounded in-memory ring (oldest events overwritten)
+//     surfaced by the shell's `logs [n]` command, and fans every accepted
+//     event out to pluggable sinks (a file, a test probe, a collector
+//     socket — any std::function).
+//   * Levels gate cheaply: events below min_level are dropped before any
+//     formatting or sink work.
+//
+// Emit takes a mutex — this is a COLD-path facility (estimate-time
+// anomalies, lifecycle transitions, failures), never the per-element
+// ingest path; the metrics registry covers the hot path.
+
+#ifndef SKIMJOIN_UTIL_EVENT_LOG_H_
+#define SKIMJOIN_UTIL_EVENT_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace skimjoin {
+
+/// Severity of a structured event, least to most severe. The names the
+/// JSON schema uses are frozen: "debug", "info", "warn", "error".
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// The frozen schema string for `level` ("debug" | "info" | "warn" |
+/// "error").
+const char* LogLevelName(LogLevel level);
+
+/// One structured event. `sequence` and `ts_micros` are stamped by the
+/// EventLog at Emit time; fields keep their insertion order so rendered
+/// lines are deterministic.
+struct LogEvent {
+  LogLevel level = LogLevel::kInfo;
+  /// Position in the log's total emission order, starting at 1.
+  uint64_t sequence = 0;
+  /// Wall-clock microseconds since the Unix epoch at Emit time.
+  uint64_t ts_micros = 0;
+  /// Machine-stable event name, e.g. "accuracy_drift", "check_failed".
+  std::string event;
+  /// Ordered key/value payload; values are rendered as JSON strings.
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/// Renders one event as one JSON line (no trailing newline). The schema is
+/// frozen — field names, their order, and the level strings are a contract
+/// with downstream collectors (golden-tested):
+///   {"seq":N,"ts_micros":N,"level":"warn","event":"...","fields":{...}}
+std::string ToJsonLine(const LogEvent& event);
+
+/// The event log: bounded ring + fan-out sinks. Thread-safe throughout
+/// (one mutex; Emit is cold-path by design). There is one process-wide
+/// instance (Global()) so that failure paths — SKIMJOIN_CHECK routes
+/// through it before aborting — need no plumbing; embedders may also own
+/// private instances.
+class EventLog {
+ public:
+  static constexpr size_t kDefaultRingCapacity = 1024;
+
+  /// The process-wide log. SKIMJOIN_CHECK failures and query::Engine
+  /// anomaly events land here.
+  static EventLog& Global();
+
+  EventLog() = default;
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Accepts one event when `level` >= min_level: stamps sequence and
+  /// timestamp, appends it to the ring (evicting the oldest at capacity),
+  /// and invokes every sink with it. Below-level events are counted and
+  /// otherwise free.
+  void Emit(LogLevel level, std::string event,
+            std::vector<std::pair<std::string, std::string>> fields = {});
+
+  /// Events below this level are suppressed (default kDebug: everything
+  /// passes).
+  void set_min_level(LogLevel level);
+  LogLevel min_level() const;
+
+  /// Resizes the ring (>= 1; values below clamp to 1). Shrinking discards
+  /// the oldest events beyond the new capacity.
+  void set_ring_capacity(size_t capacity);
+
+  /// A sink sees every accepted event, on the emitting thread, while the
+  /// log's mutex is held — keep sinks fast and never re-enter the log.
+  using Sink = std::function<void(const LogEvent&)>;
+
+  /// Registers a sink; the returned id removes it again.
+  uint64_t AddSink(Sink sink);
+  void RemoveSink(uint64_t id);
+
+  /// The most recent min(n, ring size) events, oldest first.
+  std::vector<LogEvent> Tail(size_t n) const;
+
+  /// Total events accepted (ring evictions included) / suppressed by
+  /// min_level since construction or the last Clear.
+  uint64_t emitted_count() const;
+  uint64_t suppressed_count() const;
+
+  /// Empties the ring and zeroes the counters; sinks and configuration
+  /// stay registered. Sequence numbers restart at 1.
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  LogLevel min_level_ = LogLevel::kDebug;
+  size_t ring_capacity_ = kDefaultRingCapacity;
+  std::vector<LogEvent> ring_;  // ring_[0] is the oldest retained event
+  std::vector<std::pair<uint64_t, Sink>> sinks_;
+  uint64_t next_sink_id_ = 1;
+  uint64_t next_sequence_ = 1;
+  uint64_t emitted_ = 0;
+  uint64_t suppressed_ = 0;
+};
+
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_UTIL_EVENT_LOG_H_

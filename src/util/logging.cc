@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/event_log.h"
+
 namespace skimjoin {
 namespace internal_logging {
 
@@ -10,6 +12,19 @@ void CheckFailed(const char* file, int line, const std::string& message) {
   std::fprintf(stderr, "[skimjoin] CHECK failed at %s:%d: %s\n", file, line,
                message.c_str());
   std::fflush(stderr);
+  // Route the failure through the structured event log so attached sinks
+  // (files, collectors) record it before the process dies — the stderr line
+  // above is all an operator would otherwise get. Guarded against a sink
+  // itself CHECK-failing, which must not recurse into the log.
+  thread_local bool in_check_failure = false;
+  if (!in_check_failure) {
+    in_check_failure = true;
+    EventLog::Global().Emit(LogLevel::kError, "check_failed",
+                            {{"file", file},
+                             {"line", std::to_string(line)},
+                             {"message", message}});
+    in_check_failure = false;
+  }
   std::abort();
 }
 

@@ -1,0 +1,414 @@
+#include "util/estimate_report.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/join_estimators.h"
+#include "core/skimmed_sketch.h"
+#include "gtest/gtest.h"
+#include "query/multi_join.h"
+#include "query/multi_join_hash.h"
+#include "sketch/agms_sketch.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/hash_sketch.h"
+#include "stream/frequency_vector.h"
+#include "stream/zipf.h"
+
+namespace skimjoin {
+namespace {
+
+using stream::FrequencyVector;
+
+// ---------------------------------------------------------------------------
+// FinishReportFromCopies unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(FinishReportTest, EmptyCopiesDegenerateToPointEstimate) {
+  EstimateReport report;
+  report.estimate = 42.0;
+  FinishReportFromCopies(&report, 0.9);
+  EXPECT_EQ(report.copy_spread, 0.0);
+  EXPECT_EQ(report.ci.lower, 42.0);
+  EXPECT_EQ(report.ci.upper, 42.0);
+  EXPECT_EQ(report.ci.level, 0.9);
+  EXPECT_EQ(report.ci.Width(), 0.0);
+  EXPECT_EQ(report.CiRelWidth(), 0.0);
+}
+
+TEST(FinishReportTest, SpreadAndIntervalFromCopies) {
+  EstimateReport report;
+  report.estimate = 3.0;
+  report.copy_estimates = {1.0, 2.0, 3.0, 4.0, 5.0};
+  FinishReportFromCopies(&report, 0.90);
+  // Population std-dev of {1..5} is sqrt(2).
+  EXPECT_NEAR(report.copy_spread, std::sqrt(2.0), 1e-12);
+  // 5%/95% percentiles with linear interpolation: 1.2 and 4.8.
+  EXPECT_NEAR(report.ci.lower, 1.2, 1e-12);
+  EXPECT_NEAR(report.ci.upper, 4.8, 1e-12);
+  EXPECT_LE(report.ci.lower, report.estimate);
+  EXPECT_GE(report.ci.upper, report.estimate);
+}
+
+TEST(FinishReportTest, IntervalWidensToContainEstimate) {
+  // A min-composed point answer (Count-Min) can sit below every copy; the
+  // interval must stretch to include it.
+  EstimateReport report;
+  report.estimate = 0.5;
+  report.copy_estimates = {10.0, 11.0, 12.0};
+  FinishReportFromCopies(&report);
+  EXPECT_EQ(report.ci.lower, 0.5);
+  EXPECT_GE(report.ci.upper, 11.0);
+}
+
+TEST(FinishReportTest, CiRelWidthUsesAbsoluteWidthForSmallEstimates) {
+  EstimateReport report;
+  report.estimate = 0.25;  // |estimate| < 1: scale clamps to 1.
+  report.ci = {0.0, 0.5, 0.9};
+  EXPECT_NEAR(report.CiRelWidth(), 0.5, 1e-12);
+  report.estimate = 100.0;
+  report.ci = {90.0, 110.0, 0.9};
+  EXPECT_NEAR(report.CiRelWidth(), 0.2, 1e-12);
+}
+
+TEST(FinishReportTest, SkimResidualRatiosHandleEmptyStreams) {
+  SkimDiagnostics skim;
+  EXPECT_EQ(skim.ResidualRatioF(), 0.0);
+  EXPECT_EQ(skim.ResidualRatioG(), 0.0);
+  skim.residual_l2_before_f = 10.0;
+  skim.residual_l2_after_f = 4.0;
+  EXPECT_NEAR(skim.ResidualRatioF(), 0.4, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: every *WithReport variant must return exactly the double the
+// legacy API returns — same per-copy vectors, same reduction order.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kDomain = 1u << 10;
+
+std::pair<FrequencyVector, FrequencyVector> SkewedStreams() {
+  FrequencyVector f = stream::ZipfDistribution(kDomain, 1.1)
+                          .ExpectedFrequencies(50000);
+  FrequencyVector g = stream::ZipfDistribution(kDomain, 0.8)
+                          .ExpectedFrequencies(40000);
+  return {std::move(f), std::move(g)};
+}
+
+TEST(ReportBitIdentityTest, AgmsJoinAndSelfJoin) {
+  const auto [f, g] = SkewedStreams();
+  sketch::AgmsConfig config{64, 5};
+  auto sf = sketch::AgmsSketch::Create(config, 7);
+  auto sg = sketch::AgmsSketch::Create(config, 7);
+  ASSERT_TRUE(sf.ok() && sg.ok());
+  sf->Absorb(f);
+  sg->Absorb(g);
+
+  auto legacy = sketch::AgmsSketch::EstimateJoinSize(*sf, *sg);
+  auto report = sketch::AgmsSketch::EstimateJoinSizeWithReport(*sf, *sg);
+  ASSERT_TRUE(legacy.ok() && report.ok());
+  EXPECT_EQ(report->estimate, *legacy);
+  EXPECT_EQ(report->method, "agms");
+  EXPECT_EQ(report->copy_estimates.size(), 5u);
+  EXPECT_FALSE(std::isnan(report->apriori_bound));
+  EXPECT_FALSE(report->skim.has_value());
+
+  const EstimateReport self = sf->EstimateSelfJoinSizeWithReport();
+  EXPECT_EQ(self.estimate, sf->EstimateSelfJoinSize());
+  EXPECT_EQ(self.copy_estimates.size(), 5u);
+}
+
+TEST(ReportBitIdentityTest, HashSketchJoinAndSelfJoin) {
+  const auto [f, g] = SkewedStreams();
+  sketch::HashSketchConfig config{7, 256};
+  auto sf = sketch::HashSketch::Create(config, 11);
+  auto sg = sketch::HashSketch::Create(config, 11);
+  ASSERT_TRUE(sf.ok() && sg.ok());
+  sf->Absorb(f);
+  sg->Absorb(g);
+
+  auto legacy = sketch::HashSketch::EstimateJoinSize(*sf, *sg);
+  auto report = sketch::HashSketch::EstimateJoinSizeWithReport(*sf, *sg);
+  ASSERT_TRUE(legacy.ok() && report.ok());
+  EXPECT_EQ(report->estimate, *legacy);
+  EXPECT_EQ(report->method, "hash-sketch");
+  EXPECT_EQ(report->copy_estimates.size(), 7u);
+  EXPECT_FALSE(std::isnan(report->apriori_bound));
+
+  const EstimateReport self = sf->EstimateSelfJoinSizeWithReport();
+  EXPECT_EQ(self.estimate, sf->EstimateSelfJoinSize());
+  EXPECT_EQ(self.copy_estimates.size(), 7u);
+}
+
+TEST(ReportBitIdentityTest, CountMinJoin) {
+  const auto [f, g] = SkewedStreams();
+  sketch::CountMinConfig config{5, 256};
+  auto sf = sketch::CountMinSketch::Create(config, 13);
+  auto sg = sketch::CountMinSketch::Create(config, 13);
+  ASSERT_TRUE(sf.ok() && sg.ok());
+  sf->Absorb(f);
+  sg->Absorb(g);
+
+  auto legacy = sketch::CountMinSketch::EstimateJoinSize(*sf, *sg);
+  auto report = sketch::CountMinSketch::EstimateJoinSizeWithReport(*sf, *sg);
+  ASSERT_TRUE(legacy.ok() && report.ok());
+  EXPECT_EQ(report->estimate, *legacy);
+  EXPECT_EQ(report->method, "count-min");
+  EXPECT_EQ(report->copy_estimates.size(), 5u);
+  // The point answer is the min over tables: the smallest copy exactly.
+  double min_copy = report->copy_estimates[0];
+  for (double c : report->copy_estimates) min_copy = std::min(min_copy, c);
+  EXPECT_EQ(report->estimate, min_copy);
+  // One-sided envelope F1(F)*F1(G)/b is finite for insert-only streams.
+  EXPECT_FALSE(std::isnan(report->apriori_bound));
+}
+
+TEST(ReportBitIdentityTest, SkimmedJoinAndSelfJoin) {
+  const auto [f, g] = SkewedStreams();
+  core::SkimmedSketchConfig config;
+  config.domain_size = kDomain;
+  config.num_tables = 7;
+  config.num_buckets = 256;
+  config.use_dyadic_skim = false;
+  auto sf = core::SkimmedSketch::Create(config, 17);
+  auto sg = core::SkimmedSketch::Create(config, 17);
+  ASSERT_TRUE(sf.ok() && sg.ok());
+  sf->Absorb(f);
+  sg->Absorb(g);
+
+  auto legacy = core::SkimmedSketch::EstimateJoinSize(*sf, *sg);
+  auto detailed = core::SkimmedSketch::EstimateJoinSizeDetailed(*sf, *sg);
+  auto report = core::SkimmedSketch::EstimateJoinSizeWithReport(*sf, *sg);
+  ASSERT_TRUE(legacy.ok() && detailed.ok() && report.ok());
+  EXPECT_EQ(report->estimate, *legacy);
+  EXPECT_EQ(report->method, "skimmed");
+  EXPECT_EQ(report->copy_estimates.size(), 7u);
+  EXPECT_FALSE(std::isnan(report->apriori_bound));
+
+  // Skim diagnostics: present, sub-joins sum to the estimate, and the
+  // breakdown agrees with EstimateJoinSizeDetailed.
+  ASSERT_TRUE(report->skim.has_value());
+  const SkimDiagnostics& skim = *report->skim;
+  EXPECT_EQ(skim.dense_dense, detailed->dense_dense);
+  EXPECT_EQ(skim.dense_sparse, detailed->dense_sparse);
+  EXPECT_EQ(skim.sparse_dense, detailed->sparse_dense);
+  EXPECT_EQ(skim.sparse_sparse, detailed->sparse_sparse);
+  EXPECT_NEAR(skim.dense_dense + skim.dense_sparse + skim.sparse_dense +
+                  skim.sparse_sparse,
+              report->estimate, 1e-6 * std::fabs(report->estimate) + 1e-6);
+  // Zipf(1.1) has real heavy hitters: skimming must extract some and shed
+  // L2 mass.
+  EXPECT_GT(skim.dense_count_f, 0u);
+  EXPECT_GT(skim.residual_l2_before_f, 0.0);
+  EXPECT_LT(skim.residual_l2_after_f, skim.residual_l2_before_f);
+  EXPECT_GE(skim.ResidualRatioF(), 0.0);
+  EXPECT_LE(skim.ResidualRatioF(), 1.0 + 1e-9);
+
+  const EstimateReport self = sf->EstimateSelfJoinSizeWithReport();
+  EXPECT_EQ(self.estimate, sf->EstimateSelfJoinSize());
+}
+
+TEST(ReportBitIdentityTest, MultiJoinGrid) {
+  query::MultiJoinConfig config;
+  config.num_means = 32;
+  config.num_medians = 5;
+  config.relation_attributes = {{0}, {0, 1}, {1}};
+  auto est = query::MultiJoinEstimator::Create(config, 23);
+  ASSERT_TRUE(est.ok());
+  for (uint64_t v = 0; v < 64; ++v) {
+    ASSERT_TRUE(est->Update(0, {v % 8}, 1).ok());
+    ASSERT_TRUE(est->Update(1, {v % 8, v % 4}, 1).ok());
+    ASSERT_TRUE(est->Update(2, {v % 4}, 1).ok());
+  }
+  const EstimateReport report = est->EstimateWithReport();
+  EXPECT_EQ(report.estimate, est->Estimate());
+  EXPECT_EQ(report.method, "multi-join-grid");
+  EXPECT_EQ(report.copy_estimates.size(), 5u);
+  EXPECT_TRUE(std::isnan(report.apriori_bound));
+}
+
+TEST(ReportBitIdentityTest, MultiJoinHash) {
+  query::MultiJoinHashConfig config;
+  config.num_relations = 3;
+  config.num_tables = 5;
+  config.num_buckets = 32;
+  auto est = query::MultiJoinHashEstimator::Create(config, 29);
+  ASSERT_TRUE(est.ok());
+  for (uint64_t v = 0; v < 64; ++v) {
+    ASSERT_TRUE(est->UpdateEnd(0, v % 8, 1).ok());
+    ASSERT_TRUE(est->UpdateMiddle(1, v % 8, v % 4, 1).ok());
+    ASSERT_TRUE(est->UpdateEnd(2, v % 4, 1).ok());
+  }
+  const EstimateReport report = est->EstimateWithReport();
+  EXPECT_EQ(report.estimate, est->Estimate());
+  EXPECT_EQ(report.method, "multi-join-hash");
+  EXPECT_EQ(report.copy_estimates.size(), 5u);
+  EXPECT_TRUE(std::isnan(report.apriori_bound));
+}
+
+// Every estimator pair the engine can build must satisfy bit-identity
+// through the virtual EstimateWithReport, including the default wrapper
+// (sampling has no per-copy structure).
+TEST(ReportBitIdentityTest, JoinEstimatorPairsAllKinds) {
+  const auto [f, g] = SkewedStreams();
+  const core::EstimatorKind kinds[] = {
+      core::EstimatorKind::kAgms, core::EstimatorKind::kHashSketch,
+      core::EstimatorKind::kSkimmedSketch, core::EstimatorKind::kCountMin,
+      core::EstimatorKind::kSampling};
+  for (core::EstimatorKind kind : kinds) {
+    core::EstimatorSpec spec;
+    spec.kind = kind;
+    spec.domain_size = kDomain;
+    spec.space_counters = 4096;
+    auto pair = core::CreateJoinEstimatorPair(spec, 31);
+    ASSERT_TRUE(pair.ok()) << core::EstimatorKindName(kind);
+    (*pair)->AbsorbF(f);
+    (*pair)->AbsorbG(g);
+    auto legacy = (*pair)->Estimate();
+    auto report = (*pair)->EstimateWithReport();
+    ASSERT_TRUE(legacy.ok() && report.ok()) << core::EstimatorKindName(kind);
+    EXPECT_EQ(report->estimate, *legacy) << core::EstimatorKindName(kind);
+    EXPECT_EQ(report->method, (*pair)->Name());
+    // The CI always contains the point answer.
+    EXPECT_LE(report->ci.lower, report->estimate);
+    EXPECT_GE(report->ci.upper, report->estimate);
+    if (kind == core::EstimatorKind::kSampling) {
+      EXPECT_TRUE(report->copy_estimates.empty());
+      EXPECT_EQ(report->ci.lower, report->estimate);
+      EXPECT_EQ(report->ci.upper, report->estimate);
+    } else {
+      EXPECT_FALSE(report->copy_estimates.empty());
+    }
+    if (kind == core::EstimatorKind::kSkimmedSketch) {
+      EXPECT_TRUE(report->skim.has_value());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CI coverage: over many independently seeded trials, the empirical 90%
+// interval must contain the exact join size at least 80% of the time
+// (ISSUE acceptance bar). With ~5-7 roughly median-unbiased copies the
+// [5%, 95%] copy quantiles sit near the min/max, so true coverage is well
+// above the bar; 80% over 200 trials leaves a generous noise margin.
+// ---------------------------------------------------------------------------
+
+enum class Family { kAgms, kHashSketch, kSkimmed };
+
+int CountCoverage(Family family, int trials, double exact,
+                  const FrequencyVector& f, const FrequencyVector& g) {
+  int covered = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    const uint64_t seed = 1000 + static_cast<uint64_t>(trial);
+    EstimateReport report;
+    switch (family) {
+      case Family::kAgms: {
+        auto sf = sketch::AgmsSketch::Create({64, 7}, seed);
+        auto sg = sketch::AgmsSketch::Create({64, 7}, seed);
+        EXPECT_TRUE(sf.ok() && sg.ok());
+        sf->Absorb(f);
+        sg->Absorb(g);
+        auto r = sketch::AgmsSketch::EstimateJoinSizeWithReport(*sf, *sg);
+        EXPECT_TRUE(r.ok());
+        report = *std::move(r);
+        break;
+      }
+      case Family::kHashSketch: {
+        auto sf = sketch::HashSketch::Create({7, 512}, seed);
+        auto sg = sketch::HashSketch::Create({7, 512}, seed);
+        EXPECT_TRUE(sf.ok() && sg.ok());
+        sf->Absorb(f);
+        sg->Absorb(g);
+        auto r = sketch::HashSketch::EstimateJoinSizeWithReport(*sf, *sg);
+        EXPECT_TRUE(r.ok());
+        report = *std::move(r);
+        break;
+      }
+      case Family::kSkimmed: {
+        core::SkimmedSketchConfig config;
+        config.domain_size = kDomain;
+        config.num_tables = 7;
+        config.num_buckets = 512;
+        config.use_dyadic_skim = false;
+        auto sf = core::SkimmedSketch::Create(config, seed);
+        auto sg = core::SkimmedSketch::Create(config, seed);
+        EXPECT_TRUE(sf.ok() && sg.ok());
+        sf->Absorb(f);
+        sg->Absorb(g);
+        auto r = core::SkimmedSketch::EstimateJoinSizeWithReport(*sf, *sg);
+        EXPECT_TRUE(r.ok());
+        report = *std::move(r);
+        break;
+      }
+    }
+    if (report.ci.lower <= exact && exact <= report.ci.upper) ++covered;
+  }
+  return covered;
+}
+
+class CiCoverageTest : public ::testing::TestWithParam<Family> {};
+
+TEST_P(CiCoverageTest, NinetyPercentIntervalCoversExactAtLeast80Percent) {
+  constexpr int kTrials = 200;
+  const auto [f, g] = SkewedStreams();
+  const double exact = static_cast<double>(stream::JoinSize(f, g));
+  ASSERT_GT(exact, 0.0);
+  const int covered = CountCoverage(GetParam(), kTrials, exact, f, g);
+  EXPECT_GE(covered, static_cast<int>(0.80 * kTrials))
+      << "coverage " << covered << "/" << kTrials;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, CiCoverageTest,
+                         ::testing::Values(Family::kAgms, Family::kHashSketch,
+                                           Family::kSkimmed),
+                         [](const ::testing::TestParamInfo<Family>& info) {
+                           switch (info.param) {
+                             case Family::kAgms:
+                               return std::string("Agms");
+                             case Family::kHashSketch:
+                               return std::string("HashSketch");
+                             case Family::kSkimmed:
+                               return std::string("Skimmed");
+                           }
+                           return std::string("Unknown");
+                         });
+
+// ---------------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------------
+
+TEST(RenderEstimateReportTest, ContainsCoreFields) {
+  EstimateReport report;
+  report.method = "agms";
+  report.estimate = 123.0;
+  report.copy_estimates = {100.0, 123.0, 150.0};
+  FinishReportFromCopies(&report);
+  const std::string text = RenderEstimateReport(report);
+  EXPECT_NE(text.find("estimate report [agms]"), std::string::npos) << text;
+  EXPECT_NE(text.find("estimate"), std::string::npos);
+  EXPECT_NE(text.find("ci_lower"), std::string::npos);
+  EXPECT_NE(text.find("ci_upper"), std::string::npos);
+  EXPECT_NE(text.find("apriori_bound"), std::string::npos);
+  // No skim section without diagnostics.
+  EXPECT_EQ(text.find("skim."), std::string::npos);
+  // NaN bound renders as n/a.
+  EXPECT_NE(text.find("n/a"), std::string::npos);
+}
+
+TEST(RenderEstimateReportTest, SkimSectionRendered) {
+  EstimateReport report;
+  report.method = "skimmed";
+  report.estimate = 10.0;
+  report.skim.emplace();
+  report.skim->dense_count_f = 3;
+  FinishReportFromCopies(&report);
+  const std::string text = RenderEstimateReport(report);
+  EXPECT_NE(text.find("skim.dense_count_f"), std::string::npos) << text;
+  EXPECT_NE(text.find("skim.sparse_sparse"), std::string::npos);
+  EXPECT_NE(text.find("skim.residual_ratio_f"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skimjoin

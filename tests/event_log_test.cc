@@ -1,0 +1,206 @@
+#include "util/event_log.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace skimjoin {
+namespace {
+
+TEST(EventLogTest, LevelNamesAreFrozen) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "info");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "warn");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "error");
+}
+
+TEST(EventLogTest, EmitStampsSequenceAndTimestamp) {
+  EventLog log;
+  log.Emit(LogLevel::kInfo, "first");
+  log.Emit(LogLevel::kWarn, "second", {{"k", "v"}});
+  const std::vector<LogEvent> tail = log.Tail(10);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].sequence, 1u);
+  EXPECT_EQ(tail[1].sequence, 2u);
+  EXPECT_EQ(tail[0].event, "first");
+  EXPECT_EQ(tail[1].event, "second");
+  EXPECT_GT(tail[0].ts_micros, 0u);
+  EXPECT_LE(tail[0].ts_micros, tail[1].ts_micros);
+  ASSERT_EQ(tail[1].fields.size(), 1u);
+  EXPECT_EQ(tail[1].fields[0].first, "k");
+  EXPECT_EQ(tail[1].fields[0].second, "v");
+}
+
+TEST(EventLogTest, RingEvictsOldestAtCapacity) {
+  EventLog log;
+  log.set_ring_capacity(3);
+  for (int i = 0; i < 5; ++i) {
+    log.Emit(LogLevel::kInfo, "e" + std::to_string(i));
+  }
+  const std::vector<LogEvent> tail = log.Tail(10);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].event, "e2");
+  EXPECT_EQ(tail[1].event, "e3");
+  EXPECT_EQ(tail[2].event, "e4");
+  // Evicted events still count as emitted.
+  EXPECT_EQ(log.emitted_count(), 5u);
+}
+
+TEST(EventLogTest, ShrinkingCapacityDiscardsOldest) {
+  EventLog log;
+  for (int i = 0; i < 4; ++i) {
+    log.Emit(LogLevel::kInfo, "e" + std::to_string(i));
+  }
+  log.set_ring_capacity(2);
+  const std::vector<LogEvent> tail = log.Tail(10);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].event, "e2");
+  EXPECT_EQ(tail[1].event, "e3");
+}
+
+TEST(EventLogTest, CapacityClampsToOne) {
+  EventLog log;
+  log.set_ring_capacity(0);
+  log.Emit(LogLevel::kInfo, "a");
+  log.Emit(LogLevel::kInfo, "b");
+  const std::vector<LogEvent> tail = log.Tail(10);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].event, "b");
+}
+
+TEST(EventLogTest, MinLevelSuppressesAndCounts) {
+  EventLog log;
+  log.set_min_level(LogLevel::kWarn);
+  EXPECT_EQ(log.min_level(), LogLevel::kWarn);
+  log.Emit(LogLevel::kDebug, "dropped");
+  log.Emit(LogLevel::kInfo, "dropped");
+  log.Emit(LogLevel::kWarn, "kept");
+  log.Emit(LogLevel::kError, "kept");
+  EXPECT_EQ(log.emitted_count(), 2u);
+  EXPECT_EQ(log.suppressed_count(), 2u);
+  const std::vector<LogEvent> tail = log.Tail(10);
+  ASSERT_EQ(tail.size(), 2u);
+  // Suppressed events do not consume sequence numbers.
+  EXPECT_EQ(tail[0].sequence, 1u);
+  EXPECT_EQ(tail[1].sequence, 2u);
+}
+
+TEST(EventLogTest, TailReturnsMostRecentOldestFirst) {
+  EventLog log;
+  for (int i = 0; i < 6; ++i) {
+    log.Emit(LogLevel::kInfo, "e" + std::to_string(i));
+  }
+  const std::vector<LogEvent> tail = log.Tail(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].event, "e4");
+  EXPECT_EQ(tail[1].event, "e5");
+  EXPECT_TRUE(log.Tail(0).empty());
+}
+
+TEST(EventLogTest, SinksSeeAcceptedEventsOnly) {
+  EventLog log;
+  std::vector<std::string> seen;
+  const uint64_t id = log.AddSink(
+      [&seen](const LogEvent& e) { seen.push_back(e.event); });
+  log.set_min_level(LogLevel::kInfo);
+  log.Emit(LogLevel::kDebug, "suppressed");
+  log.Emit(LogLevel::kInfo, "accepted");
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "accepted");
+
+  log.RemoveSink(id);
+  log.Emit(LogLevel::kInfo, "after-removal");
+  EXPECT_EQ(seen.size(), 1u);
+}
+
+TEST(EventLogTest, MultipleSinksAllInvoked) {
+  EventLog log;
+  int a = 0;
+  int b = 0;
+  log.AddSink([&a](const LogEvent&) { ++a; });
+  log.AddSink([&b](const LogEvent&) { ++b; });
+  log.Emit(LogLevel::kInfo, "x");
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(EventLogTest, ClearEmptiesRingAndRestartsSequence) {
+  EventLog log;
+  log.set_min_level(LogLevel::kInfo);
+  log.Emit(LogLevel::kDebug, "suppressed");
+  log.Emit(LogLevel::kInfo, "kept");
+  log.Clear();
+  EXPECT_TRUE(log.Tail(10).empty());
+  EXPECT_EQ(log.emitted_count(), 0u);
+  EXPECT_EQ(log.suppressed_count(), 0u);
+  log.Emit(LogLevel::kInfo, "fresh");
+  const std::vector<LogEvent> tail = log.Tail(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].sequence, 1u);
+}
+
+TEST(EventLogTest, GlobalIsASingleton) {
+  EXPECT_EQ(&EventLog::Global(), &EventLog::Global());
+}
+
+// ---------------------------------------------------------------------------
+// JSON-lines schema golden tests. The rendered shape is a contract with
+// downstream collectors: field names, their order, and the level strings
+// must not change. If one of these tests fails, the exporter schema moved —
+// that is a breaking change for consumers, not a test to update casually.
+// ---------------------------------------------------------------------------
+
+LogEvent MakeEvent() {
+  LogEvent event;
+  event.level = LogLevel::kWarn;
+  event.sequence = 7;
+  event.ts_micros = 1234567890;
+  event.event = "accuracy_drift";
+  event.fields = {{"query", "q1"}, {"rel_error", "0.5"}};
+  return event;
+}
+
+TEST(EventLogJsonTest, GoldenLine) {
+  EXPECT_EQ(ToJsonLine(MakeEvent()),
+            "{\"seq\":7,\"ts_micros\":1234567890,\"level\":\"warn\","
+            "\"event\":\"accuracy_drift\","
+            "\"fields\":{\"query\":\"q1\",\"rel_error\":\"0.5\"}}");
+}
+
+TEST(EventLogJsonTest, EmptyFieldsRenderAsEmptyObject) {
+  LogEvent event = MakeEvent();
+  event.level = LogLevel::kError;
+  event.fields.clear();
+  EXPECT_EQ(ToJsonLine(event),
+            "{\"seq\":7,\"ts_micros\":1234567890,\"level\":\"error\","
+            "\"event\":\"accuracy_drift\",\"fields\":{}}");
+}
+
+TEST(EventLogJsonTest, EscapesSpecialCharacters) {
+  LogEvent event;
+  event.level = LogLevel::kInfo;
+  event.sequence = 1;
+  event.ts_micros = 2;
+  event.event = "esc";
+  event.fields = {{"msg", "a\"b\\c\nd\te\rf"}, {"ctl", std::string("\x01", 1)}};
+  EXPECT_EQ(ToJsonLine(event),
+            "{\"seq\":1,\"ts_micros\":2,\"level\":\"info\",\"event\":\"esc\","
+            "\"fields\":{\"msg\":\"a\\\"b\\\\c\\nd\\te\\rf\","
+            "\"ctl\":\"\\u0001\"}}");
+}
+
+TEST(EventLogJsonTest, FieldOrderIsInsertionOrder) {
+  LogEvent event;
+  event.level = LogLevel::kDebug;
+  event.sequence = 3;
+  event.ts_micros = 4;
+  event.event = "order";
+  event.fields = {{"z", "1"}, {"a", "2"}};
+  const std::string line = ToJsonLine(event);
+  EXPECT_LT(line.find("\"z\""), line.find("\"a\"")) << line;
+}
+
+}  // namespace
+}  // namespace skimjoin

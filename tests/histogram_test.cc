@@ -89,6 +89,49 @@ TEST(HistogramTest, StdDevMatchesDirectComputation) {
   EXPECT_NEAR(h.StdDev(), 2.0, 1e-9);  // population sigma of this set is 2
 }
 
+TEST(HistogramTest, EmptyQuantileExtremesAreZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.ApproximateQuantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.ApproximateQuantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleQuantilesStayInItsBucket) {
+  Histogram h;
+  h.Add(42.0);  // log-bucketed: lands in [32, 64)
+  EXPECT_DOUBLE_EQ(h.ApproximateQuantile(0.0), 32.0);
+  EXPECT_DOUBLE_EQ(h.ApproximateQuantile(1.0), 64.0);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double value = h.ApproximateQuantile(q);
+    EXPECT_GE(value, 32.0) << "q=" << q;
+    EXPECT_LE(value, 64.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, AllEqualSamplesCollapseToOneBucket) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Add(5.0);  // bucket [4, 8)
+  EXPECT_DOUBLE_EQ(h.ApproximateQuantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.ApproximateQuantile(1.0), 8.0);
+  double previous = 0.0;
+  for (double q : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    const double value = h.ApproximateQuantile(q);
+    EXPECT_GE(value, 4.0) << "q=" << q;
+    EXPECT_LE(value, 8.0) << "q=" << q;
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+}
+
+TEST(HistogramTest, QuantileExtremesBracketTheData) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  // q=0 resolves to the lower edge of the first non-empty bucket (<= min);
+  // q=1 to the upper edge of the last (>= max, within a factor of 2).
+  EXPECT_LE(h.ApproximateQuantile(0.0), 1.0);
+  EXPECT_GE(h.ApproximateQuantile(1.0), 1000.0);
+  EXPECT_LE(h.ApproximateQuantile(1.0), 2000.0);
+}
+
 TEST(HistogramDeathTest, QuantileValidatesQ) {
   Histogram h;
   h.Add(1.0);

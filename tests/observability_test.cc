@@ -3,12 +3,15 @@
 // gauges, and the accuracy-drift monitor (docs/OBSERVABILITY.md).
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "query/engine.h"
 #include "stream/frequency_vector.h"
+#include "util/estimate_report.h"
+#include "util/event_log.h"
 #include "util/metrics.h"
 
 namespace skimjoin {
@@ -212,7 +215,191 @@ TEST(ObservabilityTest, JoinDriftNeedsBothReferences) {
   EXPECT_EQ(drift->count, 2u);
 }
 
+// *WithReport answers feed the report-derived instruments: one ci_rel_width
+// sample per answer, and two skim_residual_ratio samples (one per stream)
+// for skimmed methods.
+TEST(ObservabilityTest, ReportAnswersRecordCiAndSkimInstruments) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream({.name = "f", .domain_size = 1024}).ok());
+  ASSERT_TRUE(engine.RegisterStream({.name = "g", .domain_size = 1024}).ok());
+  JoinQuerySpec join;
+  join.left_stream = "f";
+  join.right_stream = "g";
+  join.estimator.kind = core::EstimatorKind::kSkimmedSketch;
+  join.estimator.space_counters = 2048;
+  const StatusOr<QueryId> id = engine.AddJoinQuery(join, /*seed=*/7);
+  ASSERT_TRUE(id.ok());
+  for (uint64_t v = 0; v < 100; ++v) {
+    ASSERT_TRUE(engine.Update("f", {.value = v % 40}).ok());
+    ASSERT_TRUE(engine.Update("g", {.value = v % 40}).ok());
+  }
+  for (int i = 0; i < 2; ++i) {
+    const StatusOr<EstimateReport> report = engine.AnswerJoinWithReport(*id);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->method, "skimmed");
+    ASSERT_TRUE(report->skim.has_value());
+  }
+
+  const metrics::Snapshot snapshot = engine.MetricsSnapshot();
+  const std::string prefix = "query." + std::to_string(*id) + ".";
+  const metrics::HistogramSnapshot* ci_width =
+      FindHistogram(snapshot, prefix + "ci_rel_width");
+  ASSERT_NE(ci_width, nullptr);
+  const metrics::HistogramSnapshot* residual =
+      FindHistogram(snapshot, prefix + "skim_residual_ratio");
+  ASSERT_NE(residual, nullptr);
+#ifndef SKIMJOIN_DISABLE_METRICS
+  EXPECT_EQ(ci_width->count, 2u);
+  EXPECT_EQ(residual->count, 4u);
+#endif
+}
+
 #endif  // SKIMJOIN_DISABLE_METRICS
+
+// Engine-level bit-identity: AnswerJoinWithReport must return exactly the
+// double AnswerJoin returns (the synopses are deterministic between calls).
+TEST(ObservabilityTest, ReportEstimateBitIdenticalToAnswer) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream({.name = "f", .domain_size = 256}).ok());
+  ASSERT_TRUE(engine.RegisterStream({.name = "g", .domain_size = 256}).ok());
+  std::vector<QueryId> ids;
+  for (core::EstimatorKind kind :
+       {core::EstimatorKind::kAgms, core::EstimatorKind::kHashSketch,
+        core::EstimatorKind::kSkimmedSketch, core::EstimatorKind::kCountMin}) {
+    JoinQuerySpec join;
+    join.left_stream = "f";
+    join.right_stream = "g";
+    join.estimator.kind = kind;
+    join.estimator.space_counters = 1024;
+    const StatusOr<QueryId> id = engine.AddJoinQuery(join, /*seed=*/13);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (uint64_t v = 0; v < 64; ++v) {
+    ASSERT_TRUE(engine.Update("f", {.value = v % 16, .count = 3}).ok());
+    ASSERT_TRUE(engine.Update("g", {.value = v % 16, .count = 2}).ok());
+  }
+  for (QueryId id : ids) {
+    const StatusOr<double> answer = engine.AnswerJoin(id);
+    const StatusOr<EstimateReport> report = engine.AnswerJoinWithReport(id);
+    ASSERT_TRUE(answer.ok() && report.ok());
+    EXPECT_EQ(report->estimate, *answer) << report->method;
+    EXPECT_LE(report->ci.lower, report->estimate) << report->method;
+    EXPECT_GE(report->ci.upper, report->estimate) << report->method;
+  }
+}
+
+TEST(ObservabilityTest, ChainJoinReportMatchesAnswer) {
+  for (ChainJoinQuerySpec::Method method :
+       {ChainJoinQuerySpec::Method::kAgmsGrid,
+        ChainJoinQuerySpec::Method::kHashSketch}) {
+    Engine engine;
+    ASSERT_TRUE(engine.RegisterRelation({"a", 1, 64}).ok());
+    ASSERT_TRUE(engine.RegisterRelation({"b", 2, 64}).ok());
+    ASSERT_TRUE(engine.RegisterRelation({"c", 1, 64}).ok());
+    ChainJoinQuerySpec spec;
+    spec.relations = {"a", "b", "c"};
+    spec.method = method;
+    const StatusOr<QueryId> id = engine.AddChainJoinQuery(spec, /*seed=*/9);
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(engine.UpdateRelation("a", {7}, 4).ok());
+    ASSERT_TRUE(engine.UpdateRelation("b", {7, 9}, 3).ok());
+    ASSERT_TRUE(engine.UpdateRelation("c", {9}, 2).ok());
+
+    const StatusOr<double> answer = engine.AnswerChainJoin(*id);
+    const StatusOr<EstimateReport> report =
+        engine.AnswerChainJoinWithReport(*id);
+    ASSERT_TRUE(answer.ok() && report.ok());
+    EXPECT_EQ(report->estimate, *answer);
+    EXPECT_FALSE(report->copy_estimates.empty());
+    EXPECT_LE(report->ci.lower, report->estimate);
+    EXPECT_GE(report->ci.upper, report->estimate);
+  }
+}
+
+// Satellite regression test: the accuracy-drift monitor (PR 3) is wired to
+// the event log — crossing the configured rel_error threshold emits one
+// `accuracy_drift` warn event; the default (+inf) threshold never does.
+TEST(ObservabilityTest, AccuracyDriftCrossingEmitsWarnEvent) {
+  EventLog::Global().Clear();
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream({.name = "f", .domain_size = 256}).ok());
+  FrequencyQuerySpec spec;
+  spec.stream = "f";
+  spec.space_counters = 2048;
+  const StatusOr<QueryId> id = engine.AddFrequencyQuery(spec, /*seed=*/3);
+  ASSERT_TRUE(id.ok());
+
+  // A deliberately stale (empty) reference: exact stays 0 while the sketch
+  // sees real mass, so rel_error is large and controlled.
+  stream::FrequencyVector reference(256);
+  ASSERT_TRUE(engine.AttachAccuracyReference("f", &reference).ok());
+  ASSERT_TRUE(engine.Update("f", {.value = 7, .count = 500}).ok());
+
+  // Default threshold (+inf): the histogram records, no event.
+  ASSERT_TRUE(engine.AnswerPointFrequency(*id, 7).ok());
+  EXPECT_EQ(EventLog::Global().emitted_count(), 0u);
+
+  engine.SetAccuracyDriftWarnThreshold(0.5);
+  ASSERT_TRUE(engine.AnswerPointFrequency(*id, 7).ok());
+  ASSERT_EQ(EventLog::Global().emitted_count(), 1u);
+  const std::vector<LogEvent> tail = EventLog::Global().Tail(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].event, "accuracy_drift");
+  EXPECT_EQ(tail[0].level, LogLevel::kWarn);
+  ASSERT_FALSE(tail[0].fields.empty());
+  EXPECT_EQ(tail[0].fields[0].first, "query");
+  EXPECT_EQ(tail[0].fields[0].second, std::to_string(*id));
+
+  // Raising the threshold back to +inf silences further events.
+  engine.SetAccuracyDriftWarnThreshold(
+      std::numeric_limits<double>::infinity());
+  ASSERT_TRUE(engine.AnswerPointFrequency(*id, 7).ok());
+  EXPECT_EQ(EventLog::Global().emitted_count(), 1u);
+  EventLog::Global().Clear();
+}
+
+TEST(ObservabilityTest, CiBlowupEmitsWarnEvent) {
+  EventLog::Global().Clear();
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterStream({.name = "f", .domain_size = 256}).ok());
+  ASSERT_TRUE(engine.RegisterStream({.name = "g", .domain_size = 256}).ok());
+  JoinQuerySpec join;
+  join.left_stream = "f";
+  join.right_stream = "g";
+  join.estimator.kind = core::EstimatorKind::kAgms;
+  join.estimator.space_counters = 512;
+  const StatusOr<QueryId> id = engine.AddJoinQuery(join, /*seed=*/21);
+  ASSERT_TRUE(id.ok());
+  for (uint64_t v = 0; v < 64; ++v) {
+    ASSERT_TRUE(engine.Update("f", {.value = v % 32}).ok());
+    ASSERT_TRUE(engine.Update("g", {.value = (v + 5) % 32}).ok());
+  }
+
+  // Default threshold (+inf): no event, however wide the interval.
+  ASSERT_TRUE(engine.AnswerJoinWithReport(*id).ok());
+  EXPECT_EQ(EventLog::Global().emitted_count(), 0u);
+
+  // Threshold 0: any interval of non-zero width is a "blow-up".
+  engine.SetCiWarnRelWidth(0.0);
+  const StatusOr<EstimateReport> report = engine.AnswerJoinWithReport(*id);
+  ASSERT_TRUE(report.ok());
+  ASSERT_GT(report->CiRelWidth(), 0.0);
+  ASSERT_EQ(EventLog::Global().emitted_count(), 1u);
+  const std::vector<LogEvent> tail = EventLog::Global().Tail(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].event, "ci_blowup");
+  EXPECT_EQ(tail[0].level, LogLevel::kWarn);
+  bool saw_method = false;
+  for (const auto& [key, value] : tail[0].fields) {
+    if (key == "method") {
+      saw_method = true;
+      EXPECT_EQ(value, "agms");
+    }
+  }
+  EXPECT_TRUE(saw_method);
+  EventLog::Global().Clear();
+}
 
 TEST(ObservabilityTest, AttachAccuracyReferenceUnknownStream) {
   Engine engine;

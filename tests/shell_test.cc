@@ -1,5 +1,6 @@
 #include "query/shell.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -8,6 +9,7 @@
 
 #include "gtest/gtest.h"
 #include "stream/trace_io.h"
+#include "util/event_log.h"
 
 namespace skimjoin {
 namespace query {
@@ -323,6 +325,141 @@ TEST(ShellTest, HelpMentionsObservabilityCommands) {
   EXPECT_NE(help.find("streams"), std::string::npos);
   EXPECT_NE(help.find("stats"), std::string::npos);
   EXPECT_NE(help.find("metrics"), std::string::npos);
+}
+
+// The registry is the single source of truth for `help`: every registered
+// command must appear in the help output, and every registered name must be
+// accepted by the dispatcher (no "unknown command" for a listed name).
+TEST(ShellTest, HelpListsEveryRegisteredCommand) {
+  Shell shell;
+  std::ostringstream out;
+  EXPECT_TRUE(shell.ExecuteLine("help", out));
+  const std::string help = out.str();
+  EXPECT_EQ(help.rfind("ok\n", 0), 0u) << help;
+  ASSERT_FALSE(Shell::CommandHelp().empty());
+  for (const auto& [name, synopsis] : Shell::CommandHelp()) {
+    EXPECT_NE(help.find(synopsis), std::string::npos)
+        << "help output is missing the synopsis for `" << name << "`";
+    // Every synopsis leads with its command name.
+    EXPECT_EQ(synopsis.rfind(name, 0), 0u) << synopsis;
+  }
+  // The key commands of every PR so far are registered.
+  std::vector<std::string> names;
+  for (const auto& [name, synopsis] : Shell::CommandHelp()) {
+    names.push_back(name);
+  }
+  for (const char* expected :
+       {"stream", "join", "selfjoin", "update", "answer", "checkpoint",
+        "restore", "metrics", "explain", "logs", "alerts", "help", "quit"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "command registry is missing `" << expected << "`";
+  }
+}
+
+TEST(ShellTest, EveryRegisteredCommandIsDispatched) {
+  for (const auto& [name, synopsis] : Shell::CommandHelp()) {
+    Shell shell;  // fresh shell per command: `quit` ends a session
+    std::ostringstream out;
+    shell.ExecuteLine(name, out);
+    EXPECT_EQ(out.str().find("unknown command"), std::string::npos)
+        << "`" << name << "` is in the registry but not dispatched: "
+        << out.str();
+  }
+}
+
+TEST(ShellTest, ExplainRendersProvenanceTable) {
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "stream f 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "stream g 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "join q f g skimmed 2048"), "ok");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(Exec(&shell, "update f " + std::to_string(i % 10)), "ok");
+    ASSERT_EQ(Exec(&shell, "update g " + std::to_string(i % 10)), "ok");
+  }
+  std::ostringstream out;
+  EXPECT_TRUE(shell.ExecuteLine("explain q", out));
+  const std::string response = out.str();
+  EXPECT_EQ(response.rfind("ok\n", 0), 0u) << response;
+  EXPECT_NE(response.find("estimate report [skimmed]"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("ci_lower"), std::string::npos);
+  EXPECT_NE(response.find("skim.dense_count_f"), std::string::npos);
+  // The table's estimate agrees with the one-line answer path.
+  const std::string answer = Exec(&shell, "answer q");
+  EXPECT_EQ(answer.rfind("ok ", 0), 0u);
+
+  EXPECT_NE(Exec(&shell, "explain nope"), "ok");
+  EXPECT_NE(Exec(&shell, "explain"), "ok");  // usage error
+}
+
+TEST(ShellTest, ExplainCoversSelfJoinQueries) {
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "stream f 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "selfjoin sq f agms 512"), "ok");
+  for (int i = 0; i < 20; ++i) ASSERT_EQ(Exec(&shell, "update f 3"), "ok");
+  std::ostringstream out;
+  EXPECT_TRUE(shell.ExecuteLine("explain sq", out));
+  EXPECT_NE(out.str().find("estimate report [agms]"), std::string::npos)
+      << out.str();
+}
+
+TEST(ShellTest, LogsCommandSurfacesEventRing) {
+  EventLog::Global().Clear();
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "stream f 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "stream g 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "join q f g agms 512"), "ok");
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_EQ(Exec(&shell, "update f " + std::to_string(i % 8)), "ok");
+    ASSERT_EQ(Exec(&shell, "update g " + std::to_string((i + 3) % 8)), "ok");
+  }
+  // Empty ring: "ok 0" and nothing else.
+  EXPECT_EQ(Exec(&shell, "logs"), "ok 0");
+
+  // Drive a ci_blowup event end-to-end: zero threshold, then a report-path
+  // answer (`explain` — the plain `answer` path computes no CI).
+  ASSERT_EQ(Exec(&shell, "alerts inf 0"), "ok");
+  ASSERT_EQ(Exec(&shell, "explain q").rfind("ok", 0), 0u);
+  std::ostringstream out;
+  EXPECT_TRUE(shell.ExecuteLine("logs 5", out));
+  const std::string response = out.str();
+  EXPECT_EQ(response.rfind("ok 1\n", 0), 0u) << response;
+  EXPECT_NE(response.find("\"event\":\"ci_blowup\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"level\":\"warn\""), std::string::npos);
+
+  // `alerts inf inf` disables both monitors again.
+  ASSERT_EQ(Exec(&shell, "alerts inf inf"), "ok");
+  ASSERT_EQ(Exec(&shell, "explain q").rfind("ok", 0), 0u);
+  EXPECT_EQ(Exec(&shell, "logs").rfind("ok 1", 0), 0u);
+
+  EXPECT_NE(Exec(&shell, "logs nope"), "ok 1");   // usage error
+  EXPECT_NE(Exec(&shell, "alerts 0.5"), "ok");    // usage error
+  EXPECT_NE(Exec(&shell, "alerts a b"), "ok");    // usage error
+  EventLog::Global().Clear();
+}
+
+// CLI --explain parity: with always-explain enabled, `answer` on a join
+// query prints the one-line answer and then the same provenance table.
+TEST(ShellTest, AlwaysExplainAnswersWithTable) {
+  Shell shell;
+  shell.set_always_explain(true);
+  ASSERT_EQ(Exec(&shell, "stream f 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "stream g 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "join q f g hash-sketch 1024"), "ok");
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(Exec(&shell, "update f 5"), "ok");
+    ASSERT_EQ(Exec(&shell, "update g 5"), "ok");
+  }
+  std::ostringstream out;
+  EXPECT_TRUE(shell.ExecuteLine("answer q", out));
+  const std::string response = out.str();
+  EXPECT_EQ(response.rfind("ok ", 0), 0u) << response;
+  EXPECT_NE(response.find("estimate report [hash-sketch]"), std::string::npos)
+      << response;
+  // The first line's value is the report's estimate (bit-identical paths).
+  const double value = std::stod(response.substr(3));
+  EXPECT_NEAR(value, 400.0, 40.0);
 }
 
 }  // namespace

@@ -14,6 +14,11 @@ single noisy repetition cannot fail the gate.
 Exit status: 0 when every matched benchmark is within the threshold, 1 when
 any regresses, 2 for malformed input or no overlapping benchmarks.
 
+When the baseline file does not exist, the run is treated as the first of
+its kind: the candidate is recorded as the new baseline and the gate
+passes. This keeps perf-trajectory jobs green on a fresh branch instead of
+failing before any baseline has ever been committed.
+
 CI uses this to enforce the metrics overhead budget: the default build's
 engine benches must stay within 10% of a -DSKIMJOIN_DISABLE_METRICS=ON
 build (see .github/workflows/ci.yml, job metrics-overhead).
@@ -21,6 +26,8 @@ build (see .github/workflows/ci.yml, job metrics-overhead).
 
 import argparse
 import json
+import os
+import shutil
 import sys
 
 
@@ -77,6 +84,15 @@ def main():
                         help="maximum tolerated relative regression "
                              "(default 0.10 = 10%%)")
     args = parser.parse_args()
+
+    if not os.path.exists(args.baseline):
+        # First run on this branch/machine: nothing to compare against yet.
+        load_results(args.candidate)  # still validate the candidate's shape
+        os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
+        shutil.copyfile(args.candidate, args.baseline)
+        print(f"no baseline yet — recording {args.candidate} "
+              f"as {args.baseline}")
+        return 0
 
     baseline = load_results(args.baseline)
     candidate = load_results(args.candidate)

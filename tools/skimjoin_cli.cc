@@ -4,6 +4,11 @@
 //   build/tools/skimjoin_cli script.sj       # run a command script
 //
 // Observability flags (any combination, before or after the script path):
+//   --explain                  every `answer` on a join/self-join query also
+//                              renders the estimate-provenance table
+//                              (per-copy estimates, confidence interval,
+//                              a-priori bound, skim diagnostics) — the same
+//                              output as the shell's `explain <q>` command
 //   --metrics_out=<file>       write a metrics snapshot to <file> at exit
 //   --metrics_format=json|prom snapshot format (default json)
 //   --metrics_interval=<ms>    also rewrite the snapshot every <ms>
@@ -34,6 +39,7 @@ namespace {
 
 struct Options {
   std::string script_path;  // empty: read stdin
+  bool explain = false;
   std::string metrics_out;
   skimjoin::metrics::PeriodicSnapshotWriter::Format metrics_format =
       skimjoin::metrics::PeriodicSnapshotWriter::Format::kJson;
@@ -51,7 +57,8 @@ std::optional<std::string> FlagValue(const std::string& arg,
 
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--metrics_out=<file>] [--metrics_format=json|prom]\n"
+            << " [--explain] [--metrics_out=<file>] "
+               "[--metrics_format=json|prom]\n"
                "       [--metrics_interval=<ms>] [--trace_out=<file>] "
                "[script-file]\n";
   return 2;
@@ -60,7 +67,9 @@ int Usage(const char* argv0) {
 bool ParseArgs(int argc, char** argv, Options* options) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (auto value = FlagValue(arg, "metrics_out")) {
+    if (arg == "--explain") {
+      options->explain = true;
+    } else if (auto value = FlagValue(arg, "metrics_out")) {
       options->metrics_out = *value;
     } else if (auto value = FlagValue(arg, "metrics_format")) {
       if (*value == "json") {
@@ -103,6 +112,7 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &options)) return Usage(argv[0]);
 
   skimjoin::query::Shell shell;
+  shell.set_always_explain(options.explain);
 
   if (!options.trace_out.empty()) {
     skimjoin::metrics::TraceRecorder::Global().Enable();
