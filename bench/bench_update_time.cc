@@ -18,6 +18,7 @@
 #include "sketch/agms_sketch.h"
 #include "sketch/count_min_sketch.h"
 #include "sketch/hash_sketch.h"
+#include "sketch/kernel_options.h"
 #include "stream/stream_element.h"
 #include "stream/zipf.h"
 #include "util/logging.h"
@@ -217,6 +218,87 @@ BENCHMARK(BM_SkimmedSketchParallelIngest)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Kernel ablation (DESIGN.md §10): the same single-threaded 65536-element
+// batched ingest, once per fast-path combination. Arg is a bitmask —
+// 1 = fastmod bucket reduction, 2 = plan cache, 4 = blocked hash→scatter —
+// so /0 is the scalar reference, /7 the production all-on path, and /1, /2,
+// /4 isolate each kernel's contribution. The stream is 10M Zipf z=1.0
+// (the acceptance workload), distinct from the z=1.1 stream above.
+
+const std::vector<stream::StreamElement>& ZipfStream10MZ10() {
+  static const auto* stream = [] {
+    Rng rng(7);
+    return new std::vector<stream::StreamElement>(
+        stream::ZipfDistribution(kDomain, 1.0).GenerateElements(10'000'000,
+                                                                &rng));
+  }();
+  return *stream;
+}
+
+sketch::KernelOptions KernelModeFromMask(int64_t mask) {
+  sketch::KernelOptions options = sketch::KernelOptions::Scalar();
+  options.use_fastmod = (mask & 1) != 0;
+  options.use_plan_cache = (mask & 2) != 0;
+  options.use_blocked_batch = (mask & 4) != 0;
+  return options;
+}
+
+void BM_HashSketchKernelIngest(benchmark::State& state) {
+  sketch::HashSketchConfig config;
+  config.num_tables = 7;
+  config.num_buckets = 1024;
+  auto sketch = *sketch::HashSketch::Create(config, 1);
+  sketch.SetKernelOptions(KernelModeFromMask(state.range(0)));
+  const auto& stream = ZipfStream10MZ10();
+  const std::span<const stream::StreamElement> all(stream);
+  constexpr size_t kBatch = 65536;
+  for (auto _ : state) {
+    for (size_t off = 0; off < all.size(); off += kBatch) {
+      sketch.UpdateBatch(all.subspan(off, std::min(kBatch, all.size() - off)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  const double probes =
+      static_cast<double>(sketch.hash_cache_hits() + sketch.hash_cache_misses());
+  state.counters["cache_hit_rate"] =
+      probes > 0 ? static_cast<double>(sketch.hash_cache_hits()) / probes : 0.0;
+}
+BENCHMARK(BM_HashSketchKernelIngest)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(7)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SkimmedSketchKernelIngest(benchmark::State& state) {
+  auto sketch = *core::SkimmedSketch::Create(IngestBenchConfig(), 1);
+  sketch.SetKernelOptions(KernelModeFromMask(state.range(0)));
+  const auto& stream = ZipfStream10MZ10();
+  const std::span<const stream::StreamElement> all(stream);
+  constexpr size_t kBatch = 65536;
+  for (auto _ : state) {
+    for (size_t off = 0; off < all.size(); off += kBatch) {
+      sketch.UpdateBatch(all.subspan(off, std::min(kBatch, all.size() - off)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  const double probes =
+      static_cast<double>(sketch.hash_cache_hits() + sketch.hash_cache_misses());
+  state.counters["cache_hit_rate"] =
+      probes > 0 ? static_cast<double>(sketch.hash_cache_hits()) / probes : 0.0;
+}
+BENCHMARK(BM_SkimmedSketchKernelIngest)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(7)
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------

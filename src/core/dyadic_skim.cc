@@ -80,7 +80,10 @@ void DyadicSkimmer::UpdateBatch(
   // Prefix elements for the current level, reused across levels. Each level
   // halves the previous level's prefixes, so shifting the scratch in place
   // by one more bit per level avoids re-deriving prefixes from scratch.
-  std::vector<stream::StreamElement> shifted(elements.begin(), elements.end());
+  // thread_local: no allocation per batch once warm, and each ingest worker
+  // thread gets its own copy.
+  static thread_local std::vector<stream::StreamElement> shifted;
+  shifted.assign(elements.begin(), elements.end());
   for (uint64_t l = 1; l <= levels_.size(); ++l) {
     for (stream::StreamElement& element : shifted) element.value >>= 1;
     Level& level = levels_[l - 1];
@@ -92,6 +95,37 @@ void DyadicSkimmer::UpdateBatch(
       }
     }
   }
+}
+
+void DyadicSkimmer::SetKernelOptions(const sketch::KernelOptions& options) {
+  for (uint64_t l = 1; l <= levels_.size(); ++l) {
+    Level& level = levels_[l - 1];
+    if (!level.sketch.has_value()) continue;
+    // Level l sees only the domain_size >> l distinct prefixes, so a plan
+    // cache larger than that is pure wasted footprint — clamp per level.
+    sketch::KernelOptions level_options = options;
+    const uint64_t prefixes = domain_size_ >> l;
+    if (level_options.plan_cache_slots > prefixes) {
+      level_options.plan_cache_slots = prefixes;
+    }
+    level.sketch->SetKernelOptions(level_options);
+  }
+}
+
+uint64_t DyadicSkimmer::hash_cache_hits() const {
+  uint64_t total = 0;
+  for (const Level& level : levels_) {
+    if (level.sketch.has_value()) total += level.sketch->hash_cache_hits();
+  }
+  return total;
+}
+
+uint64_t DyadicSkimmer::hash_cache_misses() const {
+  uint64_t total = 0;
+  for (const Level& level : levels_) {
+    if (level.sketch.has_value()) total += level.sketch->hash_cache_misses();
+  }
+  return total;
 }
 
 void DyadicSkimmer::Reset() {

@@ -59,6 +59,14 @@ class DyadicSkimmer {
   /// Pre-condition: every element value < domain_size().
   void UpdateBatch(std::span<const stream::StreamElement> elements);
 
+  /// Propagates fast-path kernel selection to every sketched level
+  /// (DESIGN.md §10); exact levels have no hashes and are unaffected.
+  void SetKernelOptions(const sketch::KernelOptions& options);
+
+  /// Plan-cache tallies summed over the sketched levels.
+  uint64_t hash_cache_hits() const;
+  uint64_t hash_cache_misses() const;
+
   /// Zeroes every level's counters (families untouched).
   void Reset();
 

@@ -108,8 +108,10 @@ void SkimmedSketch::UpdateBatch(
   }
   if (!clean) {
     // Slow path: compact the in-domain elements so the batch kernels below
-    // never see a bad value.
-    std::vector<stream::StreamElement> kept;
+    // never see a bad value. thread_local scratch: no allocation per batch
+    // once warm, one copy per ingest worker thread.
+    static thread_local std::vector<stream::StreamElement> kept;
+    kept.clear();
     kept.reserve(elements.size());
     for (const stream::StreamElement& element : elements) {
       if (element.value < config_.domain_size) {
@@ -124,6 +126,23 @@ void SkimmedSketch::UpdateBatch(
   }
   level0_.UpdateBatch(elements);
   if (dyadic_.has_value()) dyadic_->UpdateBatch(elements);
+}
+
+void SkimmedSketch::SetKernelOptions(const sketch::KernelOptions& options) {
+  level0_.SetKernelOptions(options);
+  if (dyadic_.has_value()) dyadic_->SetKernelOptions(options);
+}
+
+uint64_t SkimmedSketch::hash_cache_hits() const {
+  uint64_t total = level0_.hash_cache_hits();
+  if (dyadic_.has_value()) total += dyadic_->hash_cache_hits();
+  return total;
+}
+
+uint64_t SkimmedSketch::hash_cache_misses() const {
+  uint64_t total = level0_.hash_cache_misses();
+  if (dyadic_.has_value()) total += dyadic_->hash_cache_misses();
+  return total;
 }
 
 void SkimmedSketch::Reset() {

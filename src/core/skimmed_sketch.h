@@ -129,6 +129,20 @@ class SkimmedSketch {
   /// estimates remain valid for the in-domain sub-stream.
   uint64_t dropped_updates() const { return dropped_updates_; }
 
+  /// Selects fast-path kernels for the level-0 sketch and every sketched
+  /// dyadic level (DESIGN.md §10). Bit-identical under any setting; plan
+  /// caches are rebuilt, restarting the hit/miss tallies.
+  void SetKernelOptions(const sketch::KernelOptions& options);
+
+  const sketch::KernelOptions& kernel_options() const {
+    return level0_.kernel_options();
+  }
+
+  /// Plan-cache tallies summed over level 0 and the sketched dyadic levels;
+  /// feed the `ingest.<stream>.hash_cache_*` engine metrics.
+  uint64_t hash_cache_hits() const;
+  uint64_t hash_cache_misses() const;
+
   /// Zeroes every counter and the dropped-update count, returning the
   /// sketch to its freshly created state (hash families untouched).
   void Reset();

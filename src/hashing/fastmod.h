@@ -1,0 +1,68 @@
+// Fast modular reduction by a runtime constant (Lemire–Kaser–Kurz,
+// "Faster remainder by direct computation", 2019).
+//
+// The bucket-selection hashes reduce a field element (< 2^61) into
+// [0, num_buckets) once per table per stream arrival, so on the hash-sketch
+// fast path the hardware 64-bit divide behind `%` is the single most
+// expensive instruction left. A divisor fixed at construction admits the
+// classic magic-number trick: precompute M = floor(2^128 / d) + 1 once, then
+//
+//   a mod d = high_128( (M * a mod 2^128) * d )
+//
+// — two multiplies and a shift, no division. With F = 128 fraction bits the
+// approximation is exact for every 64-bit dividend and every 64-bit divisor
+// (the theorem needs F >= N + log2(d) = 64 + 64), so the mapping is
+// bit-identical to `%`; tests/fastmod_test.cc checks this exhaustively over
+// edge dividends and every bucket count the benches use.
+//
+// All arithmetic is unsigned __uint128_t: wraparound is defined behavior,
+// so the kernels stay UBSan-clean (CI runs the differential test under
+// -fsanitize=undefined to hold that line).
+
+#ifndef SKIMJOIN_HASHING_FASTMOD_H_
+#define SKIMJOIN_HASHING_FASTMOD_H_
+
+#include <cstdint>
+
+namespace skimjoin {
+namespace hashing {
+
+/// A divisor with its precomputed 128-bit reciprocal. Cheap to copy (two
+/// words); default-constructed state behaves as divisor 1 (Mod == 0).
+class FastDivisor {
+ public:
+  FastDivisor() : FastDivisor(1) {}
+
+  /// Pre-condition: divisor >= 1.
+  explicit FastDivisor(uint64_t divisor)
+      : magic_(
+            // M = floor((2^128 - 1) / d) + 1 == floor(2^128 / d) + 1 for
+            // d > 1 (2^128 - 1 is never a multiple of d when d is not 1),
+            // and wraps to 0 for d == 1 — for which every remainder is 0,
+            // which is exactly what the multiply below then yields.
+            static_cast<__uint128_t>(~static_cast<__uint128_t>(0)) / divisor +
+            1),
+        divisor_(divisor) {}
+
+  /// a mod divisor, bit-identical to `a % divisor` for every 64-bit a.
+  uint64_t Mod(uint64_t a) const {
+    const __uint128_t lowbits = magic_ * a;  // mod 2^128, wraps by design
+    // high 64 bits of (lowbits * divisor) >> 64 — i.e. the top of the full
+    // 192-bit product, assembled from two 128-bit partial products.
+    const __uint128_t bottom =
+        (lowbits & ~uint64_t{0}) * divisor_ >> 64;
+    const __uint128_t top = (lowbits >> 64) * divisor_;
+    return static_cast<uint64_t>((bottom + top) >> 64);
+  }
+
+  uint64_t divisor() const { return divisor_; }
+
+ private:
+  __uint128_t magic_;
+  uint64_t divisor_;
+};
+
+}  // namespace hashing
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_HASHING_FASTMOD_H_

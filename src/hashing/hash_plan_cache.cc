@@ -1,0 +1,33 @@
+#include "hashing/hash_plan_cache.h"
+
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace hashing {
+
+namespace {
+
+uint64_t RoundUpPowerOfTwo(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+HashPlanCache::HashPlanCache(uint64_t num_slots, uint64_t words_per_plan)
+    : mask_(RoundUpPowerOfTwo(num_slots < 1 ? 1 : num_slots) - 1),
+      words_per_plan_(words_per_plan) {
+  SKIMJOIN_CHECK_GE(words_per_plan, 1u);
+  const uint64_t slots = mask_ + 1;
+  tags_.assign(slots, 0);
+  plans_.assign(slots * words_per_plan_, 0);
+}
+
+uint64_t HashPlanCache::MemoryBytes() const {
+  return sizeof(*this) + plans_.capacity() * sizeof(uint32_t) +
+         tags_.capacity() * sizeof(uint64_t);
+}
+
+}  // namespace hashing
+}  // namespace skimjoin

@@ -29,7 +29,9 @@ uint64_t KWiseHash::operator()(uint64_t x) const {
 }
 
 BucketHash::BucketHash(uint64_t num_buckets, Rng* rng)
-    : hash_(/*independence=*/2, rng), num_buckets_(num_buckets) {
+    : hash_(/*independence=*/2, rng),
+      num_buckets_(num_buckets),
+      divisor_(num_buckets < 1 ? 1 : num_buckets) {
   SKIMJOIN_CHECK_GE(num_buckets, 1u);
 }
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "hashing/fastmod.h"
 #include "hashing/prime_field.h"
 #include "util/random.h"
 
@@ -55,24 +56,39 @@ class KWiseHash {
 /// [0, num_buckets): h(x) = poly(x) mod num_buckets. The modular projection
 /// of a pairwise family stays (approximately) pairwise uniform because the
 /// field size 2^61 - 1 vastly exceeds any bucket count used in practice.
+///
+/// The reduction runs through a precomputed 128-bit reciprocal (Lemire
+/// fastmod) by default, which is bit-identical to `%` for every dividend;
+/// set_use_fastmod(false) restores the hardware divide for ablation.
 class BucketHash {
  public:
   /// Pre-condition: num_buckets >= 1.
   BucketHash(uint64_t num_buckets, Rng* rng);
 
   /// Bucket of `x`, in [0, num_buckets).
-  uint64_t operator()(uint64_t x) const { return hash_(x) % num_buckets_; }
+  uint64_t operator()(uint64_t x) const {
+    const uint64_t h = hash_(x);
+    return use_fastmod_ ? divisor_.Mod(h) : h % num_buckets_;
+  }
 
   uint64_t num_buckets() const { return num_buckets_; }
 
+  /// Ablation switch (KernelOptions::use_fastmod). Either setting produces
+  /// identical buckets; this only selects the instruction sequence.
+  void set_use_fastmod(bool on) { use_fastmod_ = on; }
+  bool use_fastmod() const { return use_fastmod_; }
+
   /// Total footprint in bytes, including the wrapped polynomial's heap.
   uint64_t MemoryBytes() const {
-    return sizeof(num_buckets_) + hash_.MemoryBytes();
+    return sizeof(num_buckets_) + sizeof(divisor_) + sizeof(use_fastmod_) +
+           hash_.MemoryBytes();
   }
 
  private:
   KWiseHash hash_;
   uint64_t num_buckets_;
+  FastDivisor divisor_;
+  bool use_fastmod_ = true;
 };
 
 }  // namespace hashing

@@ -20,9 +20,10 @@ class SignHash {
  public:
   explicit SignHash(Rng* rng);
 
-  /// Returns +1 or -1.
+  /// Returns +1 or -1: low bit 0 maps to +1, low bit 1 to -1. Branchless —
+  /// a select here would sit on the hot path of every counter touch.
   int64_t operator()(uint64_t x) const {
-    return ((hash_(x) & 1) == 0) ? int64_t{1} : int64_t{-1};
+    return int64_t{1} - 2 * static_cast<int64_t>(hash_(x) & 1);
   }
 
   /// Total footprint in bytes, including the wrapped polynomial's heap.

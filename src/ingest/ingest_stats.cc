@@ -9,7 +9,9 @@ std::string IngestStats::ToString() const {
          " dropped=" + std::to_string(elements_dropped) +
          " merges=" + std::to_string(merges) +
          " absorb_ms=" + std::to_string(absorb_nanos / 1000000) +
-         " merge_ms=" + std::to_string(merge_nanos / 1000000);
+         " merge_ms=" + std::to_string(merge_nanos / 1000000) +
+         " cache_hits=" + std::to_string(hash_cache_hits) +
+         " cache_misses=" + std::to_string(hash_cache_misses);
 }
 
 }  // namespace ingest

@@ -27,6 +27,11 @@ struct IngestStats {
   uint64_t absorb_nanos = 0;
   /// Wall time spent merging replicas into the master synopsis.
   uint64_t merge_nanos = 0;
+  /// Hash plan-cache probes that hit / missed across the stream's
+  /// frequency-query synopses (inline ingest path; sharded replicas keep
+  /// their caches worker-local). Zero when the cache kernel is disabled.
+  uint64_t hash_cache_hits = 0;
+  uint64_t hash_cache_misses = 0;
 
   /// One-line human-readable rendering for logs and the bench harness.
   std::string ToString() const;

@@ -57,6 +57,8 @@ void Engine::InitStreamMetrics(StreamState* state) {
   state->merges = metrics_.GetCounter(prefix + "merges");
   state->absorb_nanos = metrics_.GetCounter(prefix + "absorb_nanos");
   state->merge_nanos = metrics_.GetCounter(prefix + "merge_nanos");
+  state->hash_cache_hits = metrics_.GetCounter(prefix + "hash_cache_hits");
+  state->hash_cache_misses = metrics_.GetCounter(prefix + "hash_cache_misses");
 }
 
 Engine::QueryMetrics Engine::MakeQueryMetrics(QueryId id) {
@@ -80,6 +82,8 @@ ingest::IngestStats Engine::IngestStatsFor(const StreamState& state) const {
   stats.merges = state.merges->Value();
   stats.absorb_nanos = state.absorb_nanos->Value();
   stats.merge_nanos = state.merge_nanos->Value();
+  stats.hash_cache_hits = state.hash_cache_hits->Value();
+  stats.hash_cache_misses = state.hash_cache_misses->Value();
   return stats;
 }
 
@@ -213,6 +217,7 @@ StatusOr<QueryId> Engine::AddFrequencyQuery(const FrequencyQuerySpec& spec,
   }
   SKIMJOIN_ASSIGN_OR_RETURN(core::SkimmedSketch sketch,
                             core::SkimmedSketch::Create(config, seed));
+  sketch.SetKernelOptions(kernel_options_);
 
   const QueryId id = next_query_id_++;
   frequency_queries_.emplace(
@@ -550,6 +555,7 @@ Status Engine::UpdateBatch(StreamId stream,
                                    merge_before);
     } else {
       q.sketch.UpdateBatch(elements);
+      PublishHashCacheDeltas(q);
     }
   }
   return OkStatus();
@@ -561,6 +567,19 @@ Status Engine::SetIngestShards(uint64_t num_shards) {
   }
   ingest_shards_ = num_shards;
   return OkStatus();
+}
+
+void Engine::SetKernelOptions(const sketch::KernelOptions& options) {
+  kernel_options_ = options;
+  for (auto& [id, q] : frequency_queries_) {
+    q.sketch.SetKernelOptions(options);
+    // Replicas were copied from the sketch under the old options; drop them
+    // so the next sharded batch rebuilds with the new kernels.
+    q.ingestor.reset();
+    // The sketch's tallies restarted with its rebuilt caches.
+    q.cache_hits_seen = 0;
+    q.cache_misses_seen = 0;
+  }
 }
 
 StatusOr<ingest::IngestStats> Engine::StreamIngestStats(
@@ -766,6 +785,21 @@ std::vector<std::string> Engine::StreamNames() const {
   return names;
 }
 
+void Engine::PublishHashCacheDeltas(const FrequencyQueryState& q) const {
+  if (q.stream >= streams_.size()) return;
+  const StreamState& state = streams_[q.stream];
+  const uint64_t hits = q.sketch.hash_cache_hits();
+  const uint64_t misses = q.sketch.hash_cache_misses();
+  if (hits > q.cache_hits_seen) {
+    state.hash_cache_hits->Increment(hits - q.cache_hits_seen);
+  }
+  if (misses > q.cache_misses_seen) {
+    state.hash_cache_misses->Increment(misses - q.cache_misses_seen);
+  }
+  q.cache_hits_seen = hits;
+  q.cache_misses_seen = misses;
+}
+
 void Engine::RefreshMetricsGauges() const {
   // Gauges are refreshed pull-style: footprints change on every update, so
   // pushing them from the hot path would cost more than anyone reading
@@ -776,6 +810,10 @@ void Engine::RefreshMetricsGauges() const {
   }
   for (const auto& [id, q] : frequency_queries_) {
     q.metrics.memory_bytes->Set(static_cast<double>(q.sketch.MemoryBytes()));
+    // Scalar updates bump the sketch-side tallies without passing through
+    // the batch path's export; pull the deltas here so snapshots stay
+    // current for scalar-only sessions.
+    PublishHashCacheDeltas(q);
   }
   for (const auto& [id, q] : distinct_queries_) {
     q.metrics.memory_bytes->Set(static_cast<double>(q.sketch.MemoryBytes()));

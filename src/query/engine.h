@@ -36,6 +36,7 @@
 #include "query/multi_join_hash.h"
 #include "query/query.h"
 #include "sketch/fm_sketch.h"
+#include "sketch/kernel_options.h"
 #include "stream/frequency_vector.h"
 #include "stream/gk_quantiles.h"
 #include "stream/wavelet.h"
@@ -139,6 +140,17 @@ class Engine {
   /// frequency-query synopsis, via ingest::ParallelIngestor). 1 — the
   /// default — keeps ingestion fully inline. INVALID_ARGUMENT for 0.
   Status SetIngestShards(uint64_t num_shards);
+
+  /// Selects the sketch update fast paths (DESIGN.md §10) for every
+  /// frequency-query synopsis, current and future — including synopses
+  /// replaced by RestoreCheckpoint. Bit-identical under any setting (pure
+  /// ablation/measurement knob). Rebuilds plan caches and sharded-ingest
+  /// replicas, so `ingest.<stream>.hash_cache_*` tallies restart.
+  void SetKernelOptions(const sketch::KernelOptions& options);
+
+  const sketch::KernelOptions& kernel_options() const {
+    return kernel_options_;
+  }
 
   /// Ingestion observability for one stream: elements absorbed and
   /// dropped, batches, and time spent in parallel absorb/merge. Assembled
@@ -295,6 +307,11 @@ class Engine {
     metrics::Counter* merges = nullptr;
     metrics::Counter* absorb_nanos = nullptr;
     metrics::Counter* merge_nanos = nullptr;
+    // Plan-cache hit/miss totals over this stream's frequency-query
+    // synopses, accumulated on the inline batch path (sharded replicas keep
+    // their caches worker-local; see docs/OBSERVABILITY.md).
+    metrics::Counter* hash_cache_hits = nullptr;
+    metrics::Counter* hash_cache_misses = nullptr;
     // Exact frequencies for accuracy-drift monitoring; caller-owned, null
     // when no reference is attached.
     const stream::FrequencyVector* reference = nullptr;
@@ -337,6 +354,11 @@ class Engine {
     FrequencyQuerySpec spec;
     uint64_t seed = 0;
     QueryMetrics metrics;
+    /// Sketch-side plan-cache tallies already exported to the stream's
+    /// hash_cache_* counters; the batch path and the (const, writer-thread)
+    /// pull-style RefreshMetricsGauges publish deltas against these.
+    mutable uint64_t cache_hits_seen = 0;
+    mutable uint64_t cache_misses_seen = 0;
   };
 
   struct DistinctQueryState {
@@ -404,6 +426,15 @@ class Engine {
 
   StatusOr<StreamId> FindRelation(const std::string& name) const;
 
+  /// Publishes `q`'s plan-cache activity to its stream's hash_cache_*
+  /// counters as deltas against the last export (so SetKernelOptions
+  /// rebuilds, which restart the sketch-side tallies, publish cleanly).
+  /// Called from the inline batch path and, pull-style, from
+  /// RefreshMetricsGauges so scalar-only sessions stay current too.
+  /// Writer-thread only; the sharded path's replicas keep their caches
+  /// worker-local, so the counters reflect the inline path only.
+  void PublishHashCacheDeltas(const FrequencyQueryState& q) const;
+
   /// Creates the `ingest.<name>.*` counters for a freshly registered
   /// stream and caches their pointers in `*state`.
   void InitStreamMetrics(StreamState* state);
@@ -449,6 +480,9 @@ class Engine {
   std::unordered_map<QueryId, ChainJoinQueryState> chain_queries_;
   QueryId next_query_id_ = 1;
   uint64_t ingest_shards_ = 1;
+  // Fast-path kernel selection applied to every frequency-query synopsis
+  // (defaults all-on; see sketch/kernel_options.h).
+  sketch::KernelOptions kernel_options_;
   // Anomaly-event thresholds; +infinity disables emission (the default).
   double drift_warn_threshold_ = std::numeric_limits<double>::infinity();
   double ci_warn_rel_width_ = std::numeric_limits<double>::infinity();

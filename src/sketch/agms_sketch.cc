@@ -42,13 +42,37 @@ void AgmsSketch::Update(uint64_t value, int64_t weight) {
 }
 
 void AgmsSketch::UpdateBatch(std::span<const stream::StreamElement> elements) {
-  for (size_t cell = 0; cell < counters_.size(); ++cell) {
-    const hashing::SignHash& sign = signs_[cell];
-    int64_t sum = 0;
-    for (const stream::StreamElement& element : elements) {
-      sum += sign(element.value) * element.weight;
+  if (!kernel_options_.use_blocked_batch) {
+    // Legacy cell-major reference kernel: one pass over the whole batch per
+    // cell, so each ξ family stays hot but large batches stream from L2+.
+    for (size_t cell = 0; cell < counters_.size(); ++cell) {
+      const hashing::SignHash& sign = signs_[cell];
+      int64_t sum = 0;
+      for (const stream::StreamElement& element : elements) {
+        sum += sign(element.value) * element.weight;
+      }
+      counters_[cell] += sum;
     }
-    counters_[cell] += sum;
+    return;
+  }
+  // Blocked kernel: element blocks outer, cells inner, so the block's
+  // elements are read from L1 for all s1·s2 ξ evaluations. Per-cell block
+  // partial sums regroup the same integer additions, so final counters are
+  // bit-identical to the legacy kernel.
+  const size_t block = static_cast<size_t>(
+      kernel_options_.batch_block_size < 1 ? 1
+                                           : kernel_options_.batch_block_size);
+  for (size_t begin = 0; begin < elements.size(); begin += block) {
+    const std::span<const stream::StreamElement> chunk =
+        elements.subspan(begin, std::min(block, elements.size() - begin));
+    for (size_t cell = 0; cell < counters_.size(); ++cell) {
+      const hashing::SignHash& sign = signs_[cell];
+      int64_t sum = 0;
+      for (const stream::StreamElement& element : chunk) {
+        sum += sign(element.value) * element.weight;
+      }
+      counters_[cell] += sum;
+    }
   }
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "hashing/sign_hash.h"
+#include "sketch/kernel_options.h"
 #include "stream/frequency_vector.h"
 #include "stream/stream_element.h"
 #include "util/estimate_report.h"
@@ -58,9 +59,21 @@ class AgmsSketch {
   }
 
   /// Applies a batch of arrivals; counter-for-counter identical to scalar
-  /// Update calls but iterates cell-major so each cell's ξ family stays hot
-  /// across the batch.
+  /// Update calls. The default kernel walks the batch in element blocks of
+  /// `batch_block_size` (cells inner, per-cell partial sum per block) so
+  /// the element block stays in L1 across all s1·s2 ξ evaluations; with
+  /// blocking disabled it falls back to the legacy cell-major sweep over
+  /// the whole batch. Identical final counters either way (integer partial
+  /// sums regroup associatively).
   void UpdateBatch(std::span<const stream::StreamElement> elements);
+
+  /// Selects fast-path kernels (DESIGN.md §10). AGMS has no bucket hashes
+  /// or plan cache; only use_blocked_batch / batch_block_size apply here.
+  void SetKernelOptions(const KernelOptions& options) {
+    kernel_options_ = options;
+  }
+
+  const KernelOptions& kernel_options() const { return kernel_options_; }
 
   /// Zeroes every counter (families untouched); see HashSketch::Reset.
   void Reset();
@@ -134,6 +147,7 @@ class AgmsSketch {
   uint64_t seed_;
   std::vector<hashing::SignHash> signs_;  // one per cell, row-major by median
   std::vector<int64_t> counters_;
+  KernelOptions kernel_options_;
 };
 
 }  // namespace sketch

@@ -18,6 +18,42 @@ CountMinSketch::CountMinSketch(const CountMinConfig& config, uint64_t seed)
     bucket_hashes_.emplace_back(config.num_buckets, &rng);
   }
   counters_.assign(config.TotalCounters(), 0);
+  SetKernelOptions(KernelOptions{});
+}
+
+void CountMinSketch::SetKernelOptions(const KernelOptions& options) {
+  kernel_options_ = options;
+  for (hashing::BucketHash& hash : bucket_hashes_) {
+    hash.set_use_fastmod(options.use_fastmod);
+  }
+  // Plan words are 32-bit; a bucket count beyond 2^32 cannot be stored, so
+  // the cache quietly stands down (results are identical either way).
+  if (options.use_plan_cache && config_.num_buckets <= (uint64_t{1} << 32)) {
+    plan_cache_.emplace(options.plan_cache_slots, config_.num_tables);
+  } else {
+    plan_cache_.reset();
+  }
+}
+
+const uint32_t* CountMinSketch::ComputePlan(uint64_t value) {
+  bool hit = false;
+  uint32_t* plan = plan_cache_->Probe(value, &hit);
+  if (!hit) FillPlan(value, plan);
+  return plan;
+}
+
+void CountMinSketch::FillPlan(uint64_t value, uint32_t* plan) const {
+  for (uint64_t table = 0; table < config_.num_tables; ++table) {
+    plan[table] = static_cast<uint32_t>(bucket_hashes_[table](value));
+  }
+}
+
+void CountMinSketch::ApplyPlan(const uint32_t* plan, int64_t weight) {
+  int64_t* row = counters_.data();
+  for (uint64_t table = 0; table < config_.num_tables; ++table) {
+    row[plan[table]] += weight;
+    row += config_.num_buckets;
+  }
 }
 
 StatusOr<CountMinSketch> CountMinSketch::Create(const CountMinConfig& config,
@@ -32,6 +68,10 @@ StatusOr<CountMinSketch> CountMinSketch::Create(const CountMinConfig& config,
 }
 
 void CountMinSketch::Update(uint64_t value, int64_t weight) {
+  if (plan_cache_) {
+    ApplyPlan(ComputePlan(value), weight);
+    return;
+  }
   for (uint64_t table = 0; table < config_.num_tables; ++table) {
     counters_[table * config_.num_buckets + bucket_hashes_[table](value)] +=
         weight;
@@ -40,11 +80,86 @@ void CountMinSketch::Update(uint64_t value, int64_t weight) {
 
 void CountMinSketch::UpdateBatch(
     std::span<const stream::StreamElement> elements) {
+  // The blocked kernel stores 32-bit plan words; beyond 2^32 buckets it
+  // cannot, so such shapes take the legacy kernels below.
+  if (kernel_options_.use_blocked_batch &&
+      config_.num_buckets <= (uint64_t{1} << 32)) {
+    UpdateBatchBlocked(elements);
+    return;
+  }
+  if (plan_cache_) {
+    // Element-major so each element's plan is probed once, not per table.
+    for (const stream::StreamElement& element : elements) {
+      Update(element.value, element.weight);
+    }
+    return;
+  }
+  // Legacy table-major reference kernel.
   for (uint64_t table = 0; table < config_.num_tables; ++table) {
     const hashing::BucketHash& bucket = bucket_hashes_[table];
     int64_t* row = &counters_[table * config_.num_buckets];
     for (const stream::StreamElement& element : elements) {
       row[bucket(element.value)] += element.weight;
+    }
+  }
+}
+
+void CountMinSketch::UpdateBatchBlocked(
+    std::span<const stream::StreamElement> elements) {
+  const uint64_t tables = config_.num_tables;
+  const size_t block = static_cast<size_t>(
+      kernel_options_.batch_block_size < 1 ? 1
+                                           : kernel_options_.batch_block_size);
+  // Thread-local scratch; see HashSketch::UpdateBatchBlocked.
+  static thread_local std::vector<uint32_t> plan_scratch;
+  static thread_local std::vector<int64_t> weight_scratch;
+  plan_scratch.resize(block * tables);
+  weight_scratch.resize(block);
+  constexpr size_t kPrefetchDistance = 8;
+  // Shape-adaptive staging; see HashSketch::UpdateBatchBlocked.
+  constexpr uint64_t kScatterStageBytes = uint64_t{1} << 21;
+  const bool stage = counters_.size() * sizeof(int64_t) > kScatterStageBytes;
+  for (size_t begin = 0; begin < elements.size(); begin += block) {
+    const size_t n = std::min(block, elements.size() - begin);
+    // Cache hits apply on the spot; only misses stage through scratch for
+    // the table-major scatter (see HashSketch::UpdateBatchBlocked — integer
+    // adds commute, so the split is bit-identical).
+    size_t pending = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const stream::StreamElement& element = elements[begin + i];
+      if (plan_cache_) {
+        bool hit = false;
+        uint32_t* plan = plan_cache_->Probe(element.value, &hit);
+        if (hit) {
+          ApplyPlan(plan, element.weight);
+          continue;
+        }
+        FillPlan(element.value, plan);
+        if (!stage) {
+          ApplyPlan(plan, element.weight);
+          continue;
+        }
+        std::copy_n(plan, tables, &plan_scratch[pending * tables]);
+      } else {
+        uint32_t* plan = &plan_scratch[pending * tables];
+        FillPlan(element.value, plan);
+        if (!stage) {
+          ApplyPlan(plan, element.weight);
+          continue;
+        }
+      }
+      weight_scratch[pending] = element.weight;
+      ++pending;
+    }
+    for (uint64_t table = 0; table < tables; ++table) {
+      int64_t* row = &counters_[table * config_.num_buckets];
+      for (size_t i = 0; i < pending; ++i) {
+        if (i + kPrefetchDistance < pending) {
+          __builtin_prefetch(
+              &row[plan_scratch[(i + kPrefetchDistance) * tables + table]], 1);
+        }
+        row[plan_scratch[i * tables + table]] += weight_scratch[i];
+      }
     }
   }
 }
@@ -183,6 +298,7 @@ double CountMinSketch::TotalWeight() const {
 uint64_t CountMinSketch::MemoryBytes() const {
   uint64_t total = sizeof(*this) + counters_.capacity() * sizeof(int64_t);
   for (const hashing::BucketHash& h : bucket_hashes_) total += h.MemoryBytes();
+  if (plan_cache_) total += plan_cache_->MemoryBytes();
   return total;
 }
 

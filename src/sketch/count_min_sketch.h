@@ -13,11 +13,14 @@
 
 #include <cstdint>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <span>
 #include <vector>
 
+#include "hashing/hash_plan_cache.h"
 #include "hashing/kwise_hash.h"
+#include "sketch/kernel_options.h"
 #include "stream/frequency_vector.h"
 #include "stream/stream_element.h"
 #include "util/estimate_report.h"
@@ -49,9 +52,25 @@ class CountMinSketch {
     Update(element.value, element.weight);
   }
 
-  /// Applies a batch of arrivals table-major; counter-for-counter identical
-  /// to scalar Update calls (see HashSketch::UpdateBatch).
+  /// Applies a batch of arrivals; counter-for-counter identical to scalar
+  /// Update calls. Blocked hash→scatter by default (see
+  /// HashSketch::UpdateBatch and DESIGN.md §10), legacy table-major when
+  /// blocking is disabled.
   void UpdateBatch(std::span<const stream::StreamElement> elements);
+
+  /// Selects fast-path kernels (bit-identical; DESIGN.md §10). Rebuilds or
+  /// drops the plan cache, restarting its hit/miss tallies.
+  void SetKernelOptions(const KernelOptions& options);
+
+  const KernelOptions& kernel_options() const { return kernel_options_; }
+
+  /// Plan-cache tallies (zero when the cache is disabled).
+  uint64_t hash_cache_hits() const {
+    return plan_cache_ ? plan_cache_->hits() : 0;
+  }
+  uint64_t hash_cache_misses() const {
+    return plan_cache_ ? plan_cache_->misses() : 0;
+  }
 
   /// Zeroes every counter (families untouched).
   void Reset();
@@ -109,10 +128,28 @@ class CountMinSketch {
   /// reduction order matches the legacy loop so both paths agree bit-wise.
   static double MinOverTables(const std::vector<double>& per_table);
 
+  /// Probes the plan cache for `value`; on a miss, evaluates all tables'
+  /// buckets into the claimed slot (one bucket per word; no signs here).
+  /// Pre-condition: the plan cache is enabled.
+  const uint32_t* ComputePlan(uint64_t value);
+
+  /// Evaluates every table's bucket word for `value` into `plan`.
+  void FillPlan(uint64_t value, uint32_t* plan) const;
+
+  /// Adds `weight` at each table's planned bucket.
+  void ApplyPlan(const uint32_t* plan, int64_t weight);
+
+  /// The blocked hash→scatter batch kernel (use_blocked_batch).
+  void UpdateBatchBlocked(std::span<const stream::StreamElement> elements);
+
   CountMinConfig config_;
   uint64_t seed_;
   std::vector<hashing::BucketHash> bucket_hashes_;
   std::vector<int64_t> counters_;
+  KernelOptions kernel_options_;
+  // Derived acceleration state; see HashSketch for the contract (never
+  // serialized, survives Reset, disengaged when use_plan_cache is off).
+  std::optional<hashing::HashPlanCache> plan_cache_;
 };
 
 }  // namespace sketch

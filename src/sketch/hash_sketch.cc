@@ -24,6 +24,45 @@ HashSketch::HashSketch(const HashSketchConfig& config, uint64_t seed)
     sign_hashes_.emplace_back(&sign_rng);
   }
   counters_.assign(config.TotalCounters(), 0);
+  SetKernelOptions(KernelOptions{});
+}
+
+void HashSketch::SetKernelOptions(const KernelOptions& options) {
+  kernel_options_ = options;
+  for (hashing::BucketHash& hash : bucket_hashes_) {
+    hash.set_use_fastmod(options.use_fastmod);
+  }
+  // Packed (bucket, sign) plan words are 32-bit; a bucket count beyond 2^31
+  // cannot pack, so the cache quietly stands down (the other kernels and
+  // the scalar path are unaffected — results are identical either way).
+  if (options.use_plan_cache && config_.num_buckets <= (uint64_t{1} << 31)) {
+    plan_cache_.emplace(options.plan_cache_slots, config_.num_tables);
+  } else {
+    plan_cache_.reset();
+  }
+}
+
+const uint32_t* HashSketch::ComputePlan(uint64_t value) {
+  bool hit = false;
+  uint32_t* plan = plan_cache_->Probe(value, &hit);
+  if (!hit) FillPlan(value, plan);
+  return plan;
+}
+
+void HashSketch::FillPlan(uint64_t value, uint32_t* plan) const {
+  for (uint64_t table = 0; table < config_.num_tables; ++table) {
+    plan[table] = hashing::PackBucketSign(bucket_hashes_[table](value),
+                                          sign_hashes_[table](value));
+  }
+}
+
+void HashSketch::ApplyPlan(const uint32_t* plan, int64_t weight) {
+  int64_t* row = counters_.data();
+  for (uint64_t table = 0; table < config_.num_tables; ++table) {
+    const uint32_t word = plan[table];
+    row[hashing::PlanBucket(word)] += hashing::PlanSign(word) * weight;
+    row += config_.num_buckets;
+  }
 }
 
 StatusOr<HashSketch> HashSketch::Create(const HashSketchConfig& config,
@@ -38,6 +77,10 @@ StatusOr<HashSketch> HashSketch::Create(const HashSketchConfig& config,
 }
 
 void HashSketch::Update(uint64_t value, int64_t weight) {
+  if (plan_cache_) {
+    ApplyPlan(ComputePlan(value), weight);
+    return;
+  }
   for (uint64_t table = 0; table < config_.num_tables; ++table) {
     const uint64_t bucket = bucket_hashes_[table](value);
     counters_[table * config_.num_buckets + bucket] +=
@@ -46,12 +89,103 @@ void HashSketch::Update(uint64_t value, int64_t weight) {
 }
 
 void HashSketch::UpdateBatch(std::span<const stream::StreamElement> elements) {
+  // The blocked kernel stores packed 32-bit plan words; beyond 2^31 buckets
+  // it cannot, so such shapes take the legacy kernels below.
+  if (kernel_options_.use_blocked_batch &&
+      config_.num_buckets <= (uint64_t{1} << 31)) {
+    UpdateBatchBlocked(elements);
+    return;
+  }
+  if (plan_cache_) {
+    // Element-major so each element's plan is probed once, not per table.
+    for (const stream::StreamElement& element : elements) {
+      Update(element.value, element.weight);
+    }
+    return;
+  }
+  // Legacy table-major reference kernel: each table's hash families and
+  // counter row stay hot across the whole batch.
   for (uint64_t table = 0; table < config_.num_tables; ++table) {
     const hashing::BucketHash& bucket = bucket_hashes_[table];
     const hashing::SignHash& sign = sign_hashes_[table];
     int64_t* row = &counters_[table * config_.num_buckets];
     for (const stream::StreamElement& element : elements) {
       row[bucket(element.value)] += sign(element.value) * element.weight;
+    }
+  }
+}
+
+void HashSketch::UpdateBatchBlocked(
+    std::span<const stream::StreamElement> elements) {
+  const uint64_t tables = config_.num_tables;
+  const size_t block = static_cast<size_t>(
+      kernel_options_.batch_block_size < 1 ? 1
+                                           : kernel_options_.batch_block_size);
+  // Function-local thread_local scratch: zero allocations per batch, and
+  // each ParallelIngestor worker gets its own copy, so the sketch itself
+  // stays cheaply copyable.
+  static thread_local std::vector<uint32_t> plan_scratch;
+  static thread_local std::vector<int64_t> weight_scratch;
+  plan_scratch.resize(block * tables);
+  weight_scratch.resize(block);
+  constexpr size_t kPrefetchDistance = 8;
+  // Staging plans for a table-major scatter only pays once the counter
+  // array outgrows the fast cache levels — below that, every bucket line is
+  // resident anyway and the extra scratch traffic is pure loss (measured:
+  // ~20% slower at 56 KiB of counters, ~20% faster at 3.5 MiB). Small
+  // shapes therefore apply misses on the spot too.
+  constexpr uint64_t kScatterStageBytes = uint64_t{1} << 21;
+  const bool stage = counters_.size() * sizeof(int64_t) > kScatterStageBytes;
+  for (size_t begin = 0; begin < elements.size(); begin += block) {
+    const size_t n = std::min(block, elements.size() - begin);
+    // Phase 1 (hash): cache hits apply on the spot — the plan words were
+    // just pulled into L1 by the probe, so staging them through scratch
+    // would only add traffic. Misses (or, with the cache off, everything)
+    // evaluate their polynomials into the scratch arrays for phase 2.
+    // Counters only ever accumulate integer adds, which commute exactly,
+    // so the hit/miss split leaves every final counter bit-identical to
+    // the scalar kernels.
+    size_t pending = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const stream::StreamElement& element = elements[begin + i];
+      if (plan_cache_) {
+        bool hit = false;
+        uint32_t* plan = plan_cache_->Probe(element.value, &hit);
+        if (hit) {
+          ApplyPlan(plan, element.weight);
+          continue;
+        }
+        FillPlan(element.value, plan);
+        if (!stage) {
+          ApplyPlan(plan, element.weight);
+          continue;
+        }
+        std::copy_n(plan, tables, &plan_scratch[pending * tables]);
+      } else {
+        uint32_t* plan = &plan_scratch[pending * tables];
+        FillPlan(element.value, plan);
+        if (!stage) {
+          ApplyPlan(plan, element.weight);
+          continue;
+        }
+      }
+      weight_scratch[pending] = element.weight;
+      ++pending;
+    }
+    // Phase 2 (scatter): table-major over the block's unapplied plans,
+    // prefetching the counter line a few elements ahead.
+    for (uint64_t table = 0; table < tables; ++table) {
+      int64_t* row = &counters_[table * config_.num_buckets];
+      for (size_t i = 0; i < pending; ++i) {
+        if (i + kPrefetchDistance < pending) {
+          const uint32_t ahead =
+              plan_scratch[(i + kPrefetchDistance) * tables + table];
+          __builtin_prefetch(&row[hashing::PlanBucket(ahead)], 1);
+        }
+        const uint32_t word = plan_scratch[i * tables + table];
+        row[hashing::PlanBucket(word)] +=
+            hashing::PlanSign(word) * weight_scratch[i];
+      }
     }
   }
 }
@@ -195,6 +329,7 @@ uint64_t HashSketch::MemoryBytes() const {
   uint64_t total = sizeof(*this) + counters_.capacity() * sizeof(int64_t);
   for (const hashing::BucketHash& h : bucket_hashes_) total += h.MemoryBytes();
   for (const hashing::SignHash& h : sign_hashes_) total += h.MemoryBytes();
+  if (plan_cache_) total += plan_cache_->MemoryBytes();
   return total;
 }
 

@@ -19,12 +19,15 @@
 
 #include <cstdint>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <span>
 #include <vector>
 
+#include "hashing/hash_plan_cache.h"
 #include "hashing/kwise_hash.h"
 #include "hashing/sign_hash.h"
+#include "sketch/kernel_options.h"
 #include "stream/frequency_vector.h"
 #include "stream/stream_element.h"
 #include "util/estimate_report.h"
@@ -61,10 +64,30 @@ class HashSketch {
   }
 
   /// Applies a batch of arrivals. Counter-for-counter identical to calling
-  /// Update element by element (integer addition commutes), but iterates
-  /// table-major so each table's hash families and counter row stay hot
-  /// across the whole batch — the ingest fast path.
+  /// Update element by element (integer addition commutes). The default
+  /// kernel blocks the batch: it hashes `batch_block_size` elements into a
+  /// reusable scratch plan array, then scatters table-major with prefetch
+  /// (DESIGN.md §10); with blocking disabled it falls back to the legacy
+  /// table-major loop.
   void UpdateBatch(std::span<const stream::StreamElement> elements);
+
+  /// Selects which fast-path kernels this sketch uses (DESIGN.md §10).
+  /// Every combination is bit-identical on counters; this only trades
+  /// instruction sequences. Rebuilds (or drops) the plan cache, so hit/miss
+  /// tallies restart from zero.
+  void SetKernelOptions(const KernelOptions& options);
+
+  const KernelOptions& kernel_options() const { return kernel_options_; }
+
+  /// Plan-cache hit/miss tallies since the cache was (re)built; both zero
+  /// when the cache is disabled. Feed the `ingest.<stream>.hash_cache_*`
+  /// engine metrics.
+  uint64_t hash_cache_hits() const {
+    return plan_cache_ ? plan_cache_->hits() : 0;
+  }
+  uint64_t hash_cache_misses() const {
+    return plan_cache_ ? plan_cache_->misses() : 0;
+  }
 
   /// Zeroes every counter, returning the sketch to its freshly created
   /// state (hash families are untouched). Used by the parallel ingestor to
@@ -152,11 +175,32 @@ class HashSketch {
  private:
   HashSketch(const HashSketchConfig& config, uint64_t seed);
 
+  /// Probes the plan cache for `value`; on a miss, evaluates all tables'
+  /// (bucket, sign) pairs into the claimed slot. Returns the plan either
+  /// way. Pre-condition: the plan cache is enabled.
+  const uint32_t* ComputePlan(uint64_t value);
+
+  /// Evaluates every table's packed (bucket, sign) word for `value` into
+  /// `plan` (`num_tables` words) — the full polynomial path.
+  void FillPlan(uint64_t value, uint32_t* plan) const;
+
+  /// Adds `weight` (sign-adjusted per table) at each table's planned
+  /// bucket.
+  void ApplyPlan(const uint32_t* plan, int64_t weight);
+
+  /// The blocked hash→scatter batch kernel (use_blocked_batch).
+  void UpdateBatchBlocked(std::span<const stream::StreamElement> elements);
+
   HashSketchConfig config_;
   uint64_t seed_;
   std::vector<hashing::BucketHash> bucket_hashes_;  // one per table
   std::vector<hashing::SignHash> sign_hashes_;      // one per table
   std::vector<int64_t> counters_;                   // row-major by table
+  KernelOptions kernel_options_;
+  // Derived acceleration state: never serialized, ignored by
+  // CompatibleWith/Merge, and kept across Reset (plans depend only on the
+  // hash families). Disengaged when use_plan_cache is off.
+  std::optional<hashing::HashPlanCache> plan_cache_;
 };
 
 }  // namespace sketch

@@ -1,0 +1,107 @@
+#include "hashing/fastmod.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "hashing/prime_field.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace hashing {
+namespace {
+
+// Dividends that stress the reduction: zeros, small values, every power of
+// two, values straddling the field bound 2^61 - 1 (the largest a BucketHash
+// ever reduces), and the 64-bit edges.
+std::vector<uint64_t> EdgeDividends() {
+  std::vector<uint64_t> dividends = {0,
+                                     1,
+                                     2,
+                                     3,
+                                     kMersennePrime61 - 1,
+                                     kMersennePrime61,
+                                     kMersennePrime61 + 1,
+                                     ~uint64_t{0} - 1,
+                                     ~uint64_t{0}};
+  for (int shift = 0; shift < 64; ++shift) {
+    const uint64_t p = uint64_t{1} << shift;
+    dividends.push_back(p - 1);
+    dividends.push_back(p);
+    dividends.push_back(p + 1);
+  }
+  return dividends;
+}
+
+// Divisors the library actually uses (bucket counts from configs, tests and
+// benches are small powers of two and their neighbours) plus adversarial
+// ones: 1, primes, and the 64-bit edges where the magic-number wraps.
+std::vector<uint64_t> EdgeDivisors() {
+  std::vector<uint64_t> divisors;
+  for (uint64_t d = 1; d <= 70; ++d) divisors.push_back(d);
+  for (int shift = 7; shift < 64; ++shift) {
+    const uint64_t p = uint64_t{1} << shift;
+    divisors.push_back(p - 1);
+    divisors.push_back(p);
+    divisors.push_back(p + 1);
+  }
+  divisors.insert(divisors.end(),
+                  {kMersennePrime61, ~uint64_t{0} - 1, ~uint64_t{0}});
+  return divisors;
+}
+
+TEST(FastDivisorTest, MatchesHardwareModOnEdgeGrid) {
+  for (const uint64_t d : EdgeDivisors()) {
+    const FastDivisor divisor(d);
+    ASSERT_EQ(divisor.divisor(), d);
+    for (const uint64_t a : EdgeDividends()) {
+      ASSERT_EQ(divisor.Mod(a), a % d) << "a=" << a << " d=" << d;
+    }
+  }
+}
+
+TEST(FastDivisorTest, MatchesHardwareModOnRandomPairs) {
+  Rng rng(20260806);
+  for (int trial = 0; trial < 200000; ++trial) {
+    const uint64_t d = rng.NextUint64() | 1u;  // any odd divisor >= 1
+    const uint64_t a = rng.NextUint64();
+    const FastDivisor divisor(d);
+    ASSERT_EQ(divisor.Mod(a), a % d) << "a=" << a << " d=" << d;
+  }
+}
+
+// Every bucket count bench_update_time / bench_hashing / the default
+// configs use, swept exhaustively over a contiguous dividend range plus
+// random field elements (BucketHash reduces values < 2^61).
+TEST(FastDivisorTest, ExhaustiveOverBenchBucketCounts) {
+  const uint64_t bench_buckets[] = {64,  128,  256,  512,  1024,
+                                    2048, 4096, 65536, 262144};
+  Rng rng(42);
+  for (const uint64_t d : bench_buckets) {
+    const FastDivisor divisor(d);
+    for (uint64_t a = 0; a < 1u << 16; ++a) {
+      ASSERT_EQ(divisor.Mod(a), a % d) << "a=" << a << " d=" << d;
+    }
+    for (int trial = 0; trial < 100000; ++trial) {
+      const uint64_t a = rng.NextUint64Below(kMersennePrime61);
+      ASSERT_EQ(divisor.Mod(a), a % d) << "a=" << a << " d=" << d;
+    }
+  }
+}
+
+TEST(FastDivisorTest, DivisorOneAlwaysReturnsZero) {
+  const FastDivisor divisor(1);
+  for (const uint64_t a : EdgeDividends()) {
+    ASSERT_EQ(divisor.Mod(a), 0u) << "a=" << a;
+  }
+}
+
+TEST(FastDivisorTest, DefaultConstructedBehavesAsDivisorOne) {
+  const FastDivisor divisor;
+  EXPECT_EQ(divisor.divisor(), 1u);
+  EXPECT_EQ(divisor.Mod(~uint64_t{0}), 0u);
+}
+
+}  // namespace
+}  // namespace hashing
+}  // namespace skimjoin

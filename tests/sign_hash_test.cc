@@ -65,6 +65,36 @@ TEST(SignHashTest, FourWiseProductsAverageToZeroAcrossFamilies) {
   EXPECT_LT(std::llabs(sum), 5 * static_cast<int64_t>(std::sqrt(kFamilies)));
 }
 
+// Regression pin for the branchless `1 - 2*(hash & 1)` form: the ±1
+// sequence for fixed seeds must match the sequences the original branchy
+// implementation produced (recorded before the rewrite). A mismatch here
+// means every serialized sketch in the wild silently became incompatible.
+TEST(SignHashTest, GoldenSequencesUnchangedForFixedSeeds) {
+  struct Golden {
+    uint64_t seed;
+    int64_t signs[32];
+  };
+  const Golden goldens[] = {
+      {0,
+       {-1, -1, +1, +1, +1, +1, +1, -1, -1, +1, -1, +1, +1, -1, -1, +1,
+        +1, -1, +1, +1, +1, -1, +1, -1, -1, -1, +1, +1, +1, -1, +1, -1}},
+      {7,
+       {-1, -1, -1, -1, -1, +1, -1, +1, -1, -1, -1, +1, +1, +1, +1, +1,
+        -1, -1, +1, -1, +1, -1, +1, -1, -1, +1, +1, +1, +1, +1, +1, +1}},
+      {12345,
+       {+1, -1, -1, +1, +1, +1, +1, +1, +1, -1, +1, -1, +1, -1, +1, +1,
+        -1, -1, +1, +1, +1, +1, +1, -1, -1, +1, -1, -1, +1, +1, +1, +1}},
+  };
+  for (const Golden& golden : goldens) {
+    Rng rng(golden.seed);
+    SignHash xi(&rng);
+    for (uint64_t x = 0; x < 32; ++x) {
+      EXPECT_EQ(xi(x), golden.signs[x])
+          << "seed=" << golden.seed << " x=" << x;
+    }
+  }
+}
+
 TEST(SignHashTest, SquareIsAlwaysOne) {
   Rng rng(3);
   SignHash xi(&rng);
