@@ -201,16 +201,9 @@ SkimmedSketch::SkimOutput SkimmedSketch::Skim() const {
   return SkimOutput{std::move(dense), std::move(residual), threshold};
 }
 
-StatusOr<JoinEstimateBreakdown> SkimmedSketch::EstimateDetailedImpl(
-    const SkimmedSketch& f, const SkimmedSketch& g, EstimateReport* report) {
-  if (!f.CompatibleWith(g)) {
-    return InvalidArgumentError(
-        "skimmed-sketch join estimation requires sketches with equal "
-        "configuration and seed");
-  }
-  SkimOutput skim_f = f.Skim();
-  SkimOutput skim_g = g.Skim();
-
+JoinEstimateBreakdown SkimmedSketch::BreakdownFromSkims(
+    const SkimOutput& skim_f, const SkimOutput& skim_g,
+    SubJoinTables* tables) {
   JoinEstimateBreakdown breakdown;
   breakdown.threshold_f = skim_f.threshold;
   breakdown.threshold_g = skim_g.threshold;
@@ -226,15 +219,49 @@ StatusOr<JoinEstimateBreakdown> SkimmedSketch::EstimateDetailedImpl(
   // compatible by construction, so the bucket-product estimator applies
   // directly; each estimated sub-join medians its per-table vector exactly
   // as the dedicated entry points do.
-  const std::vector<double> dense_sparse =
+  std::vector<double> dense_sparse =
       EstimateSubJoinSizePerTable(skim_f.dense, skim_g.skimmed);
-  const std::vector<double> sparse_dense =
+  std::vector<double> sparse_dense =
       EstimateSubJoinSizePerTable(skim_g.dense, skim_f.skimmed);
-  const std::vector<double> sparse_sparse =
+  std::vector<double> sparse_sparse =
       sketch::HashSketch::PerTableJoinProducts(skim_f.skimmed, skim_g.skimmed);
   breakdown.dense_sparse = Median(dense_sparse);
   breakdown.sparse_dense = Median(sparse_dense);
   breakdown.sparse_sparse = Median(sparse_sparse);
+  if (tables != nullptr) {
+    tables->dense_sparse = std::move(dense_sparse);
+    tables->sparse_dense = std::move(sparse_dense);
+    tables->sparse_sparse = std::move(sparse_sparse);
+  }
+  return breakdown;
+}
+
+StatusOr<double> SkimmedSketch::EstimateJoinSizeFromSkims(
+    const SkimOutput& skim_f, const SkimOutput& skim_g) {
+  if (!skim_f.skimmed.CompatibleWith(skim_g.skimmed)) {
+    return InvalidArgumentError(
+        "skimmed-join estimation from precomputed skims requires residual "
+        "sketches with equal configuration and seed");
+  }
+  return BreakdownFromSkims(skim_f, skim_g, nullptr).Total();
+}
+
+StatusOr<JoinEstimateBreakdown> SkimmedSketch::EstimateDetailedImpl(
+    const SkimmedSketch& f, const SkimmedSketch& g, EstimateReport* report) {
+  if (!f.CompatibleWith(g)) {
+    return InvalidArgumentError(
+        "skimmed-sketch join estimation requires sketches with equal "
+        "configuration and seed");
+  }
+  SkimOutput skim_f = f.Skim();
+  SkimOutput skim_g = g.Skim();
+
+  SubJoinTables sub_joins;
+  JoinEstimateBreakdown breakdown =
+      BreakdownFromSkims(skim_f, skim_g, &sub_joins);
+  const std::vector<double>& dense_sparse = sub_joins.dense_sparse;
+  const std::vector<double>& sparse_dense = sub_joins.sparse_dense;
+  const std::vector<double>& sparse_sparse = sub_joins.sparse_sparse;
 
   if (report != nullptr) {
     report->method = "skimmed";

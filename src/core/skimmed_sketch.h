@@ -234,18 +234,52 @@ class SkimmedSketch {
   /// The level-0 sketch. Exposed for white-box tests.
   const sketch::HashSketch& level0() const { return level0_; }
 
- private:
-  SkimmedSketch(const SkimmedSketchConfig& config, uint64_t seed,
-                sketch::HashSketch level0, std::optional<DyadicSkimmer> dyadic);
+  /// Monotone mutation epoch, forwarded from the level-0 sketch (every
+  /// answer-changing mutation touches level 0). Derived state — never
+  /// serialized, ignored by CompatibleWith. Read-side caches use it to
+  /// detect staleness in O(1); see sketch::SlimView and query::QueryCache.
+  uint64_t update_epoch() const { return level0_.update_epoch(); }
 
-  /// Skims a COPY of the level-0 sketch; returns the dense vector, the
-  /// residual sketch, and the threshold used.
+  /// Result of skimming a COPY of the level-0 sketch: the dense vector, the
+  /// residual ("sparse") sketch, and the threshold used. The slim half of
+  /// the skimmed-join read path (DESIGN.md §11): skim once per refresh,
+  /// reuse across every join until the fat sketch's epoch advances.
   struct SkimOutput {
     DenseFrequencies dense;
     sketch::HashSketch skimmed;
     int64_t threshold;
   };
+
+  /// SKIMDENSE on a copy; the sketch itself is never mutated.
   SkimOutput Skim() const;
+
+  /// ESTSKIMJOINSIZE from two precomputed skims. Because each side's skim
+  /// is computed independently of the other (Skim() takes no cross-side
+  /// input), this is bit-identical to EstimateJoinSize on the fat pair as
+  /// of the epochs the skims were taken at. INVALID_ARGUMENT when the
+  /// residual sketches are incompatible.
+  static StatusOr<double> EstimateJoinSizeFromSkims(const SkimOutput& skim_f,
+                                                    const SkimOutput& skim_g);
+
+ private:
+  SkimmedSketch(const SkimmedSketchConfig& config, uint64_t seed,
+                sketch::HashSketch level0, std::optional<DyadicSkimmer> dyadic);
+
+  /// The per-table sub-join vectors behind one breakdown, kept so the
+  /// report path can derive its copy estimates from the same intermediates.
+  struct SubJoinTables {
+    std::vector<double> dense_sparse;
+    std::vector<double> sparse_dense;
+    std::vector<double> sparse_sparse;
+  };
+
+  /// Steps 2–5 of ESTSKIMJOINSIZE from two precomputed skims. Every entry
+  /// point (Detailed, WithReport, FromSkims) reduces to this one function,
+  /// which is what keeps them mutually bit-identical. `tables`, when
+  /// non-null, receives the per-table vectors.
+  static JoinEstimateBreakdown BreakdownFromSkims(const SkimOutput& skim_f,
+                                                  const SkimOutput& skim_g,
+                                                  SubJoinTables* tables);
 
   /// Shared core of Detailed / WithReport estimation: computes the
   /// breakdown from per-table sub-join vectors and, when `report` is

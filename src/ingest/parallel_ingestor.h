@@ -32,6 +32,7 @@
 #ifndef SKIMJOIN_INGEST_PARALLEL_INGESTOR_H_
 #define SKIMJOIN_INGEST_PARALLEL_INGESTOR_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <span>
@@ -121,8 +122,14 @@ class ParallelIngestor {
     stats_.merges += 1;
     for (Synopsis& replica : replicas_) {
       if constexpr (requires(const Synopsis& s) { s.dropped_updates(); }) {
-        stats_.elements_dropped += replica.dropped_updates();
-        stats_.elements_absorbed -= replica.dropped_updates();
+        // A replica can carry drops this ingestor never counted as absorbed
+        // (a prototype copied from a non-reset master, or a synopsis whose
+        // Reset keeps its drop counter). Saturate instead of underflowing
+        // the unsigned absorbed counter to ~2^64.
+        const uint64_t dropped = replica.dropped_updates();
+        stats_.elements_dropped += dropped;
+        stats_.elements_absorbed -=
+            std::min(dropped, stats_.elements_absorbed);
       }
       master->Merge(replica);
       replica.Reset();

@@ -651,6 +651,11 @@ StatusOr<RestoreReport> Engine::RestoreCheckpoint(const std::string& path,
     return FailedPreconditionError(
         "RestoreCheckpoint requires an empty engine (call Clear() first)");
   }
+  // An empty engine holds no queries, so the read-path cache must already
+  // be empty — but drop defensively: restored query ids restart from 1 and
+  // the restored epoch counters are re-seeded below, so an entry surviving
+  // from a previous life could collide with a fresh (id, epochs) pair.
+  query_cache_.DropAll();
 
   // Read every intact section. On the first read error: strict mode fails
   // outright; partial mode keeps what was read (sections are CRC-verified

@@ -71,7 +71,71 @@ Engine::QueryMetrics Engine::MakeQueryMetrics(QueryId id) {
   metrics.ci_rel_width = metrics_.GetHistogram(prefix + "ci_rel_width");
   metrics.skim_residual_ratio =
       metrics_.GetHistogram(prefix + "skim_residual_ratio");
+  metrics.cache_hits = metrics_.GetCounter(prefix + "cache_hits");
+  metrics.cache_misses = metrics_.GetCounter(prefix + "cache_misses");
+  metrics.cache_invalidations =
+      metrics_.GetCounter(prefix + "cache_invalidations");
   return metrics;
+}
+
+QueryCache::Epochs Engine::EpochsFor(const JoinQueryState& q) const {
+  // Self-joins register left == right; the duplicate entry is harmless
+  // (both slots move together) and keeps the shape uniform.
+  return {streams_[q.left].absorbed->Value(),
+          streams_[q.right].absorbed->Value()};
+}
+
+QueryCache::Epochs Engine::EpochsFor(const FrequencyQueryState& q) const {
+  return {streams_[q.stream].absorbed->Value()};
+}
+
+void Engine::CountCacheOutcome(const QueryMetrics& metrics,
+                               QueryCache::Outcome outcome) {
+  switch (outcome) {
+    case QueryCache::Outcome::kHit:
+      metrics.cache_hits->Increment();
+      break;
+    case QueryCache::Outcome::kMiss:
+      metrics.cache_misses->Increment();
+      break;
+    case QueryCache::Outcome::kInvalidated:
+      // An invalidated entry still forces a recompute, so it is both an
+      // invalidation and a miss — dashboards can read hit rates off
+      // hits / (hits + misses) without special-casing.
+      metrics.cache_invalidations->Increment();
+      metrics.cache_misses->Increment();
+      break;
+  }
+}
+
+void Engine::SetReadPathOptions(const ReadPathOptions& options) {
+  if (!options.use_query_cache) query_cache_.DropAll();
+  if (!options.use_slim_views) {
+    for (auto& [id, q] : frequency_queries_) q.slim.reset();
+  }
+  read_path_ = options;
+}
+
+StatusOr<Engine::QueryCacheStats> Engine::QueryCacheStatsFor(
+    QueryId query) const {
+  const QueryMetrics* metrics = nullptr;
+  if (const auto it = join_queries_.find(query); it != join_queries_.end()) {
+    metrics = &it->second.metrics;
+  } else if (const auto fit = frequency_queries_.find(query);
+             fit != frequency_queries_.end()) {
+    metrics = &fit->second.metrics;
+  }
+  if (metrics == nullptr) {
+    return NotFoundError("query " + std::to_string(query) +
+                         " has no cached read path (not a join or "
+                         "frequency query)");
+  }
+  QueryCacheStats stats;
+  stats.enabled = read_path_.use_query_cache;
+  stats.hits = metrics->cache_hits->Value();
+  stats.misses = metrics->cache_misses->Value();
+  stats.invalidations = metrics->cache_invalidations->Value();
+  return stats;
 }
 
 ingest::IngestStats Engine::IngestStatsFor(const StreamState& state) const {
@@ -222,8 +286,9 @@ StatusOr<QueryId> Engine::AddFrequencyQuery(const FrequencyQuerySpec& spec,
   const QueryId id = next_query_id_++;
   frequency_queries_.emplace(
       id, FrequencyQueryState{std::move(sketch), stream, spec.predicate,
-                              std::nullopt, spec, seed,
-                              MakeQueryMetrics(id)});
+                              std::nullopt, spec, seed, MakeQueryMetrics(id),
+                              /*cache_hits_seen=*/0, /*cache_misses_seen=*/0,
+                              /*slim=*/std::nullopt});
   return id;
 }
 
@@ -630,6 +695,31 @@ StatusOr<double> Engine::AnswerJoin(QueryId query) const {
     return NotFoundError("unknown join query id");
   }
   const JoinQueryState& q = it->second;
+  if (read_path_.use_query_cache) {
+    const QueryCache::Epochs epochs = EpochsFor(q);
+    QueryCache::Outcome outcome;
+    const std::optional<double> cached =
+        query_cache_.LookupJoin(query, epochs, &outcome);
+    CountCacheOutcome(q.metrics, outcome);
+    if (cached.has_value()) {
+      // Hit path stays O(lookup): count the call but take no trace span
+      // and no latency sample — estimate_ns measures actual estimator
+      // executions. The answer is bit-identical to a recompute (the
+      // estimator is deterministic and no participating stream advanced),
+      // so the drift record stays meaningful too.
+      q.metrics.estimate_calls->Increment();
+      MaybeRecordJoinDrift(query, q, *cached);
+      return *cached;
+    }
+    metrics::TraceSpan span("estimate", "query");
+    ScopedEstimate timer(q.metrics.estimate_calls, q.metrics.estimate_ns);
+    StatusOr<double> estimate = q.estimator->Estimate();
+    if (estimate.ok()) {
+      query_cache_.StoreJoin(query, epochs, *estimate);
+      MaybeRecordJoinDrift(query, q, *estimate);
+    }
+    return estimate;
+  }
   metrics::TraceSpan span("estimate", "query");
   ScopedEstimate timer(q.metrics.estimate_calls, q.metrics.estimate_ns);
   StatusOr<double> estimate = q.estimator->Estimate();
@@ -665,9 +755,45 @@ StatusOr<int64_t> Engine::AnswerPointFrequency(QueryId query,
     return OutOfRangeError("value outside the domain of stream " +
                            state.spec.name);
   }
+  QueryCache::Epochs epochs{};
+  if (read_path_.use_query_cache) {
+    epochs = EpochsFor(q);
+    QueryCache::Outcome outcome;
+    const std::optional<int64_t> cached =
+        query_cache_.LookupPoint(query, value, epochs, &outcome);
+    CountCacheOutcome(q.metrics, outcome);
+    if (cached.has_value()) {
+      // Hit path stays O(lookup): count the call but take no trace span
+      // and no latency sample — estimate_ns measures actual estimator
+      // executions.
+      q.metrics.estimate_calls->Increment();
+      if (state.reference != nullptr && !q.predicate.has_value()) {
+        RecordRelError(query, q.metrics.rel_error,
+                       static_cast<double>(*cached),
+                       static_cast<double>(state.reference->Get(value)));
+      }
+      return *cached;
+    }
+  }
   metrics::TraceSpan span("estimate", "query");
   ScopedEstimate timer(q.metrics.estimate_calls, q.metrics.estimate_ns);
-  const int64_t estimate = q.sketch.EstimatePointFrequency(value);
+  int64_t estimate;
+  if (read_path_.use_slim_views) {
+    // Two-stage read: refresh the slim view iff the fat epoch advanced,
+    // then answer from the packed counters — bit-identical to the fat
+    // sketch's COUNTSKETCH median.
+    if (!q.slim.has_value()) {
+      q.slim.emplace(q.sketch.level0());
+    } else {
+      q.slim->Refresh(q.sketch.level0());
+    }
+    estimate = q.slim->PointEstimate(value);
+  } else {
+    estimate = q.sketch.EstimatePointFrequency(value);
+  }
+  if (read_path_.use_query_cache) {
+    query_cache_.StorePoint(query, value, epochs, estimate);
+  }
   if (state.reference != nullptr && !q.predicate.has_value()) {
     RecordRelError(query, q.metrics.rel_error, static_cast<double>(estimate),
                    static_cast<double>(state.reference->Get(value)));
@@ -859,6 +985,9 @@ void Engine::Clear() {
   chain_queries_.clear();
   next_query_id_ = 1;
   ingest_shards_ = 1;
+  // Entries guard on per-stream epochs that are about to reset with the
+  // registry; a future same-id query must never see an old life's answer.
+  query_cache_.DropAll();
   // Last: every cached instrument pointer above is gone, so dropping the
   // instruments themselves is safe.
   metrics_.Clear();

@@ -35,8 +35,10 @@
 #include "query/multi_join.h"
 #include "query/multi_join_hash.h"
 #include "query/query.h"
+#include "query/query_cache.h"
 #include "sketch/fm_sketch.h"
 #include "sketch/kernel_options.h"
+#include "sketch/slim_view.h"
 #include "stream/frequency_vector.h"
 #include "stream/gk_quantiles.h"
 #include "stream/wavelet.h"
@@ -151,6 +153,39 @@ class Engine {
   const sketch::KernelOptions& kernel_options() const {
     return kernel_options_;
   }
+
+  /// The two-stage read path (DESIGN.md §11). Both stages answer
+  /// bit-identically to the classic read path; both default OFF so existing
+  /// embedders see no behavior change until they opt in.
+  struct ReadPathOptions {
+    /// Epoch-invalidated answer cache over AnswerJoin /
+    /// AnswerPointFrequency (query/query_cache.h): an answer is recomputed
+    /// only when a participating stream's absorbed-element epoch advanced.
+    bool use_query_cache = false;
+    /// Serve point frequencies from an epoch-gated sketch::SlimView of
+    /// each frequency query's level-0 sketch instead of the fat sketch.
+    bool use_slim_views = false;
+  };
+
+  /// Selects the read path. Turning the cache off drops every cached
+  /// entry; turning slim views off drops the views (both rebuild from the
+  /// fat synopses on the next enable, so toggling is always safe).
+  void SetReadPathOptions(const ReadPathOptions& options);
+
+  const ReadPathOptions& read_path_options() const { return read_path_; }
+
+  /// Cache observability for one join or frequency query, mirroring its
+  /// `query.<id>.cache_*` counters (docs/OBSERVABILITY.md).
+  struct QueryCacheStats {
+    bool enabled = false;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+  };
+
+  /// NOT_FOUND when `query` is not a join/self-join or frequency query
+  /// (other query kinds have no cached read path).
+  StatusOr<QueryCacheStats> QueryCacheStatsFor(QueryId query) const;
 
   /// Ingestion observability for one stream: elements absorbed and
   /// dropped, batches, and time spent in parallel absorb/merge. Assembled
@@ -326,6 +361,11 @@ class Engine {
     // Report-derived instruments, recorded only by *WithReport answers.
     metrics::ShardedHistogram* ci_rel_width = nullptr;
     metrics::ShardedHistogram* skim_residual_ratio = nullptr;
+    // Read-path cache outcome counters (`query.<id>.cache_*`), bumped only
+    // while ReadPathOptions.use_query_cache is on.
+    metrics::Counter* cache_hits = nullptr;
+    metrics::Counter* cache_misses = nullptr;
+    metrics::Counter* cache_invalidations = nullptr;
   };
 
   /// A join (or self-join) query: the estimator pair plus the routing data
@@ -359,6 +399,10 @@ class Engine {
     /// pull-style RefreshMetricsGauges publish deltas against these.
     mutable uint64_t cache_hits_seen = 0;
     mutable uint64_t cache_misses_seen = 0;
+    /// Epoch-gated slim view over the sketch's level-0, built lazily while
+    /// ReadPathOptions.use_slim_views is on. Mutable: reads are const but
+    /// refresh the view when the fat epoch advanced.
+    mutable std::optional<sketch::SlimView> slim;
   };
 
   struct DistinctQueryState {
@@ -462,6 +506,15 @@ class Engine {
   void RecordReportMetrics(QueryId query, const QueryMetrics& metrics,
                            const EstimateReport& report) const;
 
+  /// The participating streams' absorbed-element epochs, in a fixed
+  /// per-query order — the QueryCache guard vector.
+  QueryCache::Epochs EpochsFor(const JoinQueryState& q) const;
+  QueryCache::Epochs EpochsFor(const FrequencyQueryState& q) const;
+
+  /// Bumps the matching `query.<id>.cache_*` counter for one lookup.
+  static void CountCacheOutcome(const QueryMetrics& metrics,
+                                QueryCache::Outcome outcome);
+
   // Declared first so every cached instrument pointer in the states below
   // is destroyed before the registry that owns the pointees. Mutable:
   // const paths (MetricsSnapshot, SaveCheckpoint) register engine-level
@@ -483,6 +536,12 @@ class Engine {
   // Fast-path kernel selection applied to every frequency-query synopsis
   // (defaults all-on; see sketch/kernel_options.h).
   sketch::KernelOptions kernel_options_;
+  // Two-stage read path selection (defaults all-off). Like kernel_options_,
+  // survives Clear(): it is a session-level setting, not engine state.
+  ReadPathOptions read_path_;
+  // Answer cache for the read path. Mutable: Answer* methods are const but
+  // consult and populate entries (precedent: metrics_). Dropped on Clear.
+  mutable QueryCache query_cache_;
   // Anomaly-event thresholds; +infinity disables emission (the default).
   double drift_warn_threshold_ = std::numeric_limits<double>::infinity();
   double ci_warn_rel_width_ = std::numeric_limits<double>::infinity();

@@ -1,0 +1,62 @@
+#include "query/query_cache.h"
+
+namespace skimjoin {
+namespace query {
+
+std::optional<double> QueryCache::LookupJoin(uint64_t query_id,
+                                             const Epochs& epochs,
+                                             Outcome* outcome) {
+  auto it = joins_.find(query_id);
+  if (it == joins_.end()) {
+    *outcome = Outcome::kMiss;
+    return std::nullopt;
+  }
+  if (it->second.epochs != epochs) {
+    *outcome = Outcome::kInvalidated;
+    return std::nullopt;
+  }
+  *outcome = Outcome::kHit;
+  return it->second.answer;
+}
+
+void QueryCache::StoreJoin(uint64_t query_id, const Epochs& epochs,
+                           double answer) {
+  joins_[query_id] = Entry<double>{epochs, answer};
+}
+
+std::optional<int64_t> QueryCache::LookupPoint(uint64_t query_id,
+                                               uint64_t value,
+                                               const Epochs& epochs,
+                                               Outcome* outcome) {
+  auto it = points_.find(PointKey{query_id, value});
+  if (it == points_.end()) {
+    *outcome = Outcome::kMiss;
+    return std::nullopt;
+  }
+  if (it->second.epochs != epochs) {
+    *outcome = Outcome::kInvalidated;
+    return std::nullopt;
+  }
+  *outcome = Outcome::kHit;
+  return it->second.answer;
+}
+
+void QueryCache::StorePoint(uint64_t query_id, uint64_t value,
+                            const Epochs& epochs, int64_t answer) {
+  points_[PointKey{query_id, value}] = Entry<int64_t>{epochs, answer};
+}
+
+void QueryCache::DropAll() {
+  joins_.clear();
+  points_.clear();
+}
+
+void QueryCache::DropQuery(uint64_t query_id) {
+  joins_.erase(query_id);
+  for (auto it = points_.begin(); it != points_.end();) {
+    it = (it->first.query_id == query_id) ? points_.erase(it) : ++it;
+  }
+}
+
+}  // namespace query
+}  // namespace skimjoin

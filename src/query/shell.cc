@@ -60,6 +60,10 @@ const std::vector<std::pair<std::string, std::string>>& CommandRegistry() {
           {"alerts",
            "alerts <rel_error> <ci_width> — warn-event thresholds for "
            "accuracy drift / CI blow-up (inf disables)"},
+          {"cache",
+           "cache <on|off> | cache slim <on|off> | cache status <q> — "
+           "two-stage read path: epoch-invalidated query cache and slim "
+           "views"},
           {"help", "help — print this list"},
           {"quit", "quit — stop reading commands"},
       };
@@ -373,6 +377,13 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
         }
         OkValue(out, report->estimate);
         out << RenderEstimateReport(*report);
+        if (StatusOr<Engine::QueryCacheStats> cache =
+                engine_.QueryCacheStatsFor(it->second);
+            cache.ok()) {
+          out << "  cache: " << (cache->enabled ? "enabled" : "disabled")
+              << " hits=" << cache->hits << " misses=" << cache->misses
+              << " invalidations=" << cache->invalidations << "\n";
+        }
         return true;
       }
       StatusOr<double> answer = engine_.AnswerJoin(it->second);
@@ -412,8 +423,17 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
       Error(out, report.status());
       return true;
     }
-    // Multi-line by design: "ok" then the provenance table.
+    // Multi-line by design: "ok" then the provenance table. The report
+    // always recomputes (provenance needs the full estimator path), so the
+    // appended cache line reflects prior `answer` traffic, not this call.
     out << "ok\n" << RenderEstimateReport(*report);
+    if (StatusOr<Engine::QueryCacheStats> cache =
+            engine_.QueryCacheStatsFor(it->second);
+        cache.ok()) {
+      out << "  cache: " << (cache->enabled ? "enabled" : "disabled")
+          << " hits=" << cache->hits << " misses=" << cache->misses
+          << " invalidations=" << cache->invalidations << "\n";
+    }
     return true;
   }
   if (command == "logs") {
@@ -445,6 +465,65 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     engine_.SetAccuracyDriftWarnThreshold(rel_error);
     engine_.SetCiWarnRelWidth(ci_width);
     Ok(out);
+    return true;
+  }
+  if (command == "cache") {
+    std::string sub;
+    if (!(fields >> sub)) {
+      Error(out, "usage: cache <on|off> | cache slim <on|off> | "
+                 "cache status <q>");
+      return true;
+    }
+    if (sub == "on" || sub == "off") {
+      Engine::ReadPathOptions options = engine_.read_path_options();
+      options.use_query_cache = (sub == "on");
+      engine_.SetReadPathOptions(options);
+      Ok(out);
+      return true;
+    }
+    if (sub == "slim") {
+      std::string mode;
+      if (!(fields >> mode) || (mode != "on" && mode != "off")) {
+        Error(out, "usage: cache slim <on|off>");
+        return true;
+      }
+      Engine::ReadPathOptions options = engine_.read_path_options();
+      options.use_slim_views = (mode == "on");
+      engine_.SetReadPathOptions(options);
+      Ok(out);
+      return true;
+    }
+    if (sub == "status") {
+      std::string name;
+      if (!(fields >> name)) {
+        Error(out, "usage: cache status <q>");
+        return true;
+      }
+      QueryId id = 0;
+      if (const auto it = join_query_names_.find(name);
+          it != join_query_names_.end()) {
+        id = it->second;
+      } else if (const auto it = frequency_query_names_.find(name);
+                 it != frequency_query_names_.end()) {
+        id = it->second;
+      } else {
+        Error(out, "unknown join/frequency query: " + name);
+        return true;
+      }
+      StatusOr<Engine::QueryCacheStats> stats = engine_.QueryCacheStatsFor(id);
+      if (!stats.ok()) {
+        Error(out, stats.status());
+        return true;
+      }
+      out << "ok cache=" << (stats->enabled ? "on" : "off")
+          << " slim=" << (engine_.read_path_options().use_slim_views ? "on"
+                                                                     : "off")
+          << " hits=" << stats->hits << " misses=" << stats->misses
+          << " invalidations=" << stats->invalidations << "\n";
+      return true;
+    }
+    Error(out, "usage: cache <on|off> | cache slim <on|off> | "
+               "cache status <q>");
     return true;
   }
   if (command == "point") {

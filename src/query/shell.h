@@ -40,6 +40,11 @@
 //   alerts <rel_error> <ci_width>             warn-event thresholds for
 //                                             accuracy drift and CI blow-up
 //                                             (`inf` disables one)
+//   cache <on|off>                            toggle the epoch-invalidated
+//                                             query cache (read path)
+//   cache slim <on|off>                       toggle slim-view point reads
+//   cache status <q>                          cache hit/miss/invalidation
+//                                             counters for one query
 //   help                                      print this list
 //
 // Every command answers on one line: "ok[ <payload>]" or "error: <reason>".

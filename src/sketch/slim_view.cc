@@ -1,0 +1,160 @@
+#include "sketch/slim_view.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "sketch/sketch_seed.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace skimjoin {
+namespace sketch {
+
+SlimView::SlimView(const HashSketch& fat)
+    : kind_(Kind::kHashSketch),
+      num_tables_(fat.config().num_tables),
+      num_buckets_(fat.config().num_buckets),
+      seed_(fat.seed()) {
+  // Rebuild the families from (seed, tag, index) exactly as the fat
+  // sketch's constructor does — identical coefficients by construction, no
+  // runtime coupling to the fat object.
+  bucket_hashes_.reserve(num_tables_);
+  sign_hashes_.reserve(num_tables_);
+  for (uint64_t table = 0; table < num_tables_; ++table) {
+    Rng bucket_rng = FamilyRng(seed_, FamilyTag::kHashSketchBucket, table);
+    bucket_hashes_.emplace_back(num_buckets_, &bucket_rng);
+    Rng sign_rng = FamilyRng(seed_, FamilyTag::kHashSketchSign, table);
+    sign_hashes_.emplace_back(&sign_rng);
+  }
+  PackCounters(fat.CounterArray());
+  refreshed_epoch_ = fat.update_epoch();
+  refresh_count_ = 1;
+}
+
+SlimView::SlimView(const CountMinSketch& fat)
+    : kind_(Kind::kCountMin),
+      num_tables_(fat.config().num_tables),
+      num_buckets_(fat.config().num_buckets),
+      seed_(fat.seed()) {
+  bucket_hashes_.reserve(num_tables_);
+  for (uint64_t table = 0; table < num_tables_; ++table) {
+    Rng bucket_rng = FamilyRng(seed_, FamilyTag::kCountMinBucket, table);
+    bucket_hashes_.emplace_back(num_buckets_, &bucket_rng);
+  }
+  PackCounters(fat.CounterArray());
+  refreshed_epoch_ = fat.update_epoch();
+  refresh_count_ = 1;
+}
+
+void SlimView::PackCounters(std::span<const int64_t> fat_counters) {
+  use32_ = std::all_of(fat_counters.begin(), fat_counters.end(),
+                       [](int64_t c) {
+                         return c >= std::numeric_limits<int32_t>::min() &&
+                                c <= std::numeric_limits<int32_t>::max();
+                       });
+  if (use32_) {
+    counters64_.clear();
+    counters64_.shrink_to_fit();
+    counters32_.assign(fat_counters.begin(), fat_counters.end());
+  } else {
+    counters32_.clear();
+    counters32_.shrink_to_fit();
+    counters64_.assign(fat_counters.begin(), fat_counters.end());
+  }
+}
+
+bool SlimView::Refresh(const HashSketch& fat) {
+  SKIMJOIN_CHECK(kind_ == Kind::kHashSketch &&
+                 fat.config().num_tables == num_tables_ &&
+                 fat.config().num_buckets == num_buckets_ &&
+                 fat.seed() == seed_)
+      << "refreshing a slim view from a different synopsis";
+  if (fat.update_epoch() == refreshed_epoch_) return false;
+  PackCounters(fat.CounterArray());
+  refreshed_epoch_ = fat.update_epoch();
+  ++refresh_count_;
+  return true;
+}
+
+bool SlimView::Refresh(const CountMinSketch& fat) {
+  SKIMJOIN_CHECK(kind_ == Kind::kCountMin &&
+                 fat.config().num_tables == num_tables_ &&
+                 fat.config().num_buckets == num_buckets_ &&
+                 fat.seed() == seed_)
+      << "refreshing a slim view from a different synopsis";
+  if (fat.update_epoch() == refreshed_epoch_) return false;
+  PackCounters(fat.CounterArray());
+  refreshed_epoch_ = fat.update_epoch();
+  ++refresh_count_;
+  return true;
+}
+
+int64_t SlimView::PointEstimate(uint64_t value) const {
+  if (kind_ == Kind::kCountMin) {
+    int64_t best = std::numeric_limits<int64_t>::max();
+    for (uint64_t table = 0; table < num_tables_; ++table) {
+      best = std::min(best, CounterAt(table, bucket_hashes_[table](value)));
+    }
+    return best;
+  }
+  std::vector<int64_t> estimates;
+  estimates.reserve(num_tables_);
+  for (uint64_t table = 0; table < num_tables_; ++table) {
+    estimates.push_back(sign_hashes_[table](value) *
+                        CounterAt(table, bucket_hashes_[table](value)));
+  }
+  return MedianInt64(std::move(estimates));
+}
+
+bool SlimView::CompatibleWith(const SlimView& other) const {
+  return kind_ == other.kind_ && num_tables_ == other.num_tables_ &&
+         num_buckets_ == other.num_buckets_ && seed_ == other.seed_;
+}
+
+StatusOr<double> SlimView::EstimateJoinSize(const SlimView& f,
+                                            const SlimView& g) {
+  if (!f.CompatibleWith(g)) {
+    return InvalidArgumentError(
+        "slim-view join estimation requires views over synopses with equal "
+        "type, configuration and seed");
+  }
+  // Same per-table accumulation order as the fat estimators, so the doubles
+  // come out bit-identical; only the counter load width differs.
+  std::vector<double> per_table;
+  per_table.reserve(f.num_tables_);
+  for (uint64_t table = 0; table < f.num_tables_; ++table) {
+    double sum = 0.0;
+    for (uint64_t k = 0; k < f.num_buckets_; ++k) {
+      sum += static_cast<double>(f.CounterAt(table, k)) *
+             static_cast<double>(g.CounterAt(table, k));
+    }
+    per_table.push_back(sum);
+  }
+  if (f.kind_ == Kind::kCountMin) {
+    // CountMinSketch::MinOverTables reduction, replicated bit-for-bit.
+    double best = 0.0;
+    bool first = true;
+    for (double sum : per_table) {
+      if (first || sum < best) {
+        best = sum;
+        first = false;
+      }
+    }
+    return best;
+  }
+  return Median(std::move(per_table));
+}
+
+uint64_t SlimView::MemoryBytes() const {
+  uint64_t total = sizeof(*this) +
+                   counters32_.capacity() * sizeof(int32_t) +
+                   counters64_.capacity() * sizeof(int64_t);
+  for (const hashing::BucketHash& h : bucket_hashes_) total += h.MemoryBytes();
+  for (const hashing::SignHash& h : sign_hashes_) total += h.MemoryBytes();
+  return total;
+}
+
+}  // namespace sketch
+}  // namespace skimjoin

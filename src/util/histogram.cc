@@ -9,6 +9,13 @@
 namespace skimjoin {
 
 int Histogram::BucketIndexOf(double value) {
+  // Non-finite inputs must not reach std::log2 / the int cast below:
+  // NaN fails every comparison (so `value < 1.0` is false) and casting a
+  // non-finite double to int is undefined behaviour. +inf maps to the
+  // open-ended last bucket; NaN and -inf clamp to bucket 0 like negatives.
+  if (!std::isfinite(value)) {
+    return value > 0.0 ? kBuckets - 1 : 0;
+  }
   if (value < 1.0) return 0;
   const int bucket = 1 + static_cast<int>(std::floor(std::log2(value)));
   return std::min(bucket, kBuckets - 1);
@@ -20,6 +27,14 @@ double Histogram::BucketLowerEdge(int index) {
 }
 
 void Histogram::Add(double value) {
+  // Drop non-finite measurements instead of folding them into the exact
+  // moments: one NaN would otherwise poison min/max/sum/sum-of-squares
+  // forever, and +-inf would saturate them. The drop is still observable
+  // via DroppedCount() so callers can alert on a producer emitting garbage.
+  if (!std::isfinite(value)) {
+    ++dropped_count_;
+    return;
+  }
   ++counts_[BucketIndexOf(value)];
   if (total_count_ == 0) {
     min_ = value;
@@ -58,8 +73,13 @@ double Histogram::ApproximateQuantile(double q) const {
     const double next = cumulative + static_cast<double>(counts_[bucket]);
     if (next >= target && counts_[bucket] > 0) {
       const double lo = BucketLowerEdge(bucket);
+      // Interpolate only up to the largest observed sample: the bucket's
+      // nominal upper edge can sit far above max_ (e.g. samples clustered
+      // just past a power of two), and a quantile must never exceed Max().
       const double hi =
-          (bucket + 1 < kBuckets) ? BucketLowerEdge(bucket + 1) : max_;
+          std::min((bucket + 1 < kBuckets) ? BucketLowerEdge(bucket + 1)
+                                           : max_,
+                   max_);
       const double within =
           (target - cumulative) / static_cast<double>(counts_[bucket]);
       return lo + within * (std::max(hi, lo) - lo);
@@ -75,6 +95,9 @@ void Histogram::Print(std::ostream& os) const {
   for (int bucket = 0; bucket < kBuckets; ++bucket) {
     if (counts_[bucket] == 0) continue;
     const double lo = BucketLowerEdge(bucket);
+    // Print shows the nominal bucket bounds (unlike ApproximateQuantile,
+    // which clamps to the observed max): labels identify the bucket, not
+    // the samples in it.
     const double hi =
         (bucket + 1 < kBuckets) ? BucketLowerEdge(bucket + 1) : max_;
     os << "  [" << lo << ", " << hi << "): " << counts_[bucket] << "\n";

@@ -28,11 +28,16 @@ class Histogram {
   /// Lower edge of bucket `index`: 0, 1, 2, 4, ..., 2^(index-1).
   static double BucketLowerEdge(int index);
 
-  /// Records one measurement.
+  /// Records one measurement. Non-finite values (NaN, +-inf) are dropped —
+  /// they would poison the exact min/max/sum moments — and counted in
+  /// DroppedCount() instead.
   void Add(double value);
 
   /// Total measurements recorded.
   uint64_t Count() const { return total_count_; }
+
+  /// Non-finite measurements rejected by Add.
+  uint64_t DroppedCount() const { return dropped_count_; }
 
   /// Sum and mean of the recorded measurements (exact, not bucketed).
   double Sum() const { return sum_; }
@@ -63,6 +68,7 @@ class Histogram {
  private:
   std::vector<uint64_t> counts_;
   uint64_t total_count_ = 0;
+  uint64_t dropped_count_ = 0;
   double sum_ = 0.0;
   double sum_squares_ = 0.0;
   double min_ = 0.0;

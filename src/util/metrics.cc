@@ -112,6 +112,9 @@ void ShardedHistogram::Record(double value) {
 #ifdef SKIMJOIN_DISABLE_METRICS
   (void)value;
 #else
+  // Mirror Histogram::Add: a single NaN would wedge the bit-cast sum CAS
+  // below into a poisoned value, and +-inf would saturate min/max forever.
+  if (!std::isfinite(value)) return;
   Shard& shard = LocalShard();
   shard.counts[Histogram::BucketIndexOf(value)].fetch_add(
       1, std::memory_order_relaxed);

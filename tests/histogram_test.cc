@@ -1,6 +1,7 @@
 #include "util/histogram.h"
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "gtest/gtest.h"
@@ -99,11 +100,13 @@ TEST(HistogramTest, SingleSampleQuantilesStayInItsBucket) {
   Histogram h;
   h.Add(42.0);  // log-bucketed: lands in [32, 64)
   EXPECT_DOUBLE_EQ(h.ApproximateQuantile(0.0), 32.0);
-  EXPECT_DOUBLE_EQ(h.ApproximateQuantile(1.0), 64.0);
+  // Interpolation is clamped to the observed max, not the nominal bucket
+  // upper edge (64): a quantile must never exceed Max().
+  EXPECT_DOUBLE_EQ(h.ApproximateQuantile(1.0), 42.0);
   for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
     const double value = h.ApproximateQuantile(q);
     EXPECT_GE(value, 32.0) << "q=" << q;
-    EXPECT_LE(value, 64.0) << "q=" << q;
+    EXPECT_LE(value, 42.0) << "q=" << q;
   }
 }
 
@@ -111,12 +114,12 @@ TEST(HistogramTest, AllEqualSamplesCollapseToOneBucket) {
   Histogram h;
   for (int i = 0; i < 100; ++i) h.Add(5.0);  // bucket [4, 8)
   EXPECT_DOUBLE_EQ(h.ApproximateQuantile(0.0), 4.0);
-  EXPECT_DOUBLE_EQ(h.ApproximateQuantile(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(h.ApproximateQuantile(1.0), 5.0);  // clamped to max
   double previous = 0.0;
   for (double q : {0.0, 0.2, 0.5, 0.8, 1.0}) {
     const double value = h.ApproximateQuantile(q);
     EXPECT_GE(value, 4.0) << "q=" << q;
-    EXPECT_LE(value, 8.0) << "q=" << q;
+    EXPECT_LE(value, 5.0) << "q=" << q;
     EXPECT_GE(value, previous) << "q=" << q;
     previous = value;
   }
@@ -126,10 +129,58 @@ TEST(HistogramTest, QuantileExtremesBracketTheData) {
   Histogram h;
   for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
   // q=0 resolves to the lower edge of the first non-empty bucket (<= min);
-  // q=1 to the upper edge of the last (>= max, within a factor of 2).
+  // q=1 is clamped to the observed max exactly.
   EXPECT_LE(h.ApproximateQuantile(0.0), 1.0);
-  EXPECT_GE(h.ApproximateQuantile(1.0), 1000.0);
-  EXPECT_LE(h.ApproximateQuantile(1.0), 2000.0);
+  EXPECT_DOUBLE_EQ(h.ApproximateQuantile(1.0), 1000.0);
+}
+
+// Regression: samples clustered just above a power-of-two edge. Before the
+// clamp, every quantile interpolated across the bucket's full nominal span
+// [1024, 2048) and q=1.0 reported 2048 — nearly 2x above any sample.
+TEST(HistogramTest, QuantilesClampToMaxJustAbovePowerOfTwoEdge) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Add(1025.0);  // bucket [1024, 2048)
+  EXPECT_DOUBLE_EQ(h.ApproximateQuantile(1.0), 1025.0);
+  for (double q : {0.01, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const double value = h.ApproximateQuantile(q);
+    EXPECT_GE(value, 1024.0) << "q=" << q;
+    EXPECT_LE(value, h.Max()) << "q=" << q;
+  }
+}
+
+// Regression: NaN reached std::log2 + an int cast (UB) and poisoned the
+// exact moments. Non-finite samples are now dropped and counted.
+TEST(HistogramTest, NonFiniteSamplesAreDroppedNotRecorded) {
+  Histogram h;
+  h.Add(2.0);
+  h.Add(8.0);
+  h.Add(std::nan(""));
+  h.Add(std::numeric_limits<double>::infinity());
+  h.Add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.DroppedCount(), 3u);
+  EXPECT_DOUBLE_EQ(h.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 8.0);
+  EXPECT_DOUBLE_EQ(h.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 5.0);
+  EXPECT_NEAR(h.StdDev(), 3.0, 1e-12);
+  for (double q : {0.0, 0.5, 1.0}) {
+    const double value = h.ApproximateQuantile(q);
+    EXPECT_TRUE(std::isfinite(value)) << "q=" << q;
+    EXPECT_LE(value, 8.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, NanFirstSampleDoesNotPoisonLaterStats) {
+  Histogram h;
+  h.Add(std::nan(""));  // before any finite sample
+  h.Add(4.0);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.DroppedCount(), 1u);
+  EXPECT_DOUBLE_EQ(h.Min(), 4.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(h.StdDev(), 0.0);
+  EXPECT_FALSE(std::isnan(h.ApproximateQuantile(0.5)));
 }
 
 TEST(HistogramDeathTest, QuantileValidatesQ) {

@@ -198,6 +198,55 @@ TEST(ParallelIngestorTest, FoldsReplicaDropCountsIntoStats) {
   EXPECT_EQ(master.dropped_updates(), 0u);  // drops stayed in the replicas
 }
 
+/// Minimal linear synopsis whose Reset deliberately KEEPS its drop counter,
+/// modeling a synopsis that treats drops as a lifetime tally (or a prototype
+/// copied from a non-reset master). Its replicas then report drops the
+/// ingestor never counted as absorbed.
+class StickyDropSynopsis {
+ public:
+  void Update(const StreamElement& element) {
+    if (element.value >= 16) {
+      ++dropped_;
+    } else {
+      total_ += element.weight;
+    }
+  }
+  void UpdateBatch(std::span<const StreamElement> elements) {
+    for (const StreamElement& element : elements) Update(element);
+  }
+  void Merge(const StickyDropSynopsis& other) { total_ += other.total_; }
+  void Reset() { total_ = 0; }  // dropped_ intentionally survives
+  uint64_t dropped_updates() const { return dropped_; }
+  int64_t total() const { return total_; }
+
+ private:
+  int64_t total_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+// Regression: replica drop counts larger than the ingestor's own absorbed
+// tally used to underflow stats_.elements_absorbed (unsigned) to ~2^64.
+// The subtraction must saturate at zero instead.
+TEST(ParallelIngestorTest, FlushSaturatesAbsorbedWhenReplicaDropsExceedIt) {
+  StickyDropSynopsis prototype;
+  // Pre-existing drops on the prototype survive Create's replica Reset, so
+  // the first flush sees 2 shards x 3 drops against 0 absorbed elements.
+  const std::vector<StreamElement> out_of_range = {{99, 1}, {99, 1}, {99, 1}};
+  prototype.UpdateBatch(out_of_range);
+  ASSERT_EQ(prototype.dropped_updates(), 3u);
+
+  auto ingestor =
+      ingest::ParallelIngestor<StickyDropSynopsis>::Create(prototype, 2);
+  ASSERT_TRUE(ingestor.ok());
+  StickyDropSynopsis master;
+  ingestor->FlushInto(&master);
+
+  const ingest::IngestStats& stats = ingestor->stats();
+  EXPECT_EQ(stats.elements_absorbed, 0u);  // saturated, not ~2^64
+  EXPECT_EQ(stats.elements_dropped, 6u);
+  EXPECT_EQ(master.total(), 0);
+}
+
 TEST(EngineBatchTest, UpdateBatchMatchesScalarUpdates) {
   const uint64_t kDomain = 1u << 10;
   auto elements = MixedStream(20000, kDomain, 31);

@@ -23,8 +23,17 @@ given; names matching no pattern use --threshold. This lets one gate hold
 hot-path update benchmarks to a tight budget while giving noisier
 estimate-latency rows more slack.
 
-Exit status: 0 when every matched benchmark is within its threshold, 1 when
-any regresses, 2 for malformed input or no overlapping benchmarks.
+Absolute floors: each --floor takes 'GLOB=MIN_ITEMS_PER_SECOND' and fails
+any candidate benchmark matching the glob whose items_per_second falls
+below the minimum, regardless of what any baseline says. Floors catch the
+failure mode relative trajectories cannot: a slow drift ratified into the
+baseline run by run. They apply even on a self-seeding first run (a fresh
+branch must still clear the absolute bar), and a floor glob that matches no
+candidate row is an error — a typo must not silently waive the gate.
+
+Exit status: 0 when every matched benchmark is within its threshold and
+above its floor, 1 when any regresses or undershoots, 2 for malformed
+input or no overlapping benchmarks.
 
 When a SINGLE baseline is given and its file does not exist, the run is
 treated as the first of its kind: the candidate is recorded as the new
@@ -101,6 +110,31 @@ def threshold_for(name, rules, default):
     return default
 
 
+def check_floors(candidate, floors):
+    """Returns names of candidate benchmarks below their --floor minimum."""
+    failures = []
+    for glob, minimum in floors:
+        matched = False
+        for name, row in sorted(candidate.items()):
+            if not fnmatch.fnmatchcase(name, glob):
+                continue
+            matched = True
+            qps = row.get("items_per_second")
+            if qps is None:
+                sys.exit(f"error: --floor {glob!r} matched {name}, which "
+                         f"reports no items_per_second")
+            below = qps < minimum
+            marker = "BELOW FLOOR" if below else "ok"
+            print(f"{marker:>11}  {name}: {qps:,.0f} items/s "
+                  f"(floor {minimum:,.0f})")
+            if below:
+                failures.append(name)
+        if not matched:
+            sys.exit(f"error: --floor {glob!r} matched no candidate "
+                     f"benchmark")
+    return failures
+
+
 def compare(name, baseline, candidate, threshold):
     """Returns (ratio, metric, regressed) for one matched benchmark pair.
 
@@ -137,26 +171,38 @@ def main():
                         metavar="GLOB=THRESH",
                         help="per-benchmark threshold override; repeatable; "
                              "first matching glob wins")
+    parser.add_argument("--floor", action="append", default=[],
+                        metavar="GLOB=MIN_QPS",
+                        help="absolute items_per_second minimum for matching "
+                             "candidate benchmarks; repeatable; independent "
+                             "of any baseline")
     args = parser.parse_args()
 
     if len(args.runs) < 2:
         sys.exit("error: need at least one baseline and one candidate run")
     baseline_paths, candidate_path = args.runs[:-1], args.runs[-1]
     rules = parse_per_benchmark(args.per_benchmark)
+    floors = parse_per_benchmark(args.floor)
+
+    candidate = load_results(candidate_path)
+    floor_failures = check_floors(candidate, floors)
 
     if len(baseline_paths) == 1 and not os.path.exists(baseline_paths[0]):
-        # First run on this branch/machine: nothing to compare against yet.
-        load_results(candidate_path)  # still validate the candidate's shape
+        # First run on this branch/machine: nothing to compare against yet
+        # (but the absolute floors above still apply).
         os.makedirs(os.path.dirname(baseline_paths[0]) or ".", exist_ok=True)
         shutil.copyfile(candidate_path, baseline_paths[0])
         print(f"no baseline yet — recording {candidate_path} "
               f"as {baseline_paths[0]}")
+        if floor_failures:
+            print(f"\n{len(floor_failures)} benchmark(s) below their "
+                  f"floor: {', '.join(floor_failures)}")
+            return 1
         return 0
 
     baseline = {}
     for path in baseline_paths:
         baseline.update(load_results(path))
-    candidate = load_results(candidate_path)
     common = sorted(set(baseline) & set(candidate))
     if not common:
         sys.exit("error: no benchmarks in common between the runs")
@@ -176,9 +222,13 @@ def main():
     for name in skipped:
         print(f"  skipped  {name}: only in one run")
 
-    if regressions:
-        print(f"\n{len(regressions)} benchmark(s) regressed beyond their "
-              f"budget: {', '.join(regressions)}")
+    if regressions or floor_failures:
+        if regressions:
+            print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+                  f"their budget: {', '.join(regressions)}")
+        if floor_failures:
+            print(f"\n{len(floor_failures)} benchmark(s) below their "
+                  f"floor: {', '.join(floor_failures)}")
         return 1
     print(f"\nall {len(common)} matched benchmarks within budget")
     return 0
