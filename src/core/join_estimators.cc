@@ -66,6 +66,11 @@ Status JoinEstimatorPair::RestoreFrom(std::istream&) {
                             "' does not support serialization");
 }
 
+Status JoinEstimatorPair::MergeFrom(const JoinEstimatorPair&) {
+  return UnimplementedError(std::string("join estimator '") + Name() +
+                            "' does not support merging");
+}
+
 namespace {
 
 // Shared framing for the serializable pair classes: one tagged header line
@@ -87,6 +92,12 @@ Status ReadPairHeader(std::istream& in, const char* kind) {
                                 recorded_kind + "', expected '" + kind + "'");
   }
   return OkStatus();
+}
+
+Status MergeMismatch(const char* kind) {
+  return InvalidArgumentError(
+      std::string("cannot merge into join estimator '") + kind +
+      "': peer is a different method or an incompatible shape/seed");
 }
 
 template <typename Sketch>
@@ -147,6 +158,16 @@ class AgmsPair final : public JoinEstimatorPair {
   Status RestoreFrom(std::istream& in) override {
     return RestorePair(in, Name(), &f_, &g_);
   }
+  Status MergeFrom(const JoinEstimatorPair& other) override {
+    const auto* peer = dynamic_cast<const AgmsPair*>(&other);
+    if (peer == nullptr || !f_.CompatibleWith(peer->f_) ||
+        !g_.CompatibleWith(peer->g_)) {
+      return MergeMismatch(Name());
+    }
+    f_.Merge(peer->f_);
+    g_.Merge(peer->g_);
+    return OkStatus();
+  }
 
  private:
   sketch::AgmsSketch f_;
@@ -185,6 +206,16 @@ class HashSketchPair final : public JoinEstimatorPair {
   Status RestoreFrom(std::istream& in) override {
     return RestorePair(in, Name(), &f_, &g_);
   }
+  Status MergeFrom(const JoinEstimatorPair& other) override {
+    const auto* peer = dynamic_cast<const HashSketchPair*>(&other);
+    if (peer == nullptr || !f_.CompatibleWith(peer->f_) ||
+        !g_.CompatibleWith(peer->g_)) {
+      return MergeMismatch(Name());
+    }
+    f_.Merge(peer->f_);
+    g_.Merge(peer->g_);
+    return OkStatus();
+  }
 
  private:
   sketch::HashSketch f_;
@@ -220,6 +251,16 @@ class SkimmedPair final : public JoinEstimatorPair {
   }
   Status RestoreFrom(std::istream& in) override {
     return RestorePair(in, Name(), &f_, &g_);
+  }
+  Status MergeFrom(const JoinEstimatorPair& other) override {
+    const auto* peer = dynamic_cast<const SkimmedPair*>(&other);
+    if (peer == nullptr || !f_.CompatibleWith(peer->f_) ||
+        !g_.CompatibleWith(peer->g_)) {
+      return MergeMismatch(Name());
+    }
+    f_.Merge(peer->f_);
+    g_.Merge(peer->g_);
+    return OkStatus();
   }
 
  private:
@@ -258,6 +299,16 @@ class CountMinPair final : public JoinEstimatorPair {
   }
   Status RestoreFrom(std::istream& in) override {
     return RestorePair(in, Name(), &f_, &g_);
+  }
+  Status MergeFrom(const JoinEstimatorPair& other) override {
+    const auto* peer = dynamic_cast<const CountMinPair*>(&other);
+    if (peer == nullptr || !f_.CompatibleWith(peer->f_) ||
+        !g_.CompatibleWith(peer->g_)) {
+      return MergeMismatch(Name());
+    }
+    f_.Merge(peer->f_);
+    g_.Merge(peer->g_);
+    return OkStatus();
   }
 
  private:

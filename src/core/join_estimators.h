@@ -133,6 +133,14 @@ class JoinEstimatorPair {
   /// when the record's shape or seed disagrees with this pair.
   virtual Status RestoreFrom(std::istream& in);
 
+  /// Adds another pair's synopses counter-for-counter (sketch linearity):
+  /// merging shard-local pairs is bit-identical to having ingested all the
+  /// shards' arrivals into one pair. INVALID_ARGUMENT when `other` is a
+  /// different method or an incompatible shape/seed; UNIMPLEMENTED for the
+  /// non-linear methods (sampling, partitioned AGMS). The distributed
+  /// coordinator's merge step is built on this.
+  virtual Status MergeFrom(const JoinEstimatorPair& other);
+
  protected:
   JoinEstimatorPair() = default;
 };

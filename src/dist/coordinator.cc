@@ -1,0 +1,532 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/skimmed_sketch.h"
+#include "util/event_log.h"
+#include "util/logging.h"
+
+namespace skimjoin {
+namespace dist {
+
+namespace {
+
+/// Builds a join-kind query's wire registration from its recorded spec.
+JoinQueryReg RegFromJoinSpec(const std::string& wire_name,
+                             const query::JoinQuerySpec& spec, uint64_t seed) {
+  JoinQueryReg reg;
+  reg.query_name = wire_name;
+  reg.left_stream = spec.left_stream;
+  reg.right_stream = spec.right_stream;
+  reg.self_join = false;
+  reg.kind = static_cast<uint32_t>(spec.estimator.kind);
+  reg.space_counters = spec.estimator.space_counters;
+  reg.num_tables = spec.estimator.num_tables;
+  reg.agms_num_medians = spec.estimator.agms_num_medians;
+  reg.threshold_scale = spec.estimator.threshold_scale;
+  reg.recurse_slack = spec.estimator.recurse_slack;
+  reg.skim_margin = spec.estimator.skim_margin;
+  reg.skimmed_use_dyadic = spec.estimator.skimmed_use_dyadic;
+  reg.seed = seed;
+  return reg;
+}
+
+}  // namespace
+
+const char* Coordinator::HealthName(Health health) {
+  switch (health) {
+    case Health::kHealthy:
+      return "healthy";
+    case Health::kRecovering:
+      return "recovering";
+    case Health::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+Coordinator::Coordinator(std::vector<ShardAddress> shards,
+                         CoordinatorOptions options)
+    : options_(options), jitter_rng_(options.jitter_seed) {
+  SKIMJOIN_CHECK(!shards.empty()) << "coordinator needs at least one shard";
+  if (options_.rpc_attempts < 1) options_.rpc_attempts = 1;
+  shards_.reserve(shards.size());
+  for (ShardAddress& address : shards) {
+    auto shard = std::make_unique<ShardState>();
+    const std::string prefix = "dist." + address.name + ".";
+    shard->rpc_calls = metrics_.GetCounter(prefix + "rpc_calls");
+    shard->rpc_retries = metrics_.GetCounter(prefix + "rpc_retries");
+    shard->rpc_failures = metrics_.GetCounter(prefix + "rpc_failures");
+    shard->delta_bytes = metrics_.GetCounter(prefix + "delta_bytes");
+    shard->health_gauge = metrics_.GetGauge(prefix + "health");
+    shard->epoch_gauge = metrics_.GetGauge(prefix + "acked_epoch");
+    shard->address = std::move(address);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void Coordinator::PublishHealth(ShardState& shard) {
+  shard.health_gauge->Set(static_cast<double>(static_cast<int>(shard.health)));
+  shard.epoch_gauge->Set(static_cast<double>(shard.last_acked_epoch));
+}
+
+void Coordinator::MarkFailure(ShardState& shard, const Status& status) {
+  shard.channel.Close();
+  shard.rpc_failures->Increment();
+  ++shard.consecutive_failures;
+  if (shard.health != Health::kDown &&
+      shard.consecutive_failures >= options_.down_after_failures) {
+    shard.health = Health::kDown;
+    EventLog::Global().Emit(LogLevel::kWarn, "worker_down",
+                            {{"shard", shard.address.name},
+                             {"error", status.ToString()}});
+  }
+  PublishHealth(shard);
+}
+
+void Coordinator::MarkSuccess(ShardState& shard) {
+  shard.consecutive_failures = 0;
+  if (shard.health == Health::kDown) shard.health = Health::kRecovering;
+  PublishHealth(shard);
+}
+
+Status Coordinator::EnsureConnected(ShardState& shard) {
+  if (shard.channel.valid()) return OkStatus();
+  const Deadline deadline = DeadlineAfter(options_.rpc_timeout);
+  SKIMJOIN_ASSIGN_OR_RETURN(shard.channel,
+                            ConnectUnix(shard.address.socket_path, deadline));
+  SKIMJOIN_ASSIGN_OR_RETURN(
+      Frame hello,
+      Call(shard.channel, MessageType::kHello, "", deadline));
+  if (hello.type != static_cast<uint32_t>(MessageType::kHelloReply)) {
+    return InvalidArgumentError("unexpected hello reply type " +
+                                std::to_string(hello.type));
+  }
+  SKIMJOIN_ASSIGN_OR_RETURN(HelloReply reply, DecodeHelloReply(hello.payload));
+  if (reply.incarnation != shard.incarnation) {
+    // First contact, or the worker restarted from its checkpoint. Replay
+    // every recorded registration (idempotent on the worker) so the shard
+    // can serve queries again; its data lag shows up as epochs_behind
+    // until the lost updates are re-driven.
+    for (const RegistrationRecord& record : registrations_) {
+      SKIMJOIN_ASSIGN_OR_RETURN(
+          Frame ack, Call(shard.channel, record.type, record.payload,
+                          DeadlineAfter(options_.rpc_timeout)));
+      if (ack.type != static_cast<uint32_t>(MessageType::kRegistered)) {
+        return InternalError("registration replay got reply type " +
+                             std::to_string(ack.type));
+      }
+    }
+    if (shard.incarnation != 0) {
+      EventLog::Global().Emit(
+          LogLevel::kInfo, "worker_readopted",
+          {{"shard", shard.address.name},
+           {"incarnation", std::to_string(reply.incarnation)},
+           {"epoch", std::to_string(reply.epoch)}});
+      if (shard.health == Health::kDown) shard.health = Health::kRecovering;
+    }
+    shard.incarnation = reply.incarnation;
+  }
+  PublishHealth(shard);
+  return OkStatus();
+}
+
+StatusOr<Frame> Coordinator::CallOnce(ShardState& shard, MessageType type,
+                                      std::string_view payload) {
+  SKIMJOIN_RETURN_IF_ERROR(EnsureConnected(shard));
+  shard.rpc_calls->Increment();
+  return Call(shard.channel, type, payload,
+              DeadlineAfter(options_.rpc_timeout));
+}
+
+StatusOr<Frame> Coordinator::Rpc(ShardState& shard, MessageType type,
+                                 std::string_view payload) {
+  Status last = OkStatus();
+  for (int attempt = 1; attempt <= options_.rpc_attempts; ++attempt) {
+    StatusOr<Frame> reply = CallOnce(shard, type, payload);
+    if (reply.ok()) {
+      MarkSuccess(shard);
+      return reply;
+    }
+    last = reply.status();
+    // A remote application error ("remote: ...") means the RPC itself
+    // worked — the worker answered with a Status. Don't burn retries or
+    // damn the shard's health for it.
+    if (last.message().rfind("remote: ", 0) == 0) {
+      MarkSuccess(shard);
+      return last;
+    }
+    MarkFailure(shard, last);
+    if (attempt == options_.rpc_attempts) break;
+    const int64_t base_ms = options_.backoff_base.count();
+    const int64_t capped = std::min<int64_t>(
+        options_.backoff_cap.count(),
+        base_ms << std::min(attempt - 1, 20));
+    const auto backoff = std::chrono::milliseconds(static_cast<int64_t>(
+        static_cast<double>(capped) * (0.5 + 0.5 * jitter_rng_.NextDouble())));
+    shard.rpc_retries->Increment();
+    EventLog::Global().Emit(LogLevel::kInfo, "rpc_retry",
+                            {{"shard", shard.address.name},
+                             {"attempt", std::to_string(attempt)},
+                             {"backoff_ms", std::to_string(backoff.count())},
+                             {"error", last.ToString()}});
+    std::this_thread::sleep_for(backoff);
+  }
+  return last;
+}
+
+Status Coordinator::Broadcast(MessageType type, const std::string& payload) {
+  registrations_.push_back({type, payload});
+  Status first_failure = OkStatus();
+  for (const auto& shard : shards_) {
+    StatusOr<Frame> reply = Rpc(*shard, type, payload);
+    if (!reply.ok() && first_failure.ok()) first_failure = reply.status();
+  }
+  // A shard that missed the broadcast gets it replayed at its next
+  // handshake (the record above is what makes that possible), but the
+  // caller still learns registration did not reach the whole fleet.
+  return first_failure;
+}
+
+Status Coordinator::RegisterStream(const query::StreamSpec& spec) {
+  SKIMJOIN_RETURN_IF_ERROR(ValidateWireName(spec.name, "stream name"));
+  if (stream_domains_.count(spec.name) != 0) {
+    return AlreadyExistsError("stream '" + spec.name + "' already registered");
+  }
+  StreamReg reg;
+  reg.name = spec.name;
+  reg.domain_size = spec.domain_size;
+  SKIMJOIN_RETURN_IF_ERROR(
+      Broadcast(MessageType::kRegisterStream, EncodeStreamReg(reg)));
+  stream_domains_[spec.name] = spec.domain_size;
+  return OkStatus();
+}
+
+StatusOr<query::QueryId> Coordinator::AddJoinQuery(
+    const query::JoinQuerySpec& spec, uint64_t seed) {
+  if (spec.left_predicate.has_value() || spec.right_predicate.has_value()) {
+    return InvalidArgumentError(
+        "predicated join queries are not distributable");
+  }
+  if (spec.left_input != query::AggregateInput::kCount ||
+      spec.right_input != query::AggregateInput::kCount) {
+    return InvalidArgumentError(
+        "SUM-aggregate join queries are not distributable (wire "
+        "registrations carry COUNT inputs only)");
+  }
+  const auto left = stream_domains_.find(spec.left_stream);
+  const auto right = stream_domains_.find(spec.right_stream);
+  if (left == stream_domains_.end() || right == stream_domains_.end()) {
+    return NotFoundError("join query references an unregistered stream");
+  }
+  QueryInfo info;
+  info.kind = QueryInfo::Kind::kJoin;
+  info.join_spec = spec;
+  // The merge accumulator must be built from the SAME effective spec the
+  // workers use; the engine fills domain_size from the registered streams,
+  // so the coordinator does the same from its recorded registrations.
+  info.join_spec.estimator.domain_size =
+      std::max(left->second, right->second);
+  info.seed = seed;
+  const query::QueryId id = next_query_id_++;
+  info.wire_name = "q" + std::to_string(id);
+  SKIMJOIN_RETURN_IF_ERROR(Broadcast(
+      MessageType::kRegisterJoinQuery,
+      EncodeJoinQueryReg(
+          RegFromJoinSpec(info.wire_name, info.join_spec, seed))));
+  queries_[id] = std::move(info);
+  return id;
+}
+
+StatusOr<query::QueryId> Coordinator::AddSelfJoinQuery(
+    const query::SelfJoinQuerySpec& spec, uint64_t seed) {
+  if (spec.predicate.has_value()) {
+    return InvalidArgumentError(
+        "predicated self-join queries are not distributable");
+  }
+  if (spec.input != query::AggregateInput::kCount) {
+    return InvalidArgumentError(
+        "SUM-aggregate self-join queries are not distributable (wire "
+        "registrations carry COUNT inputs only)");
+  }
+  const auto stream = stream_domains_.find(spec.stream);
+  if (stream == stream_domains_.end()) {
+    return NotFoundError("self-join query references an unregistered stream");
+  }
+  QueryInfo info;
+  info.kind = QueryInfo::Kind::kSelfJoin;
+  info.self_spec = spec;
+  info.self_spec.estimator.domain_size = stream->second;
+  info.seed = seed;
+  const query::QueryId id = next_query_id_++;
+  info.wire_name = "q" + std::to_string(id);
+  query::JoinQuerySpec as_join;
+  as_join.left_stream = spec.stream;
+  as_join.right_stream = spec.stream;
+  as_join.estimator = info.self_spec.estimator;
+  JoinQueryReg reg = RegFromJoinSpec(info.wire_name, as_join, seed);
+  reg.self_join = true;
+  SKIMJOIN_RETURN_IF_ERROR(
+      Broadcast(MessageType::kRegisterJoinQuery, EncodeJoinQueryReg(reg)));
+  queries_[id] = std::move(info);
+  return id;
+}
+
+StatusOr<query::QueryId> Coordinator::AddFrequencyQuery(
+    const query::FrequencyQuerySpec& spec, uint64_t seed) {
+  if (spec.predicate.has_value()) {
+    return InvalidArgumentError(
+        "predicated frequency queries are not distributable");
+  }
+  if (stream_domains_.count(spec.stream) == 0) {
+    return NotFoundError("frequency query references an unregistered stream");
+  }
+  QueryInfo info;
+  info.kind = QueryInfo::Kind::kFrequency;
+  info.freq_spec = spec;
+  info.seed = seed;
+  const query::QueryId id = next_query_id_++;
+  info.wire_name = "q" + std::to_string(id);
+  FrequencyQueryReg reg;
+  reg.query_name = info.wire_name;
+  reg.stream = spec.stream;
+  reg.space_counters = spec.space_counters;
+  reg.num_tables = spec.num_tables;
+  reg.use_dyadic = spec.use_dyadic;
+  reg.seed = seed;
+  SKIMJOIN_RETURN_IF_ERROR(Broadcast(MessageType::kRegisterFrequencyQuery,
+                                     EncodeFrequencyQueryReg(reg)));
+  queries_[id] = std::move(info);
+  return id;
+}
+
+Status Coordinator::Update(const std::string& stream,
+                           const query::StreamUpdate& update) {
+  return UpdateBatch(stream,
+                     std::span<const query::StreamUpdate>(&update, 1));
+}
+
+Status Coordinator::UpdateBatch(const std::string& stream,
+                                std::span<const query::StreamUpdate> updates) {
+  if (stream_domains_.count(stream) == 0) {
+    return NotFoundError("unknown stream '" + stream + "'");
+  }
+  // Route each element to value % num_shards, preserving arrival order
+  // within a shard. Counter merges commute, so any value-deterministic
+  // routing keeps the merged synopsis bit-identical to single-engine
+  // ingestion of the same batch.
+  std::vector<std::vector<query::StreamUpdate>> routed(shards_.size());
+  for (const query::StreamUpdate& update : updates) {
+    routed[ShardIndexFor(update.value)].push_back(update);
+  }
+  Status first_failure = OkStatus();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (routed[i].empty()) continue;
+    UpdateBatchMsg msg;
+    msg.stream = stream;
+    msg.updates = std::move(routed[i]);
+    StatusOr<Frame> reply =
+        Rpc(*shards_[i], MessageType::kUpdateBatch, EncodeUpdateBatch(msg));
+    if (!reply.ok()) {
+      if (first_failure.ok()) first_failure = reply.status();
+      continue;
+    }
+    StatusOr<HelloReply> ack = DecodeHelloReply(reply->payload);
+    if (ack.ok()) {
+      shards_[i]->last_acked_epoch = ack->epoch;
+      PublishHealth(*shards_[i]);
+    }
+  }
+  return first_failure;
+}
+
+StatusOr<Coordinator::QueryInfo*> Coordinator::FindQuery(
+    query::QueryId query) {
+  const auto it = queries_.find(query);
+  if (it == queries_.end()) return NotFoundError("unknown query id");
+  return &it->second;
+}
+
+std::vector<ShardContribution> Coordinator::PullDeltas(query::QueryId query) {
+  const QueryInfo& info = queries_.at(query);
+  ++pull_round_;
+  std::vector<ShardContribution> contributions;
+  contributions.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    StatusOr<Frame> reply =
+        Rpc(*shard, MessageType::kPullDelta, info.wire_name);
+    if (reply.ok() &&
+        reply->type == static_cast<uint32_t>(MessageType::kDelta)) {
+      StatusOr<DeltaMsg> delta = DecodeDelta(reply->payload);
+      if (delta.ok() && delta->query_name == info.wire_name) {
+        CachedDelta& cached = shard->deltas[query];
+        cached.synopsis = std::move(delta->synopsis);
+        cached.incarnation = delta->incarnation;
+        cached.epoch = delta->epoch;
+        cached.round = pull_round_;
+        cached.valid = true;
+        shard->delta_bytes->Increment(cached.synopsis.size());
+        if (shard->health != Health::kHealthy) {
+          shard->health = Health::kHealthy;
+          shard->consecutive_failures = 0;
+          EventLog::Global().Emit(
+              LogLevel::kInfo, "worker_restored",
+              {{"shard", shard->address.name},
+               {"incarnation", std::to_string(cached.incarnation)},
+               {"epoch", std::to_string(cached.epoch)}});
+        }
+        PublishHealth(*shard);
+      }
+    }
+    ShardContribution contribution;
+    contribution.shard = shard->address.name;
+    contribution.health = HealthName(shard->health);
+    const auto it = shard->deltas.find(query);
+    if (it != shard->deltas.end() && it->second.valid) {
+      contribution.fresh = it->second.round == pull_round_;
+      contribution.epoch = it->second.epoch;
+      contribution.epochs_behind =
+          shard->last_acked_epoch > it->second.epoch
+              ? shard->last_acked_epoch - it->second.epoch
+              : 0;
+    } else {
+      // Never pulled anything from this shard: it contributes nothing at
+      // all to the merge.
+      contribution.fresh = false;
+      contribution.epoch = 0;
+      contribution.epochs_behind = shard->last_acked_epoch;
+    }
+    contributions.push_back(std::move(contribution));
+  }
+  return contributions;
+}
+
+StatusOr<std::unique_ptr<core::JoinEstimatorPair>> Coordinator::MergedJoinPair(
+    query::QueryId query, const QueryInfo& info) {
+  const core::EstimatorSpec& spec = info.kind == QueryInfo::Kind::kJoin
+                                        ? info.join_spec.estimator
+                                        : info.self_spec.estimator;
+  SKIMJOIN_ASSIGN_OR_RETURN(std::unique_ptr<core::JoinEstimatorPair> merged,
+                            core::CreateJoinEstimatorPair(spec, info.seed));
+  for (const auto& shard : shards_) {
+    const auto it = shard->deltas.find(query);
+    if (it == shard->deltas.end() || !it->second.valid) continue;
+    SKIMJOIN_ASSIGN_OR_RETURN(std::unique_ptr<core::JoinEstimatorPair> piece,
+                              core::CreateJoinEstimatorPair(spec, info.seed));
+    std::istringstream in(it->second.synopsis);
+    SKIMJOIN_RETURN_IF_ERROR(piece->RestoreFrom(in));
+    SKIMJOIN_RETURN_IF_ERROR(merged->MergeFrom(*piece));
+  }
+  return merged;
+}
+
+StatusOr<double> Coordinator::AnswerJoin(query::QueryId query) {
+  SKIMJOIN_ASSIGN_OR_RETURN(QueryInfo * info, FindQuery(query));
+  if (info->kind == QueryInfo::Kind::kFrequency) {
+    return InvalidArgumentError("query is a frequency query, not a join");
+  }
+  PullDeltas(query);
+  SKIMJOIN_ASSIGN_OR_RETURN(std::unique_ptr<core::JoinEstimatorPair> merged,
+                            MergedJoinPair(query, *info));
+  return merged->Estimate();
+}
+
+StatusOr<EstimateReport> Coordinator::AnswerJoinWithReport(
+    query::QueryId query) {
+  SKIMJOIN_ASSIGN_OR_RETURN(QueryInfo * info, FindQuery(query));
+  if (info->kind == QueryInfo::Kind::kFrequency) {
+    return InvalidArgumentError("query is a frequency query, not a join");
+  }
+  std::vector<ShardContribution> shards = PullDeltas(query);
+  SKIMJOIN_ASSIGN_OR_RETURN(std::unique_ptr<core::JoinEstimatorPair> merged,
+                            MergedJoinPair(query, *info));
+  SKIMJOIN_ASSIGN_OR_RETURN(EstimateReport report,
+                            merged->EstimateWithReport());
+  report.partial = false;
+  for (const ShardContribution& shard : shards) {
+    if (!shard.fresh || shard.epochs_behind > 0) report.partial = true;
+  }
+  report.shards = std::move(shards);
+  return report;
+}
+
+StatusOr<int64_t> Coordinator::AnswerPointFrequency(query::QueryId query,
+                                                    uint64_t value) {
+  SKIMJOIN_ASSIGN_OR_RETURN(QueryInfo * info, FindQuery(query));
+  if (info->kind != QueryInfo::Kind::kFrequency) {
+    return InvalidArgumentError("query is not a frequency query");
+  }
+  PullDeltas(query);
+  std::optional<core::SkimmedSketch> merged;
+  for (const auto& shard : shards_) {
+    const auto it = shard->deltas.find(query);
+    if (it == shard->deltas.end() || !it->second.valid) continue;
+    std::istringstream in(it->second.synopsis);
+    SKIMJOIN_ASSIGN_OR_RETURN(core::SkimmedSketch piece,
+                              core::SkimmedSketch::DeserializeFrom(in));
+    if (!merged.has_value()) {
+      merged.emplace(std::move(piece));
+    } else {
+      if (!merged->CompatibleWith(piece)) {
+        return InternalError(
+            "shard deltas disagree on frequency-sketch configuration");
+      }
+      merged->Merge(piece);
+    }
+  }
+  if (!merged.has_value()) {
+    return FailedPreconditionError(
+        "no shard delta available for this frequency query");
+  }
+  return merged->EstimatePointFrequency(value);
+}
+
+Status Coordinator::CheckpointShards() {
+  Status first_failure = OkStatus();
+  for (const auto& shard : shards_) {
+    StatusOr<Frame> reply = Rpc(*shard, MessageType::kCheckpoint, "");
+    if (!reply.ok()) {
+      if (first_failure.ok()) first_failure = reply.status();
+      continue;
+    }
+    StatusOr<HelloReply> ack = DecodeHelloReply(reply->payload);
+    if (ack.ok()) shard->last_acked_epoch = ack->epoch;
+  }
+  return first_failure;
+}
+
+Status Coordinator::ProbeHealth() {
+  for (const auto& shard : shards_) {
+    // Single attempt on purpose: a probe measures, it does not insist.
+    StatusOr<Frame> reply = CallOnce(*shard, MessageType::kPing, "");
+    if (reply.ok()) {
+      MarkSuccess(*shard);
+    } else {
+      MarkFailure(*shard, reply.status());
+    }
+  }
+  return OkStatus();
+}
+
+std::vector<query::DistShardStatus> Coordinator::ShardStatuses() {
+  std::vector<query::DistShardStatus> statuses;
+  statuses.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    query::DistShardStatus status;
+    status.shard = shard->address.name;
+    status.health = HealthName(shard->health);
+    status.incarnation = shard->incarnation;
+    status.last_acked_epoch = shard->last_acked_epoch;
+    status.rpc_retries = shard->rpc_retries->Value();
+    status.rpc_failures = shard->rpc_failures->Value();
+    statuses.push_back(std::move(status));
+  }
+  return statuses;
+}
+
+}  // namespace dist
+}  // namespace skimjoin

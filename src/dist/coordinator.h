@@ -1,0 +1,209 @@
+// The coordinator of the distributed skimjoin runtime: fans registrations
+// and shard-routed ingest out to workers, pulls per-query synopsis deltas
+// back, and answers by LINEARITY — every distributable synopsis is a
+// vector of counters, so summing shard synopses counter-for-counter yields
+// exactly the synopsis one engine would have built from the whole stream.
+// With every shard fresh, coordinator answers are bit-identical to that
+// single engine's (the integration test pins this).
+//
+// Robustness model (the headline of this subsystem):
+//   * Every RPC is bounded by a deadline and a retry budget with
+//     exponential backoff + jitter; a worker can hang, die, or corrupt a
+//     frame without ever wedging the coordinator.
+//   * Health per shard: healthy → down after `down_after_failures`
+//     consecutive failures (a `worker_down` warn event), down → recovering
+//     on the next successful handshake, recovering → healthy on the next
+//     successful delta pull (`worker_restored` event). Each retry emits an
+//     `rpc_retry` info event; per-shard `dist.<shard>.*` counters/gauges
+//     live in the coordinator's metrics registry.
+//   * Re-adoption: the hello handshake carries the worker's incarnation;
+//     a changed incarnation means "restarted from checkpoint", and the
+//     coordinator replays its recorded registrations (idempotent on the
+//     worker) before using the shard again.
+//   * No double-merge by construction: deltas are full synopsis state, and
+//     the coordinator keeps exactly one cached delta per (shard, query),
+//     replaced wholesale on every successful pull. A restarted worker's
+//     replayed updates appear inside its next full delta — there is no
+//     increment stream that could be applied twice.
+//   * Degraded answers: when a pull fails, the answer falls back to the
+//     shard's cached delta and the EstimateReport flags the answer partial,
+//     listing each shard's health, freshness, and epoch lag.
+
+#ifndef SKIMJOIN_DIST_COORDINATOR_H_
+#define SKIMJOIN_DIST_COORDINATOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/frame.h"
+#include "dist/protocol.h"
+#include "query/dist_backend.h"
+#include "util/metrics.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace skimjoin {
+namespace dist {
+
+/// One worker address.
+struct ShardAddress {
+  std::string name;
+  std::string socket_path;
+};
+
+struct CoordinatorOptions {
+  /// Per-RPC-attempt deadline.
+  std::chrono::milliseconds rpc_timeout{2000};
+  /// Attempts per RPC (first try + retries). >= 1.
+  int rpc_attempts = 3;
+  /// Backoff before retry k (1-based): min(cap, base << (k-1)), scaled by
+  /// a uniform jitter in [0.5, 1.0].
+  std::chrono::milliseconds backoff_base{20};
+  std::chrono::milliseconds backoff_cap{500};
+  /// Consecutive hard failures before a shard is marked down.
+  int down_after_failures = 2;
+  /// Seed for the jitter RNG (deterministic backoff schedules in tests).
+  uint64_t jitter_seed = 0x636f6f7264ULL;
+};
+
+class Coordinator : public query::DistBackend {
+ public:
+  /// Connections are lazy: construction never touches the network.
+  Coordinator(std::vector<ShardAddress> shards, CoordinatorOptions options);
+
+  // --- query::DistBackend -------------------------------------------------
+  Status RegisterStream(const query::StreamSpec& spec) override;
+  StatusOr<query::QueryId> AddJoinQuery(const query::JoinQuerySpec& spec,
+                                        uint64_t seed) override;
+  StatusOr<query::QueryId> AddSelfJoinQuery(
+      const query::SelfJoinQuerySpec& spec, uint64_t seed) override;
+  StatusOr<query::QueryId> AddFrequencyQuery(
+      const query::FrequencyQuerySpec& spec, uint64_t seed) override;
+  Status Update(const std::string& stream,
+                const query::StreamUpdate& update) override;
+  Status UpdateBatch(const std::string& stream,
+                     std::span<const query::StreamUpdate> updates) override;
+  StatusOr<double> AnswerJoin(query::QueryId query) override;
+  StatusOr<EstimateReport> AnswerJoinWithReport(query::QueryId query) override;
+  StatusOr<int64_t> AnswerPointFrequency(query::QueryId query,
+                                         uint64_t value) override;
+  Status CheckpointShards() override;
+  Status ProbeHealth() override;
+  std::vector<query::DistShardStatus> ShardStatuses() override;
+  uint64_t NumShards() const override { return shards_.size(); }
+  metrics::Registry* MetricsRegistry() override { return &metrics_; }
+
+  /// Which shard an element routes to: value % NumShards(). Exposed so
+  /// tests can aim updates at a chosen victim shard.
+  uint64_t ShardIndexFor(uint64_t value) const {
+    return value % shards_.size();
+  }
+
+  /// The coordinator's own metrics (`dist.<shard>.*`), Prometheus-
+  /// exportable like any registry.
+  metrics::Registry& metrics_registry() { return metrics_; }
+
+ private:
+  enum class Health { kHealthy, kRecovering, kDown };
+  static const char* HealthName(Health health);
+
+  /// A shard-local copy of one query's last pulled synopsis. Full state:
+  /// each successful pull REPLACES it (see file comment — this is the
+  /// no-double-merge invariant).
+  struct CachedDelta {
+    std::string synopsis;
+    uint64_t incarnation = 0;
+    uint64_t epoch = 0;
+    /// Pull round that produced it; == current round ⇒ fresh.
+    uint64_t round = 0;
+    bool valid = false;
+  };
+
+  struct ShardState {
+    ShardAddress address;
+    FrameChannel channel;
+    Health health = Health::kHealthy;
+    int consecutive_failures = 0;
+    uint64_t incarnation = 0;
+    uint64_t last_acked_epoch = 0;
+    std::unordered_map<query::QueryId, CachedDelta> deltas;
+    metrics::Counter* rpc_calls = nullptr;
+    metrics::Counter* rpc_retries = nullptr;
+    metrics::Counter* rpc_failures = nullptr;
+    metrics::Counter* delta_bytes = nullptr;
+    metrics::Gauge* health_gauge = nullptr;  // 0 healthy, 1 recovering, 2 down
+    metrics::Gauge* epoch_gauge = nullptr;
+  };
+
+  /// What the coordinator knows about one registered query.
+  struct QueryInfo {
+    std::string wire_name;  // "q<id>" on the wire
+    enum class Kind { kJoin, kSelfJoin, kFrequency } kind = Kind::kJoin;
+    query::JoinQuerySpec join_spec;        // kJoin (estimator.domain_size filled)
+    query::SelfJoinQuerySpec self_spec;    // kSelfJoin (ditto)
+    query::FrequencyQuerySpec freq_spec;   // kFrequency
+    uint64_t seed = 0;
+  };
+
+  /// One registration message, recorded in order for replay after a worker
+  /// restart.
+  struct RegistrationRecord {
+    MessageType type;
+    std::string payload;
+  };
+
+  /// Ensures a connected, handshaken channel. A NEW incarnation (first
+  /// contact or restart) triggers registration replay before the channel
+  /// is considered usable.
+  Status EnsureConnected(ShardState& shard);
+
+  /// One deadline-bounded request/reply against a connected channel (no
+  /// retries — Rpc layers those on top).
+  StatusOr<Frame> CallOnce(ShardState& shard, MessageType type,
+                           std::string_view payload);
+
+  /// The retrying RPC: up to rpc_attempts tries, each its own connect +
+  /// call under rpc_timeout, with jittered exponential backoff between.
+  StatusOr<Frame> Rpc(ShardState& shard, MessageType type,
+                      std::string_view payload);
+
+  /// Broadcasts one registration to every shard and records it for replay.
+  /// Fails if any shard never acked (after retries) — registrations are
+  /// the one operation that must reach everyone before use.
+  Status Broadcast(MessageType type, const std::string& payload);
+
+  void MarkFailure(ShardState& shard, const Status& status);
+  void MarkSuccess(ShardState& shard);
+  void PublishHealth(ShardState& shard);
+
+  /// Pulls `query`'s delta from every shard (one new round); failures keep
+  /// the stale cache. Returns per-shard contributions for the report.
+  std::vector<ShardContribution> PullDeltas(query::QueryId query);
+
+  /// Merges every cached delta of a join-kind query into a freshly built
+  /// accumulator pair.
+  StatusOr<std::unique_ptr<core::JoinEstimatorPair>> MergedJoinPair(
+      query::QueryId query, const QueryInfo& info);
+
+  StatusOr<QueryInfo*> FindQuery(query::QueryId query);
+
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  CoordinatorOptions options_;
+  metrics::Registry metrics_;
+  Rng jitter_rng_;
+  std::map<std::string, uint64_t> stream_domains_;
+  std::map<query::QueryId, QueryInfo> queries_;
+  std::vector<RegistrationRecord> registrations_;
+  query::QueryId next_query_id_ = 1;
+  uint64_t pull_round_ = 0;
+};
+
+}  // namespace dist
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_DIST_COORDINATOR_H_

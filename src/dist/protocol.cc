@@ -1,0 +1,283 @@
+#include "dist/protocol.h"
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+namespace skimjoin {
+namespace dist {
+
+namespace {
+
+// Doubles cross the wire as their IEEE-754 bit pattern (decimal u64), not
+// decimal text: the estimator knobs seed hash-family construction on both
+// ends, so a single ULP of round-trip drift would break the bit-identity
+// contract between coordinator accumulator and worker synopses.
+uint64_t DoubleBits(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+Status Malformed(const char* what) {
+  return InvalidArgumentError(std::string("malformed ") + what + " payload");
+}
+
+// Reads one whitespace-delimited token as the requested type; false on
+// exhaustion or a non-numeric token.
+bool ReadToken(std::istringstream& in, uint64_t* out) {
+  return static_cast<bool>(in >> *out);
+}
+bool ReadToken(std::istringstream& in, int64_t* out) {
+  return static_cast<bool>(in >> *out);
+}
+bool ReadToken(std::istringstream& in, uint32_t* out) {
+  return static_cast<bool>(in >> *out);
+}
+bool ReadToken(std::istringstream& in, std::string* out) {
+  return static_cast<bool>(in >> *out);
+}
+
+// A payload is fully consumed when only trailing whitespace remains;
+// anything else is a framing bug or tampering.
+Status ExpectExhausted(std::istringstream& in, const char* what) {
+  std::string extra;
+  if (in >> extra) {
+    return InvalidArgumentError(std::string(what) +
+                                " payload has trailing tokens");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status ValidateWireName(std::string_view name, const char* what) {
+  if (name.empty() || name.size() > 256) {
+    return InvalidArgumentError(std::string(what) +
+                                " must be 1..256 bytes long");
+  }
+  for (const char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      return InvalidArgumentError(std::string(what) +
+                                  " must not contain whitespace");
+    }
+  }
+  return OkStatus();
+}
+
+std::string EncodeHelloReply(const HelloReply& msg) {
+  std::ostringstream out;
+  out << msg.shard_name << ' ' << msg.incarnation << ' ' << msg.epoch;
+  return out.str();
+}
+
+StatusOr<HelloReply> DecodeHelloReply(std::string_view payload) {
+  std::istringstream in{std::string(payload)};
+  HelloReply msg;
+  if (!ReadToken(in, &msg.shard_name) || !ReadToken(in, &msg.incarnation) ||
+      !ReadToken(in, &msg.epoch)) {
+    return Malformed("hello-reply");
+  }
+  SKIMJOIN_RETURN_IF_ERROR(ValidateWireName(msg.shard_name, "shard name"));
+  SKIMJOIN_RETURN_IF_ERROR(ExpectExhausted(in, "hello-reply"));
+  return msg;
+}
+
+std::string EncodeStreamReg(const StreamReg& msg) {
+  std::ostringstream out;
+  out << msg.name << ' ' << msg.domain_size;
+  return out.str();
+}
+
+StatusOr<StreamReg> DecodeStreamReg(std::string_view payload) {
+  std::istringstream in{std::string(payload)};
+  StreamReg msg;
+  if (!ReadToken(in, &msg.name) || !ReadToken(in, &msg.domain_size)) {
+    return Malformed("stream-registration");
+  }
+  SKIMJOIN_RETURN_IF_ERROR(ValidateWireName(msg.name, "stream name"));
+  SKIMJOIN_RETURN_IF_ERROR(ExpectExhausted(in, "stream-registration"));
+  return msg;
+}
+
+std::string EncodeJoinQueryReg(const JoinQueryReg& msg) {
+  std::ostringstream out;
+  out << msg.query_name << ' ' << msg.left_stream << ' ' << msg.right_stream
+      << ' ' << (msg.self_join ? 1 : 0) << ' ' << msg.kind << ' '
+      << msg.space_counters << ' ' << msg.num_tables << ' '
+      << msg.agms_num_medians << ' ' << DoubleBits(msg.threshold_scale) << ' '
+      << DoubleBits(msg.recurse_slack) << ' ' << DoubleBits(msg.skim_margin)
+      << ' ' << (msg.skimmed_use_dyadic ? 1 : 0) << ' ' << msg.seed;
+  return out.str();
+}
+
+StatusOr<JoinQueryReg> DecodeJoinQueryReg(std::string_view payload) {
+  std::istringstream in{std::string(payload)};
+  JoinQueryReg msg;
+  uint64_t self_join = 0, use_dyadic = 0;
+  uint64_t scale_bits = 0, slack_bits = 0, margin_bits = 0;
+  if (!ReadToken(in, &msg.query_name) || !ReadToken(in, &msg.left_stream) ||
+      !ReadToken(in, &msg.right_stream) || !ReadToken(in, &self_join) ||
+      !ReadToken(in, &msg.kind) || !ReadToken(in, &msg.space_counters) ||
+      !ReadToken(in, &msg.num_tables) ||
+      !ReadToken(in, &msg.agms_num_medians) || !ReadToken(in, &scale_bits) ||
+      !ReadToken(in, &slack_bits) || !ReadToken(in, &margin_bits) ||
+      !ReadToken(in, &use_dyadic) || !ReadToken(in, &msg.seed)) {
+    return Malformed("join-query-registration");
+  }
+  if (self_join > 1 || use_dyadic > 1) {
+    return Malformed("join-query-registration");
+  }
+  SKIMJOIN_RETURN_IF_ERROR(ValidateWireName(msg.query_name, "query name"));
+  SKIMJOIN_RETURN_IF_ERROR(ValidateWireName(msg.left_stream, "stream name"));
+  SKIMJOIN_RETURN_IF_ERROR(ValidateWireName(msg.right_stream, "stream name"));
+  SKIMJOIN_RETURN_IF_ERROR(ExpectExhausted(in, "join-query-registration"));
+  msg.self_join = self_join == 1;
+  msg.skimmed_use_dyadic = use_dyadic == 1;
+  msg.threshold_scale = DoubleFromBits(scale_bits);
+  msg.recurse_slack = DoubleFromBits(slack_bits);
+  msg.skim_margin = DoubleFromBits(margin_bits);
+  return msg;
+}
+
+std::string EncodeFrequencyQueryReg(const FrequencyQueryReg& msg) {
+  std::ostringstream out;
+  out << msg.query_name << ' ' << msg.stream << ' ' << msg.space_counters
+      << ' ' << msg.num_tables << ' ' << (msg.use_dyadic ? 1 : 0) << ' '
+      << msg.seed;
+  return out.str();
+}
+
+StatusOr<FrequencyQueryReg> DecodeFrequencyQueryReg(std::string_view payload) {
+  std::istringstream in{std::string(payload)};
+  FrequencyQueryReg msg;
+  uint64_t use_dyadic = 0;
+  if (!ReadToken(in, &msg.query_name) || !ReadToken(in, &msg.stream) ||
+      !ReadToken(in, &msg.space_counters) || !ReadToken(in, &msg.num_tables) ||
+      !ReadToken(in, &use_dyadic) || !ReadToken(in, &msg.seed)) {
+    return Malformed("frequency-query-registration");
+  }
+  if (use_dyadic > 1) return Malformed("frequency-query-registration");
+  SKIMJOIN_RETURN_IF_ERROR(ValidateWireName(msg.query_name, "query name"));
+  SKIMJOIN_RETURN_IF_ERROR(ValidateWireName(msg.stream, "stream name"));
+  SKIMJOIN_RETURN_IF_ERROR(
+      ExpectExhausted(in, "frequency-query-registration"));
+  msg.use_dyadic = use_dyadic == 1;
+  return msg;
+}
+
+std::string EncodeUpdateBatch(const UpdateBatchMsg& msg) {
+  std::ostringstream out;
+  out << msg.stream << ' ' << msg.updates.size();
+  for (const query::StreamUpdate& update : msg.updates) {
+    out << ' ' << update.value << ' ' << update.count << ' ' << update.measure;
+  }
+  return out.str();
+}
+
+StatusOr<UpdateBatchMsg> DecodeUpdateBatch(std::string_view payload) {
+  std::istringstream in{std::string(payload)};
+  UpdateBatchMsg msg;
+  uint64_t count = 0;
+  if (!ReadToken(in, &msg.stream) || !ReadToken(in, &count)) {
+    return Malformed("update-batch");
+  }
+  SKIMJOIN_RETURN_IF_ERROR(ValidateWireName(msg.stream, "stream name"));
+  if (count > kMaxWireBatchElements) {
+    return InvalidArgumentError(
+        "update-batch declares " + std::to_string(count) +
+        " elements, above the " + std::to_string(kMaxWireBatchElements) +
+        " cap");
+  }
+  // The declared count is additionally sanity-checked against the payload
+  // size — each element needs at least 6 bytes ("v c m ") — so a lying
+  // header can't even reserve beyond ~payload/6 entries.
+  if (count > payload.size()) {
+    return Malformed("update-batch");
+  }
+  msg.updates.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    query::StreamUpdate update;
+    if (!ReadToken(in, &update.value) || !ReadToken(in, &update.count) ||
+        !ReadToken(in, &update.measure)) {
+      return Malformed("update-batch");
+    }
+    msg.updates.push_back(update);
+  }
+  SKIMJOIN_RETURN_IF_ERROR(ExpectExhausted(in, "update-batch"));
+  return msg;
+}
+
+std::string EncodeDelta(const DeltaMsg& msg) {
+  std::ostringstream out;
+  out << msg.query_name << ' ' << msg.incarnation << ' ' << msg.epoch << ' '
+      << msg.synopsis.size() << '\n'
+      << msg.synopsis;
+  return out.str();
+}
+
+StatusOr<DeltaMsg> DecodeDelta(std::string_view payload) {
+  const size_t newline = payload.find('\n');
+  if (newline == std::string_view::npos) return Malformed("delta");
+  std::istringstream in{std::string(payload.substr(0, newline))};
+  DeltaMsg msg;
+  uint64_t declared_len = 0;
+  if (!ReadToken(in, &msg.query_name) || !ReadToken(in, &msg.incarnation) ||
+      !ReadToken(in, &msg.epoch) || !ReadToken(in, &declared_len)) {
+    return Malformed("delta");
+  }
+  SKIMJOIN_RETURN_IF_ERROR(ValidateWireName(msg.query_name, "query name"));
+  SKIMJOIN_RETURN_IF_ERROR(ExpectExhausted(in, "delta"));
+  const std::string_view body = payload.substr(newline + 1);
+  // Exact-length match: a truncated or padded synopsis block is a framing
+  // error, and the declared length can never exceed what actually arrived
+  // (the frame layer already capped that), so no speculative allocation.
+  if (declared_len != body.size()) {
+    return InvalidArgumentError("delta synopsis length mismatch: declared " +
+                                std::to_string(declared_len) + ", got " +
+                                std::to_string(body.size()));
+  }
+  msg.synopsis.assign(body);
+  return msg;
+}
+
+std::string EncodeError(const Status& status) {
+  std::ostringstream out;
+  out << static_cast<int>(status.code()) << ' ' << status.message();
+  return out.str();
+}
+
+Status DecodeError(std::string_view payload) {
+  std::istringstream in{std::string(payload)};
+  int code = 0;
+  if (!(in >> code) || code < static_cast<int>(StatusCode::kInvalidArgument) ||
+      code > static_cast<int>(StatusCode::kInternal)) {
+    return InternalError("peer sent an undecodable error payload");
+  }
+  std::string message;
+  std::getline(in, message);
+  if (!message.empty() && message.front() == ' ') message.erase(0, 1);
+  return Status(static_cast<StatusCode>(code),
+                "remote: " + (message.empty() ? "(no message)" : message));
+}
+
+StatusOr<Frame> Call(FrameChannel& channel, MessageType type,
+                     std::string_view payload, Deadline deadline) {
+  SKIMJOIN_RETURN_IF_ERROR(
+      channel.Send(static_cast<uint32_t>(type), payload, deadline));
+  SKIMJOIN_ASSIGN_OR_RETURN(Frame reply, channel.Receive(deadline));
+  if (reply.type == static_cast<uint32_t>(MessageType::kError)) {
+    return DecodeError(reply.payload);
+  }
+  return reply;
+}
+
+}  // namespace dist
+}  // namespace skimjoin

@@ -1,0 +1,157 @@
+// Message vocabulary of the coordinator↔worker protocol, riding on
+// dist/frame.h. Payloads are whitespace-tokenized text (the same
+// self-describing style as the sketch serializers), each with a typed
+// encoder and a hardened decoder: decoders validate every token, cap every
+// declared count BEFORE allocating, and always return a Status — a fuzzed
+// or truncated payload can never crash or over-allocate the receiver
+// (tests/serialization_fuzz_test.cc sweeps every byte).
+//
+// Exchange shape: the coordinator opens a channel, sends kHello, and the
+// worker replies kHelloReply carrying its shard name, INCARNATION (bumped
+// each restart-from-checkpoint), and EPOCH (update batches applied). Every
+// later request gets exactly one reply — the matching *Ack/answer type, or
+// kError carrying a Status. The incarnation is the re-adoption handshake:
+// when the coordinator sees a new incarnation it replays its recorded
+// registrations (all idempotent on the worker) before trusting the shard
+// again, and flags the shard's answers as behind until the worker's epoch
+// catches back up to the last acknowledged one.
+
+#ifndef SKIMJOIN_DIST_PROTOCOL_H_
+#define SKIMJOIN_DIST_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dist/frame.h"
+#include "query/engine.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace skimjoin {
+namespace dist {
+
+/// Frame types. Values are the wire contract — append, never renumber.
+enum class MessageType : uint32_t {
+  kHello = 1,
+  kHelloReply = 2,
+  kRegisterStream = 3,
+  kRegisterJoinQuery = 4,
+  kRegisterFrequencyQuery = 5,
+  kRegistered = 6,
+  kUpdateBatch = 7,
+  kUpdateAck = 8,
+  kPullDelta = 9,
+  kDelta = 10,
+  kCheckpoint = 11,
+  kCheckpointAck = 12,
+  kPing = 13,
+  kError = 14,
+};
+
+/// Largest element count one kUpdateBatch may declare; validated before
+/// any allocation on the receive path.
+constexpr uint64_t kMaxWireBatchElements = uint64_t{1} << 20;
+
+/// kHelloReply / kUpdateAck / kCheckpointAck payload: the worker's
+/// identity and progress marker.
+struct HelloReply {
+  std::string shard_name;
+  uint64_t incarnation = 0;
+  uint64_t epoch = 0;
+};
+
+/// kRegisterStream payload.
+struct StreamReg {
+  std::string name;
+  uint64_t domain_size = 0;
+};
+
+/// kRegisterJoinQuery payload: a join or self-join registration. Carries
+/// the estimator shape verbatim so every worker builds a synopsis pair
+/// bit-compatible with the coordinator's merge accumulator (same spec,
+/// same seed ⇒ same hash families). Predicated queries are not routable
+/// (the coordinator rejects them before anything reaches the wire).
+struct JoinQueryReg {
+  std::string query_name;
+  std::string left_stream;
+  std::string right_stream;
+  bool self_join = false;
+  uint32_t kind = 0;  // static_cast of core::EstimatorKind
+  uint64_t space_counters = 0;
+  uint64_t num_tables = 0;
+  uint64_t agms_num_medians = 0;
+  double threshold_scale = 0.0;
+  double recurse_slack = 0.0;
+  double skim_margin = 0.0;
+  bool skimmed_use_dyadic = false;
+  uint64_t seed = 0;
+};
+
+/// kRegisterFrequencyQuery payload.
+struct FrequencyQueryReg {
+  std::string query_name;
+  std::string stream;
+  uint64_t space_counters = 0;
+  uint64_t num_tables = 0;
+  bool use_dyadic = false;
+  uint64_t seed = 0;
+};
+
+/// kUpdateBatch payload: a shard-routed slice of one logical batch.
+struct UpdateBatchMsg {
+  std::string stream;
+  std::vector<query::StreamUpdate> updates;
+};
+
+/// kDelta payload: one query's full serialized synopsis, stamped with the
+/// worker's incarnation and epoch. Deltas are FULL STATE, not increments —
+/// the coordinator replaces its cached copy wholesale, which is what makes
+/// double-merging a replayed delta structurally impossible.
+struct DeltaMsg {
+  std::string query_name;
+  uint64_t incarnation = 0;
+  uint64_t epoch = 0;
+  std::string synopsis;
+};
+
+std::string EncodeHelloReply(const HelloReply& msg);
+StatusOr<HelloReply> DecodeHelloReply(std::string_view payload);
+
+std::string EncodeStreamReg(const StreamReg& msg);
+StatusOr<StreamReg> DecodeStreamReg(std::string_view payload);
+
+std::string EncodeJoinQueryReg(const JoinQueryReg& msg);
+StatusOr<JoinQueryReg> DecodeJoinQueryReg(std::string_view payload);
+
+std::string EncodeFrequencyQueryReg(const FrequencyQueryReg& msg);
+StatusOr<FrequencyQueryReg> DecodeFrequencyQueryReg(std::string_view payload);
+
+std::string EncodeUpdateBatch(const UpdateBatchMsg& msg);
+StatusOr<UpdateBatchMsg> DecodeUpdateBatch(std::string_view payload);
+
+std::string EncodeDelta(const DeltaMsg& msg);
+StatusOr<DeltaMsg> DecodeDelta(std::string_view payload);
+
+/// kError payload: "<code> <message...>". DecodeError NEVER yields an OK
+/// status — a mangled error payload decodes to an INTERNAL status
+/// describing the mangling, so a fault can't masquerade as success.
+std::string EncodeError(const Status& status);
+Status DecodeError(std::string_view payload);
+
+/// One round trip: sends `type` + `payload`, receives exactly one reply
+/// frame before `deadline`. A kError reply is decoded and returned as this
+/// call's status; any other reply comes back as the frame.
+StatusOr<Frame> Call(FrameChannel& channel, MessageType type,
+                     std::string_view payload, Deadline deadline);
+
+/// Protocol names ("name" tokens on the wire): nonempty, at most 256
+/// bytes, no whitespace. Shared by both ends so a hostile name can't break
+/// the tokenized framing.
+Status ValidateWireName(std::string_view name, const char* what);
+
+}  // namespace dist
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_DIST_PROTOCOL_H_

@@ -1,0 +1,320 @@
+#include "dist/worker.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <utility>
+
+#include "util/event_log.h"
+
+namespace skimjoin {
+namespace dist {
+
+namespace {
+
+constexpr char kMetaIncarnation[] = "dist.incarnation";
+constexpr char kMetaEpoch[] = "dist.epoch";
+constexpr char kMetaQueryPrefix[] = "dist.query.";
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+Frame MakeFrame(MessageType type, std::string payload) {
+  Frame frame;
+  frame.type = static_cast<uint32_t>(type);
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+}  // namespace
+
+Worker::Worker(WorkerOptions options) : options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<Worker>> Worker::Create(const WorkerOptions& options) {
+  SKIMJOIN_RETURN_IF_ERROR(
+      ValidateWireName(options.shard_name, "shard name"));
+  if (options.socket_path.empty()) {
+    return InvalidArgumentError("WorkerOptions.socket_path must be set");
+  }
+  std::unique_ptr<Worker> worker(new Worker(options));
+  SKIMJOIN_RETURN_IF_ERROR(worker->RestoreIfPresent());
+  SKIMJOIN_ASSIGN_OR_RETURN(worker->listener_,
+                            Listener::Create(options.socket_path));
+  return worker;
+}
+
+Status Worker::RestoreIfPresent() {
+  if (options_.checkpoint_path.empty()) return OkStatus();
+  if (!std::ifstream(options_.checkpoint_path).good()) return OkStatus();
+  SKIMJOIN_ASSIGN_OR_RETURN(
+      query::RestoreReport report,
+      engine_.RestoreCheckpoint(options_.checkpoint_path));
+  uint64_t stored_incarnation = 0;
+  uint64_t stored_epoch = 0;
+  for (const auto& [key, value] : report.metadata) {
+    if (key == kMetaIncarnation) {
+      if (!ParseU64(value, &stored_incarnation)) {
+        return InvalidArgumentError("corrupt dist.incarnation in checkpoint");
+      }
+    } else if (key == kMetaEpoch) {
+      if (!ParseU64(value, &stored_epoch)) {
+        return InvalidArgumentError("corrupt dist.epoch in checkpoint");
+      }
+    } else if (key.rfind(kMetaQueryPrefix, 0) == 0) {
+      uint64_t id = 0;
+      if (!ParseU64(value, &id)) {
+        return InvalidArgumentError("corrupt query-id entry in checkpoint");
+      }
+      query_ids_[key.substr(sizeof(kMetaQueryPrefix) - 1)] = id;
+    }
+  }
+  // Advertising incarnation + 1 is the restart signal: the coordinator
+  // compares against the incarnation it last shook hands with and replays
+  // registrations (and flags staleness) on any change.
+  incarnation_ = stored_incarnation + 1;
+  epoch_ = stored_epoch;
+  EventLog::Global().Emit(
+      LogLevel::kInfo, "worker_restored_from_checkpoint",
+      {{"shard", options_.shard_name},
+       {"incarnation", std::to_string(incarnation_)},
+       {"epoch", std::to_string(epoch_)}});
+  return OkStatus();
+}
+
+Status Worker::Checkpoint() {
+  if (options_.checkpoint_path.empty()) {
+    return FailedPreconditionError("worker has no checkpoint path configured");
+  }
+  std::map<std::string, std::string> metadata;
+  metadata[kMetaIncarnation] = std::to_string(incarnation_);
+  metadata[kMetaEpoch] = std::to_string(epoch_);
+  for (const auto& [name, id] : query_ids_) {
+    metadata[kMetaQueryPrefix + name] = std::to_string(id);
+  }
+  batches_since_checkpoint_ = 0;
+  return engine_.SaveCheckpoint(options_.checkpoint_path, metadata);
+}
+
+Frame Worker::HelloFrame() const {
+  HelloReply reply;
+  reply.shard_name = options_.shard_name;
+  reply.incarnation = incarnation_;
+  reply.epoch = epoch_;
+  return MakeFrame(MessageType::kHelloReply, EncodeHelloReply(reply));
+}
+
+StatusOr<Frame> Worker::HandleRegisterStream(const Frame& request) {
+  SKIMJOIN_ASSIGN_OR_RETURN(StreamReg msg, DecodeStreamReg(request.payload));
+  // Idempotent by name: re-registration of a known stream is the replay
+  // path after coordinator re-adoption, not an error.
+  if (!engine_.StreamElementCount(msg.name).ok()) {
+    query::StreamSpec spec;
+    spec.name = msg.name;
+    spec.domain_size = msg.domain_size;
+    SKIMJOIN_RETURN_IF_ERROR(engine_.RegisterStream(spec).status());
+  }
+  return MakeFrame(MessageType::kRegistered, msg.name);
+}
+
+StatusOr<Frame> Worker::HandleRegisterJoinQuery(const Frame& request) {
+  SKIMJOIN_ASSIGN_OR_RETURN(JoinQueryReg msg,
+                            DecodeJoinQueryReg(request.payload));
+  if (query_ids_.count(msg.query_name) != 0) {
+    return MakeFrame(MessageType::kRegistered, msg.query_name);
+  }
+  const auto kind = static_cast<core::EstimatorKind>(msg.kind);
+  switch (kind) {
+    case core::EstimatorKind::kAgms:
+    case core::EstimatorKind::kHashSketch:
+    case core::EstimatorKind::kSkimmedSketch:
+    case core::EstimatorKind::kCountMin:
+      break;
+    default:
+      // Sampling and partitioned-AGMS synopses are not linear-mergeable
+      // (or not even serializable), so they cannot be distributed.
+      return InvalidArgumentError(
+          "estimator kind " + std::to_string(msg.kind) +
+          " is not distributable (needs a serializable, mergeable synopsis)");
+  }
+  core::EstimatorSpec estimator;
+  estimator.kind = kind;
+  estimator.space_counters = msg.space_counters;
+  estimator.num_tables = msg.num_tables;
+  estimator.agms_num_medians = msg.agms_num_medians;
+  estimator.threshold_scale = msg.threshold_scale;
+  estimator.recurse_slack = msg.recurse_slack;
+  estimator.skim_margin = msg.skim_margin;
+  estimator.skimmed_use_dyadic = msg.skimmed_use_dyadic;
+  query::QueryId id = 0;
+  if (msg.self_join) {
+    query::SelfJoinQuerySpec spec;
+    spec.stream = msg.left_stream;
+    spec.estimator = estimator;
+    SKIMJOIN_ASSIGN_OR_RETURN(id, engine_.AddSelfJoinQuery(spec, msg.seed));
+  } else {
+    query::JoinQuerySpec spec;
+    spec.left_stream = msg.left_stream;
+    spec.right_stream = msg.right_stream;
+    spec.estimator = estimator;
+    SKIMJOIN_ASSIGN_OR_RETURN(id, engine_.AddJoinQuery(spec, msg.seed));
+  }
+  query_ids_[msg.query_name] = id;
+  return MakeFrame(MessageType::kRegistered, msg.query_name);
+}
+
+StatusOr<Frame> Worker::HandleRegisterFrequencyQuery(const Frame& request) {
+  SKIMJOIN_ASSIGN_OR_RETURN(FrequencyQueryReg msg,
+                            DecodeFrequencyQueryReg(request.payload));
+  if (query_ids_.count(msg.query_name) != 0) {
+    return MakeFrame(MessageType::kRegistered, msg.query_name);
+  }
+  query::FrequencyQuerySpec spec;
+  spec.stream = msg.stream;
+  spec.space_counters = msg.space_counters;
+  spec.num_tables = msg.num_tables;
+  spec.use_dyadic = msg.use_dyadic;
+  SKIMJOIN_ASSIGN_OR_RETURN(query::QueryId id,
+                            engine_.AddFrequencyQuery(spec, msg.seed));
+  query_ids_[msg.query_name] = id;
+  return MakeFrame(MessageType::kRegistered, msg.query_name);
+}
+
+StatusOr<Frame> Worker::HandleUpdateBatch(const Frame& request) {
+  SKIMJOIN_ASSIGN_OR_RETURN(UpdateBatchMsg msg,
+                            DecodeUpdateBatch(request.payload));
+  SKIMJOIN_RETURN_IF_ERROR(engine_.UpdateBatch(
+      msg.stream, std::span<const query::StreamUpdate>(msg.updates)));
+  ++epoch_;
+  ++batches_since_checkpoint_;
+  if (options_.checkpoint_every_batches > 0 &&
+      !options_.checkpoint_path.empty() &&
+      batches_since_checkpoint_ >= options_.checkpoint_every_batches) {
+    // The batch is already applied; a failed auto-checkpoint must not turn
+    // into a NACK (the coordinator would re-send and double-apply). Log
+    // and ack — the next checkpoint attempt covers the same state.
+    const Status saved = Checkpoint();
+    if (!saved.ok()) {
+      EventLog::Global().Emit(LogLevel::kWarn, "checkpoint_failed",
+                              {{"shard", options_.shard_name},
+                               {"error", saved.ToString()}});
+    }
+  }
+  HelloReply ack;
+  ack.shard_name = options_.shard_name;
+  ack.incarnation = incarnation_;
+  ack.epoch = epoch_;
+  return MakeFrame(MessageType::kUpdateAck, EncodeHelloReply(ack));
+}
+
+StatusOr<Frame> Worker::HandlePullDelta(const Frame& request) {
+  const std::string name(request.payload);
+  SKIMJOIN_RETURN_IF_ERROR(ValidateWireName(name, "query name"));
+  const auto it = query_ids_.find(name);
+  if (it == query_ids_.end()) {
+    return NotFoundError("unknown query '" + name + "' on shard " +
+                         options_.shard_name);
+  }
+  DeltaMsg delta;
+  delta.query_name = name;
+  delta.incarnation = incarnation_;
+  delta.epoch = epoch_;
+  SKIMJOIN_RETURN_IF_ERROR(
+      engine_.SerializeQuerySynopsis(it->second, &delta.synopsis));
+  return MakeFrame(MessageType::kDelta, EncodeDelta(delta));
+}
+
+StatusOr<Frame> Worker::Handle(const Frame& request) {
+  switch (static_cast<MessageType>(request.type)) {
+    case MessageType::kHello:
+    case MessageType::kPing:
+      return HelloFrame();
+    case MessageType::kRegisterStream:
+      return HandleRegisterStream(request);
+    case MessageType::kRegisterJoinQuery:
+      return HandleRegisterJoinQuery(request);
+    case MessageType::kRegisterFrequencyQuery:
+      return HandleRegisterFrequencyQuery(request);
+    case MessageType::kUpdateBatch:
+      return HandleUpdateBatch(request);
+    case MessageType::kPullDelta:
+      return HandlePullDelta(request);
+    case MessageType::kCheckpoint: {
+      SKIMJOIN_RETURN_IF_ERROR(Checkpoint());
+      HelloReply ack;
+      ack.shard_name = options_.shard_name;
+      ack.incarnation = incarnation_;
+      ack.epoch = epoch_;
+      return MakeFrame(MessageType::kCheckpointAck, EncodeHelloReply(ack));
+    }
+    default:
+      return InvalidArgumentError("unknown message type " +
+                                  std::to_string(request.type));
+  }
+}
+
+Status Worker::Serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // A connection accepted below is NOT in pfds this round — remember how
+    // many were polled so the service loop never indexes past the array; a
+    // fresh connection's first request is picked up on the next iteration.
+    const size_t polled = connections_.size();
+    std::vector<pollfd> pfds(polled + 1);
+    pfds[0].fd = listener_.fd();
+    pfds[0].events = POLLIN;
+    for (size_t i = 0; i < polled; ++i) {
+      pfds[i + 1].fd = connections_[i].fd();
+      pfds[i + 1].events = POLLIN;
+    }
+    const int ready =
+        ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return IoError(std::string("worker poll failed: ") +
+                     std::strerror(errno));
+    }
+    if (ready == 0) continue;
+    if ((pfds[0].revents & POLLIN) != 0) {
+      StatusOr<FrameChannel> accepted =
+          listener_.Accept(DeadlineAfter(std::chrono::milliseconds(100)));
+      if (accepted.ok()) connections_.push_back(*std::move(accepted));
+    }
+    for (size_t i = 0; i < polled; ++i) {
+      if ((pfds[i + 1].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      FrameChannel& conn = connections_[i];
+      StatusOr<Frame> request = conn.Receive(DeadlineAfter(options_.io_timeout));
+      if (!request.ok()) {
+        // A torn frame, injected fault, or peer hangup poisons only this
+        // connection; the coordinator reconnects and retries.
+        conn.Close();
+        continue;
+      }
+      StatusOr<Frame> reply = Handle(*request);
+      Frame out = reply.ok() ? *std::move(reply)
+                             : MakeFrame(MessageType::kError,
+                                         EncodeError(reply.status()));
+      const Status sent = conn.Send(out.type, out.payload,
+                                    DeadlineAfter(options_.io_timeout));
+      if (!sent.ok()) conn.Close();
+    }
+    connections_.erase(
+        std::remove_if(connections_.begin(), connections_.end(),
+                       [](const FrameChannel& c) { return !c.valid(); }),
+        connections_.end());
+  }
+  return OkStatus();
+}
+
+}  // namespace dist
+}  // namespace skimjoin

@@ -1,0 +1,84 @@
+// The engine-shaped face of a distributed deployment, as the shell and CLI
+// see it. An attached DistBackend routes registrations, ingest, and
+// answers to a fleet of worker shards instead of the local engine; the
+// concrete implementation (dist::Coordinator) lives in src/dist/ — this
+// interface is what keeps query/ free of any dependency on the wire layer.
+//
+// The contract mirrors query::Engine where the operations overlap, with
+// two distributed additions: answers may be PARTIAL (EstimateReport.partial
+// plus per-shard contributions tell the caller exactly which shards were
+// stale or missing), and the fleet's health is inspectable per shard.
+
+#ifndef SKIMJOIN_QUERY_DIST_BACKEND_H_
+#define SKIMJOIN_QUERY_DIST_BACKEND_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "query/engine.h"
+#include "query/query.h"
+#include "util/estimate_report.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace skimjoin {
+namespace query {
+
+/// One worker shard's condition as last observed by the backend.
+struct DistShardStatus {
+  std::string shard;
+  /// "healthy" | "recovering" | "down".
+  std::string health;
+  /// Worker incarnation from the last handshake (0 = never reached).
+  uint64_t incarnation = 0;
+  /// Last update epoch the worker acknowledged.
+  uint64_t last_acked_epoch = 0;
+  /// Cumulative RPC retries / hard failures against this shard.
+  uint64_t rpc_retries = 0;
+  uint64_t rpc_failures = 0;
+};
+
+class DistBackend {
+ public:
+  virtual ~DistBackend() = default;
+
+  virtual Status RegisterStream(const StreamSpec& spec) = 0;
+  virtual StatusOr<QueryId> AddJoinQuery(const JoinQuerySpec& spec,
+                                         uint64_t seed) = 0;
+  virtual StatusOr<QueryId> AddSelfJoinQuery(const SelfJoinQuerySpec& spec,
+                                             uint64_t seed) = 0;
+  virtual StatusOr<QueryId> AddFrequencyQuery(const FrequencyQuerySpec& spec,
+                                              uint64_t seed) = 0;
+
+  virtual Status Update(const std::string& stream,
+                        const StreamUpdate& update) = 0;
+  virtual Status UpdateBatch(const std::string& stream,
+                             std::span<const StreamUpdate> updates) = 0;
+
+  virtual StatusOr<double> AnswerJoin(QueryId query) = 0;
+  virtual StatusOr<EstimateReport> AnswerJoinWithReport(QueryId query) = 0;
+  virtual StatusOr<int64_t> AnswerPointFrequency(QueryId query,
+                                                 uint64_t value) = 0;
+
+  /// Asks every shard to checkpoint its engine state now.
+  virtual Status CheckpointShards() = 0;
+
+  /// One single-attempt ping per shard, refreshing health states. Always
+  /// OK — the result is the refreshed ShardStatuses().
+  virtual Status ProbeHealth() = 0;
+
+  virtual std::vector<DistShardStatus> ShardStatuses() = 0;
+  virtual uint64_t NumShards() const = 0;
+
+  /// The backend's own metrics registry (the per-shard `dist.<shard>.*`
+  /// instruments), or nullptr when the backend exposes none. The shell's
+  /// `metrics` command renders this registry while a backend is attached.
+  virtual metrics::Registry* MetricsRegistry() { return nullptr; }
+};
+
+}  // namespace query
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_QUERY_DIST_BACKEND_H_

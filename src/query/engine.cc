@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <sstream>
 #include <utility>
 
 #include "util/event_log.h"
@@ -896,6 +897,22 @@ StatusOr<EstimateReport> Engine::AnswerChainJoinWithReport(
                               : state.hashed->EstimateWithReport();
   RecordReportMetrics(query, state.metrics, report);
   return report;
+}
+
+Status Engine::SerializeQuerySynopsis(QueryId query, std::string* out) const {
+  std::ostringstream record;
+  if (const auto it = join_queries_.find(query); it != join_queries_.end()) {
+    SKIMJOIN_RETURN_IF_ERROR(it->second.estimator->SerializeTo(record));
+  } else if (const auto fit = frequency_queries_.find(query);
+             fit != frequency_queries_.end()) {
+    SKIMJOIN_RETURN_IF_ERROR(fit->second.sketch.SerializeTo(record));
+  } else {
+    return NotFoundError(
+        "no serializable synopsis for query id " + std::to_string(query) +
+        " (only join/self-join and frequency queries have one)");
+  }
+  *out = std::move(record).str();
+  return OkStatus();
 }
 
 StatusOr<int64_t> Engine::StreamElementCount(const std::string& stream) const {

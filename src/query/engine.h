@@ -317,6 +317,15 @@ class Engine {
   StatusOr<RestoreReport> RestoreCheckpoint(const std::string& path,
                                             const RestoreOptions& options = {});
 
+  /// Writes one query's synopsis as its family's self-describing text
+  /// record (the same serializers checkpoints use): a join/self-join
+  /// query's estimator-pair record, or a frequency query's skimmed-sketch
+  /// record. This is the payload of a distributed worker's delta pull — a
+  /// compatible synopsis on the coordinator can Merge/RestoreFrom it.
+  /// NOT_FOUND for an unknown id or a query kind without a serializable
+  /// synopsis; UNIMPLEMENTED for non-serializable estimator methods.
+  Status SerializeQuerySynopsis(QueryId query, std::string* out) const;
+
   /// Drops every stream, relation, and query, returning the engine to its
   /// freshly constructed state (ingest shards included).
   void Clear();

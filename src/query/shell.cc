@@ -1,10 +1,12 @@
 #include "query/shell.h"
 
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <vector>
 
+#include "query/dist_backend.h"
 #include "stream/trace_io.h"
 #include "util/estimate_report.h"
 #include "util/event_log.h"
@@ -56,7 +58,13 @@ const std::vector<std::pair<std::string, std::string>>& CommandRegistry() {
           {"metrics",
            "metrics [json|prom] — metrics snapshot (prom is multi-line)"},
           {"logs",
-           "logs [n] — last n (default 10) structured events as JSON lines"},
+           "logs [n] [debug|info|warn|error] — last n (default 10) events "
+           "at or above the level as JSON lines"},
+          {"workers",
+           "workers — per-shard health/incarnation/epoch (distributed "
+           "backend)"},
+          {"shards",
+           "shards — shard fan-out and routing (distributed backend)"},
           {"alerts",
            "alerts <rel_error> <ci_width> — warn-event thresholds for "
            "accuracy drift / CI blow-up (inf disables)"},
@@ -106,6 +114,32 @@ bool ParseDouble(const std::string& token, double* value) {
   return end != token.c_str() && *end == '\0';
 }
 
+bool ParseLogLevelName(const std::string& token, LogLevel* level) {
+  for (LogLevel candidate : {LogLevel::kDebug, LogLevel::kInfo,
+                             LogLevel::kWarn, LogLevel::kError}) {
+    if (token == LogLevelName(candidate)) {
+      *level = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Commands that only make sense against the local engine: with a
+/// distributed backend attached they would silently act on the shell's
+/// empty engine, so they error instead.
+bool IsLocalOnlyCommand(const std::string& command) {
+  static const auto* names = new std::vector<std::string>{
+      "distinct", "topk", "top",     "quantile", "phi",   "load",
+      "restore",  "heavy", "count",  "streams",  "stats", "cache",
+      "alerts",
+  };
+  for (const std::string& name : *names) {
+    if (command == name) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 const std::vector<std::pair<std::string, std::string>>& Shell::CommandHelp() {
@@ -130,6 +164,40 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     }
     return true;
   }
+  if (dist_ != nullptr && IsLocalOnlyCommand(command)) {
+    Error(out, "`" + command +
+                   "` is not supported with a distributed backend attached");
+    return true;
+  }
+  if ((command == "workers" || command == "shards") && dist_ == nullptr) {
+    Error(out, "no distributed backend attached");
+    return true;
+  }
+  if (command == "workers") {
+    // Refresh health with one single-attempt probe per shard, then render
+    // the fleet table. Multi-line by design, like `streams`.
+    (void)dist_->ProbeHealth();
+    const std::vector<DistShardStatus> statuses = dist_->ShardStatuses();
+    out << "ok " << statuses.size() << "\n";
+    for (const DistShardStatus& status : statuses) {
+      out << "  " << status.shard << " health=" << status.health
+          << " incarnation=" << status.incarnation
+          << " epoch=" << status.last_acked_epoch
+          << " retries=" << status.rpc_retries
+          << " failures=" << status.rpc_failures << "\n";
+    }
+    return true;
+  }
+  if (command == "shards") {
+    const std::vector<DistShardStatus> statuses = dist_->ShardStatuses();
+    out << "ok " << dist_->NumShards() << " routing=value%"
+        << dist_->NumShards();
+    for (const DistShardStatus& status : statuses) {
+      out << ' ' << status.shard;
+    }
+    out << "\n";
+    return true;
+  }
   if (command == "seed") {
     uint64_t seed = 0;
     if (!(fields >> seed)) {
@@ -144,6 +212,15 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     StreamSpec spec;
     if (!(fields >> spec.name >> spec.domain_size)) {
       Error(out, "usage: stream <name> <domain>");
+      return true;
+    }
+    if (dist_ != nullptr) {
+      const Status status = dist_->RegisterStream(spec);
+      if (!status.ok()) {
+        Error(out, status);
+        return true;
+      }
+      Ok(out);
       return true;
     }
     StatusOr<StreamId> id = engine_.RegisterStream(spec);
@@ -183,7 +260,9 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
                      " (agms | hash-sketch | skimmed | count-min | sampling)");
       return true;
     }
-    StatusOr<QueryId> id = engine_.AddJoinQuery(spec, next_seed_++);
+    StatusOr<QueryId> id = dist_ != nullptr
+                               ? dist_->AddJoinQuery(spec, next_seed_++)
+                               : engine_.AddJoinQuery(spec, next_seed_++);
     if (!id.ok()) {
       Error(out, id.status());
       return true;
@@ -204,7 +283,9 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
       Error(out, "query name already in use: " + name);
       return true;
     }
-    StatusOr<QueryId> id = engine_.AddFrequencyQuery(spec, next_seed_++);
+    StatusOr<QueryId> id = dist_ != nullptr
+                               ? dist_->AddFrequencyQuery(spec, next_seed_++)
+                               : engine_.AddFrequencyQuery(spec, next_seed_++);
     if (!id.ok()) {
       Error(out, id.status());
       return true;
@@ -327,7 +408,8 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
       return true;
     }
     fields >> update.count >> update.measure;  // optional, default 1 / 0
-    const Status status = engine_.Update(stream, update);
+    const Status status = dist_ != nullptr ? dist_->Update(stream, update)
+                                           : engine_.Update(stream, update);
     if (!status.ok()) {
       Error(out, status);
       return true;
@@ -370,23 +452,28 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
         // --explain mode: same answer (the report's estimate is
         // bit-identical to AnswerJoin), plus the provenance table.
         StatusOr<EstimateReport> report =
-            engine_.AnswerJoinWithReport(it->second);
+            dist_ != nullptr ? dist_->AnswerJoinWithReport(it->second)
+                             : engine_.AnswerJoinWithReport(it->second);
         if (!report.ok()) {
           Error(out, report.status());
           return true;
         }
         OkValue(out, report->estimate);
         out << RenderEstimateReport(*report);
-        if (StatusOr<Engine::QueryCacheStats> cache =
-                engine_.QueryCacheStatsFor(it->second);
-            cache.ok()) {
-          out << "  cache: " << (cache->enabled ? "enabled" : "disabled")
-              << " hits=" << cache->hits << " misses=" << cache->misses
-              << " invalidations=" << cache->invalidations << "\n";
+        if (dist_ == nullptr) {
+          if (StatusOr<Engine::QueryCacheStats> cache =
+                  engine_.QueryCacheStatsFor(it->second);
+              cache.ok()) {
+            out << "  cache: " << (cache->enabled ? "enabled" : "disabled")
+                << " hits=" << cache->hits << " misses=" << cache->misses
+                << " invalidations=" << cache->invalidations << "\n";
+          }
         }
         return true;
       }
-      StatusOr<double> answer = engine_.AnswerJoin(it->second);
+      StatusOr<double> answer = dist_ != nullptr
+                                    ? dist_->AnswerJoin(it->second)
+                                    : engine_.AnswerJoin(it->second);
       if (!answer.ok()) {
         Error(out, answer.status());
         return true;
@@ -418,7 +505,9 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
       Error(out, "unknown join query: " + name);
       return true;
     }
-    StatusOr<EstimateReport> report = engine_.AnswerJoinWithReport(it->second);
+    StatusOr<EstimateReport> report =
+        dist_ != nullptr ? dist_->AnswerJoinWithReport(it->second)
+                         : engine_.AnswerJoinWithReport(it->second);
     if (!report.ok()) {
       Error(out, report.status());
       return true;
@@ -427,26 +516,53 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     // always recomputes (provenance needs the full estimator path), so the
     // appended cache line reflects prior `answer` traffic, not this call.
     out << "ok\n" << RenderEstimateReport(*report);
-    if (StatusOr<Engine::QueryCacheStats> cache =
-            engine_.QueryCacheStatsFor(it->second);
-        cache.ok()) {
-      out << "  cache: " << (cache->enabled ? "enabled" : "disabled")
-          << " hits=" << cache->hits << " misses=" << cache->misses
-          << " invalidations=" << cache->invalidations << "\n";
+    if (dist_ == nullptr) {
+      if (StatusOr<Engine::QueryCacheStats> cache =
+              engine_.QueryCacheStatsFor(it->second);
+          cache.ok()) {
+        out << "  cache: " << (cache->enabled ? "enabled" : "disabled")
+            << " hits=" << cache->hits << " misses=" << cache->misses
+            << " invalidations=" << cache->invalidations << "\n";
+      }
     }
     return true;
   }
   if (command == "logs") {
     size_t n = 10;
-    std::string count_token;
-    if (fields >> count_token) {
-      std::istringstream count_in(count_token);
-      if (!(count_in >> n)) {
-        Error(out, "usage: logs [n]");
-        return true;
+    bool saw_count = false;
+    LogLevel min_level = LogLevel::kDebug;
+    bool saw_level = false;
+    std::string token;
+    while (fields >> token) {
+      if (LogLevel level; !saw_level && ParseLogLevelName(token, &level)) {
+        min_level = level;
+        saw_level = true;
+        continue;
       }
+      std::istringstream count_in(token);
+      if (!saw_count && (count_in >> n) && count_in.peek() == EOF) {
+        saw_count = true;
+        continue;
+      }
+      Error(out, "usage: logs [n] [debug|info|warn|error]");
+      return true;
     }
-    const std::vector<LogEvent> events = EventLog::Global().Tail(n);
+    // Filter the whole retained ring by level FIRST, then keep the last n,
+    // so `logs 5 warn` means "the 5 most recent warn-or-worse events", not
+    // "the warn events among the last 5".
+    std::vector<LogEvent> events =
+        EventLog::Global().Tail(std::numeric_limits<size_t>::max());
+    if (saw_level) {
+      std::vector<LogEvent> kept;
+      for (LogEvent& event : events) {
+        if (event.level >= min_level) kept.push_back(std::move(event));
+      }
+      events = std::move(kept);
+    }
+    if (events.size() > n) {
+      events.erase(events.begin(),
+                   events.end() - static_cast<ptrdiff_t>(n));
+    }
     // Multi-line by design: "ok <count>" then one JSON line per event,
     // oldest first (the frozen schema of util/event_log.h).
     out << "ok " << events.size() << "\n";
@@ -538,7 +654,9 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
       Error(out, "unknown frequency query: " + name);
       return true;
     }
-    StatusOr<int64_t> answer = engine_.AnswerPointFrequency(it->second, value);
+    StatusOr<int64_t> answer =
+        dist_ != nullptr ? dist_->AnswerPointFrequency(it->second, value)
+                         : engine_.AnswerPointFrequency(it->second, value);
     if (!answer.ok()) {
       Error(out, answer.status());
       return true;
@@ -572,6 +690,17 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     return true;
   }
   if (command == "checkpoint") {
+    if (dist_ != nullptr) {
+      // Distributed mode: each worker checkpoints to its own configured
+      // path; the shell just triggers the fleet-wide sweep.
+      const Status status = dist_->CheckpointShards();
+      if (!status.ok()) {
+        Error(out, status);
+        return true;
+      }
+      Ok(out);
+      return true;
+    }
     std::string path;
     if (!(fields >> path)) {
       Error(out, "usage: checkpoint <path>");
@@ -702,12 +831,23 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
   if (command == "metrics") {
     std::string format;
     fields >> format;  // optional, defaults to json
+    metrics::Snapshot snapshot;
+    if (dist_ != nullptr) {
+      metrics::Registry* registry = dist_->MetricsRegistry();
+      if (registry == nullptr) {
+        Error(out, "the attached distributed backend exposes no metrics");
+        return true;
+      }
+      snapshot = registry->TakeSnapshot();
+    } else {
+      snapshot = engine_.MetricsSnapshot();
+    }
     if (format.empty() || format == "json") {
-      OkValue(out, metrics::ToJson(engine_.MetricsSnapshot()));
+      OkValue(out, metrics::ToJson(snapshot));
     } else if (format == "prom") {
       // The documented exception to the one-line contract: the Prometheus
       // text exposition format is inherently multi-line.
-      out << "ok\n" << metrics::ToPrometheusText(engine_.MetricsSnapshot());
+      out << "ok\n" << metrics::ToPrometheusText(snapshot);
     } else {
       Error(out, "usage: metrics [json|prom]");
     }

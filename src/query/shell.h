@@ -35,8 +35,13 @@
 //                                             full provenance (per-copy
 //                                             estimates, CI, a-priori bound,
 //                                             skim diagnostics)
-//   logs [n]                                  last n (default 10) structured
-//                                             events as JSON lines
+//   logs [n] [debug|info|warn|error]          last n (default 10) structured
+//                                             events at or above the given
+//                                             level as JSON lines
+//   workers                                   per-shard health/incarnation/
+//                                             epoch (distributed backend)
+//   shards                                    shard fan-out and routing
+//                                             (distributed backend)
 //   alerts <rel_error> <ci_width>             warn-event thresholds for
 //                                             accuracy drift and CI blow-up
 //                                             (`inf` disables one)
@@ -73,7 +78,12 @@
 namespace skimjoin {
 namespace query {
 
-/// Executes shell commands against an owned Engine.
+class DistBackend;
+
+/// Executes shell commands against an owned Engine — or, when a
+/// DistBackend is attached, against a fleet of worker shards (the engine-
+/// shaped commands route to the backend; engine-local ones report an
+/// error).
 class Shell {
  public:
   Shell() = default;
@@ -102,6 +112,12 @@ class Shell {
   /// exactly as `explain <q>` would.
   void set_always_explain(bool enabled) { always_explain_ = enabled; }
 
+  /// Attaches a distributed backend (not owned; must outlive the shell).
+  /// While attached, stream/join/selfjoin/freq/update/answer/explain/point,
+  /// checkpoint, and metrics route to the backend, and the `workers` /
+  /// `shards` commands come alive. Pass nullptr to detach.
+  void set_dist_backend(DistBackend* backend) { dist_ = backend; }
+
   /// The command registry behind `help`: every dispatched command name with
   /// its one-line synopsis, in help order. Static so tests can cross-check
   /// the `help` output (and the dispatcher) against it.
@@ -112,6 +128,7 @@ class Shell {
 
  private:
   Engine engine_;
+  DistBackend* dist_ = nullptr;
   std::function<void()> post_command_hook_;
   bool always_explain_ = false;
   std::unordered_map<std::string, QueryId> join_query_names_;

@@ -195,6 +195,14 @@ bool CountMinSketch::CompatibleWith(const CountMinSketch& other) const {
          seed_ == other.seed_;
 }
 
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  SKIMJOIN_CHECK(CompatibleWith(other)) << "merging incompatible count-min sketches";
+  ++update_epoch_;
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
 Status CountMinSketch::SerializeTo(std::ostream& out) const {
   out << "skimjoin.count_min v1\n"
       << config_.num_tables << ' ' << config_.num_buckets << ' ' << seed_

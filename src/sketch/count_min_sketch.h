@@ -101,6 +101,11 @@ class CountMinSketch {
 
   bool CompatibleWith(const CountMinSketch& other) const;
 
+  /// Counter-wise addition of a compatible sketch (same shape and seed):
+  /// merge(A, B) is bit-identical to having ingested both streams into one
+  /// sketch. CHECK-fails on incompatible sketches.
+  void Merge(const CountMinSketch& other);
+
   /// Writes a self-describing text record (config, seed, counters); hash
   /// families are reconstructed from (config, seed) on deserialization.
   Status SerializeTo(std::ostream& out) const;

@@ -76,12 +76,12 @@ std::string DirOf(const std::string& path) {
 
 Status FsyncDir(const std::string& dir) {
   SKIMJOIN_RETURN_IF_ERROR(failpoint::Check("durable:dir-fsync"));
-  const int fd = ::open(dir.c_str(), O_RDONLY);
+  const int fd = RetryingOpen(dir.c_str(), O_RDONLY, 0);
   if (fd < 0) {
     return IoError("cannot open directory for fsync: " + dir + ": " +
                    std::strerror(errno));
   }
-  const int rc = ::fsync(fd);
+  const int rc = RetryingFsync(fd);
   ::close(fd);
   if (rc != 0) {
     return IoError("directory fsync failed: " + dir + ": " +
@@ -90,7 +90,49 @@ Status FsyncDir(const std::string& dir) {
   return OkStatus();
 }
 
+// True when the "durable:eintr" failpoint injects a simulated interrupt —
+// the wrappers below treat a firing exactly like errno == EINTR.
+bool SimulatedEintr() { return !failpoint::Check("durable:eintr").ok(); }
+
 }  // namespace
+
+// ---- EINTR-safe syscall wrappers --------------------------------------
+
+int RetryingOpen(const char* path, int flags, unsigned mode) {
+  while (true) {
+    if (SimulatedEintr()) continue;
+    const int fd = ::open(path, flags, static_cast<mode_t>(mode));
+    if (fd < 0 && errno == EINTR) continue;
+    return fd;
+  }
+}
+
+long RetryingWrite(int fd, const void* data, size_t size) {
+  while (true) {
+    if (SimulatedEintr()) continue;
+    const ssize_t written = ::write(fd, data, size);
+    if (written < 0 && errno == EINTR) continue;
+    return written;
+  }
+}
+
+long RetryingRead(int fd, void* data, size_t size) {
+  while (true) {
+    if (SimulatedEintr()) continue;
+    const ssize_t bytes = ::read(fd, data, size);
+    if (bytes < 0 && errno == EINTR) continue;
+    return bytes;
+  }
+}
+
+int RetryingFsync(int fd) {
+  while (true) {
+    if (SimulatedEintr()) continue;
+    const int rc = ::fsync(fd);
+    if (rc != 0 && errno == EINTR) continue;
+    return rc;
+  }
+}
 
 uint32_t Crc32c(std::string_view data, uint32_t crc) {
   const Crc32cTables& tables = Tables();
@@ -175,7 +217,7 @@ StatusOr<DurableFileWriter> DurableFileWriter::Create(
   SKIMJOIN_RETURN_IF_ERROR(failpoint::Check("durable:open-temp"));
   std::string temp_path = path + ".tmp";
   const int fd =
-      ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      RetryingOpen(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return IoError("cannot open temp file for writing: " + temp_path + ": " +
                    std::strerror(errno));
@@ -193,9 +235,8 @@ Status DurableFileWriter::WriteRaw(std::string_view bytes) {
   const char* p = bytes.data();
   size_t remaining = outcome.allowed_bytes;
   while (remaining > 0) {
-    const ssize_t written = ::write(fd_, p, remaining);
+    const long written = RetryingWrite(fd_, p, remaining);
     if (written < 0) {
-      if (errno == EINTR) continue;
       failed_ = IoError("write failed for " + temp_path_ + ": " +
                         std::strerror(errno));
       return failed_;
@@ -263,7 +304,7 @@ Status DurableFileWriter::Commit() {
     if (failpoint::IsSimulatedCrash(fp)) Abandon();
     return failed_;
   }
-  if (::fsync(fd_) != 0) {
+  if (RetryingFsync(fd_) != 0) {
     failed_ = IoError("fsync failed for " + temp_path_ + ": " +
                       std::strerror(errno));
     return failed_;
@@ -374,7 +415,8 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
   }
   SKIMJOIN_RETURN_IF_ERROR(failpoint::Check("durable:open-temp"));
   const std::string temp_path = path + ".tmp";
-  const int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd =
+      RetryingOpen(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return IoError("cannot open temp file for writing: " + temp_path + ": " +
                    std::strerror(errno));
@@ -393,9 +435,8 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
   const char* p = contents.data();
   size_t remaining = outcome.allowed_bytes;
   while (remaining > 0) {
-    const ssize_t written = ::write(fd, p, remaining);
+    const long written = RetryingWrite(fd, p, remaining);
     if (written < 0) {
-      if (errno == EINTR) continue;
       return fail(IoError("write failed for " + temp_path + ": " +
                           std::strerror(errno)));
     }
@@ -406,7 +447,7 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
 
   Status fp = failpoint::Check("durable:fsync");
   if (!fp.ok()) return fail(std::move(fp));
-  if (::fsync(fd) != 0) {
+  if (RetryingFsync(fd) != 0) {
     return fail(IoError("fsync failed for " + temp_path + ": " +
                         std::strerror(errno)));
   }

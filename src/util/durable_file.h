@@ -50,6 +50,18 @@ namespace util {
 /// `crc` chains calls: Crc32c(b, Crc32c(a)) == Crc32c(a || b).
 uint32_t Crc32c(std::string_view data, uint32_t crc = 0);
 
+/// EINTR-safe syscall wrappers. A signal landing mid-checkpoint used to
+/// surface as a spurious IoError from whichever raw syscall it interrupted;
+/// these retry until the call completes or fails for a real reason. Each
+/// wrapper also consults the "durable:eintr" failpoint — a firing simulates
+/// one EINTR interrupt (the wrapper loops), so tests can drive the retry
+/// paths deterministically (activate with a `limit`, or the loop never
+/// ends — exactly like a signal storm).
+int RetryingOpen(const char* path, int flags, unsigned mode);
+long RetryingWrite(int fd, const void* data, size_t size);
+long RetryingRead(int fd, void* data, size_t size);
+int RetryingFsync(int fd);
+
 /// One named section of a durable file.
 struct DurableSection {
   std::string name;

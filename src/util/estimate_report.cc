@@ -72,6 +72,18 @@ std::string RenderEstimateReport(const EstimateReport& report) {
     table.AddRow(
         {"skim.sparse_sparse", TablePrinter::FormatDouble(skim.sparse_sparse)});
   }
+  if (!report.shards.empty()) {
+    table.AddRow({"partial", report.partial ? "yes" : "no"});
+    for (const ShardContribution& shard : report.shards) {
+      std::string value = shard.health;
+      value += shard.fresh ? ", fresh" : ", stale";
+      value += ", epoch " + std::to_string(shard.epoch);
+      if (shard.epochs_behind > 0) {
+        value += " (" + std::to_string(shard.epochs_behind) + " behind)";
+      }
+      table.AddRow({"shard." + shard.shard, std::move(value)});
+    }
+  }
   std::ostringstream out;
   table.Print(out);
   return out.str();

@@ -73,6 +73,25 @@ struct SkimDiagnostics {
   }
 };
 
+/// One shard's contribution to a distributed (coordinator-merged) answer:
+/// which worker it came from, how healthy that worker looked at answer
+/// time, and whether its delta was refreshed in the answering pull round
+/// or served stale from the coordinator's cache.
+struct ShardContribution {
+  /// Worker shard name, e.g. "shard0".
+  std::string shard;
+  /// Health at answer time: "healthy", "recovering", or "down".
+  std::string health;
+  /// True when the delta was pulled fresh in the answering round; false
+  /// when the coordinator fell back to its cached (stale) copy.
+  bool fresh = true;
+  /// Worker ingest epoch (update batches applied) the delta reflects.
+  uint64_t epoch = 0;
+  /// How many epochs the delta lags the worker's last acknowledged epoch.
+  /// Nonzero for a restarted worker that has not finished replay.
+  uint64_t epochs_behind = 0;
+};
+
 /// The provenance record a *WithReport estimator variant returns. The
 /// `estimate` field is always bit-identical to the corresponding legacy
 /// double-returning API (both paths share the same per-copy computation).
@@ -99,6 +118,12 @@ struct EstimateReport {
   double apriori_bound = std::numeric_limits<double>::quiet_NaN();
   /// Present only for skimmed-sketch join estimates.
   std::optional<SkimDiagnostics> skim;
+  /// Distributed answers only: true when at least one shard's contribution
+  /// was stale or missing — the answer is degraded, not exact-merge.
+  bool partial = false;
+  /// Distributed answers only: one entry per worker shard the coordinator
+  /// merged (or tried to). Empty for single-process answers.
+  std::vector<ShardContribution> shards;
 
   /// CI width relative to the estimate's magnitude (absolute width when the
   /// estimate is smaller than 1 in magnitude) — the blow-up signal the

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "util/random.h"
+
 namespace skimjoin {
 namespace failpoint {
 
@@ -13,6 +15,8 @@ namespace {
 // Message prefix that tags a status as a simulated crash. Chosen to be
 // specific enough that no production error message collides with it.
 constexpr char kCrashPrefix[] = "simulated crash at failpoint ";
+
+constexpr uint64_t kDefaultChaosSeed = 0x736b696d6a6f696eULL;  // "skimjoin"
 
 struct Entry {
   Spec spec;
@@ -26,6 +30,9 @@ struct Registry {
   // Hit counts survive deactivation so tests can assert a hook was reached
   // even after DeactivateAll.
   std::unordered_map<std::string, uint64_t> retired_hits;
+  // Drives Spec::one_in probabilistic firing; deterministic so a chaos
+  // soak replays exactly from its printed seed.
+  Rng chaos_rng{kDefaultChaosSeed};
 };
 
 Registry& GetRegistry() {
@@ -56,6 +63,10 @@ Entry* Evaluate(Registry& registry, const char* name) {
   ++entry.hits;
   if (entry.hits <= entry.spec.skip) return nullptr;
   if (entry.fired >= entry.spec.limit) return nullptr;
+  if (entry.spec.one_in > 1 &&
+      registry.chaos_rng.NextUint64Below(entry.spec.one_in) != 0) {
+    return nullptr;
+  }
   ++entry.fired;
   return &entry;
 }
@@ -138,6 +149,12 @@ uint64_t HitCount(const std::string& name) {
 bool IsSimulatedCrash(const Status& status) {
   return !status.ok() &&
          status.message().rfind(kCrashPrefix, 0) == 0;
+}
+
+void SeedChaos(uint64_t seed) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.chaos_rng = Rng(seed);
 }
 
 }  // namespace failpoint

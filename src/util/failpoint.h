@@ -71,6 +71,12 @@ struct Spec {
   /// kTornWrite / kCrash on a write path: bytes of the intended write that
   /// reach the file before the failure.
   uint64_t torn_bytes = 0;
+  /// Probabilistic firing for randomized chaos soaks: when > 1, an
+  /// evaluation past `skip` fires with probability 1/one_in (drawn from the
+  /// registry's deterministic chaos RNG; see SeedChaos). 0 or 1 keeps the
+  /// classic deterministic behavior (every due evaluation fires). `limit`
+  /// still bounds the number of firings either way.
+  uint64_t one_in = 0;
 };
 
 /// Activates (or re-activates, resetting counters) the named failpoint.
@@ -90,6 +96,31 @@ uint64_t HitCount(const std::string& name);
 
 /// True when `status` was injected by a kCrash failpoint.
 bool IsSimulatedCrash(const Status& status);
+
+/// Reseeds the deterministic RNG behind Spec::one_in, so a chaos soak's
+/// random firing schedule is reproducible from a printed seed.
+void SeedChaos(uint64_t seed);
+
+/// RAII activation: Activate in the constructor, Deactivate on scope exit.
+/// The guard form is what tests should use — a failed ASSERT_* unwinds the
+/// scope and still deactivates, so one failing test can never leak an
+/// active failpoint into the next (the job manual DeactivateAll() teardown
+/// used to do by convention).
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, Spec spec) : name_(std::move(name)) {
+    Activate(name_, spec);
+  }
+  ~ScopedFailpoint() { Deactivate(name_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
 
 namespace internal {
 extern std::atomic<uint64_t> g_active_count;

@@ -222,9 +222,8 @@ TEST(CheckpointCrashTest, CrashDuringSaveNeverClobbersOldCheckpoint) {
   for (const char* point : kCrashPoints) {
     failpoint::Spec spec;
     spec.mode = failpoint::Mode::kCrash;
-    failpoint::Activate(point, spec);
+    failpoint::ScopedFailpoint guard(point, spec);
     const Status crashed = engine.SaveCheckpoint(path);
-    failpoint::DeactivateAll();
     ASSERT_FALSE(crashed.ok()) << point;
     EXPECT_TRUE(failpoint::IsSimulatedCrash(crashed)) << point;
     EXPECT_EQ(ReadAll(path), good_bytes)
@@ -237,9 +236,8 @@ TEST(CheckpointCrashTest, CrashDuringSaveNeverClobbersOldCheckpoint) {
     spec.mode = failpoint::Mode::kTornWrite;
     spec.torn_bytes = 5;
     spec.skip = 2;
-    failpoint::Activate("durable:append", spec);
+    failpoint::ScopedFailpoint guard("durable:append", spec);
     const Status torn = engine.SaveCheckpoint(path);
-    failpoint::DeactivateAll();
     ASSERT_FALSE(torn.ok());
     EXPECT_EQ(ReadAll(path), good_bytes);
   }
@@ -247,9 +245,8 @@ TEST(CheckpointCrashTest, CrashDuringSaveNeverClobbersOldCheckpoint) {
   // Plain I/O error on fsync: save fails, old checkpoint intact.
   {
     failpoint::Spec spec;
-    failpoint::Activate("durable:fsync", spec);
+    failpoint::ScopedFailpoint guard("durable:fsync", spec);
     const Status failed = engine.SaveCheckpoint(path);
-    failpoint::DeactivateAll();
     ASSERT_FALSE(failed.ok());
     EXPECT_EQ(ReadAll(path), good_bytes);
   }

@@ -1,0 +1,349 @@
+// Coordinator tests against real in-process workers (each Serve()-ing on
+// its own thread over a real Unix socket): merged answers are bit-identical
+// to a single local engine, RPCs stay inside their deadline + retry budget
+// when a shard is unreachable, chaos-injected frame corruption is retried
+// through, a dead shard degrades answers to flagged partials, and a worker
+// restarted from its checkpoint is re-adopted without double-merging.
+
+#include "dist/coordinator.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/worker.h"
+#include "gtest/gtest.h"
+#include "query/engine.h"
+#include "util/failpoint.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace dist {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+/// One worker Serve()-ing on a background thread; stoppable and
+/// restartable (same options → same socket and checkpoint).
+class WorkerHarness {
+ public:
+  explicit WorkerHarness(WorkerOptions options)
+      : options_(std::move(options)) {
+    Start();
+  }
+  ~WorkerHarness() { Stop(); }
+
+  void Start() {
+    StatusOr<std::unique_ptr<Worker>> worker = Worker::Create(options_);
+    ASSERT_TRUE(worker.ok()) << worker.status();
+    worker_ = std::move(*worker);
+    thread_ = std::thread([this] {
+      const Status status = worker_->Serve();
+      EXPECT_TRUE(status.ok()) << status;
+    });
+  }
+
+  void Stop() {
+    if (worker_ != nullptr) worker_->RequestStop();
+    if (thread_.joinable()) thread_.join();
+    worker_.reset();
+  }
+
+  void Restart() {
+    Stop();
+    Start();
+  }
+
+ private:
+  WorkerOptions options_;
+  std::unique_ptr<Worker> worker_;
+  std::thread thread_;
+};
+
+WorkerOptions MakeWorkerOptions(std::string socket, std::string shard) {
+  WorkerOptions options;
+  options.socket_path = std::move(socket);
+  options.shard_name = std::move(shard);
+  return options;
+}
+
+CoordinatorOptions FastOptions() {
+  CoordinatorOptions options;
+  options.rpc_timeout = milliseconds(2000);
+  options.rpc_attempts = 3;
+  options.backoff_base = milliseconds(1);
+  options.backoff_cap = milliseconds(10);
+  options.down_after_failures = 2;
+  return options;
+}
+
+query::JoinQuerySpec SkimmedJoinSpec() {
+  query::JoinQuerySpec spec;
+  spec.left_stream = "f";
+  spec.right_stream = "g";
+  spec.estimator.kind = core::EstimatorKind::kSkimmedSketch;
+  spec.estimator.space_counters = 1024;
+  return spec;
+}
+
+/// Feeds the same deterministic workload to a backend and a local engine.
+std::vector<query::StreamUpdate> Workload(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<query::StreamUpdate> updates;
+  updates.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    updates.push_back({rng.NextUint64Below(1u << 12), 1, 0});
+  }
+  return updates;
+}
+
+TEST(CoordinatorTest, MergedAnswersAreBitIdenticalToLocalEngine) {
+  const std::string dir = ::testing::TempDir();
+  WorkerHarness w0(MakeWorkerOptions(dir + "/coord_ident_0.sock", "s0"));
+  WorkerHarness w1(MakeWorkerOptions(dir + "/coord_ident_1.sock", "s1"));
+  Coordinator coordinator({{"s0", dir + "/coord_ident_0.sock"},
+                           {"s1", dir + "/coord_ident_1.sock"}},
+                          FastOptions());
+
+  query::Engine engine;
+  const query::StreamSpec f{"f", 1u << 12};
+  const query::StreamSpec g{"g", 1u << 12};
+  ASSERT_TRUE(coordinator.RegisterStream(f).ok());
+  ASSERT_TRUE(coordinator.RegisterStream(g).ok());
+  ASSERT_TRUE(engine.RegisterStream(f).ok());
+  ASSERT_TRUE(engine.RegisterStream(g).ok());
+
+  const uint64_t kSeed = 77;
+  StatusOr<query::QueryId> dist_join =
+      coordinator.AddJoinQuery(SkimmedJoinSpec(), kSeed);
+  ASSERT_TRUE(dist_join.ok()) << dist_join.status();
+  StatusOr<query::QueryId> local_join =
+      engine.AddJoinQuery(SkimmedJoinSpec(), kSeed);
+  ASSERT_TRUE(local_join.ok()) << local_join.status();
+
+  query::FrequencyQuerySpec freq;
+  freq.stream = "f";
+  freq.space_counters = 512;
+  StatusOr<query::QueryId> dist_freq =
+      coordinator.AddFrequencyQuery(freq, kSeed + 1);
+  ASSERT_TRUE(dist_freq.ok()) << dist_freq.status();
+  StatusOr<query::QueryId> local_freq =
+      engine.AddFrequencyQuery(freq, kSeed + 1);
+  ASSERT_TRUE(local_freq.ok()) << local_freq.status();
+
+  const std::vector<query::StreamUpdate> f_updates = Workload(1, 500);
+  const std::vector<query::StreamUpdate> g_updates = Workload(2, 500);
+  ASSERT_TRUE(coordinator.UpdateBatch("f", f_updates).ok());
+  ASSERT_TRUE(coordinator.UpdateBatch("g", g_updates).ok());
+  ASSERT_TRUE(engine.UpdateBatch("f", f_updates).ok());
+  ASSERT_TRUE(engine.UpdateBatch("g", g_updates).ok());
+
+  StatusOr<double> dist_answer = coordinator.AnswerJoin(*dist_join);
+  StatusOr<double> local_answer = engine.AnswerJoin(*local_join);
+  ASSERT_TRUE(dist_answer.ok()) << dist_answer.status();
+  ASSERT_TRUE(local_answer.ok()) << local_answer.status();
+  // Bit-identical, not approximately equal: merging shard synopses by
+  // linearity reconstructs the exact counters a single engine builds.
+  EXPECT_EQ(*local_answer, *dist_answer);
+
+  for (const uint64_t value : {f_updates[0].value, f_updates[1].value,
+                               f_updates[2].value, uint64_t{4000}}) {
+    StatusOr<int64_t> dist_point =
+        coordinator.AnswerPointFrequency(*dist_freq, value);
+    StatusOr<int64_t> local_point =
+        engine.AnswerPointFrequency(*local_freq, value);
+    ASSERT_TRUE(dist_point.ok()) << dist_point.status();
+    ASSERT_TRUE(local_point.ok()) << local_point.status();
+    EXPECT_EQ(*local_point, *dist_point) << "value " << value;
+  }
+
+  StatusOr<EstimateReport> report =
+      coordinator.AnswerJoinWithReport(*dist_join);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->partial);
+  ASSERT_EQ(2u, report->shards.size());
+  for (const ShardContribution& shard : report->shards) {
+    EXPECT_TRUE(shard.fresh) << shard.shard;
+    EXPECT_EQ("healthy", shard.health) << shard.shard;
+    EXPECT_EQ(0u, shard.epochs_behind) << shard.shard;
+  }
+}
+
+TEST(CoordinatorTest, UnreachableShardStaysInsideRetryBudgetAndDeadline) {
+  CoordinatorOptions options = FastOptions();
+  options.rpc_timeout = milliseconds(100);
+  Coordinator coordinator(
+      {{"ghost", ::testing::TempDir() + "/no_such_worker.sock"}}, options);
+
+  const auto start = steady_clock::now();
+  const Status status =
+      coordinator.RegisterStream(query::StreamSpec{"f", 1u << 12});
+  const auto elapsed = steady_clock::now() - start;
+  ASSERT_FALSE(status.ok());
+  // 3 attempts × 100ms deadline + backoffs ≤ 10ms each, with slack.
+  EXPECT_LT(elapsed, milliseconds(2000));
+
+  const std::vector<query::DistShardStatus> statuses =
+      coordinator.ShardStatuses();
+  ASSERT_EQ(1u, statuses.size());
+  EXPECT_EQ("down", statuses[0].health);
+  EXPECT_GE(statuses[0].rpc_failures, 2u);
+}
+
+TEST(CoordinatorTest, ChaoticFrameCorruptionIsRetriedThrough) {
+  const std::string dir = ::testing::TempDir();
+  WorkerHarness worker(MakeWorkerOptions(dir + "/coord_chaos.sock", "s0"));
+  CoordinatorOptions options = FastOptions();
+  options.rpc_attempts = 6;
+  Coordinator coordinator({{"s0", dir + "/coord_chaos.sock"}}, options);
+
+  ASSERT_TRUE(coordinator.RegisterStream({"f", 1u << 12}).ok());
+  ASSERT_TRUE(coordinator.RegisterStream({"g", 1u << 12}).ok());
+  StatusOr<query::QueryId> join =
+      coordinator.AddJoinQuery(SkimmedJoinSpec(), 7);
+  ASSERT_TRUE(join.ok()) << join.status();
+  ASSERT_TRUE(coordinator.UpdateBatch("f", Workload(1, 200)).ok());
+  ASSERT_TRUE(coordinator.UpdateBatch("g", Workload(2, 200)).ok());
+  StatusOr<double> clean_answer = coordinator.AnswerJoin(*join);
+  ASSERT_TRUE(clean_answer.ok()) << clean_answer.status();
+
+  // Probabilistic CRC corruption on every Send (workers and coordinator
+  // alike — they share the process). The schedule is deterministic from
+  // the printed seed; the retry budget must ride it out.
+  const uint64_t kChaosSeed = 20260808;
+  SCOPED_TRACE("chaos seed " + std::to_string(kChaosSeed));
+  failpoint::SeedChaos(kChaosSeed);
+  {
+    failpoint::Spec spec;
+    spec.one_in = 4;
+    failpoint::ScopedFailpoint guard("dist:frame-crc", spec);
+    StatusOr<double> chaotic_answer = coordinator.AnswerJoin(*join);
+    ASSERT_TRUE(chaotic_answer.ok()) << chaotic_answer.status();
+    EXPECT_EQ(*clean_answer, *chaotic_answer);
+  }
+
+  // Corruption gone: the next pull promotes the shard back to healthy.
+  StatusOr<double> recovered = coordinator.AnswerJoin(*join);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(*clean_answer, *recovered);
+  EXPECT_EQ("healthy", coordinator.ShardStatuses()[0].health);
+}
+
+TEST(CoordinatorTest, DeadShardYieldsFlaggedPartialAnswer) {
+  const std::string dir = ::testing::TempDir();
+  auto w0 = std::make_unique<WorkerHarness>(
+      MakeWorkerOptions(dir + "/coord_part_0.sock", "s0"));
+  WorkerHarness w1(MakeWorkerOptions(dir + "/coord_part_1.sock", "s1"));
+  CoordinatorOptions options = FastOptions();
+  options.rpc_timeout = milliseconds(200);
+  Coordinator coordinator({{"s0", dir + "/coord_part_0.sock"},
+                           {"s1", dir + "/coord_part_1.sock"}},
+                          options);
+
+  ASSERT_TRUE(coordinator.RegisterStream({"f", 1u << 12}).ok());
+  ASSERT_TRUE(coordinator.RegisterStream({"g", 1u << 12}).ok());
+  StatusOr<query::QueryId> join =
+      coordinator.AddJoinQuery(SkimmedJoinSpec(), 7);
+  ASSERT_TRUE(join.ok()) << join.status();
+  ASSERT_TRUE(coordinator.UpdateBatch("f", Workload(1, 300)).ok());
+  ASSERT_TRUE(coordinator.UpdateBatch("g", Workload(2, 300)).ok());
+
+  // Warm the caches while both shards live.
+  StatusOr<EstimateReport> healthy_report =
+      coordinator.AnswerJoinWithReport(*join);
+  ASSERT_TRUE(healthy_report.ok()) << healthy_report.status();
+  ASSERT_FALSE(healthy_report->partial);
+
+  // Kill shard s0 and answer again: the cached s0 delta keeps the answer
+  // available, but the report must flag it partial and name the shard.
+  w0.reset();
+  StatusOr<EstimateReport> degraded =
+      coordinator.AnswerJoinWithReport(*join);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_TRUE(degraded->partial);
+  ASSERT_EQ(2u, degraded->shards.size());
+  bool found_stale_s0 = false;
+  for (const ShardContribution& shard : degraded->shards) {
+    if (shard.shard == "s0") {
+      EXPECT_FALSE(shard.fresh);
+      found_stale_s0 = true;
+    } else {
+      EXPECT_TRUE(shard.fresh) << shard.shard;
+    }
+  }
+  EXPECT_TRUE(found_stale_s0);
+  // The cached deltas cover everything ingested, so even the degraded
+  // estimate matches the healthy one exactly.
+  EXPECT_EQ(healthy_report->estimate, degraded->estimate);
+}
+
+TEST(CoordinatorTest, RestartedWorkerIsReadoptedWithoutDoubleMerge) {
+  const std::string dir = ::testing::TempDir();
+  WorkerOptions worker_options;
+  worker_options.socket_path = dir + "/coord_restart.sock";
+  worker_options.shard_name = "s0";
+  worker_options.checkpoint_path = dir + "/coord_restart.ckpt";
+  // TempDir persists across runs; a stale checkpoint would smuggle last
+  // run's state into this one.
+  ::unlink(worker_options.checkpoint_path.c_str());
+  WorkerHarness worker(worker_options);
+  Coordinator coordinator({{"s0", worker_options.socket_path}},
+                          FastOptions());
+
+  ASSERT_TRUE(coordinator.RegisterStream({"f", 1u << 12}).ok());
+  ASSERT_TRUE(coordinator.RegisterStream({"g", 1u << 12}).ok());
+  StatusOr<query::QueryId> join =
+      coordinator.AddJoinQuery(SkimmedJoinSpec(), 7);
+  ASSERT_TRUE(join.ok()) << join.status();
+  ASSERT_TRUE(coordinator.UpdateBatch("f", Workload(1, 300)).ok());
+  ASSERT_TRUE(coordinator.UpdateBatch("g", Workload(2, 300)).ok());
+  ASSERT_TRUE(coordinator.CheckpointShards().ok());
+
+  StatusOr<double> before = coordinator.AnswerJoin(*join);
+  ASSERT_TRUE(before.ok()) << before.status();
+  const uint64_t incarnation_before = coordinator.ShardStatuses()[0].incarnation;
+
+  // Kill and restart from the checkpoint: the worker comes back with a
+  // bumped incarnation, the coordinator re-adopts it (replaying the
+  // registrations), and the answer is bit-identical — the full-state delta
+  // replaces the cache wholesale, so nothing can merge twice.
+  worker.Restart();
+  StatusOr<double> after = coordinator.AnswerJoin(*join);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(*before, *after);
+  // Answer twice more: double-merge would inflate the estimate.
+  StatusOr<double> again = coordinator.AnswerJoin(*join);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(*before, *again);
+
+  const std::vector<query::DistShardStatus> statuses =
+      coordinator.ShardStatuses();
+  EXPECT_GT(statuses[0].incarnation, incarnation_before);
+  EXPECT_EQ("healthy", statuses[0].health);
+
+  // The restarted shard keeps serving ingest too.
+  ASSERT_TRUE(coordinator.UpdateBatch("f", Workload(3, 100)).ok());
+  StatusOr<double> moved = coordinator.AnswerJoin(*join);
+  ASSERT_TRUE(moved.ok()) << moved.status();
+}
+
+TEST(CoordinatorTest, RejectsNonDistributableSpecs) {
+  Coordinator coordinator(
+      {{"s0", ::testing::TempDir() + "/coord_reject.sock"}}, FastOptions());
+  query::JoinQuerySpec predicated = SkimmedJoinSpec();
+  predicated.left_predicate = query::RangePredicate{0, 100};
+  EXPECT_FALSE(coordinator.AddJoinQuery(predicated, 1).ok());
+
+  query::JoinQuerySpec sum_join = SkimmedJoinSpec();
+  sum_join.left_input = query::AggregateInput::kMeasure;
+  EXPECT_FALSE(coordinator.AddJoinQuery(sum_join, 1).ok());
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace skimjoin

@@ -1,0 +1,375 @@
+// Multi-process integration test of the distributed runtime: real worker
+// processes (the skimjoin_cli binary, passed as argv[1]) serving real Unix
+// sockets, driven by an in-test dist::Coordinator.
+//
+//   * All shards healthy → coordinator answers bit-identical to a single
+//     local engine fed the same stream.
+//   * SIGKILL a worker mid-ingest → answers degrade to flagged partials
+//     naming the missing shard; restart from checkpoint → re-adopted,
+//     answers bit-identical again with no double-merge.
+//   * A seeded kill/restart chaos schedule (seed from SKIMJOIN_CHAOS_SEED,
+//     always printed) never crashes or hangs the coordinator, and every
+//     answer stays inside the deadline × retry budget envelope.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/frame.h"
+#include "dist/protocol.h"
+#include "gtest/gtest.h"
+#include "query/engine.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace dist {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+std::string g_cli_path;  // set by main from argv[1]
+
+uint64_t ChaosSeed() {
+  if (const char* env = std::getenv("SKIMJOIN_CHAOS_SEED")) {
+    char* end = nullptr;
+    const uint64_t seed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return seed;
+  }
+  return 0xC0FFEE2026ULL;
+}
+
+/// One worker process: spawn (fork + exec of the CLI), SIGKILL, restart.
+class WorkerProcess {
+ public:
+  WorkerProcess(std::string socket_path, std::string shard_name,
+                std::string checkpoint_path, int checkpoint_every)
+      : socket_path_(std::move(socket_path)),
+        shard_name_(std::move(shard_name)),
+        checkpoint_path_(std::move(checkpoint_path)),
+        checkpoint_every_(checkpoint_every) {}
+
+  ~WorkerProcess() { Kill(); }
+
+  void Start() {
+    ASSERT_EQ(-1, pid_) << "already running";
+    std::vector<std::string> args = {
+        g_cli_path,
+        "--worker=" + socket_path_,
+        "--shard=" + shard_name_,
+    };
+    if (!checkpoint_path_.empty()) {
+      args.push_back("--worker_checkpoint=" + checkpoint_path_);
+      args.push_back("--checkpoint_every=" + std::to_string(checkpoint_every_));
+    }
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (const std::string& arg : args) {
+        argv.push_back(const_cast<char*>(arg.c_str()));
+      }
+      argv.push_back(nullptr);
+      ::execv(g_cli_path.c_str(), argv.data());
+      _exit(127);
+    }
+    pid_ = pid;
+    WaitServing();
+  }
+
+  void Kill() {
+    if (pid_ < 0) return;
+    ::kill(pid_, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(pid_, &wstatus, 0);
+    pid_ = -1;
+  }
+
+  bool running() const { return pid_ >= 0; }
+  const std::string& socket_path() const { return socket_path_; }
+  const std::string& shard_name() const { return shard_name_; }
+
+ private:
+  /// Blocks until the worker answers a ping (it prints its readiness line
+  /// once the socket is bound; pinging is how another process can tell).
+  void WaitServing() {
+    const auto give_up = steady_clock::now() + milliseconds(10000);
+    while (steady_clock::now() < give_up) {
+      StatusOr<FrameChannel> channel =
+          ConnectUnix(socket_path_, DeadlineAfter(milliseconds(200)));
+      if (channel.ok()) {
+        StatusOr<Frame> pong = Call(*channel, MessageType::kPing, "",
+                                    DeadlineAfter(milliseconds(500)));
+        if (pong.ok()) return;
+      }
+      std::this_thread::sleep_for(milliseconds(20));
+    }
+    FAIL() << "worker " << shard_name_ << " never became ready";
+  }
+
+  std::string socket_path_;
+  std::string shard_name_;
+  std::string checkpoint_path_;
+  int checkpoint_every_ = 0;
+  pid_t pid_ = -1;
+};
+
+CoordinatorOptions FastOptions() {
+  CoordinatorOptions options;
+  options.rpc_timeout = milliseconds(1000);
+  options.rpc_attempts = 3;
+  options.backoff_base = milliseconds(1);
+  options.backoff_cap = milliseconds(20);
+  options.down_after_failures = 2;
+  return options;
+}
+
+query::JoinQuerySpec SkimmedJoinSpec() {
+  query::JoinQuerySpec spec;
+  spec.left_stream = "f";
+  spec.right_stream = "g";
+  spec.estimator.kind = core::EstimatorKind::kSkimmedSketch;
+  spec.estimator.space_counters = 1024;
+  return spec;
+}
+
+std::vector<query::StreamUpdate> Workload(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<query::StreamUpdate> updates;
+  updates.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    updates.push_back({rng.NextUint64Below(1u << 12), 1, 0});
+  }
+  return updates;
+}
+
+/// TempDir persists across runs; a worker finding last run's checkpoint
+/// would "restore" state this run never ingested.
+std::string FreshPath(const std::string& path) {
+  ::unlink(path.c_str());
+  return path;
+}
+
+TEST(DistIntegrationTest, AllHealthyAnswersMatchLocalEngineBitForBit) {
+  const std::string dir = ::testing::TempDir();
+  WorkerProcess w0(dir + "/int_ident_0.sock", "s0", "", 0);
+  WorkerProcess w1(dir + "/int_ident_1.sock", "s1", "", 0);
+  ASSERT_NO_FATAL_FAILURE(w0.Start());
+  ASSERT_NO_FATAL_FAILURE(w1.Start());
+
+  Coordinator coordinator(
+      {{"s0", w0.socket_path()}, {"s1", w1.socket_path()}}, FastOptions());
+  query::Engine engine;
+  for (const auto& stream : {query::StreamSpec{"f", 1u << 12},
+                             query::StreamSpec{"g", 1u << 12}}) {
+    ASSERT_TRUE(coordinator.RegisterStream(stream).ok());
+    ASSERT_TRUE(engine.RegisterStream(stream).ok());
+  }
+  const uint64_t kSeed = 99;
+  StatusOr<query::QueryId> dist_join =
+      coordinator.AddJoinQuery(SkimmedJoinSpec(), kSeed);
+  ASSERT_TRUE(dist_join.ok()) << dist_join.status();
+  StatusOr<query::QueryId> local_join =
+      engine.AddJoinQuery(SkimmedJoinSpec(), kSeed);
+  ASSERT_TRUE(local_join.ok()) << local_join.status();
+
+  const auto f_updates = Workload(1, 800);
+  const auto g_updates = Workload(2, 800);
+  ASSERT_TRUE(coordinator.UpdateBatch("f", f_updates).ok());
+  ASSERT_TRUE(coordinator.UpdateBatch("g", g_updates).ok());
+  ASSERT_TRUE(engine.UpdateBatch("f", f_updates).ok());
+  ASSERT_TRUE(engine.UpdateBatch("g", g_updates).ok());
+
+  StatusOr<double> dist_answer = coordinator.AnswerJoin(*dist_join);
+  StatusOr<double> local_answer = engine.AnswerJoin(*local_join);
+  ASSERT_TRUE(dist_answer.ok()) << dist_answer.status();
+  ASSERT_TRUE(local_answer.ok()) << local_answer.status();
+  EXPECT_EQ(*local_answer, *dist_answer);
+
+  StatusOr<EstimateReport> report =
+      coordinator.AnswerJoinWithReport(*dist_join);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->partial);
+}
+
+TEST(DistIntegrationTest, KilledWorkerDegradesThenRestartRecoversExactly) {
+  const std::string dir = ::testing::TempDir();
+  WorkerProcess w0(dir + "/int_kill_0.sock", "s0",
+                   FreshPath(dir + "/int_kill_0.ckpt"), 1);
+  WorkerProcess w1(dir + "/int_kill_1.sock", "s1",
+                   FreshPath(dir + "/int_kill_1.ckpt"), 1);
+  ASSERT_NO_FATAL_FAILURE(w0.Start());
+  ASSERT_NO_FATAL_FAILURE(w1.Start());
+
+  CoordinatorOptions options = FastOptions();
+  options.rpc_timeout = milliseconds(500);
+  Coordinator coordinator(
+      {{"s0", w0.socket_path()}, {"s1", w1.socket_path()}}, options);
+  query::Engine engine;
+  for (const auto& stream : {query::StreamSpec{"f", 1u << 12},
+                             query::StreamSpec{"g", 1u << 12}}) {
+    ASSERT_TRUE(coordinator.RegisterStream(stream).ok());
+    ASSERT_TRUE(engine.RegisterStream(stream).ok());
+  }
+  const uint64_t kSeed = 41;
+  StatusOr<query::QueryId> dist_join =
+      coordinator.AddJoinQuery(SkimmedJoinSpec(), kSeed);
+  ASSERT_TRUE(dist_join.ok()) << dist_join.status();
+  StatusOr<query::QueryId> local_join =
+      engine.AddJoinQuery(SkimmedJoinSpec(), kSeed);
+  ASSERT_TRUE(local_join.ok()) << local_join.status();
+
+  // Ingest with checkpoint_every=1: every acked batch is durable.
+  const auto f_updates = Workload(1, 400);
+  const auto g_updates = Workload(2, 400);
+  ASSERT_TRUE(coordinator.UpdateBatch("f", f_updates).ok());
+  ASSERT_TRUE(coordinator.UpdateBatch("g", g_updates).ok());
+  ASSERT_TRUE(engine.UpdateBatch("f", f_updates).ok());
+  ASSERT_TRUE(engine.UpdateBatch("g", g_updates).ok());
+
+  StatusOr<EstimateReport> healthy =
+      coordinator.AnswerJoinWithReport(*dist_join);
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  ASSERT_FALSE(healthy->partial);
+
+  // SIGKILL s0: answers must keep flowing (stale cache) but flag the shard.
+  w0.Kill();
+  StatusOr<EstimateReport> degraded =
+      coordinator.AnswerJoinWithReport(*dist_join);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_TRUE(degraded->partial);
+  bool s0_flagged = false;
+  for (const ShardContribution& shard : degraded->shards) {
+    if (shard.shard == "s0" && !shard.fresh) s0_flagged = true;
+  }
+  EXPECT_TRUE(s0_flagged);
+
+  // Restart from the checkpoint: every acked batch was durable, so the
+  // re-adopted fleet answers bit-identically to the local engine again.
+  ASSERT_NO_FATAL_FAILURE(w0.Start());
+  StatusOr<EstimateReport> recovered =
+      coordinator.AnswerJoinWithReport(*dist_join);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_FALSE(recovered->partial) << "s0 should be fresh after re-adoption";
+  EXPECT_EQ(healthy->estimate, recovered->estimate);
+
+  // No double-merge: asking again (another pull + merge) must not inflate.
+  StatusOr<double> again = coordinator.AnswerJoin(*dist_join);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(healthy->estimate, *again);
+
+  // And the fleet keeps tracking new arrivals exactly.
+  const auto more = Workload(3, 200);
+  ASSERT_TRUE(coordinator.UpdateBatch("f", more).ok());
+  ASSERT_TRUE(engine.UpdateBatch("f", more).ok());
+  StatusOr<double> moved_dist = coordinator.AnswerJoin(*dist_join);
+  StatusOr<double> moved_local = engine.AnswerJoin(*local_join);
+  ASSERT_TRUE(moved_dist.ok()) << moved_dist.status();
+  ASSERT_TRUE(moved_local.ok()) << moved_local.status();
+  EXPECT_EQ(*moved_local, *moved_dist);
+}
+
+TEST(DistIntegrationTest, SeededKillRestartChaosNeverWedgesTheCoordinator) {
+  const uint64_t seed = ChaosSeed();
+  // Printed unconditionally so a failing CI run is reproducible with
+  // SKIMJOIN_CHAOS_SEED=<seed>.
+  std::cout << "[ chaos ] SKIMJOIN_CHAOS_SEED=" << seed << std::endl;
+  SCOPED_TRACE("SKIMJOIN_CHAOS_SEED=" + std::to_string(seed));
+  Rng chaos(seed);
+
+  const std::string dir = ::testing::TempDir();
+  std::vector<std::unique_ptr<WorkerProcess>> workers;
+  std::vector<ShardAddress> addresses;
+  for (int i = 0; i < 2; ++i) {
+    const std::string tag = "chaos_" + std::to_string(i);
+    workers.push_back(std::make_unique<WorkerProcess>(
+        dir + "/int_" + tag + ".sock", "s" + std::to_string(i),
+        FreshPath(dir + "/int_" + tag + ".ckpt"), 1));
+    ASSERT_NO_FATAL_FAILURE(workers.back()->Start());
+    addresses.push_back({workers.back()->shard_name(),
+                         workers.back()->socket_path()});
+  }
+
+  CoordinatorOptions options = FastOptions();
+  options.rpc_timeout = milliseconds(300);
+  options.rpc_attempts = 2;
+  options.jitter_seed = seed;
+  Coordinator coordinator(addresses, options);
+  ASSERT_TRUE(coordinator.RegisterStream({"f", 1u << 12}).ok());
+  ASSERT_TRUE(coordinator.RegisterStream({"g", 1u << 12}).ok());
+  StatusOr<query::QueryId> join =
+      coordinator.AddJoinQuery(SkimmedJoinSpec(), 5);
+  ASSERT_TRUE(join.ok()) << join.status();
+  ASSERT_TRUE(coordinator.UpdateBatch("f", Workload(10, 200)).ok());
+  ASSERT_TRUE(coordinator.UpdateBatch("g", Workload(11, 200)).ok());
+  ASSERT_TRUE(coordinator.AnswerJoin(*join).ok());
+
+  // The per-answer envelope: every shard can burn its full retry budget
+  // on both the pull and an eventual reconnect, plus scheduling slack.
+  const auto kAnswerBound = milliseconds(
+      2 * options.rpc_attempts * 2 * options.rpc_timeout.count() + 4000);
+
+  for (int round = 0; round < 6; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const uint64_t action = chaos.NextUint64Below(3);
+    const size_t victim = chaos.NextUint64Below(workers.size());
+    if (action == 0 && workers[victim]->running()) {
+      workers[victim]->Kill();
+    } else if (action == 1 && !workers[victim]->running()) {
+      ASSERT_NO_FATAL_FAILURE(workers[victim]->Start());
+    } else {
+      // Ingest traffic; with dead shards this reports an error but must
+      // not hang or crash, and surviving shards still apply their slice.
+      (void)coordinator.UpdateBatch("f", Workload(100 + round, 50));
+    }
+
+    const auto start = steady_clock::now();
+    StatusOr<EstimateReport> report =
+        coordinator.AnswerJoinWithReport(*join);
+    const auto elapsed = steady_clock::now() - start;
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_LT(elapsed, kAnswerBound);
+    bool any_down_or_stale = false;
+    for (const ShardContribution& shard : report->shards) {
+      if (!shard.fresh || shard.health != "healthy") any_down_or_stale = true;
+    }
+    if (report->partial) {
+      EXPECT_TRUE(any_down_or_stale)
+          << "partial answers must name a stale or unhealthy shard";
+    }
+  }
+
+  // Convergence: revive everyone; the fleet must settle back to healthy,
+  // non-partial answers.
+  for (auto& worker : workers) {
+    if (!worker->running()) {
+      ASSERT_NO_FATAL_FAILURE(worker->Start());
+    }
+  }
+  StatusOr<EstimateReport> settled = coordinator.AnswerJoinWithReport(*join);
+  ASSERT_TRUE(settled.ok()) << settled.status();
+  EXPECT_FALSE(settled->partial);
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace skimjoin
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc > 1) skimjoin::dist::g_cli_path = argv[1];
+  if (skimjoin::dist::g_cli_path.empty()) {
+    std::cerr << "usage: dist_integration_test <path-to-skimjoin_cli>\n";
+    return 2;
+  }
+  return RUN_ALL_TESTS();
+}

@@ -76,10 +76,10 @@ Status TryReadAll(const std::string& path) {
   }
 }
 
-class DurableFileTest : public ::testing::Test {
- protected:
-  void TearDown() override { failpoint::DeactivateAll(); }
-};
+// Failpoint activations below all use failpoint::ScopedFailpoint, so a
+// failing assertion unwinds the guard and cannot leak an activation into
+// the next test — no DeactivateAll teardown needed.
+using DurableFileTest = ::testing::Test;
 
 // ---- CRC32C ------------------------------------------------------------
 
@@ -268,7 +268,7 @@ TEST_F(DurableFileTest, HostileLengthsDoNotAllocate) {
 // ---- Failpoint integration ---------------------------------------------
 
 TEST_F(DurableFileTest, OpenTempFailpoint) {
-  failpoint::Activate("durable:open-temp", failpoint::Spec{});
+  failpoint::ScopedFailpoint guard("durable:open-temp", failpoint::Spec{});
   EXPECT_FALSE(DurableFileWriter::Create(TempPath("fp_open")).ok());
 }
 
@@ -278,11 +278,13 @@ TEST_F(DurableFileTest, AppendErrorIsStickyAndTempCleanedUp) {
   {
     auto writer = DurableFileWriter::Create(path);
     ASSERT_TRUE(writer.ok());
-    failpoint::Spec spec;  // kError: the next write fails, nothing lands
-    failpoint::Activate("durable:append", spec);
-    const Status s = writer->AppendSection("s", "p");
+    Status s;
+    {
+      failpoint::Spec spec;  // kError: the next write fails, nothing lands
+      failpoint::ScopedFailpoint guard("durable:append", spec);
+      s = writer->AppendSection("s", "p");
+    }
     EXPECT_EQ(s.code(), StatusCode::kIoError);
-    failpoint::DeactivateAll();
     // The writer is dead: everything now reports the first failure.
     EXPECT_EQ(writer->AppendSection("s2", "p2"), s);
     EXPECT_EQ(writer->Commit(), s);
@@ -302,7 +304,7 @@ TEST_F(DurableFileTest, CrashDuringAppendLeavesTornTempAndOldFile) {
     failpoint::Spec spec;
     spec.mode = failpoint::Mode::kCrash;
     spec.torn_bytes = 5;  // crash 5 bytes into the frame
-    failpoint::Activate("durable:append", spec);
+    failpoint::ScopedFailpoint guard("durable:append", spec);
     const Status s = writer->AppendSection("second", "lost");
     EXPECT_TRUE(failpoint::IsSimulatedCrash(s));
   }
@@ -325,7 +327,7 @@ TEST_F(DurableFileTest, CrashAtRenameLeavesOldFile) {
     ASSERT_TRUE(writer->AppendSection("s", "p").ok());
     failpoint::Spec spec;
     spec.mode = failpoint::Mode::kCrash;
-    failpoint::Activate("durable:rename", spec);
+    failpoint::ScopedFailpoint guard("durable:rename", spec);
     const Status s = writer->Commit();
     EXPECT_TRUE(failpoint::IsSimulatedCrash(s));
   }
@@ -341,10 +343,44 @@ TEST_F(DurableFileTest, FsyncFailpointFailsCommit) {
   const std::string path = TempPath("fp_fsync");
   auto writer = DurableFileWriter::Create(path);
   ASSERT_TRUE(writer.ok());
-  failpoint::Activate("durable:fsync", failpoint::Spec{});
+  failpoint::ScopedFailpoint guard("durable:fsync", failpoint::Spec{});
   EXPECT_FALSE(writer->Commit().ok());
   EXPECT_FALSE(FileExists(path));
   EXPECT_GE(failpoint::HitCount("durable:fsync"), 1u);
+}
+
+// ---- EINTR retry loops -------------------------------------------------
+
+TEST_F(DurableFileTest, SignalStormDuringWriteAndReadIsInvisible) {
+  // Every open/write/read/fsync under a storm of simulated EINTR
+  // interrupts must retry and complete as if no signal ever landed. The
+  // failpoint needs a `limit`: each firing models one interrupt, and the
+  // wrappers loop until an evaluation passes.
+  const std::string path = TempPath("eintr");
+  const uint64_t hits_before = failpoint::HitCount("durable:eintr");
+
+  failpoint::Spec spec;
+  spec.limit = 32;  // 32 interrupts sprayed across the syscalls below
+  failpoint::ScopedFailpoint guard("durable:eintr", spec);
+
+  auto writer = DurableFileWriter::Create(path);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE(writer->AppendSection("alpha", "interrupted payload").ok());
+  ASSERT_TRUE(writer->AppendSection("beta", std::string(500, 'e')).ok());
+  ASSERT_TRUE(writer->Commit().ok());
+
+  const std::vector<DurableSection> sections = ReadAllSections(path);
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].payload, "interrupted payload");
+  EXPECT_EQ(sections[1].payload, std::string(500, 'e'));
+
+  ASSERT_TRUE(AtomicWriteFile(path, "eintr-atomic").ok());
+  EXPECT_EQ(ReadAll(path), "eintr-atomic");
+
+  // All 32 interrupts fired (and were retried through), plus at least one
+  // passing evaluation per completed syscall.
+  EXPECT_GT(failpoint::HitCount("durable:eintr"), hits_before + 32);
+  std::remove(path.c_str());
 }
 
 // ---- AtomicWriteFile ---------------------------------------------------
@@ -362,12 +398,13 @@ TEST_F(DurableFileTest, AtomicWriteFileReplacesContents) {
 TEST_F(DurableFileTest, AtomicWriteFileFailureLeavesOldContents) {
   const std::string path = TempPath("atomic_fail");
   ASSERT_TRUE(AtomicWriteFile(path, "stable").ok());
-  failpoint::Spec spec;
-  spec.mode = failpoint::Mode::kTornWrite;
-  spec.torn_bytes = 2;
-  failpoint::Activate("durable:append", spec);
-  EXPECT_FALSE(AtomicWriteFile(path, "replacement").ok());
-  failpoint::DeactivateAll();
+  {
+    failpoint::Spec spec;
+    spec.mode = failpoint::Mode::kTornWrite;
+    spec.torn_bytes = 2;
+    failpoint::ScopedFailpoint guard("durable:append", spec);
+    EXPECT_FALSE(AtomicWriteFile(path, "replacement").ok());
+  }
   EXPECT_EQ(ReadAll(path), "stable");
   EXPECT_FALSE(FileExists(path + ".tmp"));
   std::remove(path.c_str());
@@ -376,12 +413,14 @@ TEST_F(DurableFileTest, AtomicWriteFileFailureLeavesOldContents) {
 TEST_F(DurableFileTest, AtomicWriteFileCrashLeavesTemp) {
   const std::string path = TempPath("atomic_crash");
   ASSERT_TRUE(AtomicWriteFile(path, "stable").ok());
-  failpoint::Spec spec;
-  spec.mode = failpoint::Mode::kCrash;
-  failpoint::Activate("durable:rename", spec);
-  const Status s = AtomicWriteFile(path, "replacement");
+  Status s;
+  {
+    failpoint::Spec spec;
+    spec.mode = failpoint::Mode::kCrash;
+    failpoint::ScopedFailpoint guard("durable:rename", spec);
+    s = AtomicWriteFile(path, "replacement");
+  }
   EXPECT_TRUE(failpoint::IsSimulatedCrash(s));
-  failpoint::DeactivateAll();
   EXPECT_EQ(ReadAll(path), "stable");
   EXPECT_TRUE(FileExists(path + ".tmp"));
   std::remove(path.c_str());

@@ -160,5 +160,85 @@ TEST_F(FailpointTest, ConcurrentChecksAreSafe) {
             static_cast<uint64_t>(kThreads * kPerThread));
 }
 
+TEST_F(FailpointTest, ScopedFailpointActivatesForItsScopeOnly) {
+  failpoint::Spec spec;
+  spec.mode = failpoint::Mode::kError;
+  {
+    failpoint::ScopedFailpoint guard("fp:scoped", spec);
+    EXPECT_EQ(guard.name(), "fp:scoped");
+    EXPECT_FALSE(failpoint::Check("fp:scoped").ok());
+  }
+  // Scope exit deactivated it — no DeactivateAll needed.
+  EXPECT_TRUE(failpoint::Check("fp:scoped").ok());
+}
+
+TEST_F(FailpointTest, ScopedFailpointLeavesOtherActivationsAlone) {
+  failpoint::Spec spec;
+  failpoint::Activate("fp:other", spec);
+  {
+    failpoint::ScopedFailpoint guard("fp:scoped2", spec);
+    EXPECT_FALSE(failpoint::Check("fp:scoped2").ok());
+  }
+  // The guard only deactivates its own name.
+  EXPECT_FALSE(failpoint::Check("fp:other").ok());
+}
+
+TEST_F(FailpointTest, OneInFiresOnSomeButNotAllEvaluations) {
+  failpoint::SeedChaos(20260808);
+  failpoint::Spec spec;
+  spec.mode = failpoint::Mode::kError;
+  spec.one_in = 4;
+  failpoint::ScopedFailpoint guard("fp:chaos", spec);
+
+  constexpr int kTrials = 400;
+  int fired = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    if (!failpoint::Check("fp:chaos").ok()) ++fired;
+  }
+  // Probabilistic, but with 400 draws at p = 1/4 both extremes are
+  // (astronomically) impossible under any sane RNG.
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, kTrials);
+}
+
+TEST_F(FailpointTest, OneInScheduleIsReproducibleFromSeed) {
+  const auto schedule = [](uint64_t seed) {
+    failpoint::SeedChaos(seed);
+    failpoint::Spec spec;
+    spec.mode = failpoint::Mode::kError;
+    spec.one_in = 3;
+    failpoint::ScopedFailpoint guard("fp:sched", spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(!failpoint::Check("fp:sched").ok());
+    }
+    return fired;
+  };
+  const std::vector<bool> first = schedule(42);
+  const std::vector<bool> again = schedule(42);
+  const std::vector<bool> other = schedule(43);
+  EXPECT_EQ(first, again);
+  EXPECT_NE(first, other);
+}
+
+TEST_F(FailpointTest, OneInStillHonorsSkipAndLimit) {
+  failpoint::SeedChaos(7);
+  failpoint::Spec spec;
+  spec.mode = failpoint::Mode::kError;
+  spec.one_in = 2;
+  spec.skip = 10;
+  spec.limit = 3;
+  failpoint::ScopedFailpoint guard("fp:bounded", spec);
+
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(failpoint::Check("fp:bounded").ok()) << "fired inside skip";
+  }
+  for (int i = 0; i < 500; ++i) {
+    if (!failpoint::Check("fp:bounded").ok()) ++fired;
+  }
+  EXPECT_EQ(fired, 3) << "limit must bound probabilistic firings";
+}
+
 }  // namespace
 }  // namespace skimjoin

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "query/dist_backend.h"
 #include "stream/trace_io.h"
 #include "util/event_log.h"
 
@@ -460,6 +461,157 @@ TEST(ShellTest, AlwaysExplainAnswersWithTable) {
   // The first line's value is the report's estimate (bit-identical paths).
   const double value = std::stod(response.substr(3));
   EXPECT_NEAR(value, 400.0, 40.0);
+}
+
+// ---- logs level filter -------------------------------------------------
+
+TEST(ShellTest, LogsLevelFilterSelectsAtOrAboveLevel) {
+  EventLog::Global().Clear();
+  Shell shell;
+  EventLog::Global().Emit(LogLevel::kDebug, "dbg_event", {});
+  EventLog::Global().Emit(LogLevel::kInfo, "info_event", {});
+  EventLog::Global().Emit(LogLevel::kWarn, "warn_event", {});
+  EventLog::Global().Emit(LogLevel::kError, "error_event", {});
+
+  // `logs warn` keeps warn and error only.
+  std::ostringstream out;
+  EXPECT_TRUE(shell.ExecuteLine("logs warn", out));
+  std::string response = out.str();
+  EXPECT_EQ(response.rfind("ok 2\n", 0), 0u) << response;
+  EXPECT_NE(response.find("warn_event"), std::string::npos);
+  EXPECT_NE(response.find("error_event"), std::string::npos);
+  EXPECT_EQ(response.find("info_event"), std::string::npos);
+
+  // Count applies AFTER the filter: the 1 most recent warn-or-worse event.
+  out.str("");
+  EXPECT_TRUE(shell.ExecuteLine("logs 1 warn", out));
+  response = out.str();
+  EXPECT_EQ(response.rfind("ok 1\n", 0), 0u) << response;
+  EXPECT_NE(response.find("error_event"), std::string::npos);
+  EXPECT_EQ(response.find("warn_event"), std::string::npos);
+
+  // Count and level tokens are accepted in either order.
+  out.str("");
+  EXPECT_TRUE(shell.ExecuteLine("logs error 3", out));
+  EXPECT_EQ(out.str().rfind("ok 1\n", 0), 0u) << out.str();
+
+  // `logs debug` sees everything.
+  out.str("");
+  EXPECT_TRUE(shell.ExecuteLine("logs debug", out));
+  EXPECT_EQ(out.str().rfind("ok 4\n", 0), 0u) << out.str();
+
+  // Usage errors: two counts, two levels, junk token.
+  EXPECT_EQ(Exec(&shell, "logs 1 2").rfind("error:", 0), 0u);
+  EXPECT_EQ(Exec(&shell, "logs warn info").rfind("error:", 0), 0u);
+  EXPECT_EQ(Exec(&shell, "logs loud").rfind("error:", 0), 0u);
+  EventLog::Global().Clear();
+}
+
+// ---- distributed backend dispatch --------------------------------------
+
+// Engine-free DistBackend double: canned statuses, counts calls. Lets the
+// shell's dist dispatch be tested without sockets or worker processes.
+class FakeDistBackend : public DistBackend {
+ public:
+  Status RegisterStream(const StreamSpec&) override { return OkStatus(); }
+  StatusOr<QueryId> AddJoinQuery(const JoinQuerySpec&, uint64_t) override {
+    return QueryId{7};
+  }
+  StatusOr<QueryId> AddSelfJoinQuery(const SelfJoinQuerySpec&,
+                                     uint64_t) override {
+    return QueryId{8};
+  }
+  StatusOr<QueryId> AddFrequencyQuery(const FrequencyQuerySpec&,
+                                      uint64_t) override {
+    return QueryId{9};
+  }
+  Status Update(const std::string&, const StreamUpdate&) override {
+    ++updates;
+    return OkStatus();
+  }
+  Status UpdateBatch(const std::string&,
+                     std::span<const StreamUpdate> batch) override {
+    updates += static_cast<int>(batch.size());
+    return OkStatus();
+  }
+  StatusOr<double> AnswerJoin(QueryId) override { return 42.0; }
+  StatusOr<EstimateReport> AnswerJoinWithReport(QueryId) override {
+    EstimateReport report;
+    report.estimate = 42.0;
+    return report;
+  }
+  StatusOr<int64_t> AnswerPointFrequency(QueryId, uint64_t) override {
+    return 5;
+  }
+  Status CheckpointShards() override {
+    ++checkpoints;
+    return OkStatus();
+  }
+  Status ProbeHealth() override {
+    ++probes;
+    return OkStatus();
+  }
+  std::vector<DistShardStatus> ShardStatuses() override {
+    DistShardStatus s0;
+    s0.shard = "s0";
+    s0.health = "healthy";
+    s0.incarnation = 1;
+    s0.last_acked_epoch = 3;
+    DistShardStatus s1;
+    s1.shard = "s1";
+    s1.health = "down";
+    s1.rpc_failures = 2;
+    return {s0, s1};
+  }
+  uint64_t NumShards() const override { return 2; }
+
+  int updates = 0;
+  int checkpoints = 0;
+  int probes = 0;
+};
+
+TEST(ShellTest, WorkersAndShardsRequireABackend) {
+  Shell shell;
+  EXPECT_EQ(Exec(&shell, "workers"), "error: no distributed backend attached");
+  EXPECT_EQ(Exec(&shell, "shards"), "error: no distributed backend attached");
+}
+
+TEST(ShellTest, DistBackendRoutesCommandsAndRendersFleet) {
+  FakeDistBackend backend;
+  Shell shell;
+  shell.set_dist_backend(&backend);
+
+  ASSERT_EQ(Exec(&shell, "stream f 1024"), "ok");
+  ASSERT_EQ(Exec(&shell, "join q f f agms 64"), "ok");
+  ASSERT_EQ(Exec(&shell, "update f 3"), "ok");
+  EXPECT_EQ(backend.updates, 1);
+  EXPECT_EQ(Exec(&shell, "answer q"), "ok 42");
+  ASSERT_EQ(Exec(&shell, "checkpoint ignored-path"), "ok");
+  EXPECT_EQ(backend.checkpoints, 1);
+
+  const std::string workers = Exec(&shell, "workers");
+  EXPECT_EQ(backend.probes, 1);
+  EXPECT_EQ(workers.rfind("ok 2\n", 0), 0u) << workers;
+  EXPECT_NE(workers.find("s0 health=healthy incarnation=1 epoch=3"),
+            std::string::npos)
+      << workers;
+  EXPECT_NE(workers.find("s1 health=down"), std::string::npos) << workers;
+  EXPECT_EQ(Exec(&shell, "shards"), "ok 2 routing=value%2 s0 s1");
+
+  // Local-only commands must error, not silently act on the empty engine.
+  for (const char* line :
+       {"distinct d f 256", "topk t f 4", "count f", "streams", "stats",
+        "load f /dev/null", "restore /tmp/x", "cache on"}) {
+    const std::string response = Exec(&shell, line);
+    EXPECT_EQ(response.rfind("error:", 0), 0u) << line << " -> " << response;
+    EXPECT_NE(response.find("not supported with a distributed backend"),
+              std::string::npos)
+        << line << " -> " << response;
+  }
+
+  // Detaching restores the local engine path.
+  shell.set_dist_backend(nullptr);
+  EXPECT_EQ(Exec(&shell, "streams").rfind("ok", 0), 0u);
 }
 
 }  // namespace

@@ -96,9 +96,11 @@ TEST(TraceIoTest, InjectedWriteErrorLeavesOldTraceIntact) {
 
   failpoint::Spec spec;
   spec.message = "disk full";
-  failpoint::Activate("durable:append", spec);
-  const Status failed = WriteTrace(path, {Insert(9)});
-  failpoint::DeactivateAll();
+  Status failed;
+  {
+    failpoint::ScopedFailpoint guard("durable:append", spec);
+    failed = WriteTrace(path, {Insert(9)});
+  }
   ASSERT_FALSE(failed.ok());
   EXPECT_EQ(failed.code(), StatusCode::kIoError);
 

@@ -19,9 +19,26 @@
 //                              and write Chrome trace JSON to <file> at
 //                              exit; open in chrome://tracing or Perfetto
 //
+// Distributed mode (DESIGN.md §12):
+//   --worker=<socket>          run as a worker shard serving the dist wire
+//                              protocol on a Unix socket (no shell); prints
+//                              one "worker <shard> ready ..." line when the
+//                              socket is bound, then serves until SIGTERM
+//   --shard=<name>             this worker's shard name (default "shard")
+//   --worker_checkpoint=<path> worker checkpoint file; restored at startup
+//                              when present (incarnation bumps)
+//   --checkpoint_every=<n>     auto-checkpoint after every n update batches
+//                              (0 = only on coordinator request)
+//   --coordinator=<name=socket,...>
+//                              run the shell against a fleet of workers via
+//                              a dist::Coordinator instead of the local
+//                              engine
+//
 // Exit status is the number of failed commands (0 = clean run), or 2 for
 // usage errors. Run the `help` command for the command list; see
 // src/query/shell.h for full syntax.
+
+#include <csignal>
 
 #include <chrono>
 #include <cstdlib>
@@ -30,7 +47,10 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "dist/coordinator.h"
+#include "dist/worker.h"
 #include "query/shell.h"
 #include "util/durable_file.h"
 #include "util/metrics.h"
@@ -45,6 +65,12 @@ struct Options {
       skimjoin::metrics::PeriodicSnapshotWriter::Format::kJson;
   int64_t metrics_interval_ms = 0;  // 0: one snapshot at exit only
   std::string trace_out;
+  // Distributed mode.
+  std::string worker_socket;  // non-empty: run as a worker, not a shell
+  std::string shard_name = "shard";
+  std::string worker_checkpoint;
+  int64_t checkpoint_every = 0;
+  std::string coordinator_spec;  // "name=socket,name=socket,..."
 };
 
 // Consumes "--name=value"; returns the value if `arg` matches.
@@ -60,7 +86,12 @@ int Usage(const char* argv0) {
             << " [--explain] [--metrics_out=<file>] "
                "[--metrics_format=json|prom]\n"
                "       [--metrics_interval=<ms>] [--trace_out=<file>] "
-               "[script-file]\n";
+               "[script-file]\n"
+               "       [--coordinator=<name=socket,...>]\n"
+            << "   or: " << argv0
+            << " --worker=<socket> [--shard=<name>] "
+               "[--worker_checkpoint=<path>]\n"
+               "       [--checkpoint_every=<n>]\n";
   return 2;
 }
 
@@ -92,6 +123,22 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       }
     } else if (auto value = FlagValue(arg, "trace_out")) {
       options->trace_out = *value;
+    } else if (auto value = FlagValue(arg, "worker")) {
+      options->worker_socket = *value;
+    } else if (auto value = FlagValue(arg, "shard")) {
+      options->shard_name = *value;
+    } else if (auto value = FlagValue(arg, "worker_checkpoint")) {
+      options->worker_checkpoint = *value;
+    } else if (auto value = FlagValue(arg, "checkpoint_every")) {
+      char* end = nullptr;
+      options->checkpoint_every = std::strtoll(value->c_str(), &end, 10);
+      if (end == value->c_str() || *end != '\0' ||
+          options->checkpoint_every < 0) {
+        std::cerr << "error: --checkpoint_every wants a batch count >= 0\n";
+        return false;
+      }
+    } else if (auto value = FlagValue(arg, "coordinator")) {
+      options->coordinator_spec = *value;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "error: unknown flag " << arg << "\n";
       return false;
@@ -105,14 +152,91 @@ bool ParseArgs(int argc, char** argv, Options* options) {
   return true;
 }
 
+// "name=socket,name=socket,..." → shard addresses; nullopt on bad syntax.
+std::optional<std::vector<skimjoin::dist::ShardAddress>> ParseShardSpec(
+    const std::string& spec) {
+  std::vector<skimjoin::dist::ShardAddress> shards;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == entry.size()) {
+      return std::nullopt;
+    }
+    shards.push_back({entry.substr(0, eq), entry.substr(eq + 1)});
+    start = end + 1;
+  }
+  if (shards.empty()) return std::nullopt;
+  return shards;
+}
+
+skimjoin::dist::Worker* g_worker = nullptr;
+
+void HandleStopSignal(int) {
+  if (g_worker != nullptr) g_worker->RequestStop();
+}
+
+int RunWorker(const Options& options) {
+  skimjoin::dist::WorkerOptions worker_options;
+  worker_options.socket_path = options.worker_socket;
+  worker_options.shard_name = options.shard_name;
+  worker_options.checkpoint_path = options.worker_checkpoint;
+  worker_options.checkpoint_every_batches =
+      static_cast<uint64_t>(options.checkpoint_every);
+  skimjoin::StatusOr<std::unique_ptr<skimjoin::dist::Worker>> worker =
+      skimjoin::dist::Worker::Create(worker_options);
+  if (!worker.ok()) {
+    std::cerr << "error: worker: " << worker.status().ToString() << "\n";
+    return 2;
+  }
+  g_worker = worker->get();
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+  // The readiness line launchers wait for: printed only once the socket is
+  // bound and (if present) the checkpoint restored.
+  std::cout << "worker " << (*worker)->shard_name() << " ready socket="
+            << options.worker_socket
+            << " incarnation=" << (*worker)->incarnation()
+            << " epoch=" << (*worker)->epoch() << std::endl;
+  const skimjoin::Status status = (*worker)->Serve();
+  g_worker = nullptr;
+  if (!status.ok()) {
+    std::cerr << "error: worker: " << status.ToString() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options options;
   if (!ParseArgs(argc, argv, &options)) return Usage(argv[0]);
 
+  if (!options.worker_socket.empty()) {
+    if (!options.coordinator_spec.empty() || !options.script_path.empty()) {
+      std::cerr << "error: --worker excludes --coordinator and script files\n";
+      return Usage(argv[0]);
+    }
+    return RunWorker(options);
+  }
+
   skimjoin::query::Shell shell;
   shell.set_always_explain(options.explain);
+
+  std::unique_ptr<skimjoin::dist::Coordinator> coordinator;
+  if (!options.coordinator_spec.empty()) {
+    auto shards = ParseShardSpec(options.coordinator_spec);
+    if (!shards.has_value()) {
+      std::cerr << "error: --coordinator wants name=socket[,name=socket...]\n";
+      return Usage(argv[0]);
+    }
+    coordinator = std::make_unique<skimjoin::dist::Coordinator>(
+        std::move(*shards), skimjoin::dist::CoordinatorOptions{});
+    shell.set_dist_backend(coordinator.get());
+  }
 
   if (!options.trace_out.empty()) {
     skimjoin::metrics::TraceRecorder::Global().Enable();
