@@ -1,5 +1,7 @@
 #include "dist/coordinator.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <optional>
 #include <sstream>
@@ -7,6 +9,8 @@
 #include <utility>
 
 #include "core/skimmed_sketch.h"
+#include "query/multi_join.h"
+#include "query/multi_join_hash.h"
 #include "util/event_log.h"
 #include "util/logging.h"
 
@@ -35,7 +39,96 @@ JoinQueryReg RegFromJoinSpec(const std::string& wire_name,
   return reg;
 }
 
+/// Records wall time from construction until scope exit into a latency
+/// histogram (nanoseconds). Covers the WHOLE retrying RPC, backoffs
+/// included — the operator-facing number is "how long did this call keep
+/// the coordinator busy", not per-attempt socket time.
+class LatencyScope {
+ public:
+  explicit LatencyScope(metrics::ShardedHistogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~LatencyScope() {
+    if (histogram_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->Record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+
+ private:
+  metrics::ShardedHistogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace
+
+const char* Coordinator::RpcTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kHello:
+      return "hello";
+    case MessageType::kHelloReply:
+      return "hello_reply";
+    case MessageType::kRegisterStream:
+      return "register_stream";
+    case MessageType::kRegisterJoinQuery:
+      return "register_join_query";
+    case MessageType::kRegisterFrequencyQuery:
+      return "register_frequency_query";
+    case MessageType::kRegistered:
+      return "registered";
+    case MessageType::kUpdateBatch:
+      return "update_batch";
+    case MessageType::kUpdateAck:
+      return "update_ack";
+    case MessageType::kPullDelta:
+      return "pull_delta";
+    case MessageType::kDelta:
+      return "delta";
+    case MessageType::kCheckpoint:
+      return "checkpoint";
+    case MessageType::kCheckpointAck:
+      return "checkpoint_ack";
+    case MessageType::kPing:
+      return "ping";
+    case MessageType::kError:
+      return "error";
+    case MessageType::kRegisterRelation:
+      return "register_relation";
+    case MessageType::kRegisterChainQuery:
+      return "register_chain_query";
+    case MessageType::kUpdateRelation:
+      return "update_relation";
+    case MessageType::kMetricsRequest:
+      return "metrics_request";
+    case MessageType::kMetricsSnapshot:
+      return "metrics_snapshot";
+    case MessageType::kEventsRequest:
+      return "events_request";
+    case MessageType::kEventBatch:
+      return "event_batch";
+    case MessageType::kTraceControl:
+      return "trace_control";
+    case MessageType::kTraceRequest:
+      return "trace_request";
+    case MessageType::kTraceEvents:
+      return "trace_events";
+  }
+  return "unknown";
+}
+
+metrics::ShardedHistogram* Coordinator::RpcLatencyHistogram(MessageType type) {
+  const uint32_t key = static_cast<uint32_t>(type);
+  const auto it = rpc_latency_.find(key);
+  if (it != rpc_latency_.end()) return it->second;
+  const std::string name =
+      std::string("dist.rpc.") + RpcTypeName(type) + ".latency_ns";
+  metrics::ShardedHistogram* histogram = metrics_.GetHistogram(name);
+  metrics_.SetHelp(name,
+                   std::string("End-to-end latency of ") + RpcTypeName(type) +
+                       " RPCs in nanoseconds, retries and backoff included.");
+  rpc_latency_[key] = histogram;
+  return histogram;
+}
 
 const char* Coordinator::HealthName(Health health) {
   switch (health) {
@@ -99,14 +192,27 @@ Status Coordinator::EnsureConnected(ShardState& shard) {
   const Deadline deadline = DeadlineAfter(options_.rpc_timeout);
   SKIMJOIN_ASSIGN_OR_RETURN(shard.channel,
                             ConnectUnix(shard.address.socket_path, deadline));
+  metrics::TraceRecorder& recorder = metrics::TraceRecorder::Global();
+  const uint64_t hello_sent = recorder.NowMicros();
   SKIMJOIN_ASSIGN_OR_RETURN(
       Frame hello,
       Call(shard.channel, MessageType::kHello, "", deadline));
+  const uint64_t hello_received = recorder.NowMicros();
   if (hello.type != static_cast<uint32_t>(MessageType::kHelloReply)) {
     return InvalidArgumentError("unexpected hello reply type " +
                                 std::to_string(hello.type));
   }
   SKIMJOIN_ASSIGN_OR_RETURN(HelloReply reply, DecodeHelloReply(hello.payload));
+  if (reply.trace_clock_micros != 0) {
+    // The worker stamped its recorder clock into the reply; assuming a
+    // symmetric link, that stamp was taken at the round trip's midpoint on
+    // our clock. worker − coordinator, in micros.
+    const uint64_t midpoint =
+        hello_sent + (hello_received - hello_sent) / 2;
+    shard.clock_offset_micros =
+        static_cast<int64_t>(reply.trace_clock_micros) -
+        static_cast<int64_t>(midpoint);
+  }
   if (reply.incarnation != shard.incarnation) {
     // First contact, or the worker restarted from its checkpoint. Replay
     // every recorded registration (idempotent on the worker) so the shard
@@ -130,6 +236,9 @@ Status Coordinator::EnsureConnected(ShardState& shard) {
       if (shard.health == Health::kDown) shard.health = Health::kRecovering;
     }
     shard.incarnation = reply.incarnation;
+    // A restarted worker restarts its event-log sequence numbers; scraping
+    // must start over or the fresh events would all look already-seen.
+    shard.events_scraped_through = 0;
   }
   PublishHealth(shard);
   return OkStatus();
@@ -145,6 +254,7 @@ StatusOr<Frame> Coordinator::CallOnce(ShardState& shard, MessageType type,
 
 StatusOr<Frame> Coordinator::Rpc(ShardState& shard, MessageType type,
                                  std::string_view payload) {
+  const LatencyScope latency(RpcLatencyHistogram(type));
   Status last = OkStatus();
   for (int attempt = 1; attempt <= options_.rpc_attempts; ++attempt) {
     StatusOr<Frame> reply = CallOnce(shard, type, payload);
@@ -193,6 +303,7 @@ Status Coordinator::Broadcast(MessageType type, const std::string& payload) {
 }
 
 Status Coordinator::RegisterStream(const query::StreamSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
   SKIMJOIN_RETURN_IF_ERROR(ValidateWireName(spec.name, "stream name"));
   if (stream_domains_.count(spec.name) != 0) {
     return AlreadyExistsError("stream '" + spec.name + "' already registered");
@@ -208,6 +319,7 @@ Status Coordinator::RegisterStream(const query::StreamSpec& spec) {
 
 StatusOr<query::QueryId> Coordinator::AddJoinQuery(
     const query::JoinQuerySpec& spec, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (spec.left_predicate.has_value() || spec.right_predicate.has_value()) {
     return InvalidArgumentError(
         "predicated join queries are not distributable");
@@ -244,6 +356,7 @@ StatusOr<query::QueryId> Coordinator::AddJoinQuery(
 
 StatusOr<query::QueryId> Coordinator::AddSelfJoinQuery(
     const query::SelfJoinQuerySpec& spec, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (spec.predicate.has_value()) {
     return InvalidArgumentError(
         "predicated self-join queries are not distributable");
@@ -278,6 +391,7 @@ StatusOr<query::QueryId> Coordinator::AddSelfJoinQuery(
 
 StatusOr<query::QueryId> Coordinator::AddFrequencyQuery(
     const query::FrequencyQuerySpec& spec, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (spec.predicate.has_value()) {
     return InvalidArgumentError(
         "predicated frequency queries are not distributable");
@@ -312,6 +426,11 @@ Status Coordinator::Update(const std::string& stream,
 
 Status Coordinator::UpdateBatch(const std::string& stream,
                                 std::span<const query::StreamUpdate> updates) {
+  // Root span of the fan-out: Call() stamps this context into every frame
+  // header, so each worker's ingest span joins this trace (inert — and
+  // zero wire-format impact — while tracing is off).
+  const metrics::TraceSpan span("coordinator.update_batch", "dist");
+  std::lock_guard<std::mutex> lock(mutex_);
   if (stream_domains_.count(stream) == 0) {
     return NotFoundError("unknown stream '" + stream + "'");
   }
@@ -425,9 +544,12 @@ StatusOr<std::unique_ptr<core::JoinEstimatorPair>> Coordinator::MergedJoinPair(
 }
 
 StatusOr<double> Coordinator::AnswerJoin(query::QueryId query) {
+  const metrics::TraceSpan span("coordinator.answer_join", "dist");
+  std::lock_guard<std::mutex> lock(mutex_);
   SKIMJOIN_ASSIGN_OR_RETURN(QueryInfo * info, FindQuery(query));
-  if (info->kind == QueryInfo::Kind::kFrequency) {
-    return InvalidArgumentError("query is a frequency query, not a join");
+  if (info->kind != QueryInfo::Kind::kJoin &&
+      info->kind != QueryInfo::Kind::kSelfJoin) {
+    return InvalidArgumentError("query is not a (self-)join query");
   }
   PullDeltas(query);
   SKIMJOIN_ASSIGN_OR_RETURN(std::unique_ptr<core::JoinEstimatorPair> merged,
@@ -437,9 +559,12 @@ StatusOr<double> Coordinator::AnswerJoin(query::QueryId query) {
 
 StatusOr<EstimateReport> Coordinator::AnswerJoinWithReport(
     query::QueryId query) {
+  const metrics::TraceSpan span("coordinator.answer_join", "dist");
+  std::lock_guard<std::mutex> lock(mutex_);
   SKIMJOIN_ASSIGN_OR_RETURN(QueryInfo * info, FindQuery(query));
-  if (info->kind == QueryInfo::Kind::kFrequency) {
-    return InvalidArgumentError("query is a frequency query, not a join");
+  if (info->kind != QueryInfo::Kind::kJoin &&
+      info->kind != QueryInfo::Kind::kSelfJoin) {
+    return InvalidArgumentError("query is not a (self-)join query");
   }
   std::vector<ShardContribution> shards = PullDeltas(query);
   SKIMJOIN_ASSIGN_OR_RETURN(std::unique_ptr<core::JoinEstimatorPair> merged,
@@ -456,6 +581,8 @@ StatusOr<EstimateReport> Coordinator::AnswerJoinWithReport(
 
 StatusOr<int64_t> Coordinator::AnswerPointFrequency(query::QueryId query,
                                                     uint64_t value) {
+  const metrics::TraceSpan span("coordinator.answer_point", "dist");
+  std::lock_guard<std::mutex> lock(mutex_);
   SKIMJOIN_ASSIGN_OR_RETURN(QueryInfo * info, FindQuery(query));
   if (info->kind != QueryInfo::Kind::kFrequency) {
     return InvalidArgumentError("query is not a frequency query");
@@ -485,7 +612,313 @@ StatusOr<int64_t> Coordinator::AnswerPointFrequency(query::QueryId query,
   return merged->EstimatePointFrequency(value);
 }
 
+Status Coordinator::RegisterRelation(const query::RelationSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SKIMJOIN_RETURN_IF_ERROR(ValidateWireName(spec.name, "relation name"));
+  if (relation_specs_.count(spec.name) != 0) {
+    return AlreadyExistsError("relation '" + spec.name +
+                              "' already registered");
+  }
+  if (spec.arity < 1 || spec.arity > 64) {
+    return InvalidArgumentError("relation arity must be in [1, 64]");
+  }
+  RelationReg reg;
+  reg.name = spec.name;
+  reg.arity = spec.arity;
+  reg.domain_size = spec.domain_size;
+  SKIMJOIN_RETURN_IF_ERROR(
+      Broadcast(MessageType::kRegisterRelation, EncodeRelationReg(reg)));
+  relation_specs_[spec.name] = spec;
+  return OkStatus();
+}
+
+StatusOr<query::QueryId> Coordinator::AddChainJoinQuery(
+    const query::ChainJoinQuerySpec& spec, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spec.relations.size() < 2) {
+    return InvalidArgumentError("chain join needs at least two relations");
+  }
+  for (const std::string& relation : spec.relations) {
+    if (relation_specs_.count(relation) == 0) {
+      return NotFoundError("chain join references unregistered relation '" +
+                           relation + "'");
+    }
+  }
+  QueryInfo info;
+  info.kind = QueryInfo::Kind::kChain;
+  info.chain_spec = spec;
+  info.seed = seed;
+  const query::QueryId id = next_query_id_++;
+  info.wire_name = "q" + std::to_string(id);
+  ChainQueryReg reg;
+  reg.query_name = info.wire_name;
+  reg.relations = spec.relations;
+  reg.method = static_cast<uint32_t>(spec.method);
+  reg.num_means = spec.num_means;
+  reg.num_medians = spec.num_medians;
+  reg.num_tables = spec.num_tables;
+  reg.num_buckets = spec.num_buckets;
+  reg.seed = seed;
+  SKIMJOIN_RETURN_IF_ERROR(Broadcast(MessageType::kRegisterChainQuery,
+                                     EncodeChainQueryReg(reg)));
+  queries_[id] = std::move(info);
+  return id;
+}
+
+Status Coordinator::UpdateRelation(const std::string& relation,
+                                   const std::vector<uint64_t>& attributes,
+                                   int64_t weight) {
+  const metrics::TraceSpan span("coordinator.update_relation", "dist");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = relation_specs_.find(relation);
+  if (it == relation_specs_.end()) {
+    return NotFoundError("unknown relation '" + relation + "'");
+  }
+  if (attributes.size() != it->second.arity) {
+    return InvalidArgumentError(
+        "tuple arity mismatch: relation '" + relation + "' has arity " +
+        std::to_string(it->second.arity) + ", got " +
+        std::to_string(attributes.size()) + " attributes");
+  }
+  // Route by the first attribute. Any value-deterministic routing keeps
+  // the merged chain synopsis exact (the counters are linear), and keying
+  // on attributes[0] lets tests aim a tuple at a chosen shard the same way
+  // stream updates do.
+  ShardState& shard = *shards_[ShardIndexFor(attributes[0])];
+  RelationUpdateMsg msg;
+  msg.relation = relation;
+  msg.arity = it->second.arity;
+  msg.tuples.push_back({attributes, weight});
+  SKIMJOIN_ASSIGN_OR_RETURN(
+      Frame reply,
+      Rpc(shard, MessageType::kUpdateRelation, EncodeRelationUpdate(msg)));
+  StatusOr<HelloReply> ack = DecodeHelloReply(reply.payload);
+  if (ack.ok()) {
+    shard.last_acked_epoch = ack->epoch;
+    PublishHealth(shard);
+  }
+  return OkStatus();
+}
+
+StatusOr<EstimateReport> Coordinator::MergedChainReport(
+    query::QueryId query, const QueryInfo& info) {
+  if (info.chain_spec.method == query::ChainJoinQuerySpec::Method::kAgmsGrid) {
+    std::optional<query::MultiJoinEstimator> merged;
+    for (const auto& shard : shards_) {
+      const auto it = shard->deltas.find(query);
+      if (it == shard->deltas.end() || !it->second.valid) continue;
+      std::istringstream in(it->second.synopsis);
+      SKIMJOIN_ASSIGN_OR_RETURN(query::MultiJoinEstimator piece,
+                                query::MultiJoinEstimator::DeserializeFrom(in));
+      if (!merged.has_value()) {
+        merged.emplace(std::move(piece));
+      } else {
+        // MergeFrom validates config and seed — disagreeing shard deltas
+        // surface here instead of silently summing incompatible grids.
+        SKIMJOIN_RETURN_IF_ERROR(merged->MergeFrom(piece));
+      }
+    }
+    if (!merged.has_value()) {
+      return FailedPreconditionError(
+          "no shard delta available for this chain-join query");
+    }
+    return merged->EstimateWithReport();
+  }
+  std::optional<query::MultiJoinHashEstimator> merged;
+  for (const auto& shard : shards_) {
+    const auto it = shard->deltas.find(query);
+    if (it == shard->deltas.end() || !it->second.valid) continue;
+    std::istringstream in(it->second.synopsis);
+    SKIMJOIN_ASSIGN_OR_RETURN(
+        query::MultiJoinHashEstimator piece,
+        query::MultiJoinHashEstimator::DeserializeFrom(in));
+    if (!merged.has_value()) {
+      merged.emplace(std::move(piece));
+    } else {
+      SKIMJOIN_RETURN_IF_ERROR(merged->MergeFrom(piece));
+    }
+  }
+  if (!merged.has_value()) {
+    return FailedPreconditionError(
+        "no shard delta available for this chain-join query");
+  }
+  return merged->EstimateWithReport();
+}
+
+StatusOr<double> Coordinator::AnswerChainJoin(query::QueryId query) {
+  const metrics::TraceSpan span("coordinator.answer_chain", "dist");
+  std::lock_guard<std::mutex> lock(mutex_);
+  SKIMJOIN_ASSIGN_OR_RETURN(QueryInfo * info, FindQuery(query));
+  if (info->kind != QueryInfo::Kind::kChain) {
+    return InvalidArgumentError("query is not a chain-join query");
+  }
+  PullDeltas(query);
+  SKIMJOIN_ASSIGN_OR_RETURN(EstimateReport report,
+                            MergedChainReport(query, *info));
+  return report.estimate;
+}
+
+StatusOr<EstimateReport> Coordinator::AnswerChainJoinWithReport(
+    query::QueryId query) {
+  const metrics::TraceSpan span("coordinator.answer_chain", "dist");
+  std::lock_guard<std::mutex> lock(mutex_);
+  SKIMJOIN_ASSIGN_OR_RETURN(QueryInfo * info, FindQuery(query));
+  if (info->kind != QueryInfo::Kind::kChain) {
+    return InvalidArgumentError("query is not a chain-join query");
+  }
+  std::vector<ShardContribution> shards = PullDeltas(query);
+  SKIMJOIN_ASSIGN_OR_RETURN(EstimateReport report,
+                            MergedChainReport(query, *info));
+  report.partial = false;
+  for (const ShardContribution& shard : shards) {
+    if (!shard.fresh || shard.epochs_behind > 0) report.partial = true;
+  }
+  report.shards = std::move(shards);
+  return report;
+}
+
+StatusOr<metrics::Snapshot> Coordinator::FleetMetricsSnapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The coordinator's own series stay unlabeled — exactly what a
+  // single-process snapshot of this registry would show — and every
+  // reachable shard's series are appended as `base{shard="<index>"}`.
+  metrics::Snapshot merged = metrics_.TakeSnapshot();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    StatusOr<Frame> reply = Rpc(*shards_[i], MessageType::kMetricsRequest, "");
+    if (!reply.ok() ||
+        reply->type != static_cast<uint32_t>(MessageType::kMetricsSnapshot)) {
+      continue;  // a down shard is simply absent from this snapshot
+    }
+    StatusOr<metrics::Snapshot> remote = DecodeMetricsSnapshot(reply->payload);
+    if (!remote.ok()) continue;
+    const std::vector<std::pair<std::string, std::string>> labels = {
+        {"shard", std::to_string(i)}};
+    for (auto& [name, value] : remote->counters) {
+      merged.counters.emplace_back(metrics::LabeledName(name, labels), value);
+    }
+    for (auto& [name, value] : remote->gauges) {
+      merged.gauges.emplace_back(metrics::LabeledName(name, labels), value);
+    }
+    for (auto& [name, value] : remote->histograms) {
+      merged.histograms.emplace_back(metrics::LabeledName(name, labels),
+                                     std::move(value));
+    }
+  }
+  // Re-establish the sorted-by-name invariant exporters group on (labeled
+  // series of one base sort adjacent, sharing one # TYPE family).
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(merged.counters.begin(), merged.counters.end(), by_name);
+  std::sort(merged.gauges.begin(), merged.gauges.end(), by_name);
+  std::sort(merged.histograms.begin(), merged.histograms.end(), by_name);
+  return merged;
+}
+
+Status Coordinator::ScrapeFleetEvents() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Status first_failure = OkStatus();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardState& shard = *shards_[i];
+    EventsRequest request;
+    request.max_events = 0;  // worker default: its whole retained tail
+    request.after_sequence = shard.events_scraped_through;
+    StatusOr<Frame> reply =
+        Rpc(shard, MessageType::kEventsRequest, EncodeEventsRequest(request));
+    if (!reply.ok()) {
+      if (first_failure.ok()) first_failure = reply.status();
+      continue;
+    }
+    if (reply->type != static_cast<uint32_t>(MessageType::kEventBatch)) {
+      continue;
+    }
+    StatusOr<EventBatchMsg> batch = DecodeEventBatch(reply->payload);
+    if (!batch.ok()) {
+      if (first_failure.ok()) first_failure = batch.status();
+      continue;
+    }
+    for (LogEvent& event : batch->events) {
+      if (event.sequence <= shard.events_scraped_through) continue;
+      shard.events_scraped_through = event.sequence;
+      // Re-emit into this process's log under a fresh sequence/timestamp,
+      // keeping the worker's identity and ordering in the payload.
+      std::vector<std::pair<std::string, std::string>> fields =
+          std::move(event.fields);
+      fields.emplace_back("origin_shard", std::to_string(i));
+      fields.emplace_back("origin_seq", std::to_string(event.sequence));
+      EventLog::Global().Emit(event.level, std::move(event.event),
+                              std::move(fields));
+    }
+  }
+  return first_failure;
+}
+
+Status Coordinator::SetFleetTracing(bool enable) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (enable) {
+    metrics::TraceRecorder::Global().Enable();
+  } else {
+    metrics::TraceRecorder::Global().Disable();
+  }
+  TraceControlMsg msg;
+  msg.enable = enable;
+  const std::string payload = EncodeTraceControl(msg);
+  Status first_failure = OkStatus();
+  for (const auto& shard : shards_) {
+    StatusOr<Frame> reply = Rpc(*shard, MessageType::kTraceControl, payload);
+    if (!reply.ok() && first_failure.ok()) first_failure = reply.status();
+  }
+  return first_failure;
+}
+
+StatusOr<std::string> Coordinator::DumpFleetTrace() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics::TraceRecorder& recorder = metrics::TraceRecorder::Global();
+  std::vector<metrics::ProcessTrace> processes;
+  processes.reserve(shards_.size() + 1);
+  metrics::ProcessTrace own;
+  own.pid = static_cast<uint64_t>(getpid());
+  own.name = "coordinator";
+  own.clock_offset_micros = 0;  // the coordinator clock IS the timeline
+  own.events = recorder.DrainEvents(&own.dropped);
+  processes.push_back(std::move(own));
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardState& shard = *shards_[i];
+    const uint64_t sent = recorder.NowMicros();
+    StatusOr<Frame> reply = Rpc(shard, MessageType::kTraceRequest, "");
+    const uint64_t received = recorder.NowMicros();
+    if (!reply.ok() ||
+        reply->type != static_cast<uint32_t>(MessageType::kTraceEvents)) {
+      continue;  // an unreachable shard is absent from the merged trace
+    }
+    StatusOr<TraceEventsMsg> msg = DecodeTraceEvents(reply->payload);
+    if (!msg.ok()) continue;
+    if (msg->now_micros != 0) {
+      // Refine the hello-handshake offset estimate with this (much more
+      // recent) round trip: the worker stamped its clock roughly at our
+      // midpoint.
+      shard.clock_offset_micros =
+          static_cast<int64_t>(msg->now_micros) -
+          static_cast<int64_t>(sent + (received - sent) / 2);
+    }
+    metrics::ProcessTrace process;
+    // Workers run on other machines in general — their real pids can
+    // collide with ours or each other's. Synthesize distinct track ids.
+    process.pid = static_cast<uint64_t>(getpid()) + 1 + i;
+    process.name = shard.address.name;
+    // Stored offset is worker − coordinator; shifting the worker's
+    // timestamps onto the coordinator timeline subtracts it.
+    process.clock_offset_micros = -shard.clock_offset_micros;
+    process.events = std::move(msg->events);
+    process.dropped = msg->dropped;
+    processes.push_back(std::move(process));
+  }
+  return metrics::MergeAsChromeTrace(processes);
+}
+
 Status Coordinator::CheckpointShards() {
+  const metrics::TraceSpan span("coordinator.checkpoint", "dist");
+  std::lock_guard<std::mutex> lock(mutex_);
   Status first_failure = OkStatus();
   for (const auto& shard : shards_) {
     StatusOr<Frame> reply = Rpc(*shard, MessageType::kCheckpoint, "");
@@ -500,6 +933,7 @@ Status Coordinator::CheckpointShards() {
 }
 
 Status Coordinator::ProbeHealth() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& shard : shards_) {
     // Single attempt on purpose: a probe measures, it does not insist.
     StatusOr<Frame> reply = CallOnce(*shard, MessageType::kPing, "");
@@ -513,6 +947,7 @@ Status Coordinator::ProbeHealth() {
 }
 
 std::vector<query::DistShardStatus> Coordinator::ShardStatuses() {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<query::DistShardStatus> statuses;
   statuses.reserve(shards_.size());
   for (const auto& shard : shards_) {

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -92,6 +93,19 @@ class Coordinator : public query::DistBackend {
   StatusOr<EstimateReport> AnswerJoinWithReport(query::QueryId query) override;
   StatusOr<int64_t> AnswerPointFrequency(query::QueryId query,
                                          uint64_t value) override;
+  Status RegisterRelation(const query::RelationSpec& spec) override;
+  StatusOr<query::QueryId> AddChainJoinQuery(
+      const query::ChainJoinQuerySpec& spec, uint64_t seed) override;
+  Status UpdateRelation(const std::string& relation,
+                        const std::vector<uint64_t>& attributes,
+                        int64_t weight) override;
+  StatusOr<double> AnswerChainJoin(query::QueryId query) override;
+  StatusOr<EstimateReport> AnswerChainJoinWithReport(
+      query::QueryId query) override;
+  StatusOr<metrics::Snapshot> FleetMetricsSnapshot() override;
+  Status ScrapeFleetEvents() override;
+  Status SetFleetTracing(bool enable) override;
+  StatusOr<std::string> DumpFleetTrace() override;
   Status CheckpointShards() override;
   Status ProbeHealth() override;
   std::vector<query::DistShardStatus> ShardStatuses() override;
@@ -132,6 +146,16 @@ class Coordinator : public query::DistBackend {
     uint64_t incarnation = 0;
     uint64_t last_acked_epoch = 0;
     std::unordered_map<query::QueryId, CachedDelta> deltas;
+    /// Estimated worker-recorder-clock minus coordinator-recorder-clock, in
+    /// micros, from the hello handshake: the reply's trace_clock_micros
+    /// against the round trip's midpoint on the coordinator's clock.
+    /// Negated, it is the ProcessTrace clock offset that shifts the
+    /// worker's trace timestamps onto the coordinator's timeline.
+    int64_t clock_offset_micros = 0;
+    /// Highest worker event-log sequence already scraped (per-incarnation:
+    /// a restarted worker restarts its sequence numbers, so re-adoption
+    /// resets this to 0).
+    uint64_t events_scraped_through = 0;
     metrics::Counter* rpc_calls = nullptr;
     metrics::Counter* rpc_retries = nullptr;
     metrics::Counter* rpc_failures = nullptr;
@@ -143,10 +167,11 @@ class Coordinator : public query::DistBackend {
   /// What the coordinator knows about one registered query.
   struct QueryInfo {
     std::string wire_name;  // "q<id>" on the wire
-    enum class Kind { kJoin, kSelfJoin, kFrequency } kind = Kind::kJoin;
+    enum class Kind { kJoin, kSelfJoin, kFrequency, kChain } kind = Kind::kJoin;
     query::JoinQuerySpec join_spec;        // kJoin (estimator.domain_size filled)
     query::SelfJoinQuerySpec self_spec;    // kSelfJoin (ditto)
     query::FrequencyQuerySpec freq_spec;   // kFrequency
+    query::ChainJoinQuerySpec chain_spec;  // kChain
     uint64_t seed = 0;
   };
 
@@ -190,15 +215,39 @@ class Coordinator : public query::DistBackend {
   StatusOr<std::unique_ptr<core::JoinEstimatorPair>> MergedJoinPair(
       query::QueryId query, const QueryInfo& info);
 
+  /// Merges every cached delta of a chain query (grid or hash method) and
+  /// reports the merged estimate. FAILED_PRECONDITION when no shard has
+  /// contributed a delta yet.
+  StatusOr<EstimateReport> MergedChainReport(query::QueryId query,
+                                             const QueryInfo& info);
+
   StatusOr<QueryInfo*> FindQuery(query::QueryId query);
+
+  /// The `dist.rpc.<type>.latency_ns` histogram for one message type,
+  /// created on first use and cached (registry instruments are stable).
+  metrics::ShardedHistogram* RpcLatencyHistogram(MessageType type);
+
+  /// Stable lower-case name of a request type for metric names
+  /// ("hello", "update_batch", ...).
+  static const char* RpcTypeName(MessageType type);
+
+  /// Serializes the whole public surface. Coarse by design: the
+  /// coordinator is a control plane, not a data plane — contention is
+  /// between the shell/CLI thread and the PeriodicSnapshotWriter scraping
+  /// fleet metrics in the background. Update() stays lock-free and
+  /// delegates to UpdateBatch() (which locks) to avoid self-deadlock.
+  std::mutex mutex_;
 
   std::vector<std::unique_ptr<ShardState>> shards_;
   CoordinatorOptions options_;
   metrics::Registry metrics_;
   Rng jitter_rng_;
   std::map<std::string, uint64_t> stream_domains_;
+  std::map<std::string, query::RelationSpec> relation_specs_;
   std::map<query::QueryId, QueryInfo> queries_;
   std::vector<RegistrationRecord> registrations_;
+  /// MessageType → latency histogram, filled lazily by RpcLatencyHistogram.
+  std::unordered_map<uint32_t, metrics::ShardedHistogram*> rpc_latency_;
   query::QueryId next_query_id_ = 1;
   uint64_t pull_round_ = 0;
 };

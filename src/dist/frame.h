@@ -2,14 +2,24 @@
 // CRC-framed, length-prefixed message format over Unix-domain stream
 // sockets, with every blocking operation bounded by an explicit deadline.
 //
-// Frame layout (all integers little-endian u32):
+// Frame layout, version 1 (all integers little-endian u32):
 //   [magic 'SKJF'][type][payload_len][crc32c(type_le || payload)][payload]
-// The 16-byte header is validated BEFORE the payload is buffered: a frame
-// declaring more than kMaxFramePayload bytes is rejected without
-// allocation, so a corrupt length word can never balloon memory. The CRC
-// covers the type word and the payload, so a flipped bit anywhere past the
-// magic fails closed (the magic itself is the resync sentinel — a flipped
-// magic byte reads as "not a frame at all").
+// Version 2 appends a Dapper-style trace context (little-endian u64s):
+//   [magic 'SKJ2'][type][payload_len][crc][trace_id][span_id]
+//   [parent_span_id][payload]
+// where the CRC covers type_le || trace_id_le || span_id_le ||
+// parent_span_id_le || payload. The version is the 4th magic byte ('F' or
+// '2'); the first three bytes stay 'S','K','J' so resync behavior is
+// identical. Encoders emit v1 whenever the trace context is all-zero —
+// an untraced fleet produces byte-identical wire traffic to the v1-only
+// protocol — and decoders accept both versions unconditionally.
+//
+// The 16-byte (v1) / 40-byte (v2) header is validated BEFORE the payload
+// is buffered: a frame declaring more than kMaxFramePayload bytes is
+// rejected without allocation, so a corrupt length word can never balloon
+// memory. The CRC covers everything past the length word, so a flipped bit
+// anywhere past the magic fails closed (the magic itself is the resync
+// sentinel — a flipped magic byte reads as "not a frame at all").
 //
 // Failure injection mirrors util/durable_file's durable:* discipline —
 // hooks compiled into the shipped path, zero-cost while inactive:
@@ -40,20 +50,30 @@
 namespace skimjoin {
 namespace dist {
 
-/// 'SKJF' as a little-endian u32.
+/// 'SKJF' as a little-endian u32 (frame version 1, no trace context).
 constexpr uint32_t kFrameMagic = 0x464A4B53;
+/// 'SKJ2' as a little-endian u32 (frame version 2, trace context header).
+constexpr uint32_t kFrameMagicV2 = 0x324A4B53;
 constexpr size_t kFrameHeaderBytes = 16;
+constexpr size_t kFrameHeaderBytesV2 = 40;
 /// Hard payload cap, enforced before any payload allocation.
 constexpr size_t kMaxFramePayload = size_t{16} << 20;
 
-/// One decoded frame.
+/// One decoded frame. The trace ids are all-zero for a v1 frame (or a v2
+/// frame sent without a context, which encoders never produce).
 struct Frame {
   uint32_t type = 0;
   std::string payload;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
-/// Encodes one complete frame (header + payload).
-std::string EncodeFrame(uint32_t type, std::string_view payload);
+/// Encodes one complete frame (header + payload): v1 when the trace ids
+/// are all zero, v2 otherwise.
+std::string EncodeFrame(uint32_t type, std::string_view payload,
+                        uint64_t trace_id = 0, uint64_t span_id = 0,
+                        uint64_t parent_span_id = 0);
 
 /// Incremental decoder over a receive buffer. Returns:
 ///   * a Frame and sets *consumed to the bytes it spans — a complete,
@@ -95,8 +115,11 @@ class FrameChannel {
 
   /// Sends one whole frame before `deadline`. On any error (deadline, peer
   /// gone, injected fault) the channel may hold a torn frame mid-wire and
-  /// must not be reused — callers Close() and reconnect.
-  Status Send(uint32_t type, std::string_view payload, Deadline deadline);
+  /// must not be reused — callers Close() and reconnect. A non-zero trace
+  /// context upgrades the frame to v2 so the ids ride in the header.
+  Status Send(uint32_t type, std::string_view payload, Deadline deadline,
+              uint64_t trace_id = 0, uint64_t span_id = 0,
+              uint64_t parent_span_id = 0);
 
   /// Receives one whole frame before `deadline`. IoError with "connection
   /// closed by peer" on clean EOF; InvalidArgument (from TryDecodeFrame) on

@@ -27,6 +27,8 @@
 #include "dist/frame.h"
 #include "query/engine.h"
 #include "query/query.h"
+#include "util/event_log.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace skimjoin {
@@ -48,6 +50,20 @@ enum class MessageType : uint32_t {
   kCheckpointAck = 12,
   kPing = 13,
   kError = 14,
+  // Chain-join routing (acked by kRegistered / kUpdateAck like their
+  // stream-shaped counterparts).
+  kRegisterRelation = 15,
+  kRegisterChainQuery = 16,
+  kUpdateRelation = 17,
+  // Fleet telemetry plane: the coordinator pulls each worker's metrics
+  // registry snapshot, event-log tail, and trace buffer on demand.
+  kMetricsRequest = 18,   // empty payload -> kMetricsSnapshot
+  kMetricsSnapshot = 19,
+  kEventsRequest = 20,    // EventsRequest -> kEventBatch
+  kEventBatch = 21,
+  kTraceControl = 22,     // TraceControlMsg -> kRegistered
+  kTraceRequest = 23,     // empty payload -> kTraceEvents
+  kTraceEvents = 24,
 };
 
 /// Largest element count one kUpdateBatch may declare; validated before
@@ -60,6 +76,12 @@ struct HelloReply {
   std::string shard_name;
   uint64_t incarnation = 0;
   uint64_t epoch = 0;
+  /// The worker's TraceRecorder::NowMicros() when the reply was encoded.
+  /// Always encoded; optional on decode (0 from a pre-telemetry peer), so
+  /// old and new endpoints interoperate. The coordinator subtracts it from
+  /// the hello round trip's midpoint on its own recorder clock to estimate
+  /// the per-shard clock offset that aligns a merged fleet trace.
+  uint64_t trace_clock_micros = 0;
 };
 
 /// kRegisterStream payload.
@@ -105,6 +127,70 @@ struct UpdateBatchMsg {
   std::vector<query::StreamUpdate> updates;
 };
 
+/// kRegisterRelation payload: a multi-attribute relation for chain joins.
+struct RelationReg {
+  std::string name;
+  uint64_t arity = 1;
+  uint64_t domain_size = 0;
+};
+
+/// kRegisterChainQuery payload. Like JoinQueryReg, the estimator shape and
+/// seed travel verbatim: both chain estimator families build their hash
+/// families purely from (shape, seed), so every worker's counters land in
+/// cells the coordinator's merge accumulator agrees about.
+struct ChainQueryReg {
+  std::string query_name;
+  std::vector<std::string> relations;  // chain order
+  uint32_t method = 0;  // static_cast of query::ChainJoinQuerySpec::Method
+  uint64_t num_means = 0;
+  uint64_t num_medians = 0;
+  uint64_t num_tables = 0;
+  uint64_t num_buckets = 0;
+  uint64_t seed = 0;
+};
+
+/// kUpdateRelation payload: a shard-routed slice of tuples for one
+/// relation. Every tuple carries exactly `arity` attribute values.
+struct RelationUpdateMsg {
+  struct Tuple {
+    std::vector<uint64_t> attributes;
+    int64_t weight = 1;
+  };
+
+  std::string relation;
+  uint64_t arity = 0;
+  std::vector<Tuple> tuples;
+};
+
+/// kEventsRequest payload: pull up to `max_events` of the worker's event
+/// log tail, restricted to events with sequence > `after_sequence` so a
+/// polling coordinator never re-ingests what it already scraped.
+struct EventsRequest {
+  uint64_t max_events = 0;
+  uint64_t after_sequence = 0;
+};
+
+/// kEventBatch payload: the matching tail slice, oldest first. Free-text
+/// fields (event names, field keys/values) travel as length-prefixed
+/// blobs, so arbitrary bytes can't break the tokenized framing.
+struct EventBatchMsg {
+  std::vector<LogEvent> events;
+};
+
+/// kTraceControl payload: flips the worker's TraceRecorder on or off.
+struct TraceControlMsg {
+  bool enable = false;
+};
+
+/// kTraceEvents payload: the worker's drained trace buffer plus its
+/// recorder clock at encode time (`now_micros`), which lets the receiver
+/// refine the hello-handshake clock-offset estimate.
+struct TraceEventsMsg {
+  uint64_t dropped = 0;
+  uint64_t now_micros = 0;
+  std::vector<metrics::TraceEvent> events;
+};
+
 /// kDelta payload: one query's full serialized synopsis, stamped with the
 /// worker's incarnation and epoch. Deltas are FULL STATE, not increments —
 /// the coordinator replaces its cached copy wholesale, which is what makes
@@ -134,6 +220,34 @@ StatusOr<UpdateBatchMsg> DecodeUpdateBatch(std::string_view payload);
 std::string EncodeDelta(const DeltaMsg& msg);
 StatusOr<DeltaMsg> DecodeDelta(std::string_view payload);
 
+std::string EncodeRelationReg(const RelationReg& msg);
+StatusOr<RelationReg> DecodeRelationReg(std::string_view payload);
+
+std::string EncodeChainQueryReg(const ChainQueryReg& msg);
+StatusOr<ChainQueryReg> DecodeChainQueryReg(std::string_view payload);
+
+std::string EncodeRelationUpdate(const RelationUpdateMsg& msg);
+StatusOr<RelationUpdateMsg> DecodeRelationUpdate(std::string_view payload);
+
+/// kMetricsSnapshot: a whole metrics::Snapshot (help strings excluded —
+/// they are registration-site documentation, re-attached by the receiver).
+/// Metric names travel as length-prefixed blobs; doubles as IEEE-754 bit
+/// patterns; histogram buckets sparsely as (index, count) pairs.
+std::string EncodeMetricsSnapshot(const metrics::Snapshot& snapshot);
+StatusOr<metrics::Snapshot> DecodeMetricsSnapshot(std::string_view payload);
+
+std::string EncodeEventsRequest(const EventsRequest& msg);
+StatusOr<EventsRequest> DecodeEventsRequest(std::string_view payload);
+
+std::string EncodeEventBatch(const EventBatchMsg& msg);
+StatusOr<EventBatchMsg> DecodeEventBatch(std::string_view payload);
+
+std::string EncodeTraceControl(const TraceControlMsg& msg);
+StatusOr<TraceControlMsg> DecodeTraceControl(std::string_view payload);
+
+std::string EncodeTraceEvents(const TraceEventsMsg& msg);
+StatusOr<TraceEventsMsg> DecodeTraceEvents(std::string_view payload);
+
 /// kError payload: "<code> <message...>". DecodeError NEVER yields an OK
 /// status — a mangled error payload decodes to an INTERNAL status
 /// describing the mangling, so a fault can't masquerade as success.
@@ -142,7 +256,10 @@ Status DecodeError(std::string_view payload);
 
 /// One round trip: sends `type` + `payload`, receives exactly one reply
 /// frame before `deadline`. A kError reply is decoded and returned as this
-/// call's status; any other reply comes back as the frame.
+/// call's status; any other reply comes back as the frame. The calling
+/// thread's CurrentTraceContext() (if any) is stamped into the outgoing
+/// frame header, so a traced coordinator call fans its trace out to the
+/// worker for free.
 StatusOr<Frame> Call(FrameChannel& channel, MessageType type,
                      std::string_view payload, Deadline deadline);
 

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "util/event_log.h"
+#include "util/metrics.h"
 
 namespace skimjoin {
 namespace dist {
@@ -112,6 +113,10 @@ Frame Worker::HelloFrame() const {
   reply.shard_name = options_.shard_name;
   reply.incarnation = incarnation_;
   reply.epoch = epoch_;
+  // The recorder clock stamped here is one half of the fleet clock-offset
+  // estimate; the coordinator pairs it with the hello round trip's
+  // midpoint on its own recorder clock.
+  reply.trace_clock_micros = metrics::TraceRecorder::Global().NowMicros();
   return MakeFrame(MessageType::kHelloReply, EncodeHelloReply(reply));
 }
 
@@ -191,6 +196,111 @@ StatusOr<Frame> Worker::HandleRegisterFrequencyQuery(const Frame& request) {
   return MakeFrame(MessageType::kRegistered, msg.query_name);
 }
 
+StatusOr<Frame> Worker::HandleRegisterRelation(const Frame& request) {
+  SKIMJOIN_ASSIGN_OR_RETURN(RelationReg msg,
+                            DecodeRelationReg(request.payload));
+  query::RelationSpec spec;
+  spec.name = msg.name;
+  spec.arity = msg.arity;
+  spec.domain_size = msg.domain_size;
+  // Idempotent by name like stream registration: an ALREADY_EXISTS on the
+  // coordinator's re-adoption replay is the expected path, not an error.
+  const StatusOr<query::StreamId> id = engine_.RegisterRelation(spec);
+  if (!id.ok() && id.status().code() != StatusCode::kAlreadyExists) {
+    return id.status();
+  }
+  return MakeFrame(MessageType::kRegistered, msg.name);
+}
+
+StatusOr<Frame> Worker::HandleRegisterChainQuery(const Frame& request) {
+  SKIMJOIN_ASSIGN_OR_RETURN(ChainQueryReg msg,
+                            DecodeChainQueryReg(request.payload));
+  if (query_ids_.count(msg.query_name) != 0) {
+    return MakeFrame(MessageType::kRegistered, msg.query_name);
+  }
+  query::ChainJoinQuerySpec spec;
+  spec.relations = msg.relations;
+  switch (msg.method) {
+    case static_cast<uint32_t>(query::ChainJoinQuerySpec::Method::kAgmsGrid):
+      spec.method = query::ChainJoinQuerySpec::Method::kAgmsGrid;
+      break;
+    case static_cast<uint32_t>(
+        query::ChainJoinQuerySpec::Method::kHashSketch):
+      spec.method = query::ChainJoinQuerySpec::Method::kHashSketch;
+      break;
+    default:
+      return InvalidArgumentError("unknown chain-join method " +
+                                  std::to_string(msg.method));
+  }
+  spec.num_means = msg.num_means;
+  spec.num_medians = msg.num_medians;
+  spec.num_tables = msg.num_tables;
+  spec.num_buckets = msg.num_buckets;
+  SKIMJOIN_ASSIGN_OR_RETURN(query::QueryId id,
+                            engine_.AddChainJoinQuery(spec, msg.seed));
+  query_ids_[msg.query_name] = id;
+  return MakeFrame(MessageType::kRegistered, msg.query_name);
+}
+
+StatusOr<Frame> Worker::HandleUpdateRelation(const Frame& request) {
+  SKIMJOIN_ASSIGN_OR_RETURN(RelationUpdateMsg msg,
+                            DecodeRelationUpdate(request.payload));
+  for (const RelationUpdateMsg::Tuple& tuple : msg.tuples) {
+    SKIMJOIN_RETURN_IF_ERROR(
+        engine_.UpdateRelation(msg.relation, tuple.attributes, tuple.weight));
+  }
+  ++epoch_;
+  ++batches_since_checkpoint_;
+  HelloReply ack;
+  ack.shard_name = options_.shard_name;
+  ack.incarnation = incarnation_;
+  ack.epoch = epoch_;
+  return MakeFrame(MessageType::kUpdateAck, EncodeHelloReply(ack));
+}
+
+StatusOr<Frame> Worker::HandleMetricsRequest(const Frame& request) {
+  (void)request;
+  // Serve() is the engine's writer thread, so the full gauge-refreshing
+  // snapshot is safe here.
+  return MakeFrame(MessageType::kMetricsSnapshot,
+                   EncodeMetricsSnapshot(engine_.MetricsSnapshot()));
+}
+
+StatusOr<Frame> Worker::HandleEventsRequest(const Frame& request) {
+  SKIMJOIN_ASSIGN_OR_RETURN(EventsRequest msg,
+                            DecodeEventsRequest(request.payload));
+  const uint64_t cap =
+      msg.max_events == 0
+          ? EventLog::kDefaultRingCapacity
+          : std::min<uint64_t>(msg.max_events, kMaxWireBatchElements);
+  EventBatchMsg batch;
+  for (LogEvent& event : EventLog::Global().Tail(cap)) {
+    if (event.sequence > msg.after_sequence) {
+      batch.events.push_back(std::move(event));
+    }
+  }
+  return MakeFrame(MessageType::kEventBatch, EncodeEventBatch(batch));
+}
+
+StatusOr<Frame> Worker::HandleTraceControl(const Frame& request) {
+  SKIMJOIN_ASSIGN_OR_RETURN(TraceControlMsg msg,
+                            DecodeTraceControl(request.payload));
+  if (msg.enable) {
+    metrics::TraceRecorder::Global().Enable();
+  } else {
+    metrics::TraceRecorder::Global().Disable();
+  }
+  return MakeFrame(MessageType::kRegistered, "trace");
+}
+
+StatusOr<Frame> Worker::HandleTraceRequest(const Frame& request) {
+  (void)request;
+  TraceEventsMsg msg;
+  msg.events = metrics::TraceRecorder::Global().DrainEvents(&msg.dropped);
+  msg.now_micros = metrics::TraceRecorder::Global().NowMicros();
+  return MakeFrame(MessageType::kTraceEvents, EncodeTraceEvents(msg));
+}
+
 StatusOr<Frame> Worker::HandleUpdateBatch(const Frame& request) {
   SKIMJOIN_ASSIGN_OR_RETURN(UpdateBatchMsg msg,
                             DecodeUpdateBatch(request.payload));
@@ -236,6 +346,12 @@ StatusOr<Frame> Worker::HandlePullDelta(const Frame& request) {
 }
 
 StatusOr<Frame> Worker::Handle(const Frame& request) {
+  // Adopt the caller's trace context from the frame header: every span
+  // opened while handling this request — including the engine's own ingest
+  // and checkpoint spans — becomes a child of the coordinator's RPC span,
+  // so a merged fleet trace shows the call fanning into this shard.
+  metrics::ScopedTraceContext adopt(metrics::TraceContext{
+      request.trace_id, request.span_id, request.parent_span_id});
   switch (static_cast<MessageType>(request.type)) {
     case MessageType::kHello:
     case MessageType::kPing:
@@ -246,11 +362,32 @@ StatusOr<Frame> Worker::Handle(const Frame& request) {
       return HandleRegisterJoinQuery(request);
     case MessageType::kRegisterFrequencyQuery:
       return HandleRegisterFrequencyQuery(request);
-    case MessageType::kUpdateBatch:
+    case MessageType::kRegisterRelation:
+      return HandleRegisterRelation(request);
+    case MessageType::kRegisterChainQuery:
+      return HandleRegisterChainQuery(request);
+    case MessageType::kUpdateBatch: {
+      metrics::TraceSpan span("worker.ingest", "dist");
       return HandleUpdateBatch(request);
-    case MessageType::kPullDelta:
+    }
+    case MessageType::kUpdateRelation: {
+      metrics::TraceSpan span("worker.ingest_relation", "dist");
+      return HandleUpdateRelation(request);
+    }
+    case MessageType::kPullDelta: {
+      metrics::TraceSpan span("worker.delta", "dist");
       return HandlePullDelta(request);
+    }
+    case MessageType::kMetricsRequest:
+      return HandleMetricsRequest(request);
+    case MessageType::kEventsRequest:
+      return HandleEventsRequest(request);
+    case MessageType::kTraceControl:
+      return HandleTraceControl(request);
+    case MessageType::kTraceRequest:
+      return HandleTraceRequest(request);
     case MessageType::kCheckpoint: {
+      metrics::TraceSpan span("worker.checkpoint", "dist");
       SKIMJOIN_RETURN_IF_ERROR(Checkpoint());
       HelloReply ack;
       ack.shard_name = options_.shard_name;

@@ -99,8 +99,15 @@ class Worker {
   StatusOr<Frame> HandleRegisterStream(const Frame& request);
   StatusOr<Frame> HandleRegisterJoinQuery(const Frame& request);
   StatusOr<Frame> HandleRegisterFrequencyQuery(const Frame& request);
+  StatusOr<Frame> HandleRegisterRelation(const Frame& request);
+  StatusOr<Frame> HandleRegisterChainQuery(const Frame& request);
   StatusOr<Frame> HandleUpdateBatch(const Frame& request);
+  StatusOr<Frame> HandleUpdateRelation(const Frame& request);
   StatusOr<Frame> HandlePullDelta(const Frame& request);
+  StatusOr<Frame> HandleMetricsRequest(const Frame& request);
+  StatusOr<Frame> HandleEventsRequest(const Frame& request);
+  StatusOr<Frame> HandleTraceControl(const Frame& request);
+  StatusOr<Frame> HandleTraceRequest(const Frame& request);
 
   Frame HelloFrame() const;
 

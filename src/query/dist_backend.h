@@ -62,6 +62,62 @@ class DistBackend {
   virtual StatusOr<int64_t> AnswerPointFrequency(QueryId query,
                                                  uint64_t value) = 0;
 
+  // --- Chain joins over relations (default: not supported) ---------------
+
+  virtual Status RegisterRelation(const RelationSpec& spec) {
+    (void)spec;
+    return UnimplementedError("backend does not support relations");
+  }
+  virtual StatusOr<QueryId> AddChainJoinQuery(const ChainJoinQuerySpec& spec,
+                                              uint64_t seed) {
+    (void)spec;
+    (void)seed;
+    return UnimplementedError("backend does not support chain joins");
+  }
+  virtual Status UpdateRelation(const std::string& relation,
+                                const std::vector<uint64_t>& attributes,
+                                int64_t weight) {
+    (void)relation;
+    (void)attributes;
+    (void)weight;
+    return UnimplementedError("backend does not support relations");
+  }
+  virtual StatusOr<double> AnswerChainJoin(QueryId query) {
+    (void)query;
+    return UnimplementedError("backend does not support chain joins");
+  }
+  virtual StatusOr<EstimateReport> AnswerChainJoinWithReport(QueryId query) {
+    (void)query;
+    return UnimplementedError("backend does not support chain joins");
+  }
+
+  // --- Fleet telemetry (default: not supported) ---------------------------
+
+  /// The backend's own snapshot merged with every reachable shard's,
+  /// shard series renamed `base{shard="<index>"}` (metrics::LabeledName).
+  virtual StatusOr<metrics::Snapshot> FleetMetricsSnapshot() {
+    return UnimplementedError("backend does not support fleet telemetry");
+  }
+
+  /// Pulls every shard's new event-log entries and re-emits them into this
+  /// process's EventLog::Global(), tagged with an `origin_shard` field.
+  /// Incremental: already-scraped sequences are skipped per shard.
+  virtual Status ScrapeFleetEvents() {
+    return UnimplementedError("backend does not support fleet telemetry");
+  }
+
+  /// Enables/disables trace recording on this process AND every shard.
+  virtual Status SetFleetTracing(bool enable) {
+    (void)enable;
+    return UnimplementedError("backend does not support fleet tracing");
+  }
+
+  /// Drains this process's and every shard's trace buffers into one merged
+  /// Chrome trace JSON document (per-process tracks, clock-aligned).
+  virtual StatusOr<std::string> DumpFleetTrace() {
+    return UnimplementedError("backend does not support fleet tracing");
+  }
+
   /// Asks every shard to checkpoint its engine state now.
   virtual Status CheckpointShards() = 0;
 

@@ -906,10 +906,17 @@ Status Engine::SerializeQuerySynopsis(QueryId query, std::string* out) const {
   } else if (const auto fit = frequency_queries_.find(query);
              fit != frequency_queries_.end()) {
     SKIMJOIN_RETURN_IF_ERROR(fit->second.sketch.SerializeTo(record));
+  } else if (const auto cit = chain_queries_.find(query);
+             cit != chain_queries_.end()) {
+    if (cit->second.grid.has_value()) {
+      SKIMJOIN_RETURN_IF_ERROR(cit->second.grid->SerializeTo(record));
+    } else {
+      SKIMJOIN_RETURN_IF_ERROR(cit->second.hashed->SerializeTo(record));
+    }
   } else {
     return NotFoundError(
         "no serializable synopsis for query id " + std::to_string(query) +
-        " (only join/self-join and frequency queries have one)");
+        " (only join/self-join, frequency, and chain-join queries have one)");
   }
   *out = std::move(record).str();
   return OkStatus();

@@ -319,8 +319,8 @@ class Engine {
 
   /// Writes one query's synopsis as its family's self-describing text
   /// record (the same serializers checkpoints use): a join/self-join
-  /// query's estimator-pair record, or a frequency query's skimmed-sketch
-  /// record. This is the payload of a distributed worker's delta pull — a
+  /// query's estimator-pair record, a frequency query's skimmed-sketch
+  /// record, or a chain-join query's multi-join estimator record. This is the payload of a distributed worker's delta pull — a
   /// compatible synopsis on the coordinator can Merge/RestoreFrom it.
   /// NOT_FOUND for an unknown id or a query kind without a serializable
   /// synopsis; UNIMPLEMENTED for non-serializable estimator methods.

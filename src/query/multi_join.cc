@@ -1,9 +1,12 @@
 #include "query/multi_join.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 #include <unordered_map>
 #include <utility>
 
+#include "sketch/serial_limits.h"
 #include "sketch/sketch_seed.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -13,7 +16,7 @@ namespace query {
 
 MultiJoinEstimator::MultiJoinEstimator(const MultiJoinConfig& config,
                                        uint64_t seed)
-    : config_(config) {
+    : config_(config), seed_(seed) {
   uint64_t num_attributes = 0;
   for (const auto& attrs : config.relation_attributes) {
     for (uint64_t a : attrs) num_attributes = std::max(num_attributes, a + 1);
@@ -113,6 +116,89 @@ EstimateReport MultiJoinEstimator::EstimateWithReport() const {
   report.estimate = Median(report.copy_estimates);
   FinishReportFromCopies(&report);
   return report;
+}
+
+Status MultiJoinEstimator::SerializeTo(std::ostream& out) const {
+  out << "skimjoin.multi_join v1\n"
+      << config_.num_means << ' ' << config_.num_medians << ' ' << seed_
+      << ' ' << config_.relation_attributes.size() << '\n';
+  for (const std::vector<uint64_t>& attrs : config_.relation_attributes) {
+    out << attrs.size();
+    for (const uint64_t a : attrs) out << ' ' << a;
+    out << '\n';
+  }
+  for (const std::vector<int64_t>& grid : counters_) {
+    for (size_t i = 0; i < grid.size(); ++i) {
+      out << grid[i] << (i + 1 == grid.size() ? '\n' : ' ');
+    }
+  }
+  out << "end\n";
+  if (!out) return IoError("multi-join serialization failed");
+  return OkStatus();
+}
+
+StatusOr<MultiJoinEstimator> MultiJoinEstimator::DeserializeFrom(
+    std::istream& in) {
+  std::string tag, version;
+  if (!(in >> tag >> version) || tag != "skimjoin.multi_join" ||
+      version != "v1") {
+    return InvalidArgumentError("not a skimjoin multi-join v1 record");
+  }
+  MultiJoinConfig config;
+  uint64_t seed = 0, num_relations = 0;
+  if (!(in >> config.num_means >> config.num_medians >> seed >>
+        num_relations)) {
+    return InvalidArgumentError("malformed multi-join header");
+  }
+  SKIMJOIN_RETURN_IF_ERROR(sketch::CheckDeserializeDims(
+      config.num_means, config.num_medians, "multi-join"));
+  SKIMJOIN_RETURN_IF_ERROR(sketch::CheckDeserializeDims(
+      config.num_means * config.num_medians, num_relations, "multi-join"));
+  config.relation_attributes.resize(num_relations);
+  for (std::vector<uint64_t>& attrs : config.relation_attributes) {
+    uint64_t arity = 0;
+    // The declared arity bounds the grid just like a counter dimension;
+    // a relation never carries more than a handful of attributes.
+    if (!(in >> arity) || arity < 1 || arity > 64) {
+      return InvalidArgumentError("malformed multi-join attribute list");
+    }
+    attrs.resize(arity);
+    for (uint64_t& a : attrs) {
+      if (!(in >> a)) {
+        return InvalidArgumentError("malformed multi-join attribute list");
+      }
+    }
+  }
+  StatusOr<MultiJoinEstimator> estimator =
+      MultiJoinEstimator::Create(config, seed);
+  SKIMJOIN_RETURN_IF_ERROR(estimator.status());
+  for (std::vector<int64_t>& grid : estimator->counters_) {
+    for (int64_t& counter : grid) {
+      if (!(in >> counter)) {
+        return InvalidArgumentError("truncated multi-join counter block");
+      }
+    }
+  }
+  std::string sentinel;
+  if (!(in >> sentinel) || sentinel != "end") {
+    return InvalidArgumentError("multi-join record missing its end sentinel");
+  }
+  return estimator;
+}
+
+Status MultiJoinEstimator::MergeFrom(const MultiJoinEstimator& other) {
+  if (seed_ != other.seed_ || config_.num_means != other.config_.num_means ||
+      config_.num_medians != other.config_.num_medians ||
+      config_.relation_attributes != other.config_.relation_attributes) {
+    return InvalidArgumentError(
+        "multi-join merge requires identical config and seed");
+  }
+  for (size_t r = 0; r < counters_.size(); ++r) {
+    for (size_t cell = 0; cell < counters_[r].size(); ++cell) {
+      counters_[r][cell] += other.counters_[r][cell];
+    }
+  }
+  return OkStatus();
 }
 
 uint64_t MultiJoinEstimator::MemoryBytes() const {

@@ -14,6 +14,7 @@
 #define SKIMJOIN_QUERY_MULTI_JOIN_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "hashing/sign_hash.h"
@@ -71,6 +72,25 @@ class MultiJoinEstimator {
   /// grids). Feeds the per-query memory gauges.
   uint64_t MemoryBytes() const;
 
+  /// Writes the estimator as a self-describing text record (config, seed,
+  /// counter grids). The sign families rebuild from (config, seed) on
+  /// read, so the record carries only the linear state.
+  Status SerializeTo(std::ostream& out) const;
+
+  /// Reads a record written by SerializeTo. INVALID_ARGUMENT on a
+  /// malformed or truncated record; dimensions are validated before any
+  /// counter allocation.
+  static StatusOr<MultiJoinEstimator> DeserializeFrom(std::istream& in);
+
+  /// Adds `other`'s counters into this estimator. The atomic sketches are
+  /// linear in the tuple weights, so merging shard-partial estimators is
+  /// exact — the merged state equals one estimator that saw every tuple.
+  /// INVALID_ARGUMENT unless config and seed match (different hash
+  /// families are not summable).
+  Status MergeFrom(const MultiJoinEstimator& other);
+
+  uint64_t seed() const { return seed_; }
+
  private:
   MultiJoinEstimator(const MultiJoinConfig& config, uint64_t seed);
 
@@ -82,6 +102,7 @@ class MultiJoinEstimator {
   std::vector<double> PerMedianAverages() const;
 
   MultiJoinConfig config_;
+  uint64_t seed_ = 0;
   // signs_[attribute][cell]: the ξ^attribute family of grid cell (i, j).
   std::vector<std::vector<hashing::SignHash>> signs_;
   // counters_[relation][cell]: atomic sketch X^relation_ij.

@@ -1,7 +1,11 @@
 #include "query/multi_join_hash.h"
 
+#include <istream>
+#include <ostream>
+#include <string>
 #include <utility>
 
+#include "sketch/serial_limits.h"
 #include "sketch/sketch_seed.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -11,7 +15,7 @@ namespace query {
 
 MultiJoinHashEstimator::MultiJoinHashEstimator(
     const MultiJoinHashConfig& config, uint64_t seed)
-    : config_(config) {
+    : config_(config), seed_(seed) {
   const uint64_t attributes = num_attributes();
   bucket_hashes_.resize(attributes);
   sign_hashes_.resize(attributes);
@@ -143,6 +147,83 @@ uint64_t MultiJoinHashEstimator::TotalCounters() const {
     for (const auto& table : relation) total += table.size();
   }
   return total;
+}
+
+Status MultiJoinHashEstimator::SerializeTo(std::ostream& out) const {
+  out << "skimjoin.multi_join_hash v1\n"
+      << config_.num_relations << ' ' << config_.num_tables << ' '
+      << config_.num_buckets << ' ' << seed_ << '\n';
+  for (const std::vector<std::vector<int64_t>>& relation : counters_) {
+    for (const std::vector<int64_t>& table : relation) {
+      for (size_t i = 0; i < table.size(); ++i) {
+        out << table[i] << (i + 1 == table.size() ? '\n' : ' ');
+      }
+    }
+  }
+  out << "end\n";
+  if (!out) return IoError("multi-join-hash serialization failed");
+  return OkStatus();
+}
+
+StatusOr<MultiJoinHashEstimator> MultiJoinHashEstimator::DeserializeFrom(
+    std::istream& in) {
+  std::string tag, version;
+  if (!(in >> tag >> version) || tag != "skimjoin.multi_join_hash" ||
+      version != "v1") {
+    return InvalidArgumentError("not a skimjoin multi-join-hash v1 record");
+  }
+  MultiJoinHashConfig config;
+  uint64_t seed = 0;
+  if (!(in >> config.num_relations >> config.num_tables >>
+        config.num_buckets >> seed)) {
+    return InvalidArgumentError("malformed multi-join-hash header");
+  }
+  // A middle relation holds buckets² counters per table — validate that
+  // worst-case product before Create allocates it.
+  SKIMJOIN_RETURN_IF_ERROR(sketch::CheckDeserializeDims(
+      config.num_buckets, config.num_buckets, "multi-join-hash"));
+  SKIMJOIN_RETURN_IF_ERROR(sketch::CheckDeserializeDims(
+      config.num_tables, config.num_relations, "multi-join-hash"));
+  SKIMJOIN_RETURN_IF_ERROR(sketch::CheckDeserializeDims(
+      config.num_buckets * config.num_buckets,
+      config.num_tables * config.num_relations, "multi-join-hash"));
+  StatusOr<MultiJoinHashEstimator> estimator =
+      MultiJoinHashEstimator::Create(config, seed);
+  SKIMJOIN_RETURN_IF_ERROR(estimator.status());
+  for (std::vector<std::vector<int64_t>>& relation : estimator->counters_) {
+    for (std::vector<int64_t>& table : relation) {
+      for (int64_t& counter : table) {
+        if (!(in >> counter)) {
+          return InvalidArgumentError(
+              "truncated multi-join-hash counter block");
+        }
+      }
+    }
+  }
+  std::string sentinel;
+  if (!(in >> sentinel) || sentinel != "end") {
+    return InvalidArgumentError(
+        "multi-join-hash record missing its end sentinel");
+  }
+  return estimator;
+}
+
+Status MultiJoinHashEstimator::MergeFrom(const MultiJoinHashEstimator& other) {
+  if (seed_ != other.seed_ ||
+      config_.num_relations != other.config_.num_relations ||
+      config_.num_tables != other.config_.num_tables ||
+      config_.num_buckets != other.config_.num_buckets) {
+    return InvalidArgumentError(
+        "multi-join-hash merge requires identical config and seed");
+  }
+  for (size_t r = 0; r < counters_.size(); ++r) {
+    for (size_t t = 0; t < counters_[r].size(); ++t) {
+      for (size_t i = 0; i < counters_[r][t].size(); ++i) {
+        counters_[r][t][i] += other.counters_[r][t][i];
+      }
+    }
+  }
+  return OkStatus();
 }
 
 uint64_t MultiJoinHashEstimator::MemoryBytes() const {

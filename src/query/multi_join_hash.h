@@ -16,6 +16,7 @@
 #define SKIMJOIN_QUERY_MULTI_JOIN_HASH_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "hashing/kwise_hash.h"
@@ -72,6 +73,22 @@ class MultiJoinHashEstimator {
   /// tables). Feeds the per-query memory gauges.
   uint64_t MemoryBytes() const;
 
+  /// Writes the estimator as a self-describing text record (config, seed,
+  /// counter tables); the hash families rebuild from (config, seed).
+  Status SerializeTo(std::ostream& out) const;
+
+  /// Reads a record written by SerializeTo. INVALID_ARGUMENT on a
+  /// malformed or truncated record; dimensions are validated before any
+  /// counter allocation.
+  static StatusOr<MultiJoinHashEstimator> DeserializeFrom(std::istream& in);
+
+  /// Adds `other`'s counters into this estimator — exact for
+  /// shard-partitioned tuple streams (the counters are linear in the
+  /// weights). INVALID_ARGUMENT unless config and seed match.
+  Status MergeFrom(const MultiJoinHashEstimator& other);
+
+  uint64_t seed() const { return seed_; }
+
  private:
   MultiJoinHashEstimator(const MultiJoinHashConfig& config, uint64_t seed);
 
@@ -81,6 +98,7 @@ class MultiJoinHashEstimator {
   std::vector<double> PerTableChainProducts() const;
 
   MultiJoinHashConfig config_;
+  uint64_t seed_ = 0;
   // bucket_hashes_[attribute][table], sign_hashes_[attribute][table].
   std::vector<std::vector<hashing::BucketHash>> bucket_hashes_;
   std::vector<std::vector<hashing::SignHash>> sign_hashes_;

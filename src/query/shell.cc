@@ -8,6 +8,7 @@
 
 #include "query/dist_backend.h"
 #include "stream/trace_io.h"
+#include "util/durable_file.h"
 #include "util/estimate_report.h"
 #include "util/event_log.h"
 #include "util/metrics.h"
@@ -56,15 +57,23 @@ const std::vector<std::pair<std::string, std::string>>& CommandRegistry() {
           {"streams", "streams — per-stream ingest stats"},
           {"stats", "stats — engine-wide totals"},
           {"metrics",
-           "metrics [json|prom] — metrics snapshot (prom is multi-line)"},
+           "metrics [fleet] [json|prom] — metrics snapshot (fleet: merged "
+           "per-shard series, shard=\"<k>\" labels; prom is multi-line)"},
           {"logs",
-           "logs [n] [debug|info|warn|error] — last n (default 10) events "
-           "at or above the level as JSON lines"},
+           "logs [n] [debug|info|warn|error] [--shard <k>] — last n "
+           "(default 10) events at or above the level as JSON lines; "
+           "--shard keeps only events scraped from worker k"},
           {"workers",
            "workers — per-shard health/incarnation/epoch (distributed "
            "backend)"},
           {"shards",
            "shards — shard fan-out and routing (distributed backend)"},
+          {"fleet",
+           "fleet — probe every shard, scrape its events, and render the "
+           "fleet table (distributed backend)"},
+          {"trace",
+           "trace start|stop|dump <file> — toggle trace recording / write "
+           "the Chrome trace (fleet-wide with a distributed backend)"},
           {"alerts",
            "alerts <rel_error> <ci_width> — warn-event thresholds for "
            "accuracy drift / CI blow-up (inf disables)"},
@@ -169,7 +178,8 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
                    "` is not supported with a distributed backend attached");
     return true;
   }
-  if ((command == "workers" || command == "shards") && dist_ == nullptr) {
+  if ((command == "workers" || command == "shards" || command == "fleet") &&
+      dist_ == nullptr) {
     Error(out, "no distributed backend attached");
     return true;
   }
@@ -196,6 +206,77 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
       out << ' ' << status.shard;
     }
     out << "\n";
+    return true;
+  }
+  if (command == "fleet") {
+    // The one-stop operator view: refresh health, pull each worker's new
+    // events into the local log (so a following `logs --shard <k>` is
+    // fresh), and render the fleet table. Multi-line like `workers`.
+    (void)dist_->ProbeHealth();
+    const Status scraped = dist_->ScrapeFleetEvents();
+    const std::vector<DistShardStatus> statuses = dist_->ShardStatuses();
+    out << "ok " << statuses.size() << " shards";
+    if (!scraped.ok() && scraped.code() != StatusCode::kUnimplemented) {
+      out << " (event scrape incomplete)";
+    }
+    out << "\n";
+    for (const DistShardStatus& status : statuses) {
+      out << "  " << status.shard << " health=" << status.health
+          << " incarnation=" << status.incarnation
+          << " epoch=" << status.last_acked_epoch
+          << " retries=" << status.rpc_retries
+          << " failures=" << status.rpc_failures << "\n";
+    }
+    return true;
+  }
+  if (command == "trace") {
+    std::string action;
+    if (!(fields >> action)) {
+      Error(out, "usage: trace start|stop|dump <file>");
+      return true;
+    }
+    if (action == "start" || action == "stop") {
+      const bool enable = (action == "start");
+      if (dist_ != nullptr) {
+        const Status status = dist_->SetFleetTracing(enable);
+        if (!status.ok()) {
+          Error(out, status);
+          return true;
+        }
+      } else if (enable) {
+        metrics::TraceRecorder::Global().Enable();
+      } else {
+        metrics::TraceRecorder::Global().Disable();
+      }
+      Ok(out);
+      return true;
+    }
+    if (action == "dump") {
+      std::string path;
+      if (!(fields >> path)) {
+        Error(out, "usage: trace dump <file>");
+        return true;
+      }
+      std::string trace_json;
+      if (dist_ != nullptr) {
+        StatusOr<std::string> merged = dist_->DumpFleetTrace();
+        if (!merged.ok()) {
+          Error(out, merged.status());
+          return true;
+        }
+        trace_json = std::move(*merged);
+      } else {
+        trace_json = metrics::TraceRecorder::Global().DrainAsChromeTrace();
+      }
+      const Status written = util::AtomicWriteFile(path, trace_json);
+      if (!written.ok()) {
+        Error(out, written);
+        return true;
+      }
+      out << "ok " << trace_json.size() << " bytes\n";
+      return true;
+    }
+    Error(out, "usage: trace start|stop|dump <file>");
     return true;
   }
   if (command == "seed") {
@@ -532,8 +613,18 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     bool saw_count = false;
     LogLevel min_level = LogLevel::kDebug;
     bool saw_level = false;
+    bool saw_shard = false;
+    uint64_t shard_filter = 0;
     std::string token;
     while (fields >> token) {
+      if (token == "--shard") {
+        if (saw_shard || !(fields >> shard_filter)) {
+          Error(out, "usage: logs [n] [debug|info|warn|error] [--shard <k>]");
+          return true;
+        }
+        saw_shard = true;
+        continue;
+      }
       if (LogLevel level; !saw_level && ParseLogLevelName(token, &level)) {
         min_level = level;
         saw_level = true;
@@ -544,8 +635,13 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
         saw_count = true;
         continue;
       }
-      Error(out, "usage: logs [n] [debug|info|warn|error]");
+      Error(out, "usage: logs [n] [debug|info|warn|error] [--shard <k>]");
       return true;
+    }
+    if (saw_shard && dist_ != nullptr) {
+      // Pull the workers' newest events first so `logs --shard` reflects
+      // the fleet as of NOW, not the last explicit scrape.
+      (void)dist_->ScrapeFleetEvents();
     }
     // Filter the whole retained ring by level FIRST, then keep the last n,
     // so `logs 5 warn` means "the 5 most recent warn-or-worse events", not
@@ -556,6 +652,21 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
       std::vector<LogEvent> kept;
       for (LogEvent& event : events) {
         if (event.level >= min_level) kept.push_back(std::move(event));
+      }
+      events = std::move(kept);
+    }
+    if (saw_shard) {
+      // Keep only events scraped from worker `shard_filter` — they carry
+      // the origin_shard field the coordinator re-emits them with.
+      const std::string want = std::to_string(shard_filter);
+      std::vector<LogEvent> kept;
+      for (LogEvent& event : events) {
+        for (const auto& [key, value] : event.fields) {
+          if (key == "origin_shard" && value == want) {
+            kept.push_back(std::move(event));
+            break;
+          }
+        }
       }
       events = std::move(kept);
     }
@@ -829,27 +940,56 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     return true;
   }
   if (command == "metrics") {
+    bool want_fleet = false;
     std::string format;
-    fields >> format;  // optional, defaults to json
+    fields >> format;  // optional "fleet", then optional format
+    if (format == "fleet") {
+      want_fleet = true;
+      format.clear();
+      fields >> format;
+    }
+    if (want_fleet && dist_ == nullptr) {
+      Error(out, "no distributed backend attached");
+      return true;
+    }
     metrics::Snapshot snapshot;
+    std::string banner;
     if (dist_ != nullptr) {
-      metrics::Registry* registry = dist_->MetricsRegistry();
-      if (registry == nullptr) {
-        Error(out, "the attached distributed backend exposes no metrics");
+      // Distributed mode routes to the fleet path whether or not the
+      // caller said `fleet`: a merged snapshot (coordinator series plus
+      // every shard's, labeled shard="<k>") is what an operator means by
+      // "the metrics". A backend without the fleet path falls back to the
+      // coordinator-local registry, flagged by a banner line so nobody
+      // mistakes it for fleet coverage.
+      StatusOr<metrics::Snapshot> fleet = dist_->FleetMetricsSnapshot();
+      if (fleet.ok()) {
+        snapshot = std::move(*fleet);
+      } else if (want_fleet) {
+        Error(out, fleet.status());
         return true;
+      } else {
+        metrics::Registry* registry = dist_->MetricsRegistry();
+        if (registry == nullptr) {
+          Error(out, "the attached distributed backend exposes no metrics");
+          return true;
+        }
+        snapshot = registry->TakeSnapshot();
+        banner = "(coordinator-local; use 'metrics fleet')";
       }
-      snapshot = registry->TakeSnapshot();
     } else {
       snapshot = engine_.MetricsSnapshot();
     }
     if (format.empty() || format == "json") {
       OkValue(out, metrics::ToJson(snapshot));
+      if (!banner.empty()) out << banner << "\n";
     } else if (format == "prom") {
       // The documented exception to the one-line contract: the Prometheus
       // text exposition format is inherently multi-line.
-      out << "ok\n" << metrics::ToPrometheusText(snapshot);
+      out << "ok\n";
+      if (!banner.empty()) out << "# " << banner << "\n";
+      out << metrics::ToPrometheusText(snapshot);
     } else {
-      Error(out, "usage: metrics [json|prom]");
+      Error(out, "usage: metrics [fleet] [json|prom]");
     }
     return true;
   }

@@ -27,21 +27,41 @@
 //   streams                                   per-stream ingest stats (incl.
 //                                             absorb/merge timing)
 //   stats                                     engine-wide totals
-//   metrics [json|prom]                       metrics snapshot; `json` (the
+//   metrics [fleet] [json|prom]               metrics snapshot; `json` (the
 //                                             default) answers on one line,
 //                                             `prom` emits the multi-line
-//                                             Prometheus text format
+//                                             Prometheus text format. With a
+//                                             distributed backend, both forms
+//                                             merge every shard's snapshot in
+//                                             (series labeled shard="<k>");
+//                                             a backend without the fleet
+//                                             path answers coordinator-local
+//                                             metrics plus a banner line
+//                                             saying so
 //   explain <q>                               join/self-join estimate with
 //                                             full provenance (per-copy
 //                                             estimates, CI, a-priori bound,
 //                                             skim diagnostics)
 //   logs [n] [debug|info|warn|error]          last n (default 10) structured
-//                                             events at or above the given
-//                                             level as JSON lines
+//        [--shard <k>]                        events at or above the given
+//                                             level as JSON lines; --shard
+//                                             keeps only events scraped from
+//                                             worker k (origin_shard field)
 //   workers                                   per-shard health/incarnation/
 //                                             epoch (distributed backend)
 //   shards                                    shard fan-out and routing
 //                                             (distributed backend)
+//   fleet                                     probe every shard, scrape its
+//                                             events into the local log, and
+//                                             render the fleet table
+//                                             (distributed backend)
+//   trace start|stop|dump <file>              toggle trace recording / write
+//                                             the Chrome trace; with a
+//                                             distributed backend the toggle
+//                                             fans out to every worker and
+//                                             dump merges every process's
+//                                             spans on one clock-aligned
+//                                             timeline
 //   alerts <rel_error> <ci_width>             warn-event thresholds for
 //                                             accuracy drift and CI blow-up
 //                                             (`inf` disables one)
@@ -53,9 +73,10 @@
 //   help                                      print this list
 //
 // Every command answers on one line: "ok[ <payload>]" or "error: <reason>".
-// Exceptions: `metrics prom`, `explain`, `logs`, and `help` answer "ok" and
-// then inherently multi-line text (Prometheus exposition, the provenance
-// table, JSON event lines, the command list).
+// Exceptions: `metrics prom`, `explain`, `logs`, `workers`, `fleet`, and
+// `help` answer "ok" and then inherently multi-line text (Prometheus
+// exposition, the provenance table, JSON event lines, the fleet table, the
+// command list).
 // Unknown queries/streams are reported, never fatal; the shell only stops
 // at end of input (or the `quit` command).
 //

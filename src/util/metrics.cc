@@ -1,5 +1,7 @@
 #include "util/metrics.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
 #include <cinttypes>
@@ -61,7 +63,79 @@ std::string PrometheusName(const std::string& raw) {
   return out;
 }
 
+// Prometheus label-value escaping: backslash, double quote, newline.
+std::string PrometheusLabelValue(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// HELP text escaping (no quotes to worry about, only backslash + newline).
+std::string PrometheusHelpText(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string LabeledName(
+    const std::string& base,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  std::string out = base;
+  out.push_back('{');
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i) out.push_back(',');
+    out += labels[i].first;
+    out += "=\"";
+    out += PrometheusLabelValue(labels[i].second);
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+bool SplitShardLabel(const std::string& name, std::string* base,
+                     std::string* shard) {
+  static constexpr char kPrefix[] = "{shard=\"";
+  const size_t open = name.find(kPrefix);
+  if (open == std::string::npos) return false;
+  std::string value;
+  size_t i = open + sizeof(kPrefix) - 1;
+  for (; i < name.size() && name[i] != '"'; ++i) {
+    if (name[i] == '\\' && i + 1 < name.size()) {
+      ++i;
+      value.push_back(name[i] == 'n' ? '\n' : name[i]);
+    } else {
+      value.push_back(name[i]);
+    }
+  }
+  if (i + 1 >= name.size() || name[i] != '"' || name[i + 1] != '}') {
+    return false;
+  }
+  *base = name.substr(0, open);
+  *shard = std::move(value);
+  return true;
+}
 
 // --- HistogramSnapshot -----------------------------------------------------
 
@@ -201,9 +275,19 @@ ShardedHistogram* Registry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+void Registry::SetHelp(const std::string& name, const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (help.empty()) {
+    help_.erase(name);
+  } else {
+    help_[name] = help;
+  }
+}
+
 Snapshot Registry::TakeSnapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   Snapshot snapshot;
+  snapshot.help = help_;
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     snapshot.counters.emplace_back(name, counter->Value());
@@ -224,13 +308,17 @@ void Registry::Clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  help_.clear();
 }
 
 // --- exporters -------------------------------------------------------------
 
-std::string ToJson(const Snapshot& snapshot) {
-  std::ostringstream out;
-  out << "{\"counters\":{";
+namespace {
+
+// The three instrument sections of one JSON object body (no braces):
+//   "counters":{...},"gauges":{...},"histograms":{...}
+void RenderJsonSections(const Snapshot& snapshot, std::ostringstream& out) {
+  out << "\"counters\":{";
   for (size_t i = 0; i < snapshot.counters.size(); ++i) {
     if (i) out << ',';
     out << '"' << JsonEscape(snapshot.counters[i].first)
@@ -262,7 +350,56 @@ std::string ToJson(const Snapshot& snapshot) {
     }
     out << "]}";
   }
-  out << "}}";
+  out << '}';
+}
+
+}  // namespace
+
+std::string ToJson(const Snapshot& snapshot) {
+  // Shard-labeled series (a fleet snapshot) leave the flat sections and
+  // group per shard under "fleet"; an unlabeled snapshot renders exactly
+  // as it always has.
+  Snapshot flat;
+  flat.help = snapshot.help;
+  std::map<std::string, Snapshot> fleet;
+  std::string base, shard;
+  for (const auto& entry : snapshot.counters) {
+    if (SplitShardLabel(entry.first, &base, &shard)) {
+      fleet[shard].counters.emplace_back(base, entry.second);
+    } else {
+      flat.counters.push_back(entry);
+    }
+  }
+  for (const auto& entry : snapshot.gauges) {
+    if (SplitShardLabel(entry.first, &base, &shard)) {
+      fleet[shard].gauges.emplace_back(base, entry.second);
+    } else {
+      flat.gauges.push_back(entry);
+    }
+  }
+  for (const auto& entry : snapshot.histograms) {
+    if (SplitShardLabel(entry.first, &base, &shard)) {
+      fleet[shard].histograms.emplace_back(base, entry.second);
+    } else {
+      flat.histograms.push_back(entry);
+    }
+  }
+  std::ostringstream out;
+  out << '{';
+  RenderJsonSections(flat, out);
+  if (!fleet.empty()) {
+    out << ",\"fleet\":{";
+    bool first = true;
+    for (const auto& [shard_name, sub] : fleet) {
+      if (!first) out << ',';
+      first = false;
+      out << '"' << JsonEscape(shard_name) << "\":{";
+      RenderJsonSections(sub, out);
+      out << '}';
+    }
+    out << '}';
+  }
+  out << '}';
   return out.str();
 }
 
@@ -293,20 +430,57 @@ std::string ToPrometheusText(const Snapshot& snapshot) {
           return candidate;
         }
       };
+  // Series built by LabeledName carry a `{key="value"}` block after the
+  // base name. Only the base is sanitized/deduplicated; label values were
+  // escaped at construction and pass through verbatim. Series sharing one
+  // (section, base) pair share one "# TYPE" (and optional "# HELP") line —
+  // snapshots are name-sorted, so same-base labeled series are adjacent
+  // ('{' sorts after every name character the sanitizer keeps).
+  const auto split_labels = [](const std::string& name) {
+    const size_t brace = name.find('{');
+    if (brace == std::string::npos) {
+      return std::pair<std::string, std::string>(name, "");
+    }
+    return std::pair<std::string, std::string>(name.substr(0, brace),
+                                               name.substr(brace));
+  };
   std::ostringstream out;
+  std::map<std::string, std::string> families;  // "<section><base>" -> prom
+  const auto family_name = [&](char section, const std::string& base,
+                               const std::vector<std::string>& suffixes,
+                               const char* type) {
+    const std::string key = std::string(1, section) + base;
+    const auto it = families.find(key);
+    if (it != families.end()) return it->second;
+    const std::string prom = reserve_or_suffix(PrometheusName(base), suffixes);
+    families.emplace(key, prom);
+    const auto help = snapshot.help.find(base);
+    if (help != snapshot.help.end()) {
+      out << "# HELP " << prom << ' ' << PrometheusHelpText(help->second)
+          << '\n';
+    }
+    out << "# TYPE " << prom << ' ' << type << '\n';
+    return prom;
+  };
   for (const auto& [name, value] : snapshot.counters) {
-    const std::string prom = reserve_or_suffix(PrometheusName(name), {});
-    out << "# TYPE " << prom << " counter\n" << prom << ' ' << value << '\n';
+    const auto [base, labels] = split_labels(name);
+    const std::string prom = family_name('c', base, {}, "counter");
+    out << prom << labels << ' ' << value << '\n';
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    const std::string prom = reserve_or_suffix(PrometheusName(name), {});
-    out << "# TYPE " << prom << " gauge\n"
-        << prom << ' ' << DoubleToString(value) << '\n';
+    const auto [base, labels] = split_labels(name);
+    const std::string prom = family_name('g', base, {}, "gauge");
+    out << prom << labels << ' ' << DoubleToString(value) << '\n';
   }
   for (const auto& [name, h] : snapshot.histograms) {
-    const std::string prom = reserve_or_suffix(
-        PrometheusName(name), {"_bucket", "_sum", "_count"});
-    out << "# TYPE " << prom << " histogram\n";
+    const auto [base, labels] = split_labels(name);
+    const std::string prom = family_name(
+        'h', base, {"_bucket", "_sum", "_count"}, "histogram");
+    // The le label joins any series labels: {shard="x"} + le -> the
+    // combined block {shard="x",le="..."}.
+    const std::string le_prefix =
+        labels.empty() ? "{"
+                       : labels.substr(0, labels.size() - 1) + ",";
     uint64_t cumulative = 0;
     for (int bucket = 0; bucket < Histogram::kBuckets; ++bucket) {
       cumulative += h.buckets[bucket];
@@ -315,19 +489,51 @@ std::string ToPrometheusText(const Snapshot& snapshot) {
       if (h.buckets[bucket] == 0 && cumulative == 0) continue;
       if (bucket + 1 < Histogram::kBuckets && h.buckets[bucket] == 0) continue;
       if (bucket + 1 < Histogram::kBuckets) {
-        out << prom << "_bucket{le=\""
+        out << prom << "_bucket" << le_prefix << "le=\""
             << DoubleToString(Histogram::BucketLowerEdge(bucket + 1)) << "\"} "
             << cumulative << '\n';
       }
     }
-    out << prom << "_bucket{le=\"+Inf\"} " << h.count << '\n'
-        << prom << "_sum " << DoubleToString(h.sum) << '\n'
-        << prom << "_count " << h.count << '\n';
+    out << prom << "_bucket" << le_prefix << "le=\"+Inf\"} " << h.count << '\n'
+        << prom << "_sum" << labels << ' ' << DoubleToString(h.sum) << '\n'
+        << prom << "_count" << labels << ' ' << h.count << '\n';
   }
   return out.str();
 }
 
 // --- tracing ---------------------------------------------------------------
+
+namespace {
+
+thread_local TraceContext t_trace_context;
+
+}  // namespace
+
+TraceContext CurrentTraceContext() { return t_trace_context; }
+
+uint64_t NewTraceOrSpanId() {
+  // splitmix64 over a per-process counter seeded from (pid, clock): ids
+  // from different fleet processes never collide in practice, and no
+  // cross-thread coordination happens on the hot path.
+  static std::atomic<uint64_t> state{
+      (static_cast<uint64_t>(::getpid()) << 32) ^
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count())};
+  uint64_t x = state.fetch_add(0x9E3779B97F4A7C15ull,
+                               std::memory_order_relaxed) +
+               0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;  // 0 means "no context" everywhere
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& remote)
+    : saved_(t_trace_context) {
+  t_trace_context = remote;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_trace_context = saved_; }
 
 TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
 
@@ -369,34 +575,70 @@ uint64_t TraceRecorder::dropped_count() const {
   return dropped_;
 }
 
-std::string TraceRecorder::DrainAsChromeTrace() {
+std::vector<TraceEvent> TraceRecorder::DrainEvents(uint64_t* dropped) {
   std::vector<TraceEvent> events;
-  uint64_t dropped = 0;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    events.swap(events_);
-    dropped = dropped_;
-    dropped_ = 0;
-  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events.swap(events_);
+  if (dropped != nullptr) *dropped = dropped_;
+  dropped_ = 0;
+  return events;
+}
+
+std::string MergeAsChromeTrace(const std::vector<ProcessTrace>& processes) {
   std::ostringstream out;
   out << "{\"traceEvents\":[";
-  for (size_t i = 0; i < events.size(); ++i) {
-    if (i) out << ',';
-    const TraceEvent& e = events[i];
-    out << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\""
-        << JsonEscape(e.category) << "\",\"ph\":\"X\",\"ts\":" << e.start_micros
-        << ",\"dur\":" << e.duration_micros << ",\"pid\":1,\"tid\":"
-        << e.thread_id << '}';
-  }
-  if (dropped > 0) {
-    if (!events.empty()) out << ',';
-    out << "{\"name\":\"trace_events_dropped\",\"cat\":\"meta\",\"ph\":\"i\","
-           "\"ts\":"
-        << NowMicros() << ",\"s\":\"g\",\"pid\":1,\"tid\":0,\"args\":{"
-        << "\"dropped\":" << dropped << "}}";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out << ',';
+    first = false;
+  };
+  for (const ProcessTrace& p : processes) {
+    if (!p.events.empty() && !p.name.empty()) {
+      comma();
+      out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << p.pid
+          << ",\"tid\":0,\"args\":{\"name\":\"" << JsonEscape(p.name)
+          << "\"}}";
+    }
+    uint64_t last_end = 0;
+    for (const TraceEvent& e : p.events) {
+      // One fleet timeline: shift this process's trace clock onto the
+      // merging process's, clamping at zero (Chrome/Perfetto dislike
+      // negative timestamps).
+      const int64_t shifted =
+          static_cast<int64_t>(e.start_micros) + p.clock_offset_micros;
+      const uint64_t ts = shifted < 0 ? 0 : static_cast<uint64_t>(shifted);
+      last_end = std::max(last_end, ts + e.duration_micros);
+      comma();
+      out << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\""
+          << JsonEscape(e.category) << "\",\"ph\":\"X\",\"ts\":" << ts
+          << ",\"dur\":" << e.duration_micros << ",\"pid\":" << p.pid
+          << ",\"tid\":" << e.thread_id;
+      if (e.trace_id != 0) {
+        // Decimal strings: u64 ids exceed JSON's exactly-representable
+        // integer range, and Perfetto groups spans by the string anyway.
+        out << ",\"args\":{\"trace_id\":\"" << e.trace_id
+            << "\",\"span_id\":\"" << e.span_id << "\",\"parent_span_id\":\""
+            << e.parent_span_id << "\"}";
+      }
+      out << '}';
+    }
+    if (p.dropped > 0) {
+      comma();
+      out << "{\"name\":\"trace_events_dropped\",\"cat\":\"meta\",\"ph\":"
+             "\"i\",\"ts\":"
+          << last_end << ",\"s\":\"g\",\"pid\":" << p.pid
+          << ",\"tid\":0,\"args\":{\"dropped\":" << p.dropped << "}}";
+    }
   }
   out << "]}";
   return out.str();
+}
+
+std::string TraceRecorder::DrainAsChromeTrace() {
+  ProcessTrace self;
+  self.pid = static_cast<uint64_t>(::getpid());
+  self.events = DrainEvents(&self.dropped);
+  return MergeAsChromeTrace({std::move(self)});
 }
 
 TraceSpan::TraceSpan(const char* name, const char* category)
@@ -406,12 +648,22 @@ TraceSpan::TraceSpan(const char* name, const char* category)
   if (recorder.enabled()) {
     active_ = true;
     start_micros_ = recorder.NowMicros();
+    // Link into the thread's context: the enclosing span (or an adopted
+    // remote context) becomes the parent; with no context, a fresh trace
+    // starts here.
+    saved_ = t_trace_context;
+    context_.trace_id =
+        saved_.valid() ? saved_.trace_id : NewTraceOrSpanId();
+    context_.span_id = NewTraceOrSpanId();
+    context_.parent_span_id = saved_.span_id;
+    t_trace_context = context_;
   }
 #endif
 }
 
 TraceSpan::~TraceSpan() {
   if (!active_) return;
+  t_trace_context = saved_;
   TraceRecorder& recorder = TraceRecorder::Global();
   // A span that began while tracing was on still records if tracing turned
   // off mid-span — losing it would skew phase accounting.
@@ -422,6 +674,9 @@ TraceSpan::~TraceSpan() {
   event.duration_micros = recorder.NowMicros() - start_micros_;
   event.thread_id = static_cast<uint64_t>(
       std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffff);
+  event.trace_id = context_.trace_id;
+  event.span_id = context_.span_id;
+  event.parent_span_id = context_.parent_span_id;
   recorder.Record(std::move(event));
 }
 
@@ -436,6 +691,13 @@ PeriodicSnapshotWriter::PeriodicSnapshotWriter(std::string path, Format format,
       source_(std::move(source)) {
   SKIMJOIN_CHECK(source_ != nullptr);
   SKIMJOIN_CHECK(period_.count() > 0);
+  // First snapshot lands immediately (not after one period): a run shorter
+  // than the interval still leaves a file behind.
+  const Status first = WriteOnce();
+  if (!first.ok()) {
+    std::fprintf(stderr, "metrics snapshot write failed: %s\n",
+                 first.ToString().c_str());
+  }
   thread_ = std::thread([this] {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {

@@ -143,7 +143,25 @@ struct Snapshot {
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  /// Optional help strings (Registry::SetHelp), keyed by the registered
+  /// name — for labeled series, by the base name before the '{'.
+  std::map<std::string, std::string> help;
 };
+
+/// Builds a labeled series name: `base{k1="v1",k2="v2"}`. Label values are
+/// escaped per the Prometheus exposition rules (backslash, quote, newline)
+/// here, at construction — ToPrometheusText passes the label block through
+/// verbatim, and ToJson's fleet grouping unescapes the shard label. Use
+/// this (never string concatenation) whenever a value is not a known-safe
+/// literal.
+std::string LabeledName(
+    const std::string& base,
+    const std::vector<std::pair<std::string, std::string>>& labels);
+
+/// Splits `base{shard="X"}` into base and unescaped shard value. Returns
+/// false (outputs untouched) when `name` carries no shard label.
+bool SplitShardLabel(const std::string& name, std::string* base,
+                     std::string* shard);
 
 /// A namespace of instruments. Get* registers on first use and returns a
 /// pointer that stays valid until the registry is destroyed (instruments
@@ -164,6 +182,11 @@ class Registry {
   Gauge* GetGauge(const std::string& name);
   ShardedHistogram* GetHistogram(const std::string& name);
 
+  /// Attaches a help string to `name` (any instrument kind; for labeled
+  /// series, the base name). Rides along in snapshots and surfaces as a
+  /// Prometheus `# HELP` line. Last call wins; empty help is dropped.
+  void SetHelp(const std::string& name, const std::string& help);
+
   /// Merged view of every registered instrument, sorted by name.
   Snapshot TakeSnapshot() const;
 
@@ -177,29 +200,101 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<ShardedHistogram>> histograms_;
+  std::map<std::string, std::string> help_;
 };
 
 /// Renders a snapshot as one JSON object:
 ///   {"counters":{...},"gauges":{...},"histograms":{"name":{"count":...,
 ///    "sum":...,"min":...,"max":...,"p50":...,"p99":...,"buckets":[[lo,n],...]}}}
 /// Histogram min/max are null when empty (JSON has no NaN). Bucket arrays
-/// list only non-empty buckets as [lower_edge, count] pairs.
+/// list only non-empty buckets as [lower_edge, count] pairs. Series named
+/// `base{shard="X"}` (a fleet snapshot) leave the flat sections and are
+/// grouped into a trailing "fleet" object keyed by shard:
+///   ,"fleet":{"X":{"counters":{base:...},"gauges":{...},"histograms":{...}}}
+/// — absent entirely when the snapshot carries no shard labels, so
+/// single-process output is unchanged.
 std::string ToJson(const Snapshot& snapshot);
 
 /// Renders a snapshot in the Prometheus text exposition format. Metric
 /// names are sanitized to [a-zA-Z0-9_:] (every other byte becomes '_').
 /// Histograms export cumulative `name_bucket{le="..."}` series over the
-/// power-of-two edges, plus `name_sum` and `name_count`.
+/// power-of-two edges, plus `name_sum` and `name_count`. Names built by
+/// LabeledName keep their `{key="value"}` block (only the base is
+/// sanitized; series sharing a base share one `# TYPE` line). A help
+/// string registered for the (base) name emits a `# HELP` line first.
 std::string ToPrometheusText(const Snapshot& snapshot);
 
-/// One completed span for the Chrome trace exporter.
+/// One completed span for the Chrome trace exporter. The trace/span ids
+/// link spans into a Dapper-style tree that survives process boundaries:
+/// the dist layer copies the emitting thread's CurrentTraceContext() into
+/// every frame header, and the receiving worker adopts it via
+/// ScopedTraceContext so its spans become children of the remote caller.
 struct TraceEvent {
   std::string name;
   std::string category;
   uint64_t start_micros = 0;  // since recorder epoch
   uint64_t duration_micros = 0;
   uint64_t thread_id = 0;
+  uint64_t trace_id = 0;        // 0: span predates trace propagation
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  // 0: root span of its trace
 };
+
+/// The trace identity a thread is currently working under. All-zero when
+/// no span is open (and no remote context was adopted).
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// The calling thread's current trace context. TraceSpan maintains it;
+/// the dist RPC layer reads it to stamp outgoing frame headers.
+TraceContext CurrentTraceContext();
+
+/// A fresh non-zero id for a new trace or span (process-unique, cheap).
+uint64_t NewTraceOrSpanId();
+
+/// Adopts a remote trace context on this thread for one scope: spans
+/// opened inside become children of `remote.span_id` within
+/// `remote.trace_id`. Restores the previous context on destruction. A
+/// non-valid (zero) context installs "no context", which makes spans
+/// inside start a fresh trace — handy for isolating untraced work.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& remote);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// One process's contribution to a merged fleet trace: its drained events,
+/// the pid and human name to label the Perfetto process track with, and
+/// the estimated offset between its trace clock and the merging process's
+/// (added to every event timestamp so the fleet shares one timeline).
+struct ProcessTrace {
+  uint64_t pid = 0;
+  std::string name;  // "" : emit no process_name metadata
+  int64_t clock_offset_micros = 0;
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+};
+
+/// Renders several processes' events as one Chrome trace JSON document:
+/// each process gets its own pid track (plus a process_name "M" metadata
+/// record when named), timestamps are shifted by that process's clock
+/// offset (clamped at zero), span linkage rides in args as decimal-string
+/// trace_id/span_id/parent_span_id (strings: u64 exceeds JSON's exact
+/// integer range), and per-process drop counts append
+/// "trace_events_dropped" instant events. Empty input renders
+/// {"traceEvents":[]} — byte-identical to an empty single-process drain.
+std::string MergeAsChromeTrace(const std::vector<ProcessTrace>& processes);
 
 /// Collects TraceSpan events while enabled. Disabled (the default) a span
 /// costs one relaxed atomic load. There is one recorder per process; spans
@@ -237,9 +332,16 @@ class TraceRecorder {
   /// Microseconds since the recorder's epoch (process start, first use).
   uint64_t NowMicros() const;
 
+  /// Removes and returns the buffered events; `*dropped` (optional)
+  /// receives — and resets — the drop count. The raw-event drain feeds
+  /// the dist layer, which ships a worker's events to the coordinator for
+  /// MergeAsChromeTrace.
+  std::vector<TraceEvent> DrainEvents(uint64_t* dropped = nullptr);
+
   /// Renders and clears the buffered events as Chrome trace JSON:
   ///   {"traceEvents":[{"name":...,"cat":...,"ph":"X","ts":...,"dur":...,
-  ///                    "pid":1,"tid":...},...]}
+  ///                    "pid":<pid>,"tid":...},...]}
+  /// (MergeAsChromeTrace over one unnamed ProcessTrace for this process.)
   /// If events were dropped since the last drain, the array ends with one
   /// instant event named "trace_events_dropped" carrying the count in
   /// args.dropped; draining resets the count.
@@ -262,6 +364,12 @@ class TraceRecorder {
 /// when tracing is enabled. `name` and `category` must be string literals
 /// (kept by pointer until destruction). No-op (one atomic load) when
 /// tracing is disabled, compiled out under SKIMJOIN_DISABLE_METRICS.
+///
+/// While active, the span installs itself as the thread's current trace
+/// context: nested spans become its children, and any context already
+/// installed (an enclosing span, or a remote one via ScopedTraceContext)
+/// becomes its parent. A span with no enclosing context starts a fresh
+/// trace.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, const char* category = "engine");
@@ -275,12 +383,15 @@ class TraceSpan {
   const char* category_;
   uint64_t start_micros_ = 0;
   bool active_ = false;
+  TraceContext context_;  // this span's identity while active
+  TraceContext saved_;    // restored on destruction
 };
 
 /// Writes a fresh snapshot to `path` every `period`, each write through
 /// util::AtomicWriteFile (readers always see a complete file). The first
-/// write happens after one period; Stop() (or destruction) performs a
-/// final write so short-lived processes still leave a snapshot behind.
+/// write happens immediately on construction (a run shorter than one
+/// period still leaves a snapshot); Stop() (or destruction) performs a
+/// final write so the file always reflects the end state.
 class PeriodicSnapshotWriter {
  public:
   enum class Format { kJson, kPrometheus };

@@ -18,7 +18,9 @@
 #include "dist/worker.h"
 #include "gtest/gtest.h"
 #include "query/engine.h"
+#include "util/event_log.h"
 #include "util/failpoint.h"
+#include "util/metrics.h"
 #include "util/random.h"
 
 namespace skimjoin {
@@ -330,6 +332,209 @@ TEST(CoordinatorTest, RestartedWorkerIsReadoptedWithoutDoubleMerge) {
   ASSERT_TRUE(coordinator.UpdateBatch("f", Workload(3, 100)).ok());
   StatusOr<double> moved = coordinator.AnswerJoin(*join);
   ASSERT_TRUE(moved.ok()) << moved.status();
+}
+
+TEST(CoordinatorTest, ChainJoinMergedAnswerIsBitIdenticalToLocalEngine) {
+  for (query::ChainJoinQuerySpec::Method method :
+       {query::ChainJoinQuerySpec::Method::kAgmsGrid,
+        query::ChainJoinQuerySpec::Method::kHashSketch}) {
+    const std::string dir = ::testing::TempDir();
+    const std::string tag =
+        method == query::ChainJoinQuerySpec::Method::kAgmsGrid ? "grid"
+                                                               : "hash";
+    WorkerHarness w0(
+        MakeWorkerOptions(dir + "/coord_chain_" + tag + "_0.sock", "s0"));
+    WorkerHarness w1(
+        MakeWorkerOptions(dir + "/coord_chain_" + tag + "_1.sock", "s1"));
+    Coordinator coordinator({{"s0", dir + "/coord_chain_" + tag + "_0.sock"},
+                             {"s1", dir + "/coord_chain_" + tag + "_1.sock"}},
+                            FastOptions());
+    query::Engine engine;
+
+    ASSERT_TRUE(coordinator.RegisterRelation({"a", 1, 64}).ok());
+    ASSERT_TRUE(coordinator.RegisterRelation({"b", 2, 64}).ok());
+    ASSERT_TRUE(coordinator.RegisterRelation({"c", 1, 64}).ok());
+    ASSERT_TRUE(engine.RegisterRelation({"a", 1, 64}).ok());
+    ASSERT_TRUE(engine.RegisterRelation({"b", 2, 64}).ok());
+    ASSERT_TRUE(engine.RegisterRelation({"c", 1, 64}).ok());
+
+    query::ChainJoinQuerySpec spec;
+    spec.relations = {"a", "b", "c"};
+    spec.method = method;
+    const uint64_t kSeed = 23;
+    StatusOr<query::QueryId> dist_query =
+        coordinator.AddChainJoinQuery(spec, kSeed);
+    ASSERT_TRUE(dist_query.ok()) << dist_query.status();
+    StatusOr<query::QueryId> local_query =
+        engine.AddChainJoinQuery(spec, kSeed);
+    ASSERT_TRUE(local_query.ok()) << local_query.status();
+
+    // Tuples land on both shards (attributes[0] % 2 routing).
+    Rng rng(5);
+    for (int t = 0; t < 200; ++t) {
+      const uint64_t x = rng.NextUint64Below(64);
+      const uint64_t y = rng.NextUint64Below(64);
+      ASSERT_TRUE(coordinator.UpdateRelation("a", {x}, 1).ok());
+      ASSERT_TRUE(coordinator.UpdateRelation("b", {x, y}, 1).ok());
+      ASSERT_TRUE(coordinator.UpdateRelation("c", {y}, 1).ok());
+      ASSERT_TRUE(engine.UpdateRelation("a", {x}, 1).ok());
+      ASSERT_TRUE(engine.UpdateRelation("b", {x, y}, 1).ok());
+      ASSERT_TRUE(engine.UpdateRelation("c", {y}, 1).ok());
+    }
+
+    StatusOr<double> dist_answer = coordinator.AnswerChainJoin(*dist_query);
+    StatusOr<double> local_answer = engine.AnswerChainJoin(*local_query);
+    ASSERT_TRUE(dist_answer.ok()) << tag << ": " << dist_answer.status();
+    ASSERT_TRUE(local_answer.ok()) << tag << ": " << local_answer.status();
+    // Bit-identical: merging shard chain synopses by linearity rebuilds
+    // the exact counters one engine would hold.
+    EXPECT_EQ(*local_answer, *dist_answer) << tag;
+
+    StatusOr<EstimateReport> report =
+        coordinator.AnswerChainJoinWithReport(*dist_query);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_FALSE(report->partial) << tag;
+    EXPECT_EQ(2u, report->shards.size()) << tag;
+  }
+}
+
+TEST(CoordinatorTest, ChainJoinValidatesRegistrationAndArity) {
+  const std::string dir = ::testing::TempDir();
+  WorkerHarness w0(MakeWorkerOptions(dir + "/coord_chainval.sock", "s0"));
+  Coordinator coordinator({{"s0", dir + "/coord_chainval.sock"}},
+                          FastOptions());
+  ASSERT_TRUE(coordinator.RegisterRelation({"a", 1, 64}).ok());
+  EXPECT_EQ(coordinator.RegisterRelation({"a", 1, 64}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(coordinator.RegisterRelation({"bad", 0, 64}).ok());
+
+  query::ChainJoinQuerySpec spec;
+  spec.relations = {"a", "ghost"};
+  EXPECT_FALSE(coordinator.AddChainJoinQuery(spec, 1).ok());
+
+  EXPECT_EQ(coordinator.UpdateRelation("ghost", {1}, 1).code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(coordinator.UpdateRelation("a", {1, 2}, 1).ok());  // arity
+}
+
+TEST(CoordinatorTest, FleetMetricsSnapshotLabelsShardSeries) {
+  const std::string dir = ::testing::TempDir();
+  WorkerHarness w0(MakeWorkerOptions(dir + "/coord_fleetm_0.sock", "s0"));
+  WorkerHarness w1(MakeWorkerOptions(dir + "/coord_fleetm_1.sock", "s1"));
+  Coordinator coordinator({{"s0", dir + "/coord_fleetm_0.sock"},
+                           {"s1", dir + "/coord_fleetm_1.sock"}},
+                          FastOptions());
+  ASSERT_TRUE(coordinator.RegisterStream({"f", 1u << 12}).ok());
+  const std::vector<query::StreamUpdate> updates = Workload(9, 500);
+  ASSERT_TRUE(coordinator.UpdateBatch("f", updates).ok());
+
+  StatusOr<metrics::Snapshot> snapshot = coordinator.FleetMetricsSnapshot();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+
+  // Every shard's ingest series appears with a shard label, and the
+  // labeled values sum to the single-process total (every element landed
+  // on exactly one shard).
+  uint64_t labeled_sum = 0;
+  int labeled_series = 0;
+  bool saw_coordinator_series = false;
+  for (const auto& [name, value] : snapshot->counters) {
+    std::string base, shard;
+    if (metrics::SplitShardLabel(name, &base, &shard)) {
+      if (base == "ingest.f.elements_absorbed") {
+        labeled_sum += value;
+        ++labeled_series;
+        EXPECT_TRUE(shard == "0" || shard == "1") << name;
+      }
+    } else if (name.rfind("dist.", 0) == 0) {
+      saw_coordinator_series = true;  // coordinator's own series, unlabeled
+    }
+  }
+  EXPECT_EQ(2, labeled_series);
+  EXPECT_EQ(updates.size(), labeled_sum);
+  EXPECT_TRUE(saw_coordinator_series);
+
+  // The RPC latency histograms are part of the operator surface.
+  bool saw_update_latency = false;
+  for (const auto& [name, histogram] : snapshot->histograms) {
+    if (name == "dist.rpc.update_batch.latency_ns") {
+      saw_update_latency = true;
+      EXPECT_GT(histogram.count, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_update_latency);
+
+  // The merged snapshot renders per-shard Prometheus series and keeps the
+  // sorted-by-name invariant the exporter's # TYPE grouping relies on.
+  const std::string prom = metrics::ToPrometheusText(*snapshot);
+  EXPECT_NE(prom.find("ingest_f_elements_absorbed{shard=\"0\"}"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("ingest_f_elements_absorbed{shard=\"1\"}"),
+            std::string::npos)
+      << prom;
+}
+
+TEST(CoordinatorTest, ScrapeFleetEventsTagsOriginShard) {
+  const std::string dir = ::testing::TempDir();
+  WorkerHarness w0(MakeWorkerOptions(dir + "/coord_fleete.sock", "s0"));
+  Coordinator coordinator({{"s0", dir + "/coord_fleete.sock"}},
+                          FastOptions());
+  ASSERT_TRUE(coordinator.ProbeHealth().ok());
+
+  // In-process workers share the global event log, so this emission IS a
+  // worker-side event from the scrape's point of view.
+  EventLog::Global().Emit(LogLevel::kWarn, "fleet_scrape_probe",
+                          {{"payload", "torn frame on shard"}});
+  ASSERT_TRUE(coordinator.ScrapeFleetEvents().ok());
+
+  bool found_tagged_copy = false;
+  for (const LogEvent& event :
+       EventLog::Global().Tail(EventLog::kDefaultRingCapacity)) {
+    if (event.event != "fleet_scrape_probe") continue;
+    bool has_origin_shard = false, has_origin_seq = false, has_payload = false;
+    for (const auto& [key, value] : event.fields) {
+      if (key == "origin_shard" && value == "0") has_origin_shard = true;
+      if (key == "origin_seq") has_origin_seq = true;
+      if (key == "payload" && value == "torn frame on shard") {
+        has_payload = true;
+      }
+    }
+    if (has_origin_shard) {
+      EXPECT_TRUE(has_origin_seq);
+      EXPECT_TRUE(has_payload);  // original fields survive the re-emission
+      found_tagged_copy = true;
+    }
+  }
+  EXPECT_TRUE(found_tagged_copy);
+}
+
+TEST(CoordinatorTest, FleetTraceTogglesAndDumpsWorkerSpans) {
+  const std::string dir = ::testing::TempDir();
+  WorkerHarness w0(MakeWorkerOptions(dir + "/coord_fleett.sock", "s0"));
+  Coordinator coordinator({{"s0", dir + "/coord_fleett.sock"}},
+                          FastOptions());
+  ASSERT_TRUE(coordinator.RegisterStream({"f", 1u << 12}).ok());
+
+  (void)metrics::TraceRecorder::Global().DrainAsChromeTrace();  // clean slate
+  ASSERT_TRUE(coordinator.SetFleetTracing(true).ok());
+  ASSERT_TRUE(coordinator.UpdateBatch("f", Workload(4, 50)).ok());
+  ASSERT_TRUE(coordinator.SetFleetTracing(false).ok());
+
+  StatusOr<std::string> trace = coordinator.DumpFleetTrace();
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  // The in-process worker shares this process's recorder, so its ingest
+  // span and the coordinator's fan-out root both land in the dump, linked
+  // by the propagated ids (the multi-process version of this assertion
+  // lives in dist_integration_test).
+  EXPECT_NE(trace->find("\"coordinator.update_batch\""), std::string::npos)
+      << *trace;
+  EXPECT_NE(trace->find("\"worker.ingest\""), std::string::npos) << *trace;
+  EXPECT_NE(trace->find("\"trace_id\""), std::string::npos) << *trace;
+  EXPECT_NE(trace->find("\"process_name\""), std::string::npos) << *trace;
+  // Dump drains: a second dump is empty until tracing records again.
+  StatusOr<std::string> empty = coordinator.DumpFleetTrace();
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_EQ(empty->find("\"worker.ingest\""), std::string::npos);
 }
 
 TEST(CoordinatorTest, RejectsNonDistributableSpecs) {

@@ -18,6 +18,8 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -199,6 +201,171 @@ TEST(DistIntegrationTest, AllHealthyAnswersMatchLocalEngineBitForBit) {
       coordinator.AnswerJoinWithReport(*dist_join);
   ASSERT_TRUE(report.ok()) << report.status();
   EXPECT_FALSE(report->partial);
+}
+
+// ---- fleet telemetry acceptance ----------------------------------------
+
+// Lightweight Chrome-trace scanner: yields each top-level event object of
+// the "traceEvents" array (the root object is depth 1, events depth 2;
+// their "args" objects nest deeper and stay inside the captured slice).
+std::vector<std::string> TraceEventObjects(const std::string& trace_json) {
+  std::vector<std::string> events;
+  int depth = 0;
+  size_t start = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < trace_json.size(); ++i) {
+    const char c = trace_json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (++depth == 2) start = i;
+    } else if (c == '}') {
+      if (depth-- == 2) {
+        events.push_back(trace_json.substr(start, i - start + 1));
+      }
+    }
+  }
+  return events;
+}
+
+// Extracts `"key":"value"` or `"key":<number>` from one event object
+// (first occurrence; nested args are fair game).
+std::string JsonField(const std::string& object, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = object.find(needle);
+  if (at == std::string::npos) return "";
+  size_t from = at + needle.size();
+  if (from < object.size() && object[from] == '"') {
+    const size_t end = object.find('"', from + 1);
+    if (end == std::string::npos) return "";
+    return object.substr(from + 1, end - from - 1);
+  }
+  size_t end = from;
+  while (end < object.size() && object[end] != ',' && object[end] != '}') {
+    ++end;
+  }
+  return object.substr(from, end - from);
+}
+
+TEST(DistIntegrationTest, FleetTelemetryMergesTracesAndMetricsAcrossProcesses) {
+  const std::string dir = ::testing::TempDir();
+  WorkerProcess w0(dir + "/int_fleet_0.sock", "s0", "", 0);
+  WorkerProcess w1(dir + "/int_fleet_1.sock", "s1", "", 0);
+  ASSERT_NO_FATAL_FAILURE(w0.Start());
+  ASSERT_NO_FATAL_FAILURE(w1.Start());
+
+  Coordinator coordinator(
+      {{"s0", w0.socket_path()}, {"s1", w1.socket_path()}}, FastOptions());
+  query::Engine engine;
+  ASSERT_TRUE(coordinator.RegisterStream({"f", 1u << 12}).ok());
+  ASSERT_TRUE(engine.RegisterStream({"f", 1u << 12}).ok());
+  for (const query::RelationSpec& relation :
+       {query::RelationSpec{"a", 1, 64}, query::RelationSpec{"b", 2, 64},
+        query::RelationSpec{"c", 1, 64}}) {
+    ASSERT_TRUE(coordinator.RegisterRelation(relation).ok());
+    ASSERT_TRUE(engine.RegisterRelation(relation).ok());
+  }
+  query::ChainJoinQuerySpec chain;
+  chain.relations = {"a", "b", "c"};
+  const uint64_t kSeed = 23;
+  StatusOr<query::QueryId> dist_chain =
+      coordinator.AddChainJoinQuery(chain, kSeed);
+  ASSERT_TRUE(dist_chain.ok()) << dist_chain.status();
+  StatusOr<query::QueryId> local_chain = engine.AddChainJoinQuery(chain, kSeed);
+  ASSERT_TRUE(local_chain.ok()) << local_chain.status();
+
+  // Everything between start and stop lands in one merged fleet trace.
+  ASSERT_TRUE(coordinator.SetFleetTracing(true).ok());
+
+  const auto f_updates = Workload(7, 600);
+  ASSERT_TRUE(coordinator.UpdateBatch("f", f_updates).ok());
+  ASSERT_TRUE(engine.UpdateBatch("f", f_updates).ok());
+  Rng rng(13);
+  for (int i = 0; i < 60; ++i) {
+    const uint64_t x = rng.NextUint64Below(64);
+    const uint64_t y = rng.NextUint64Below(64);
+    ASSERT_TRUE(coordinator.UpdateRelation("a", {x}, 1).ok());
+    ASSERT_TRUE(engine.UpdateRelation("a", {x}, 1).ok());
+    ASSERT_TRUE(coordinator.UpdateRelation("b", {x, y}, 1).ok());
+    ASSERT_TRUE(engine.UpdateRelation("b", {x, y}, 1).ok());
+    ASSERT_TRUE(coordinator.UpdateRelation("c", {y}, 1).ok());
+    ASSERT_TRUE(engine.UpdateRelation("c", {y}, 1).ok());
+  }
+  StatusOr<double> dist_answer = coordinator.AnswerChainJoin(*dist_chain);
+  StatusOr<double> local_answer = engine.AnswerChainJoin(*local_chain);
+  ASSERT_TRUE(dist_answer.ok()) << dist_answer.status();
+  ASSERT_TRUE(local_answer.ok()) << local_answer.status();
+  EXPECT_EQ(*local_answer, *dist_answer);  // bit-identical through the fleet
+
+  ASSERT_TRUE(coordinator.SetFleetTracing(false).ok());
+  StatusOr<std::string> trace = coordinator.DumpFleetTrace();
+  ASSERT_TRUE(trace.ok()) << trace.status();
+
+  // One merged timeline: three named process tracks...
+  EXPECT_NE(trace->find("process_name"), std::string::npos);
+  const std::vector<std::string> events = TraceEventObjects(*trace);
+  std::map<std::string, std::set<std::string>> pids_by_trace;
+  std::set<std::string> worker_pids;
+  std::set<std::string> all_pids;
+  for (const std::string& event : events) {
+    const std::string pid = JsonField(event, "pid");
+    if (pid.empty()) continue;
+    all_pids.insert(pid);
+    const std::string trace_id = JsonField(event, "trace_id");
+    if (!trace_id.empty() && trace_id != "0") {
+      pids_by_trace[trace_id].insert(pid);
+    }
+    if (JsonField(event, "name").rfind("worker.", 0) == 0) {
+      worker_pids.insert(pid);
+    }
+  }
+  EXPECT_GE(all_pids.size(), 3u);     // coordinator + both workers
+  EXPECT_GE(worker_pids.size(), 2u);  // both shards produced spans
+  // The acceptance bar: one trace_id spanning the coordinator AND >= 2
+  // worker processes (an UpdateBatch root and its remote ingest children).
+  bool fan_out_trace = false;
+  for (const auto& [trace_id, pids] : pids_by_trace) {
+    if (pids.size() >= 3) fan_out_trace = true;
+  }
+  EXPECT_TRUE(fan_out_trace)
+      << "no trace_id crossed 3+ processes in:\n" << *trace;
+
+  // ...and the merged metrics: the per-shard ingest series carry shard
+  // labels and sum to the single-process engine's count exactly.
+  StatusOr<metrics::Snapshot> fleet = coordinator.FleetMetricsSnapshot();
+  ASSERT_TRUE(fleet.ok()) << fleet.status();
+  uint64_t fleet_absorbed = 0;
+  std::set<std::string> shards_seen;
+  for (const auto& [name, value] : fleet->counters) {
+    std::string base, shard;
+    if (metrics::SplitShardLabel(name, &base, &shard) &&
+        base == "ingest.f.elements_absorbed") {
+      fleet_absorbed += value;
+      shards_seen.insert(shard);
+    }
+  }
+  uint64_t local_absorbed = 0;
+  for (const auto& [name, value] : engine.MetricsSnapshot().counters) {
+    if (name == "ingest.f.elements_absorbed") local_absorbed = value;
+  }
+  EXPECT_EQ(local_absorbed, 600u);
+  EXPECT_EQ(fleet_absorbed, local_absorbed);
+  EXPECT_EQ(shards_seen.size(), 2u) << "every shard must report its series";
+  const std::string prom = metrics::ToPrometheusText(*fleet);
+  EXPECT_NE(prom.find("ingest_f_elements_absorbed{shard=\"0\"}"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("ingest_f_elements_absorbed{shard=\"1\"}"),
+            std::string::npos)
+      << prom;
 }
 
 TEST(DistIntegrationTest, KilledWorkerDegradesThenRestartRecoversExactly) {

@@ -1,0 +1,300 @@
+// Codec tests for the fleet-telemetry protocol messages (dist/protocol):
+// exact round trips for every new payload type, the HelloReply trace-clock
+// token's backward compatibility, and decoder hardening — declared counts
+// are validated before allocation and mangled payloads return a Status,
+// never crash.
+
+#include "dist/protocol.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/event_log.h"
+#include "util/metrics.h"
+
+namespace skimjoin {
+namespace dist {
+namespace {
+
+TEST(HelloReplyCodec, RoundTripsTraceClock) {
+  HelloReply msg;
+  msg.shard_name = "s0";
+  msg.incarnation = 3;
+  msg.epoch = 17;
+  msg.trace_clock_micros = 123456789;
+  StatusOr<HelloReply> decoded = DecodeHelloReply(EncodeHelloReply(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->shard_name, "s0");
+  EXPECT_EQ(decoded->incarnation, 3u);
+  EXPECT_EQ(decoded->epoch, 17u);
+  EXPECT_EQ(decoded->trace_clock_micros, 123456789u);
+}
+
+TEST(HelloReplyCodec, TraceClockTokenIsOptionalForOldPeers) {
+  // A pre-telemetry peer encodes only "<shard> <incarnation> <epoch>"; the
+  // decoder must accept it and report a zero trace clock.
+  StatusOr<HelloReply> decoded = DecodeHelloReply("s1 2 9");
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->shard_name, "s1");
+  EXPECT_EQ(decoded->incarnation, 2u);
+  EXPECT_EQ(decoded->epoch, 9u);
+  EXPECT_EQ(decoded->trace_clock_micros, 0u);
+  // A present-but-garbage clock token is malformed, not silently zero.
+  EXPECT_FALSE(DecodeHelloReply("s1 2 9 notanumber").ok());
+  EXPECT_FALSE(DecodeHelloReply("s1 2 9 5 extra").ok());
+}
+
+TEST(RelationCodec, RegAndUpdateRoundTrip) {
+  RelationReg reg;
+  reg.name = "edges";
+  reg.arity = 2;
+  reg.domain_size = 1u << 16;
+  StatusOr<RelationReg> reg2 = DecodeRelationReg(EncodeRelationReg(reg));
+  ASSERT_TRUE(reg2.ok()) << reg2.status();
+  EXPECT_EQ(reg2->name, "edges");
+  EXPECT_EQ(reg2->arity, 2u);
+  EXPECT_EQ(reg2->domain_size, uint64_t{1} << 16);
+
+  RelationUpdateMsg update;
+  update.relation = "edges";
+  update.arity = 2;
+  update.tuples.push_back({{1, 2}, 1});
+  update.tuples.push_back({{3, 4}, -5});
+  StatusOr<RelationUpdateMsg> update2 =
+      DecodeRelationUpdate(EncodeRelationUpdate(update));
+  ASSERT_TRUE(update2.ok()) << update2.status();
+  EXPECT_EQ(update2->relation, "edges");
+  ASSERT_EQ(update2->tuples.size(), 2u);
+  EXPECT_EQ(update2->tuples[0].attributes, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(update2->tuples[1].attributes, (std::vector<uint64_t>{3, 4}));
+  EXPECT_EQ(update2->tuples[1].weight, -5);
+}
+
+TEST(ChainQueryCodec, RoundTripsEstimatorShape) {
+  ChainQueryReg reg;
+  reg.query_name = "q7";
+  reg.relations = {"r1", "r2", "r3"};
+  reg.method = 1;
+  reg.num_means = 64;
+  reg.num_medians = 5;
+  reg.num_tables = 5;
+  reg.num_buckets = 128;
+  reg.seed = 0xdeadbeef;
+  StatusOr<ChainQueryReg> decoded =
+      DecodeChainQueryReg(EncodeChainQueryReg(reg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->query_name, "q7");
+  EXPECT_EQ(decoded->relations, reg.relations);
+  EXPECT_EQ(decoded->method, 1u);
+  EXPECT_EQ(decoded->num_means, 64u);
+  EXPECT_EQ(decoded->num_medians, 5u);
+  EXPECT_EQ(decoded->num_tables, 5u);
+  EXPECT_EQ(decoded->num_buckets, 128u);
+  EXPECT_EQ(decoded->seed, 0xdeadbeefu);
+}
+
+TEST(MetricsSnapshotCodec, RoundTripsEverySection) {
+  metrics::Registry registry;
+  registry.GetCounter("ingest.f.elements_absorbed")->Increment(42);
+  registry.GetCounter(
+      metrics::LabeledName("dist.calls", {{"shard", "0"}}))->Increment(7);
+  registry.GetGauge("engine.num_streams")->Set(2.5);
+  metrics::ShardedHistogram* h = registry.GetHistogram("rpc.latency");
+  h->Record(1.0);
+  h->Record(100.0);
+  const metrics::Snapshot original = registry.TakeSnapshot();
+
+  StatusOr<metrics::Snapshot> decoded =
+      DecodeMetricsSnapshot(EncodeMetricsSnapshot(original));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->counters, original.counters);
+  EXPECT_EQ(decoded->gauges, original.gauges);
+  ASSERT_EQ(decoded->histograms.size(), 1u);
+  EXPECT_EQ(decoded->histograms[0].first, "rpc.latency");
+  const metrics::HistogramSnapshot& got = decoded->histograms[0].second;
+  const metrics::HistogramSnapshot& want = original.histograms[0].second;
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_DOUBLE_EQ(got.sum, want.sum);
+  EXPECT_DOUBLE_EQ(got.min, want.min);
+  EXPECT_DOUBLE_EQ(got.max, want.max);
+  EXPECT_EQ(got.buckets, want.buckets);
+}
+
+TEST(MetricsSnapshotCodec, EmptyHistogramKeepsNaNMinMax) {
+  metrics::Registry registry;
+  registry.GetHistogram("empty");
+  StatusOr<metrics::Snapshot> decoded =
+      DecodeMetricsSnapshot(EncodeMetricsSnapshot(registry.TakeSnapshot()));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->histograms.size(), 1u);
+  EXPECT_EQ(decoded->histograms[0].second.count, 0u);
+  // NaN survives the IEEE-754 bit-pattern transport.
+  EXPECT_TRUE(std::isnan(decoded->histograms[0].second.min));
+  EXPECT_TRUE(std::isnan(decoded->histograms[0].second.max));
+}
+
+TEST(EventsCodec, RequestAndBatchRoundTrip) {
+  EventsRequest request;
+  request.max_events = 128;
+  request.after_sequence = 77;
+  StatusOr<EventsRequest> request2 =
+      DecodeEventsRequest(EncodeEventsRequest(request));
+  ASSERT_TRUE(request2.ok()) << request2.status();
+  EXPECT_EQ(request2->max_events, 128u);
+  EXPECT_EQ(request2->after_sequence, 77u);
+
+  EventBatchMsg batch;
+  LogEvent event;
+  event.level = LogLevel::kWarn;
+  event.sequence = 9;
+  event.ts_micros = 123;
+  event.event = "worker_down";
+  event.fields = {{"shard", "s0"}, {"free text", "with spaces\nand newlines"}};
+  batch.events.push_back(event);
+  event.level = LogLevel::kInfo;
+  event.sequence = 10;
+  event.event = "rpc_retry";
+  event.fields.clear();
+  batch.events.push_back(event);
+
+  StatusOr<EventBatchMsg> batch2 = DecodeEventBatch(EncodeEventBatch(batch));
+  ASSERT_TRUE(batch2.ok()) << batch2.status();
+  ASSERT_EQ(batch2->events.size(), 2u);
+  EXPECT_EQ(batch2->events[0].level, LogLevel::kWarn);
+  EXPECT_EQ(batch2->events[0].sequence, 9u);
+  EXPECT_EQ(batch2->events[0].ts_micros, 123u);
+  EXPECT_EQ(batch2->events[0].event, "worker_down");
+  ASSERT_EQ(batch2->events[0].fields.size(), 2u);
+  EXPECT_EQ(batch2->events[0].fields[1].first, "free text");
+  EXPECT_EQ(batch2->events[0].fields[1].second, "with spaces\nand newlines");
+  EXPECT_EQ(batch2->events[1].level, LogLevel::kInfo);
+  EXPECT_TRUE(batch2->events[1].fields.empty());
+}
+
+TEST(TraceCodec, ControlAndEventsRoundTrip) {
+  StatusOr<TraceControlMsg> on = DecodeTraceControl(EncodeTraceControl({true}));
+  ASSERT_TRUE(on.ok()) << on.status();
+  EXPECT_TRUE(on->enable);
+  StatusOr<TraceControlMsg> off =
+      DecodeTraceControl(EncodeTraceControl({false}));
+  ASSERT_TRUE(off.ok()) << off.status();
+  EXPECT_FALSE(off->enable);
+
+  TraceEventsMsg msg;
+  msg.dropped = 4;
+  msg.now_micros = 555000;
+  metrics::TraceEvent span;
+  span.name = "worker.ingest";
+  span.category = "dist";
+  span.start_micros = 100;
+  span.duration_micros = 50;
+  span.thread_id = 3;
+  span.trace_id = 0xAAAABBBBCCCCDDDDull;
+  span.span_id = 0x1111222233334444ull;
+  span.parent_span_id = 0x5555666677778888ull;
+  msg.events.push_back(span);
+
+  StatusOr<TraceEventsMsg> decoded = DecodeTraceEvents(EncodeTraceEvents(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->dropped, 4u);
+  EXPECT_EQ(decoded->now_micros, 555000u);
+  ASSERT_EQ(decoded->events.size(), 1u);
+  EXPECT_EQ(decoded->events[0].name, "worker.ingest");
+  EXPECT_EQ(decoded->events[0].category, "dist");
+  EXPECT_EQ(decoded->events[0].start_micros, 100u);
+  EXPECT_EQ(decoded->events[0].duration_micros, 50u);
+  EXPECT_EQ(decoded->events[0].thread_id, 3u);
+  EXPECT_EQ(decoded->events[0].trace_id, 0xAAAABBBBCCCCDDDDull);
+  EXPECT_EQ(decoded->events[0].span_id, 0x1111222233334444ull);
+  EXPECT_EQ(decoded->events[0].parent_span_id, 0x5555666677778888ull);
+}
+
+// ---------------------------------------------------------------------------
+// Hardening: hostile payloads return a Status, never crash or over-allocate.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryCodecHardening, HugeDeclaredCountsAreRejectedBeforeAllocation) {
+  // An event batch declaring 2^60 events must fail on the count check, not
+  // try to reserve the vector.
+  EXPECT_FALSE(DecodeEventBatch("1152921504606846976 ").ok());
+  EXPECT_FALSE(DecodeTraceEvents("0 0 1152921504606846976 ").ok());
+  // A relation update declaring more tuples than kMaxWireBatchElements.
+  EXPECT_FALSE(DecodeRelationUpdate("r 1 99999999999 1 1").ok());
+}
+
+TEST(TelemetryCodecHardening, DecodersSurviveEveryTruncation) {
+  metrics::Registry registry;
+  registry.GetCounter("a.b")->Increment(1);
+  registry.GetHistogram("h")->Record(2.0);
+  EventBatchMsg batch;
+  LogEvent event;
+  event.level = LogLevel::kError;
+  event.sequence = 1;
+  event.ts_micros = 2;
+  event.event = "e";
+  event.fields = {{"k", "v"}};
+  batch.events.push_back(event);
+  TraceEventsMsg trace;
+  metrics::TraceEvent span;
+  span.name = "s";
+  span.category = "c";
+  span.trace_id = 1;
+  trace.events.push_back(span);
+
+  const std::vector<std::string> payloads = {
+      EncodeMetricsSnapshot(registry.TakeSnapshot()),
+      EncodeEventBatch(batch),
+      EncodeTraceEvents(trace),
+      EncodeRelationUpdate({"r", 2, {{{1, 2}, 1}}}),
+      EncodeChainQueryReg({"q", {"r1", "r2"}, 0, 8, 3, 3, 16, 5}),
+  };
+  for (const std::string& payload : payloads) {
+    for (size_t len = 0; len < payload.size(); ++len) {
+      const std::string_view prefix(payload.data(), len);
+      // Just must not crash/over-allocate; truncations that cut a required
+      // token return a Status.
+      (void)DecodeMetricsSnapshot(prefix);
+      (void)DecodeEventBatch(prefix);
+      (void)DecodeTraceEvents(prefix);
+      (void)DecodeRelationUpdate(prefix);
+      (void)DecodeChainQueryReg(prefix);
+    }
+  }
+}
+
+TEST(TelemetryCodecHardening, BlobLengthLyingAboutSizeIsRejected) {
+  // Event names ride as length-prefixed blobs "<len>:<bytes>". A length
+  // that overruns the actual payload must fail cleanly.
+  EventBatchMsg batch;
+  LogEvent event;
+  event.level = LogLevel::kInfo;
+  event.sequence = 1;
+  event.ts_micros = 2;
+  event.event = "name";
+  batch.events.push_back(event);
+  std::string wire = EncodeEventBatch(batch);
+  const size_t blob = wire.find("4:name");
+  ASSERT_NE(blob, std::string::npos) << wire;
+  wire.replace(blob, 2, "9:");  // lie: declare 9 bytes where 4 exist
+  EXPECT_FALSE(DecodeEventBatch(wire).ok());
+}
+
+TEST(TelemetryCodecHardening, RelationUpdateArityMismatchIsRejected) {
+  // Declared arity 3 but tuples carrying 2 attributes each cannot decode
+  // into ragged tuples.
+  RelationUpdateMsg msg;
+  msg.relation = "r";
+  msg.arity = 2;
+  msg.tuples.push_back({{1, 2}, 1});
+  std::string wire = EncodeRelationUpdate(msg);
+  const size_t arity_at = wire.find(" 2 ");
+  ASSERT_NE(arity_at, std::string::npos);
+  wire.replace(arity_at, 3, " 3 ");
+  EXPECT_FALSE(DecodeRelationUpdate(wire).ok());
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace skimjoin

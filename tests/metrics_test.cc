@@ -316,6 +316,217 @@ TEST(PeriodicSnapshotWriterTest, StopWritesFinalSnapshot) {
   std::remove(path.c_str());
 }
 
+// --- fleet labeling ---------------------------------------------------------
+
+TEST(LabeledNameTest, BuildsAndEscapesLabelBlocks) {
+  EXPECT_EQ(LabeledName("ingest.s.batches", {{"shard", "3"}}),
+            "ingest.s.batches{shard=\"3\"}");
+  EXPECT_EQ(LabeledName("m", {{"a", "1"}, {"b", "2"}}),
+            "m{a=\"1\",b=\"2\"}");
+  // Prometheus exposition escapes: backslash, quote, newline.
+  EXPECT_EQ(LabeledName("m", {{"k", "a\\b\"c\nd"}}),
+            "m{k=\"a\\\\b\\\"c\\nd\"}");
+}
+
+TEST(LabeledNameTest, SplitShardLabelRoundTrips) {
+  std::string base, shard;
+  ASSERT_TRUE(SplitShardLabel("ingest.s.batches{shard=\"7\"}", &base, &shard));
+  EXPECT_EQ(base, "ingest.s.batches");
+  EXPECT_EQ(shard, "7");
+  // Escaped values come back unescaped.
+  ASSERT_TRUE(SplitShardLabel(LabeledName("m", {{"shard", "a\"b\nc"}}),
+                              &base, &shard));
+  EXPECT_EQ(base, "m");
+  EXPECT_EQ(shard, "a\"b\nc");
+  // No shard label: reports false, outputs untouched.
+  base = "untouched";
+  shard = "untouched";
+  EXPECT_FALSE(SplitShardLabel("plain.name", &base, &shard));
+  EXPECT_FALSE(SplitShardLabel("m{other=\"1\"}", &base, &shard));
+  EXPECT_EQ(base, "untouched");
+  EXPECT_EQ(shard, "untouched");
+}
+
+// Satellite: labeled series keep their `{key="value"}` block through the
+// Prometheus exporter (only the base is sanitized), series sharing a base
+// share one # TYPE family, and escaped label values pass through verbatim.
+TEST(ExporterTest, PrometheusKeepsLabelBlocksAndEscapes) {
+  Registry registry;
+  registry.GetCounter(LabeledName("ingest.s.batches", {{"shard", "0"}}))
+      ->Increment(3);
+  registry.GetCounter(LabeledName("ingest.s.batches", {{"shard", "1"}}))
+      ->Increment(4);
+  registry.GetCounter(LabeledName("weird", {{"k", "a\"b\\c\nd"}}))
+      ->Increment(1);
+  const std::string text = ToPrometheusText(registry.TakeSnapshot());
+  // One # TYPE line for the shared base; both labeled series under it.
+  EXPECT_NE(text.find("# TYPE ingest_s_batches counter\n"
+                      "ingest_s_batches{shard=\"0\"} 3\n"
+                      "ingest_s_batches{shard=\"1\"} 4\n"),
+            std::string::npos)
+      << text;
+  // Exactly one # TYPE line for the family.
+  const size_t first = text.find("# TYPE ingest_s_batches");
+  EXPECT_EQ(text.find("# TYPE ingest_s_batches", first + 1),
+            std::string::npos)
+      << text;
+  // Escaped label values (built by LabeledName) pass through verbatim.
+  EXPECT_NE(text.find("weird{k=\"a\\\"b\\\\c\\nd\"} 1\n"), std::string::npos)
+      << text;
+}
+
+TEST(ExporterTest, PrometheusEmitsHelpLines) {
+  Registry registry;
+  registry.GetCounter("ingest.s.batches")->Increment(3);
+  registry.SetHelp("ingest.s.batches", "Update batches absorbed.");
+  registry.GetCounter(LabeledName("dist.calls", {{"shard", "0"}}))
+      ->Increment(1);
+  registry.SetHelp("dist.calls", "RPCs issued per shard.");
+  const std::string text = ToPrometheusText(registry.TakeSnapshot());
+  EXPECT_NE(text.find("# HELP ingest_s_batches Update batches absorbed.\n"
+                      "# TYPE ingest_s_batches counter\n"),
+            std::string::npos)
+      << text;
+  // Help registered on the BASE name reaches the labeled family.
+  EXPECT_NE(text.find("# HELP dist_calls RPCs issued per shard.\n"
+                      "# TYPE dist_calls counter\n"
+                      "dist_calls{shard=\"0\"} 1\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ExporterTest, JsonGroupsShardLabeledSeriesIntoFleetSection) {
+  Registry registry;
+  registry.GetCounter("local.counter")->Increment(1);
+  registry.GetCounter(LabeledName("ingest.s.batches", {{"shard", "0"}}))
+      ->Increment(3);
+  registry.GetCounter(LabeledName("ingest.s.batches", {{"shard", "1"}}))
+      ->Increment(4);
+  registry.GetGauge(LabeledName("engine.num_streams", {{"shard", "1"}}))
+      ->Set(2);
+  const std::string json = ToJson(registry.TakeSnapshot());
+  // Flat sections keep only unlabeled series.
+  EXPECT_NE(json.find("\"counters\":{\"local.counter\":1}"),
+            std::string::npos)
+      << json;
+  // Labeled series group per shard under "fleet", base names restored.
+  EXPECT_NE(
+      json.find("\"fleet\":{\"0\":{\"counters\":{\"ingest.s.batches\":3}"),
+      std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"1\":{\"counters\":{\"ingest.s.batches\":4},"
+                      "\"gauges\":{\"engine.num_streams\":2}"),
+            std::string::npos)
+      << json;
+  // No shard labels → no fleet section at all (single-process unchanged).
+  Registry plain;
+  plain.GetCounter("a")->Increment(1);
+  EXPECT_EQ(ToJson(plain.TakeSnapshot()).find("\"fleet\""),
+            std::string::npos);
+}
+
+// --- fleet trace merging ----------------------------------------------------
+
+TEST(MergeAsChromeTraceTest, MergesProcessesOntoOneTimeline) {
+  ProcessTrace coordinator;
+  coordinator.pid = 100;
+  coordinator.name = "coordinator";
+  coordinator.clock_offset_micros = 0;
+  TraceEvent root;
+  root.name = "dist.call";
+  root.category = "dist";
+  root.start_micros = 1000;
+  root.duration_micros = 500;
+  root.thread_id = 1;
+  root.trace_id = 42;
+  root.span_id = 7;
+  coordinator.events.push_back(root);
+
+  ProcessTrace worker;
+  worker.pid = 101;
+  worker.name = "shard0";
+  worker.clock_offset_micros = 250;  // worker clock runs 250us behind
+  TraceEvent child;
+  child.name = "worker.ingest";
+  child.category = "dist";
+  child.start_micros = 900;  // on the worker's clock
+  child.duration_micros = 100;
+  child.thread_id = 2;
+  child.trace_id = 42;
+  child.span_id = 9;
+  child.parent_span_id = 7;
+  worker.events.push_back(child);
+  worker.dropped = 3;
+
+  const std::string json = MergeAsChromeTrace({coordinator, worker});
+  // Each process gets a process_name metadata record on its own pid track.
+  EXPECT_NE(json.find("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":100,"
+                      "\"tid\":0,\"args\":{\"name\":\"coordinator\"}}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":101,"
+                      "\"tid\":0,\"args\":{\"name\":\"shard0\"}}"),
+            std::string::npos)
+      << json;
+  // Coordinator event at its own timestamp, worker event shifted by the
+  // clock offset (900 + 250 = 1150) onto the coordinator's timeline.
+  EXPECT_NE(json.find("\"name\":\"dist.call\",\"cat\":\"dist\",\"ph\":\"X\","
+                      "\"ts\":1000,\"dur\":500,\"pid\":100"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\":\"worker.ingest\",\"cat\":\"dist\","
+                      "\"ph\":\"X\",\"ts\":1150,\"dur\":100,\"pid\":101"),
+            std::string::npos)
+      << json;
+  // Span linkage rides in args as decimal strings.
+  EXPECT_NE(json.find("\"trace_id\":\"42\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"span_id\":\"9\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"parent_span_id\":\"7\""), std::string::npos) << json;
+  // The worker's drop count appends a trace_events_dropped instant event.
+  EXPECT_NE(json.find("\"name\":\"trace_events_dropped\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"dropped\":3"), std::string::npos) << json;
+}
+
+TEST(MergeAsChromeTraceTest, NegativeShiftClampsAtZeroAndEmptyIsCanonical) {
+  ProcessTrace p;
+  p.pid = 1;
+  p.clock_offset_micros = -5000;
+  TraceEvent e;
+  e.name = "early";
+  e.category = "t";
+  e.start_micros = 100;  // 100 - 5000 < 0 → clamps to 0
+  e.duration_micros = 10;
+  p.events.push_back(e);
+  const std::string json = MergeAsChromeTrace({p});
+  EXPECT_NE(json.find("\"ts\":0"), std::string::npos) << json;
+  EXPECT_EQ(MergeAsChromeTrace({}), "{\"traceEvents\":[]}");
+}
+
+// Satellite regression: the writer's FIRST write happens immediately on
+// construction, not one period later — a run shorter than one tick must
+// still leave a snapshot on disk.
+TEST(PeriodicSnapshotWriterTest, FirstWriteHappensImmediately) {
+  Registry registry;
+  registry.GetCounter("writer.immediate")->Increment(5);
+  const std::string path =
+      testing::TempDir() + "/metrics_writer_immediate.json";
+  std::remove(path.c_str());
+  PeriodicSnapshotWriter writer(
+      path, PeriodicSnapshotWriter::Format::kJson,
+      std::chrono::hours(1),  // no tick will ever fire during the test
+      [&registry] { return registry.TakeSnapshot(); });
+  // Before Stop(): the construction-time write must already be on disk.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "no snapshot written at construction";
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"writer.immediate\":5"), std::string::npos)
+      << contents;
+  EXPECT_TRUE(writer.Stop().ok());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace metrics
 }  // namespace skimjoin

@@ -11,6 +11,8 @@
 #include "query/dist_backend.h"
 #include "stream/trace_io.h"
 #include "util/event_log.h"
+#include "util/metrics.h"
+#include "util/status.h"
 
 namespace skimjoin {
 namespace query {
@@ -612,6 +614,232 @@ TEST(ShellTest, DistBackendRoutesCommandsAndRendersFleet) {
   // Detaching restores the local engine path.
   shell.set_dist_backend(nullptr);
   EXPECT_EQ(Exec(&shell, "streams").rfind("ok", 0), 0u);
+}
+
+// ---- fleet telemetry commands ------------------------------------------
+
+// FakeDistBackend inherits the default (kUnimplemented) fleet virtuals, so
+// it stands in for a backend predating the telemetry plane; these doubles
+// layer the new surface on top of it.
+
+// Fleet-capable double: canned merged snapshot, scrape that re-emits one
+// tagged event, recorded tracing toggles, canned merged trace.
+class FleetFakeBackend : public FakeDistBackend {
+ public:
+  StatusOr<metrics::Snapshot> FleetMetricsSnapshot() override {
+    // Name-sorted, like a real Registry::TakeSnapshot merge.
+    metrics::Snapshot snapshot;
+    snapshot.counters.emplace_back("dist.batches_routed", 9);
+    snapshot.counters.emplace_back(
+        metrics::LabeledName("ingest.f.elements_absorbed", {{"shard", "0"}}),
+        3);
+    snapshot.counters.emplace_back(
+        metrics::LabeledName("ingest.f.elements_absorbed", {{"shard", "1"}}),
+        4);
+    return snapshot;
+  }
+  Status ScrapeFleetEvents() override {
+    ++scrapes;
+    EventLog::Global().Emit(LogLevel::kInfo, "fleet_probe",
+                            {{"origin_shard", "1"}, {"origin_seq", "17"}});
+    return OkStatus();
+  }
+  Status SetFleetTracing(bool enable) override {
+    tracing = enable;
+    return OkStatus();
+  }
+  StatusOr<std::string> DumpFleetTrace() override {
+    return std::string(R"({"traceEvents":[{"name":"fleet_span"}]})");
+  }
+
+  int scrapes = 0;
+  bool tracing = false;
+};
+
+// Has a coordinator-local registry but no fleet path: `metrics` must fall
+// back to it with the banner.
+class LocalRegistryBackend : public FakeDistBackend {
+ public:
+  LocalRegistryBackend() { registry_.GetCounter("dist.rpc.sent")->Increment(3); }
+  metrics::Registry* MetricsRegistry() override { return &registry_; }
+
+ private:
+  metrics::Registry registry_;
+};
+
+class ScrapeFailsBackend : public FleetFakeBackend {
+ public:
+  Status ScrapeFleetEvents() override { return InternalError("s1 hung up"); }
+};
+
+TEST(ShellTest, FleetRequiresABackendAndToleratesMissingScrape) {
+  Shell shell;
+  EXPECT_EQ(Exec(&shell, "fleet"), "error: no distributed backend attached");
+
+  // A pre-telemetry backend: kUnimplemented scrape is expected, NOT flagged
+  // as incomplete — only real scrape failures earn the suffix.
+  FakeDistBackend backend;
+  shell.set_dist_backend(&backend);
+  const std::string fleet = Exec(&shell, "fleet");
+  EXPECT_EQ(backend.probes, 1);
+  EXPECT_EQ(fleet.rfind("ok 2 shards\n", 0), 0u) << fleet;
+  EXPECT_EQ(fleet.find("event scrape incomplete"), std::string::npos) << fleet;
+  EXPECT_NE(fleet.find("s0 health=healthy incarnation=1 epoch=3"),
+            std::string::npos)
+      << fleet;
+  EXPECT_NE(fleet.find("s1 health=down"), std::string::npos) << fleet;
+
+  ScrapeFailsBackend failing;
+  shell.set_dist_backend(&failing);
+  const std::string incomplete = Exec(&shell, "fleet");
+  EXPECT_EQ(incomplete.rfind("ok 2 shards (event scrape incomplete)\n", 0), 0u)
+      << incomplete;
+}
+
+TEST(ShellTest, FleetScrapesEventsIntoTheLocalLog) {
+  EventLog::Global().Clear();
+  FleetFakeBackend backend;
+  Shell shell;
+  shell.set_dist_backend(&backend);
+  const std::string fleet = Exec(&shell, "fleet");
+  EXPECT_EQ(fleet.rfind("ok 2 shards\n", 0), 0u) << fleet;
+  EXPECT_EQ(backend.probes, 1);
+  EXPECT_EQ(backend.scrapes, 1);
+
+  // The scraped event is now in the local log, findable by shard.
+  std::ostringstream out;
+  EXPECT_TRUE(shell.ExecuteLine("logs --shard 1", out));
+  EXPECT_EQ(backend.scrapes, 2);  // `logs --shard` refreshes first
+  const std::string logs = out.str();
+  EXPECT_EQ(logs.rfind("ok 2\n", 0), 0u) << logs;
+  EXPECT_NE(logs.find("fleet_probe"), std::string::npos) << logs;
+  EXPECT_NE(logs.find("\"origin_shard\":\"1\""), std::string::npos) << logs;
+  EventLog::Global().Clear();
+}
+
+TEST(ShellTest, LogsShardFilterKeepsOnlyThatShardsEvents) {
+  EventLog::Global().Clear();
+  FleetFakeBackend backend;
+  Shell shell;
+  shell.set_dist_backend(&backend);
+  EventLog::Global().Emit(LogLevel::kInfo, "local_event", {{"src", "coord"}});
+
+  std::ostringstream out;
+  EXPECT_TRUE(shell.ExecuteLine("logs --shard 1", out));
+  EXPECT_EQ(out.str().rfind("ok 1\n", 0), 0u) << out.str();
+  EXPECT_NE(out.str().find("fleet_probe"), std::string::npos) << out.str();
+  EXPECT_EQ(out.str().find("local_event"), std::string::npos) << out.str();
+
+  // No events carry origin_shard=0; the local event must not leak through.
+  EXPECT_EQ(Exec(&shell, "logs --shard 0"), "ok 0");
+
+  // Usage errors: duplicate flag, missing value.
+  EXPECT_EQ(Exec(&shell, "logs --shard 1 --shard 2").rfind("error:", 0), 0u);
+  EXPECT_EQ(Exec(&shell, "logs --shard").rfind("error:", 0), 0u);
+  EventLog::Global().Clear();
+}
+
+TEST(ShellTest, TraceCommandsDriveTheLocalRecorderWithoutABackend) {
+  metrics::TraceRecorder::Global().Disable();
+  (void)metrics::TraceRecorder::Global().DrainAsChromeTrace();  // start clean
+  Shell shell;
+  EXPECT_EQ(Exec(&shell, "trace start"), "ok");
+  { metrics::TraceSpan span("shell_test.local_span", "test"); }
+  const std::string path = ::testing::TempDir() + "/shell-local.trace.json";
+  const std::string dump = Exec(&shell, "trace dump " + path);
+  EXPECT_EQ(dump.rfind("ok ", 0), 0u) << dump;
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("shell_test.local_span"), std::string::npos)
+      << content.str();
+  EXPECT_EQ(Exec(&shell, "trace stop"), "ok");
+
+  EXPECT_EQ(Exec(&shell, "trace"), "error: usage: trace start|stop|dump <file>");
+  EXPECT_EQ(Exec(&shell, "trace dump"), "error: usage: trace dump <file>");
+  EXPECT_EQ(Exec(&shell, "trace bounce").rfind("error: usage:", 0), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ShellTest, TraceCommandsRouteToTheFleetWithABackend) {
+  FleetFakeBackend backend;
+  Shell shell;
+  shell.set_dist_backend(&backend);
+  EXPECT_EQ(Exec(&shell, "trace start"), "ok");
+  EXPECT_TRUE(backend.tracing);
+  EXPECT_EQ(Exec(&shell, "trace stop"), "ok");
+  EXPECT_FALSE(backend.tracing);
+
+  const std::string path = ::testing::TempDir() + "/shell-fleet.trace.json";
+  const std::string dump = Exec(&shell, "trace dump " + path);
+  EXPECT_EQ(dump.rfind("ok ", 0), 0u) << dump;
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("fleet_span"), std::string::npos)
+      << content.str();
+  std::remove(path.c_str());
+
+  // A backend without fleet tracing surfaces the error instead of silently
+  // toggling only the local recorder.
+  FakeDistBackend legacy;
+  shell.set_dist_backend(&legacy);
+  const std::string response = Exec(&shell, "trace start");
+  EXPECT_EQ(response.rfind("error:", 0), 0u) << response;
+  EXPECT_NE(response.find("fleet tracing"), std::string::npos) << response;
+}
+
+TEST(ShellTest, MetricsRoutesToTheFleetSnapshotInDistMode) {
+  FleetFakeBackend backend;
+  Shell shell;
+  shell.set_dist_backend(&backend);
+
+  // Bare `metrics` means the fleet in dist mode — no banner.
+  const std::string json = Exec(&shell, "metrics");
+  EXPECT_EQ(json.rfind("ok ", 0), 0u) << json;
+  EXPECT_NE(json.find("\"fleet\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("coordinator-local"), std::string::npos) << json;
+
+  const std::string prom = Exec(&shell, "metrics fleet prom");
+  EXPECT_EQ(prom.rfind("ok\n", 0), 0u) << prom;
+  EXPECT_NE(prom.find("ingest_f_elements_absorbed{shard=\"0\"} 3"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("ingest_f_elements_absorbed{shard=\"1\"} 4"),
+            std::string::npos)
+      << prom;
+}
+
+TEST(ShellTest, MetricsFallsBackToCoordinatorLocalWithABanner) {
+  LocalRegistryBackend backend;
+  Shell shell;
+  shell.set_dist_backend(&backend);
+
+  const std::string fallback = Exec(&shell, "metrics");
+  EXPECT_EQ(fallback.rfind("ok ", 0), 0u) << fallback;
+  EXPECT_NE(fallback.find("(coordinator-local; use 'metrics fleet')"),
+            std::string::npos)
+      << fallback;
+  EXPECT_NE(fallback.find("dist.rpc.sent"), std::string::npos) << fallback;
+
+  const std::string prom = Exec(&shell, "metrics prom");
+  EXPECT_NE(prom.find("# (coordinator-local; use 'metrics fleet')"),
+            std::string::npos)
+      << prom;
+
+  // Explicitly asking for the fleet must error, not silently downgrade.
+  EXPECT_EQ(Exec(&shell, "metrics fleet").rfind("error:", 0), 0u);
+
+  // Backend exposing neither a fleet path nor a registry: a plain error.
+  FakeDistBackend bare;
+  shell.set_dist_backend(&bare);
+  EXPECT_EQ(Exec(&shell, "metrics"),
+            "error: the attached distributed backend exposes no metrics");
+
+  // `metrics fleet` without any backend at all.
+  shell.set_dist_backend(nullptr);
+  EXPECT_EQ(Exec(&shell, "metrics fleet"),
+            "error: no distributed backend attached");
 }
 
 }  // namespace

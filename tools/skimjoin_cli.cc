@@ -17,7 +17,19 @@
 //   --trace_out=<file>         record phase spans (ingest batches, replica
 //                              merges, SKIMDENSE, estimates, checkpoints)
 //                              and write Chrome trace JSON to <file> at
-//                              exit; open in chrome://tracing or Perfetto
+//                              exit; open in chrome://tracing or Perfetto.
+//                              With --coordinator, tracing is enabled on
+//                              every worker too and the file holds the
+//                              MERGED fleet trace (one clock-aligned
+//                              process track per shard)
+//   --fleet_metrics_out=<file> (with --coordinator) write the merged fleet
+//                              snapshot — coordinator series plus every
+//                              shard's, labeled shard="<k>" — to <file> at
+//                              exit, in --metrics_format
+//   --fleet_metrics_interval=<ms>
+//                              also rewrite the fleet snapshot (and scrape
+//                              worker events into the coordinator log)
+//                              every <ms> milliseconds while running
 //
 // Distributed mode (DESIGN.md §12):
 //   --worker=<socket>          run as a worker shard serving the dist wire
@@ -65,6 +77,8 @@ struct Options {
       skimjoin::metrics::PeriodicSnapshotWriter::Format::kJson;
   int64_t metrics_interval_ms = 0;  // 0: one snapshot at exit only
   std::string trace_out;
+  std::string fleet_metrics_out;
+  int64_t fleet_metrics_interval_ms = 0;  // 0: one snapshot at exit only
   // Distributed mode.
   std::string worker_socket;  // non-empty: run as a worker, not a shell
   std::string shard_name = "shard";
@@ -87,7 +101,9 @@ int Usage(const char* argv0) {
                "[--metrics_format=json|prom]\n"
                "       [--metrics_interval=<ms>] [--trace_out=<file>] "
                "[script-file]\n"
-               "       [--coordinator=<name=socket,...>]\n"
+               "       [--coordinator=<name=socket,...>] "
+               "[--fleet_metrics_out=<file>]\n"
+               "       [--fleet_metrics_interval=<ms>]\n"
             << "   or: " << argv0
             << " --worker=<socket> [--shard=<name>] "
                "[--worker_checkpoint=<path>]\n"
@@ -123,6 +139,18 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       }
     } else if (auto value = FlagValue(arg, "trace_out")) {
       options->trace_out = *value;
+    } else if (auto value = FlagValue(arg, "fleet_metrics_out")) {
+      options->fleet_metrics_out = *value;
+    } else if (auto value = FlagValue(arg, "fleet_metrics_interval")) {
+      char* end = nullptr;
+      options->fleet_metrics_interval_ms =
+          std::strtoll(value->c_str(), &end, 10);
+      if (end == value->c_str() || *end != '\0' ||
+          options->fleet_metrics_interval_ms < 0) {
+        std::cerr << "error: --fleet_metrics_interval wants milliseconds "
+                     ">= 0\n";
+        return false;
+      }
     } else if (auto value = FlagValue(arg, "worker")) {
       options->worker_socket = *value;
     } else if (auto value = FlagValue(arg, "shard")) {
@@ -237,9 +265,19 @@ int main(int argc, char** argv) {
         std::move(*shards), skimjoin::dist::CoordinatorOptions{});
     shell.set_dist_backend(coordinator.get());
   }
+  if (!options.fleet_metrics_out.empty() && coordinator == nullptr) {
+    std::cerr << "error: --fleet_metrics_out needs --coordinator\n";
+    return Usage(argv[0]);
+  }
 
   if (!options.trace_out.empty()) {
-    skimjoin::metrics::TraceRecorder::Global().Enable();
+    if (coordinator != nullptr) {
+      // Fleet-wide: flips every worker's recorder on too; workers that are
+      // not up yet miss the toggle and simply contribute no spans.
+      (void)coordinator->SetFleetTracing(true);
+    } else {
+      skimjoin::metrics::TraceRecorder::Global().Enable();
+    }
   }
 
   // The periodic writer snapshots from a background thread, so its source
@@ -259,6 +297,30 @@ int main(int argc, char** argv) {
         [&shell] { return shell.engine().metrics_registry().TakeSnapshot(); });
   }
 
+  // The fleet writer's source scrapes every worker over RPC — safe from
+  // the background thread because the coordinator serializes its whole
+  // public surface behind one mutex. Each tick also pulls worker events
+  // into the coordinator's log, so `logs --shard <k>` stays fresh between
+  // explicit `fleet` commands.
+  std::unique_ptr<skimjoin::metrics::PeriodicSnapshotWriter> fleet_writer;
+  if (!options.fleet_metrics_out.empty() &&
+      options.fleet_metrics_interval_ms > 0) {
+    skimjoin::dist::Coordinator* fleet = coordinator.get();
+    fleet_writer = std::make_unique<skimjoin::metrics::PeriodicSnapshotWriter>(
+        options.fleet_metrics_out, options.metrics_format,
+        std::chrono::milliseconds(options.fleet_metrics_interval_ms),
+        [fleet] {
+          (void)fleet->ScrapeFleetEvents();
+          skimjoin::StatusOr<skimjoin::metrics::Snapshot> snapshot =
+              fleet->FleetMetricsSnapshot();
+          // Unreachable shards already degrade to a coordinator-only
+          // snapshot inside FleetMetricsSnapshot; a hard failure here
+          // (cannot happen today) degrades the same way.
+          return snapshot.ok() ? std::move(*snapshot)
+                               : fleet->metrics_registry().TakeSnapshot();
+        });
+  }
+
   int failed_commands = 0;
   if (!options.script_path.empty()) {
     std::ifstream script(options.script_path);
@@ -273,6 +335,32 @@ int main(int argc, char** argv) {
   }
 
   int exit_status = failed_commands;
+  if (fleet_writer != nullptr) {
+    skimjoin::Status status = fleet_writer->Stop();
+    if (!status.ok()) {
+      std::cerr << "error: fleet metrics snapshot: " << status.message()
+                << "\n";
+      exit_status = exit_status == 0 ? 2 : exit_status;
+    }
+  } else if (!options.fleet_metrics_out.empty()) {
+    skimjoin::StatusOr<skimjoin::metrics::Snapshot> snapshot =
+        coordinator->FleetMetricsSnapshot();
+    skimjoin::Status status = snapshot.status();
+    if (snapshot.ok()) {
+      const std::string rendered =
+          options.metrics_format ==
+                  skimjoin::metrics::PeriodicSnapshotWriter::Format::kJson
+              ? skimjoin::metrics::ToJson(*snapshot)
+              : skimjoin::metrics::ToPrometheusText(*snapshot);
+      status = skimjoin::util::AtomicWriteFile(options.fleet_metrics_out,
+                                               rendered);
+    }
+    if (!status.ok()) {
+      std::cerr << "error: fleet metrics snapshot: " << status.message()
+                << "\n";
+      exit_status = exit_status == 0 ? 2 : exit_status;
+    }
+  }
   if (writer != nullptr) {
     // Stop() writes one final snapshot so short runs still leave one.
     skimjoin::Status status = writer->Stop();
@@ -297,9 +385,22 @@ int main(int argc, char** argv) {
   }
 
   if (!options.trace_out.empty()) {
-    skimjoin::Status status = skimjoin::util::AtomicWriteFile(
-        options.trace_out,
-        skimjoin::metrics::TraceRecorder::Global().DrainAsChromeTrace());
+    std::string trace_json;
+    if (coordinator != nullptr) {
+      skimjoin::StatusOr<std::string> merged = coordinator->DumpFleetTrace();
+      // DumpFleetTrace always merges whatever it could reach (an
+      // unreachable shard is just absent), so failure here means the
+      // local drain failed too — fall back to it for the error message.
+      trace_json = merged.ok()
+                       ? std::move(*merged)
+                       : skimjoin::metrics::TraceRecorder::Global()
+                             .DrainAsChromeTrace();
+    } else {
+      trace_json =
+          skimjoin::metrics::TraceRecorder::Global().DrainAsChromeTrace();
+    }
+    skimjoin::Status status =
+        skimjoin::util::AtomicWriteFile(options.trace_out, trace_json);
     if (!status.ok()) {
       std::cerr << "error: trace: " << status.message() << "\n";
       exit_status = exit_status == 0 ? 2 : exit_status;
