@@ -351,6 +351,38 @@ BENCHMARK(BM_EngineUpdateBatch)
     ->Arg(65536)
     ->Unit(benchmark::kMillisecond);
 
+// The same batch path with the stream profiler's runtime kill switch thrown.
+// CI's metrics-overhead gate compares this against BM_EngineUpdateBatch in
+// the SAME binary and fails if the profiler costs more than 5% of ingest
+// (tools/check_bench_regression.py --compare).
+void BM_EngineUpdateBatchNoProfiler(benchmark::State& state) {
+  const auto batch = static_cast<size_t>(state.range(0));
+  query::Engine engine;
+  engine.SetProfilerEnabled(false);
+  SKIMJOIN_CHECK(
+      engine.RegisterStream({.name = "f", .domain_size = kDomain}).ok());
+  query::FrequencyQuerySpec freq;
+  freq.stream = "f";
+  SKIMJOIN_CHECK(engine.AddFrequencyQuery(freq, 1).ok());
+  const auto& updates = EngineUpdates1M();
+  const std::span<const query::StreamUpdate> all(updates);
+  for (auto _ : state) {
+    for (size_t off = 0; off < all.size(); off += batch) {
+      SKIMJOIN_CHECK(
+          engine
+              .UpdateBatch("f",
+                           all.subspan(off, std::min(batch, all.size() - off)))
+              .ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(updates.size()));
+}
+BENCHMARK(BM_EngineUpdateBatchNoProfiler)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
 // Scalar Update is the documented slow path (one counter increment per
 // element instead of one per batch) — benchmarked so a regression there is
 // visible too, just against a looser absolute baseline.

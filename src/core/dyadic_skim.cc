@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -293,6 +294,33 @@ uint64_t DyadicSkimmer::TotalCounters() const {
                  : level.exact.size();
   }
   return total;
+}
+
+SynopsisHealth DyadicSkimmer::HealthProbe() const {
+  // Sketched levels all share upper_config, so their row-major counter
+  // arrays concatenate into one uniform (levels · num_tables)-table layout.
+  std::vector<int64_t> counters;
+  uint64_t tables = 0;
+  for (const Level& level : levels_) {
+    if (!level.sketch.has_value()) continue;
+    const std::span<const int64_t> rows = level.sketch->CounterArray();
+    counters.insert(counters.end(), rows.begin(), rows.end());
+    tables += level.sketch->config().num_tables;
+  }
+  if (counters.empty()) {
+    // Tiny domain: every level exact. Probe the exact arrays for saturation
+    // headroom; occupancy inversion does not apply.
+    for (const Level& level : levels_) {
+      counters.insert(counters.end(), level.exact.begin(), level.exact.end());
+    }
+    SynopsisHealth health = ProbeCounters(counters, 1);
+    health.kind = "dyadic";
+    health.collision_pressure = std::numeric_limits<double>::quiet_NaN();
+    return health;
+  }
+  SynopsisHealth health = ProbeCounters(counters, tables);
+  health.kind = "dyadic";
+  return health;
 }
 
 uint64_t DyadicSkimmer::MemoryBytes() const {

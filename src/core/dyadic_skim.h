@@ -31,6 +31,7 @@
 #include "sketch/hash_sketch.h"
 #include "stream/frequency_vector.h"
 #include "stream/stream_element.h"
+#include "util/estimate_report.h"
 #include "util/status.h"
 
 namespace skimjoin {
@@ -108,6 +109,14 @@ class DyadicSkimmer {
   uint64_t MemoryBytes() const;
 
   uint64_t domain_size() const { return domain_size_; }
+
+  /// Read-only health probe over the SKETCHED levels (all share one shape,
+  /// so their counter rows concatenate into a uniform table layout): bucket
+  /// occupancy, |counter| quantiles, saturation headroom, and collision
+  /// pressure per sketched table. Exact levels carry no estimation error and
+  /// are only consulted when every level is exact (then collision pressure
+  /// is NaN).
+  SynopsisHealth HealthProbe() const;
 
   /// Writes domain size plus every level's representation; see
   /// sketch::HashSketch::SerializeTo.

@@ -100,6 +100,19 @@ Status MergeMismatch(const char* kind) {
       "': peer is a different method or an incompatible shape/seed");
 }
 
+// Shared by the sketch-backed pairs' HealthProbe overrides: probe both
+// synopses and tag which stream each probe belongs to.
+template <typename Sketch>
+std::vector<SynopsisHealth> ProbePair(const Sketch& f, const Sketch& g) {
+  std::vector<SynopsisHealth> probes;
+  probes.reserve(2);
+  probes.push_back(f.HealthProbe());
+  probes.back().role = "f";
+  probes.push_back(g.HealthProbe());
+  probes.back().role = "g";
+  return probes;
+}
+
 template <typename Sketch>
 Status SerializePair(std::ostream& out, const char* kind, const Sketch& f,
                      const Sketch& g) {
@@ -169,6 +182,10 @@ class AgmsPair final : public JoinEstimatorPair {
     return OkStatus();
   }
 
+  std::vector<SynopsisHealth> HealthProbe() const override {
+    return ProbePair(f_, g_);
+  }
+
  private:
   sketch::AgmsSketch f_;
   sketch::AgmsSketch g_;
@@ -217,6 +234,10 @@ class HashSketchPair final : public JoinEstimatorPair {
     return OkStatus();
   }
 
+  std::vector<SynopsisHealth> HealthProbe() const override {
+    return ProbePair(f_, g_);
+  }
+
  private:
   sketch::HashSketch f_;
   sketch::HashSketch g_;
@@ -261,6 +282,10 @@ class SkimmedPair final : public JoinEstimatorPair {
     f_.Merge(peer->f_);
     g_.Merge(peer->g_);
     return OkStatus();
+  }
+
+  std::vector<SynopsisHealth> HealthProbe() const override {
+    return ProbePair(f_, g_);
   }
 
  private:
@@ -309,6 +334,10 @@ class CountMinPair final : public JoinEstimatorPair {
     f_.Merge(peer->f_);
     g_.Merge(peer->g_);
     return OkStatus();
+  }
+
+  std::vector<SynopsisHealth> HealthProbe() const override {
+    return ProbePair(f_, g_);
   }
 
  private:

@@ -12,6 +12,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "sketch/partitioned_agms.h"
 #include "stream/frequency_vector.h"
@@ -140,6 +141,11 @@ class JoinEstimatorPair {
   /// non-linear methods (sampling, partitioned AGMS). The distributed
   /// coordinator's merge step is built on this.
   virtual Status MergeFrom(const JoinEstimatorPair& other);
+
+  /// Read-only health probes of both synopses, F first (role "f") then G
+  /// (role "g"). Default: empty — the sampling and partitioned-AGMS methods
+  /// have no counter arrays to probe. Never affects estimates.
+  virtual std::vector<SynopsisHealth> HealthProbe() const { return {}; }
 
  protected:
   JoinEstimatorPair() = default;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -297,6 +298,24 @@ StatusOr<JoinEstimateBreakdown> SkimmedSketch::EstimateDetailedImpl(
     diag.sparse_sparse = breakdown.sparse_sparse;
     report->skim = diag;
 
+    // Record each side's skim shape so HealthProbe can report drift since
+    // this estimate. Only the reporting path pays the bookkeeping; the
+    // estimate itself is untouched.
+    f.dense_fraction_at_estimate_ =
+        static_cast<double>(breakdown.dense_count_f) /
+        static_cast<double>(f.config_.domain_size);
+    g.dense_fraction_at_estimate_ =
+        static_cast<double>(breakdown.dense_count_g) /
+        static_cast<double>(g.config_.domain_size);
+    f.residual_ratio_at_estimate_ =
+        diag.residual_l2_before_f > 0.0
+            ? diag.residual_l2_after_f / diag.residual_l2_before_f
+            : std::numeric_limits<double>::quiet_NaN();
+    g.residual_ratio_at_estimate_ =
+        diag.residual_l2_before_g > 0.0
+            ? diag.residual_l2_after_g / diag.residual_l2_before_g
+            : std::numeric_limits<double>::quiet_NaN();
+
     // §3.2 decomposition: the dense·dense part is exact, so the error
     // envelope is the sum of the three estimated sub-joins' terms, each an
     // ε·sqrt(self-join product) with ε = 4/sqrt(b) and the appropriate
@@ -358,6 +377,29 @@ EstimateReport SkimmedSketch::EstimateSelfJoinSizeWithReport() const {
   SKIMJOIN_CHECK(report.ok());
   report->method = "skimmed-selfjoin";
   return *std::move(report);
+}
+
+SynopsisHealth SkimmedSketch::HealthProbe() const {
+  SynopsisHealth health = level0_.HealthProbe();
+  health.kind = "skimmed";
+  const SkimOutput skim = Skim();
+  health.dense_fraction = static_cast<double>(skim.dense.size()) /
+                          static_cast<double>(config_.domain_size);
+  const double before =
+      std::sqrt(std::max(level0_.EstimateSelfJoinSize(), 0.0));
+  const double after =
+      std::sqrt(std::max(skim.skimmed.EstimateSelfJoinSize(), 0.0));
+  health.residual_ratio = before > 0.0
+                              ? after / before
+                              : std::numeric_limits<double>::quiet_NaN();
+  health.dense_fraction_at_estimate = dense_fraction_at_estimate_;
+  health.residual_ratio_at_estimate = residual_ratio_at_estimate_;
+  return health;
+}
+
+std::optional<SynopsisHealth> SkimmedSketch::DyadicHealthProbe() const {
+  if (!dyadic_.has_value()) return std::nullopt;
+  return dyadic_->HealthProbe();
 }
 
 DenseFrequencies SkimmedSketch::HeavyHitters(int64_t threshold) const {

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <istream>
+#include <limits>
 #include <optional>
 #include <ostream>
 #include <span>
@@ -253,6 +254,19 @@ class SkimmedSketch {
   /// SKIMDENSE on a copy; the sketch itself is never mutated.
   SkimOutput Skim() const;
 
+  /// Read-only health probe: the level-0 counter probe (occupancy,
+  /// saturation headroom, collision pressure) plus a fresh skim's dense
+  /// fraction (|dense| / domain) and residual ratio (residual L2 / level-0
+  /// L2). When a reporting estimate has run, the skim fields recorded at
+  /// that SKIMDENSE time ride along so drift since the last estimate is
+  /// visible. Runs SKIMDENSE on a copy — estimate-priced, not
+  /// ingest-priced — and never updates the recorded baseline.
+  SynopsisHealth HealthProbe() const;
+
+  /// Probe of the dyadic auxiliary levels; std::nullopt when
+  /// use_dyadic_skim is off. See DyadicSkimmer::HealthProbe.
+  std::optional<SynopsisHealth> DyadicHealthProbe() const;
+
   /// ESTSKIMJOINSIZE from two precomputed skims. Because each side's skim
   /// is computed independently of the other (Skim() takes no cross-side
   /// input), this is bit-identical to EstimateJoinSize on the fat pair as
@@ -293,6 +307,15 @@ class SkimmedSketch {
   sketch::HashSketch level0_;
   std::optional<DyadicSkimmer> dyadic_;
   uint64_t dropped_updates_ = 0;
+  // Skim shape recorded by the last REPORTING estimate (EstimateDetailedImpl
+  // with a report), read back by HealthProbe to expose drift since that
+  // estimate. Derived observability state: mutable because the estimate
+  // entry points take const sketches, never serialized, ignored by
+  // CompatibleWith, NaN until a reporting estimate runs.
+  mutable double dense_fraction_at_estimate_ =
+      std::numeric_limits<double>::quiet_NaN();
+  mutable double residual_ratio_at_estimate_ =
+      std::numeric_limits<double>::quiet_NaN();
 };
 
 }  // namespace core

@@ -112,6 +112,10 @@ const char* Coordinator::RpcTypeName(MessageType type) {
       return "trace_request";
     case MessageType::kTraceEvents:
       return "trace_events";
+    case MessageType::kHealthRequest:
+      return "health_request";
+    case MessageType::kHealthReport:
+      return "health_report";
   }
   return "unknown";
 }
@@ -152,11 +156,23 @@ Coordinator::Coordinator(std::vector<ShardAddress> shards,
     auto shard = std::make_unique<ShardState>();
     const std::string prefix = "dist." + address.name + ".";
     shard->rpc_calls = metrics_.GetCounter(prefix + "rpc_calls");
+    metrics_.SetHelp(prefix + "rpc_calls",
+                     "RPC attempts sent to this shard (retries included).");
     shard->rpc_retries = metrics_.GetCounter(prefix + "rpc_retries");
+    metrics_.SetHelp(prefix + "rpc_retries",
+                     "RPC attempts beyond the first, after backoff.");
     shard->rpc_failures = metrics_.GetCounter(prefix + "rpc_failures");
+    metrics_.SetHelp(prefix + "rpc_failures",
+                     "RPCs that exhausted every attempt against this shard.");
     shard->delta_bytes = metrics_.GetCounter(prefix + "delta_bytes");
+    metrics_.SetHelp(prefix + "delta_bytes",
+                     "Synopsis delta payload bytes pulled from this shard.");
     shard->health_gauge = metrics_.GetGauge(prefix + "health");
+    metrics_.SetHelp(prefix + "health",
+                     "Shard health: 0 healthy, 1 recovering, 2 down.");
     shard->epoch_gauge = metrics_.GetGauge(prefix + "acked_epoch");
+    metrics_.SetHelp(prefix + "acked_epoch",
+                     "Highest update-batch epoch this shard has acknowledged.");
     shard->address = std::move(address);
     shards_.push_back(std::move(shard));
   }
@@ -914,6 +930,41 @@ StatusOr<std::string> Coordinator::DumpFleetTrace() {
     processes.push_back(std::move(process));
   }
   return metrics::MergeAsChromeTrace(processes);
+}
+
+StatusOr<query::HealthReport> Coordinator::FleetHealthReport() {
+  const metrics::TraceSpan span("coordinator.health", "dist");
+  std::lock_guard<std::mutex> lock(mutex_);
+  query::HealthReport report;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardState& shard = *shards_[i];
+    const std::string shard_label = std::to_string(i);
+    StatusOr<Frame> reply = Rpc(shard, MessageType::kHealthRequest, "");
+    if (!reply.ok() ||
+        reply->type != static_cast<uint32_t>(MessageType::kHealthReport)) {
+      // A dead shard must not vanish from the doctor's view: it becomes a
+      // finding itself, labeled like everything else from this shard.
+      report.findings.push_back(
+          {query::HealthFinding::Severity::kCritical,
+           "shard " + shard.address.name, "unreachable",
+           reply.ok() ? "worker sent an unexpected reply type"
+                      : reply.status().ToString(),
+           shard_label});
+      continue;
+    }
+    StatusOr<HealthReportMsg> msg = DecodeHealthReport(reply->payload);
+    if (!msg.ok()) {
+      report.findings.push_back({query::HealthFinding::Severity::kCritical,
+                                 "shard " + shard.address.name, "unreachable",
+                                 msg.status().ToString(), shard_label});
+      continue;
+    }
+    for (query::HealthFinding& finding : msg->findings) {
+      finding.shard = shard_label;
+      report.findings.push_back(std::move(finding));
+    }
+  }
+  return report;
 }
 
 Status Coordinator::CheckpointShards() {

@@ -106,6 +106,7 @@ class Coordinator : public query::DistBackend {
   Status ScrapeFleetEvents() override;
   Status SetFleetTracing(bool enable) override;
   StatusOr<std::string> DumpFleetTrace() override;
+  StatusOr<query::HealthReport> FleetHealthReport() override;
   Status CheckpointShards() override;
   Status ProbeHealth() override;
   std::vector<query::DistShardStatus> ShardStatuses() override;

@@ -650,6 +650,48 @@ StatusOr<TraceEventsMsg> DecodeTraceEvents(std::string_view payload) {
   return msg;
 }
 
+std::string EncodeHealthReport(const HealthReportMsg& msg) {
+  std::ostringstream out;
+  out << msg.findings.size();
+  for (const query::HealthFinding& finding : msg.findings) {
+    out << ' ' << static_cast<uint64_t>(finding.severity) << ' ';
+    AppendBlob(out, finding.subject);
+    out << ' ';
+    AppendBlob(out, finding.rule);
+    out << ' ';
+    AppendBlob(out, finding.message);
+  }
+  return out.str();
+}
+
+StatusOr<HealthReportMsg> DecodeHealthReport(std::string_view payload) {
+  WireCursor in(payload);
+  HealthReportMsg msg;
+  uint64_t count = 0;
+  if (!in.U64(&count) || count > kMaxWireBatchElements ||
+      count > in.remaining()) {
+    return Malformed("health-report");
+  }
+  msg.findings.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    query::HealthFinding finding;
+    uint64_t severity = 0;
+    if (!in.U64(&severity) ||
+        severity >
+            static_cast<uint64_t>(query::HealthFinding::Severity::kCritical) ||
+        !in.Blob(&finding.subject) || !in.Blob(&finding.rule) ||
+        !in.Blob(&finding.message)) {
+      return Malformed("health-report");
+    }
+    finding.severity = static_cast<query::HealthFinding::Severity>(severity);
+    msg.findings.push_back(std::move(finding));
+  }
+  if (!in.AtEnd()) {
+    return InvalidArgumentError("health-report payload has trailing bytes");
+  }
+  return msg;
+}
+
 std::string EncodeError(const Status& status) {
   std::ostringstream out;
   out << static_cast<int>(status.code()) << ' ' << status.message();

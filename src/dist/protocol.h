@@ -64,6 +64,10 @@ enum class MessageType : uint32_t {
   kTraceControl = 22,     // TraceControlMsg -> kRegistered
   kTraceRequest = 23,     // empty payload -> kTraceEvents
   kTraceEvents = 24,
+  // Fleet doctor: the coordinator pulls each worker's rule-based health
+  // findings (Engine::HealthReport run worker-side; findings only).
+  kHealthRequest = 25,    // empty payload -> kHealthReport
+  kHealthReport = 26,
 };
 
 /// Largest element count one kUpdateBatch may declare; validated before
@@ -191,6 +195,15 @@ struct TraceEventsMsg {
   std::vector<metrics::TraceEvent> events;
 };
 
+/// kHealthReport payload: the worker engine's rule-based health findings
+/// (query::HealthFinding minus the shard label, which the coordinator
+/// assigns on receipt). Free text — subjects, rules, messages — travels as
+/// length-prefixed blobs. Profiles and probes stay worker-side; findings
+/// are the fleet-doctor currency.
+struct HealthReportMsg {
+  std::vector<query::HealthFinding> findings;
+};
+
 /// kDelta payload: one query's full serialized synopsis, stamped with the
 /// worker's incarnation and epoch. Deltas are FULL STATE, not increments —
 /// the coordinator replaces its cached copy wholesale, which is what makes
@@ -247,6 +260,9 @@ StatusOr<TraceControlMsg> DecodeTraceControl(std::string_view payload);
 
 std::string EncodeTraceEvents(const TraceEventsMsg& msg);
 StatusOr<TraceEventsMsg> DecodeTraceEvents(std::string_view payload);
+
+std::string EncodeHealthReport(const HealthReportMsg& msg);
+StatusOr<HealthReportMsg> DecodeHealthReport(std::string_view payload);
 
 /// kError payload: "<code> <message...>". DecodeError NEVER yields an OK
 /// status — a mangled error payload decodes to an INTERNAL status

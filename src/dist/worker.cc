@@ -301,6 +301,17 @@ StatusOr<Frame> Worker::HandleTraceRequest(const Frame& request) {
   return MakeFrame(MessageType::kTraceEvents, EncodeTraceEvents(msg));
 }
 
+StatusOr<Frame> Worker::HandleHealthRequest(const Frame& request) {
+  (void)request;
+  // Serve() is the engine's writer thread, so the full (estimate-priced,
+  // read-only) health pass is safe here. Only the findings travel — the
+  // coordinator's fleet doctor aggregates those; profiles and probes stay
+  // inspectable worker-side.
+  HealthReportMsg msg;
+  msg.findings = engine_.HealthReport().findings;
+  return MakeFrame(MessageType::kHealthReport, EncodeHealthReport(msg));
+}
+
 StatusOr<Frame> Worker::HandleUpdateBatch(const Frame& request) {
   SKIMJOIN_ASSIGN_OR_RETURN(UpdateBatchMsg msg,
                             DecodeUpdateBatch(request.payload));
@@ -386,6 +397,8 @@ StatusOr<Frame> Worker::Handle(const Frame& request) {
       return HandleTraceControl(request);
     case MessageType::kTraceRequest:
       return HandleTraceRequest(request);
+    case MessageType::kHealthRequest:
+      return HandleHealthRequest(request);
     case MessageType::kCheckpoint: {
       metrics::TraceSpan span("worker.checkpoint", "dist");
       SKIMJOIN_RETURN_IF_ERROR(Checkpoint());

@@ -108,6 +108,7 @@ class Worker {
   StatusOr<Frame> HandleEventsRequest(const Frame& request);
   StatusOr<Frame> HandleTraceControl(const Frame& request);
   StatusOr<Frame> HandleTraceRequest(const Frame& request);
+  StatusOr<Frame> HandleHealthRequest(const Frame& request);
 
   Frame HelloFrame() const;
 

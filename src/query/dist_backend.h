@@ -118,6 +118,15 @@ class DistBackend {
     return UnimplementedError("backend does not support fleet tracing");
   }
 
+  /// Every reachable shard's health findings merged into one report, each
+  /// finding labeled with its origin shard index (HealthFinding::shard);
+  /// unreachable shards contribute an "unreachable" finding instead of
+  /// silence. The fleet report carries findings only — per-stream profiles
+  /// and per-synopsis probes stay on the workers.
+  virtual StatusOr<HealthReport> FleetHealthReport() {
+    return UnimplementedError("backend does not support fleet telemetry");
+  }
+
   /// Asks every shard to checkpoint its engine state now.
   virtual Status CheckpointShards() = 0;
 

@@ -9,6 +9,7 @@
 
 #include "util/event_log.h"
 #include "util/logging.h"
+#include "util/table_printer.h"
 
 namespace skimjoin {
 namespace query {
@@ -50,6 +51,79 @@ class ScopedEstimate {
 
 }  // namespace
 
+const char* HealthSeverityName(HealthFinding::Severity severity) {
+  switch (severity) {
+    case HealthFinding::Severity::kInfo:
+      return "info";
+    case HealthFinding::Severity::kWarn:
+      return "warn";
+    case HealthFinding::Severity::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+std::string RenderHealthFindings(const std::vector<HealthFinding>& findings) {
+  if (findings.empty()) return "no findings\n";
+  std::ostringstream out;
+  for (const HealthFinding& finding : findings) {
+    out << '[' << HealthSeverityName(finding.severity) << "] "
+        << finding.subject;
+    if (!finding.shard.empty()) out << "{shard=\"" << finding.shard << "\"}";
+    out << ' ' << finding.rule << ": " << finding.message << '\n';
+  }
+  return out.str();
+}
+
+std::string RenderHealthReport(const HealthReport& report) {
+  std::ostringstream out;
+  TablePrinter streams("stream health",
+                      {"stream", "absorbed", "dropped", "skew", "distinct",
+                       "delete_ratio", "heavy_mass", "hash_cache_hit"});
+  for (const StreamHealth& stream : report.streams) {
+    std::string skew = "n/a";
+    std::string distinct = "n/a";
+    std::string delete_ratio = "n/a";
+    std::string heavy_mass = "n/a";
+    if (stream.profile.has_value()) {
+      if (!std::isnan(stream.profile->skew)) {
+        skew = TablePrinter::FormatDouble(stream.profile->skew, 2);
+      }
+      distinct = TablePrinter::FormatDouble(stream.profile->distinct_estimate, 0);
+      delete_ratio = TablePrinter::FormatDouble(stream.profile->delete_ratio, 2);
+      heavy_mass =
+          TablePrinter::FormatDouble(stream.profile->heavy_mass_fraction, 2);
+    }
+    streams.AddRow(
+        {stream.stream, std::to_string(stream.elements_absorbed),
+         std::to_string(stream.elements_dropped), skew, distinct, delete_ratio,
+         heavy_mass,
+         std::isnan(stream.hash_cache_hit_rate)
+             ? "n/a"
+             : TablePrinter::FormatDouble(stream.hash_cache_hit_rate, 2)});
+  }
+  streams.Print(out);
+
+  if (!report.queries.empty()) {
+    out << '\n';
+    TablePrinter queries("synopsis health",
+                         {"query", "method", "streams", "synopsis", "probe"});
+    for (const QueryHealth& query : report.queries) {
+      for (const SynopsisHealth& health : query.synopses) {
+        const std::string synopsis =
+            health.role.empty() ? health.kind
+                                : health.kind + "." + health.role;
+        queries.AddRow({std::to_string(query.id), query.method, query.streams,
+                        synopsis, DescribeSynopsisHealth(health)});
+      }
+    }
+    queries.Print(out);
+  }
+
+  out << '\n' << RenderHealthFindings(report.findings);
+  return out.str();
+}
+
 void Engine::InitStreamMetrics(StreamState* state) {
   const std::string prefix = "ingest." + state->spec.name + ".";
   state->absorbed = metrics_.GetCounter(prefix + "elements_absorbed");
@@ -60,6 +134,44 @@ void Engine::InitStreamMetrics(StreamState* state) {
   state->merge_nanos = metrics_.GetCounter(prefix + "merge_nanos");
   state->hash_cache_hits = metrics_.GetCounter(prefix + "hash_cache_hits");
   state->hash_cache_misses = metrics_.GetCounter(prefix + "hash_cache_misses");
+
+  metrics_.SetHelp(prefix + "elements_absorbed",
+                   "In-domain stream elements fed to this stream's synopses.");
+  metrics_.SetHelp(prefix + "batches", "UpdateBatch calls on this stream.");
+  metrics_.SetHelp(prefix + "elements_dropped",
+                   "Out-of-domain elements dropped before any synopsis.");
+  metrics_.SetHelp(prefix + "merges",
+                   "Sharded-ingest merge rounds (SetIngestShards > 1).");
+  metrics_.SetHelp(prefix + "absorb_nanos",
+                   "Nanoseconds worker shards spent absorbing batches.");
+  metrics_.SetHelp(prefix + "merge_nanos",
+                   "Nanoseconds spent merging shard replicas back.");
+  metrics_.SetHelp(prefix + "hash_cache_hits",
+                   "Hash-plan cache hits across this stream's frequency-query "
+                   "synopses (inline batch path).");
+  metrics_.SetHelp(prefix + "hash_cache_misses",
+                   "Hash-plan cache misses across this stream's "
+                   "frequency-query synopses (inline batch path).");
+
+  const std::string profile = prefix + "profile.";
+  metrics_.SetHelp(profile + "observations",
+                   "Stream elements seen by the workload profiler.");
+  metrics_.SetHelp(profile + "delete_ratio",
+                   "Delete mass over total mass observed by the profiler.");
+  metrics_.SetHelp(profile + "distinct_estimate",
+                   "Profiler HLL estimate of distinct values seen.");
+  metrics_.SetHelp(profile + "distinct_rate",
+                   "Distinct estimate over observations (1.0 = every element "
+                   "new).");
+  metrics_.SetHelp(profile + "skew",
+                   "Fitted Zipf exponent of the stream's frequency "
+                   "distribution (NaN until stable heavy hitters exist).");
+  metrics_.SetHelp(profile + "heavy_mass_fraction",
+                   "Fraction of insert mass covered by the profiler's "
+                   "monitored heavy hitters.");
+  metrics_.SetHelp(profile + "net_mass",
+                   "Net mass (inserts minus deletes) observed by the "
+                   "profiler.");
 }
 
 Engine::QueryMetrics Engine::MakeQueryMetrics(QueryId id) {
@@ -76,6 +188,39 @@ Engine::QueryMetrics Engine::MakeQueryMetrics(QueryId id) {
   metrics.cache_misses = metrics_.GetCounter(prefix + "cache_misses");
   metrics.cache_invalidations =
       metrics_.GetCounter(prefix + "cache_invalidations");
+
+  metrics_.SetHelp(prefix + "estimate_calls",
+                   "Answer* calls against this query.");
+  metrics_.SetHelp(prefix + "estimate_ns",
+                   "Nanoseconds per actual estimator execution (cache hits "
+                   "excluded).");
+  metrics_.SetHelp(prefix + "memory_bytes",
+                   "Current synopsis footprint in bytes (refreshed "
+                   "pull-style).");
+  metrics_.SetHelp(prefix + "rel_error",
+                   "Observed relative error against an attached exact "
+                   "reference.");
+  metrics_.SetHelp(prefix + "ci_rel_width",
+                   "Relative width of the empirical CI from *WithReport "
+                   "answers.");
+  metrics_.SetHelp(prefix + "skim_residual_ratio",
+                   "Residual-to-original L2 ratio per stream from skimmed "
+                   "join reports.");
+  metrics_.SetHelp(prefix + "cache_hits", "Query-cache hits (read path).");
+  metrics_.SetHelp(prefix + "cache_misses",
+                   "Query-cache misses, including invalidated entries.");
+  metrics_.SetHelp(prefix + "cache_invalidations",
+                   "Cached answers discarded because a participating "
+                   "stream's epoch advanced.");
+  metrics_.SetHelp(prefix + "health.occupancy",
+                   "Max nonzero-counter fraction across this query's "
+                   "synopses (last HealthReport).");
+  metrics_.SetHelp(prefix + "health.int32_saturation",
+                   "Max p99 |counter| over int32 range across this query's "
+                   "synopses (last HealthReport).");
+  metrics_.SetHelp(prefix + "health.collision_pressure",
+                   "Max estimated distinct values per bucket across this "
+                   "query's synopses (last HealthReport).");
   return metrics;
 }
 
@@ -203,6 +348,7 @@ StatusOr<StreamId> Engine::RegisterStream(const StreamSpec& spec) {
   StreamState state;
   state.spec = spec;
   InitStreamMetrics(&state);
+  state.profiler = std::make_unique<util::StreamProfiler>();
   streams_.push_back(std::move(state));
   stream_ids_.emplace(spec.name, id);
   return id;
@@ -493,6 +639,9 @@ Status Engine::Update(StreamId stream, const StreamUpdate& update) {
   }
   state.element_count += update.count;
   state.absorbed->Increment();
+#ifndef SKIMJOIN_DISABLE_PROFILER
+  if (profiler_enabled_) state.profiler->Observe(update.value, update.count);
+#endif
   ApplyToQueries(stream, update, /*include_frequency_queries=*/true);
   return OkStatus();
 }
@@ -576,14 +725,41 @@ Status Engine::UpdateBatch(StreamId stream,
   // budget.
   uint64_t absorbed = 0;
   uint64_t dropped = 0;
-  for (const StreamUpdate& update : updates) {
+#ifndef SKIMJOIN_DISABLE_PROFILER
+  util::StreamProfiler* profiler =
+      profiler_enabled_ ? state.profiler.get() : nullptr;
+#else
+  util::StreamProfiler* profiler = nullptr;
+#endif
+  // The profiler's scalar tallies fold in once per batch: the net mass is
+  // the element_count delta the loop maintains anyway, and the insert mass
+  // is net + deletes — so the per-element profiler cost beyond ObserveValue
+  // is one (rarely taken) delete branch.
+  const int64_t count_before_batch = state.element_count;
+  uint64_t profiled_deletes = 0;
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const StreamUpdate& update = updates[i];
     if (update.value >= state.spec.domain_size) {
       ++dropped;
       continue;
     }
     state.element_count += update.count;
     ++absorbed;
+    if (profiler != nullptr) {
+      profiler->ObserveValue(update.value, update.count);
+      if (update.count < 0) {
+        profiled_deletes += static_cast<uint64_t>(-update.count);
+      }
+    }
     ApplyToQueries(stream, update, /*include_frequency_queries=*/false);
+  }
+  if (profiler != nullptr && absorbed != 0) {
+    const int64_t profiled_net = state.element_count - count_before_batch;
+    profiler->AddTallies(
+        absorbed,
+        static_cast<uint64_t>(profiled_net +
+                              static_cast<int64_t>(profiled_deletes)),
+        profiled_deletes, profiled_net);
   }
   if (absorbed != 0) state.absorbed->Increment(absorbed);
   if (dropped != 0) state.dropped->Increment(dropped);
@@ -738,6 +914,10 @@ StatusOr<EstimateReport> Engine::AnswerJoinWithReport(QueryId query) const {
   ScopedEstimate timer(q.metrics.estimate_calls, q.metrics.estimate_ns);
   StatusOr<EstimateReport> report = q.estimator->EstimateWithReport();
   if (report.ok()) {
+    // Probe AFTER the estimate so skimmed probes compare against the
+    // baselines this very answer just recorded. Probes are read-only;
+    // the estimate is still bit-identical to AnswerJoin.
+    report->health = q.estimator->HealthProbe();
     MaybeRecordJoinDrift(query, q, report->estimate);
     RecordReportMetrics(query, q.metrics, *report);
   }
@@ -982,12 +1162,208 @@ void Engine::RefreshMetricsGauges() const {
     q.metrics.memory_bytes->Set(static_cast<double>(
         q.grid.has_value() ? q.grid->MemoryBytes() : q.hashed->MemoryBytes()));
   }
+#ifndef SKIMJOIN_DISABLE_PROFILER
+  for (const StreamState& state : streams_) {
+    if (state.profiler == nullptr) continue;
+    const util::StreamProfiler::Snapshot profile =
+        state.profiler->TakeSnapshot();
+    const std::string prefix = "ingest." + state.spec.name + ".profile.";
+    metrics_.GetGauge(prefix + "observations")
+        ->Set(static_cast<double>(profile.observations));
+    metrics_.GetGauge(prefix + "delete_ratio")->Set(profile.delete_ratio);
+    metrics_.GetGauge(prefix + "distinct_estimate")
+        ->Set(profile.distinct_estimate);
+    metrics_.GetGauge(prefix + "distinct_rate")->Set(profile.distinct_rate);
+    if (!std::isnan(profile.skew)) {
+      metrics_.GetGauge(prefix + "skew")->Set(profile.skew);
+    }
+    metrics_.GetGauge(prefix + "heavy_mass_fraction")
+        ->Set(profile.heavy_mass_fraction);
+    metrics_.GetGauge(prefix + "net_mass")
+        ->Set(static_cast<double>(profile.net_mass));
+  }
+#endif
+  metrics_.SetHelp("engine.num_streams", "Registered streams.");
+  metrics_.SetHelp("engine.num_queries", "Registered standing queries.");
+  metrics_.SetHelp("engine.ingest_shards",
+                   "Worker threads UpdateBatch may fan a batch out to.");
   metrics_.GetGauge("engine.num_streams")
       ->Set(static_cast<double>(num_streams()));
   metrics_.GetGauge("engine.num_queries")
       ->Set(static_cast<double>(num_queries()));
   metrics_.GetGauge("engine.ingest_shards")
       ->Set(static_cast<double>(ingest_shards_));
+}
+
+StatusOr<util::StreamProfiler::Snapshot> Engine::StreamProfile(
+    const std::string& stream) const {
+  StatusOr<StreamId> id = FindStream(stream);
+  SKIMJOIN_RETURN_IF_ERROR(id.status());
+  return streams_[*id].profiler->TakeSnapshot();
+}
+
+HealthReport Engine::HealthReport() const {
+  query::HealthReport report;
+
+  for (const StreamState& state : streams_) {
+    StreamHealth health;
+    health.stream = state.spec.name;
+    health.elements_absorbed = state.absorbed->Value();
+    health.elements_dropped = state.dropped->Value();
+    const uint64_t hits = state.hash_cache_hits->Value();
+    const uint64_t misses = state.hash_cache_misses->Value();
+    health.hash_cache_hit_rate =
+        hits + misses == 0
+            ? std::numeric_limits<double>::quiet_NaN()
+            : static_cast<double>(hits) / static_cast<double>(hits + misses);
+#ifndef SKIMJOIN_DISABLE_PROFILER
+    if (state.profiler != nullptr) {
+      health.profile = state.profiler->TakeSnapshot();
+    }
+#endif
+    report.streams.push_back(std::move(health));
+  }
+
+  for (const auto& [id, q] : join_queries_) {
+    QueryHealth health;
+    health.id = id;
+    health.kind = "join";
+    health.method = q.estimator->Name();
+    health.streams =
+        streams_[q.left].spec.name + "⋈" + streams_[q.right].spec.name;
+    health.synopses = q.estimator->HealthProbe();
+    // Methods without probe support (e.g. sampling) return no probes and
+    // contribute nothing to the health picture.
+    if (!health.synopses.empty()) report.queries.push_back(std::move(health));
+  }
+  for (const auto& [id, q] : frequency_queries_) {
+    QueryHealth health;
+    health.id = id;
+    health.kind = "frequency";
+    health.method = "skimmed";
+    health.streams = streams_[q.stream].spec.name;
+    health.synopses.push_back(q.sketch.HealthProbe());
+    if (std::optional<SynopsisHealth> dyadic = q.sketch.DyadicHealthProbe()) {
+      health.synopses.push_back(*std::move(dyadic));
+    }
+    report.queries.push_back(std::move(health));
+  }
+  std::sort(report.queries.begin(), report.queries.end(),
+            [](const QueryHealth& a, const QueryHealth& b) {
+              return a.id < b.id;
+            });
+
+  // Publish the per-query health gauges (max across the query's synopses)
+  // so scrapes between HealthReport calls still see the last probe.
+  for (const QueryHealth& query : report.queries) {
+    const std::string prefix =
+        "query." + std::to_string(query.id) + ".health.";
+    double occupancy = 0.0, saturation = 0.0, pressure = 0.0;
+    bool any_pressure = false;
+    for (const SynopsisHealth& health : query.synopses) {
+      occupancy = std::max(occupancy, health.occupancy);
+      saturation = std::max(saturation, health.int32_saturation);
+      if (!std::isnan(health.collision_pressure)) {
+        pressure = std::max(pressure, health.collision_pressure);
+        any_pressure = true;
+      }
+    }
+    metrics_.GetGauge(prefix + "occupancy")->Set(occupancy);
+    metrics_.GetGauge(prefix + "int32_saturation")->Set(saturation);
+    if (any_pressure) {
+      metrics_.GetGauge(prefix + "collision_pressure")->Set(pressure);
+    }
+  }
+
+  // Rule pass. Stream-level rules first, then per-synopsis rules, so the
+  // findings list reads workload -> synopsis.
+  for (const StreamHealth& stream : report.streams) {
+    const std::string subject = "stream " + stream.stream;
+    if (stream.profile.has_value() && !std::isnan(stream.profile->skew) &&
+        stream.profile->skew >= 1.2 &&
+        !std::isnan(stream.hash_cache_hit_rate) &&
+        stream.hash_cache_hit_rate < 0.5) {
+      report.findings.push_back(
+          {HealthFinding::Severity::kInfo, subject, "skew-cache-mismatch",
+           "stream skew " + TablePrinter::FormatDouble(stream.profile->skew, 2) +
+               " but hash-plan-cache hit rate " +
+               TablePrinter::FormatDouble(stream.hash_cache_hit_rate, 2) +
+               " — a skewed stream should reuse cached plans; raise the "
+               "cache slots",
+           ""});
+    }
+    if (stream.profile.has_value() && stream.profile->delete_ratio > 0.25) {
+      report.findings.push_back(
+          {HealthFinding::Severity::kInfo, subject, "delete-heavy",
+           "delete ratio " +
+               TablePrinter::FormatDouble(stream.profile->delete_ratio, 2) +
+               " — insert-only synopses (quantiles) undercover this stream",
+           ""});
+    }
+    if (stream.elements_dropped > 0) {
+      report.findings.push_back(
+          {HealthFinding::Severity::kInfo, subject, "domain-drops",
+           std::to_string(stream.elements_dropped) +
+               " elements dropped outside the registered domain",
+           ""});
+    }
+  }
+  for (const QueryHealth& query : report.queries) {
+    const std::string subject = "query " + std::to_string(query.id);
+    for (const SynopsisHealth& health : query.synopses) {
+      const std::string synopsis =
+          health.role.empty() ? health.kind : health.kind + "." + health.role;
+      if (health.int64_saturation >= 0.5) {
+        report.findings.push_back(
+            {HealthFinding::Severity::kCritical, subject, "counter-saturation",
+             synopsis + " max |counter| at " +
+                 TablePrinter::FormatDouble(100.0 * health.int64_saturation,
+                                            1) +
+                 "% of int64 — counters are about to overflow",
+             ""});
+      } else if (health.int32_saturation >= 0.5) {
+        report.findings.push_back(
+            {HealthFinding::Severity::kWarn, subject, "counter-saturation",
+             synopsis + " counter p99 at " +
+                 TablePrinter::FormatDouble(100.0 * health.int32_saturation,
+                                            1) +
+                 "% of int32 — slim views will fall back to int64",
+             ""});
+      }
+      if ((!std::isnan(health.collision_pressure) &&
+           health.collision_pressure >= 4.0) ||
+          health.occupancy >= 0.95) {
+        std::string message = synopsis + " occupancy " +
+                              TablePrinter::FormatDouble(health.occupancy, 2);
+        if (!std::isnan(health.collision_pressure)) {
+          message += ", ~" +
+                     TablePrinter::FormatDouble(health.collision_pressure, 1) +
+                     " values/bucket";
+        }
+        message += " over " + query.streams +
+                   " — the sketch is undersized for this stream";
+        report.findings.push_back({HealthFinding::Severity::kWarn, subject,
+                                   "collision-pressure", std::move(message),
+                                   ""});
+      }
+      if (!std::isnan(health.residual_ratio) &&
+          !std::isnan(health.residual_ratio_at_estimate) &&
+          std::fabs(health.residual_ratio -
+                    health.residual_ratio_at_estimate) > 0.25) {
+        report.findings.push_back(
+            {HealthFinding::Severity::kWarn, subject, "skim-drift",
+             synopsis + " residual ratio " +
+                 TablePrinter::FormatDouble(health.residual_ratio, 2) +
+                 " vs " +
+                 TablePrinter::FormatDouble(health.residual_ratio_at_estimate,
+                                            2) +
+                 " at the last estimate — the dense-value picture has gone "
+                 "stale; re-answer with a report to refresh",
+             ""});
+      }
+    }
+  }
+  return report;
 }
 
 metrics::Snapshot Engine::MetricsSnapshot() const {

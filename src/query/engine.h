@@ -20,6 +20,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -44,9 +45,75 @@
 #include "stream/wavelet.h"
 #include "util/metrics.h"
 #include "util/status.h"
+#include "util/stream_profiler.h"
 
 namespace skimjoin {
 namespace query {
+
+/// One rule-based finding from Engine::HealthReport(): something an
+/// operator should act on, with the subject it concerns and the rule that
+/// fired. The shell's `doctor` command and the fleet health report render
+/// lists of these.
+struct HealthFinding {
+  enum class Severity { kInfo, kWarn, kCritical };
+  Severity severity = Severity::kInfo;
+  /// What the finding concerns: "stream <name>" or "query <id>".
+  std::string subject;
+  /// Stable rule identifier, e.g. "counter-saturation",
+  /// "collision-pressure", "skew-cache-mismatch", "skim-drift",
+  /// "delete-heavy", "domain-drops".
+  std::string rule;
+  /// Human-readable explanation carrying the numbers that fired the rule.
+  std::string message;
+  /// Shard index (as text) when the finding was aggregated by the fleet
+  /// health report; empty for a local engine's own findings.
+  std::string shard;
+};
+
+/// "info" / "warn" / "critical".
+const char* HealthSeverityName(HealthFinding::Severity severity);
+
+/// One stream's workload health: the live profiler snapshot plus
+/// ingest-derived rates read off the stream's registry counters.
+struct StreamHealth {
+  std::string stream;
+  std::optional<util::StreamProfiler::Snapshot> profile;
+  /// hits / (hits + misses) of the stream's hash-plan caches; NaN before
+  /// any batch has exercised them.
+  double hash_cache_hit_rate = 0.0;
+  uint64_t elements_absorbed = 0;
+  uint64_t elements_dropped = 0;
+};
+
+/// One query's synopsis health: the probes of every synopsis it owns.
+struct QueryHealth {
+  QueryId id = 0;
+  /// "join" or "frequency" (the probe-capable query kinds).
+  std::string kind;
+  /// Estimation method ("skimmed", "agms", ...).
+  std::string method;
+  /// The participating stream name(s), e.g. "f⋈g" or "f".
+  std::string streams;
+  std::vector<SynopsisHealth> synopses;
+};
+
+/// The full engine health picture: every stream's workload profile, every
+/// probe-capable query's synopsis probes, and the rule-based findings
+/// derived from both. Built by Engine::HealthReport().
+struct HealthReport {
+  std::vector<StreamHealth> streams;
+  std::vector<QueryHealth> queries;
+  std::vector<HealthFinding> findings;
+};
+
+/// Renders the full report — stream table, per-query probe rows, findings —
+/// as aligned text (the shell's `health` command).
+std::string RenderHealthReport(const HealthReport& report);
+
+/// Renders just the findings, one `[severity] subject rule: message` line
+/// each, with `{shard="k"}` labels when present (the `doctor` command and
+/// the fleet health artifact). "no findings" when the list is empty.
+std::string RenderHealthFindings(const std::vector<HealthFinding>& findings);
 
 /// One stream arrival as seen by the engine: the join-attribute value, the
 /// count delta (+1 insert / -1 delete), and an optional measure value for
@@ -220,6 +287,30 @@ class Engine {
   /// split.
   metrics::Snapshot MetricsSnapshot() const;
 
+  /// Runtime toggle for the per-stream workload profiler (default on).
+  /// While off, ingestion skips the profiler entirely; already-collected
+  /// profile state is kept and resumes accumulating on re-enable. Under the
+  /// SKIMJOIN_DISABLE_PROFILER compile flag the ingest-path calls are
+  /// compiled out and this toggle has no effect.
+  void SetProfilerEnabled(bool enabled) { profiler_enabled_ = enabled; }
+  bool profiler_enabled() const { return profiler_enabled_; }
+
+  /// The live profile of one stream: heavy hitters, fitted skew, distinct
+  /// estimate, delete ratio (util/stream_profiler.h). Writer-thread only
+  /// (snapshotting walks the heavy-hitter structure). NOT_FOUND for an
+  /// unknown stream.
+  StatusOr<util::StreamProfiler::Snapshot> StreamProfile(
+      const std::string& stream) const;
+
+  /// Assembles the full health picture: every stream's profile, a health
+  /// probe of every join/frequency query's synopses, and the rule-based
+  /// findings derived from both. Also publishes the `query.<id>.health.*`
+  /// gauges. Estimate-priced (skimmed probes run SKIMDENSE on copies) and
+  /// read-only — answers before and after are bit-identical. Writer-thread
+  /// only. (Return type qualified: the member name hides the struct inside
+  /// the class scope.)
+  query::HealthReport HealthReport() const;
+
   /// Attaches an exact frequency reference for accuracy-drift monitoring
   /// of `stream` (pass nullptr to detach). The caller keeps ownership and
   /// must keep `reference` alive and up to date; whenever a query over the
@@ -359,6 +450,10 @@ class Engine {
     // Exact frequencies for accuracy-drift monitoring; caller-owned, null
     // when no reference is attached.
     const stream::FrequencyVector* reference = nullptr;
+    // Live workload profiler, fed from the ingest paths while the runtime
+    // toggle is on. unique_ptr: the profiler's atomic tallies make it
+    // immovable, and StreamStates live in a reallocating vector.
+    std::unique_ptr<util::StreamProfiler> profiler;
   };
 
   /// Cached `query.<id>.*` instrument pointers, created at registration.
@@ -554,6 +649,9 @@ class Engine {
   // Anomaly-event thresholds; +infinity disables emission (the default).
   double drift_warn_threshold_ = std::numeric_limits<double>::infinity();
   double ci_warn_rel_width_ = std::numeric_limits<double>::infinity();
+  // Runtime profiler toggle (see SetProfilerEnabled). Like kernel_options_,
+  // a session-level setting that survives Clear().
+  bool profiler_enabled_ = true;
 };
 
 }  // namespace query

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <limits>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -74,6 +75,13 @@ const std::vector<std::pair<std::string, std::string>>& CommandRegistry() {
           {"trace",
            "trace start|stop|dump <file> — toggle trace recording / write "
            "the Chrome trace (fleet-wide with a distributed backend)"},
+          {"health",
+           "health [<q>|<stream>] — stream profiles, synopsis probes, and "
+           "findings (fleet findings with a distributed backend); the "
+           "optional argument narrows to one query or stream"},
+          {"doctor",
+           "doctor — just the rule-based findings, one line each (fleet-wide "
+           "with a distributed backend)"},
           {"alerts",
            "alerts <rel_error> <ci_width> — warn-event thresholds for "
            "accuracy drift / CI blow-up (inf disables)"},
@@ -678,6 +686,74 @@ bool Shell::ExecuteLine(const std::string& line, std::ostream& out) {
     // oldest first (the frozen schema of util/event_log.h).
     out << "ok " << events.size() << "\n";
     for (const LogEvent& event : events) out << ToJsonLine(event) << "\n";
+    return true;
+  }
+  if (command == "health" || command == "doctor") {
+    if (dist_ != nullptr) {
+      // Fleet mode: the coordinator merges every shard's findings, each
+      // labeled with its origin shard; profiles and probes stay worker-side.
+      std::string extra;
+      if (command == "health" && (fields >> extra)) {
+        Error(out,
+              "health narrowing is not supported with a distributed backend");
+        return true;
+      }
+      StatusOr<HealthReport> fleet = dist_->FleetHealthReport();
+      if (!fleet.ok()) {
+        Error(out, fleet.status());
+        return true;
+      }
+      out << "ok " << fleet->findings.size() << "\n"
+          << RenderHealthFindings(fleet->findings);
+      return true;
+    }
+    HealthReport report = engine_.HealthReport();
+    if (command == "doctor") {
+      out << "ok " << report.findings.size() << "\n"
+          << RenderHealthFindings(report.findings);
+      return true;
+    }
+    if (std::string target; fields >> target) {
+      // Narrow to one query (by shell name) or one stream.
+      std::optional<QueryId> id;
+      if (const auto it = join_query_names_.find(target);
+          it != join_query_names_.end()) {
+        id = it->second;
+      } else if (const auto it = frequency_query_names_.find(target);
+                 it != frequency_query_names_.end()) {
+        id = it->second;
+      }
+      if (id.has_value()) {
+        const std::string subject = "query " + std::to_string(*id);
+        std::erase_if(report.queries, [&](const QueryHealth& query) {
+          return query.id != *id;
+        });
+        report.streams.clear();
+        std::erase_if(report.findings, [&](const HealthFinding& finding) {
+          return finding.subject != subject;
+        });
+      } else {
+        bool known_stream = false;
+        for (const std::string& name : engine_.StreamNames()) {
+          if (name == target) known_stream = true;
+        }
+        if (!known_stream) {
+          Error(out, "unknown join/frequency query or stream: " + target);
+          return true;
+        }
+        const std::string subject = "stream " + target;
+        std::erase_if(report.streams, [&](const StreamHealth& stream) {
+          return stream.stream != target;
+        });
+        report.queries.clear();
+        std::erase_if(report.findings, [&](const HealthFinding& finding) {
+          return finding.subject != subject;
+        });
+      }
+    }
+    // Multi-line by design, like `explain`: "ok" then the health tables
+    // and findings.
+    out << "ok\n" << RenderHealthReport(report);
     return true;
   }
   if (command == "alerts") {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -207,6 +208,15 @@ uint64_t AgmsSketch::MemoryBytes() const {
   uint64_t total = sizeof(*this) + counters_.capacity() * sizeof(int64_t);
   for (const hashing::SignHash& h : signs_) total += h.MemoryBytes();
   return total;
+}
+
+SynopsisHealth AgmsSketch::HealthProbe() const {
+  SynopsisHealth health = ProbeCounters(counters_, config_.num_medians);
+  health.kind = "agms";
+  // Every update touches every cell; occupancy-derived collision pressure
+  // carries no sizing signal here.
+  health.collision_pressure = std::numeric_limits<double>::quiet_NaN();
+  return health;
 }
 
 }  // namespace sketch

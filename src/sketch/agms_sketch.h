@@ -120,6 +120,12 @@ class AgmsSketch {
   /// Reads a record written by SerializeTo.
   static StatusOr<AgmsSketch> DeserializeFrom(std::istream& in);
 
+  /// Read-only health probe. Every AGMS update touches every cell, so
+  /// occupancy carries no sizing signal and collision pressure is NaN;
+  /// the useful fields are the |counter| quantiles and the int32/int64
+  /// saturation headroom.
+  SynopsisHealth HealthProbe() const;
+
   const AgmsConfig& config() const { return config_; }
   uint64_t seed() const { return seed_; }
 

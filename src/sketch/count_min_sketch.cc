@@ -316,5 +316,11 @@ uint64_t CountMinSketch::MemoryBytes() const {
   return total;
 }
 
+SynopsisHealth CountMinSketch::HealthProbe() const {
+  SynopsisHealth health = ProbeCounters(counters_, config_.num_tables);
+  health.kind = "count-min";
+  return health;
+}
+
 }  // namespace sketch
 }  // namespace skimjoin

@@ -114,6 +114,10 @@ class CountMinSketch {
   /// or truncated record.
   static StatusOr<CountMinSketch> DeserializeFrom(std::istream& in);
 
+  /// Read-only health probe (occupancy, |counter| quantiles, saturation
+  /// headroom, collision pressure); see HashSketch::HealthProbe.
+  SynopsisHealth HealthProbe() const;
+
   const CountMinConfig& config() const { return config_; }
   uint64_t seed() const { return seed_; }
 

@@ -340,5 +340,11 @@ uint64_t HashSketch::MemoryBytes() const {
   return total;
 }
 
+SynopsisHealth HashSketch::HealthProbe() const {
+  SynopsisHealth health = ProbeCounters(counters_, config_.num_tables);
+  health.kind = "hash-sketch";
+  return health;
+}
+
 }  // namespace sketch
 }  // namespace skimjoin

@@ -147,6 +147,12 @@ class HashSketch {
   /// malformed or truncated record.
   static StatusOr<HashSketch> DeserializeFrom(std::istream& in);
 
+  /// Read-only health probe: bucket-occupancy quantiles, |counter|
+  /// order statistics with int32/int64 saturation headroom, and estimated
+  /// collision pressure (see util::SynopsisHealth). Never mutates the
+  /// sketch; runs at health/report time, not on the ingest path.
+  SynopsisHealth HealthProbe() const;
+
   const HashSketchConfig& config() const { return config_; }
   uint64_t seed() const { return seed_; }
 

@@ -2,12 +2,93 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/stats.h"
 #include "util/table_printer.h"
 
 namespace skimjoin {
+
+SynopsisHealth ProbeCounters(std::span<const int64_t> counters,
+                             uint64_t num_tables) {
+  SynopsisHealth health;
+  health.total_counters = counters.size();
+  if (counters.empty()) return health;
+  if (num_tables == 0 || counters.size() % num_tables != 0) num_tables = 1;
+  const uint64_t buckets = counters.size() / num_tables;
+
+  std::vector<double> magnitudes;
+  magnitudes.reserve(counters.size());
+  uint64_t nonzero = 0;
+  double occupancy_min = 1.0, occupancy_max = 0.0;
+  for (uint64_t table = 0; table < num_tables; ++table) {
+    uint64_t table_nonzero = 0;
+    for (uint64_t bucket = 0; bucket < buckets; ++bucket) {
+      const int64_t counter = counters[table * buckets + bucket];
+      if (counter == 0) continue;
+      ++table_nonzero;
+      magnitudes.push_back(std::fabs(static_cast<double>(counter)));
+    }
+    const double table_occupancy =
+        static_cast<double>(table_nonzero) / static_cast<double>(buckets);
+    occupancy_min = std::min(occupancy_min, table_occupancy);
+    occupancy_max = std::max(occupancy_max, table_occupancy);
+    nonzero += table_nonzero;
+  }
+  health.occupancy =
+      static_cast<double>(nonzero) / static_cast<double>(counters.size());
+  health.occupancy_min_table = nonzero == 0 ? 0.0 : occupancy_min;
+  health.occupancy_max_table = occupancy_max;
+  if (!magnitudes.empty()) {
+    std::sort(magnitudes.begin(), magnitudes.end());
+    health.counter_p50 = Percentile(magnitudes, 0.50);
+    health.counter_p99 = Percentile(magnitudes, 0.99);
+    health.counter_max = magnitudes.back();
+  }
+  health.int32_saturation =
+      health.counter_p99 /
+      static_cast<double>(std::numeric_limits<int32_t>::max());
+  health.int64_saturation =
+      health.counter_max /
+      static_cast<double>(std::numeric_limits<int64_t>::max());
+
+  // Invert mean occupancy into an estimated distinct count per table
+  // (balls-into-bins: occ = 1 - (1 - 1/b)^n), then normalize per bucket.
+  // Full tables pin occ just below 1 so the estimate stays finite.
+  if (buckets > 1) {
+    const double b = static_cast<double>(buckets);
+    const double occ =
+        std::min(health.occupancy, 1.0 - 1.0 / (2.0 * b));
+    const double estimated_distinct =
+        occ > 0.0 ? std::log(1.0 - occ) / std::log(1.0 - 1.0 / b) : 0.0;
+    health.collision_pressure = estimated_distinct / b;
+  }
+  return health;
+}
+
+std::string DescribeSynopsisHealth(const SynopsisHealth& health) {
+  std::string value =
+      "occ " + TablePrinter::FormatDouble(health.occupancy, 2) + ", p99 " +
+      TablePrinter::FormatDouble(health.counter_p99) + " (" +
+      TablePrinter::FormatDouble(100.0 * health.int32_saturation, 1) +
+      "% of int32)";
+  if (!std::isnan(health.collision_pressure)) {
+    value += ", " + TablePrinter::FormatDouble(health.collision_pressure, 2) +
+             " values/bucket";
+  }
+  if (!std::isnan(health.residual_ratio)) {
+    value +=
+        ", residual " + TablePrinter::FormatDouble(health.residual_ratio, 2);
+    if (!std::isnan(health.residual_ratio_at_estimate)) {
+      value +=
+          " (vs " +
+          TablePrinter::FormatDouble(health.residual_ratio_at_estimate, 2) +
+          " at estimate)";
+    }
+  }
+  return value;
+}
 
 double EstimateReport::CiRelWidth() const {
   const double scale = std::max(1.0, std::fabs(estimate));
@@ -71,6 +152,12 @@ std::string RenderEstimateReport(const EstimateReport& report) {
         {"skim.sparse_dense", TablePrinter::FormatDouble(skim.sparse_dense)});
     table.AddRow(
         {"skim.sparse_sparse", TablePrinter::FormatDouble(skim.sparse_sparse)});
+  }
+  for (const SynopsisHealth& health : report.health) {
+    const std::string prefix =
+        "health." + (health.role.empty() ? health.kind
+                                         : health.kind + "." + health.role);
+    table.AddRow({prefix, DescribeSynopsisHealth(health)});
   }
   if (!report.shards.empty()) {
     table.AddRow({"partial", report.partial ? "yes" : "no"});

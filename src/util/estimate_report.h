@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,68 @@ struct SkimDiagnostics {
   }
 };
 
+/// A point-in-time health probe of one synopsis: is this sketch sized and
+/// behaving right for the stream it has absorbed? Like SkimDiagnostics,
+/// this is pure data living in util/ so every synopsis family (sketch/,
+/// core/) can fill one in and every consumer (query engine, shell, dist
+/// coordinator) can read it without new inter-layer dependencies. Probes
+/// are read-only and run at HEALTH time, never on the ingest path.
+struct SynopsisHealth {
+  /// Synopsis family, e.g. "hash-sketch", "count-min", "agms", "skimmed",
+  /// "dyadic".
+  std::string kind;
+  /// Which side of a pair this probe describes ("f"/"g"), or "" for a
+  /// standalone synopsis.
+  std::string role;
+  /// Counters probed.
+  uint64_t total_counters = 0;
+  /// Fraction of counters that are nonzero, overall and as the min/max
+  /// across tables (bucket-occupancy quantiles: a lopsided table hints at
+  /// a weak hash interaction or a pathological value distribution).
+  double occupancy = 0.0;
+  double occupancy_min_table = 0.0;
+  double occupancy_max_table = 0.0;
+  /// |counter| order statistics over the NONZERO counters (0 when all
+  /// counters are zero).
+  double counter_p50 = 0.0;
+  double counter_p99 = 0.0;
+  double counter_max = 0.0;
+  /// Counter-saturation headroom: p99 |counter| as a fraction of int32's
+  /// range (the slim-view narrowing threshold) and max |counter| as a
+  /// fraction of int64's (true overflow).
+  double int32_saturation = 0.0;
+  double int64_saturation = 0.0;
+  /// Estimated distinct values hashed per bucket, inverted from mean
+  /// occupancy (n̂ = ln(1-occ)/ln(1-1/b), pressure = n̂/b). NaN for
+  /// synopses where every update touches every counter (AGMS).
+  double collision_pressure = std::numeric_limits<double>::quiet_NaN();
+  /// Skimmed sketches only; NaN elsewhere. The current skim's dense-value
+  /// fraction of the domain and residual-to-original L2 ratio, next to the
+  /// values recorded at the last ESTIMATE-path SKIMDENSE — drift between
+  /// them means answers are being served from an increasingly stale
+  /// picture of which values are dense.
+  double dense_fraction = std::numeric_limits<double>::quiet_NaN();
+  double residual_ratio = std::numeric_limits<double>::quiet_NaN();
+  double dense_fraction_at_estimate =
+      std::numeric_limits<double>::quiet_NaN();
+  double residual_ratio_at_estimate =
+      std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Fills the counter-derived fields of a SynopsisHealth (occupancy,
+/// |counter| quantiles, saturation, collision pressure) from a row-major
+/// counter array of `num_tables` equal tables. The caller sets kind/role
+/// and any family-specific fields. `num_tables` == 0 or a size that does
+/// not divide evenly degrades to one whole-array "table".
+SynopsisHealth ProbeCounters(std::span<const int64_t> counters,
+                             uint64_t num_tables);
+
+/// Compact one-line description of a probe, e.g. "occ 0.93, p99 1824
+/// (0.0% of int32), 3.1 values/bucket, residual 0.40 (vs 0.38 at
+/// estimate)". Shared by RenderEstimateReport and the engine's health
+/// renderer so both read the same.
+std::string DescribeSynopsisHealth(const SynopsisHealth& health);
+
 /// One shard's contribution to a distributed (coordinator-merged) answer:
 /// which worker it came from, how healthy that worker looked at answer
 /// time, and whether its delta was refreshed in the answering pull round
@@ -118,6 +181,11 @@ struct EstimateReport {
   double apriori_bound = std::numeric_limits<double>::quiet_NaN();
   /// Present only for skimmed-sketch join estimates.
   std::optional<SkimDiagnostics> skim;
+  /// Synopsis health probes taken at answer time (one per synopsis behind
+  /// the estimate, e.g. the f and g sketches of a join pair). Optional:
+  /// empty when the answering layer did not attach probes. Never affects
+  /// `estimate` — probes are read-only observers.
+  std::vector<SynopsisHealth> health;
   /// Distributed answers only: true when at least one shard's contribution
   /// was stale or missing — the answer is degraded, not exact-merge.
   bool partial = false;

@@ -1,0 +1,267 @@
+#include "util/stream_profiler.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace skimjoin {
+namespace util {
+
+namespace {
+
+/// Generalized harmonic number H_n(z) = Σ_{r=1..n} r^-z: exact head sum
+/// plus a midpoint-continuity integral tail, so snapshot-time evaluation
+/// stays cheap for domains in the millions.
+double GeneralizedHarmonic(double n, double z) {
+  constexpr uint64_t kExactHead = 2048;
+  const uint64_t head =
+      std::min<uint64_t>(static_cast<uint64_t>(n), kExactHead);
+  double sum = 0.0;
+  for (uint64_t r = 1; r <= head; ++r) {
+    sum += std::pow(static_cast<double>(r), -z);
+  }
+  if (n > static_cast<double>(head)) {
+    const double a = static_cast<double>(head) + 0.5;
+    const double b = n + 0.5;
+    if (std::fabs(z - 1.0) < 1e-9) {
+      sum += std::log(b / a);
+    } else {
+      sum += (std::pow(b, 1.0 - z) - std::pow(a, 1.0 - z)) / (1.0 - z);
+    }
+  }
+  return sum;
+}
+
+/// True iff k lies cyclically in (i, j] — the backshift-deletion test for
+/// "the element probing from k may not be moved across the hole at i".
+bool CyclicBetween(uint64_t i, uint64_t k, uint64_t j) {
+  return i <= j ? (i < k && k <= j) : (i < k || k <= j);
+}
+
+}  // namespace
+
+StreamProfiler::StreamProfiler(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  entries_.reserve(capacity_);
+  heap_.reserve(capacity_);
+  size_t index_size = 8;
+  while (index_size < 4 * capacity_) index_size <<= 1;
+  index_.assign(index_size, IndexSlot{});
+  index_mask_ = index_size - 1;
+}
+
+void StreamProfiler::Reset() {
+  entries_.clear();
+  heap_.clear();
+  min_count_ = 0;
+  live_ = 0;
+  index_.assign(index_.size(), IndexSlot{});
+  observations_.store(0, std::memory_order_relaxed);
+  insert_mass_.store(0, std::memory_order_relaxed);
+  delete_mass_.store(0, std::memory_order_relaxed);
+  net_mass_.store(0, std::memory_order_relaxed);
+  for (uint8_t& r : distinct_registers_) r = 0;
+}
+
+void StreamProfiler::IndexInsert(uint64_t value, uint32_t entry) {
+  uint64_t i = Mix(value) & index_mask_;
+  while (index_[i].entry != kFreeSlot) i = (i + 1) & index_mask_;
+  index_[i].value = value;
+  index_[i].entry = entry;
+}
+
+void StreamProfiler::IndexErase(uint64_t value) {
+  uint64_t i = Mix(value) & index_mask_;
+  while (index_[i].entry == kFreeSlot || index_[i].value != value) {
+    i = (i + 1) & index_mask_;
+  }
+  // Backshift deletion: pull probe-chain successors into the hole so no
+  // tombstones accumulate under eviction churn.
+  uint64_t j = i;
+  for (;;) {
+    j = (j + 1) & index_mask_;
+    if (index_[j].entry == kFreeSlot) {
+      index_[i].entry = kFreeSlot;
+      return;
+    }
+    const uint64_t home = Mix(index_[j].value) & index_mask_;
+    if (!CyclicBetween(i, home, j)) {
+      index_[i] = index_[j];
+      i = j;
+    }
+  }
+}
+
+bool StreamProfiler::HeapLess(uint32_t entry_a, uint32_t entry_b) const {
+  return entries_[entry_a].count < entries_[entry_b].count;
+}
+
+void StreamProfiler::HeapSwap(uint32_t pos_a, uint32_t pos_b) {
+  std::swap(heap_[pos_a], heap_[pos_b]);
+  entries_[heap_[pos_a]].heap_pos = pos_a;
+  entries_[heap_[pos_b]].heap_pos = pos_b;
+}
+
+void StreamProfiler::SiftUp(uint32_t heap_pos) {
+  while (heap_pos > 0) {
+    const uint32_t parent = (heap_pos - 1) / 2;
+    if (!HeapLess(heap_[heap_pos], heap_[parent])) return;
+    HeapSwap(heap_pos, parent);
+    heap_pos = parent;
+  }
+}
+
+void StreamProfiler::SiftDown(uint32_t heap_pos) {
+  const uint32_t size = static_cast<uint32_t>(heap_.size());
+  for (;;) {
+    uint32_t smallest = heap_pos;
+    const uint32_t left = 2 * heap_pos + 1;
+    const uint32_t right = 2 * heap_pos + 2;
+    if (left < size && HeapLess(heap_[left], heap_[smallest])) {
+      smallest = left;
+    }
+    if (right < size && HeapLess(heap_[right], heap_[smallest])) {
+      smallest = right;
+    }
+    if (smallest == heap_pos) return;
+    HeapSwap(heap_pos, smallest);
+    heap_pos = smallest;
+  }
+}
+
+void StreamProfiler::AdmitFresh(uint64_t value, int64_t count) {
+  const uint32_t index = static_cast<uint32_t>(entries_.size());
+  entries_.push_back(Entry{value, count, 0, index});
+  heap_.push_back(index);
+  ++live_;
+  SiftUp(index);
+  IndexInsert(value, index);
+  min_count_ = entries_[heap_[0]].count;
+}
+
+void StreamProfiler::ReplaceMin(uint64_t value, int64_t candidate,
+                                uint32_t& cell) {
+  // Eviction: the displaced entry banks its count back into its own filter
+  // cell (so it can re-enter at full strength later), and the admitted
+  // value inherits its cell's accumulated mass — the cell is the bound on
+  // how much of the new count belongs to colliding values, so it becomes
+  // the entry's error term. The cell is then drained: its mass now lives
+  // in the monitored entry.
+  const uint32_t victim = heap_[0];
+  Entry& evicted = entries_[victim];
+  IndexErase(evicted.value);
+  uint64_t evicted_slot = 0;
+  (void)FindEntry(evicted.value, Mix(evicted.value), &evicted_slot);
+  uint32_t& evicted_cell = index_[evicted_slot].filter_mass;
+  const int64_t writeback = evicted.count < 0 ? 0 : evicted.count;
+  if (writeback > static_cast<int64_t>(evicted_cell)) {
+    evicted_cell = writeback > static_cast<int64_t>(UINT32_MAX)
+                       ? UINT32_MAX
+                       : static_cast<uint32_t>(writeback);
+  }
+  evicted.value = value;
+  evicted.error = static_cast<int64_t>(cell);
+  evicted.count = candidate;
+  cell = 0;
+  IndexInsert(value, victim);
+  SiftDown(evicted.heap_pos);
+  min_count_ = entries_[heap_[0]].count;
+}
+
+StreamProfiler::Snapshot StreamProfiler::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.observations = observations_.load(std::memory_order_relaxed);
+  snapshot.insert_mass = insert_mass_.load(std::memory_order_relaxed);
+  snapshot.delete_mass = delete_mass_.load(std::memory_order_relaxed);
+  snapshot.net_mass = net_mass_.load(std::memory_order_relaxed);
+  const double churn = static_cast<double>(snapshot.insert_mass) +
+                       static_cast<double>(snapshot.delete_mass);
+  snapshot.delete_ratio =
+      churn > 0.0 ? static_cast<double>(snapshot.delete_mass) / churn : 0.0;
+
+  // HLL estimate over the 64 registers, with the standard small-range
+  // (linear counting) correction.
+  constexpr double kAlpha64 = 0.709;
+  constexpr double kRegisters = static_cast<double>(kDistinctRegisters);
+  double inverse_sum = 0.0;
+  size_t zero_registers = 0;
+  for (const uint8_t r : distinct_registers_) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zero_registers;
+  }
+  double distinct = kAlpha64 * kRegisters * kRegisters / inverse_sum;
+  if (distinct <= 2.5 * kRegisters && zero_registers > 0) {
+    distinct = kRegisters *
+               std::log(kRegisters / static_cast<double>(zero_registers));
+  }
+  snapshot.distinct_estimate = distinct;
+  snapshot.distinct_rate =
+      snapshot.observations > 0
+          ? distinct / static_cast<double>(snapshot.observations)
+          : 0.0;
+
+  snapshot.heavy_hitters.reserve(entries_.size());
+  uint64_t stable_count = 0;
+  double stable_mass = 0.0;
+  double guaranteed_mass = 0.0;
+  for (const Entry& entry : entries_) {
+    snapshot.heavy_hitters.push_back(
+        HeavyHitter{entry.value, entry.count, entry.error});
+    if (entry.count > entry.error) {
+      guaranteed_mass += static_cast<double>(entry.count - entry.error);
+    }
+    // "Stable" entries — long-resident, error at most half the count — are
+    // the trustworthy top of the distribution the skew fit leans on.
+    if (entry.count > 0 && 2 * entry.error <= entry.count) {
+      ++stable_count;
+      stable_mass += static_cast<double>(entry.count - entry.error);
+    }
+  }
+  std::sort(snapshot.heavy_hitters.begin(), snapshot.heavy_hitters.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              return a.count != b.count ? a.count > b.count
+                                        : a.value < b.value;
+            });
+  snapshot.heavy_mass_fraction =
+      snapshot.insert_mass > 0
+          ? guaranteed_mass / static_cast<double>(snapshot.insert_mass)
+          : 0.0;
+
+  const double stable_fraction =
+      snapshot.insert_mass > 0
+          ? stable_mass / static_cast<double>(snapshot.insert_mass)
+          : 0.0;
+  snapshot.skew =
+      FitZipfExponentFromHeavyMass(stable_count, distinct, stable_fraction);
+  return snapshot;
+}
+
+double FitZipfExponentFromHeavyMass(uint64_t stable_count, double distinct,
+                                    double mass_fraction) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  if (stable_count == 0 || !(mass_fraction > 0.0)) return kNaN;
+  if (!(distinct > static_cast<double>(stable_count) + 0.5)) return kNaN;
+  const double target = std::min(mass_fraction, 1.0);
+  const double top = static_cast<double>(stable_count);
+  // Fraction of a Zipf(z) distribution's mass covered by its top ranks —
+  // increasing in z, so a bisection pins the exponent.
+  const auto covered = [&](double z) {
+    return GeneralizedHarmonic(top, z) / GeneralizedHarmonic(distinct, z);
+  };
+  double lo = 0.0, hi = 5.0;
+  if (target <= covered(lo)) return 0.0;
+  if (target >= covered(hi)) return hi;
+  for (int iteration = 0; iteration < 64; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    if (covered(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace util
+}  // namespace skimjoin

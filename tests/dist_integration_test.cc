@@ -203,6 +203,70 @@ TEST(DistIntegrationTest, AllHealthyAnswersMatchLocalEngineBitForBit) {
   EXPECT_FALSE(report->partial);
 }
 
+// ---- fleet health acceptance --------------------------------------------
+
+// The fleet doctor: an undersized sketch saturated on every shard must
+// surface the collision finding from EACH worker process, labeled with its
+// shard index, naming the worker-local query id and the joined streams.
+TEST(DistIntegrationTest, FleetHealthReportLabelsShardFindings) {
+  const std::string dir = ::testing::TempDir();
+  WorkerProcess w0(dir + "/int_health_0.sock", "s0", "", 0);
+  WorkerProcess w1(dir + "/int_health_1.sock", "s1", "", 0);
+  ASSERT_NO_FATAL_FAILURE(w0.Start());
+  ASSERT_NO_FATAL_FAILURE(w1.Start());
+
+  Coordinator coordinator(
+      {{"s0", w0.socket_path()}, {"s1", w1.socket_path()}}, FastOptions());
+  constexpr uint64_t kDomain = 1u << 13;
+  for (const auto& stream : {query::StreamSpec{"f", kDomain},
+                             query::StreamSpec{"g", kDomain}}) {
+    ASSERT_TRUE(coordinator.RegisterStream(stream).ok());
+  }
+  query::JoinQuerySpec spec;
+  spec.left_stream = "f";
+  spec.right_stream = "g";
+  spec.estimator.kind = core::EstimatorKind::kHashSketch;
+  spec.estimator.space_counters = 128;  // undersized for 4096 values/shard
+  StatusOr<query::QueryId> join = coordinator.AddJoinQuery(spec, 17);
+  ASSERT_TRUE(join.ok()) << join.status();
+
+  // Sweep the whole domain so each shard's half saturates its sketch.
+  std::vector<query::StreamUpdate> sweep;
+  sweep.reserve(kDomain);
+  for (uint64_t value = 0; value < kDomain; ++value) {
+    sweep.push_back({value, 1, 0});
+  }
+  ASSERT_TRUE(coordinator.UpdateBatch("f", sweep).ok());
+  ASSERT_TRUE(coordinator.UpdateBatch("g", sweep).ok());
+
+  StatusOr<query::HealthReport> fleet = coordinator.FleetHealthReport();
+  ASSERT_TRUE(fleet.ok()) << fleet.status();
+  std::set<std::string> shards_reporting;
+  for (const query::HealthFinding& finding : fleet->findings) {
+    EXPECT_FALSE(finding.shard.empty()) << finding.message;
+    if (finding.rule != "collision-pressure") continue;
+    shards_reporting.insert(finding.shard);
+    EXPECT_EQ(finding.subject, "query 1");
+    EXPECT_NE(finding.message.find("f⋈g"), std::string::npos)
+        << finding.message;
+  }
+  EXPECT_EQ(shards_reporting, (std::set<std::string>{"0", "1"}));
+
+  // A killed shard becomes an `unreachable` finding instead of vanishing.
+  w1.Kill();
+  fleet = coordinator.FleetHealthReport();
+  ASSERT_TRUE(fleet.ok()) << fleet.status();
+  bool saw_unreachable = false;
+  for (const query::HealthFinding& finding : fleet->findings) {
+    if (finding.rule == "unreachable") {
+      saw_unreachable = true;
+      EXPECT_EQ(finding.subject, "shard s1");
+      EXPECT_EQ(finding.shard, "1");
+    }
+  }
+  EXPECT_TRUE(saw_unreachable);
+}
+
 // ---- fleet telemetry acceptance ----------------------------------------
 
 // Lightweight Chrome-trace scanner: yields each top-level event object of

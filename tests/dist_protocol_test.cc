@@ -211,6 +211,51 @@ TEST(TraceCodec, ControlAndEventsRoundTrip) {
   EXPECT_EQ(decoded->events[0].parent_span_id, 0x5555666677778888ull);
 }
 
+TEST(HealthReportCodec, RoundTripsSeveritiesAndFreeText) {
+  HealthReportMsg msg;
+  msg.findings.push_back({query::HealthFinding::Severity::kInfo, "stream f",
+                          "delete-heavy", "delete ratio 0.40", ""});
+  msg.findings.push_back({query::HealthFinding::Severity::kWarn, "query 3",
+                          "collision-pressure",
+                          "hash-sketch.f occupancy 0.99 over f⋈g — the "
+                          "sketch is undersized for this stream",
+                          ""});
+  msg.findings.push_back({query::HealthFinding::Severity::kCritical,
+                          "query 7", "counter-saturation",
+                          "with: colons, 5:5 blobs and\nnewlines", ""});
+
+  StatusOr<HealthReportMsg> decoded =
+      DecodeHealthReport(EncodeHealthReport(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->findings.size(), 3u);
+  for (size_t i = 0; i < msg.findings.size(); ++i) {
+    EXPECT_EQ(decoded->findings[i].severity, msg.findings[i].severity);
+    EXPECT_EQ(decoded->findings[i].subject, msg.findings[i].subject);
+    EXPECT_EQ(decoded->findings[i].rule, msg.findings[i].rule);
+    EXPECT_EQ(decoded->findings[i].message, msg.findings[i].message);
+    // The shard label never rides the wire: the coordinator assigns it.
+    EXPECT_TRUE(decoded->findings[i].shard.empty());
+  }
+
+  StatusOr<HealthReportMsg> empty = DecodeHealthReport(EncodeHealthReport({}));
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_TRUE(empty->findings.empty());
+}
+
+TEST(HealthReportCodec, RejectsBadSeverityAndTrailingBytes) {
+  HealthReportMsg msg;
+  msg.findings.push_back(
+      {query::HealthFinding::Severity::kWarn, "s", "r", "m", ""});
+  const std::string wire = EncodeHealthReport(msg);
+  EXPECT_FALSE(DecodeHealthReport(wire + " junk").ok());
+  // Severity beyond kCritical is a protocol violation, not a cast.
+  std::string bad = wire;
+  const size_t severity_at = bad.find(" 1 ");
+  ASSERT_NE(severity_at, std::string::npos);
+  bad.replace(severity_at, 3, " 9 ");
+  EXPECT_FALSE(DecodeHealthReport(bad).ok());
+}
+
 // ---------------------------------------------------------------------------
 // Hardening: hostile payloads return a Status, never crash or over-allocate.
 // ---------------------------------------------------------------------------
@@ -220,6 +265,7 @@ TEST(TelemetryCodecHardening, HugeDeclaredCountsAreRejectedBeforeAllocation) {
   // try to reserve the vector.
   EXPECT_FALSE(DecodeEventBatch("1152921504606846976 ").ok());
   EXPECT_FALSE(DecodeTraceEvents("0 0 1152921504606846976 ").ok());
+  EXPECT_FALSE(DecodeHealthReport("1152921504606846976 ").ok());
   // A relation update declaring more tuples than kMaxWireBatchElements.
   EXPECT_FALSE(DecodeRelationUpdate("r 1 99999999999 1 1").ok());
 }
@@ -249,6 +295,8 @@ TEST(TelemetryCodecHardening, DecodersSurviveEveryTruncation) {
       EncodeTraceEvents(trace),
       EncodeRelationUpdate({"r", 2, {{{1, 2}, 1}}}),
       EncodeChainQueryReg({"q", {"r1", "r2"}, 0, 8, 3, 3, 16, 5}),
+      EncodeHealthReport(
+          {{{query::HealthFinding::Severity::kWarn, "s", "r", "m", ""}}}),
   };
   for (const std::string& payload : payloads) {
     for (size_t len = 0; len < payload.size(); ++len) {
@@ -260,6 +308,7 @@ TEST(TelemetryCodecHardening, DecodersSurviveEveryTruncation) {
       (void)DecodeTraceEvents(prefix);
       (void)DecodeRelationUpdate(prefix);
       (void)DecodeChainQueryReg(prefix);
+      (void)DecodeHealthReport(prefix);
     }
   }
 }

@@ -842,6 +842,124 @@ TEST(ShellTest, MetricsFallsBackToCoordinatorLocalWithABanner) {
             "error: no distributed backend attached");
 }
 
+// ---- logs --shard composed with the level filter -----------------------
+
+// Satellite pin: `logs --shard <k>` and a level token compose in either
+// token order.
+TEST(ShellTest, LogsShardFilterComposesWithLevelInEitherOrder) {
+  EventLog::Global().Clear();
+  FleetFakeBackend backend;
+  Shell shell;
+  shell.set_dist_backend(&backend);
+  EventLog::Global().Emit(LogLevel::kWarn, "victim_warn",
+                          {{"origin_shard", "1"}, {"origin_seq", "18"}});
+  EventLog::Global().Emit(LogLevel::kWarn, "bystander_warn",
+                          {{"origin_shard", "0"}, {"origin_seq", "4"}});
+
+  for (const char* line : {"logs --shard 1 warn", "logs warn --shard 1"}) {
+    std::ostringstream out;
+    EXPECT_TRUE(shell.ExecuteLine(line, out));
+    const std::string logs = out.str();
+    EXPECT_EQ(logs.rfind("ok 1\n", 0), 0u) << line << " -> " << logs;
+    EXPECT_NE(logs.find("victim_warn"), std::string::npos) << line;
+    // The refresh scrape's info-level fleet_probe is filtered by `warn`,
+    // shard 0's warn by the shard filter.
+    EXPECT_EQ(logs.find("fleet_probe"), std::string::npos) << line;
+    EXPECT_EQ(logs.find("bystander_warn"), std::string::npos) << line;
+  }
+  EventLog::Global().Clear();
+}
+
+// ---- health & doctor ----------------------------------------------------
+
+TEST(ShellTest, HealthRendersReportDoctorRendersFindings) {
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "stream f 2048"), "ok");
+  ASSERT_EQ(Exec(&shell, "stream g 2048"), "ok");
+  ASSERT_EQ(Exec(&shell, "join q f g hash-sketch 64"), "ok");
+  for (uint64_t value = 0; value < 2048; ++value) {
+    ASSERT_EQ(Exec(&shell, "update f " + std::to_string(value)), "ok");
+    ASSERT_EQ(Exec(&shell, "update g " + std::to_string(value)), "ok");
+  }
+
+  const std::string health = Exec(&shell, "health");
+  EXPECT_EQ(health.rfind("ok\n", 0), 0u) << health;
+  EXPECT_NE(health.find("stream health"), std::string::npos) << health;
+  EXPECT_NE(health.find("synopsis health"), std::string::npos) << health;
+  EXPECT_NE(health.find("collision-pressure"), std::string::npos) << health;
+
+  const std::string doctor = Exec(&shell, "doctor");
+  EXPECT_EQ(doctor.rfind("ok ", 0), 0u) << doctor;
+  EXPECT_NE(doctor.find("collision-pressure"), std::string::npos) << doctor;
+  EXPECT_NE(doctor.find("[warn] query "), std::string::npos) << doctor;
+  // The doctor prints findings only, never the tables.
+  EXPECT_EQ(doctor.find("stream health"), std::string::npos) << doctor;
+}
+
+TEST(ShellTest, HealthNarrowsToQueryOrStream) {
+  Shell shell;
+  ASSERT_EQ(Exec(&shell, "stream f 2048"), "ok");
+  ASSERT_EQ(Exec(&shell, "stream g 2048"), "ok");
+  ASSERT_EQ(Exec(&shell, "join q f g hash-sketch 64"), "ok");
+  ASSERT_EQ(Exec(&shell, "update f 7"), "ok");
+
+  const std::string by_query = Exec(&shell, "health q");
+  EXPECT_EQ(by_query.rfind("ok\n", 0), 0u) << by_query;
+  EXPECT_NE(by_query.find("synopsis health"), std::string::npos) << by_query;
+  EXPECT_EQ(by_query.find("| f "), std::string::npos) << by_query;
+
+  const std::string by_stream = Exec(&shell, "health f");
+  EXPECT_EQ(by_stream.rfind("ok\n", 0), 0u) << by_stream;
+  EXPECT_NE(by_stream.find("stream health"), std::string::npos) << by_stream;
+  EXPECT_EQ(by_stream.find("hash-sketch"), std::string::npos) << by_stream;
+
+  EXPECT_EQ(Exec(&shell, "health nope"),
+            "error: unknown join/frequency query or stream: nope");
+}
+
+// Fleet-capable health double: canned shard-labeled findings.
+class FleetHealthBackend : public FleetFakeBackend {
+ public:
+  StatusOr<HealthReport> FleetHealthReport() override {
+    HealthReport report;
+    report.findings.push_back({HealthFinding::Severity::kWarn, "query 1",
+                               "collision-pressure",
+                               "hash-sketch.f occupancy 0.99 over f\u2a1dg — "
+                               "the sketch is undersized for this stream",
+                               "0"});
+    report.findings.push_back({HealthFinding::Severity::kCritical, "shard s1",
+                               "unreachable", "connect refused", "1"});
+    return report;
+  }
+};
+
+TEST(ShellTest, HealthAndDoctorGoFleetWideWithABackend) {
+  FleetHealthBackend backend;
+  Shell shell;
+  shell.set_dist_backend(&backend);
+
+  for (const char* line : {"health", "doctor"}) {
+    const std::string response = Exec(&shell, line);
+    EXPECT_EQ(response.rfind("ok 2\n", 0), 0u) << line << " -> " << response;
+    EXPECT_NE(response.find("[warn] query 1{shard=\"0\"} collision-pressure"),
+              std::string::npos)
+        << response;
+    EXPECT_NE(response.find("[critical] shard s1{shard=\"1\"} unreachable"),
+              std::string::npos)
+        << response;
+  }
+
+  // Narrowing is a local-engine feature.
+  EXPECT_EQ(Exec(&shell, "health q"),
+            "error: health narrowing is not supported with a distributed "
+            "backend");
+
+  // A pre-health backend reports the unimplemented status as an error.
+  FakeDistBackend legacy;
+  shell.set_dist_backend(&legacy);
+  EXPECT_EQ(Exec(&shell, "health").rfind("error:", 0), 0u);
+}
+
 }  // namespace
 }  // namespace query
 }  // namespace skimjoin

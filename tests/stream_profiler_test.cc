@@ -1,0 +1,203 @@
+// util/stream_profiler accuracy and bookkeeping tests. The accuracy
+// contract pinned here is the one OBSERVABILITY.md advertises: on seeded
+// Zipf workloads the fitted skew lands within ±0.15 of the generator's
+// exponent, and heavy-hitter recall against exact counts is at least 0.9.
+
+#include "util/stream_profiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/frequency_vector.h"
+#include "stream/stream_element.h"
+#include "stream/zipf.h"
+#include "util/random.h"
+
+namespace skimjoin {
+namespace util {
+namespace {
+
+constexpr uint64_t kDomain = 8192;
+constexpr uint64_t kElements = 1u << 20;
+
+// One seeded Zipf(z) stream fed through a profiler, alongside the exact
+// frequency vector for reference.
+struct ProfiledStream {
+  StreamProfiler profiler;
+  stream::FrequencyVector exact{kDomain};
+};
+
+void FeedZipf(double z, uint64_t seed, ProfiledStream* out) {
+  Rng rng(seed);
+  const stream::ZipfDistribution distribution(kDomain, z);
+  const std::vector<stream::StreamElement> elements =
+      distribution.GenerateElements(kElements, &rng);
+  for (const stream::StreamElement& element : elements) {
+    out->profiler.Observe(element.value, element.weight);
+    out->exact.Apply(element);
+  }
+}
+
+TEST(StreamProfilerTest, TalliesAndDeleteRatio) {
+  StreamProfiler profiler;
+  profiler.Observe(1, 6);
+  profiler.Observe(2, 3);
+  profiler.Observe(1, -3);
+  const StreamProfiler::Snapshot snapshot = profiler.TakeSnapshot();
+  EXPECT_EQ(snapshot.observations, 3u);
+  EXPECT_EQ(snapshot.insert_mass, 9u);
+  EXPECT_EQ(snapshot.delete_mass, 3u);
+  EXPECT_EQ(snapshot.net_mass, 6);
+  EXPECT_DOUBLE_EQ(snapshot.delete_ratio, 0.25);
+}
+
+TEST(StreamProfilerTest, EmptySnapshotIsAllZeroAndUnfitted) {
+  StreamProfiler profiler;
+  const StreamProfiler::Snapshot snapshot = profiler.TakeSnapshot();
+  EXPECT_EQ(snapshot.observations, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.delete_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.heavy_mass_fraction, 0.0);
+  EXPECT_TRUE(std::isnan(snapshot.skew));
+  EXPECT_TRUE(snapshot.heavy_hitters.empty());
+}
+
+// Below capacity every value is monitored with zero inherited error, so the
+// heavy-hitter counts are exact.
+TEST(StreamProfilerTest, ExactCountsUnderCapacity) {
+  StreamProfiler profiler(/*capacity=*/16);
+  for (uint64_t value = 0; value < 10; ++value) {
+    for (uint64_t repeat = 0; repeat <= value; ++repeat) {
+      profiler.Observe(value, 1);
+    }
+  }
+  const StreamProfiler::Snapshot snapshot = profiler.TakeSnapshot();
+  ASSERT_EQ(snapshot.heavy_hitters.size(), 10u);
+  EXPECT_EQ(snapshot.heavy_hitters.front().value, 9u);
+  EXPECT_EQ(snapshot.heavy_hitters.front().count, 10);
+  for (const StreamProfiler::HeavyHitter& hitter : snapshot.heavy_hitters) {
+    EXPECT_EQ(hitter.error, 0);
+    EXPECT_EQ(hitter.count, static_cast<int64_t>(hitter.value) + 1);
+  }
+}
+
+// Satellite accuracy pin: fitted Zipf exponent within ±0.15 across the
+// skews the paper's evaluation sweeps.
+TEST(StreamProfilerTest, SkewFitAcrossZipfExponents) {
+  const double skews[] = {0.5, 1.0, 1.5};
+  uint64_t seed = 101;
+  for (const double z : skews) {
+    ProfiledStream fed;
+    FeedZipf(z, seed++, &fed);
+    const StreamProfiler::Snapshot snapshot = fed.profiler.TakeSnapshot();
+    ASSERT_FALSE(std::isnan(snapshot.skew)) << "z=" << z;
+    EXPECT_NEAR(snapshot.skew, z, 0.15) << "z=" << z;
+  }
+}
+
+// Recall against exact counts: every value whose true frequency clears
+// twice the SpaceSaving guarantee threshold (N / capacity) must be among
+// the monitored entries. Vacuous at z=0.5 (no value is that heavy over
+// this domain), so the non-vacuity assert applies from z=1.0 up.
+TEST(StreamProfilerTest, HeavyHitterRecallAgainstExactCounts) {
+  const double skews[] = {1.0, 1.5};
+  uint64_t seed = 202;
+  for (const double z : skews) {
+    ProfiledStream fed;
+    FeedZipf(z, seed++, &fed);
+    const StreamProfiler::Snapshot snapshot = fed.profiler.TakeSnapshot();
+    const int64_t threshold =
+        2 * static_cast<int64_t>(kElements / fed.profiler.capacity());
+    std::vector<uint64_t> expected;
+    for (uint64_t value = 0; value < kDomain; ++value) {
+      if (fed.exact.Get(value) >= threshold) expected.push_back(value);
+    }
+    ASSERT_FALSE(expected.empty()) << "vacuous recall target at z=" << z;
+    std::set<uint64_t> monitored;
+    for (const StreamProfiler::HeavyHitter& hitter : snapshot.heavy_hitters) {
+      monitored.insert(hitter.value);
+    }
+    size_t recalled = 0;
+    for (const uint64_t value : expected) {
+      recalled += monitored.count(value);
+    }
+    const double recall =
+        static_cast<double>(recalled) / static_cast<double>(expected.size());
+    EXPECT_GE(recall, 0.9) << "z=" << z << " (" << recalled << "/"
+                           << expected.size() << ")";
+    // Mass fraction should be meaningful on a skewed stream: the monitored
+    // set provably covers a nontrivial share of the insert mass.
+    EXPECT_GT(snapshot.heavy_mass_fraction, 0.2) << "z=" << z;
+  }
+}
+
+TEST(StreamProfilerTest, DistinctEstimateTracksSupportSize) {
+  ProfiledStream fed;
+  FeedZipf(1.0, 303, &fed);
+  const StreamProfiler::Snapshot snapshot = fed.profiler.TakeSnapshot();
+  const double exact = static_cast<double>(fed.exact.SupportSize());
+  // 64 HLL registers give ~13% standard error; 35% is a 2.7-sigma band.
+  EXPECT_NEAR(snapshot.distinct_estimate, exact, 0.35 * exact);
+  EXPECT_GT(snapshot.distinct_rate, 0.0);
+  EXPECT_LT(snapshot.distinct_rate, 1.0);
+}
+
+TEST(StreamProfilerTest, ResetReturnsToFreshState) {
+  StreamProfiler profiler;
+  for (uint64_t value = 0; value < 1000; ++value) {
+    profiler.Observe(value % 37, 2);
+  }
+  profiler.Reset();
+  const StreamProfiler::Snapshot snapshot = profiler.TakeSnapshot();
+  EXPECT_EQ(snapshot.observations, 0u);
+  EXPECT_EQ(snapshot.insert_mass, 0u);
+  EXPECT_EQ(snapshot.net_mass, 0);
+  EXPECT_DOUBLE_EQ(snapshot.distinct_estimate, 0.0);
+  EXPECT_TRUE(snapshot.heavy_hitters.empty());
+  EXPECT_TRUE(std::isnan(snapshot.skew));
+}
+
+TEST(FitZipfExponentTest, RejectsUnderdeterminedInputs) {
+  EXPECT_TRUE(std::isnan(FitZipfExponentFromHeavyMass(0, 1000.0, 0.5)));
+  EXPECT_TRUE(std::isnan(FitZipfExponentFromHeavyMass(10, 1000.0, 0.0)));
+  EXPECT_TRUE(std::isnan(FitZipfExponentFromHeavyMass(10, 1000.0, -0.1)));
+  // distinct must exceed the stable count for the model to have a tail.
+  EXPECT_TRUE(std::isnan(FitZipfExponentFromHeavyMass(10, 10.0, 0.5)));
+}
+
+// Feeding the fitter the EXACT top-k mass fraction of a Zipf(z) model must
+// recover z almost perfectly — this isolates the fitter from sampling and
+// SpaceSaving noise.
+TEST(FitZipfExponentTest, RecoversExponentFromExactMass) {
+  const double skews[] = {0.3, 0.8, 1.2, 2.0};
+  const uint64_t top = 64;
+  const double distinct = 4096.0;
+  for (const double z : skews) {
+    double top_mass = 0.0;
+    double total_mass = 0.0;
+    for (uint64_t rank = 1; rank <= static_cast<uint64_t>(distinct); ++rank) {
+      const double mass = std::pow(static_cast<double>(rank), -z);
+      total_mass += mass;
+      if (rank <= top) top_mass += mass;
+    }
+    const double fitted =
+        FitZipfExponentFromHeavyMass(top, distinct, top_mass / total_mass);
+    EXPECT_NEAR(fitted, z, 1e-6) << "z=" << z;
+  }
+}
+
+TEST(FitZipfExponentTest, SaturatesAtBisectionBounds) {
+  // A mass fraction at/below the uniform cover clamps to 0; a fraction the
+  // steepest modeled skew cannot reach clamps to the upper bound.
+  EXPECT_DOUBLE_EQ(FitZipfExponentFromHeavyMass(64, 4096.0, 64.0 / 4096.0),
+                   0.0);
+  EXPECT_DOUBLE_EQ(FitZipfExponentFromHeavyMass(1, 1u << 30, 1.0), 5.0);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace skimjoin

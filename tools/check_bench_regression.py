@@ -23,6 +23,23 @@ given; names matching no pattern use --threshold. This lets one gate hold
 hot-path update benchmarks to a tight budget while giving noisier
 estimate-latency rows more slack.
 
+Intra-run comparisons: each --compare takes 'BASE=CANDIDATE=THRESHOLD' and
+pairs benchmarks WITHIN the candidate run: every row named CANDIDATE (or
+CANDIDATE/<args>) is compared against the row named BASE (or BASE/<args>)
+from the same file, failing when the candidate is more than THRESHOLD
+slower than its in-run baseline. This gates relative overheads that two
+benchmarks in one binary measure directly — e.g. the stream-profiler
+budget, BM_EngineUpdateBatch vs BM_EngineUpdateBatchNoProfiler — where a
+cross-build comparison would confound the result with build-to-build
+noise. When only --compare/--floor gates are wanted, a single positional
+run (the candidate) is enough; no baseline file is required. If the
+candidate file carries individual repetition rows (repetitions without
+--benchmark_report_aggregates_only), each side of a --compare pair uses
+its best repetition's items_per_second rather than the median: machine
+interference can only slow a repetition down, so per-variant peak
+throughput is the noise-robust estimator for an in-binary ratio. With
+aggregate-only output the pair falls back to the median rows.
+
 Absolute floors: each --floor takes 'GLOB=MIN_ITEMS_PER_SECOND' and fails
 any candidate benchmark matching the glob whose items_per_second falls
 below the minimum, regardless of what any baseline says. Floors catch the
@@ -83,6 +100,20 @@ def load_results(path):
         name = row.get("run_name", row.get("name", ""))
         if name and name not in results:
             results[name] = row
+    # Annotate with the best per-repetition throughput, for gates that
+    # prefer peak over median (see the --compare notes above). Absent when
+    # the run reported aggregates only.
+    best = {}
+    for row in rows:
+        if row.get("aggregate_name"):
+            continue
+        name = row.get("run_name", row.get("name", ""))
+        qps = row.get("items_per_second")
+        if name and qps is not None:
+            best[name] = max(best.get(name, 0.0), qps)
+    for name, qps in best.items():
+        if name in results:
+            results[name]["best_items_per_second"] = qps
     return results
 
 
@@ -110,6 +141,54 @@ def threshold_for(name, rules, default):
     return default
 
 
+def parse_compares(specs):
+    """Parses ['BASE=CAND=THRESH', ...] into [(base, cand, float)]."""
+    rules = []
+    for spec in specs:
+        parts = spec.split("=")
+        if len(parts) != 3 or not parts[0] or not parts[1]:
+            sys.exit(f"error: --compare needs BASE=CANDIDATE=THRESHOLD, got "
+                     f"{spec!r}")
+        try:
+            threshold = float(parts[2])
+        except ValueError:
+            sys.exit(f"error: bad threshold in --compare {spec!r}")
+        rules.append((parts[0], parts[1], threshold))
+    return rules
+
+
+def check_compares(candidate, compares):
+    """Returns names of candidate benchmarks over their --compare budget.
+
+    Rows are paired by exact name-segment prefix plus shared '/args'
+    suffix, so 'BM_EngineUpdateBatch' does not swallow the rows of
+    'BM_EngineUpdateBatchNoProfiler'.
+    """
+    failures = []
+    for base_name, cand_name, threshold in compares:
+        matched = False
+        for name, row in sorted(candidate.items()):
+            if name != cand_name and not name.startswith(cand_name + "/"):
+                continue
+            matched = True
+            counterpart = base_name + name[len(cand_name):]
+            base_row = candidate.get(counterpart)
+            if base_row is None:
+                sys.exit(f"error: --compare row {name} has no in-run "
+                         f"counterpart {counterpart}")
+            ratio, metric, over = compare(name, base_row, row, threshold,
+                                          prefer_best=True)
+            marker = "OVER BUDGET" if over else "ok"
+            print(f"{marker:>11}  {name} vs {counterpart}: {ratio:+.1%} "
+                  f"({metric}, budget {threshold:.0%})")
+            if over:
+                failures.append(name)
+        if not matched:
+            sys.exit(f"error: --compare {cand_name!r} matched no candidate "
+                     f"benchmark")
+    return failures
+
+
 def check_floors(candidate, floors):
     """Returns names of candidate benchmarks below their --floor minimum."""
     failures = []
@@ -135,18 +214,26 @@ def check_floors(candidate, floors):
     return failures
 
 
-def compare(name, baseline, candidate, threshold):
+def compare(name, baseline, candidate, threshold, prefer_best=False):
     """Returns (ratio, metric, regressed) for one matched benchmark pair.
 
     ratio > 0 is the relative slowdown of candidate vs baseline (0.07 means
-    7% slower); negative means the candidate is faster.
+    7% slower); negative means the candidate is faster. With prefer_best,
+    both sides use their best repetition's throughput when the run recorded
+    individual repetitions (intra-run gates, where noise only ever pushes a
+    repetition down).
     """
-    if "items_per_second" in baseline and "items_per_second" in candidate:
-        base, cand = baseline["items_per_second"], candidate["items_per_second"]
+    key = "items_per_second"
+    metric = "items/s"
+    if (prefer_best and "best_items_per_second" in baseline
+            and "best_items_per_second" in candidate):
+        key = "best_items_per_second"
+        metric = "best items/s"
+    if key in baseline and key in candidate:
+        base, cand = baseline[key], candidate[key]
         if base <= 0:
             sys.exit(f"error: non-positive items_per_second for {name}")
         ratio = (base - cand) / base  # throughput drop
-        metric = "items/s"
     else:
         base, cand = baseline.get("real_time"), candidate.get("real_time")
         if base is None or cand is None or base <= 0:
@@ -176,16 +263,38 @@ def main():
                         help="absolute items_per_second minimum for matching "
                              "candidate benchmarks; repeatable; independent "
                              "of any baseline")
+    parser.add_argument("--compare", action="append", default=[],
+                        metavar="BASE=CAND=THRESH",
+                        help="intra-run pairing: fail when benchmark CAND is "
+                             "more than THRESH slower than benchmark BASE "
+                             "within the candidate run; repeatable")
     args = parser.parse_args()
 
-    if len(args.runs) < 2:
-        sys.exit("error: need at least one baseline and one candidate run")
-    baseline_paths, candidate_path = args.runs[:-1], args.runs[-1]
     rules = parse_per_benchmark(args.per_benchmark)
     floors = parse_per_benchmark(args.floor)
+    compares = parse_compares(args.compare)
+
+    if len(args.runs) < 2:
+        # Candidate-only mode: legal when every requested gate is
+        # self-contained (--compare / --floor need no baseline file).
+        if not compares and not floors:
+            sys.exit("error: need at least one baseline and one candidate "
+                     "run (or a candidate with --compare/--floor gates)")
+        baseline_paths, candidate_path = [], args.runs[0]
+    else:
+        baseline_paths, candidate_path = args.runs[:-1], args.runs[-1]
 
     candidate = load_results(candidate_path)
     floor_failures = check_floors(candidate, floors)
+    compare_failures = check_compares(candidate, compares)
+
+    if not baseline_paths:
+        if floor_failures or compare_failures:
+            print(f"\n{len(floor_failures) + len(compare_failures)} "
+                  f"benchmark(s) failed their self-contained gates")
+            return 1
+        print("\nall self-contained gates within budget")
+        return 0
 
     if len(baseline_paths) == 1 and not os.path.exists(baseline_paths[0]):
         # First run on this branch/machine: nothing to compare against yet
@@ -194,9 +303,10 @@ def main():
         shutil.copyfile(candidate_path, baseline_paths[0])
         print(f"no baseline yet — recording {candidate_path} "
               f"as {baseline_paths[0]}")
-        if floor_failures:
-            print(f"\n{len(floor_failures)} benchmark(s) below their "
-                  f"floor: {', '.join(floor_failures)}")
+        if floor_failures or compare_failures:
+            print(f"\n{len(floor_failures) + len(compare_failures)} "
+                  f"benchmark(s) failed their self-contained gates: "
+                  f"{', '.join(floor_failures + compare_failures)}")
             return 1
         return 0
 
@@ -222,13 +332,16 @@ def main():
     for name in skipped:
         print(f"  skipped  {name}: only in one run")
 
-    if regressions or floor_failures:
+    if regressions or floor_failures or compare_failures:
         if regressions:
             print(f"\n{len(regressions)} benchmark(s) regressed beyond "
                   f"their budget: {', '.join(regressions)}")
         if floor_failures:
             print(f"\n{len(floor_failures)} benchmark(s) below their "
                   f"floor: {', '.join(floor_failures)}")
+        if compare_failures:
+            print(f"\n{len(compare_failures)} benchmark(s) over their "
+                  f"in-run --compare budget: {', '.join(compare_failures)}")
         return 1
     print(f"\nall {len(common)} matched benchmarks within budget")
     return 0

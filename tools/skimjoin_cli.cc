@@ -30,6 +30,12 @@
 //                              also rewrite the fleet snapshot (and scrape
 //                              worker events into the coordinator log)
 //                              every <ms> milliseconds while running
+//   --health_out=<file>        write a health report to <file> at exit:
+//                              stream profiles, synopsis probes, and the
+//                              doctor's findings (the shell's `health`
+//                              output). With --coordinator, the file holds
+//                              the fleet findings, one line per finding,
+//                              labeled {shard="<k>"}
 //
 // Distributed mode (DESIGN.md §12):
 //   --worker=<socket>          run as a worker shard serving the dist wire
@@ -77,6 +83,7 @@ struct Options {
       skimjoin::metrics::PeriodicSnapshotWriter::Format::kJson;
   int64_t metrics_interval_ms = 0;  // 0: one snapshot at exit only
   std::string trace_out;
+  std::string health_out;
   std::string fleet_metrics_out;
   int64_t fleet_metrics_interval_ms = 0;  // 0: one snapshot at exit only
   // Distributed mode.
@@ -100,7 +107,7 @@ int Usage(const char* argv0) {
             << " [--explain] [--metrics_out=<file>] "
                "[--metrics_format=json|prom]\n"
                "       [--metrics_interval=<ms>] [--trace_out=<file>] "
-               "[script-file]\n"
+               "[--health_out=<file>] [script-file]\n"
                "       [--coordinator=<name=socket,...>] "
                "[--fleet_metrics_out=<file>]\n"
                "       [--fleet_metrics_interval=<ms>]\n"
@@ -139,6 +146,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       }
     } else if (auto value = FlagValue(arg, "trace_out")) {
       options->trace_out = *value;
+    } else if (auto value = FlagValue(arg, "health_out")) {
+      options->health_out = *value;
     } else if (auto value = FlagValue(arg, "fleet_metrics_out")) {
       options->fleet_metrics_out = *value;
     } else if (auto value = FlagValue(arg, "fleet_metrics_interval")) {
@@ -403,6 +412,30 @@ int main(int argc, char** argv) {
         skimjoin::util::AtomicWriteFile(options.trace_out, trace_json);
     if (!status.ok()) {
       std::cerr << "error: trace: " << status.message() << "\n";
+      exit_status = exit_status == 0 ? 2 : exit_status;
+    }
+  }
+
+  if (!options.health_out.empty()) {
+    std::string rendered;
+    if (coordinator != nullptr) {
+      // Fleet mode: only findings travel the wire, so the file is the
+      // doctor's view — one labeled line per finding, unreachable shards
+      // included as findings of their own.
+      skimjoin::StatusOr<skimjoin::query::HealthReport> fleet =
+          coordinator->FleetHealthReport();
+      rendered = fleet.ok()
+                     ? skimjoin::query::RenderHealthFindings(fleet->findings)
+                     : "health report failed: " + fleet.status().ToString() +
+                           "\n";
+    } else {
+      rendered = skimjoin::query::RenderHealthReport(
+          shell.engine().HealthReport());
+    }
+    skimjoin::Status status =
+        skimjoin::util::AtomicWriteFile(options.health_out, rendered);
+    if (!status.ok()) {
+      std::cerr << "error: health report: " << status.message() << "\n";
       exit_status = exit_status == 0 ? 2 : exit_status;
     }
   }
