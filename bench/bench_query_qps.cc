@@ -184,4 +184,19 @@ BENCHMARK(BM_LiveIngestMixQps)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 }  // namespace
 }  // namespace skimjoin
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus skimjoin's own build type as a context field: the
+// stock "library_build_type" describes the google-benchmark library (often
+// a distribution debug build), not this library's optimization level —
+// tools/check_bench_regression.py prefers this field for its advisory.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("skimjoin_build_type", "release");
+#else
+  benchmark::AddCustomContext("skimjoin_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

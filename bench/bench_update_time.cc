@@ -6,13 +6,17 @@
 // per-element.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <span>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "benchmark/benchmark.h"
 #include "core/skimmed_sketch.h"
+#include "hashing/simd_hash.h"
+#include "ingest/concurrent_ingestor.h"
 #include "ingest/parallel_ingestor.h"
 #include "query/engine.h"
 #include "sketch/agms_sketch.h"
@@ -221,12 +225,122 @@ BENCHMARK(BM_SkimmedSketchParallelIngest)
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
-// Kernel ablation (DESIGN.md §10): the same single-threaded 65536-element
-// batched ingest, once per fast-path combination. Arg is a bitmask —
-// 1 = fastmod bucket reduction, 2 = plan cache, 4 = blocked hash→scatter —
-// so /0 is the scalar reference, /7 the production all-on path, and /1, /2,
-// /4 isolate each kernel's contribution. The stream is 10M Zipf z=1.0
-// (the acceptance workload), distinct from the z=1.1 stream above.
+// Truly concurrent ingestion (DESIGN.md §13): persistent workers, private
+// replicas, relaxed-consistency propagation into the shared synopsis.
+// HashSketch with all kernels on (SIMD included) is the aggregate-
+// throughput target row — the release gate reads items_per_second off
+// /N where N is the runner's hardware concurrency and checks the
+// multi-thread scaling ratio against /1 (machine-aware: only enforced on
+// runners with enough cores to scale).
+
+// Defined with the kernel-ablation section below; shared here so the
+// concurrent rows are directly comparable with the /15 single-thread row.
+const std::vector<stream::StreamElement>& ZipfStream10MZ10();
+
+void BM_HashSketchConcurrentIngest(benchmark::State& state) {
+  const auto workers = static_cast<uint64_t>(state.range(0));
+  sketch::HashSketchConfig config;
+  config.num_tables = 7;
+  config.num_buckets = 1024;
+  auto shared = *sketch::HashSketch::Create(config, 1);
+  ingest::ConcurrentIngestOptions options;
+  options.num_workers = workers;
+  auto ingestor = *ingest::ConcurrentIngestor<sketch::HashSketch>::Create(
+      &shared, options);
+  const auto& stream = ZipfStream10MZ10();
+  const std::span<const stream::StreamElement> all(stream);
+  constexpr size_t kBatch = 65536;
+  for (auto _ : state) {
+    for (size_t off = 0; off < all.size(); off += kBatch) {
+      ingestor->AbsorbBatch(
+          all.subspan(off, std::min(kBatch, all.size() - off)));
+    }
+    // Flush inside the timed region: the honest number includes the
+    // linearization, not just handing copies to workers.
+    ingestor->Flush();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.counters["workers"] = static_cast<double>(workers);
+}
+// UseRealTime for the same reason as BM_SkimmedSketchParallelIngest:
+// worker CPU is invisible to the per-process CPU clock.
+BENCHMARK(BM_HashSketchConcurrentIngest)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The same ingest with two reader threads continuously taking
+// bounded-staleness point estimates — the "queries running concurrently"
+// row of the acceptance criteria. Readers must never block writers for
+// more than a propagation critical section.
+void BM_HashSketchConcurrentIngestWithReaders(benchmark::State& state) {
+  const auto workers = static_cast<uint64_t>(state.range(0));
+  sketch::HashSketchConfig config;
+  config.num_tables = 7;
+  config.num_buckets = 1024;
+  auto shared = *sketch::HashSketch::Create(config, 1);
+  ingest::ConcurrentIngestOptions options;
+  options.num_workers = workers;
+  auto ingestor = *ingest::ConcurrentIngestor<sketch::HashSketch>::Create(
+      &shared, options);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&ingestor, &stop, &reads, r] {
+      Rng rng(900 + r);
+      uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        {
+          auto lock = ingestor->ReaderLock();
+          benchmark::DoNotOptimize(
+              ingestor->shared().PointEstimate(rng.NextUint64Below(kDomain)));
+          ++local;
+        }
+        // Yield between probes so reader spin does not starve ingest workers
+        // on low-core machines; throughput impact on real readers is nil.
+        std::this_thread::yield();
+      }
+      reads.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  const auto& stream = ZipfStream10MZ10();
+  const std::span<const stream::StreamElement> all(stream);
+  constexpr size_t kBatch = 65536;
+  for (auto _ : state) {
+    for (size_t off = 0; off < all.size(); off += kBatch) {
+      ingestor->AbsorbBatch(
+          all.subspan(off, std::min(kBatch, all.size() - off)));
+    }
+    ingestor->Flush();
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["concurrent_reads"] = static_cast<double>(reads.load());
+}
+BENCHMARK(BM_HashSketchConcurrentIngestWithReaders)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Kernel ablation (DESIGN.md §10, §13): the same single-threaded
+// 65536-element batched ingest, once per fast-path combination. Arg is a
+// bitmask — 1 = fastmod bucket reduction, 2 = plan cache, 4 = blocked
+// hash→scatter, 8 = SIMD polynomial lanes (runtime-dispatched; see the
+// simd_dispatch context field for what this machine selected) — so /0 is
+// the scalar reference, /7 the pre-SIMD all-on path, /15 the production
+// all-on path, and /1, /2, /4, /12 isolate each kernel's contribution. The
+// stream is 10M Zipf z=1.0 (the acceptance workload), distinct from the
+// z=1.1 stream above.
 
 const std::vector<stream::StreamElement>& ZipfStream10MZ10() {
   static const auto* stream = [] {
@@ -243,6 +357,7 @@ sketch::KernelOptions KernelModeFromMask(int64_t mask) {
   options.use_fastmod = (mask & 1) != 0;
   options.use_plan_cache = (mask & 2) != 0;
   options.use_blocked_batch = (mask & 4) != 0;
+  options.use_simd = (mask & 8) != 0;
   return options;
 }
 
@@ -273,6 +388,8 @@ BENCHMARK(BM_HashSketchKernelIngest)
     ->Arg(2)
     ->Arg(4)
     ->Arg(7)
+    ->Arg(12)
+    ->Arg(15)
     ->Unit(benchmark::kMillisecond);
 
 void BM_SkimmedSketchKernelIngest(benchmark::State& state) {
@@ -299,6 +416,7 @@ BENCHMARK(BM_SkimmedSketchKernelIngest)
     ->Arg(2)
     ->Arg(4)
     ->Arg(7)
+    ->Arg(15)
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
@@ -432,4 +550,26 @@ BENCHMARK(BM_EngineAnswerJoin);
 }  // namespace
 }  // namespace skimjoin
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus two custom context fields: which SIMD level the
+// runtime dispatcher selected on this machine, so committed baseline JSON
+// records what instruction set produced its numbers (DESIGN.md §13), and
+// how THIS library was compiled. The stock "library_build_type" context
+// field describes the google-benchmark library, which distribution
+// packages routinely ship as a debug build — it says nothing about
+// skimjoin's own optimization level, which is what baseline provenance
+// actually needs (tools/check_bench_regression.py prefers this field).
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "simd_dispatch",
+      skimjoin::hashing::SimdLevelName(skimjoin::hashing::DetectSimdLevel()));
+#ifdef NDEBUG
+  benchmark::AddCustomContext("skimjoin_build_type", "release");
+#else
+  benchmark::AddCustomContext("skimjoin_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -73,6 +73,17 @@ class BucketHash {
 
   uint64_t num_buckets() const { return num_buckets_; }
 
+  /// The wrapped pairwise polynomial. Exposed so the SIMD block kernels
+  /// (hashing/simd_hash.h) can evaluate it over whole element blocks.
+  const KWiseHash& poly() const { return hash_; }
+
+  /// Projects a field element (a raw poly() result) into [0, num_buckets),
+  /// honoring the fastmod ablation switch — the reduction half of
+  /// operator(), for callers that batch the polynomial separately.
+  uint64_t ModReduce(uint64_t h) const {
+    return use_fastmod_ ? divisor_.Mod(h) : h % num_buckets_;
+  }
+
   /// Ablation switch (KernelOptions::use_fastmod). Either setting produces
   /// identical buckets; this only selects the instruction sequence.
   void set_use_fastmod(bool on) { use_fastmod_ = on; }

@@ -26,6 +26,11 @@ class SignHash {
     return int64_t{1} - 2 * static_cast<int64_t>(hash_(x) & 1);
   }
 
+  /// The wrapped four-wise polynomial. Exposed so the SIMD block kernels
+  /// (hashing/simd_hash.h) can evaluate it over whole element blocks; the
+  /// low bit of a raw poly() result is the packed sign bit (1 ⇒ -1).
+  const KWiseHash& poly() const { return hash_; }
+
   /// Total footprint in bytes, including the wrapped polynomial's heap.
   uint64_t MemoryBytes() const { return hash_.MemoryBytes(); }
 

@@ -1,0 +1,229 @@
+#include "hashing/simd_hash.h"
+
+#include <cstdlib>
+
+#include "hashing/prime_field.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SKIMJOIN_X86_SIMD 1
+#include <immintrin.h>
+#else
+#define SKIMJOIN_X86_SIMD 0
+#endif
+
+namespace skimjoin {
+namespace hashing {
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx512:
+      return "avx512";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+SimdLevel DetectSimdLevel() {
+  static const SimdLevel level = [] {
+    const char* force = std::getenv("SKIMJOIN_FORCE_SCALAR");
+    if (force != nullptr && force[0] == '1') return SimdLevel::kScalar;
+#if SKIMJOIN_X86_SIMD
+    if (__builtin_cpu_supports("avx512f")) return SimdLevel::kAvx512;
+    if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+    return SimdLevel::kScalar;
+  }();
+  return level;
+}
+
+namespace {
+
+/// The scalar Horner loop, lifted verbatim from KWiseHash::operator() — the
+/// reference every vector lane must match bit for bit, and the kernel for
+/// block tails shorter than the lane width.
+uint64_t ScalarEval(std::span<const uint64_t> coefficients, uint64_t x) {
+  const uint64_t v = FoldToField61(x);
+  uint64_t acc = coefficients.back();
+  for (size_t i = coefficients.size() - 1; i-- > 0;) {
+    acc = AddMod61(MulMod61(acc, v), coefficients[i]);
+  }
+  return acc;
+}
+
+void PolyEvalScalar(std::span<const uint64_t> coefficients,
+                    const uint64_t* values, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = ScalarEval(coefficients, values[i]);
+}
+
+#if SKIMJOIN_X86_SIMD
+
+// GCC 12's AVX-512 intrinsic headers initialize _mm512_undefined_epi32()
+// with itself, which -Werror=maybe-uninitialized flags at every inline
+// site (GCC PR105593). The lanes it feeds are fully overwritten by the
+// masked shift results, so the warning is a header artifact, not our bug.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+// ---- AVX2: 4 × 64-bit lanes ------------------------------------------------
+//
+// All helpers keep lanes canonical (< 2^61 - 1); see the header comment for
+// the 32-bit product decomposition and the intermediate bounds.
+
+__attribute__((target("avx2"))) inline __m256i MulMod61Avx2(__m256i a,
+                                                            __m256i b) {
+  const __m256i p = _mm256_set1_epi64x(static_cast<int64_t>(kMersennePrime61));
+  const __m256i mask29 = _mm256_set1_epi64x((int64_t{1} << 29) - 1);
+  const __m256i a1 = _mm256_srli_epi64(a, 32);
+  const __m256i b1 = _mm256_srli_epi64(b, 32);
+  // vpmuludq multiplies the LOW 32 bits of each lane, so a/b serve as a0/b0.
+  const __m256i p00 = _mm256_mul_epu32(a, b);
+  const __m256i p01 = _mm256_mul_epu32(a, b1);
+  const __m256i p10 = _mm256_mul_epu32(a1, b);
+  const __m256i p11 = _mm256_mul_epu32(a1, b1);
+  const __m256i mid = _mm256_add_epi64(p01, p10);  // < 2^62
+  // s = (p00 & p) + (p00 >> 61) + (mid mod 2^29) << 32 + (mid >> 29) + 8·p11
+  const __m256i s = _mm256_add_epi64(
+      _mm256_add_epi64(_mm256_and_si256(p00, p), _mm256_srli_epi64(p00, 61)),
+      _mm256_add_epi64(
+          _mm256_slli_epi64(_mm256_and_si256(mid, mask29), 32),
+          _mm256_add_epi64(_mm256_srli_epi64(mid, 29),
+                           _mm256_slli_epi64(p11, 3))));  // < 2^63
+  const __m256i r =
+      _mm256_add_epi64(_mm256_and_si256(s, p), _mm256_srli_epi64(s, 61));
+  // r < 2^61 + 4: one conditional subtract canonicalizes. Lanes are < 2^63,
+  // so the signed compare is order-correct.
+  const __m256i ge = _mm256_cmpgt_epi64(
+      r, _mm256_set1_epi64x(static_cast<int64_t>(kMersennePrime61 - 1)));
+  return _mm256_sub_epi64(r, _mm256_and_si256(ge, p));
+}
+
+__attribute__((target("avx2"))) inline __m256i AddMod61Avx2(__m256i a,
+                                                            __m256i b) {
+  const __m256i p = _mm256_set1_epi64x(static_cast<int64_t>(kMersennePrime61));
+  const __m256i s = _mm256_add_epi64(a, b);  // both < p ⇒ s < 2^62
+  const __m256i ge = _mm256_cmpgt_epi64(
+      s, _mm256_set1_epi64x(static_cast<int64_t>(kMersennePrime61 - 1)));
+  return _mm256_sub_epi64(s, _mm256_and_si256(ge, p));
+}
+
+__attribute__((target("avx2"))) inline __m256i FoldToField61Avx2(__m256i x) {
+  const __m256i p = _mm256_set1_epi64x(static_cast<int64_t>(kMersennePrime61));
+  const __m256i r =
+      _mm256_add_epi64(_mm256_and_si256(x, p), _mm256_srli_epi64(x, 61));
+  const __m256i ge = _mm256_cmpgt_epi64(
+      r, _mm256_set1_epi64x(static_cast<int64_t>(kMersennePrime61 - 1)));
+  return _mm256_sub_epi64(r, _mm256_and_si256(ge, p));
+}
+
+__attribute__((target("avx2"))) void PolyEvalAvx2(
+    std::span<const uint64_t> coefficients, const uint64_t* values, size_t n,
+    uint64_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i));
+    const __m256i v = FoldToField61Avx2(x);
+    __m256i acc = _mm256_set1_epi64x(
+        static_cast<int64_t>(coefficients[coefficients.size() - 1]));
+    for (size_t c = coefficients.size() - 1; c-- > 0;) {
+      acc = AddMod61Avx2(
+          MulMod61Avx2(acc, v),
+          _mm256_set1_epi64x(static_cast<int64_t>(coefficients[c])));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), acc);
+  }
+  if (i < n) PolyEvalScalar(coefficients, values + i, n - i, out + i);
+}
+
+// ---- AVX-512F: 8 × 64-bit lanes --------------------------------------------
+
+__attribute__((target("avx512f"))) inline __m512i MulMod61Avx512(__m512i a,
+                                                                 __m512i b) {
+  const __m512i p = _mm512_set1_epi64(static_cast<int64_t>(kMersennePrime61));
+  const __m512i mask29 = _mm512_set1_epi64((int64_t{1} << 29) - 1);
+  const __m512i a1 = _mm512_srli_epi64(a, 32);
+  const __m512i b1 = _mm512_srli_epi64(b, 32);
+  const __m512i p00 = _mm512_mul_epu32(a, b);
+  const __m512i p01 = _mm512_mul_epu32(a, b1);
+  const __m512i p10 = _mm512_mul_epu32(a1, b);
+  const __m512i p11 = _mm512_mul_epu32(a1, b1);
+  const __m512i mid = _mm512_add_epi64(p01, p10);
+  const __m512i s = _mm512_add_epi64(
+      _mm512_add_epi64(_mm512_and_si512(p00, p), _mm512_srli_epi64(p00, 61)),
+      _mm512_add_epi64(
+          _mm512_slli_epi64(_mm512_and_si512(mid, mask29), 32),
+          _mm512_add_epi64(_mm512_srli_epi64(mid, 29),
+                           _mm512_slli_epi64(p11, 3))));
+  __m512i r =
+      _mm512_add_epi64(_mm512_and_si512(s, p), _mm512_srli_epi64(s, 61));
+  const __mmask8 ge = _mm512_cmpge_epu64_mask(r, p);
+  return _mm512_mask_sub_epi64(r, ge, r, p);
+}
+
+__attribute__((target("avx512f"))) inline __m512i AddMod61Avx512(__m512i a,
+                                                                 __m512i b) {
+  const __m512i p = _mm512_set1_epi64(static_cast<int64_t>(kMersennePrime61));
+  const __m512i s = _mm512_add_epi64(a, b);
+  const __mmask8 ge = _mm512_cmpge_epu64_mask(s, p);
+  return _mm512_mask_sub_epi64(s, ge, s, p);
+}
+
+__attribute__((target("avx512f"))) inline __m512i FoldToField61Avx512(
+    __m512i x) {
+  const __m512i p = _mm512_set1_epi64(static_cast<int64_t>(kMersennePrime61));
+  const __m512i r =
+      _mm512_add_epi64(_mm512_and_si512(x, p), _mm512_srli_epi64(x, 61));
+  const __mmask8 ge = _mm512_cmpge_epu64_mask(r, p);
+  return _mm512_mask_sub_epi64(r, ge, r, p);
+}
+
+__attribute__((target("avx512f"))) void PolyEvalAvx512(
+    std::span<const uint64_t> coefficients, const uint64_t* values, size_t n,
+    uint64_t* out) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_loadu_si512(values + i);
+    const __m512i v = FoldToField61Avx512(x);
+    __m512i acc = _mm512_set1_epi64(
+        static_cast<int64_t>(coefficients[coefficients.size() - 1]));
+    for (size_t c = coefficients.size() - 1; c-- > 0;) {
+      acc = AddMod61Avx512(
+          MulMod61Avx512(acc, v),
+          _mm512_set1_epi64(static_cast<int64_t>(coefficients[c])));
+    }
+    _mm512_storeu_si512(out + i, acc);
+  }
+  if (i < n) PolyEvalScalar(coefficients, values + i, n - i, out + i);
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // SKIMJOIN_X86_SIMD
+
+}  // namespace
+
+void PolyEvalBlock(std::span<const uint64_t> coefficients,
+                   const uint64_t* values, size_t n, uint64_t* out,
+                   SimdLevel level) {
+#if SKIMJOIN_X86_SIMD
+  switch (level) {
+    case SimdLevel::kAvx512:
+      PolyEvalAvx512(coefficients, values, n, out);
+      return;
+    case SimdLevel::kAvx2:
+      PolyEvalAvx2(coefficients, values, n, out);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  PolyEvalScalar(coefficients, values, n, out);
+}
+
+}  // namespace hashing
+}  // namespace skimjoin

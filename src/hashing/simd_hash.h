@@ -1,0 +1,67 @@
+// SIMD block evaluation of the Carter–Wegman polynomials over
+// GF(2^61 - 1) — the vector half of the update fast path (DESIGN.md §13).
+//
+// The hash→bucket→sign pipeline of every sketch update spends its cycles
+// in Horner's rule over the Mersenne field (prime_field.h). A single lane
+// needs a 64×64→128 multiply, which AVX2/AVX-512 lack — but because every
+// Horner input is a canonical residue (< 2^61), the product decomposes into
+// four 32×32→64 partial products (`vpmuludq`) whose Mersenne folds all fit
+// 64-bit lanes:
+//
+//   a = a0 + a1·2^32   (a < 2^61 ⇒ a1 < 2^29), likewise b
+//   a·b = p00 + (p01 + p10)·2^32 + p11·2^64
+//   with 2^61 ≡ 1 (mod p):   2^64 ≡ 8,  and for mid = p01 + p10 (< 2^62)
+//   mid·2^32 ≡ (mid mod 2^29)·2^32 + (mid >> 29)      [since 2^29·2^32 = 2^61]
+//   s = (p00 & p) + (p00 >> 61) + (mid mod 2^29)·2^32 + (mid >> 29) + 8·p11
+//     < 2^63, and the canonical residue is ((s & p) + (s >> 61)) − p·[≥ p].
+//
+// Every intermediate stays canonical at every Horner step, so each lane is
+// BIT-IDENTICAL to the scalar MulMod61/AddMod61 sequence — the property the
+// kernel differential tests hold the whole switch matrix to.
+//
+// Dispatch is by runtime CPUID (`__builtin_cpu_supports`), overridable with
+// the environment variable SKIMJOIN_FORCE_SCALAR=1 so the always-compiled
+// scalar fallback stays exercised on AVX machines (CI runs the differential
+// suite both ways). The selected level is exported as the engine's
+// `engine.simd_level` gauge and as a bench-context field.
+
+#ifndef SKIMJOIN_HASHING_SIMD_HASH_H_
+#define SKIMJOIN_HASHING_SIMD_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace skimjoin {
+namespace hashing {
+
+/// The instruction set the polynomial block kernels dispatch to. Values are
+/// ordered by width so the level doubles as the exported gauge value.
+enum class SimdLevel : int {
+  kScalar = 0,  // portable fallback, always compiled
+  kAvx2 = 1,    // 4 × 64-bit lanes
+  kAvx512 = 2,  // 8 × 64-bit lanes (avx512f)
+};
+
+/// "scalar" / "avx2" / "avx512".
+const char* SimdLevelName(SimdLevel level);
+
+/// The widest level this CPU supports, probed once (thread-safe) via CPUID.
+/// SKIMJOIN_FORCE_SCALAR=1 in the environment pins the answer to kScalar —
+/// the hook CI uses to keep the fallback path tested on wide machines.
+SimdLevel DetectSimdLevel();
+
+/// Evaluates the degree-(k-1) polynomial with `coefficients` (constant term
+/// first, exactly as KWiseHash stores them) at values[0..n), folding each
+/// 64-bit input into the field first. out[i] is bit-identical to the scalar
+/// KWiseHash evaluation of values[i] for every level (canonical residues at
+/// every step). Tails shorter than the lane width run the scalar loop.
+/// Pre-condition: coefficients.size() >= 1; out has room for n results.
+void PolyEvalBlock(std::span<const uint64_t> coefficients,
+                   const uint64_t* values, size_t n, uint64_t* out,
+                   SimdLevel level);
+
+}  // namespace hashing
+}  // namespace skimjoin
+
+#endif  // SKIMJOIN_HASHING_SIMD_HASH_H_

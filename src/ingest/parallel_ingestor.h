@@ -11,12 +11,14 @@
 // Hokusai, specialized to exact linearity.
 //
 // Threading model (see DESIGN.md, "Threading & ingestion model"):
-//   * ONE thread drives a ParallelIngestor (single-writer); the ingestor
-//     spawns and joins its shard workers inside AbsorbBatch, so no worker
-//     outlives the call and no locks are needed.
-//   * Replica i is touched only by worker i during AbsorbBatch and only by
-//     the driving thread during FlushInto — thread::join provides the
-//     happens-before edge between the two.
+//   * ONE thread drives a ParallelIngestor (single-writer); shard work runs
+//     on a persistent WorkerPool owned by the ingestor — threads are
+//     created once at Create time, not per batch — and AbsorbBatch blocks
+//     on the pool's Barrier before returning, so no task outlives the call.
+//   * Replica i is touched only by its dedicated pool worker during
+//     AbsorbBatch (the driving thread absorbs shard 0 itself) and only by
+//     the driving thread during FlushInto — the Barrier's release/acquire
+//     edge orders the two.
 //   * The master synopsis is never touched by workers; queries against it
 //     remain single-writer exactly as before.
 //
@@ -35,12 +37,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <span>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "ingest/ingest_stats.h"
+#include "ingest/worker_pool.h"
 #include "stream/stream_element.h"
 #include "util/metrics.h"
 #include "util/status.h"
@@ -75,7 +78,13 @@ class ParallelIngestor {
       replica.Reset();
       replicas.push_back(std::move(replica));
     }
-    return ParallelIngestor(std::move(replicas));
+    // Shard 0 is absorbed on the driving thread, so the pool only needs
+    // num_shards - 1 workers; a single-shard ingestor needs none at all.
+    std::unique_ptr<WorkerPool> pool;
+    if (num_shards > 1) {
+      pool = std::make_unique<WorkerPool>(num_shards - 1);
+    }
+    return ParallelIngestor(std::move(replicas), std::move(pool));
   }
 
   /// Partitions `elements` into contiguous chunks and folds each into its
@@ -94,20 +103,21 @@ class ParallelIngestor {
     if (shards <= 1) {
       replicas_[0].UpdateBatch(elements);
     } else {
+      // Shards 1..N-1 go to the persistent pool; the driving thread folds
+      // shard 0 itself instead of idling, then waits out the stragglers.
       const uint64_t chunk = elements.size() / shards;
-      std::vector<std::thread> workers;
-      workers.reserve(shards);
-      for (uint64_t shard = 0; shard < shards; ++shard) {
+      for (uint64_t shard = 1; shard < shards; ++shard) {
         const uint64_t begin = shard * chunk;
         const uint64_t end =
             (shard + 1 == shards) ? elements.size() : begin + chunk;
-        workers.emplace_back(
-            [replica = &replicas_[shard],
-             slice = elements.subspan(begin, end - begin)] {
-              replica->UpdateBatch(slice);
-            });
+        pool_->Submit(shard - 1,
+                      [replica = &replicas_[shard],
+                       slice = elements.subspan(begin, end - begin)] {
+                        replica->UpdateBatch(slice);
+                      });
       }
-      for (std::thread& worker : workers) worker.join();
+      replicas_[0].UpdateBatch(elements.subspan(0, chunk));
+      pool_->Barrier();
     }
     stats_.absorb_nanos += Elapsed(start);
   }
@@ -148,8 +158,9 @@ class ParallelIngestor {
   const IngestStats& stats() const { return stats_; }
 
  private:
-  explicit ParallelIngestor(std::vector<Synopsis> replicas)
-      : replicas_(std::move(replicas)) {}
+  ParallelIngestor(std::vector<Synopsis> replicas,
+                   std::unique_ptr<WorkerPool> pool)
+      : replicas_(std::move(replicas)), pool_(std::move(pool)) {}
 
   static uint64_t Elapsed(std::chrono::steady_clock::time_point start) {
     return static_cast<uint64_t>(
@@ -160,6 +171,9 @@ class ParallelIngestor {
 
   std::vector<Synopsis> replicas_;
   IngestStats stats_;
+  // Declared after replicas_ so the pool (and any in-flight tasks holding
+  // replica pointers) is torn down before the replicas it references.
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace ingest

@@ -440,6 +440,10 @@ Status Engine::SaveCheckpoint(
     const std::string& path,
     const std::map<std::string, std::string>& metadata) const {
   metrics::TraceSpan span("checkpoint_save", "checkpoint");
+  // A checkpoint must capture an exact state: linearize any in-flight
+  // concurrent ingestion before serializing synopses (writer-thread only,
+  // so the const_cast is the same convention as SerializeQuerySynopsis).
+  const_cast<Engine*>(this)->FlushIngest();
   // The manifest (and the per-query sections) walk every query ascending by
   // id, so the file layout is deterministic for a given engine state.
   enum class Kind { kJoin, kFrequency, kDistinct, kTopK, kQuantile,
@@ -472,7 +476,7 @@ Status Engine::SaveCheckpoint(
   std::ostringstream manifest;
   manifest.precision(std::numeric_limits<double>::max_digits10);
   manifest << "skimjoin.checkpoint v2\n"
-           << "shards " << ingest_shards_ << '\n'
+           << "shards " << ingest_options_.shards << '\n'
            << "nextid " << next_query_id_ << '\n';
   manifest << "streams " << streams_.size() << '\n';
   for (const StreamState& s : streams_) {

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "hashing/simd_hash.h"
 #include "util/event_log.h"
 #include "util/logging.h"
 #include "util/table_printer.h"
@@ -134,6 +135,7 @@ void Engine::InitStreamMetrics(StreamState* state) {
   state->merge_nanos = metrics_.GetCounter(prefix + "merge_nanos");
   state->hash_cache_hits = metrics_.GetCounter(prefix + "hash_cache_hits");
   state->hash_cache_misses = metrics_.GetCounter(prefix + "hash_cache_misses");
+  state->epoch_lag = metrics_.GetGauge(prefix + "epoch_lag");
 
   metrics_.SetHelp(prefix + "elements_absorbed",
                    "In-domain stream elements fed to this stream's synopses.");
@@ -152,6 +154,9 @@ void Engine::InitStreamMetrics(StreamState* state) {
   metrics_.SetHelp(prefix + "hash_cache_misses",
                    "Hash-plan cache misses across this stream's "
                    "frequency-query synopses (inline batch path).");
+  metrics_.SetHelp(prefix + "epoch_lag",
+                   "Elements accepted by concurrent-mode UpdateBatch but "
+                   "not yet visible to readers; 0 after FlushIngest.");
 
   const std::string profile = prefix + "profile.";
   metrics_.SetHelp(profile + "observations",
@@ -435,7 +440,8 @@ StatusOr<QueryId> Engine::AddFrequencyQuery(const FrequencyQuerySpec& spec,
       id, FrequencyQueryState{std::move(sketch), stream, spec.predicate,
                               std::nullopt, spec, seed, MakeQueryMetrics(id),
                               /*cache_hits_seen=*/0, /*cache_misses_seen=*/0,
-                              /*slim=*/std::nullopt});
+                              /*slim=*/std::nullopt,
+                              /*concurrent=*/nullptr});
   return id;
 }
 
@@ -664,7 +670,17 @@ void Engine::ApplyToQueries(StreamId stream, const StreamUpdate& update,
     for (auto& [id, q] : frequency_queries_) {
       if (q.stream == stream &&
           (!q.predicate || q.predicate->Matches(update.value))) {
-        if (update.count != 0) q.sketch.Update(update.value, update.count);
+        if (update.count != 0) {
+          if (q.concurrent != nullptr) {
+            // A live concurrent ingestor means workers may be propagating
+            // into this sketch right now; the scalar path joins the same
+            // writer lock instead of racing it.
+            auto lock = q.concurrent->WriterLock();
+            q.sketch.Update(update.value, update.count);
+          } else {
+            q.sketch.Update(update.value, update.count);
+          }
+        }
       }
     }
   }
@@ -778,12 +794,32 @@ Status Engine::UpdateBatch(StreamId stream,
       if (update.count != 0) elements.push_back({update.value, update.count});
     }
     if (elements.empty()) continue;
-    if (ingest_shards_ > 1) {
+    if (ingest_options_.concurrent) {
+      // Relaxed-consistency path: hand chunks to the persistent workers
+      // and return without waiting. Staleness is bounded by the ingestor's
+      // propagation policy; FlushIngest() is the linearization point.
+      if (q.concurrent == nullptr) {
+        ingest::ConcurrentIngestOptions options;
+        options.num_workers = ingest_options_.shards;
+        options.propagation_interval_elements =
+            ingest_options_.propagation_interval_elements;
+        options.max_lag_elements = ingest_options_.max_lag_elements;
+        options.pin_threads = ingest_options_.pin_threads;
+        StatusOr<std::unique_ptr<ingest::ConcurrentIngestor<
+            core::SkimmedSketch>>>
+            created = ingest::ConcurrentIngestor<core::SkimmedSketch>::Create(
+                &q.sketch, options);
+        SKIMJOIN_RETURN_IF_ERROR(created.status());
+        q.concurrent = *std::move(created);
+      }
+      q.concurrent->AbsorbBatch(elements);
+      state.epoch_lag->Set(static_cast<double>(q.concurrent->epoch_lag()));
+    } else if (ingest_options_.shards > 1) {
       if (!q.ingestor.has_value() ||
-          q.ingestor->num_shards() != ingest_shards_) {
+          q.ingestor->num_shards() != ingest_options_.shards) {
         StatusOr<ingest::ParallelIngestor<core::SkimmedSketch>> ingestor =
             ingest::ParallelIngestor<core::SkimmedSketch>::Create(
-                q.sketch, ingest_shards_);
+                q.sketch, ingest_options_.shards);
         SKIMJOIN_RETURN_IF_ERROR(ingestor.status());
         q.ingestor = *std::move(ingestor);
       }
@@ -804,16 +840,52 @@ Status Engine::UpdateBatch(StreamId stream,
 }
 
 Status Engine::SetIngestShards(uint64_t num_shards) {
-  if (num_shards < 1) {
+  IngestOptions options = ingest_options_;
+  options.shards = num_shards;
+  return SetIngestOptions(options);
+}
+
+Status Engine::SetIngestOptions(const IngestOptions& options) {
+  if (options.shards < 1) {
     return InvalidArgumentError("ingest shard count must be >= 1");
   }
-  ingest_shards_ = num_shards;
+  if (options.propagation_interval_elements < 1) {
+    return InvalidArgumentError("propagation interval must be >= 1");
+  }
+  // Existing concurrent ingestors were built under the old configuration;
+  // linearize them out so no accepted element is lost, then let the next
+  // batch rebuild under the new knobs.
+  FlushIngest();
+  for (auto& [id, q] : frequency_queries_) {
+    q.concurrent.reset();
+    // Parallel replicas are also per-shard-count; drop stale ones eagerly
+    // (the shards>1 path would rebuild anyway, this just frees memory).
+    if (q.ingestor.has_value() &&
+        q.ingestor->num_shards() != options.shards) {
+      q.ingestor.reset();
+    }
+  }
+  ingest_options_ = options;
   return OkStatus();
+}
+
+void Engine::FlushIngest() {
+  for (auto& [id, q] : frequency_queries_) {
+    if (q.concurrent == nullptr) continue;
+    q.concurrent->Flush();
+    StreamState& state = streams_[q.stream];
+    state.merges->Increment();
+    state.epoch_lag->Set(0.0);
+  }
 }
 
 void Engine::SetKernelOptions(const sketch::KernelOptions& options) {
   kernel_options_ = options;
+  // Concurrent replicas were copied under the old kernels; linearize them
+  // out before the rebuild so no accepted element is lost.
+  FlushIngest();
   for (auto& [id, q] : frequency_queries_) {
+    q.concurrent.reset();
     q.sketch.SetKernelOptions(options);
     // Replicas were copied from the sketch under the old options; drop them
     // so the next sharded batch rebuilds with the new kernels.
@@ -958,6 +1030,9 @@ StatusOr<int64_t> Engine::AnswerPointFrequency(QueryId query,
   }
   metrics::TraceSpan span("estimate", "query");
   ScopedEstimate timer(q.metrics.estimate_calls, q.metrics.estimate_ns);
+  // Under concurrent ingestion: a whole-epoch (bounded-staleness) snapshot
+  // of the sketch, taken without blocking in-flight absorbs.
+  const FrequencyReadLock read_lock = ReadLockFor(q);
   int64_t estimate;
   if (read_path_.use_slim_views) {
     // Two-stage read: refresh the slim view iff the fat epoch advanced,
@@ -994,6 +1069,7 @@ StatusOr<core::DenseFrequencies> Engine::AnswerHeavyHitters(
   const FrequencyQueryState& q = it->second;
   metrics::TraceSpan span("estimate", "query");
   ScopedEstimate timer(q.metrics.estimate_calls, q.metrics.estimate_ns);
+  const FrequencyReadLock read_lock = ReadLockFor(q);
   return q.sketch.HeavyHitters(threshold);
 }
 
@@ -1080,6 +1156,10 @@ StatusOr<EstimateReport> Engine::AnswerChainJoinWithReport(
 }
 
 Status Engine::SerializeQuerySynopsis(QueryId query, std::string* out) const {
+  // Serialized synopses feed distributed delta pulls and must be exact;
+  // linearize any in-flight concurrent ingestion first. Writer-thread only
+  // (like every engine read), so the const_cast mutates nothing reentrant.
+  const_cast<Engine*>(this)->FlushIngest();
   std::ostringstream record;
   if (const auto it = join_queries_.find(query); it != join_queries_.end()) {
     SKIMJOIN_RETURN_IF_ERROR(it->second.estimator->SerializeTo(record));
@@ -1187,12 +1267,21 @@ void Engine::RefreshMetricsGauges() const {
   metrics_.SetHelp("engine.num_queries", "Registered standing queries.");
   metrics_.SetHelp("engine.ingest_shards",
                    "Worker threads UpdateBatch may fan a batch out to.");
+  metrics_.SetHelp("engine.ingest_concurrent",
+                   "1 while relaxed-consistency concurrent ingestion is on.");
+  metrics_.SetHelp("engine.simd_level",
+                   "SIMD dispatch the sketch kernels selected on this "
+                   "machine: 0 scalar, 1 AVX2, 2 AVX-512.");
   metrics_.GetGauge("engine.num_streams")
       ->Set(static_cast<double>(num_streams()));
   metrics_.GetGauge("engine.num_queries")
       ->Set(static_cast<double>(num_queries()));
   metrics_.GetGauge("engine.ingest_shards")
-      ->Set(static_cast<double>(ingest_shards_));
+      ->Set(static_cast<double>(ingest_options_.shards));
+  metrics_.GetGauge("engine.ingest_concurrent")
+      ->Set(ingest_options_.concurrent ? 1.0 : 0.0);
+  metrics_.GetGauge("engine.simd_level")
+      ->Set(static_cast<double>(hashing::DetectSimdLevel()));
 }
 
 StatusOr<util::StreamProfiler::Snapshot> Engine::StreamProfile(
@@ -1203,6 +1292,10 @@ StatusOr<util::StreamProfiler::Snapshot> Engine::StreamProfile(
 }
 
 HealthReport Engine::HealthReport() const {
+  // Probes copy synopses; linearize concurrent ingestion first so the
+  // report describes a state every future answer will agree with
+  // (writer-thread only, see SerializeQuerySynopsis).
+  const_cast<Engine*>(this)->FlushIngest();
   query::HealthReport report;
 
   for (const StreamState& state : streams_) {
@@ -1384,7 +1477,7 @@ void Engine::Clear() {
   range_sum_queries_.clear();
   chain_queries_.clear();
   next_query_id_ = 1;
-  ingest_shards_ = 1;
+  ingest_options_ = IngestOptions{};
   // Entries guard on per-stream epochs that are about to reset with the
   // registry; a future same-id query must never see an old life's answer.
   query_cache_.DropAll();

@@ -30,6 +30,7 @@
 #include "core/join_estimators.h"
 #include "core/skimmed_sketch.h"
 #include "core/top_k.h"
+#include "ingest/concurrent_ingestor.h"
 #include "ingest/ingest_stats.h"
 #include "ingest/parallel_ingestor.h"
 #include "query/checkpoint.h"
@@ -129,7 +130,11 @@ struct StreamUpdate {
 /// out across shard worker threads (see SetIngestShards), but those workers
 /// live only inside the call — externally the engine remains a single-writer
 /// structure, per the single-pass stream model and DESIGN.md's "Threading &
-/// ingestion model".
+/// ingestion model". With IngestOptions.concurrent on (DESIGN.md §13) the
+/// workers are persistent and outlive UpdateBatch; registration and
+/// ingestion stay single-writer, while point-frequency and heavy-hitter
+/// ANSWERS may run on the writer thread concurrently with in-flight
+/// ingestion and observe bounded-staleness snapshots until FlushIngest().
 class Engine {
  public:
   Engine() = default;
@@ -208,7 +213,45 @@ class Engine {
   /// Worker threads UpdateBatch may fan a large batch out to (per
   /// frequency-query synopsis, via ingest::ParallelIngestor). 1 — the
   /// default — keeps ingestion fully inline. INVALID_ARGUMENT for 0.
+  /// Equivalent to SetIngestOptions with only `shards` changed.
   Status SetIngestShards(uint64_t num_shards);
+
+  /// Full ingestion-concurrency configuration (DESIGN.md §13).
+  struct IngestOptions {
+    /// Worker threads per frequency-query synopsis. With `concurrent` off
+    /// this is the ParallelIngestor shard count (join-then-merge inside
+    /// each UpdateBatch); with it on, the ConcurrentIngestor worker count.
+    uint64_t shards = 1;
+    /// Relaxed-consistency concurrent ingestion: UpdateBatch hands chunks
+    /// to persistent workers and returns WITHOUT waiting; workers fold
+    /// into private replicas and propagate into the query synopsis on
+    /// epoch boundaries. Point-frequency / heavy-hitter answers then read
+    /// a bounded-staleness (but always internally consistent) snapshot
+    /// until FlushIngest() linearizes. Exactness everywhere else is
+    /// preserved: serialization, checkpoints, and health reports flush
+    /// first.
+    bool concurrent = false;
+    /// Propagation cadence and hard staleness bound, forwarded to
+    /// ingest::ConcurrentIngestOptions (ignored unless `concurrent`).
+    uint64_t propagation_interval_elements = 1 << 16;
+    uint64_t max_lag_elements = 1 << 20;
+    /// Pin ingest workers to CPUs (NUMA first-touch replica locality).
+    bool pin_threads = false;
+  };
+
+  /// Reconfigures ingestion. Flushes and drops existing concurrent
+  /// ingestors first, so switching modes never loses elements.
+  /// INVALID_ARGUMENT for shards == 0 or a zero propagation interval.
+  Status SetIngestOptions(const IngestOptions& options);
+
+  const IngestOptions& ingest_options() const { return ingest_options_; }
+
+  /// Linearization point for concurrent ingestion: blocks until every
+  /// element accepted by UpdateBatch is folded into its query synopsis.
+  /// Afterwards answers are exact (identical to sequential ingestion) and
+  /// every `ingest.<stream>.epoch_lag` gauge reads 0. No-op when
+  /// concurrent mode is off or nothing is pending.
+  void FlushIngest();
 
   /// Selects the sketch update fast paths (DESIGN.md §10) for every
   /// frequency-query synopsis, current and future — including synopses
@@ -447,6 +490,9 @@ class Engine {
     // their caches worker-local; see docs/OBSERVABILITY.md).
     metrics::Counter* hash_cache_hits = nullptr;
     metrics::Counter* hash_cache_misses = nullptr;
+    // Elements accepted by concurrent-mode UpdateBatch but not yet visible
+    // to readers (`ingest.<name>.epoch_lag`); 0 outside concurrent mode.
+    metrics::Gauge* epoch_lag = nullptr;
     // Exact frequencies for accuracy-drift monitoring; caller-owned, null
     // when no reference is attached.
     const stream::FrequencyVector* reference = nullptr;
@@ -507,6 +553,14 @@ class Engine {
     /// ReadPathOptions.use_slim_views is on. Mutable: reads are const but
     /// refresh the view when the fat epoch advanced.
     mutable std::optional<sketch::SlimView> slim;
+    /// Relaxed-consistency ingestor over `sketch` while
+    /// IngestOptions.concurrent is on (null otherwise). Built lazily on the
+    /// first concurrent batch — by then the state is map-resident, so the
+    /// &sketch it captures is stable. Declared after `sketch` so its
+    /// destructor (which flushes pending work into the sketch and joins
+    /// the workers) runs while the sketch is still alive.
+    std::unique_ptr<ingest::ConcurrentIngestor<core::SkimmedSketch>>
+        concurrent;
   };
 
   struct DistinctQueryState {
@@ -619,6 +673,16 @@ class Engine {
   static void CountCacheOutcome(const QueryMetrics& metrics,
                                 QueryCache::Outcome outcome);
 
+  /// Reader lock over a frequency query's sketch when a concurrent
+  /// ingestor is live; a no-op (lockless) guard otherwise. Answer paths
+  /// hold one across every sketch read so they observe whole-epoch
+  /// snapshots, never a mid-propagation state.
+  using FrequencyReadLock =
+      ingest::ConcurrentIngestor<core::SkimmedSketch>::ReadLock;
+  FrequencyReadLock ReadLockFor(const FrequencyQueryState& q) const {
+    return q.concurrent ? q.concurrent->ReaderLock() : FrequencyReadLock();
+  }
+
   // Declared first so every cached instrument pointer in the states below
   // is destroyed before the registry that owns the pointees. Mutable:
   // const paths (MetricsSnapshot, SaveCheckpoint) register engine-level
@@ -636,7 +700,8 @@ class Engine {
   std::unordered_map<QueryId, RangeSumQueryState> range_sum_queries_;
   std::unordered_map<QueryId, ChainJoinQueryState> chain_queries_;
   QueryId next_query_id_ = 1;
-  uint64_t ingest_shards_ = 1;
+  // Ingestion concurrency configuration (shards + concurrent mode knobs).
+  IngestOptions ingest_options_;
   // Fast-path kernel selection applied to every frequency-query synopsis
   // (defaults all-on; see sketch/kernel_options.h).
   sketch::KernelOptions kernel_options_;

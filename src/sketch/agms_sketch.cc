@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "hashing/simd_hash.h"
 #include "sketch/serial_limits.h"
 #include "sketch/sketch_seed.h"
 #include "util/logging.h"
@@ -63,6 +64,40 @@ void AgmsSketch::UpdateBatch(std::span<const stream::StreamElement> elements) {
   const size_t block = static_cast<size_t>(
       kernel_options_.batch_block_size < 1 ? 1
                                            : kernel_options_.batch_block_size);
+  const hashing::SimdLevel simd = kernel_options_.use_simd
+                                      ? hashing::DetectSimdLevel()
+                                      : hashing::SimdLevel::kScalar;
+  if (simd != hashing::SimdLevel::kScalar) {
+    // SIMD kernel: the block's values deinterleave once into a contiguous
+    // scratch shared by every cell, then each cell's four-wise ξ polynomial
+    // evaluates over the whole block in vector lanes. The per-cell partial
+    // sums keep the blocked kernel's exact grouping, so counters remain
+    // bit-identical to both scalar kernels.
+    static thread_local std::vector<uint64_t> value_scratch;
+    static thread_local std::vector<uint64_t> hash_scratch;
+    for (size_t begin = 0; begin < elements.size(); begin += block) {
+      const std::span<const stream::StreamElement> chunk =
+          elements.subspan(begin, std::min(block, elements.size() - begin));
+      const size_t n = chunk.size();
+      value_scratch.resize(n);
+      hash_scratch.resize(n);
+      for (size_t i = 0; i < n; ++i) value_scratch[i] = chunk[i].value;
+      for (size_t cell = 0; cell < counters_.size(); ++cell) {
+        hashing::PolyEvalBlock(signs_[cell].poly().coefficients(),
+                               value_scratch.data(), n, hash_scratch.data(),
+                               simd);
+        int64_t sum = 0;
+        for (size_t i = 0; i < n; ++i) {
+          // ξ(v) = 1 - 2·(h(v) & 1), exactly SignHash::operator().
+          sum += (int64_t{1} -
+                  2 * static_cast<int64_t>(hash_scratch[i] & 1)) *
+                 chunk[i].weight;
+        }
+        counters_[cell] += sum;
+      }
+    }
+    return;
+  }
   for (size_t begin = 0; begin < elements.size(); begin += block) {
     const std::span<const stream::StreamElement> chunk =
         elements.subspan(begin, std::min(block, elements.size() - begin));

@@ -48,6 +48,25 @@ void CountMinSketch::FillPlan(uint64_t value, uint32_t* plan) const {
   }
 }
 
+void CountMinSketch::FillPlansBlock(const uint64_t* values, size_t n,
+                                    uint32_t* plans,
+                                    hashing::SimdLevel level) const {
+  // Per-table scratch for the raw field residues; thread_local for the
+  // same reasons as the blocked kernel's plan scratch.
+  static thread_local std::vector<uint64_t> bucket_scratch;
+  bucket_scratch.resize(n);
+  const uint64_t tables = config_.num_tables;
+  for (uint64_t table = 0; table < tables; ++table) {
+    const hashing::BucketHash& bucket = bucket_hashes_[table];
+    hashing::PolyEvalBlock(bucket.poly().coefficients(), values, n,
+                           bucket_scratch.data(), level);
+    for (size_t i = 0; i < n; ++i) {
+      plans[i * tables + table] =
+          static_cast<uint32_t>(bucket.ModReduce(bucket_scratch[i]));
+    }
+  }
+}
+
 void CountMinSketch::ApplyPlan(const uint32_t* plan, int64_t weight) {
   int64_t* row = counters_.data();
   for (uint64_t table = 0; table < config_.num_tables; ++table) {
@@ -121,37 +140,74 @@ void CountMinSketch::UpdateBatchBlocked(
   // Shape-adaptive staging; see HashSketch::UpdateBatchBlocked.
   constexpr uint64_t kScatterStageBytes = uint64_t{1} << 21;
   const bool stage = counters_.size() * sizeof(int64_t) > kScatterStageBytes;
+  const hashing::SimdLevel simd = kernel_options_.use_simd
+                                      ? hashing::DetectSimdLevel()
+                                      : hashing::SimdLevel::kScalar;
+  static thread_local std::vector<uint64_t> value_scratch;
+  if (simd != hashing::SimdLevel::kScalar) value_scratch.resize(block);
   for (size_t begin = 0; begin < elements.size(); begin += block) {
     const size_t n = std::min(block, elements.size() - begin);
     // Cache hits apply on the spot; only misses stage through scratch for
     // the table-major scatter (see HashSketch::UpdateBatchBlocked — integer
     // adds commute, so the split is bit-identical).
     size_t pending = 0;
-    for (size_t i = 0; i < n; ++i) {
-      const stream::StreamElement& element = elements[begin + i];
+    if (simd != hashing::SimdLevel::kScalar) {
+      // SIMD phase 1: non-claiming Lookup, then one block evaluation for
+      // the misses — see HashSketch::UpdateBatchBlocked for why Probe
+      // cannot be combined with a deferred fill.
+      for (size_t i = 0; i < n; ++i) {
+        const stream::StreamElement& element = elements[begin + i];
+        if (plan_cache_) {
+          const uint32_t* plan = plan_cache_->Lookup(element.value);
+          if (plan != nullptr) {
+            ApplyPlan(plan, element.weight);
+            continue;
+          }
+        }
+        value_scratch[pending] = element.value;
+        weight_scratch[pending] = element.weight;
+        ++pending;
+      }
+      FillPlansBlock(value_scratch.data(), pending, plan_scratch.data(), simd);
       if (plan_cache_) {
-        bool hit = false;
-        uint32_t* plan = plan_cache_->Probe(element.value, &hit);
-        if (hit) {
-          ApplyPlan(plan, element.weight);
-          continue;
-        }
-        FillPlan(element.value, plan);
-        if (!stage) {
-          ApplyPlan(plan, element.weight);
-          continue;
-        }
-        std::copy_n(plan, tables, &plan_scratch[pending * tables]);
-      } else {
-        uint32_t* plan = &plan_scratch[pending * tables];
-        FillPlan(element.value, plan);
-        if (!stage) {
-          ApplyPlan(plan, element.weight);
-          continue;
+        for (size_t i = 0; i < pending; ++i) {
+          std::copy_n(&plan_scratch[i * tables], tables,
+                      plan_cache_->Insert(value_scratch[i]));
         }
       }
-      weight_scratch[pending] = element.weight;
-      ++pending;
+      if (!stage) {
+        for (size_t i = 0; i < pending; ++i) {
+          ApplyPlan(&plan_scratch[i * tables], weight_scratch[i]);
+        }
+        pending = 0;
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const stream::StreamElement& element = elements[begin + i];
+        if (plan_cache_) {
+          bool hit = false;
+          uint32_t* plan = plan_cache_->Probe(element.value, &hit);
+          if (hit) {
+            ApplyPlan(plan, element.weight);
+            continue;
+          }
+          FillPlan(element.value, plan);
+          if (!stage) {
+            ApplyPlan(plan, element.weight);
+            continue;
+          }
+          std::copy_n(plan, tables, &plan_scratch[pending * tables]);
+        } else {
+          uint32_t* plan = &plan_scratch[pending * tables];
+          FillPlan(element.value, plan);
+          if (!stage) {
+            ApplyPlan(plan, element.weight);
+            continue;
+          }
+        }
+        weight_scratch[pending] = element.weight;
+        ++pending;
+      }
     }
     for (uint64_t table = 0; table < tables; ++table) {
       int64_t* row = &counters_[table * config_.num_buckets];

@@ -20,6 +20,7 @@
 
 #include "hashing/hash_plan_cache.h"
 #include "hashing/kwise_hash.h"
+#include "hashing/simd_hash.h"
 #include "sketch/kernel_options.h"
 #include "stream/frequency_vector.h"
 #include "stream/stream_element.h"
@@ -157,6 +158,13 @@ class CountMinSketch {
 
   /// Evaluates every table's bucket word for `value` into `plan`.
   void FillPlan(uint64_t value, uint32_t* plan) const;
+
+  /// SIMD form of FillPlan over a whole block: bucket plans for
+  /// values[0..n) into `plans` (element-major, n × num_tables words) via
+  /// the hashing/simd_hash.h block kernels. Word-for-word identical to
+  /// calling FillPlan per value.
+  void FillPlansBlock(const uint64_t* values, size_t n, uint32_t* plans,
+                      hashing::SimdLevel level) const;
 
   /// Adds `weight` at each table's planned bucket.
   void ApplyPlan(const uint32_t* plan, int64_t weight);

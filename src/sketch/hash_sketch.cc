@@ -56,6 +56,31 @@ void HashSketch::FillPlan(uint64_t value, uint32_t* plan) const {
   }
 }
 
+void HashSketch::FillPlansBlock(const uint64_t* values, size_t n,
+                                uint32_t* plans,
+                                hashing::SimdLevel level) const {
+  // Per-table scratch for the raw field residues; thread_local for the same
+  // reasons as the blocked kernel's plan scratch.
+  static thread_local std::vector<uint64_t> bucket_scratch;
+  static thread_local std::vector<uint64_t> sign_scratch;
+  bucket_scratch.resize(n);
+  sign_scratch.resize(n);
+  const uint64_t tables = config_.num_tables;
+  for (uint64_t table = 0; table < tables; ++table) {
+    const hashing::BucketHash& bucket = bucket_hashes_[table];
+    hashing::PolyEvalBlock(bucket.poly().coefficients(), values, n,
+                           bucket_scratch.data(), level);
+    hashing::PolyEvalBlock(sign_hashes_[table].poly().coefficients(), values,
+                           n, sign_scratch.data(), level);
+    // PackBucketSign by hand: the packed sign bit IS the residue's low bit
+    // (ξ(v) = 1 - 2·(h(v) & 1)), so no ±1 materialization is needed.
+    for (size_t i = 0; i < n; ++i) {
+      plans[i * tables + table] = static_cast<uint32_t>(
+          (bucket.ModReduce(bucket_scratch[i]) << 1) | (sign_scratch[i] & 1));
+    }
+  }
+}
+
 void HashSketch::ApplyPlan(const uint32_t* plan, int64_t weight) {
   int64_t* row = counters_.data();
   for (uint64_t table = 0; table < config_.num_tables; ++table) {
@@ -138,6 +163,11 @@ void HashSketch::UpdateBatchBlocked(
   // shapes therefore apply misses on the spot too.
   constexpr uint64_t kScatterStageBytes = uint64_t{1} << 21;
   const bool stage = counters_.size() * sizeof(int64_t) > kScatterStageBytes;
+  const hashing::SimdLevel simd = kernel_options_.use_simd
+                                      ? hashing::DetectSimdLevel()
+                                      : hashing::SimdLevel::kScalar;
+  static thread_local std::vector<uint64_t> value_scratch;
+  if (simd != hashing::SimdLevel::kScalar) value_scratch.resize(block);
   for (size_t begin = 0; begin < elements.size(); begin += block) {
     const size_t n = std::min(block, elements.size() - begin);
     // Phase 1 (hash): cache hits apply on the spot — the plan words were
@@ -148,31 +178,68 @@ void HashSketch::UpdateBatchBlocked(
     // so the hit/miss split leaves every final counter bit-identical to
     // the scalar kernels.
     size_t pending = 0;
-    for (size_t i = 0; i < n; ++i) {
-      const stream::StreamElement& element = elements[begin + i];
+    if (simd != hashing::SimdLevel::kScalar) {
+      // SIMD phase 1: probe with the non-claiming Lookup — Probe would
+      // claim the slot before the deferred vector fill, so a duplicate
+      // value later in the block would hit a claimed-but-unfilled plan.
+      // Hits apply on the spot; misses collect into the value scratch for
+      // one block evaluation, then install into the cache. A duplicate
+      // miss inside a block is evaluated (and installed) twice with the
+      // same result — counters stay bit-identical, only the hit/miss
+      // tallies shift against the scalar phase 1.
+      for (size_t i = 0; i < n; ++i) {
+        const stream::StreamElement& element = elements[begin + i];
+        if (plan_cache_) {
+          const uint32_t* plan = plan_cache_->Lookup(element.value);
+          if (plan != nullptr) {
+            ApplyPlan(plan, element.weight);
+            continue;
+          }
+        }
+        value_scratch[pending] = element.value;
+        weight_scratch[pending] = element.weight;
+        ++pending;
+      }
+      FillPlansBlock(value_scratch.data(), pending, plan_scratch.data(), simd);
       if (plan_cache_) {
-        bool hit = false;
-        uint32_t* plan = plan_cache_->Probe(element.value, &hit);
-        if (hit) {
-          ApplyPlan(plan, element.weight);
-          continue;
-        }
-        FillPlan(element.value, plan);
-        if (!stage) {
-          ApplyPlan(plan, element.weight);
-          continue;
-        }
-        std::copy_n(plan, tables, &plan_scratch[pending * tables]);
-      } else {
-        uint32_t* plan = &plan_scratch[pending * tables];
-        FillPlan(element.value, plan);
-        if (!stage) {
-          ApplyPlan(plan, element.weight);
-          continue;
+        for (size_t i = 0; i < pending; ++i) {
+          std::copy_n(&plan_scratch[i * tables], tables,
+                      plan_cache_->Insert(value_scratch[i]));
         }
       }
-      weight_scratch[pending] = element.weight;
-      ++pending;
+      if (!stage) {
+        for (size_t i = 0; i < pending; ++i) {
+          ApplyPlan(&plan_scratch[i * tables], weight_scratch[i]);
+        }
+        pending = 0;
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const stream::StreamElement& element = elements[begin + i];
+        if (plan_cache_) {
+          bool hit = false;
+          uint32_t* plan = plan_cache_->Probe(element.value, &hit);
+          if (hit) {
+            ApplyPlan(plan, element.weight);
+            continue;
+          }
+          FillPlan(element.value, plan);
+          if (!stage) {
+            ApplyPlan(plan, element.weight);
+            continue;
+          }
+          std::copy_n(plan, tables, &plan_scratch[pending * tables]);
+        } else {
+          uint32_t* plan = &plan_scratch[pending * tables];
+          FillPlan(element.value, plan);
+          if (!stage) {
+            ApplyPlan(plan, element.weight);
+            continue;
+          }
+        }
+        weight_scratch[pending] = element.weight;
+        ++pending;
+      }
     }
     // Phase 2 (scatter): table-major over the block's unapplied plans,
     // prefetching the counter line a few elements ahead.

@@ -27,6 +27,7 @@
 #include "hashing/hash_plan_cache.h"
 #include "hashing/kwise_hash.h"
 #include "hashing/sign_hash.h"
+#include "hashing/simd_hash.h"
 #include "sketch/kernel_options.h"
 #include "stream/frequency_vector.h"
 #include "stream/stream_element.h"
@@ -200,6 +201,13 @@ class HashSketch {
   /// Evaluates every table's packed (bucket, sign) word for `value` into
   /// `plan` (`num_tables` words) — the full polynomial path.
   void FillPlan(uint64_t value, uint32_t* plan) const;
+
+  /// SIMD form of FillPlan over a whole block: plans for values[0..n) into
+  /// `plans` (element-major, n × num_tables words), evaluating each table's
+  /// polynomials with the hashing/simd_hash.h block kernels at `level`.
+  /// Word-for-word identical to calling FillPlan per value.
+  void FillPlansBlock(const uint64_t* values, size_t n, uint32_t* plans,
+                      hashing::SimdLevel level) const;
 
   /// Adds `weight` (sign-adjusted per table) at each table's planned
   /// bucket.

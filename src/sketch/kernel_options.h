@@ -39,6 +39,14 @@ struct KernelOptions {
   /// scratch plan array (256 × tables × 8 B ≈ 14 KiB at s=7) inside L1.
   uint64_t batch_block_size = 256;
 
+  /// Evaluate the Carter–Wegman polynomials of the blocked batch kernels
+  /// with the SIMD block kernels (hashing/simd_hash.h): AVX-512 or AVX2
+  /// lanes by runtime CPUID dispatch, scalar fallback elsewhere (and under
+  /// SKIMJOIN_FORCE_SCALAR=1). Lane-for-lane bit-identical to the scalar
+  /// Horner loop; inert unless use_blocked_batch is on (the SIMD path lives
+  /// inside the blocked kernels).
+  bool use_simd = true;
+
   /// Everything off: the pre-kernel scalar reference path, kept for
   /// differential tests and ablation baselines.
   static KernelOptions Scalar() {
@@ -46,6 +54,7 @@ struct KernelOptions {
     o.use_fastmod = false;
     o.use_plan_cache = false;
     o.use_blocked_batch = false;
+    o.use_simd = false;
     return o;
   }
 

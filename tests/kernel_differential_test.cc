@@ -46,12 +46,28 @@ std::vector<std::pair<std::string, KernelOptions>> KernelModes() {
   blocked.use_blocked_batch = true;
   modes.emplace_back("blocked", blocked);
 
+  KernelOptions simd = KernelOptions::Scalar();
+  simd.use_blocked_batch = true;  // the SIMD path lives in the blocked kernel
+  simd.use_simd = true;
+  modes.emplace_back("simd", simd);
+
+  KernelOptions simd_cache = simd;
+  simd_cache.use_plan_cache = true;  // Lookup/Insert miss batching
+  modes.emplace_back("simd-cache", simd_cache);
+
+  // All-on (the production default) and the stress shape both include the
+  // SIMD dispatch; block size 3 forces every vector kernel through its
+  // sub-lane-width tail path on every block.
   modes.emplace_back("all", KernelOptions{});
 
   KernelOptions stress;
   stress.batch_block_size = 3;
   stress.plan_cache_slots = 4;
   modes.emplace_back("stress", stress);
+
+  KernelOptions stress_scalar = stress;
+  stress_scalar.use_simd = false;
+  modes.emplace_back("stress-nosimd", stress_scalar);
   return modes;
 }
 

@@ -82,6 +82,22 @@ def load_results(path):
     rows = data.get("benchmarks")
     if not isinstance(rows, list):
         sys.exit(f"error: {path} has no 'benchmarks' array")
+    # Advisory only: debug-built numbers are legal inputs (handy for local
+    # smoke runs) but must never silently become the perf record — a debug
+    # baseline makes every release candidate look faster than it is, and a
+    # debug candidate fails gates for the wrong reason. The bench binaries
+    # emit 'skimjoin_build_type' (this library's own optimization level);
+    # the stock 'library_build_type' describes the google-benchmark library
+    # instead, and is only consulted for runs predating the custom field.
+    context = data.get("context") or {}
+    build_type = context.get("skimjoin_build_type",
+                             context.get("library_build_type"))
+    if build_type and build_type.lower() != "release":
+        print(f"warning: {path} was produced by a "
+              f"'{build_type}' build; benchmark numbers from "
+              f"non-release builds are not representative — regenerate "
+              f"from a Release build before trusting this gate",
+              file=sys.stderr)
     results = {}
     # First pass: median aggregate rows, keyed by the underlying run name.
     for row in rows:
